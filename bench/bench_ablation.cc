@@ -1,0 +1,249 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//
+//  A. Error accumulation vs. stochastic quantization (accuracy, §3.1):
+//     3LC with EA vs. 3LC without EA vs. Stoch 3-value + QE.
+//  B. Zero-run encoding on/off (traffic, §3.3).
+//  C. Quartic vs. 2-bit packing (size, §3.2).
+//  D. Shared vs. per-worker pull compression (server CPU, §3 / Fig. 2b).
+//  E. Fine-grained vs coarse barriers (communication/computation overlap,
+//     §2.1) via the discrete-event step simulator.
+//  F. Zero-run encoding vs byte-wise Huffman coding (§3.3): ratio and
+//     speed on real quartic streams.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "compress/huffman.h"
+#include "compress/quantize3.h"
+#include "compress/quartic.h"
+#include "compress/three_lc.h"
+#include "compress/zero_run.h"
+#include "net/event_sim.h"
+#include "tensor/tensor_ops.h"
+#include "util/csv_writer.h"
+#include "util/timer.h"
+
+using namespace threelc;
+
+namespace {
+
+void AblationErrorAccumulation(const train::ExperimentConfig& config,
+                               const data::SyntheticData& data,
+                               std::int64_t steps, util::CsvWriter& csv) {
+  std::printf("\n[A] Error accumulation vs stochastic quantization "
+              "(%lld steps)\n",
+              static_cast<long long>(steps));
+  std::printf("%-28s %14s %14s\n", "Design", "accuracy (%)", "bits/value");
+  bench::PrintRule(60);
+  compress::CodecConfig ea = compress::CodecConfig::ThreeLC(1.0f);
+  compress::CodecConfig no_ea = ea;
+  no_ea.error_accumulation = false;
+  const std::vector<compress::CodecConfig> designs = {
+      ea, no_ea, compress::CodecConfig::StochThreeQE()};
+  for (const auto& design : designs) {
+    auto r = train::RunDesign(config, design, steps, data);
+    std::printf("%-28s %14.2f %14.3f\n", r.codec_name.c_str(),
+                r.final_test_accuracy * 100.0, r.CodecBitsPerValue());
+    csv.NewRow()
+        .Add("error_accumulation")
+        .Add(r.codec_name)
+        .Add(r.final_test_accuracy * 100.0)
+        .Add(r.CodecBitsPerValue());
+  }
+}
+
+void AblationZre(const train::ExperimentConfig& config,
+                 const data::SyntheticData& data, std::int64_t steps,
+                 util::CsvWriter& csv) {
+  std::printf("\n[B] Zero-run encoding on/off (%lld steps)\n",
+              static_cast<long long>(steps));
+  std::printf("%-28s %14s %14s\n", "Design", "ratio (x)", "bits/value");
+  bench::PrintRule(60);
+  for (float s : {1.0f, 1.75f}) {
+    for (bool zre : {true, false}) {
+      compress::CodecConfig cfg = compress::CodecConfig::ThreeLC(s);
+      cfg.zero_run = zre;
+      auto r = train::RunDesign(config, cfg, steps, data);
+      std::printf("%-28s %14.1f %14.3f\n", r.codec_name.c_str(),
+                  r.CodecCompressionRatio(), r.CodecBitsPerValue());
+      csv.NewRow()
+          .Add("zre")
+          .Add(r.codec_name)
+          .Add(r.CodecCompressionRatio())
+          .Add(r.CodecBitsPerValue());
+    }
+  }
+}
+
+void AblationQuarticVs2Bit(util::CsvWriter& csv) {
+  std::printf("\n[C] Quartic vs 2-bit packing (fixed-size stage only)\n");
+  const std::size_t n = 1'000'000;
+  const double quartic_bits =
+      8.0 * static_cast<double>(compress::QuarticEncodedSize(n)) /
+      static_cast<double>(n);
+  const double twobit_bits =
+      8.0 * static_cast<double>(compress::TwoBitEncodedSize(n)) /
+      static_cast<double>(n);
+  std::printf("  quartic: %.3f bits/value, 2-bit: %.3f bits/value "
+              "(quartic is %.0f%% smaller)\n",
+              quartic_bits, twobit_bits,
+              (1.0 - quartic_bits / twobit_bits) * 100.0);
+  csv.NewRow().Add("packing").Add("quartic").Add(quartic_bits).Add(0);
+  csv.NewRow().Add("packing").Add("2bit").Add(twobit_bits).Add(0);
+}
+
+void AblationSharedPulls(util::CsvWriter& csv) {
+  std::printf("\n[D] Shared vs per-worker pull compression "
+              "(server encode CPU for 10 workers)\n");
+  const std::int64_t n = 1 << 18;
+  const int workers = 10;
+  compress::ThreeLC codec({1.0f, true, true});
+  util::Rng rng(7);
+  tensor::Tensor delta(tensor::Shape{n});
+  tensor::FillNormal(delta, rng, 0.0f, 0.01f);
+
+  // Shared: encode once per step.
+  auto shared_ctx = codec.MakeContext(delta.shape());
+  util::ByteBuffer buf;
+  util::WallTimer t1;
+  const int reps = 50;
+  for (int i = 0; i < reps; ++i) {
+    buf.Clear();
+    codec.Encode(delta, *shared_ctx, buf);
+  }
+  const double shared_s = t1.ElapsedSeconds() / reps;
+
+  // Per-worker: encode once per worker per step (what a server without
+  // shared compression would do).
+  std::vector<std::unique_ptr<compress::Context>> ctxs;
+  for (int w = 0; w < workers; ++w) {
+    ctxs.push_back(codec.MakeContext(delta.shape()));
+  }
+  util::WallTimer t2;
+  for (int i = 0; i < reps; ++i) {
+    for (int w = 0; w < workers; ++w) {
+      buf.Clear();
+      codec.Encode(delta, *ctxs[static_cast<std::size_t>(w)], buf);
+    }
+  }
+  const double per_worker_s = t2.ElapsedSeconds() / reps;
+
+  std::printf("  shared: %.3f ms/step, per-worker: %.3f ms/step "
+              "(%.1fx more server CPU)\n",
+              shared_s * 1e3, per_worker_s * 1e3, per_worker_s / shared_s);
+  csv.NewRow().Add("shared_pulls").Add("shared").Add(shared_s * 1e3).Add(0);
+  csv.NewRow()
+      .Add("shared_pulls")
+      .Add("per_worker")
+      .Add(per_worker_s * 1e3)
+      .Add(0);
+}
+
+void AblationBarriers(util::CsvWriter& csv) {
+  std::printf("\n[E] Fine-grained vs coarse barriers "
+              "(event-driven step simulation, ResNet-110-like: 110 layers)\n");
+  std::printf("%-12s %-12s %16s %16s %14s\n", "bandwidth", "traffic",
+              "coarse (s/step)", "fine (s/step)", "overlap");
+  bench::PrintRule(75);
+  // 110 layers, ~1.73M params total, 0.35 s compute per step (both passes).
+  const std::size_t layers_n = 110;
+  const std::size_t bytes_per_layer = 1'730'000 * 4 / layers_n;
+  const double compute_per_layer = 0.35 / 2.0 / static_cast<double>(layers_n);
+  for (double ratio : {1.0, 39.4}) {  // raw float32 vs 3LC s=1
+    std::vector<net::LayerCost> layers(layers_n);
+    for (auto& l : layers) {
+      l.push_bytes = static_cast<std::size_t>(
+          static_cast<double>(bytes_per_layer) / ratio);
+      l.pull_bytes = l.push_bytes;
+      l.compute_seconds = compute_per_layer;
+    }
+    for (const auto& link : train::PaperLinks()) {
+      const auto fine = net::SimulateFineGrainedStep(layers,
+                                                     link.bandwidth_bps);
+      const auto coarse = net::SimulateCoarseStep(layers, link.bandwidth_bps);
+      std::printf("%-12s %-12s %16.3f %16.3f %13.0f%%\n",
+                  link.ToString().c_str(), ratio == 1.0 ? "raw" : "3LC s=1",
+                  coarse.makespan_seconds, fine.makespan_seconds,
+                  fine.overlap_fraction * 100.0);
+      csv.NewRow()
+          .Add("barriers_" + link.ToString() +
+               (ratio == 1.0 ? "_raw" : "_3lc"))
+          .Add("fine_vs_coarse")
+          .Add(fine.makespan_seconds)
+          .Add(coarse.makespan_seconds);
+    }
+  }
+}
+
+void AblationZreVsHuffman(util::CsvWriter& csv) {
+  std::printf("\n[F] Zero-run encoding vs Huffman coding on quartic "
+              "streams (%d values)\n", 1 << 20);
+  std::printf("%-10s %-10s %12s %12s %14s %14s\n", "s", "codec",
+              "bytes", "bits/val", "enc MB/s", "entropy b/B");
+  bench::PrintRule(80);
+  const std::size_t n = 1 << 20;
+  util::Rng rng(31);
+  tensor::Tensor input(tensor::Shape{static_cast<std::int64_t>(n)});
+  tensor::FillNormal(input, rng, 0.0f, 0.01f);
+  std::vector<std::int8_t> ternary(n);
+  for (float s : {1.0f, 1.75f}) {
+    compress::Quantize3(input.data(), n, s, ternary.data());
+    util::ByteBuffer quartic;
+    compress::QuarticEncode(ternary.data(), n, quartic);
+    const double entropy = compress::ByteEntropyBits(quartic.span());
+
+    util::ByteBuffer zre;
+    util::WallTimer t1;
+    const int reps = 20;
+    for (int i = 0; i < reps; ++i) {
+      zre.Clear();
+      compress::ZeroRunEncode(quartic.span(), zre);
+    }
+    const double zre_mbps = static_cast<double>(quartic.size()) * reps /
+                            t1.ElapsedSeconds() / 1e6;
+
+    util::ByteBuffer huff;
+    util::WallTimer t2;
+    for (int i = 0; i < reps; ++i) {
+      huff.Clear();
+      compress::HuffmanEncode(quartic.span(), huff);
+    }
+    const double huff_mbps = static_cast<double>(quartic.size()) * reps /
+                             t2.ElapsedSeconds() / 1e6;
+
+    std::printf("%-10.2f %-10s %12zu %12.3f %14.0f %14.3f\n", s, "ZRE",
+                zre.size(), 8.0 * static_cast<double>(zre.size()) / n,
+                zre_mbps, entropy);
+    std::printf("%-10.2f %-10s %12zu %12.3f %14.0f %14.3f\n", s, "Huffman",
+                huff.size(), 8.0 * static_cast<double>(huff.size()) / n,
+                huff_mbps, entropy);
+    csv.NewRow().Add("zre_vs_huffman").Add("zre_s" + std::to_string(s))
+        .Add(8.0 * static_cast<double>(zre.size()) / n).Add(zre_mbps);
+    csv.NewRow().Add("zre_vs_huffman").Add("huffman_s" + std::to_string(s))
+        .Add(8.0 * static_cast<double>(huff.size()) / n).Add(huff_mbps);
+  }
+  std::printf("  (ZRE trades a little ratio for byte-level simplicity and "
+              "speed — §3.3.)\n");
+}
+
+}  // namespace
+
+int main() {
+  auto config = train::DefaultExperiment();
+  // Ablation training runs use a reduced budget; accuracy *differences*
+  // between EA and stochastic variants appear well before full training.
+  const std::int64_t steps = bench::StandardSteps(config) / 2;
+  auto data = data::MakeTeacherDataset(config.data);
+
+  util::CsvWriter csv(bench::ResultsPath("ablation.csv"),
+                      {"ablation", "variant", "metric1", "metric2"});
+
+  AblationErrorAccumulation(config, data, steps, csv);
+  AblationZre(config, data, steps, csv);
+  AblationQuarticVs2Bit(csv);
+  AblationSharedPulls(csv);
+  AblationBarriers(csv);
+  AblationZreVsHuffman(csv);
+  std::printf("\nCSV written to %s\n",
+              bench::ResultsPath("ablation.csv").c_str());
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Shared helpers for the experiment benches (one binary per paper
+// table/figure). Each bench prints the paper-shaped rows/series to stdout
+// and writes a CSV under ./results/ for plotting.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "compress/factory.h"
+#include "train/experiment.h"
+
+namespace threelc::bench {
+
+// Standard step budget, overridable for quick runs:
+//   THREELC_STEPS=200 ./bench_table1
+inline std::int64_t StandardSteps(const train::ExperimentConfig& config) {
+  if (const char* env = std::getenv("THREELC_STEPS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return v;
+  }
+  return config.standard_steps;
+}
+
+// Ensure ./results exists; returns the CSV path for a given name.
+inline std::string ResultsPath(const std::string& name) {
+  std::filesystem::create_directories("results");
+  return "results/" + name;
+}
+
+// The nine designs plotted in Figures 4–6 (Table 1 minus the s=1.5/1.9
+// rows), in legend order.
+inline std::vector<compress::CodecConfig> FigureDesigns() {
+  return {
+      compress::CodecConfig::Float32(),
+      compress::CodecConfig::EightBit(),
+      compress::CodecConfig::StochThreeQE(),
+      compress::CodecConfig::MqeOneBit(),
+      compress::CodecConfig::Sparsification(0.25f),
+      compress::CodecConfig::Sparsification(0.05f),
+      compress::CodecConfig::TwoLocalSteps(),
+      compress::CodecConfig::ThreeLC(1.00f),
+      compress::CodecConfig::ThreeLC(1.75f),
+  };
+}
+
+// Step budgets used throughout §5.3: 25/50/75/100% of standard steps.
+inline std::vector<std::int64_t> StepBudgets(std::int64_t standard) {
+  return {standard / 4, standard / 2, standard * 3 / 4, standard};
+}
+
+inline void PrintRule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace threelc::bench

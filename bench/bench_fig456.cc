@@ -1,0 +1,81 @@
+// Figures 4, 5, 6: total training time vs. test accuracy at 25/50/75/100%
+// of standard training steps, at 10 Mbps, 100 Mbps, and 1 Gbps.
+//
+// One training run per (design, step budget) pair determines both accuracy
+// and per-step traffic; training time under each link then comes from the
+// same time model the paper's extrapolation methodology uses (§5.2), so a
+// single sweep produces all three figures.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/csv_writer.h"
+
+using namespace threelc;
+
+int main() {
+  auto config = train::DefaultExperiment();
+  const std::int64_t standard = bench::StandardSteps(config);
+  auto data = data::MakeTeacherDataset(config.data);
+  const auto budgets = bench::StepBudgets(standard);
+  const auto links = train::PaperLinks();
+
+  util::CsvWriter csv(
+      bench::ResultsPath("fig456.csv"),
+      {"design", "steps", "budget_pct", "accuracy", "minutes_10mbps",
+       "minutes_100mbps", "minutes_1gbps"});
+
+  // Collect all runs first (training is bandwidth-independent).
+  struct Run {
+    std::string name;
+    std::int64_t steps;
+    train::TrainResult result;
+  };
+  std::vector<Run> runs;
+  train::TrainResult baseline_100;  // for context in stdout
+  for (const auto& design : bench::FigureDesigns()) {
+    for (std::int64_t steps : budgets) {
+      auto result = train::RunDesign(config, design, steps, data);
+      runs.push_back({result.codec_name, steps, std::move(result)});
+    }
+  }
+
+  for (std::size_t li = 0; li < links.size(); ++li) {
+    std::printf("\nFigure %zu: training time vs accuracy @ %s "
+                "(budgets: 25/50/75/100%% of %lld steps)\n",
+                4 + li, links[li].ToString().c_str(),
+                static_cast<long long>(standard));
+    std::printf("%-22s %10s %10s %16s %14s\n", "Design", "steps", "budget",
+                "time (minutes)", "accuracy (%)");
+    bench::PrintRule(80);
+    for (const auto& run : runs) {
+      const auto tm =
+          train::PaperTimeModel(links[li], run.result.model_parameters);
+      const double minutes =
+          train::EstimateTrainingSeconds(run.result, tm) / 60.0;
+      std::printf("%-22s %10lld %9lld%% %16.1f %14.2f\n", run.name.c_str(),
+                  static_cast<long long>(run.steps),
+                  static_cast<long long>(run.steps * 100 / standard), minutes,
+                  run.result.final_test_accuracy * 100.0);
+    }
+  }
+
+  for (const auto& run : runs) {
+    double minutes[3];
+    for (std::size_t li = 0; li < links.size(); ++li) {
+      const auto tm =
+          train::PaperTimeModel(links[li], run.result.model_parameters);
+      minutes[li] = train::EstimateTrainingSeconds(run.result, tm) / 60.0;
+    }
+    csv.NewRow()
+        .Add(run.name)
+        .Add(run.steps)
+        .Add(run.steps * 100 / standard)
+        .Add(run.result.final_test_accuracy * 100.0)
+        .Add(minutes[0])
+        .Add(minutes[1])
+        .Add(minutes[2]);
+  }
+  std::printf("\nCSV written to %s\n",
+              bench::ResultsPath("fig456.csv").c_str());
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 7: runtime training loss (left) and test accuracy (right) over
+// training steps for the baseline, the representative quantization /
+// sparsification / local-steps designs, and 3LC (s=1.00).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/csv_writer.h"
+
+using namespace threelc;
+
+int main() {
+  auto config = train::DefaultExperiment();
+  const std::int64_t steps = bench::StandardSteps(config);
+  config.trainer.eval_every = std::max<std::int64_t>(steps / 24, 1);
+  auto data = data::MakeTeacherDataset(config.data);
+
+  const std::vector<compress::CodecConfig> designs = {
+      compress::CodecConfig::Float32(),
+      compress::CodecConfig::MqeOneBit(),
+      compress::CodecConfig::Sparsification(0.05f),
+      compress::CodecConfig::TwoLocalSteps(),
+      compress::CodecConfig::ThreeLC(1.00f),
+  };
+
+  util::CsvWriter loss_csv(bench::ResultsPath("fig7_loss.csv"),
+                           {"design", "step", "training_loss"});
+  util::CsvWriter acc_csv(bench::ResultsPath("fig7_accuracy.csv"),
+                          {"design", "step", "test_accuracy"});
+
+  std::printf("Figure 7: training loss and test accuracy over %lld steps\n",
+              static_cast<long long>(steps));
+  for (const auto& design : designs) {
+    auto result = train::RunDesign(config, design, steps, data);
+    // Smooth the loss series lightly for readability (the paper plots raw
+    // but our stdout table samples sparsely).
+    const std::size_t stride =
+        std::max<std::size_t>(result.steps.size() / 24, 1);
+    std::printf("\n%s\n", result.codec_name.c_str());
+    std::printf("  %10s %14s %16s\n", "step", "training loss",
+                "test accuracy(%)");
+    for (const auto& s : result.steps) {
+      loss_csv.NewRow().Add(result.codec_name).Add(s.step).Add(s.loss);
+    }
+    for (const auto& e : result.evals) {
+      acc_csv.NewRow()
+          .Add(result.codec_name)
+          .Add(e.step)
+          .Add(e.test_accuracy * 100.0);
+    }
+    for (std::size_t i = 0; i < result.steps.size(); i += stride) {
+      // Match loss rows with the nearest eval row for a compact table.
+      double acc = 0.0;
+      for (const auto& e : result.evals) {
+        if (e.step <= result.steps[i].step + 1) acc = e.test_accuracy;
+      }
+      std::printf("  %10lld %14.4f %16.2f\n",
+                  static_cast<long long>(result.steps[i].step),
+                  result.steps[i].loss, acc * 100.0);
+    }
+  }
+  std::printf("\nCSV written to %s and %s\n",
+              bench::ResultsPath("fig7_loss.csv").c_str(),
+              bench::ResultsPath("fig7_accuracy.csv").c_str());
+  return 0;
+}

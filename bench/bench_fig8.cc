@@ -1,0 +1,52 @@
+// Figure 8: training time vs. test accuracy with a varied sparsity
+// multiplier (s ∈ {1.00, 1.50, 1.75, 1.90}) at 25/50/75/100% of standard
+// training steps @ 10 Mbps.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/csv_writer.h"
+
+using namespace threelc;
+
+int main() {
+  auto config = train::DefaultExperiment();
+  const std::int64_t standard = bench::StandardSteps(config);
+  auto data = data::MakeTeacherDataset(config.data);
+  const auto budgets = bench::StepBudgets(standard);
+  const auto link = net::LinkConfig::TenMbps();
+
+  util::CsvWriter csv(bench::ResultsPath("fig8.csv"),
+                      {"s", "steps", "budget_pct", "minutes_10mbps",
+                       "accuracy"});
+
+  std::printf("Figure 8: sparsity-multiplier sweep @ 10 Mbps "
+              "(budgets of %lld steps)\n",
+              static_cast<long long>(standard));
+  std::printf("%-14s %10s %10s %16s %14s\n", "Design", "steps", "budget",
+              "time (minutes)", "accuracy (%)");
+  bench::PrintRule(70);
+
+  for (float s : {1.00f, 1.50f, 1.75f, 1.90f}) {
+    for (std::int64_t steps : budgets) {
+      auto result =
+          train::RunDesign(config, compress::CodecConfig::ThreeLC(s), steps,
+                           data);
+      const auto tm = train::PaperTimeModel(link, result.model_parameters);
+      const double minutes =
+          train::EstimateTrainingSeconds(result, tm) / 60.0;
+      std::printf("%-14s %10lld %9lld%% %16.1f %14.2f\n",
+                  result.codec_name.c_str(), static_cast<long long>(steps),
+                  static_cast<long long>(steps * 100 / standard), minutes,
+                  result.final_test_accuracy * 100.0);
+      csv.NewRow()
+          .Add(s)
+          .Add(steps)
+          .Add(steps * 100 / standard)
+          .Add(minutes)
+          .Add(result.final_test_accuracy * 100.0);
+    }
+  }
+  bench::PrintRule(70);
+  std::printf("CSV written to %s\n", bench::ResultsPath("fig8.csv").c_str());
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 9: compressed size per state change (bits) at every training
+// step, with zero-run encoding split by direction (push vs. pull), plus
+// the fixed no-ZRE quartic line — for s = 1.00 (left) and s = 1.75
+// (right).
+//
+// The paper's observations to reproduce: pulls are larger than pushes for
+// most of training (aggregated gradients have lower variance early), and
+// pushes grow past pulls near the end as workers' gradients sharpen.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/csv_writer.h"
+
+using namespace threelc;
+
+int main() {
+  auto config = train::DefaultExperiment();
+  const std::int64_t steps = bench::StandardSteps(config);
+  auto data = data::MakeTeacherDataset(config.data);
+
+  util::CsvWriter csv(bench::ResultsPath("fig9.csv"),
+                      {"s", "step", "push_bits_per_value",
+                       "pull_bits_per_value", "no_zre_bits_per_value"});
+
+  for (float s : {1.00f, 1.75f}) {
+    auto result = train::RunDesign(
+        config, compress::CodecConfig::ThreeLC(s), steps, data);
+    std::printf("\nFigure 9 (s=%.2f): compressed bits per state change "
+                "(codec traffic only; Without-ZRE line = 1.600)\n", s);
+    std::printf("  %10s %12s %12s\n", "step", "push bits", "pull bits");
+    const std::size_t stride =
+        std::max<std::size_t>(result.steps.size() / 25, 1);
+    double push_early = 0.0, pull_early = 0.0, push_late = 0.0,
+           pull_late = 0.0;
+    std::size_t early_n = 0, late_n = 0;
+    for (std::size_t i = 0; i < result.steps.size(); ++i) {
+      const auto& rec = result.steps[i];
+      const double push_bits =
+          rec.push_values_codec
+              ? 8.0 * static_cast<double>(rec.push_bytes_codec) /
+                    static_cast<double>(rec.push_values_codec)
+              : 0.0;
+      const double pull_bits =
+          rec.pull_values_codec
+              ? 8.0 * static_cast<double>(rec.pull_bytes_codec) /
+                    static_cast<double>(rec.pull_values_codec)
+              : 0.0;
+      csv.NewRow().Add(s).Add(rec.step).Add(push_bits).Add(pull_bits).Add(1.6);
+      if (i % stride == 0) {
+        std::printf("  %10lld %12.3f %12.3f\n",
+                    static_cast<long long>(rec.step), push_bits, pull_bits);
+      }
+      if (i < result.steps.size() / 4) {
+        push_early += push_bits;
+        pull_early += pull_bits;
+        ++early_n;
+      } else if (i >= result.steps.size() * 3 / 4) {
+        push_late += push_bits;
+        pull_late += pull_bits;
+        ++late_n;
+      }
+    }
+    std::printf("  early quartile mean: push %.3f vs pull %.3f bits\n",
+                push_early / static_cast<double>(early_n),
+                pull_early / static_cast<double>(early_n));
+    std::printf("  late quartile mean:  push %.3f vs pull %.3f bits\n",
+                push_late / static_cast<double>(late_n),
+                pull_late / static_cast<double>(late_n));
+  }
+  std::printf("\nCSV written to %s\n", bench::ResultsPath("fig9.csv").c_str());
+  return 0;
+}

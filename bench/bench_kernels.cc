@@ -1,0 +1,208 @@
+// Codec kernel microbenchmarks (google-benchmark).
+//
+// Backs the paper's computation-overhead claims (§5.3): 3LC's stages are
+// cheap vectorizable passes; MQE 1-bit pays extra passes for partition
+// means; sparsification pays sampling + gather. Also demonstrates that
+// encode time is linear in tensor elements, which justifies the time
+// model's element_scale extrapolation (DESIGN.md).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "compress/factory.h"
+#include "compress/quantize3.h"
+#include "compress/quartic.h"
+#include "compress/zero_run.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+using namespace threelc;
+using compress::CodecConfig;
+
+namespace {
+
+tensor::Tensor MakeInput(std::int64_t n, double zero_prob = 0.0) {
+  util::Rng rng(99);
+  tensor::Tensor t(tensor::Shape{n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    t[static_cast<std::size_t>(i)] =
+        rng.Bernoulli(zero_prob) ? 0.0f : rng.NormalFloat(0.0f, 1.0f);
+  }
+  return t;
+}
+
+void BM_Quantize3(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  auto in = MakeInput(n);
+  std::vector<std::int8_t> out(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        compress::Quantize3(in.data(), static_cast<std::size_t>(n), 1.0f,
+                            out.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Quantize3)->Range(1 << 10, 1 << 20);
+
+void BM_Quantize3WithResidual(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  auto in = MakeInput(n);
+  std::vector<std::int8_t> out(static_cast<std::size_t>(n));
+  std::vector<float> residual(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compress::Quantize3WithResidual(
+        in.data(), static_cast<std::size_t>(n), 1.0f, out.data(),
+        residual.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Quantize3WithResidual)->Range(1 << 10, 1 << 20);
+
+void BM_QuarticEncode(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  auto in = MakeInput(n);
+  std::vector<std::int8_t> ternary(static_cast<std::size_t>(n));
+  compress::Quantize3(in.data(), static_cast<std::size_t>(n), 1.0f,
+                      ternary.data());
+  util::ByteBuffer out;
+  for (auto _ : state) {
+    out.Clear();
+    compress::QuarticEncode(ternary.data(), static_cast<std::size_t>(n), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_QuarticEncode)->Range(1 << 10, 1 << 20);
+
+void BM_QuarticDecode(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  auto in = MakeInput(n);
+  std::vector<std::int8_t> ternary(static_cast<std::size_t>(n));
+  compress::Quantize3(in.data(), static_cast<std::size_t>(n), 1.0f,
+                      ternary.data());
+  util::ByteBuffer encoded;
+  compress::QuarticEncode(ternary.data(), static_cast<std::size_t>(n),
+                          encoded);
+  std::vector<std::int8_t> decoded(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    compress::QuarticDecode(encoded.span(), static_cast<std::size_t>(n),
+                            decoded.data());
+    benchmark::DoNotOptimize(decoded.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_QuarticDecode)->Range(1 << 10, 1 << 20);
+
+void BM_TwoBitEncode(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  auto in = MakeInput(n);
+  std::vector<std::int8_t> ternary(static_cast<std::size_t>(n));
+  compress::Quantize3(in.data(), static_cast<std::size_t>(n), 1.0f,
+                      ternary.data());
+  util::ByteBuffer out;
+  for (auto _ : state) {
+    out.Clear();
+    compress::TwoBitEncode(ternary.data(), static_cast<std::size_t>(n), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TwoBitEncode)->Range(1 << 14, 1 << 18);
+
+// ZRE cost depends on input sparsity: denser zero runs mean fewer output
+// bytes and faster scans.
+void BM_ZeroRunEncode(benchmark::State& state) {
+  const std::int64_t n = 1 << 18;
+  const double zero_prob = static_cast<double>(state.range(0)) / 100.0;
+  auto in = MakeInput(n, zero_prob);
+  std::vector<std::int8_t> ternary(static_cast<std::size_t>(n));
+  compress::Quantize3(in.data(), static_cast<std::size_t>(n), 1.0f,
+                      ternary.data());
+  util::ByteBuffer quartic;
+  compress::QuarticEncode(ternary.data(), static_cast<std::size_t>(n),
+                          quartic);
+  util::ByteBuffer out;
+  for (auto _ : state) {
+    out.Clear();
+    compress::ZeroRunEncode(quartic.span(), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["zre_bytes"] = static_cast<double>(out.size());
+}
+BENCHMARK(BM_ZeroRunEncode)->Arg(0)->Arg(50)->Arg(90)->Arg(99);
+
+void BM_ZeroRunDecode(benchmark::State& state) {
+  const std::int64_t n = 1 << 18;
+  auto in = MakeInput(n, 0.9);
+  std::vector<std::int8_t> ternary(static_cast<std::size_t>(n));
+  compress::Quantize3(in.data(), static_cast<std::size_t>(n), 1.0f,
+                      ternary.data());
+  util::ByteBuffer quartic;
+  compress::QuarticEncode(ternary.data(), static_cast<std::size_t>(n),
+                          quartic);
+  util::ByteBuffer encoded;
+  compress::ZeroRunEncode(quartic.span(), encoded);
+  util::ByteBuffer decoded;
+  for (auto _ : state) {
+    decoded.Clear();
+    compress::ZeroRunDecode(encoded.span(), decoded, quartic.size());
+    benchmark::DoNotOptimize(decoded.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ZeroRunDecode);
+
+// Full-codec encode throughput for every compared design — the per-value
+// CPU cost column behind Table 1's computation-overhead story.
+void BM_CodecEncode(benchmark::State& state,
+                    const compress::CodecConfig& config) {
+  const std::int64_t n = 1 << 17;
+  auto codec = compress::MakeCompressor(config);
+  auto in = MakeInput(n);
+  auto ctx = codec->MakeContext(in.shape());
+  util::ByteBuffer out;
+  for (auto _ : state) {
+    out.Clear();
+    codec->Encode(in, *ctx, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["payload_bytes"] = static_cast<double>(out.size());
+}
+BENCHMARK_CAPTURE(BM_CodecEncode, float32, CodecConfig::Float32());
+BENCHMARK_CAPTURE(BM_CodecEncode, int8, CodecConfig::EightBit());
+BENCHMARK_CAPTURE(BM_CodecEncode, stoch3_qe, CodecConfig::StochThreeQE());
+BENCHMARK_CAPTURE(BM_CodecEncode, mqe_1bit, CodecConfig::MqeOneBit());
+BENCHMARK_CAPTURE(BM_CodecEncode, sparse25,
+                  CodecConfig::Sparsification(0.25f));
+BENCHMARK_CAPTURE(BM_CodecEncode, sparse5, CodecConfig::Sparsification(0.05f));
+BENCHMARK_CAPTURE(BM_CodecEncode, threelc_s100, CodecConfig::ThreeLC(1.00f));
+BENCHMARK_CAPTURE(BM_CodecEncode, threelc_s175, CodecConfig::ThreeLC(1.75f));
+BENCHMARK_CAPTURE(BM_CodecEncode, threelc_s190, CodecConfig::ThreeLC(1.90f));
+
+void BM_CodecDecode(benchmark::State& state,
+                    const compress::CodecConfig& config) {
+  const std::int64_t n = 1 << 17;
+  auto codec = compress::MakeCompressor(config);
+  auto in = MakeInput(n);
+  auto ctx = codec->MakeContext(in.shape());
+  util::ByteBuffer encoded;
+  codec->Encode(in, *ctx, encoded);
+  tensor::Tensor out(in.shape());
+  for (auto _ : state) {
+    util::ByteReader reader(encoded);
+    codec->Decode(reader, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK_CAPTURE(BM_CodecDecode, float32, CodecConfig::Float32());
+BENCHMARK_CAPTURE(BM_CodecDecode, int8, CodecConfig::EightBit());
+BENCHMARK_CAPTURE(BM_CodecDecode, mqe_1bit, CodecConfig::MqeOneBit());
+BENCHMARK_CAPTURE(BM_CodecDecode, threelc_s100, CodecConfig::ThreeLC(1.00f));
+BENCHMARK_CAPTURE(BM_CodecDecode, threelc_s175, CodecConfig::ThreeLC(1.75f));
+
+}  // namespace
+
+BENCHMARK_MAIN();

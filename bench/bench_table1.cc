@@ -1,0 +1,65 @@
+// Table 1: speedup over the 32-bit float baseline at 10 Mbps / 100 Mbps /
+// 1 Gbps, and test accuracy, for all eleven compared designs using
+// standard training steps.
+//
+// Output columns mirror the paper's Table 1. Speedups come from the
+// calibrated time model (DESIGN.md): traffic and codec CPU time are
+// measured per step and extrapolated to ResNet-110 scale; the network
+// constants were calibrated on the baseline only.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/csv_writer.h"
+
+using namespace threelc;
+
+int main() {
+  auto config = train::DefaultExperiment();
+  const std::int64_t steps = bench::StandardSteps(config);
+  auto data = data::MakeTeacherDataset(config.data);
+
+  std::printf("Table 1: speedup over baseline and test accuracy "
+              "(standard steps = %lld)\n",
+              static_cast<long long>(steps));
+  std::printf("%-22s %12s %12s %12s %14s %12s\n", "Design", "@ 10 Mbps",
+              "@ 100 Mbps", "@ 1 Gbps", "Accuracy (%)", "Difference");
+  bench::PrintRule();
+
+  util::CsvWriter csv(bench::ResultsPath("table1.csv"),
+                      {"design", "speedup_10mbps", "speedup_100mbps",
+                       "speedup_1gbps", "accuracy", "accuracy_diff",
+                       "codec_bits_per_value", "codec_ratio"});
+
+  train::TrainResult baseline;
+  double baseline_acc = 0.0;
+  for (const auto& design : compress::Table1Designs()) {
+    auto result = train::RunDesign(config, design, steps, data);
+    if (baseline.steps.empty()) {
+      baseline = result;
+      baseline_acc = result.final_test_accuracy;
+    }
+    double speedups[3];
+    int i = 0;
+    for (const auto& link : train::PaperLinks()) {
+      const auto tm = train::PaperTimeModel(link, result.model_parameters);
+      speedups[i++] = train::Speedup(baseline, result, tm);
+    }
+    const double acc = result.final_test_accuracy * 100.0;
+    const double diff = acc - baseline_acc * 100.0;
+    std::printf("%-22s %12.2f %12.2f %12.2f %14.2f %+12.2f\n",
+                result.codec_name.c_str(), speedups[0], speedups[1],
+                speedups[2], acc, diff);
+    csv.NewRow()
+        .Add(result.codec_name)
+        .Add(speedups[0])
+        .Add(speedups[1])
+        .Add(speedups[2])
+        .Add(acc)
+        .Add(diff)
+        .Add(result.CodecBitsPerValue())
+        .Add(result.CodecCompressionRatio());
+  }
+  bench::PrintRule();
+  std::printf("CSV written to %s\n", bench::ResultsPath("table1.csv").c_str());
+  return 0;
+}

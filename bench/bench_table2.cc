@@ -1,0 +1,54 @@
+// Table 2: average traffic compression of 3LC using standard training
+// steps — compression ratio and bits per state change for
+// s ∈ {no-ZRE, 1.00, 1.50, 1.75, 1.90}.
+//
+// Like the paper, the accounting covers codec-processed traffic (small
+// bypassed tensors excluded).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/csv_writer.h"
+
+using namespace threelc;
+
+int main() {
+  auto config = train::DefaultExperiment();
+  const std::int64_t steps = bench::StandardSteps(config);
+  auto data = data::MakeTeacherDataset(config.data);
+
+  std::printf("Table 2: average traffic compression of 3LC "
+              "(standard steps = %lld)\n",
+              static_cast<long long>(steps));
+  std::printf("%-10s %22s %24s\n", "s", "Compression ratio (x)",
+              "bits per state change");
+  bench::PrintRule(60);
+
+  util::CsvWriter csv(bench::ResultsPath("table2.csv"),
+                      {"s", "compression_ratio", "bits_per_state_change"});
+
+  struct Row {
+    const char* label;
+    compress::CodecConfig config;
+  };
+  compress::CodecConfig no_zre = compress::CodecConfig::ThreeLC(1.0f);
+  no_zre.zero_run = false;
+  const std::vector<Row> rows = {
+      {"No ZRE", no_zre},
+      {"1.00", compress::CodecConfig::ThreeLC(1.00f)},
+      {"1.50", compress::CodecConfig::ThreeLC(1.50f)},
+      {"1.75", compress::CodecConfig::ThreeLC(1.75f)},
+      {"1.90", compress::CodecConfig::ThreeLC(1.90f)},
+  };
+  for (const auto& row : rows) {
+    auto result = train::RunDesign(config, row.config, steps, data);
+    std::printf("%-10s %22.1f %24.3f\n", row.label,
+                result.CodecCompressionRatio(), result.CodecBitsPerValue());
+    csv.NewRow()
+        .Add(row.label)
+        .Add(result.CodecCompressionRatio())
+        .Add(result.CodecBitsPerValue());
+  }
+  bench::PrintRule(60);
+  std::printf("CSV written to %s\n", bench::ResultsPath("table2.csv").c_str());
+  return 0;
+}

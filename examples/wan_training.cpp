@@ -1,0 +1,57 @@
+// WAN training: the paper's motivating scenario (§1) — distributed
+// training over a bandwidth-constrained wide-area link (geo-distributed
+// data, regulatory borders, metered connections).
+//
+// Trains the same model with the 32-bit float baseline and with 3LC, then
+// reports traffic and estimated wall-clock time on a 10 Mbps WAN.
+//
+// Build & run:  ./build/examples/wan_training
+#include <cstdio>
+
+#include "train/experiment.h"
+
+using namespace threelc;
+
+int main() {
+  auto config = train::DefaultExperiment();
+  config.standard_steps = 300;  // demo-sized run
+  config.trainer.eval_every = 100;
+  auto data = data::MakeTeacherDataset(config.data);
+  const auto wan = net::LinkConfig::TenMbps();
+
+  std::printf("Synchronous data-parallel training: %d workers, batch %lld, "
+              "%lld steps, 10 Mbps WAN\n\n",
+              config.trainer.num_workers,
+              static_cast<long long>(config.trainer.batch_size),
+              static_cast<long long>(config.standard_steps));
+
+  struct Row {
+    const char* label;
+    compress::CodecConfig codec;
+  };
+  const Row rows[] = {
+      {"32-bit float (baseline)", compress::CodecConfig::Float32()},
+      {"3LC s=1.00", compress::CodecConfig::ThreeLC(1.00f)},
+      {"3LC s=1.75", compress::CodecConfig::ThreeLC(1.75f)},
+  };
+
+  std::printf("%-26s %12s %14s %16s %14s\n", "Design", "accuracy",
+              "traffic (MB)", "time @10Mbps", "vs baseline");
+  double baseline_time = 0.0;
+  for (const auto& row : rows) {
+    auto result =
+        train::RunDesign(config, row.codec, config.standard_steps, data);
+    const auto tm = train::PaperTimeModel(wan, result.model_parameters);
+    const double seconds = train::EstimateTrainingSeconds(result, tm);
+    if (baseline_time == 0.0) baseline_time = seconds;
+    std::printf("%-26s %11.2f%% %14.1f %13.1f min %13.2fx\n", row.label,
+                result.final_test_accuracy * 100.0,
+                static_cast<double>(result.TotalBytes()) / 1e6,
+                seconds / 60.0, baseline_time / seconds);
+  }
+
+  std::printf("\n3LC keeps accuracy while cutting WAN time by an order of "
+              "magnitude;\nraise s toward 1.9 for metered links where every "
+              "byte counts.\n");
+  return 0;
+}

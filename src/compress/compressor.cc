@@ -1,0 +1,26 @@
+#include "compress/compressor.h"
+
+namespace threelc::compress {
+
+Tensor RoundTrip(const Compressor& codec, const Tensor& in, Context& ctx) {
+  ByteBuffer buf;
+  codec.Encode(in, ctx, buf);
+  Tensor out(in.shape());
+  ByteReader reader(buf);
+  codec.Decode(reader, out);
+  return out;
+}
+
+double CompressionRatio(std::size_t num_elements, std::size_t payload_bytes) {
+  if (payload_bytes == 0) return 0.0;
+  return static_cast<double>(num_elements * sizeof(float)) /
+         static_cast<double>(payload_bytes);
+}
+
+double BitsPerValue(std::size_t num_elements, std::size_t payload_bytes) {
+  if (num_elements == 0) return 0.0;
+  return static_cast<double>(payload_bytes) * 8.0 /
+         static_cast<double>(num_elements);
+}
+
+}  // namespace threelc::compress

@@ -1,0 +1,74 @@
+// Compressor: the point-to-point tensor codec interface (paper §3, Fig. 2).
+//
+// One *compression context* holds the state for compressing/decompressing a
+// single tensor in a single direction (gradient push or model-delta pull) —
+// typically the error-accumulation buffer plus reusable scratch space.
+// Stateless codecs return an empty context.
+//
+// Contract:
+//  - Encode appends a self-delimiting payload to `out` and may update `ctx`
+//    (e.g. fold quantization error into the accumulation buffer).
+//  - Decode consumes exactly the bytes Encode appended and writes the
+//    decompressed state change into `out`, whose shape is already set.
+//  - Encode(T) followed by Decode must yield the codec's dequantized view
+//    of T; for the lossless stages this is exact round-trip identity.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "tensor/tensor.h"
+#include "util/byte_buffer.h"
+
+namespace threelc::compress {
+
+using tensor::Shape;
+using tensor::Tensor;
+using util::ByteBuffer;
+using util::ByteReader;
+
+// Per-tensor, per-direction codec state.
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  // Bytes of auxiliary state the codec keeps per tensor (error accumulation
+  // buffers etc.) — reported by memory-overhead benchmarks.
+  virtual std::size_t StateBytes() const { return 0; }
+};
+
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  // Human-readable name matching the paper's design labels, e.g.
+  // "3LC (s=1.75)" or "5% sparsification".
+  virtual std::string name() const = 0;
+
+  // Create fresh per-tensor state for a tensor of the given shape.
+  virtual std::unique_ptr<Context> MakeContext(const Shape& shape) const = 0;
+
+  // Compress `in`, appending the payload to `out`. `ctx` must have been
+  // created by this codec's MakeContext with `in`'s shape.
+  virtual void Encode(const Tensor& in, Context& ctx, ByteBuffer& out) const = 0;
+
+  // Decompress into `out` (shape preset by the caller), consuming exactly
+  // one Encode payload from `in`. Throws std::runtime_error on corruption.
+  virtual void Decode(ByteReader& in, Tensor& out) const = 0;
+
+  // True if the codec is lossy (decode != encode input in general).
+  virtual bool lossy() const { return true; }
+};
+
+// Convenience: encode then decode through a fresh reader; returns the
+// codec's dequantized view of `in`. Used heavily by tests.
+Tensor RoundTrip(const Compressor& codec, const Tensor& in, Context& ctx);
+
+// Compression ratio of one payload vs. raw float32 transmission.
+double CompressionRatio(std::size_t num_elements, std::size_t payload_bytes);
+
+// Bits per state change of one payload.
+double BitsPerValue(std::size_t num_elements, std::size_t payload_bytes);
+
+}  // namespace threelc::compress

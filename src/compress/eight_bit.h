@@ -1,0 +1,20 @@
+// "8-bit int": symmetric 8-bit quantization approximating the TPU's
+// internal quantization (paper §5.1). Uses 255 distinct values
+// [-127, 127]; -128 is left unused.
+//
+// Wire format: [f32 M][n x i8]. q = round(v / M * 127); v' = q * M / 127.
+#pragma once
+
+#include "compress/compressor.h"
+
+namespace threelc::compress {
+
+class EightBitInt final : public Compressor {
+ public:
+  std::string name() const override { return "8-bit int"; }
+  std::unique_ptr<Context> MakeContext(const Shape& shape) const override;
+  void Encode(const Tensor& in, Context& ctx, ByteBuffer& out) const override;
+  void Decode(ByteReader& in, Tensor& out) const override;
+};
+
+}  // namespace threelc::compress

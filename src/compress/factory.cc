@@ -1,0 +1,106 @@
+#include "compress/factory.h"
+
+#include "compress/eight_bit.h"
+#include "compress/local_steps.h"
+#include "compress/mqe_one_bit.h"
+#include "compress/none.h"
+#include "compress/sparsify.h"
+#include "compress/stoch_three.h"
+#include "compress/three_lc.h"
+#include "util/logging.h"
+
+namespace threelc::compress {
+
+CodecConfig CodecConfig::Float32() {
+  CodecConfig c;
+  c.kind = CodecKind::kFloat32;
+  return c;
+}
+
+CodecConfig CodecConfig::EightBit() {
+  CodecConfig c;
+  c.kind = CodecKind::kEightBit;
+  return c;
+}
+
+CodecConfig CodecConfig::StochThreeQE(std::uint64_t seed) {
+  CodecConfig c;
+  c.kind = CodecKind::kStochThreeQE;
+  c.seed = seed;
+  return c;
+}
+
+CodecConfig CodecConfig::MqeOneBit() {
+  CodecConfig c;
+  c.kind = CodecKind::kMqeOneBit;
+  return c;
+}
+
+CodecConfig CodecConfig::Sparsification(float fraction) {
+  CodecConfig c;
+  c.kind = CodecKind::kSparsify;
+  c.sparsify_fraction = fraction;
+  return c;
+}
+
+CodecConfig CodecConfig::TwoLocalSteps() {
+  CodecConfig c;
+  c.kind = CodecKind::kLocalSteps;
+  c.local_period = 2;
+  return c;
+}
+
+CodecConfig CodecConfig::ThreeLC(float s) {
+  CodecConfig c;
+  c.kind = CodecKind::kThreeLC;
+  c.sparsity_multiplier = s;
+  return c;
+}
+
+std::unique_ptr<Compressor> MakeCompressor(const CodecConfig& config) {
+  switch (config.kind) {
+    case CodecKind::kFloat32:
+      return std::make_unique<class Float32>();
+    case CodecKind::kEightBit:
+      return std::make_unique<EightBitInt>();
+    case CodecKind::kStochThreeQE:
+      return std::make_unique<StochThreeValueQE>(config.seed);
+    case CodecKind::kMqeOneBit:
+      return std::make_unique<class MqeOneBit>();
+    case CodecKind::kSparsify: {
+      SparsifyOptions opt;
+      opt.fraction = config.sparsify_fraction;
+      opt.seed = config.seed;
+      return std::make_unique<Sparsify>(opt);
+    }
+    case CodecKind::kLocalSteps:
+      return std::make_unique<LocalSteps>(config.local_period);
+    case CodecKind::kThreeLC: {
+      ThreeLCOptions opt;
+      opt.sparsity_multiplier = config.sparsity_multiplier;
+      opt.zero_run = config.zero_run;
+      opt.error_accumulation = config.error_accumulation;
+      return std::make_unique<class ThreeLC>(opt);
+    }
+  }
+  THREELC_CHECK_MSG(false, "unknown codec kind");
+  return nullptr;
+}
+
+std::vector<CodecConfig> Table1Designs() {
+  return {
+      CodecConfig::Float32(),
+      CodecConfig::EightBit(),
+      CodecConfig::StochThreeQE(),
+      CodecConfig::MqeOneBit(),
+      CodecConfig::Sparsification(0.25f),
+      CodecConfig::Sparsification(0.05f),
+      CodecConfig::TwoLocalSteps(),
+      CodecConfig::ThreeLC(1.00f),
+      CodecConfig::ThreeLC(1.50f),
+      CodecConfig::ThreeLC(1.75f),
+      CodecConfig::ThreeLC(1.90f),
+  };
+}
+
+}  // namespace threelc::compress

@@ -1,0 +1,53 @@
+// Codec factory: builds any of the paper's compared designs (§5.1) from a
+// declarative config, so trainers and benchmarks enumerate designs by name.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compress/compressor.h"
+
+namespace threelc::compress {
+
+enum class CodecKind {
+  kFloat32,       // 32-bit float (baseline)
+  kEightBit,      // 8-bit int
+  kStochThreeQE,  // Stoch 3-value + QE (TernGrad-like)
+  kMqeOneBit,     // MQE 1-bit int (1-bit SGD)
+  kSparsify,      // k% sparsification
+  kLocalSteps,    // transmit every k local steps
+  kThreeLC,       // full 3LC
+};
+
+struct CodecConfig {
+  CodecKind kind = CodecKind::kThreeLC;
+  // 3LC knobs.
+  float sparsity_multiplier = 1.0f;
+  bool zero_run = true;
+  bool error_accumulation = true;
+  // Sparsification knob.
+  float sparsify_fraction = 0.25f;
+  // Local-steps knob.
+  int local_period = 2;
+  // Seed for stochastic codecs.
+  std::uint64_t seed = 1;
+
+  // Named constructors matching the paper's design labels.
+  static CodecConfig Float32();
+  static CodecConfig EightBit();
+  static CodecConfig StochThreeQE(std::uint64_t seed = 1);
+  static CodecConfig MqeOneBit();
+  static CodecConfig Sparsification(float fraction);
+  static CodecConfig TwoLocalSteps();
+  static CodecConfig ThreeLC(float s = 1.0f);
+};
+
+// Instantiate the codec described by `config`.
+std::unique_ptr<Compressor> MakeCompressor(const CodecConfig& config);
+
+// The paper's Table 1 design list, in row order.
+std::vector<CodecConfig> Table1Designs();
+
+}  // namespace threelc::compress

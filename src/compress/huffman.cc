@@ -1,0 +1,275 @@
+#include "compress/huffman.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace threelc::compress {
+
+namespace {
+
+constexpr int kSymbols = 256;
+constexpr int kMaxCodeLen = 57;  // fits a u64 bit accumulator with slack
+
+// Computes Huffman code lengths from symbol frequencies via the standard
+// two-queue/heap construction over an implicit tree.
+std::vector<std::uint8_t> CodeLengths(const std::vector<std::uint64_t>& freq) {
+  struct Node {
+    std::uint64_t weight;
+    int index;  // < kSymbols: leaf symbol; >= kSymbols: internal
+  };
+  auto cmp = [](const Node& a, const Node& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.index > b.index;  // deterministic tie-break
+  };
+  std::priority_queue<Node, std::vector<Node>, decltype(cmp)> heap(cmp);
+
+  std::vector<int> parent;
+  parent.reserve(kSymbols * 2);
+  int next_internal = kSymbols;
+  std::vector<int> ids;  // map: node id -> parent slot position
+  (void)ids;
+
+  // parent[i] indexed by node id (leaves 0..255, internals 256..).
+  std::vector<int> parents(kSymbols, -1);
+  int present = 0;
+  for (int s = 0; s < kSymbols; ++s) {
+    if (freq[static_cast<std::size_t>(s)] > 0) {
+      heap.push({freq[static_cast<std::size_t>(s)], s});
+      ++present;
+    }
+  }
+  if (present == 0) return std::vector<std::uint8_t>(kSymbols, 0);
+  if (present == 1) {
+    // Degenerate: give the lone symbol a 1-bit code.
+    std::vector<std::uint8_t> lengths(kSymbols, 0);
+    for (int s = 0; s < kSymbols; ++s) {
+      if (freq[static_cast<std::size_t>(s)] > 0) {
+        lengths[static_cast<std::size_t>(s)] = 1;
+      }
+    }
+    return lengths;
+  }
+
+  while (heap.size() > 1) {
+    const Node a = heap.top();
+    heap.pop();
+    const Node b = heap.top();
+    heap.pop();
+    const int internal = next_internal++;
+    parents.resize(static_cast<std::size_t>(internal + 1), -1);
+    parents[static_cast<std::size_t>(a.index)] = internal;
+    parents[static_cast<std::size_t>(b.index)] = internal;
+    heap.push({a.weight + b.weight, internal});
+  }
+
+  std::vector<std::uint8_t> lengths(kSymbols, 0);
+  int max_depth = 0;
+  for (int s = 0; s < kSymbols; ++s) {
+    if (freq[static_cast<std::size_t>(s)] == 0) continue;
+    int depth = 0;
+    for (int node = s; parents[static_cast<std::size_t>(node)] != -1;
+         node = parents[static_cast<std::size_t>(node)]) {
+      ++depth;
+    }
+    lengths[static_cast<std::size_t>(s)] = static_cast<std::uint8_t>(depth);
+    max_depth = std::max(max_depth, depth);
+  }
+  if (max_depth > kMaxCodeLen) {
+    // Pathological frequency skew: fall back to a flat fixed-length code
+    // (all equal lengths form a valid prefix code).
+    for (int s = 0; s < kSymbols; ++s) {
+      lengths[static_cast<std::size_t>(s)] =
+          freq[static_cast<std::size_t>(s)] > 0 ? 8 : 0;
+    }
+  }
+  return lengths;
+}
+
+// Canonical code assignment: symbols sorted by (length, value).
+void CanonicalCodes(const std::vector<std::uint8_t>& lengths,
+                    std::vector<std::uint64_t>& codes) {
+  codes.assign(kSymbols, 0);
+  std::vector<int> order;
+  for (int s = 0; s < kSymbols; ++s) {
+    if (lengths[static_cast<std::size_t>(s)] > 0) order.push_back(s);
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto la = lengths[static_cast<std::size_t>(a)];
+    const auto lb = lengths[static_cast<std::size_t>(b)];
+    if (la != lb) return la < lb;
+    return a < b;
+  });
+  std::uint64_t code = 0;
+  std::uint8_t prev_len = 0;
+  for (int s : order) {
+    const std::uint8_t len = lengths[static_cast<std::size_t>(s)];
+    code <<= (len - prev_len);
+    codes[static_cast<std::size_t>(s)] = code;
+    ++code;
+    prev_len = len;
+  }
+}
+
+}  // namespace
+
+std::size_t HuffmanEncode(util::ByteSpan in, util::ByteBuffer& out) {
+  const std::size_t start = out.size();
+  out.AppendU32(static_cast<std::uint32_t>(in.size()));
+  if (in.empty()) {
+    out.AppendU8(0);
+    return out.size() - start;
+  }
+
+  std::vector<std::uint64_t> freq(kSymbols, 0);
+  for (std::uint8_t b : in) ++freq[b];
+  const std::vector<std::uint8_t> lengths = CodeLengths(freq);
+  std::uint8_t max_len = 0;
+  for (auto l : lengths) max_len = std::max(max_len, l);
+  out.AppendU8(max_len);
+  for (int s = 0; s < kSymbols; ++s) {
+    out.AppendU8(lengths[static_cast<std::size_t>(s)]);
+  }
+
+  std::vector<std::uint64_t> codes;
+  CanonicalCodes(lengths, codes);
+
+  // Bit-pack MSB-first.
+  std::uint64_t total_bits = 0;
+  for (int s = 0; s < kSymbols; ++s) {
+    total_bits += freq[static_cast<std::size_t>(s)] *
+                  lengths[static_cast<std::size_t>(s)];
+  }
+  out.AppendU32(static_cast<std::uint32_t>(total_bits));
+  std::uint64_t acc = 0;
+  int acc_bits = 0;
+  for (std::uint8_t b : in) {
+    const std::uint8_t len = lengths[b];
+    acc = (acc << len) | codes[b];
+    acc_bits += len;
+    while (acc_bits >= 8) {
+      out.PushByte(static_cast<std::uint8_t>(acc >> (acc_bits - 8)));
+      acc_bits -= 8;
+    }
+  }
+  if (acc_bits > 0) {
+    out.PushByte(static_cast<std::uint8_t>(acc << (8 - acc_bits)));
+  }
+  return out.size() - start;
+}
+
+std::size_t HuffmanDecode(util::ByteReader& reader, util::ByteBuffer& out,
+                          std::size_t max_output) {
+  const std::size_t start = out.size();
+  const std::uint32_t original_len = reader.ReadU32();
+  if (original_len > max_output) {
+    throw std::runtime_error("HuffmanDecode: output overflow");
+  }
+  const std::uint8_t max_len = reader.ReadU8();
+  if (original_len == 0) return 0;
+  if (max_len == 0 || max_len > kMaxCodeLen) {
+    throw std::runtime_error("HuffmanDecode: bad max code length");
+  }
+
+  std::vector<std::uint8_t> lengths(kSymbols);
+  for (int s = 0; s < kSymbols; ++s) {
+    lengths[static_cast<std::size_t>(s)] = reader.ReadU8();
+    if (lengths[static_cast<std::size_t>(s)] > max_len) {
+      throw std::runtime_error("HuffmanDecode: code length exceeds max");
+    }
+  }
+  std::vector<std::uint64_t> codes;
+  CanonicalCodes(lengths, codes);
+
+  // Build canonical decode bounds: for each length, the first code and the
+  // index of its first symbol in the sorted order.
+  std::vector<int> order;
+  for (int s = 0; s < kSymbols; ++s) {
+    if (lengths[static_cast<std::size_t>(s)] > 0) order.push_back(s);
+  }
+  if (order.empty()) throw std::runtime_error("HuffmanDecode: empty table");
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto la = lengths[static_cast<std::size_t>(a)];
+    const auto lb = lengths[static_cast<std::size_t>(b)];
+    if (la != lb) return la < lb;
+    return a < b;
+  });
+  // first_code[len], first_index[len], count[len]
+  std::vector<std::uint64_t> first_code(static_cast<std::size_t>(max_len) + 1, 0);
+  std::vector<int> first_index(static_cast<std::size_t>(max_len) + 1, 0);
+  std::vector<int> count(static_cast<std::size_t>(max_len) + 1, 0);
+  for (int s : order) ++count[lengths[static_cast<std::size_t>(s)]];
+  {
+    std::uint64_t code = 0;
+    int index = 0;
+    for (int len = 1; len <= max_len; ++len) {
+      code <<= 1;
+      first_code[static_cast<std::size_t>(len)] = code;
+      first_index[static_cast<std::size_t>(len)] = index;
+      code += static_cast<std::uint64_t>(count[static_cast<std::size_t>(len)]);
+      index += count[static_cast<std::size_t>(len)];
+    }
+  }
+
+  const std::uint32_t total_bits = reader.ReadU32();
+  util::ByteSpan bits = reader.ReadSpan((total_bits + 7) / 8);
+
+  std::uint64_t acc = 0;
+  int acc_bits = 0;
+  std::size_t bit_pos = 0;
+  std::size_t byte_pos = 0;
+  for (std::uint32_t produced = 0; produced < original_len; ++produced) {
+    std::uint64_t code = 0;
+    int len = 0;
+    for (;;) {
+      if (acc_bits == 0) {
+        if (byte_pos >= bits.size()) {
+          throw std::runtime_error("HuffmanDecode: bitstream underflow");
+        }
+        acc = bits[byte_pos++];
+        acc_bits = 8;
+      }
+      code = (code << 1) | ((acc >> (acc_bits - 1)) & 1);
+      --acc_bits;
+      ++len;
+      ++bit_pos;
+      if (bit_pos > total_bits) {
+        throw std::runtime_error("HuffmanDecode: bitstream overrun");
+      }
+      if (len > max_len) {
+        throw std::runtime_error("HuffmanDecode: invalid code");
+      }
+      if (count[static_cast<std::size_t>(len)] > 0 &&
+          code < first_code[static_cast<std::size_t>(len)] +
+                     static_cast<std::uint64_t>(
+                         count[static_cast<std::size_t>(len)]) &&
+          code >= first_code[static_cast<std::size_t>(len)]) {
+        const int idx = first_index[static_cast<std::size_t>(len)] +
+                        static_cast<int>(
+                            code - first_code[static_cast<std::size_t>(len)]);
+        out.PushByte(static_cast<std::uint8_t>(order[static_cast<std::size_t>(idx)]));
+        break;
+      }
+    }
+  }
+  return out.size() - start;
+}
+
+double ByteEntropyBits(util::ByteSpan in) {
+  if (in.empty()) return 0.0;
+  std::vector<std::uint64_t> freq(256, 0);
+  for (std::uint8_t b : in) ++freq[b];
+  double entropy = 0.0;
+  const double n = static_cast<double>(in.size());
+  for (auto f : freq) {
+    if (f == 0) continue;
+    const double p = static_cast<double>(f) / n;
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+}  // namespace threelc::compress

@@ -1,0 +1,35 @@
+// Byte-wise canonical Huffman coding — the entropy-coding comparator the
+// paper positions zero-run encoding against (§3.3): entropy coders can
+// squeeze quartic-encoded bytes harder, but pay bit-level operations and
+// table construction per tensor. We implement it so the ablation bench can
+// measure both sides of that trade-off on real codec streams.
+//
+// Wire format:
+//   [u32 original_len][u8 max_code_len]
+//   [256 x u8 code lengths]            (0 = symbol absent)
+//   [u32 bitstream_len_bits][ceil(bits/8) bytes]
+// Degenerate single-symbol inputs use a 1-bit code.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/byte_buffer.h"
+
+namespace threelc::compress {
+
+// Appends the Huffman encoding of `in` to `out`. Returns appended bytes.
+std::size_t HuffmanEncode(util::ByteSpan in, util::ByteBuffer& out);
+
+// Decodes one HuffmanEncode payload from `reader`, appending the original
+// bytes to `out`. Throws std::runtime_error on corruption or if the
+// original length exceeds `max_output`.
+std::size_t HuffmanDecode(util::ByteReader& reader, util::ByteBuffer& out,
+                          std::size_t max_output);
+
+// Shannon entropy (bits/byte) of a byte stream — the lower bound any
+// byte-wise entropy coder can approach. Used by benches to report how
+// close ZRE and Huffman come.
+double ByteEntropyBits(util::ByteSpan in);
+
+}  // namespace threelc::compress

@@ -1,0 +1,29 @@
+// "2 local steps": infrequent communication (paper §5.1; federated-
+// averaging style). State changes accumulate locally and transmit every
+// `period` training steps as raw float32, cutting traffic by ~1/period and
+// effectively multiplying the global batch size.
+//
+// Wire format: [u8 sent][if sent: n x f32]. On skip steps the payload is a
+// single marker byte and the receiver applies a zero state change.
+#pragma once
+
+#include "compress/compressor.h"
+
+namespace threelc::compress {
+
+class LocalSteps final : public Compressor {
+ public:
+  explicit LocalSteps(int period = 2);
+
+  std::string name() const override;
+  std::unique_ptr<Context> MakeContext(const Shape& shape) const override;
+  void Encode(const Tensor& in, Context& ctx, ByteBuffer& out) const override;
+  void Decode(ByteReader& in, Tensor& out) const override;
+
+  int period() const { return period_; }
+
+ private:
+  int period_;
+};
+
+}  // namespace threelc::compress

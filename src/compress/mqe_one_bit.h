@@ -1,0 +1,25 @@
+// "MQE 1-bit int": 1-bit quantization with minimum-squared-quantization-
+// error dequantization values and error feedback, reproducing 1-bit SGD
+// (Seide et al., Interspeech 2014; paper §5.1).
+//
+// Non-negative values map to bit 1, negative values to bit 0. Each bit
+// dequantizes to the *mean* of its partition (the value minimizing squared
+// quantization error for a fixed partition). Quantization error accumulates
+// in a per-tensor buffer exactly as in 3LC.
+//
+// Wire format: [f32 mean_neg][f32 mean_nonneg][ceil(n/8) bitmap bytes].
+#pragma once
+
+#include "compress/compressor.h"
+
+namespace threelc::compress {
+
+class MqeOneBit final : public Compressor {
+ public:
+  std::string name() const override { return "MQE 1-bit int"; }
+  std::unique_ptr<Context> MakeContext(const Shape& shape) const override;
+  void Encode(const Tensor& in, Context& ctx, ByteBuffer& out) const override;
+  void Decode(ByteReader& in, Tensor& out) const override;
+};
+
+}  // namespace threelc::compress

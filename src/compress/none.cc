@@ -1,0 +1,17 @@
+#include "compress/none.h"
+
+namespace threelc::compress {
+
+std::unique_ptr<Context> Float32::MakeContext(const Shape&) const {
+  return std::make_unique<Context>();
+}
+
+void Float32::Encode(const Tensor& in, Context&, ByteBuffer& out) const {
+  out.Append(in.data(), in.byte_size());
+}
+
+void Float32::Decode(ByteReader& in, Tensor& out) const {
+  in.ReadInto(out.data(), out.byte_size());
+}
+
+}  // namespace threelc::compress

@@ -1,0 +1,18 @@
+// "32-bit float": the no-compression baseline (paper §5.1). Transmits raw
+// float32 values; the reference point for every speedup number.
+#pragma once
+
+#include "compress/compressor.h"
+
+namespace threelc::compress {
+
+class Float32 final : public Compressor {
+ public:
+  std::string name() const override { return "32-bit float"; }
+  std::unique_ptr<Context> MakeContext(const Shape& shape) const override;
+  void Encode(const Tensor& in, Context& ctx, ByteBuffer& out) const override;
+  void Decode(ByteReader& in, Tensor& out) const override;
+  bool lossy() const override { return false; }
+};
+
+}  // namespace threelc::compress

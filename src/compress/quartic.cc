@@ -1,0 +1,104 @@
+#include "compress/quartic.h"
+
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace threelc::compress {
+
+void QuarticEncode(const std::int8_t* q, std::size_t n,
+                   util::ByteBuffer& out) {
+  const std::size_t full_groups = n / kQuarticGroup;
+  const std::size_t base = out.size();
+  out.Resize(base + QuarticEncodedSize(n));
+  std::uint8_t* dst = out.data() + base;
+
+  // Main loop: branch-free, vectorizable multiply-accumulate over digits.
+  for (std::size_t g = 0; g < full_groups; ++g) {
+    const std::int8_t* p = q + g * kQuarticGroup;
+    const std::uint8_t d0 = static_cast<std::uint8_t>(p[0] + 1);
+    const std::uint8_t d1 = static_cast<std::uint8_t>(p[1] + 1);
+    const std::uint8_t d2 = static_cast<std::uint8_t>(p[2] + 1);
+    const std::uint8_t d3 = static_cast<std::uint8_t>(p[3] + 1);
+    const std::uint8_t d4 = static_cast<std::uint8_t>(p[4] + 1);
+    dst[g] = static_cast<std::uint8_t>(d0 * 81 + d1 * 27 + d2 * 9 + d3 * 3 +
+                                       d4);
+  }
+
+  // Tail group: pad with quantized-zero values (digit 1), matching the
+  // paper's Figure 3 where a 16-element zero tensor encodes to
+  // 113 121 121 121 — the padded tail group is still the ZRE-compressible
+  // zero byte. (The §3.2 step list says "pad with zeros"; the figure shows
+  // the padding happens before the +1 offset, which is what we do.)
+  const std::size_t tail = n % kQuarticGroup;
+  if (tail != 0) {
+    std::uint8_t digits[kQuarticGroup] = {1, 1, 1, 1, 1};
+    for (std::size_t i = 0; i < tail; ++i) {
+      digits[i] = static_cast<std::uint8_t>(q[full_groups * kQuarticGroup + i] + 1);
+    }
+    dst[full_groups] = static_cast<std::uint8_t>(
+        digits[0] * 81 + digits[1] * 27 + digits[2] * 9 + digits[3] * 3 +
+        digits[4]);
+  }
+}
+
+void QuarticDecode(util::ByteSpan in, std::size_t n, std::int8_t* q) {
+  if (in.size() != QuarticEncodedSize(n)) {
+    throw std::runtime_error("QuarticDecode: payload size mismatch");
+  }
+  const std::size_t full_groups = n / kQuarticGroup;
+  for (std::size_t g = 0; g < full_groups; ++g) {
+    const std::uint8_t b = in[g];
+    if (b > kQuarticMaxByte) {
+      throw std::runtime_error("QuarticDecode: byte value out of range");
+    }
+    std::int8_t* p = q + g * kQuarticGroup;
+    // Base-3 digit extraction (paper decode step 1), then subtract 1.
+    p[0] = static_cast<std::int8_t>(b / 81 % 3) - 1;
+    p[1] = static_cast<std::int8_t>(b / 27 % 3) - 1;
+    p[2] = static_cast<std::int8_t>(b / 9 % 3) - 1;
+    p[3] = static_cast<std::int8_t>(b / 3 % 3) - 1;
+    p[4] = static_cast<std::int8_t>(b % 3) - 1;
+  }
+  const std::size_t tail = n % kQuarticGroup;
+  if (tail != 0) {
+    const std::uint8_t b = in[full_groups];
+    if (b > kQuarticMaxByte) {
+      throw std::runtime_error("QuarticDecode: byte value out of range");
+    }
+    const std::uint8_t digits[kQuarticGroup] = {
+        static_cast<std::uint8_t>(b / 81 % 3),
+        static_cast<std::uint8_t>(b / 27 % 3),
+        static_cast<std::uint8_t>(b / 9 % 3),
+        static_cast<std::uint8_t>(b / 3 % 3),
+        static_cast<std::uint8_t>(b % 3)};
+    for (std::size_t i = 0; i < tail; ++i) {
+      q[full_groups * kQuarticGroup + i] =
+          static_cast<std::int8_t>(digits[i]) - 1;
+    }
+  }
+}
+
+void TwoBitEncode(const std::int8_t* q, std::size_t n, util::ByteBuffer& out) {
+  const std::size_t base = out.size();
+  out.Resize(base + TwoBitEncodedSize(n));
+  std::uint8_t* dst = out.data() + base;
+  for (std::size_t i = 0; i < TwoBitEncodedSize(n); ++i) dst[i] = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t d = static_cast<std::uint8_t>(q[i] + 1);  // {0,1,2}
+    dst[i / 4] |= static_cast<std::uint8_t>(d << ((i % 4) * 2));
+  }
+}
+
+void TwoBitDecode(util::ByteSpan in, std::size_t n, std::int8_t* q) {
+  if (in.size() != TwoBitEncodedSize(n)) {
+    throw std::runtime_error("TwoBitDecode: payload size mismatch");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t d = (in[i / 4] >> ((i % 4) * 2)) & 0x3;
+    if (d > 2) throw std::runtime_error("TwoBitDecode: invalid digit");
+    q[i] = static_cast<std::int8_t>(d) - 1;
+  }
+}
+
+}  // namespace threelc::compress

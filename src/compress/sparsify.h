@@ -1,0 +1,44 @@
+// "k% sparsification": transmit only the largest-magnitude state changes,
+// accumulating unsent changes locally (paper §5.1; reproduces the common
+// technique of Gradient Dropping / Gaia / Deep Gradient Compression /
+// Bösen without their ML-algorithm modifications).
+//
+// Following the paper's implementation notes:
+//  - absolute magnitude (not relative) selects values;
+//  - the threshold comes from sorting a *sample* of the input rather than
+//    the full tensor, avoiding an exhaustive sort (Aji & Heafield);
+//  - a bitmap marks selected positions: 1 bit per state change of traffic
+//    overhead regardless of input size, plus 32 bits per selected value.
+//
+// Wire format: [u32 count][ceil(n/8) bitmap][count x f32 values].
+#pragma once
+
+#include <cstdint>
+
+#include "compress/compressor.h"
+
+namespace threelc::compress {
+
+struct SparsifyOptions {
+  // Fraction of values to transmit, e.g. 0.25 or 0.05.
+  float fraction = 0.25f;
+  // Sample size used to estimate the magnitude threshold.
+  std::size_t threshold_sample = 1024;
+  // Seed for the sampling RNG.
+  std::uint64_t seed = 25;
+};
+
+class Sparsify final : public Compressor {
+ public:
+  explicit Sparsify(SparsifyOptions options);
+
+  std::string name() const override;
+  std::unique_ptr<Context> MakeContext(const Shape& shape) const override;
+  void Encode(const Tensor& in, Context& ctx, ByteBuffer& out) const override;
+  void Decode(ByteReader& in, Tensor& out) const override;
+
+ private:
+  SparsifyOptions options_;
+};
+
+}  // namespace threelc::compress

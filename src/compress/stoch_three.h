@@ -1,0 +1,32 @@
+// "Stoch 3-value + QE": stochastic ternary quantization in the style of
+// TernGrad (without gradient clipping), packed with our quartic encoding
+// (paper §5.1) — 1.6 bits/value instead of TernGrad's 2-bit packing.
+//
+// Each value quantizes to sign(v) with probability |v| / M (M = max|T|)
+// and to 0 otherwise, making the quantized tensor an unbiased estimator of
+// the input. No error-accumulation buffer: the paper reports that stacking
+// both stochastic quantization and error accumulation fails to converge.
+//
+// Wire format: [f32 M][u32 len][quartic bytes].
+#pragma once
+
+#include <cstdint>
+
+#include "compress/compressor.h"
+
+namespace threelc::compress {
+
+class StochThreeValueQE final : public Compressor {
+ public:
+  explicit StochThreeValueQE(std::uint64_t seed = 1);
+
+  std::string name() const override { return "Stoch 3-value + QE"; }
+  std::unique_ptr<Context> MakeContext(const Shape& shape) const override;
+  void Encode(const Tensor& in, Context& ctx, ByteBuffer& out) const override;
+  void Decode(ByteReader& in, Tensor& out) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace threelc::compress

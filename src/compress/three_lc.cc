@@ -1,0 +1,122 @@
+#include "compress/three_lc.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "compress/quantize3.h"
+#include "compress/quartic.h"
+#include "compress/zero_run.h"
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace threelc::compress {
+
+namespace {
+
+class ThreeLCContext final : public Context {
+ public:
+  explicit ThreeLCContext(const Shape& shape, bool error_accumulation)
+      : has_residual_(error_accumulation) {
+    const auto n = static_cast<std::size_t>(shape.num_elements());
+    if (has_residual_) residual_.assign(n, 0.0f);
+    accum_.assign(n, 0.0f);
+    ternary_.assign(n, 0);
+  }
+
+  std::size_t StateBytes() const override {
+    return residual_.size() * sizeof(float);
+  }
+
+  bool has_residual_;
+  std::vector<float> residual_;      // error accumulation buffer (persistent)
+  std::vector<float> accum_;         // scratch: input + residual
+  std::vector<std::int8_t> ternary_; // scratch: quantized values
+  ByteBuffer quartic_;               // scratch: stage-(3) output
+};
+
+}  // namespace
+
+ThreeLC::ThreeLC(ThreeLCOptions options) : options_(options) {
+  THREELC_CHECK_MSG(options_.sparsity_multiplier >= kMinSparsityMultiplier &&
+                        options_.sparsity_multiplier < kMaxSparsityMultiplier,
+                    "sparsity multiplier must be in [1, 2)");
+}
+
+std::string ThreeLC::name() const {
+  std::ostringstream oss;
+  oss << "3LC (s=" << options_.sparsity_multiplier;
+  if (!options_.zero_run) oss << ", no ZRE";
+  if (!options_.error_accumulation) oss << ", no EA";
+  oss << ")";
+  return oss.str();
+}
+
+std::unique_ptr<Context> ThreeLC::MakeContext(const Shape& shape) const {
+  return std::make_unique<ThreeLCContext>(shape, options_.error_accumulation);
+}
+
+void ThreeLC::Encode(const Tensor& in, Context& ctx, ByteBuffer& out) const {
+  auto& c = static_cast<ThreeLCContext&>(ctx);
+  const auto n = static_cast<std::size_t>(in.num_elements());
+  THREELC_CHECK_MSG(c.accum_.size() == n, "context/tensor shape mismatch");
+
+  // Step (1): accumulate the input into the local buffer.
+  const float* src = in.data();
+  float* acc = c.accum_.data();
+  if (c.has_residual_) {
+    const float* res = c.residual_.data();
+    for (std::size_t i = 0; i < n; ++i) acc[i] = src[i] + res[i];
+  } else {
+    for (std::size_t i = 0; i < n; ++i) acc[i] = src[i];
+  }
+
+  // Steps (2), (a), (b): quantize; keep the remaining error locally.
+  float M;
+  if (c.has_residual_) {
+    M = Quantize3WithResidual(acc, n, options_.sparsity_multiplier,
+                              c.ternary_.data(), c.residual_.data());
+  } else {
+    M = Quantize3(acc, n, options_.sparsity_multiplier, c.ternary_.data());
+  }
+
+  // Step (3): quartic encoding.
+  c.quartic_.Clear();
+  QuarticEncode(c.ternary_.data(), n, c.quartic_);
+
+  // Step (4): zero-run encoding (optional), then frame the payload.
+  out.AppendF32(M);
+  if (options_.zero_run) {
+    ByteBuffer zre;
+    zre.Reserve(c.quartic_.size());
+    ZeroRunEncode(c.quartic_.span(), zre);
+    out.AppendU32(static_cast<std::uint32_t>(zre.size()));
+    out.Append(zre.span());
+  } else {
+    out.AppendU32(static_cast<std::uint32_t>(c.quartic_.size()));
+    out.Append(c.quartic_.span());
+  }
+}
+
+void ThreeLC::Decode(ByteReader& in, Tensor& out) const {
+  const auto n = static_cast<std::size_t>(out.num_elements());
+  const float M = in.ReadF32();
+  const std::uint32_t len = in.ReadU32();
+  util::ByteSpan payload = in.ReadSpan(len);
+
+  const std::size_t quartic_len = QuarticEncodedSize(n);
+  std::vector<std::int8_t> ternary(n);
+  if (options_.zero_run) {
+    ByteBuffer quartic;
+    quartic.Reserve(quartic_len);
+    const std::size_t produced = ZeroRunDecode(payload, quartic, quartic_len);
+    if (produced != quartic_len) {
+      throw std::runtime_error("3LC decode: zero-run payload size mismatch");
+    }
+    QuarticDecode(quartic.span(), n, ternary.data());
+  } else {
+    QuarticDecode(payload, n, ternary.data());
+  }
+  Dequantize3(ternary.data(), n, M, out.data());
+}
+
+}  // namespace threelc::compress

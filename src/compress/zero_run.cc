@@ -1,0 +1,56 @@
+#include "compress/zero_run.h"
+
+#include <stdexcept>
+
+#include "compress/quartic.h"
+
+namespace threelc::compress {
+
+std::size_t ZeroRunEncode(util::ByteSpan in, util::ByteBuffer& out) {
+  const std::size_t start = out.size();
+  const std::size_t n = in.size();
+  std::size_t i = 0;
+  while (i < n) {
+    const std::uint8_t b = in[i];
+    if (b != kQuarticZeroByte) {
+      out.PushByte(b);
+      ++i;
+      continue;
+    }
+    // Measure the run of 121s.
+    std::size_t run = 1;
+    while (i + run < n && in[i + run] == kQuarticZeroByte) ++run;
+    i += run;
+    // Greedily emit maximal chunks; a leftover single 121 passes through.
+    while (run >= 2) {
+      const std::size_t chunk = run < kZreMaxRun ? run : kZreMaxRun;
+      out.PushByte(static_cast<std::uint8_t>(kZreRunBase + (chunk - 2)));
+      run -= chunk;
+    }
+    if (run == 1) out.PushByte(kQuarticZeroByte);
+  }
+  return out.size() - start;
+}
+
+std::size_t ZeroRunDecode(util::ByteSpan in, util::ByteBuffer& out,
+                          std::size_t max_output) {
+  const std::size_t start = out.size();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const std::uint8_t b = in[i];
+    if (b >= kZreRunBase) {
+      const std::size_t run = static_cast<std::size_t>(b - kZreRunBase) + 2;
+      if (out.size() - start + run > max_output) {
+        throw std::runtime_error("ZeroRunDecode: output overflow");
+      }
+      for (std::size_t k = 0; k < run; ++k) out.PushByte(kQuarticZeroByte);
+    } else {
+      if (out.size() - start + 1 > max_output) {
+        throw std::runtime_error("ZeroRunDecode: output overflow");
+      }
+      out.PushByte(b);
+    }
+  }
+  return out.size() - start;
+}
+
+}  // namespace threelc::compress

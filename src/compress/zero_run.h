@@ -1,0 +1,42 @@
+// Zero-run encoding (paper §3.3): run-length encoding specialized for
+// quartic-encoded data.
+//
+// Quartic encoding emits byte 121 for a group of five quantized zeros and
+// never emits 243..255. Zero-run encoding replaces k consecutive 121-bytes
+// (2 <= k <= 14) with the single byte 243 + (k - 2); longer runs split
+// greedily into 14-byte chunks. A lone 121 passes through unchanged, as do
+// all other bytes (0..242).
+//
+// The scheme is byte-level only — no bit operations, no lookup tables —
+// which is what keeps 3LC's computation overhead low compared to entropy
+// coders. On an all-zero float32 tensor the full 3LC pipeline reaches
+// 32 bits / (1.6 bits / 14) = 280x compression (paper §3.3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/byte_buffer.h"
+
+namespace threelc::compress {
+
+// First byte value used for encoded runs.
+inline constexpr std::uint8_t kZreRunBase = 243;   // encodes a run of 2
+// Longest run a single byte can encode.
+inline constexpr std::size_t kZreMaxRun = 14;      // 243 + (14-2) = 255
+
+// Appends the zero-run encoding of `in` (quartic bytes, all <= 242) to
+// `out`. Returns the number of bytes appended.
+std::size_t ZeroRunEncode(util::ByteSpan in, util::ByteBuffer& out);
+
+// Appends the decoded quartic bytes to `out`. Throws std::runtime_error if
+// the expansion would exceed `max_output` bytes (corruption guard).
+// Returns the number of bytes appended.
+std::size_t ZeroRunDecode(util::ByteSpan in, util::ByteBuffer& out,
+                          std::size_t max_output);
+
+// Upper bound on encoded size (ZRE never expands: every output byte covers
+// at least one input byte).
+constexpr std::size_t ZeroRunMaxEncodedSize(std::size_t n) { return n; }
+
+}  // namespace threelc::compress

@@ -1,0 +1,62 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace threelc::data {
+
+Sampler::Sampler(const Dataset& dataset, util::Rng rng, float augment_noise)
+    : dataset_(&dataset), rng_(std::move(rng)), augment_noise_(augment_noise) {
+  THREELC_CHECK_MSG(dataset.size() > 0, "empty dataset");
+}
+
+Batch Sampler::Next(std::int64_t batch_size) {
+  const std::int64_t n = dataset_->size();
+  const std::int64_t per_example = dataset_->example_elements();
+  std::vector<std::int64_t> dims = dataset_->inputs.shape().dims();
+  dims[0] = batch_size;
+
+  Batch batch;
+  batch.inputs = Tensor(Shape(dims));
+  batch.labels.resize(static_cast<std::size_t>(batch_size));
+  const float* src = dataset_->inputs.data();
+  float* dst = batch.inputs.data();
+  for (std::int64_t i = 0; i < batch_size; ++i) {
+    const auto idx = static_cast<std::int64_t>(
+        rng_.Below(static_cast<std::uint64_t>(n)));
+    std::copy_n(src + idx * per_example, per_example, dst + i * per_example);
+    batch.labels[static_cast<std::size_t>(i)] =
+        dataset_->labels[static_cast<std::size_t>(idx)];
+  }
+  if (augment_noise_ > 0.0f) {
+    const std::size_t total = batch.inputs.size();
+    for (std::size_t i = 0; i < total; ++i) {
+      dst[i] += rng_.NormalFloat(0.0f, augment_noise_);
+    }
+  }
+  return batch;
+}
+
+std::vector<Batch> EvalBatches(const Dataset& dataset,
+                               std::int64_t batch_size) {
+  THREELC_CHECK(batch_size > 0);
+  const std::int64_t n = dataset.size();
+  const std::int64_t per_example = dataset.example_elements();
+  std::vector<Batch> batches;
+  for (std::int64_t start = 0; start < n; start += batch_size) {
+    const std::int64_t len = std::min(batch_size, n - start);
+    std::vector<std::int64_t> dims = dataset.inputs.shape().dims();
+    dims[0] = len;
+    Batch b;
+    b.inputs = Tensor(Shape(dims));
+    std::copy_n(dataset.inputs.data() + start * per_example,
+                len * per_example, b.inputs.data());
+    b.labels.assign(dataset.labels.begin() + start,
+                    dataset.labels.begin() + start + len);
+    batches.push_back(std::move(b));
+  }
+  return batches;
+}
+
+}  // namespace threelc::data

@@ -1,0 +1,51 @@
+// Labeled dataset container and mini-batch sampling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace threelc::data {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+struct Batch {
+  Tensor inputs;                     // [batch, ...features]
+  std::vector<std::int32_t> labels;  // size == batch
+};
+
+// Owns example tensors stored row-major: example i occupies the i-th slice
+// of `inputs` along axis 0.
+struct Dataset {
+  Tensor inputs;                     // [n, ...features]
+  std::vector<std::int32_t> labels;  // size == n
+
+  std::int64_t size() const { return inputs.shape().dim(0); }
+  std::int64_t example_elements() const {
+    return inputs.num_elements() / std::max<std::int64_t>(1, size());
+  }
+};
+
+// Draws uniformly random mini-batches, optionally adding zero-mean Gaussian
+// jitter to inputs — the stand-in for the paper's crop/flip augmentation
+// (both inject per-step input variation that keeps gradients from
+// collapsing to identical batches).
+class Sampler {
+ public:
+  Sampler(const Dataset& dataset, util::Rng rng, float augment_noise = 0.0f);
+
+  Batch Next(std::int64_t batch_size);
+
+ private:
+  const Dataset* dataset_;
+  util::Rng rng_;
+  float augment_noise_;
+};
+
+// Deterministic full-dataset evaluation batches of at most `batch_size`.
+std::vector<Batch> EvalBatches(const Dataset& dataset, std::int64_t batch_size);
+
+}  // namespace threelc::data

@@ -1,0 +1,135 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace threelc::data {
+
+namespace {
+
+// A fixed two-layer MLP teacher: logits = relu(x * W1) * W2.
+struct Teacher {
+  Tensor w1;  // [input_dim, hidden]
+  Tensor w2;  // [hidden, classes]
+
+  std::int32_t Label(const float* x, std::int64_t input_dim) const {
+    const std::int64_t hidden = w1.shape().dim(1);
+    const std::int64_t classes = w2.shape().dim(1);
+    std::vector<float> h(static_cast<std::size_t>(hidden), 0.0f);
+    const float* pw1 = w1.data();
+    for (std::int64_t i = 0; i < input_dim; ++i) {
+      const float xi = x[i];
+      const float* row = pw1 + i * hidden;
+      for (std::int64_t j = 0; j < hidden; ++j) h[j] += xi * row[j];
+    }
+    for (auto& v : h) v = v > 0.0f ? v : 0.0f;
+    const float* pw2 = w2.data();
+    std::vector<float> logits(static_cast<std::size_t>(classes), 0.0f);
+    for (std::int64_t j = 0; j < hidden; ++j) {
+      const float hj = h[static_cast<std::size_t>(j)];
+      const float* row = pw2 + j * classes;
+      for (std::int64_t c = 0; c < classes; ++c) logits[c] += hj * row[c];
+    }
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < logits.size(); ++c) {
+      if (logits[c] > logits[best]) best = c;
+    }
+    return static_cast<std::int32_t>(best);
+  }
+};
+
+Dataset Generate(const SyntheticConfig& cfg, const Teacher& teacher,
+                 const Tensor& class_means, std::int64_t n, util::Rng& rng) {
+  Dataset ds;
+  ds.inputs = Tensor(Shape{n, cfg.input_dim});
+  ds.labels.resize(static_cast<std::size_t>(n));
+  float* x = ds.inputs.data();
+  const float* means = class_means.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    // Draw a latent cluster, offset the Gaussian sample by its mean, then
+    // label with the teacher — cluster structure and decision boundary are
+    // correlated but not identical, like natural image classes.
+    const auto cluster = static_cast<std::int64_t>(
+        rng.Below(static_cast<std::uint64_t>(cfg.num_classes)));
+    float* row = x + i * cfg.input_dim;
+    const float* mu = means + cluster * cfg.input_dim;
+    for (std::int64_t j = 0; j < cfg.input_dim; ++j) {
+      row[j] = mu[j] + rng.NormalFloat(0.0f, 1.0f);
+    }
+    std::int32_t label = teacher.Label(row, cfg.input_dim);
+    if (cfg.label_noise > 0.0f && rng.Bernoulli(cfg.label_noise)) {
+      label = static_cast<std::int32_t>(
+          rng.Below(static_cast<std::uint64_t>(cfg.num_classes)));
+    }
+    ds.labels[static_cast<std::size_t>(i)] = label;
+  }
+  return ds;
+}
+
+}  // namespace
+
+SyntheticData MakeTeacherDataset(const SyntheticConfig& cfg) {
+  THREELC_CHECK(cfg.num_train > 0 && cfg.num_test > 0 && cfg.input_dim > 0);
+  THREELC_CHECK(cfg.num_classes >= 2 && cfg.teacher_hidden > 0);
+  util::Rng rng(cfg.seed);
+
+  Teacher teacher;
+  teacher.w1 = Tensor(Shape{cfg.input_dim, cfg.teacher_hidden});
+  teacher.w2 = Tensor(Shape{cfg.teacher_hidden, cfg.num_classes});
+  const float s1 = std::sqrt(2.0f / static_cast<float>(cfg.input_dim));
+  const float s2 = std::sqrt(2.0f / static_cast<float>(cfg.teacher_hidden));
+  tensor::FillNormal(teacher.w1, rng, 0.0f, s1);
+  tensor::FillNormal(teacher.w2, rng, 0.0f, s2);
+
+  Tensor class_means(Shape{cfg.num_classes, cfg.input_dim});
+  tensor::FillNormal(class_means, rng, 0.0f, cfg.cluster_scale);
+
+  SyntheticData data;
+  data.train = Generate(cfg, teacher, class_means, cfg.num_train, rng);
+  data.test = Generate(cfg, teacher, class_means, cfg.num_test, rng);
+  return data;
+}
+
+Dataset AsImages(const Dataset& flat, std::int64_t channels,
+                 std::int64_t height, std::int64_t width) {
+  const std::int64_t n = flat.size();
+  THREELC_CHECK_MSG(channels * height * width == flat.example_elements(),
+                    "image dims do not match input_dim");
+  Dataset out;
+  out.inputs = flat.inputs.Reshaped(Shape{n, channels, height, width});
+  out.labels = flat.labels;
+  return out;
+}
+
+SyntheticData MakeTwoSpirals(std::int64_t num_train, std::int64_t num_test,
+                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto gen = [&](std::int64_t n) {
+    Dataset ds;
+    ds.inputs = Tensor(Shape{n, 2});
+    ds.labels.resize(static_cast<std::size_t>(n));
+    float* x = ds.inputs.data();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::int32_t cls = static_cast<std::int32_t>(rng.Below(2));
+      const double t = 0.3 + 1.2 * rng.Uniform();  // radius sweep, ~1.2 turns
+      const double angle = t * 2.0 * std::numbers::pi +
+                           (cls == 0 ? 0.0 : std::numbers::pi);
+      x[i * 2 + 0] = static_cast<float>(t * std::cos(angle)) +
+                     rng.NormalFloat(0.0f, 0.05f);
+      x[i * 2 + 1] = static_cast<float>(t * std::sin(angle)) +
+                     rng.NormalFloat(0.0f, 0.05f);
+      ds.labels[static_cast<std::size_t>(i)] = cls;
+    }
+    return ds;
+  };
+  SyntheticData data;
+  data.train = gen(num_train);
+  data.test = gen(num_test);
+  return data;
+}
+
+}  // namespace threelc::data

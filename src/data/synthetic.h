@@ -1,0 +1,46 @@
+// Synthetic classification datasets.
+//
+// Substitute for CIFAR-10 (see DESIGN.md): a fixed random *teacher network*
+// labels Gaussian-cluster inputs, producing a 10-class task that (a) is
+// learnable but not trivial, (b) yields the zero-centred, decaying
+// state-change distributions that traffic compression behaviour depends
+// on, and (c) needs no external data files.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace threelc::data {
+
+struct SyntheticConfig {
+  std::int64_t num_train = 8192;
+  std::int64_t num_test = 2048;
+  std::int64_t input_dim = 192;  // e.g. 8x8x3 "images", flattened
+  std::int32_t num_classes = 10;
+  std::int64_t teacher_hidden = 48;
+  // Per-class mean offset magnitude (cluster structure strength).
+  float cluster_scale = 0.8f;
+  // Fraction of labels replaced with uniform noise (task difficulty knob).
+  float label_noise = 0.02f;
+  std::uint64_t seed = 42;
+};
+
+struct SyntheticData {
+  Dataset train;
+  Dataset test;
+};
+
+// Generates train/test splits from the same teacher and cluster structure.
+SyntheticData MakeTeacherDataset(const SyntheticConfig& config);
+
+// Reshapes a flat-input dataset into [n, channels, height, width] images
+// for convolutional models. channels*height*width must equal input_dim.
+Dataset AsImages(const Dataset& flat, std::int64_t channels,
+                 std::int64_t height, std::int64_t width);
+
+// Tiny 2-D two-spiral dataset used by the quickstart example.
+SyntheticData MakeTwoSpirals(std::int64_t num_train, std::int64_t num_test,
+                             std::uint64_t seed);
+
+}  // namespace threelc::data

@@ -1,0 +1,41 @@
+#include "net/bandwidth.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace threelc::net {
+
+std::string LinkConfig::ToString() const {
+  std::ostringstream oss;
+  if (bandwidth_bps >= 1e9) {
+    oss << bandwidth_bps / 1e9 << " Gbps";
+  } else {
+    oss << bandwidth_bps / 1e6 << " Mbps";
+  }
+  return oss.str();
+}
+
+NetworkModel::NetworkModel(LinkConfig link, double overlap_fraction)
+    : link_(link), overlap_fraction_(overlap_fraction) {
+  THREELC_CHECK(link.bandwidth_bps > 0);
+  THREELC_CHECK(overlap_fraction >= 0.0 && overlap_fraction <= 1.0);
+}
+
+double NetworkModel::TransferSeconds(std::size_t bytes) const {
+  return static_cast<double>(bytes) * 8.0 / link_.bandwidth_bps;
+}
+
+double NetworkModel::StepSeconds(double compute_seconds, double codec_seconds,
+                                 std::size_t push_bytes_bottleneck,
+                                 std::size_t pull_bytes_bottleneck) const {
+  const double transfer = link_.overhead_seconds +
+                          TransferSeconds(push_bytes_bottleneck) +
+                          TransferSeconds(pull_bytes_bottleneck);
+  const double hidden =
+      overlap_fraction_ * std::min(transfer, compute_seconds);
+  return compute_seconds + codec_seconds + transfer - hidden;
+}
+
+}  // namespace threelc::net

@@ -1,0 +1,104 @@
+#include "net/event_sim.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace threelc::net {
+
+namespace {
+
+double TotalCompute(const std::vector<LayerCost>& layers) {
+  double total = 0.0;
+  // Forward + backward passes; we model them as symmetric in cost.
+  for (const auto& l : layers) total += 2.0 * l.compute_seconds;
+  return total;
+}
+
+double TotalTransfer(const std::vector<LayerCost>& layers,
+                     double bandwidth_bps) {
+  double bytes = 0.0;
+  for (const auto& l : layers) {
+    bytes += static_cast<double>(l.push_bytes + l.pull_bytes);
+  }
+  return bytes * 8.0 / bandwidth_bps;
+}
+
+StepTimeline Summarize(const std::vector<LayerCost>& layers,
+                       double bandwidth_bps, double makespan) {
+  StepTimeline t;
+  t.makespan_seconds = makespan;
+  t.compute_seconds = TotalCompute(layers);
+  t.transfer_seconds = TotalTransfer(layers, bandwidth_bps);
+  if (t.transfer_seconds > 0.0) {
+    const double exposed = makespan - t.compute_seconds;
+    t.overlap_fraction =
+        std::clamp(1.0 - exposed / t.transfer_seconds, 0.0, 1.0);
+  } else {
+    t.overlap_fraction = 0.0;
+  }
+  return t;
+}
+
+}  // namespace
+
+StepTimeline SimulateFineGrainedStep(const std::vector<LayerCost>& layers,
+                                     double bandwidth_bps) {
+  THREELC_CHECK(bandwidth_bps > 0.0);
+  const std::size_t n = layers.size();
+  if (n == 0) return Summarize(layers, bandwidth_bps, 0.0);
+
+  // Simulate several consecutive steps; report the steady-state duration.
+  constexpr int kSteps = 6;
+  double uplink_free = 0.0;    // worker NIC, egress (pushes)
+  double downlink_free = 0.0;  // worker NIC, ingress (pulls)
+  std::vector<double> pull_done(n, 0.0);  // from the *previous* step
+  double clock = 0.0;          // device compute timeline
+  double prev_step_start = 0.0;
+  double last_step_duration = 0.0;
+
+  for (int step = 0; step < kSteps; ++step) {
+    const double step_start = clock;
+    // Backward pass: last layer first; push layer i as soon as its
+    // backward slice completes.
+    for (std::size_t r = 0; r < n; ++r) {
+      const std::size_t i = n - 1 - r;
+      clock += layers[i].compute_seconds;
+      const double push_start = std::max(uplink_free, clock);
+      const double push_end =
+          push_start +
+          static_cast<double>(layers[i].push_bytes) * 8.0 / bandwidth_bps;
+      uplink_free = push_end;
+      // The server aggregates and publishes layer i's delta; the pull
+      // streams back on the downlink.
+      const double pull_start = std::max(downlink_free, push_end);
+      pull_done[i] =
+          pull_start +
+          static_cast<double>(layers[i].pull_bytes) * 8.0 / bandwidth_bps;
+      downlink_free = pull_done[i];
+    }
+    // Forward pass of the next step: layer i needs its pull and the
+    // previous layer's forward slice.
+    for (std::size_t i = 0; i < n; ++i) {
+      clock = std::max(clock, pull_done[i]);
+      clock += layers[i].compute_seconds;
+    }
+    last_step_duration = clock - step_start;
+    prev_step_start = step_start;
+  }
+  (void)prev_step_start;
+  return Summarize(layers, bandwidth_bps, last_step_duration);
+}
+
+StepTimeline SimulateCoarseStep(const std::vector<LayerCost>& layers,
+                                double bandwidth_bps) {
+  THREELC_CHECK(bandwidth_bps > 0.0);
+  // Global barrier: the whole backward pass, then every push, then the
+  // update, then every pull, then the whole forward pass — nothing
+  // overlaps.
+  const double makespan =
+      TotalCompute(layers) + TotalTransfer(layers, bandwidth_bps);
+  return Summarize(layers, bandwidth_bps, makespan);
+}
+
+}  // namespace threelc::net

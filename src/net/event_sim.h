@@ -1,0 +1,54 @@
+// Discrete-event simulation of one synchronous training step with
+// fine-grained, per-tensor barriers (paper §2.1).
+//
+// Modern frameworks split the global barrier into per-layer barriers so
+// communication overlaps computation: a layer's gradient push starts the
+// moment its backward pass finishes (while earlier layers still compute),
+// and the next step's forward pass pulls each layer's delta just before
+// evaluating that layer. This simulator computes the step makespan under
+// that pipelining and under a coarse barrier (all compute, then all
+// transfer), quantifying how much latency fine-grained barriers hide —
+// the effect that makes ResNets a *harder* target for compression to show
+// gains on (§5.2) and the justification for the analytic time model's
+// overlap knob.
+//
+// Model: one worker machine NIC at `bandwidth_bps`, serving transfers
+// FIFO. Backward pass produces tensors in reverse layer order at the given
+// per-layer compute times; a tensor's push is enqueued when its backward
+// slice completes. The pull of layer L must finish before the next step's
+// forward slice of L can start. The simulated quantity is the steady-state
+// per-step makespan.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace threelc::net {
+
+struct LayerCost {
+  // Bytes this layer's state change occupies on the wire, per direction.
+  std::size_t push_bytes = 0;
+  std::size_t pull_bytes = 0;
+  // Seconds of backward (and, symmetrically, forward) compute.
+  double compute_seconds = 0.0;
+};
+
+struct StepTimeline {
+  double makespan_seconds = 0.0;   // one steady-state step
+  double compute_seconds = 0.0;    // total compute in the step
+  double transfer_seconds = 0.0;   // total wire time of all transfers
+  // Fraction of transfer time hidden behind computation:
+  // 1 - (makespan - compute) / transfer (clamped to [0, 1]).
+  double overlap_fraction = 0.0;
+};
+
+// Fine-grained per-layer barriers: pushes stream out during the backward
+// pass (last layer first), pulls stream in before each forward slice.
+StepTimeline SimulateFineGrainedStep(const std::vector<LayerCost>& layers,
+                                     double bandwidth_bps);
+
+// Coarse global barrier: all compute, then all pushes, then all pulls.
+StepTimeline SimulateCoarseStep(const std::vector<LayerCost>& layers,
+                                double bandwidth_bps);
+
+}  // namespace threelc::net

@@ -1,0 +1,58 @@
+#include "net/traffic_meter.h"
+
+#include "util/logging.h"
+
+namespace threelc::net {
+
+void TrafficMeter::BeginStep() { steps_.emplace_back(); }
+
+void TrafficMeter::RecordPush(std::size_t bytes, std::size_t values) {
+  THREELC_CHECK_MSG(!steps_.empty(), "RecordPush before BeginStep");
+  steps_.back().push_bytes += bytes;
+  steps_.back().push_values += values;
+}
+
+void TrafficMeter::RecordPull(std::size_t bytes, std::size_t values) {
+  THREELC_CHECK_MSG(!steps_.empty(), "RecordPull before BeginStep");
+  steps_.back().pull_bytes += bytes;
+  steps_.back().pull_values += values;
+}
+
+const StepTraffic& TrafficMeter::current() const {
+  THREELC_CHECK_MSG(!steps_.empty(), "no current step");
+  return steps_.back();
+}
+
+std::size_t TrafficMeter::TotalPushBytes() const {
+  std::size_t total = 0;
+  for (const auto& s : steps_) total += s.push_bytes;
+  return total;
+}
+
+std::size_t TrafficMeter::TotalPullBytes() const {
+  std::size_t total = 0;
+  for (const auto& s : steps_) total += s.pull_bytes;
+  return total;
+}
+
+std::size_t TrafficMeter::TotalValues() const {
+  std::size_t total = 0;
+  for (const auto& s : steps_) total += s.push_values + s.pull_values;
+  return total;
+}
+
+double TrafficMeter::AverageBitsPerValue() const {
+  const std::size_t values = TotalValues();
+  if (values == 0) return 0.0;
+  return static_cast<double>(TotalBytes()) * 8.0 /
+         static_cast<double>(values);
+}
+
+double TrafficMeter::AverageCompressionRatio() const {
+  const std::size_t bytes = TotalBytes();
+  if (bytes == 0) return 0.0;
+  return static_cast<double>(TotalValues() * sizeof(float)) /
+         static_cast<double>(bytes);
+}
+
+}  // namespace threelc::net

@@ -1,0 +1,45 @@
+// Traffic accounting: bytes on the wire per step, split by direction.
+//
+// Fig. 9 plots compressed bits per state change for pushes vs. pulls at
+// every training step; Table 2 averages the same series — both read from
+// this meter.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace threelc::net {
+
+struct StepTraffic {
+  std::size_t push_bytes = 0;     // total across workers
+  std::size_t pull_bytes = 0;     // total across workers
+  std::size_t push_values = 0;    // state-change values pushed
+  std::size_t pull_values = 0;    // state-change values pulled
+};
+
+class TrafficMeter {
+ public:
+  // Begin accounting for a new step.
+  void BeginStep();
+  void RecordPush(std::size_t bytes, std::size_t values);
+  void RecordPull(std::size_t bytes, std::size_t values);
+
+  const std::vector<StepTraffic>& steps() const { return steps_; }
+  const StepTraffic& current() const;
+
+  std::size_t TotalPushBytes() const;
+  std::size_t TotalPullBytes() const;
+  std::size_t TotalBytes() const { return TotalPushBytes() + TotalPullBytes(); }
+  std::size_t TotalValues() const;
+
+  // Average bits per state change over all recorded traffic.
+  double AverageBitsPerValue() const;
+  // Average ratio vs. 32-bit float transmission.
+  double AverageCompressionRatio() const;
+
+ private:
+  std::vector<StepTraffic> steps_;
+};
+
+}  // namespace threelc::net

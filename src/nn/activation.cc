@@ -1,0 +1,42 @@
+#include "nn/activation.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace threelc::nn {
+
+Tensor Relu::Forward(const Tensor& input, bool /*training*/) {
+  input_cache_ = input;
+  Tensor out(input.shape());
+  const float* src = input.data();
+  float* dst = out.data();
+  const std::size_t n = input.size();
+  for (std::size_t i = 0; i < n; ++i) dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
+  return out;
+}
+
+Tensor Relu::Backward(const Tensor& grad_output) {
+  THREELC_CHECK(grad_output.SameShape(input_cache_));
+  Tensor grad(grad_output.shape());
+  const float* g = grad_output.data();
+  const float* x = input_cache_.data();
+  float* dst = grad.data();
+  const std::size_t n = grad.size();
+  for (std::size_t i = 0; i < n; ++i) dst[i] = x[i] > 0.0f ? g[i] : 0.0f;
+  return grad;
+}
+
+Tensor Flatten::Forward(const Tensor& input, bool /*training*/) {
+  input_shape_ = input.shape();
+  THREELC_CHECK_MSG(input_shape_.rank() >= 2, "Flatten needs a batch dim");
+  const std::int64_t batch = input_shape_.dim(0);
+  return input.Reshaped(
+      Shape{batch, input.num_elements() / batch});
+}
+
+Tensor Flatten::Backward(const Tensor& grad_output) {
+  return grad_output.Reshaped(input_shape_);
+}
+
+}  // namespace threelc::nn

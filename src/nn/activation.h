@@ -1,0 +1,36 @@
+// Stateless activation layers.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace threelc::nn {
+
+class Relu final : public Layer {
+ public:
+  explicit Relu(std::string name = "relu") : name_(std::move(name)) {}
+
+  std::string name() const override { return name_; }
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  std::string name_;
+  Tensor input_cache_;
+};
+
+// Flattens [batch, d1, d2, ...] into [batch, d1*d2*...]; used between conv
+// and dense stages.
+class Flatten final : public Layer {
+ public:
+  explicit Flatten(std::string name = "flatten") : name_(std::move(name)) {}
+
+  std::string name() const override { return name_; }
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  std::string name_;
+  Shape input_shape_;
+};
+
+}  // namespace threelc::nn

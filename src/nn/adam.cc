@@ -1,0 +1,41 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace threelc::nn {
+
+Adam::Adam(AdamOptions options) : options_(options) {}
+
+void Adam::ApplyGradients(std::vector<ParamRef>& params, float lr) {
+  ++t_;
+  const float bias1 =
+      1.0f - std::pow(options_.beta1, static_cast<float>(t_));
+  const float bias2 =
+      1.0f - std::pow(options_.beta2, static_cast<float>(t_));
+  for (auto& p : params) {
+    auto [it, inserted] = moments_.try_emplace(
+        p.name, Moments{Tensor(p.value->shape()), Tensor(p.value->shape())});
+    Moments& mom = it->second;
+    THREELC_CHECK_MSG(mom.m.SameShape(*p.value),
+                      "Adam state shape drift for " << p.name);
+    float* m = mom.m.data();
+    float* v = mom.v.data();
+    float* w = p.value->data();
+    const float* g = p.grad->data();
+    const std::size_t n = mom.m.size();
+    const float b1 = options_.beta1;
+    const float b2 = options_.beta2;
+    const float wd = p.weight_decay ? options_.weight_decay : 0.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+      m[i] = b1 * m[i] + (1.0f - b1) * g[i];
+      v[i] = b2 * v[i] + (1.0f - b2) * g[i] * g[i];
+      const float m_hat = m[i] / bias1;
+      const float v_hat = v[i] / bias2;
+      w[i] -= lr * (m_hat / (std::sqrt(v_hat) + options_.eps) + wd * w[i]);
+    }
+  }
+}
+
+}  // namespace threelc::nn

@@ -1,0 +1,40 @@
+// Adam optimizer (Kingma & Ba) — an alternative server-side optimizer for
+// workloads where momentum SGD underperforms; exercises the trainer with
+// optimizer state beyond a single velocity buffer.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "nn/layer.h"
+#include "nn/optimizer.h"
+
+namespace threelc::nn {
+
+struct AdamOptions {
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;  // decoupled (AdamW-style)
+};
+
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(AdamOptions options = {});
+
+  // w -= lr * ( m_hat / (sqrt(v_hat) + eps) + wd * w ).
+  void ApplyGradients(std::vector<ParamRef>& params, float lr) override;
+
+  std::int64_t step_count() const { return t_; }
+
+ private:
+  struct Moments {
+    Tensor m;
+    Tensor v;
+  };
+  AdamOptions options_;
+  std::unordered_map<std::string, Moments> moments_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace threelc::nn

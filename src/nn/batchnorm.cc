@@ -1,0 +1,134 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace threelc::nn {
+
+BatchNorm1d::BatchNorm1d(std::string name, std::int64_t features,
+                         float momentum, float eps)
+    : name_(std::move(name)),
+      features_(features),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_(Tensor::Full(Shape{features}, 1.0f)),
+      beta_(Shape{features}),
+      ggamma_(Shape{features}),
+      gbeta_(Shape{features}),
+      running_mean_(Shape{features}),
+      running_var_(Tensor::Full(Shape{features}, 1.0f)) {}
+
+Tensor BatchNorm1d::Forward(const Tensor& input, bool training) {
+  THREELC_CHECK_MSG(
+      input.shape().rank() == 2 && input.shape().dim(1) == features_,
+      "BatchNorm " << name_ << ": bad input shape");
+  const std::int64_t batch = input.shape().dim(0);
+  const float* x = input.data();
+
+  Tensor mean(Shape{features_}), var(Shape{features_});
+  if (training) {
+    float* m = mean.data();
+    float* v = var.data();
+    for (std::int64_t i = 0; i < batch; ++i) {
+      const float* row = x + i * features_;
+      for (std::int64_t j = 0; j < features_; ++j) m[j] += row[j];
+    }
+    const float inv_b = 1.0f / static_cast<float>(batch);
+    for (std::int64_t j = 0; j < features_; ++j) m[j] *= inv_b;
+    for (std::int64_t i = 0; i < batch; ++i) {
+      const float* row = x + i * features_;
+      for (std::int64_t j = 0; j < features_; ++j) {
+        const float d = row[j] - m[j];
+        v[j] += d * d;
+      }
+    }
+    for (std::int64_t j = 0; j < features_; ++j) v[j] *= inv_b;
+    // Update running statistics.
+    float* rm = running_mean_.data();
+    float* rv = running_var_.data();
+    for (std::int64_t j = 0; j < features_; ++j) {
+      rm[j] = momentum_ * rm[j] + (1.0f - momentum_) * m[j];
+      rv[j] = momentum_ * rv[j] + (1.0f - momentum_) * v[j];
+    }
+  } else {
+    mean = running_mean_;
+    var = running_var_;
+  }
+
+  inv_std_ = Tensor(Shape{features_});
+  float* is = inv_std_.data();
+  const float* v = var.data();
+  for (std::int64_t j = 0; j < features_; ++j) {
+    is[j] = 1.0f / std::sqrt(v[j] + eps_);
+  }
+
+  xhat_ = Tensor(Shape{batch, features_});
+  Tensor out(Shape{batch, features_});
+  float* xh = xhat_.data();
+  float* o = out.data();
+  const float* m = mean.data();
+  const float* g = gamma_.data();
+  const float* b = beta_.data();
+  for (std::int64_t i = 0; i < batch; ++i) {
+    const float* row = x + i * features_;
+    float* xrow = xh + i * features_;
+    float* orow = o + i * features_;
+    for (std::int64_t j = 0; j < features_; ++j) {
+      xrow[j] = (row[j] - m[j]) * is[j];
+      orow[j] = g[j] * xrow[j] + b[j];
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm1d::Backward(const Tensor& grad_output) {
+  const std::int64_t batch = grad_output.shape().dim(0);
+  THREELC_CHECK(grad_output.SameShape(xhat_));
+  const float* gy = grad_output.data();
+  const float* xh = xhat_.data();
+  const float* is = inv_std_.data();
+  const float* g = gamma_.data();
+
+  // dgamma, dbeta, and the per-feature sums used by dx.
+  ggamma_.SetZero();
+  gbeta_.SetZero();
+  float* dgamma = ggamma_.data();
+  float* dbeta = gbeta_.data();
+  for (std::int64_t i = 0; i < batch; ++i) {
+    const float* grow = gy + i * features_;
+    const float* xrow = xh + i * features_;
+    for (std::int64_t j = 0; j < features_; ++j) {
+      dgamma[j] += grow[j] * xrow[j];
+      dbeta[j] += grow[j];
+    }
+  }
+
+  Tensor grad(Shape{batch, features_});
+  float* dx = grad.data();
+  const float inv_b = 1.0f / static_cast<float>(batch);
+  for (std::int64_t i = 0; i < batch; ++i) {
+    const float* grow = gy + i * features_;
+    const float* xrow = xh + i * features_;
+    float* drow = dx + i * features_;
+    for (std::int64_t j = 0; j < features_; ++j) {
+      // dx = gamma * inv_std / B * (B*dy - sum(dy) - xhat*sum(dy*xhat))
+      drow[j] = g[j] * is[j] * inv_b *
+                (static_cast<float>(batch) * grow[j] - dbeta[j] -
+                 xrow[j] * dgamma[j]);
+    }
+  }
+  return grad;
+}
+
+std::vector<ParamRef> BatchNorm1d::Params() {
+  // Small layer: bypasses traffic compression (paper §5.1), no weight decay.
+  return {
+      ParamRef{name_ + "/gamma", &gamma_, &ggamma_, /*compress=*/false,
+               /*weight_decay=*/false},
+      ParamRef{name_ + "/beta", &beta_, &gbeta_, /*compress=*/false,
+               /*weight_decay=*/false},
+  };
+}
+
+}  // namespace threelc::nn

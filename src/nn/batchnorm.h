@@ -1,0 +1,43 @@
+// 1-D batch normalization over [batch, features].
+//
+// In the paper's setup batch-norm parameters are the "small layers" whose
+// state changes bypass compression (§5.1) — ParamRef::compress is false
+// here. Running statistics are updated in training mode and used in eval
+// mode; like the paper's distributed configuration, only the designated
+// batch-norm owner worker publishes statistic updates.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace threelc::nn {
+
+class BatchNorm1d final : public Layer {
+ public:
+  BatchNorm1d(std::string name, std::int64_t features, float momentum = 0.9f,
+              float eps = 1e-5f);
+
+  std::string name() const override { return name_; }
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> Params() override;
+  std::vector<Tensor*> Buffers() override {
+    return {&running_mean_, &running_var_};
+  }
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  std::string name_;
+  std::int64_t features_;
+  float momentum_;
+  float eps_;
+  Tensor gamma_, beta_;
+  Tensor ggamma_, gbeta_;
+  Tensor running_mean_, running_var_;
+  // Cached for backward.
+  Tensor xhat_;
+  Tensor inv_std_;
+};
+
+}  // namespace threelc::nn

@@ -1,0 +1,102 @@
+#include "nn/checkpoint.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace threelc::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'3', 'L', 'C', 'K'};
+constexpr std::uint32_t kVersion = 1;
+
+struct NamedTensor {
+  std::string name;
+  Tensor* tensor;
+};
+
+std::vector<NamedTensor> CollectTensors(Model& model) {
+  std::vector<NamedTensor> tensors;
+  for (auto& p : model.Params()) tensors.push_back({p.name, p.value});
+  auto buffers = model.Buffers();
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    tensors.push_back({"__buffer_" + std::to_string(i), buffers[i]});
+  }
+  return tensors;
+}
+
+template <typename T>
+void WriteScalar(std::ofstream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T ReadScalar(std::ifstream& in) {
+  T v;
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw std::runtime_error("checkpoint: unexpected end of file");
+  return v;
+}
+
+}  // namespace
+
+void SaveCheckpoint(Model& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("checkpoint: cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+  WriteScalar<std::uint32_t>(out, kVersion);
+  auto tensors = CollectTensors(model);
+  WriteScalar<std::uint32_t>(out, static_cast<std::uint32_t>(tensors.size()));
+  for (auto& [name, tensor] : tensors) {
+    WriteScalar<std::uint32_t>(out, static_cast<std::uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    const auto& dims = tensor->shape().dims();
+    WriteScalar<std::uint32_t>(out, static_cast<std::uint32_t>(dims.size()));
+    for (auto d : dims) WriteScalar<std::int64_t>(out, d);
+    out.write(reinterpret_cast<const char*>(tensor->data()),
+              static_cast<std::streamsize>(tensor->byte_size()));
+  }
+  if (!out) throw std::runtime_error("checkpoint: write failed for " + path);
+}
+
+void LoadCheckpoint(Model& model, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("checkpoint: bad magic in " + path);
+  }
+  const auto version = ReadScalar<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw std::runtime_error("checkpoint: unsupported version " +
+                             std::to_string(version));
+  }
+  auto tensors = CollectTensors(model);
+  const auto count = ReadScalar<std::uint32_t>(in);
+  if (count != tensors.size()) {
+    throw std::runtime_error("checkpoint: tensor count mismatch");
+  }
+  for (auto& [name, tensor] : tensors) {
+    const auto name_len = ReadScalar<std::uint32_t>(in);
+    std::string stored_name(name_len, '\0');
+    in.read(stored_name.data(), name_len);
+    if (!in || stored_name != name) {
+      throw std::runtime_error("checkpoint: tensor name mismatch: expected " +
+                               name + ", found " + stored_name);
+    }
+    const auto rank = ReadScalar<std::uint32_t>(in);
+    std::vector<std::int64_t> dims(rank);
+    for (auto& d : dims) d = ReadScalar<std::int64_t>(in);
+    if (tensor::Shape(dims) != tensor->shape()) {
+      throw std::runtime_error("checkpoint: shape mismatch for " + name);
+    }
+    in.read(reinterpret_cast<char*>(tensor->data()),
+            static_cast<std::streamsize>(tensor->byte_size()));
+    if (!in) throw std::runtime_error("checkpoint: truncated data for " + name);
+  }
+}
+
+}  // namespace threelc::nn

@@ -1,0 +1,29 @@
+// Model checkpointing: save/restore parameters and buffers to a binary
+// file. The evaluation methodology reads snapshots of the global model on
+// a dedicated node (paper §5.2); checkpoints are how such snapshots move
+// between processes, and how long WAN training runs resume after failures.
+//
+// File format (little-endian):
+//   magic "3LCK" | u32 version | u32 tensor_count
+//   per tensor: u32 name_len | name bytes | u32 rank | i64 dims...
+//               | f32 data...
+// Buffers (batch-norm running statistics) are stored after parameters
+// under the synthetic names "__buffer_<i>".
+#pragma once
+
+#include <string>
+
+#include "nn/model.h"
+
+namespace threelc::nn {
+
+// Writes all parameters and buffers of `model`. Throws std::runtime_error
+// on I/O failure.
+void SaveCheckpoint(Model& model, const std::string& path);
+
+// Restores a checkpoint written by SaveCheckpoint into an architecturally
+// identical model. Throws std::runtime_error on I/O failure, format
+// corruption, or architecture mismatch (name/shape disagreement).
+void LoadCheckpoint(Model& model, const std::string& path);
+
+}  // namespace threelc::nn

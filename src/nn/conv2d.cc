@@ -1,0 +1,127 @@
+#include "nn/conv2d.h"
+
+#include "util/logging.h"
+
+namespace threelc::nn {
+
+Conv2d::Conv2d(std::string name, std::int64_t in_channels,
+               std::int64_t out_channels, std::int64_t kernel,
+               std::int64_t stride, std::int64_t padding, util::Rng& rng)
+    : name_(std::move(name)),
+      in_c_(in_channels),
+      out_c_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      w_(Shape{out_channels, in_channels, kernel, kernel}),
+      b_(Shape{out_channels}),
+      gw_(Shape{out_channels, in_channels, kernel, kernel}),
+      gb_(Shape{out_channels}) {
+  THREELC_CHECK(stride >= 1 && kernel >= 1 && padding >= 0);
+  HeInit(w_, in_channels * kernel * kernel, rng);
+}
+
+Tensor Conv2d::Forward(const Tensor& input, bool /*training*/) {
+  THREELC_CHECK_MSG(
+      input.shape().rank() == 4 && input.shape().dim(1) == in_c_,
+      "Conv2d " << name_ << ": bad input shape " << input.shape().ToString());
+  input_cache_ = input;
+  const std::int64_t batch = input.shape().dim(0);
+  const std::int64_t h = input.shape().dim(2);
+  const std::int64_t w = input.shape().dim(3);
+  const std::int64_t oh = OutSize(h);
+  const std::int64_t ow = OutSize(w);
+  THREELC_CHECK_MSG(oh >= 1 && ow >= 1, "Conv2d " << name_ << ": output empty");
+
+  Tensor out(Shape{batch, out_c_, oh, ow});
+  const float* x = input.data();
+  const float* ker = w_.data();
+  const float* bias = b_.data();
+  float* y = out.data();
+
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t oc = 0; oc < out_c_; ++oc) {
+      for (std::int64_t i = 0; i < oh; ++i) {
+        for (std::int64_t j = 0; j < ow; ++j) {
+          float acc = bias[oc];
+          for (std::int64_t ic = 0; ic < in_c_; ++ic) {
+            for (std::int64_t ki = 0; ki < kernel_; ++ki) {
+              const std::int64_t yi = i * stride_ + ki - padding_;
+              if (yi < 0 || yi >= h) continue;
+              for (std::int64_t kj = 0; kj < kernel_; ++kj) {
+                const std::int64_t xj = j * stride_ + kj - padding_;
+                if (xj < 0 || xj >= w) continue;
+                acc += x[((n * in_c_ + ic) * h + yi) * w + xj] *
+                       ker[((oc * in_c_ + ic) * kernel_ + ki) * kernel_ + kj];
+              }
+            }
+          }
+          y[((n * out_c_ + oc) * oh + i) * ow + j] = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::Backward(const Tensor& grad_output) {
+  const Tensor& input = input_cache_;
+  const std::int64_t batch = input.shape().dim(0);
+  const std::int64_t h = input.shape().dim(2);
+  const std::int64_t w = input.shape().dim(3);
+  const std::int64_t oh = OutSize(h);
+  const std::int64_t ow = OutSize(w);
+  THREELC_CHECK(grad_output.shape().rank() == 4 &&
+                grad_output.shape().dim(0) == batch &&
+                grad_output.shape().dim(1) == out_c_ &&
+                grad_output.shape().dim(2) == oh &&
+                grad_output.shape().dim(3) == ow);
+
+  gw_.SetZero();
+  gb_.SetZero();
+  Tensor grad_input(input.shape());
+  const float* x = input.data();
+  const float* gy = grad_output.data();
+  const float* ker = w_.data();
+  float* gx = grad_input.data();
+  float* gw = gw_.data();
+  float* gb = gb_.data();
+
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t oc = 0; oc < out_c_; ++oc) {
+      for (std::int64_t i = 0; i < oh; ++i) {
+        for (std::int64_t j = 0; j < ow; ++j) {
+          const float g = gy[((n * out_c_ + oc) * oh + i) * ow + j];
+          gb[oc] += g;
+          for (std::int64_t ic = 0; ic < in_c_; ++ic) {
+            for (std::int64_t ki = 0; ki < kernel_; ++ki) {
+              const std::int64_t yi = i * stride_ + ki - padding_;
+              if (yi < 0 || yi >= h) continue;
+              for (std::int64_t kj = 0; kj < kernel_; ++kj) {
+                const std::int64_t xj = j * stride_ + kj - padding_;
+                if (xj < 0 || xj >= w) continue;
+                const std::size_t xi_idx = ((n * in_c_ + ic) * h + yi) * w + xj;
+                const std::size_t k_idx =
+                    ((oc * in_c_ + ic) * kernel_ + ki) * kernel_ + kj;
+                gw[k_idx] += g * x[xi_idx];
+                gx[xi_idx] += g * ker[k_idx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<ParamRef> Conv2d::Params() {
+  return {
+      ParamRef{name_ + "/W", &w_, &gw_, /*compress=*/true,
+               /*weight_decay=*/true},
+      ParamRef{name_ + "/b", &b_, &gb_, /*compress=*/true,
+               /*weight_decay=*/false},
+  };
+}
+
+}  // namespace threelc::nn

@@ -1,0 +1,39 @@
+// 2-D convolution over NCHW tensors.
+//
+// The 4-D kernel tensors here are the conv state-change tensors the paper
+// compresses in ResNet workloads. The implementation is a direct loop nest
+// (correctness-first); the distributed-training benchmarks use dense models
+// for speed, while conv layers are exercised by tests and the CNN example.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace threelc::nn {
+
+class Conv2d final : public Layer {
+ public:
+  // Square kernels; `padding` is symmetric zero padding.
+  Conv2d(std::string name, std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel, std::int64_t stride, std::int64_t padding,
+         util::Rng& rng);
+
+  std::string name() const override { return name_; }
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> Params() override;
+
+  // Output spatial size for a given input size.
+  std::int64_t OutSize(std::int64_t in_size) const {
+    return (in_size + 2 * padding_ - kernel_) / stride_ + 1;
+  }
+
+ private:
+  std::string name_;
+  std::int64_t in_c_, out_c_, kernel_, stride_, padding_;
+  Tensor w_;   // [out_c, in_c, k, k]
+  Tensor b_;   // [out_c]
+  Tensor gw_, gb_;
+  Tensor input_cache_;
+};
+
+}  // namespace threelc::nn

@@ -1,0 +1,70 @@
+#include "nn/dense.h"
+
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace threelc::nn {
+
+Dense::Dense(std::string name, std::int64_t in_features,
+             std::int64_t out_features, util::Rng& rng)
+    : name_(std::move(name)),
+      in_features_(in_features),
+      out_features_(out_features),
+      w_(Shape{in_features, out_features}),
+      b_(Shape{out_features}),
+      gw_(Shape{in_features, out_features}),
+      gb_(Shape{out_features}) {
+  HeInit(w_, in_features, rng);
+}
+
+Tensor Dense::Forward(const Tensor& input, bool /*training*/) {
+  THREELC_CHECK_MSG(input.shape().rank() == 2 &&
+                        input.shape().dim(1) == in_features_,
+                    "Dense " << name_ << ": bad input shape "
+                             << input.shape().ToString());
+  input_cache_ = input;
+  const std::int64_t batch = input.shape().dim(0);
+  Tensor out(Shape{batch, out_features_});
+  tensor::Matmul(input, w_, out);
+  // Broadcast-add bias across the batch.
+  float* o = out.data();
+  const float* bias = b_.data();
+  for (std::int64_t i = 0; i < batch; ++i) {
+    float* row = o + i * out_features_;
+    for (std::int64_t j = 0; j < out_features_; ++j) row[j] += bias[j];
+  }
+  return out;
+}
+
+Tensor Dense::Backward(const Tensor& grad_output) {
+  const std::int64_t batch = input_cache_.shape().dim(0);
+  THREELC_CHECK_MSG(grad_output.shape().rank() == 2 &&
+                        grad_output.shape().dim(0) == batch &&
+                        grad_output.shape().dim(1) == out_features_,
+                    "Dense " << name_ << ": bad grad shape");
+  // dW = X^T * dY
+  tensor::MatmulTransA(input_cache_, grad_output, gw_);
+  // db = column sums of dY
+  gb_.SetZero();
+  const float* g = grad_output.data();
+  float* gb = gb_.data();
+  for (std::int64_t i = 0; i < batch; ++i) {
+    const float* row = g + i * out_features_;
+    for (std::int64_t j = 0; j < out_features_; ++j) gb[j] += row[j];
+  }
+  // dX = dY * W^T
+  Tensor grad_input(Shape{batch, in_features_});
+  tensor::MatmulTransB(grad_output, w_, grad_input);
+  return grad_input;
+}
+
+std::vector<ParamRef> Dense::Params() {
+  return {
+      ParamRef{name_ + "/W", &w_, &gw_, /*compress=*/true,
+               /*weight_decay=*/true},
+      ParamRef{name_ + "/b", &b_, &gb_, /*compress=*/true,
+               /*weight_decay=*/false},
+  };
+}
+
+}  // namespace threelc::nn

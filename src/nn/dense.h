@@ -1,0 +1,33 @@
+// Fully-connected layer: out = in * W + b.
+//
+// W has shape [in_features, out_features] — the 2-D tensors that dominate
+// state-change traffic in the paper's workloads.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace threelc::nn {
+
+class Dense final : public Layer {
+ public:
+  Dense(std::string name, std::int64_t in_features, std::int64_t out_features,
+        util::Rng& rng);
+
+  std::string name() const override { return name_; }
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> Params() override;
+
+  std::int64_t in_features() const { return in_features_; }
+  std::int64_t out_features() const { return out_features_; }
+
+ private:
+  std::string name_;
+  std::int64_t in_features_;
+  std::int64_t out_features_;
+  Tensor w_, b_;
+  Tensor gw_, gb_;
+  Tensor input_cache_;  // saved for the backward pass
+};
+
+}  // namespace threelc::nn

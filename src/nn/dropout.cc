@@ -1,0 +1,38 @@
+#include "nn/dropout.h"
+
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace threelc::nn {
+
+Dropout::Dropout(std::string name, float p, std::uint64_t seed)
+    : name_(std::move(name)), p_(p), rng_(seed) {
+  THREELC_CHECK_MSG(p >= 0.0f && p < 1.0f, "dropout rate must be in [0, 1)");
+}
+
+Tensor Dropout::Forward(const Tensor& input, bool training) {
+  last_training_ = training;
+  if (!training || p_ == 0.0f) return input;
+  mask_ = Tensor(input.shape());
+  Tensor out(input.shape());
+  const float scale = 1.0f / (1.0f - p_);
+  const float* src = input.data();
+  float* m = mask_.data();
+  float* dst = out.data();
+  const std::size_t n = input.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    m[i] = rng_.Bernoulli(p_) ? 0.0f : scale;
+    dst[i] = src[i] * m[i];
+  }
+  return out;
+}
+
+Tensor Dropout::Backward(const Tensor& grad_output) {
+  if (!last_training_ || p_ == 0.0f) return grad_output;
+  THREELC_CHECK(grad_output.SameShape(mask_));
+  Tensor grad = grad_output;
+  tensor::Mul(grad, mask_);
+  return grad;
+}
+
+}  // namespace threelc::nn

@@ -1,0 +1,27 @@
+// Inverted dropout: zeroes activations with probability p in training and
+// scales survivors by 1/(1-p); identity in evaluation.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace threelc::nn {
+
+class Dropout final : public Layer {
+ public:
+  Dropout(std::string name, float p, std::uint64_t seed);
+
+  std::string name() const override { return name_; }
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+  float rate() const { return p_; }
+
+ private:
+  std::string name_;
+  float p_;
+  util::Rng rng_;
+  Tensor mask_;  // scaled keep mask from the last training forward
+  bool last_training_ = false;
+};
+
+}  // namespace threelc::nn

@@ -1,0 +1,71 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace threelc::nn {
+
+LossResult SoftmaxCrossEntropy(const Tensor& logits,
+                               const std::vector<std::int32_t>& labels) {
+  THREELC_CHECK(logits.shape().rank() == 2);
+  const std::int64_t batch = logits.shape().dim(0);
+  const std::int64_t classes = logits.shape().dim(1);
+  THREELC_CHECK_MSG(static_cast<std::int64_t>(labels.size()) == batch,
+                    "label count mismatch");
+
+  LossResult result;
+  result.grad_logits = Tensor(logits.shape());
+  const float* z = logits.data();
+  float* g = result.grad_logits.data();
+  const float inv_b = 1.0f / static_cast<float>(batch);
+  double total = 0.0;
+
+  for (std::int64_t i = 0; i < batch; ++i) {
+    const float* row = z + i * classes;
+    float* grow = g + i * classes;
+    const std::int32_t label = labels[static_cast<std::size_t>(i)];
+    THREELC_CHECK_MSG(label >= 0 && label < classes, "label out of range");
+
+    // Numerically stable log-sum-exp.
+    float maxv = row[0];
+    for (std::int64_t c = 1; c < classes; ++c) maxv = row[c] > maxv ? row[c] : maxv;
+    double sum = 0.0;
+    for (std::int64_t c = 0; c < classes; ++c) {
+      sum += std::exp(static_cast<double>(row[c] - maxv));
+    }
+    const double log_sum = std::log(sum) + maxv;
+    total += log_sum - row[label];
+
+    std::size_t argmax = 0;
+    for (std::int64_t c = 0; c < classes; ++c) {
+      const double p = std::exp(static_cast<double>(row[c]) - log_sum);
+      grow[c] = static_cast<float>(p) * inv_b;
+      if (row[c] > row[argmax]) argmax = static_cast<std::size_t>(c);
+    }
+    grow[label] -= inv_b;
+    if (static_cast<std::int32_t>(argmax) == label) ++result.correct;
+  }
+  result.loss = total / static_cast<double>(batch);
+  return result;
+}
+
+double Accuracy(const Tensor& logits, const std::vector<std::int32_t>& labels) {
+  THREELC_CHECK(logits.shape().rank() == 2);
+  const std::int64_t batch = logits.shape().dim(0);
+  const std::int64_t classes = logits.shape().dim(1);
+  THREELC_CHECK(static_cast<std::int64_t>(labels.size()) == batch);
+  std::size_t correct = 0;
+  const float* z = logits.data();
+  for (std::int64_t i = 0; i < batch; ++i) {
+    const std::size_t pred =
+        tensor::ArgMax(z + i * classes, static_cast<std::size_t>(classes));
+    if (static_cast<std::int32_t>(pred) == labels[static_cast<std::size_t>(i)]) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(batch);
+}
+
+}  // namespace threelc::nn

@@ -1,0 +1,27 @@
+// Softmax cross-entropy loss with integer labels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace threelc::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+struct LossResult {
+  double loss = 0.0;        // mean cross-entropy over the batch
+  Tensor grad_logits;       // dL/dlogits, already divided by batch size
+  std::size_t correct = 0;  // top-1 correct predictions in the batch
+};
+
+// logits: [batch, classes]; labels.size() == batch, each in [0, classes).
+LossResult SoftmaxCrossEntropy(const Tensor& logits,
+                               const std::vector<std::int32_t>& labels);
+
+// Top-1 accuracy without gradient computation (for evaluation).
+double Accuracy(const Tensor& logits, const std::vector<std::int32_t>& labels);
+
+}  // namespace threelc::nn

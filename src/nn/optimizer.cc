@@ -1,0 +1,33 @@
+#include "nn/optimizer.h"
+
+#include "util/logging.h"
+
+namespace threelc::nn {
+
+MomentumSgd::MomentumSgd(MomentumOptions options) : options_(options) {}
+
+void MomentumSgd::ApplyGradients(std::vector<ParamRef>& params, float lr) {
+  for (auto& p : params) {
+    auto [it, inserted] = velocity_.try_emplace(p.name, p.value->shape());
+    Tensor& v = it->second;
+    THREELC_CHECK_MSG(v.SameShape(*p.value), "velocity shape drift for "
+                                                 << p.name);
+    float* vel = v.data();
+    float* w = p.value->data();
+    const float* g = p.grad->data();
+    const std::size_t n = v.size();
+    const float wd = p.weight_decay ? options_.weight_decay : 0.0f;
+    const float mu = options_.momentum;
+    for (std::size_t i = 0; i < n; ++i) {
+      vel[i] = mu * vel[i] + (g[i] + wd * w[i]);
+      w[i] -= lr * vel[i];
+    }
+  }
+}
+
+const Tensor* MomentumSgd::velocity(const std::string& name) const {
+  auto it = velocity_.find(name);
+  return it == velocity_.end() ? nullptr : &it->second;
+}
+
+}  // namespace threelc::nn

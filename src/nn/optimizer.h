@@ -1,0 +1,49 @@
+// Momentum SGD with decoupled weight decay — the paper's local optimizer
+// (TensorFlow MomentumOptimizer, momentum 0.9, weight decay 1e-4; §5.2).
+//
+// In the parameter-server architecture the *server* runs the optimizer on
+// aggregated gradients; the resulting parameter changes are the model
+// deltas pulled by workers. ApplyGradients therefore returns nothing but
+// mutates the parameter tensors in place; callers snapshot values before /
+// after to obtain deltas.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace threelc::nn {
+
+// Abstract optimizer: updates parameters in place from their gradients.
+// The parameter server owns one instance and runs it on aggregated
+// gradients each step.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual void ApplyGradients(std::vector<ParamRef>& params, float lr) = 0;
+};
+
+struct MomentumOptions {
+  float momentum = 0.9f;
+  float weight_decay = 1e-4f;
+};
+
+class MomentumSgd final : public Optimizer {
+ public:
+  explicit MomentumSgd(MomentumOptions options = {});
+
+  // Update each parameter in place: v = mu*v + (g + wd*w); w -= lr*v.
+  // Weight decay applies only to ParamRefs with weight_decay = true.
+  void ApplyGradients(std::vector<ParamRef>& params, float lr) override;
+
+  // Velocity buffer for one parameter (created lazily; keyed by name).
+  const Tensor* velocity(const std::string& name) const;
+
+ private:
+  MomentumOptions options_;
+  std::unordered_map<std::string, Tensor> velocity_;
+};
+
+}  // namespace threelc::nn

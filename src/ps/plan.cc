@@ -1,0 +1,34 @@
+#include "ps/plan.h"
+
+namespace threelc::ps {
+
+TensorPlan TensorPlan::FromParams(const std::vector<nn::ParamRef>& params,
+                                  std::int64_t min_compress_elems) {
+  TensorPlan plan;
+  plan.entries_.reserve(params.size());
+  for (const auto& p : params) {
+    PlanEntry e;
+    e.name = p.name;
+    e.shape = p.value->shape();
+    e.compressed =
+        p.compress && p.value->num_elements() >= min_compress_elems;
+    plan.entries_.push_back(std::move(e));
+  }
+  return plan;
+}
+
+std::int64_t TensorPlan::TotalElements() const {
+  std::int64_t n = 0;
+  for (const auto& e : entries_) n += e.shape.num_elements();
+  return n;
+}
+
+std::int64_t TensorPlan::CompressedElements() const {
+  std::int64_t n = 0;
+  for (const auto& e : entries_) {
+    if (e.compressed) n += e.shape.num_elements();
+  }
+  return n;
+}
+
+}  // namespace threelc::ps

@@ -1,0 +1,47 @@
+// TensorPlan: the shared agreement between servers and workers about which
+// state-change tensors exist and which of them go through compression.
+//
+// Mirrors the paper's tensor-allocation helper (§4): tensors below the
+// small-layer threshold, or flagged compress=false (batch-norm parameters),
+// bypass the codec and travel as raw float32 — avoiding codec overhead that
+// would outweigh compacting already-small tensors (§5.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace threelc::ps {
+
+struct PlanEntry {
+  std::string name;
+  tensor::Shape shape;
+  bool compressed = true;
+};
+
+class TensorPlan {
+ public:
+  TensorPlan() = default;
+
+  // Build from a model's parameters. A tensor is compressed iff its
+  // ParamRef says compress=true AND it has at least `min_compress_elems`
+  // elements.
+  static TensorPlan FromParams(const std::vector<nn::ParamRef>& params,
+                               std::int64_t min_compress_elems);
+
+  std::size_t size() const { return entries_.size(); }
+  const PlanEntry& entry(std::size_t i) const { return entries_[i]; }
+  const std::vector<PlanEntry>& entries() const { return entries_; }
+
+  // Total state-change values per direction per step (all tensors).
+  std::int64_t TotalElements() const;
+  // Values travelling through the codec (compressed entries only).
+  std::int64_t CompressedElements() const;
+
+ private:
+  std::vector<PlanEntry> entries_;
+};
+
+}  // namespace threelc::ps

@@ -1,0 +1,86 @@
+// Parameter server: owns the global model, aggregates gradient pushes,
+// runs the (momentum) optimizer, and prepares *shared* compressed
+// model-delta pulls (paper Fig. 2).
+//
+// Shared pull compression (§3, Fig. 2b): because every worker must apply
+// the identical model delta, the server encodes each delta tensor once per
+// step and all workers read the same payload. Compression CPU is paid
+// once; wire traffic is still paid per worker.
+//
+// Lossy pulls and convergence: the server tracks the workers' common view
+// implicitly through the pull codec's error-accumulation context — each
+// step it feeds the *exact* global delta into the codec, and whatever the
+// codec did not transmit stays in the codec's residual buffer to be sent
+// at a later step.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "compress/compressor.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
+#include "ps/plan.h"
+
+namespace threelc::ps {
+
+using compress::Compressor;
+using util::ByteBuffer;
+using util::ByteReader;
+using util::ByteSpan;
+
+class ParameterServer {
+ public:
+  // `global_model` must outlive the server; `codec` compresses model-delta
+  // pulls for the plan's compressed entries; `optimizer` runs on the
+  // aggregated gradients (momentum SGD in the paper's configuration).
+  ParameterServer(nn::Model& global_model, const TensorPlan& plan,
+                  std::shared_ptr<const Compressor> codec,
+                  std::unique_ptr<nn::Optimizer> optimizer);
+
+  // Convenience: momentum-SGD server (the paper's setup).
+  ParameterServer(nn::Model& global_model, const TensorPlan& plan,
+                  std::shared_ptr<const Compressor> codec,
+                  nn::MomentumOptions optimizer_options);
+
+  const TensorPlan& plan() const { return *plan_; }
+  nn::Model& global_model() { return *model_; }
+
+  // Start a synchronous step: clears gradient accumulators.
+  void BeginStep();
+
+  // Decode one worker's gradient push for tensor `idx`. When `aggregate`
+  // is false the payload is consumed but discarded — how the server treats
+  // pushes arriving after the backup-worker quorum is met (§2.1).
+  void ReceivePush(std::size_t idx, ByteReader& payload, bool aggregate = true);
+
+  // After all pushes: average gradients over `num_contributions`, update
+  // the global model, and encode this step's pull payloads.
+  void UpdateAndPreparePulls(float lr, int num_contributions);
+
+  // The shared compressed pull payload for tensor `idx` (valid until the
+  // next UpdateAndPreparePulls).
+  ByteSpan PullPayload(std::size_t idx) const;
+
+  // Aggregated (averaged) gradient for tensor idx — exposed for tests.
+  const tensor::Tensor& AggregatedGrad(std::size_t idx) const;
+
+ private:
+  nn::Model* model_;
+  const TensorPlan* plan_;
+  std::shared_ptr<const Compressor> codec_;
+  std::unique_ptr<nn::Optimizer> optimizer_;
+  std::vector<nn::ParamRef> params_;
+
+  struct Slot {
+    tensor::Tensor agg_grad;    // sum of decoded pushes this step
+    tensor::Tensor scratch;     // decode target
+    tensor::Tensor prev_value;  // snapshot for delta computation
+    tensor::Tensor delta;       // scratch: value - prev_value
+    std::unique_ptr<compress::Context> pull_ctx;  // compressed entries only
+    ByteBuffer pull_payload;
+  };
+  std::vector<Slot> slots_;
+};
+
+}  // namespace threelc::ps

@@ -1,0 +1,53 @@
+#include "ps/sharding.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace threelc::ps {
+
+std::int64_t ShardAssignment::MaxShardElements() const {
+  std::int64_t max_elems = 0;
+  for (auto e : shard_elements) max_elems = std::max(max_elems, e);
+  return max_elems;
+}
+
+double ShardAssignment::Imbalance() const {
+  const std::int64_t total =
+      std::accumulate(shard_elements.begin(), shard_elements.end(),
+                      std::int64_t{0});
+  if (total == 0 || shard_elements.empty()) return 1.0;
+  const double ideal =
+      static_cast<double>(total) / static_cast<double>(shard_elements.size());
+  return static_cast<double>(MaxShardElements()) / ideal;
+}
+
+ShardAssignment ShardPlan(const TensorPlan& plan, int num_shards) {
+  THREELC_CHECK_MSG(num_shards >= 1, "need at least one shard");
+  ShardAssignment assignment;
+  assignment.shard_of.assign(plan.size(), 0);
+  assignment.shard_elements.assign(static_cast<std::size_t>(num_shards), 0);
+
+  // LPT: place tensors largest-first onto the least-loaded shard.
+  std::vector<std::size_t> order(plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto ea = plan.entry(a).shape.num_elements();
+    const auto eb = plan.entry(b).shape.num_elements();
+    if (ea != eb) return ea > eb;
+    return a < b;
+  });
+  for (std::size_t idx : order) {
+    const auto lightest = static_cast<std::size_t>(std::distance(
+        assignment.shard_elements.begin(),
+        std::min_element(assignment.shard_elements.begin(),
+                         assignment.shard_elements.end())));
+    assignment.shard_of[idx] = static_cast<int>(lightest);
+    assignment.shard_elements[lightest] +=
+        plan.entry(idx).shape.num_elements();
+  }
+  return assignment;
+}
+
+}  // namespace threelc::ps

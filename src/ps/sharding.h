@@ -1,0 +1,34 @@
+// Server sharding: assign tensors to parameter-server shards.
+//
+// The paper's Figure 1 shows the global model partitioned across multiple
+// servers; each shard owns a subset of tensors and serves their pushes and
+// pulls. Balanced assignment keeps any one server NIC from becoming the
+// bottleneck. We use greedy longest-processing-time (LPT) bin packing on
+// element counts, which is within 4/3 of optimal makespan.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ps/plan.h"
+
+namespace threelc::ps {
+
+struct ShardAssignment {
+  // shard_of[tensor_index] = shard id in [0, num_shards).
+  std::vector<int> shard_of;
+  // Total elements assigned to each shard.
+  std::vector<std::int64_t> shard_elements;
+
+  int num_shards() const { return static_cast<int>(shard_elements.size()); }
+
+  // Elements on the most-loaded shard (the per-step server bottleneck).
+  std::int64_t MaxShardElements() const;
+  // Load imbalance: max shard / ideal (total / shards); 1.0 is perfect.
+  double Imbalance() const;
+};
+
+// Greedy LPT partition of the plan's tensors across `num_shards` shards.
+ShardAssignment ShardPlan(const TensorPlan& plan, int num_shards);
+
+}  // namespace threelc::ps

@@ -1,0 +1,47 @@
+#include "tensor/shape.h"
+
+#include "util/logging.h"
+
+namespace threelc::tensor {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) {
+  for (auto d : dims_) THREELC_CHECK_MSG(d >= 0, "negative dimension");
+}
+
+Shape::Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+  for (auto d : dims_) THREELC_CHECK_MSG(d >= 0, "negative dimension");
+}
+
+std::int64_t Shape::dim(std::size_t i) const {
+  THREELC_CHECK_MSG(i < dims_.size(), "dim index out of range");
+  return dims_[i];
+}
+
+std::int64_t Shape::num_elements() const {
+  std::int64_t n = 1;
+  for (auto d : dims_) n *= d;
+  return n;
+}
+
+std::int64_t Shape::Offset(const std::vector<std::int64_t>& index) const {
+  THREELC_CHECK_MSG(index.size() == dims_.size(), "index rank mismatch");
+  std::int64_t off = 0;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    THREELC_CHECK_MSG(index[i] >= 0 && index[i] < dims_[i],
+                      "index out of bounds at axis " << i);
+    off = off * dims_[i] + index[i];
+  }
+  return off;
+}
+
+std::string Shape::ToString() const {
+  std::string s = "[";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) s += ", ";
+    s += std::to_string(dims_[i]);
+  }
+  s += "]";
+  return s;
+}
+
+}  // namespace threelc::tensor

@@ -1,0 +1,42 @@
+// Tensor shape: an ordered list of dimensions.
+//
+// State-change tensors in the paper are arbitrary-rank (conv kernels are
+// 4-D, fully-connected weights 2-D, biases 1-D); all compression treats
+// them as flat arrays, so Shape mainly provides element counting, equality,
+// and row-major indexing for the NN substrate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace threelc::tensor {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims);
+  explicit Shape(std::vector<std::int64_t> dims);
+
+  std::size_t rank() const { return dims_.size(); }
+  std::int64_t dim(std::size_t i) const;
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  // Total element count (1 for rank-0 scalars).
+  std::int64_t num_elements() const;
+
+  // Row-major flat offset of the given multi-index.
+  std::int64_t Offset(const std::vector<std::int64_t>& index) const;
+
+  bool operator==(const Shape& o) const { return dims_ == o.dims_; }
+  bool operator!=(const Shape& o) const { return !(*this == o); }
+
+  std::string ToString() const;  // e.g. "[3, 16, 16]"
+
+ private:
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace threelc::tensor

@@ -1,0 +1,66 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace threelc::tensor {
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_.num_elements()), 0.0f) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  THREELC_CHECK_MSG(
+      static_cast<std::int64_t>(data_.size()) == shape_.num_elements(),
+      "value count " << data_.size() << " != shape size "
+                     << shape_.num_elements());
+}
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::FromVector(std::vector<float> values) {
+  Shape s{static_cast<std::int64_t>(values.size())};
+  return Tensor(std::move(s), std::move(values));
+}
+
+float& Tensor::at(const std::vector<std::int64_t>& index) {
+  return data_[static_cast<std::size_t>(shape_.Offset(index))];
+}
+
+float Tensor::at(const std::vector<std::int64_t>& index) const {
+  return data_[static_cast<std::size_t>(shape_.Offset(index))];
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor Tensor::Reshaped(Shape new_shape) const {
+  THREELC_CHECK_MSG(new_shape.num_elements() == shape_.num_elements(),
+                    "reshape element count mismatch: " << shape_.ToString()
+                                                       << " -> "
+                                                       << new_shape.ToString());
+  return Tensor(std::move(new_shape), data_);
+}
+
+std::string Tensor::DebugString(std::size_t max_elems) const {
+  std::ostringstream oss;
+  oss << "Tensor" << shape_.ToString() << " {";
+  const std::size_t n = std::min(max_elems, data_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i) oss << ", ";
+    oss << data_[i];
+  }
+  if (data_.size() > n) oss << ", ...";
+  oss << "}";
+  return oss.str();
+}
+
+}  // namespace threelc::tensor

@@ -1,0 +1,66 @@
+// Dense, contiguous float32 tensor — the single value type that flows
+// through the NN substrate, the parameter server, and every codec.
+//
+// Design notes:
+//  - float32 only: the paper's state changes are 32-bit floats; keeping a
+//    single dtype keeps the codec kernels simple and auto-vectorizable.
+//  - Value semantics with cheap moves; data lives in a std::vector<float>.
+//  - Raw data access (data()/span()) is the fast path used by kernels.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/shape.h"
+
+namespace threelc::tensor {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  // Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+  // Tensor with explicit contents; values.size() must equal shape size.
+  Tensor(Shape shape, std::vector<float> values);
+
+  static Tensor Zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor Full(Shape shape, float value);
+  // 1-D tensor from a list of values.
+  static Tensor FromVector(std::vector<float> values);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t num_elements() const { return shape_.num_elements(); }
+  std::size_t size() const { return data_.size(); }
+  std::size_t byte_size() const { return data_.size() * sizeof(float); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return std::span<float>(data_); }
+  std::span<const float> span() const { return std::span<const float>(data_); }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  // Checked multi-index access (slow path; for tests and layer setup).
+  float& at(const std::vector<std::int64_t>& index);
+  float at(const std::vector<std::int64_t>& index) const;
+
+  void Fill(float value);
+  void SetZero() { Fill(0.0f); }
+
+  // Returns a tensor sharing no storage but viewing the same data with a
+  // different shape; element count must match.
+  Tensor Reshaped(Shape new_shape) const;
+
+  bool SameShape(const Tensor& o) const { return shape_ == o.shape_; }
+
+  std::string DebugString(std::size_t max_elems = 16) const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace threelc::tensor

@@ -1,0 +1,219 @@
+#include "tensor/tensor_ops.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace threelc::tensor {
+
+namespace {
+void CheckSameShape(const Tensor& a, const Tensor& b) {
+  THREELC_CHECK_MSG(a.SameShape(b), "shape mismatch: " << a.shape().ToString()
+                                                       << " vs "
+                                                       << b.shape().ToString());
+}
+}  // namespace
+
+void Add(Tensor& dst, const Tensor& src) {
+  CheckSameShape(dst, src);
+  float* d = dst.data();
+  const float* s = src.data();
+  const std::size_t n = dst.size();
+  for (std::size_t i = 0; i < n; ++i) d[i] += s[i];
+}
+
+void Sub(Tensor& dst, const Tensor& src) {
+  CheckSameShape(dst, src);
+  float* d = dst.data();
+  const float* s = src.data();
+  const std::size_t n = dst.size();
+  for (std::size_t i = 0; i < n; ++i) d[i] -= s[i];
+}
+
+void Axpy(Tensor& dst, float alpha, const Tensor& src) {
+  CheckSameShape(dst, src);
+  float* d = dst.data();
+  const float* s = src.data();
+  const std::size_t n = dst.size();
+  for (std::size_t i = 0; i < n; ++i) d[i] += alpha * s[i];
+}
+
+void Scale(Tensor& dst, float alpha) {
+  float* d = dst.data();
+  const std::size_t n = dst.size();
+  for (std::size_t i = 0; i < n; ++i) d[i] *= alpha;
+}
+
+void Mul(Tensor& dst, const Tensor& src) {
+  CheckSameShape(dst, src);
+  float* d = dst.data();
+  const float* s = src.data();
+  const std::size_t n = dst.size();
+  for (std::size_t i = 0; i < n; ++i) d[i] *= s[i];
+}
+
+Tensor Difference(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  Tensor out(a.shape());
+  float* o = out.data();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) o[i] = pa[i] - pb[i];
+  return out;
+}
+
+float MaxAbs(const Tensor& t) {
+  const float* p = t.data();
+  const std::size_t n = t.size();
+  float m = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float a = std::fabs(p[i]);
+    m = a > m ? a : m;
+  }
+  return m;
+}
+
+double Sum(const Tensor& t) {
+  const float* p = t.data();
+  const std::size_t n = t.size();
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += p[i];
+  return s;
+}
+
+double SumSquares(const Tensor& t) {
+  const float* p = t.data();
+  const std::size_t n = t.size();
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += static_cast<double>(p[i]) * p[i];
+  return s;
+}
+
+double Rmse(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const std::size_t n = a.size();
+  if (n == 0) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(pa[i]) - pb[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(n));
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const std::size_t n = a.size();
+  float m = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = std::fabs(pa[i] - pb[i]);
+    m = d > m ? d : m;
+  }
+  return m;
+}
+
+std::int64_t CountZeros(const Tensor& t) {
+  const float* p = t.data();
+  const std::size_t n = t.size();
+  std::int64_t z = 0;
+  for (std::size_t i = 0; i < n; ++i) z += (p[i] == 0.0f);
+  return z;
+}
+
+void Matmul(const Tensor& a, const Tensor& b, Tensor& c) {
+  THREELC_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2 &&
+                c.shape().rank() == 2);
+  const std::int64_t m = a.shape().dim(0), k = a.shape().dim(1),
+                     n = b.shape().dim(1);
+  THREELC_CHECK_MSG(b.shape().dim(0) == k && c.shape().dim(0) == m &&
+                        c.shape().dim(1) == n,
+                    "matmul shape mismatch");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // ikj loop order: unit-stride inner loop over B and C rows.
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = pc + i * n;
+    for (std::int64_t j = 0; j < n; ++j) crow[j] = 0.0f;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      const float* brow = pb + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void MatmulTransA(const Tensor& a, const Tensor& b, Tensor& c) {
+  THREELC_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2 &&
+                c.shape().rank() == 2);
+  const std::int64_t m = a.shape().dim(0), k = a.shape().dim(1),
+                     n = b.shape().dim(1);
+  THREELC_CHECK_MSG(b.shape().dim(0) == m && c.shape().dim(0) == k &&
+                        c.shape().dim(1) == n,
+                    "matmul(T,·) shape mismatch");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::int64_t i = 0; i < k * n; ++i) pc[i] = 0.0f;
+  for (std::int64_t row = 0; row < m; ++row) {
+    const float* arow = pa + row * k;
+    const float* brow = pb + row * n;
+    for (std::int64_t i = 0; i < k; ++i) {
+      const float aval = arow[i];
+      float* crow = pc + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }
+}
+
+void MatmulTransB(const Tensor& a, const Tensor& b, Tensor& c) {
+  THREELC_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2 &&
+                c.shape().rank() == 2);
+  const std::int64_t m = a.shape().dim(0), n = a.shape().dim(1),
+                     k = b.shape().dim(0);
+  THREELC_CHECK_MSG(b.shape().dim(1) == n && c.shape().dim(0) == m &&
+                        c.shape().dim(1) == k,
+                    "matmul(·,T) shape mismatch");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * n;
+    for (std::int64_t j = 0; j < k; ++j) {
+      const float* brow = pb + j * n;
+      float acc = 0.0f;
+      for (std::int64_t t = 0; t < n; ++t) acc += arow[t] * brow[t];
+      pc[i * k + j] = acc;
+    }
+  }
+}
+
+void FillNormal(Tensor& t, util::Rng& rng, float mean, float stddev) {
+  float* p = t.data();
+  const std::size_t n = t.size();
+  for (std::size_t i = 0; i < n; ++i) p[i] = rng.NormalFloat(mean, stddev);
+}
+
+void FillUniform(Tensor& t, util::Rng& rng, float lo, float hi) {
+  float* p = t.data();
+  const std::size_t n = t.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = lo + (hi - lo) * rng.UniformFloat();
+  }
+}
+
+std::size_t ArgMax(const float* begin, std::size_t len) {
+  THREELC_CHECK(len > 0);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < len; ++i) {
+    if (begin[i] > begin[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace threelc::tensor

@@ -1,0 +1,86 @@
+#include "train/experiment.h"
+
+#include "util/logging.h"
+
+namespace threelc::train {
+
+ExperimentConfig DefaultExperiment() {
+  ExperimentConfig config;
+
+  // Dataset sized so test accuracy *rises* with the step budget across the
+  // paper's 25–100% budgets (no overfitting inversion): ample examples, a
+  // noiseless teacher, and moderately hard cluster structure.
+  config.data.num_train = 32768;
+  config.data.num_test = 4096;
+  config.data.input_dim = 192;  // 8x8x3 synthetic "images"
+  config.data.num_classes = 10;
+  config.data.label_noise = 0.0f;
+  config.data.cluster_scale = 0.6f;
+  config.data.seed = 42;
+
+  config.model.input_dim = config.data.input_dim;
+  config.model.hidden = {128, 64};
+  config.model.num_classes = config.data.num_classes;
+  config.model.batch_norm = true;
+
+  config.trainer.num_workers = 10;
+  config.trainer.batch_size = 32;
+  config.trainer.lr_max = 0.1f;
+  config.trainer.lr_min = 0.001f;
+  config.trainer.optimizer.momentum = 0.9f;
+  config.trainer.optimizer.weight_decay = 1e-4f;
+  config.trainer.min_compress_elems = 256;  // batch-norm tensors bypass
+  config.trainer.eval_every = 100;
+  config.trainer.augment_noise = 0.05f;
+  config.trainer.seed = 7;
+
+  config.standard_steps = 1200;
+  return config;
+}
+
+ExperimentConfig SmallExperiment() {
+  ExperimentConfig config = DefaultExperiment();
+  config.data.num_train = 2048;
+  config.data.num_test = 512;
+  config.trainer.num_workers = 4;
+  config.trainer.eval_every = 50;
+  config.standard_steps = 200;
+  return config;
+}
+
+TrainResult RunDesign(const ExperimentConfig& config,
+                      const compress::CodecConfig& codec, std::int64_t steps,
+                      const data::SyntheticData& data) {
+  TrainerConfig tc = config.trainer;
+  tc.codec = codec;
+  tc.total_steps = steps;
+  const MlpSpec spec = config.model;
+  const std::uint64_t model_seed = config.model_seed;
+  DistributedTrainer trainer(
+      tc, [spec, model_seed] { return BuildMlp(spec, model_seed); },
+      data.train, data.test);
+  return trainer.Run();
+}
+
+std::vector<net::LinkConfig> PaperLinks() {
+  return {net::LinkConfig::TenMbps(), net::LinkConfig::HundredMbps(),
+          net::LinkConfig::OneGbps()};
+}
+
+TimeModelConfig PaperTimeModel(const net::LinkConfig& link,
+                               std::int64_t model_parameters) {
+  TimeModelConfig tm;
+  tm.link = link;
+  tm.compute_seconds_per_step = 0.35;
+  tm.element_scale = TimeModelConfig::PaperElementScale(model_parameters);
+  return tm;
+}
+
+double Speedup(const TrainResult& baseline, const TrainResult& design,
+               const TimeModelConfig& time_config) {
+  const double design_time = EstimateTrainingSeconds(design, time_config);
+  THREELC_CHECK(design_time > 0.0);
+  return EstimateTrainingSeconds(baseline, time_config) / design_time;
+}
+
+}  // namespace threelc::train

@@ -1,0 +1,51 @@
+// Shared experiment harness for the paper's evaluation (§5): the standard
+// workload, the compared designs, and the bandwidth grid, so every bench
+// binary reproduces its table/figure from the same configuration.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "net/bandwidth.h"
+#include "train/model_zoo.h"
+#include "train/time_model.h"
+#include "train/trainer.h"
+
+namespace threelc::train {
+
+struct ExperimentConfig {
+  data::SyntheticConfig data;
+  MlpSpec model;
+  TrainerConfig trainer;          // codec overridden per design
+  std::int64_t standard_steps = 1200;  // our stand-in for 25,600 steps
+  std::uint64_t model_seed = 1234;
+};
+
+// The paper-shaped default: 10 workers x batch 32, momentum 0.9, weight
+// decay 1e-4, cosine decay, synthetic CIFAR-like data, MLP with one
+// batch-norm (small-layer bypass exercised).
+ExperimentConfig DefaultExperiment();
+
+// A reduced configuration for fast smoke runs (tests, quick benches).
+ExperimentConfig SmallExperiment();
+
+// Run one design for `steps` steps on the given data.
+TrainResult RunDesign(const ExperimentConfig& config,
+                      const compress::CodecConfig& codec,
+                      std::int64_t steps, const data::SyntheticData& data);
+
+// The paper's three emulated links, in Table 1 column order.
+std::vector<net::LinkConfig> PaperLinks();
+
+// Time-model configuration for a link, using paper-scale element
+// extrapolation for the given model size.
+TimeModelConfig PaperTimeModel(const net::LinkConfig& link,
+                               std::int64_t model_parameters);
+
+// Speedup of `design` over `baseline` under `time_config` (total simulated
+// training seconds ratio; both runs must use the same step count).
+double Speedup(const TrainResult& baseline, const TrainResult& design,
+               const TimeModelConfig& time_config);
+
+}  // namespace threelc::train

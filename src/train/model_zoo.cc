@@ -1,0 +1,46 @@
+#include "train/model_zoo.h"
+
+#include <string>
+
+#include "nn/activation.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+
+namespace threelc::train {
+
+nn::Model BuildMlp(const MlpSpec& spec, std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::Model model;
+  std::int64_t in_dim = spec.input_dim;
+  for (std::size_t i = 0; i < spec.hidden.size(); ++i) {
+    const std::string tag = "fc" + std::to_string(i + 1);
+    model.Emplace<nn::Dense>(tag, in_dim, spec.hidden[i], rng);
+    if (spec.batch_norm && i == 0) {
+      model.Emplace<nn::BatchNorm1d>(tag + "_bn", spec.hidden[i]);
+    }
+    model.Emplace<nn::Relu>(tag + "_relu");
+    in_dim = spec.hidden[i];
+  }
+  model.Emplace<nn::Dense>("classifier", in_dim, spec.num_classes, rng);
+  return model;
+}
+
+nn::Model BuildCnn(const CnnSpec& spec, std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::Model model;
+  auto& conv = model.Emplace<nn::Conv2d>("conv1", spec.channels,
+                                         spec.conv_filters, spec.kernel,
+                                         /*stride=*/1, /*padding=*/1, rng);
+  model.Emplace<nn::Relu>("conv1_relu");
+  model.Emplace<nn::Flatten>("flatten");
+  const std::int64_t flat = spec.conv_filters * conv.OutSize(spec.height) *
+                            conv.OutSize(spec.width);
+  model.Emplace<nn::Dense>("fc1", flat, spec.dense_hidden, rng);
+  model.Emplace<nn::Relu>("fc1_relu");
+  model.Emplace<nn::Dense>("classifier", spec.dense_hidden, spec.num_classes,
+                           rng);
+  return model;
+}
+
+}  // namespace threelc::train

@@ -1,0 +1,39 @@
+// Model builders for experiments, examples, and tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/model.h"
+#include "util/rng.h"
+
+namespace threelc::train {
+
+struct MlpSpec {
+  std::int64_t input_dim = 192;
+  std::vector<std::int64_t> hidden = {128, 64};
+  std::int64_t num_classes = 10;
+  bool batch_norm = true;  // after the first hidden layer (small-layer path)
+};
+
+// Dense -> [BatchNorm] -> ReLU stacks ending in a linear classifier.
+// All models built from the same spec and seed are architecturally and
+// numerically identical — required for cloning the global model onto
+// workers.
+nn::Model BuildMlp(const MlpSpec& spec, std::uint64_t seed);
+
+struct CnnSpec {
+  std::int64_t channels = 3;
+  std::int64_t height = 8;
+  std::int64_t width = 8;
+  std::int64_t conv_filters = 8;
+  std::int64_t kernel = 3;
+  std::int64_t dense_hidden = 32;
+  std::int64_t num_classes = 10;
+};
+
+// Conv -> ReLU -> Flatten -> Dense -> ReLU -> Dense classifier. Used by the
+// CNN example and integration tests (4-D state-change tensors).
+nn::Model BuildCnn(const CnnSpec& spec, std::uint64_t seed);
+
+}  // namespace threelc::train

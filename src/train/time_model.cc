@@ -1,0 +1,45 @@
+#include "train/time_model.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace threelc::train {
+
+double TimeModelConfig::PaperElementScale(std::int64_t our_model_parameters) {
+  constexpr double kResNet110Params = 1.73e6;
+  THREELC_CHECK(our_model_parameters > 0);
+  return kResNet110Params / static_cast<double>(our_model_parameters);
+}
+
+double EstimateTrainingSeconds(const TrainResult& result,
+                               const TimeModelConfig& config) {
+  const net::NetworkModel network(config.link, config.overlap_fraction);
+  THREELC_CHECK_MSG(result.num_workers >= 1, "result missing worker count");
+  // One machine's share of the cluster-wide traffic is the bottleneck.
+  const double machine_share =
+      static_cast<double>(config.workers_per_machine) /
+      static_cast<double>(result.num_workers);
+  double total = 0.0;
+  for (const auto& s : result.steps) {
+    const auto push = static_cast<std::size_t>(
+        static_cast<double>(s.push_bytes) * config.element_scale *
+        machine_share);
+    const auto pull = static_cast<std::size_t>(
+        static_cast<double>(s.pull_bytes) * config.element_scale *
+        machine_share);
+    total += network.StepSeconds(
+        config.compute_seconds_per_step * s.compute_multiplier,
+        s.codec_seconds * config.element_scale, push, pull);
+  }
+  return total;
+}
+
+double EstimatePerStepSeconds(const TrainResult& result,
+                              const TimeModelConfig& config) {
+  if (result.steps.empty()) return 0.0;
+  return EstimateTrainingSeconds(result, config) /
+         static_cast<double>(result.steps.size());
+}
+
+}  // namespace threelc::train

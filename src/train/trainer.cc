@@ -1,0 +1,294 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace threelc::train {
+
+std::size_t TrainResult::TotalBytes() const {
+  std::size_t total = 0;
+  for (const auto& s : steps) total += s.push_bytes + s.pull_bytes;
+  return total;
+}
+
+std::size_t TrainResult::TotalValues() const {
+  std::size_t total = 0;
+  for (const auto& s : steps) total += s.push_values + s.pull_values;
+  return total;
+}
+
+double TrainResult::AverageBitsPerValue() const {
+  const std::size_t values = TotalValues();
+  if (values == 0) return 0.0;
+  return static_cast<double>(TotalBytes()) * 8.0 / static_cast<double>(values);
+}
+
+double TrainResult::AverageCompressionRatio() const {
+  const std::size_t bytes = TotalBytes();
+  if (bytes == 0) return 0.0;
+  return static_cast<double>(TotalValues() * sizeof(float)) /
+         static_cast<double>(bytes);
+}
+
+double TrainResult::TotalCodecSeconds() const {
+  double total = 0.0;
+  for (const auto& s : steps) total += s.codec_seconds;
+  return total;
+}
+
+std::size_t TrainResult::CodecBytes() const {
+  std::size_t total = 0;
+  for (const auto& s : steps) total += s.push_bytes_codec + s.pull_bytes_codec;
+  return total;
+}
+
+std::size_t TrainResult::CodecValues() const {
+  std::size_t total = 0;
+  for (const auto& s : steps) {
+    total += s.push_values_codec + s.pull_values_codec;
+  }
+  return total;
+}
+
+double TrainResult::CodecBitsPerValue() const {
+  const std::size_t values = CodecValues();
+  if (values == 0) return 0.0;
+  return static_cast<double>(CodecBytes()) * 8.0 /
+         static_cast<double>(values);
+}
+
+double TrainResult::CodecCompressionRatio() const {
+  const std::size_t bytes = CodecBytes();
+  if (bytes == 0) return 0.0;
+  return static_cast<double>(CodecValues() * sizeof(float)) /
+         static_cast<double>(bytes);
+}
+
+DistributedTrainer::DistributedTrainer(TrainerConfig config,
+                                       ModelFactory model_factory,
+                                       const data::Dataset& train_data,
+                                       const data::Dataset& test_data)
+    : config_(std::move(config)), global_model_(model_factory()) {
+  THREELC_CHECK(config_.num_workers >= 1);
+  THREELC_CHECK(config_.total_steps >= 1);
+
+  plan_ = ps::TensorPlan::FromParams(global_model_.Params(),
+                                     config_.min_compress_elems);
+  codec_ = std::shared_ptr<const compress::Compressor>(
+      compress::MakeCompressor(config_.codec));
+  std::unique_ptr<nn::Optimizer> optimizer;
+  if (config_.optimizer_kind == TrainerConfig::OptimizerKind::kAdam) {
+    optimizer = std::make_unique<nn::Adam>(config_.adam);
+  } else {
+    optimizer = std::make_unique<nn::MomentumSgd>(config_.optimizer);
+  }
+  server_ = std::make_unique<ps::ParameterServer>(global_model_, plan_, codec_,
+                                                  std::move(optimizer));
+
+  util::Rng seeder(config_.seed);
+  worker_models_.reserve(static_cast<std::size_t>(config_.num_workers));
+  for (int w = 0; w < config_.num_workers; ++w) {
+    worker_models_.push_back(model_factory());
+    // Workers start from the identical global model (BSP).
+    worker_models_.back().CopyParamsFrom(global_model_);
+  }
+  for (int w = 0; w < config_.num_workers; ++w) {
+    workers_.push_back(std::make_unique<ps::Worker>(
+        w, worker_models_[static_cast<std::size_t>(w)], plan_, codec_));
+    samplers_.emplace_back(train_data, seeder.Fork(), config_.augment_noise);
+  }
+  eval_batches_ = data::EvalBatches(test_data, config_.eval_batch_size);
+}
+
+double DistributedTrainer::EvaluateGlobalModel() {
+  // The designated batch-norm worker (worker 0) owns running statistics;
+  // copy them onto the global snapshot before evaluating (paper §5.2).
+  global_model_.CopyBuffersFrom(worker_models_[0]);
+  std::size_t correct = 0, total = 0;
+  for (const auto& batch : eval_batches_) {
+    tensor::Tensor logits = global_model_.Forward(batch.inputs, false);
+    const double acc = nn::Accuracy(logits, batch.labels);
+    const std::size_t n = batch.labels.size();
+    correct += static_cast<std::size_t>(acc * static_cast<double>(n) + 0.5);
+    total += n;
+  }
+  return total ? static_cast<double>(correct) / static_cast<double>(total)
+               : 0.0;
+}
+
+TrainResult DistributedTrainer::Run() {
+  const auto num_workers = static_cast<std::size_t>(config_.num_workers);
+  const std::size_t num_tensors = plan_.size();
+  nn::CosineDecay schedule(config_.lr_max, config_.lr_min, config_.total_steps);
+
+  std::unique_ptr<util::ThreadPool> pool;
+  if (config_.parallel_workers) {
+    pool = std::make_unique<util::ThreadPool>(
+        std::min<std::size_t>(num_workers,
+                              std::thread::hardware_concurrency()));
+  }
+
+  TrainResult result;
+  result.codec_name = codec_->name();
+  result.model_parameters = global_model_.NumParameters();
+  result.num_workers = config_.num_workers;
+  result.steps.reserve(static_cast<std::size_t>(config_.total_steps));
+
+  // Straggler simulation (paper §2.1): per-step simulated compute-time
+  // multipliers decide which workers the backup-worker barrier waits for.
+  THREELC_CHECK_MSG(config_.backup_workers >= 0 &&
+                        config_.backup_workers < config_.num_workers,
+                    "backup_workers must be in [0, num_workers)");
+  const std::size_t quorum =
+      num_workers - static_cast<std::size_t>(config_.backup_workers);
+  util::Rng straggler_rng(config_.seed ^ 0xBACCu);
+  std::vector<double> compute_mult(num_workers, 1.0);
+  std::vector<std::size_t> worker_order(num_workers);
+
+  // Per-worker push payloads (one buffer holding all tensors in order) and
+  // per-worker measured codec seconds for this step.
+  std::vector<util::ByteBuffer> push_payloads(num_workers);
+  std::vector<std::vector<std::size_t>> push_sizes(
+      num_workers, std::vector<std::size_t>(num_tensors, 0));
+  std::vector<double> worker_encode_s(num_workers, 0.0);
+  std::vector<double> worker_decode_s(num_workers, 0.0);
+  std::vector<double> worker_loss(num_workers, 0.0);
+
+  for (std::int64_t step = 0; step < config_.total_steps; ++step) {
+    StepRecord rec;
+    rec.step = step;
+    rec.lr = schedule.At(step);
+    server_->BeginStep();
+
+    // Draw this step's simulated compute times and pick the quorum: the
+    // (num_workers - backup_workers) fastest workers contribute gradients.
+    for (std::size_t w = 0; w < num_workers; ++w) {
+      double m = 1.0;
+      if (config_.straggler_jitter > 0.0) {
+        m += std::fabs(straggler_rng.Normal(0.0, config_.straggler_jitter));
+      }
+      if (config_.straggler_prob > 0.0 &&
+          straggler_rng.Bernoulli(config_.straggler_prob)) {
+        m *= config_.straggler_slowdown;
+      }
+      compute_mult[w] = m;
+      worker_order[w] = w;
+    }
+    std::sort(worker_order.begin(), worker_order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return compute_mult[a] != compute_mult[b]
+                           ? compute_mult[a] < compute_mult[b]
+                           : a < b;
+              });
+    std::vector<bool> contributes(num_workers, false);
+    for (std::size_t i = 0; i < quorum; ++i) {
+      contributes[worker_order[i]] = true;
+    }
+    // The barrier waits for the slowest *contributing* worker.
+    rec.compute_multiplier = compute_mult[worker_order[quorum - 1]];
+    rec.contributors = static_cast<int>(quorum);
+
+    // --- Forward/backward + gradient push encode, per worker (parallel).
+    auto compute_and_encode = [&](std::size_t w) {
+      data::Batch batch = samplers_[w].Next(config_.batch_size);
+      nn::LossResult loss =
+          worker_models_[w].TrainStep(batch.inputs, batch.labels);
+      worker_loss[w] = loss.loss;
+      push_payloads[w].Clear();
+      util::CpuTimer timer;
+      for (std::size_t t = 0; t < num_tensors; ++t) {
+        push_sizes[w][t] = workers_[w]->EncodePush(t, push_payloads[w]);
+      }
+      worker_encode_s[w] = timer.ElapsedSeconds();
+    };
+    if (pool) {
+      pool->ParallelFor(num_workers, compute_and_encode);
+    } else {
+      for (std::size_t w = 0; w < num_workers; ++w) compute_and_encode(w);
+    }
+
+    // --- Server: decode + aggregate pushes in fixed worker order.
+    double server_decode_s = 0.0;
+    for (std::size_t w = 0; w < num_workers; ++w) {
+      util::ByteReader reader(push_payloads[w]);
+      util::CpuTimer timer;
+      for (std::size_t t = 0; t < num_tensors; ++t) {
+        server_->ReceivePush(t, reader, contributes[w]);
+        const auto values =
+            static_cast<std::size_t>(plan_.entry(t).shape.num_elements());
+        rec.push_bytes += push_sizes[w][t];
+        rec.push_values += values;
+        if (plan_.entry(t).compressed) {
+          rec.push_bytes_codec += push_sizes[w][t];
+          rec.push_values_codec += values;
+        }
+      }
+      server_decode_s += timer.ElapsedSeconds();
+      THREELC_CHECK_MSG(reader.AtEnd(), "push payload not fully consumed");
+    }
+
+    // --- Model update + shared pull compression (encoded once).
+    util::CpuTimer pull_encode_timer;
+    server_->UpdateAndPreparePulls(rec.lr, static_cast<int>(quorum));
+    const double pull_encode_s = pull_encode_timer.ElapsedSeconds();
+
+    // --- Workers decode and apply the shared pull payloads (parallel).
+    auto apply_pulls = [&](std::size_t w) {
+      util::CpuTimer timer;
+      for (std::size_t t = 0; t < num_tensors; ++t) {
+        util::ByteReader reader(server_->PullPayload(t));
+        workers_[w]->ApplyPull(t, reader);
+        THREELC_CHECK_MSG(reader.AtEnd(), "pull payload not fully consumed");
+      }
+      worker_decode_s[w] = timer.ElapsedSeconds();
+    };
+    if (pool) {
+      pool->ParallelFor(num_workers, apply_pulls);
+    } else {
+      for (std::size_t w = 0; w < num_workers; ++w) apply_pulls(w);
+    }
+    for (std::size_t t = 0; t < num_tensors; ++t) {
+      // Each worker pulls its own copy of the shared payload over the wire.
+      const std::size_t bytes = server_->PullPayload(t).size() * num_workers;
+      const auto values =
+          static_cast<std::size_t>(plan_.entry(t).shape.num_elements()) *
+          num_workers;
+      rec.pull_bytes += bytes;
+      rec.pull_values += values;
+      if (plan_.entry(t).compressed) {
+        rec.pull_bytes_codec += bytes;
+        rec.pull_values_codec += values;
+      }
+    }
+
+    // Critical-path codec time of this step: workers run concurrently on
+    // separate machines (max), the server is one machine (sum + once).
+    rec.codec_seconds =
+        *std::max_element(worker_encode_s.begin(), worker_encode_s.end()) +
+        server_decode_s + pull_encode_s +
+        *std::max_element(worker_decode_s.begin(), worker_decode_s.end());
+
+    double loss_sum = 0.0;
+    for (double l : worker_loss) loss_sum += l;
+    rec.loss = loss_sum / static_cast<double>(num_workers);
+    result.steps.push_back(rec);
+
+    if (config_.eval_every > 0 && (step + 1) % config_.eval_every == 0) {
+      result.evals.push_back({step + 1, EvaluateGlobalModel()});
+    }
+  }
+
+  result.final_test_accuracy = EvaluateGlobalModel();
+  if (result.evals.empty() ||
+      result.evals.back().step != config_.total_steps) {
+    result.evals.push_back({config_.total_steps, result.final_test_accuracy});
+  }
+  result.final_train_loss = result.steps.back().loss;
+  return result;
+}
+
+}  // namespace threelc::train

@@ -1,0 +1,10 @@
+#include "util/byte_buffer.h"
+
+#include <bit>
+
+namespace threelc::util {
+
+static_assert(std::endian::native == std::endian::little,
+              "threelc on-wire format assumes a little-endian host");
+
+}  // namespace threelc::util

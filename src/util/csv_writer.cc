@@ -1,0 +1,42 @@
+#include "util/csv_writer.h"
+
+#include <stdexcept>
+
+namespace threelc::util {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  WriteLine(header);
+  rows_ = 0;  // header does not count as a data row
+}
+
+CsvWriter::~CsvWriter() = default;
+
+CsvWriter::Row::~Row() {
+  if (writer_ != nullptr) writer_->WriteLine(cells_);
+}
+
+std::string CsvWriter::Row::Escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::WriteLine(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+  out_.flush();
+  ++rows_;
+}
+
+}  // namespace threelc::util

@@ -1,0 +1,56 @@
+// CSV emission for benchmark harness outputs (one file per table/figure).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace threelc::util {
+
+class CsvWriter {
+ public:
+  // Writes to `path`; throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  class Row {
+   public:
+    explicit Row(CsvWriter* w) : writer_(w) {}
+    Row(Row&& o) noexcept : writer_(o.writer_), cells_(std::move(o.cells_)) {
+      o.writer_ = nullptr;
+    }
+    ~Row();
+
+    template <typename T>
+    Row& Add(const T& v) {
+      std::ostringstream oss;
+      oss << v;
+      cells_.push_back(Escape(oss.str()));
+      return *this;
+    }
+
+   private:
+    static std::string Escape(const std::string& s);
+    CsvWriter* writer_;
+    std::vector<std::string> cells_;
+  };
+
+  Row NewRow() { return Row(this); }
+  const std::string& path() const { return path_; }
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  friend class Row;
+  void WriteLine(const std::vector<std::string>& cells);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace threelc::util

@@ -1,0 +1,38 @@
+// Minimal command-line flag parsing for examples and bench binaries.
+//
+// Supports --key=value and --key value forms plus boolean --key. Unknown
+// flags are collected so callers can warn; positional arguments are kept
+// in order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace threelc::util {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  // Typed getters with defaults. Throws std::runtime_error when the flag
+  // value is present but not parseable as the requested type.
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  std::int64_t GetInt(const std::string& name,
+                      std::int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  bool Has(const std::string& name) const;
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program_name() const { return program_name_; }
+
+ private:
+  std::string program_name_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace threelc::util

@@ -1,0 +1,53 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+namespace threelc::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_log_mutex;
+
+const char* LevelName(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ < g_level.load()) return;
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::cerr << stream_.str() << "\n";
+}
+
+void CheckFailed(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  {
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::cerr << "[CHECK FAILED " << file << ":" << line << "] " << expr;
+    if (!msg.empty()) std::cerr << " — " << msg;
+    std::cerr << std::endl;
+  }
+  std::abort();
+}
+
+}  // namespace threelc::util

@@ -1,0 +1,63 @@
+// Minimal leveled logging and check macros.
+//
+// THREELC_CHECK is used for invariant violations that indicate programmer
+// error (aborts); recoverable decode errors use exceptions instead.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace threelc::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global verbosity; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// A no-op sink so disabled log statements still typecheck their arguments.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line,
+                              const std::string& msg);
+
+}  // namespace threelc::util
+
+#define THREELC_LOG(level)                                               \
+  ::threelc::util::LogMessage(::threelc::util::LogLevel::k##level,       \
+                              __FILE__, __LINE__)                        \
+      .stream()
+
+#define THREELC_CHECK(expr)                                              \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::threelc::util::CheckFailed(#expr, __FILE__, __LINE__, "");       \
+    }                                                                    \
+  } while (0)
+
+#define THREELC_CHECK_MSG(expr, msg)                                     \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream oss_;                                           \
+      oss_ << msg;                                                       \
+      ::threelc::util::CheckFailed(#expr, __FILE__, __LINE__, oss_.str()); \
+    }                                                                    \
+  } while (0)

@@ -1,0 +1,65 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// All randomness in the library flows through util::Rng so experiments are
+// reproducible bit-for-bit given a seed. The generator is xoshiro256**,
+// seeded via splitmix64 (the initialization recommended by its authors).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace threelc::util {
+
+// splitmix64: used for seeding and as a cheap stateless mixer.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+// xoshiro256** 1.0 — fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x3 /* "3LC" */);
+
+  // UniformRandomBitGenerator interface (usable with <random> adapters).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+  result_type operator()() { return Next(); }
+
+  std::uint64_t Next();
+
+  // Uniform in [0, 1).
+  double Uniform();
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+  // Uniform float in [0, 1).
+  float UniformFloat();
+  // Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t Below(std::uint64_t n);
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t Int(std::int64_t lo, std::int64_t hi);
+  // Standard normal via Box–Muller (cached second value).
+  double Normal();
+  double Normal(double mean, double stddev);
+  float NormalFloat(float mean, float stddev);
+  // Bernoulli with probability p of true.
+  bool Bernoulli(double p);
+
+  // Fisher–Yates shuffle of an index vector.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(Below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Derive an independent child generator (for per-worker streams).
+  Rng Fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace threelc::util

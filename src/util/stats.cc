@@ -1,0 +1,64 @@
+#include "util/stats.h"
+
+#include <cassert>
+
+namespace threelc::util {
+
+void RunningStat::Add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStat::Merge(const RunningStat& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double delta = o.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(o.n_);
+  const double n = na + nb;
+  m2_ += o.m2_ + delta * delta * na * nb / n;
+  mean_ += delta * nb / n;
+  n_ += o.n_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+void RunningStat::Reset() { *this = RunningStat(); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::Add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::Quantile(double q) const {
+  if (total_ == 0) return lo_;
+  const auto target = static_cast<std::size_t>(
+      q * static_cast<double>(total_ - 1));
+  std::size_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen > target) {
+      const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+      return lo_ + (static_cast<double>(i) + 0.5) * width;
+    }
+  }
+  return hi_;
+}
+
+}  // namespace threelc::util

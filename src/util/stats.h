@@ -1,0 +1,69 @@
+// Streaming statistics helpers used by trainers and benchmark harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace threelc::util {
+
+// Welford's online mean/variance with min/max tracking.
+class RunningStat {
+ public:
+  void Add(double x);
+  void Merge(const RunningStat& other);
+  void Reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Exponential moving average (for smoothed loss curves).
+class Ema {
+ public:
+  explicit Ema(double alpha) : alpha_(alpha) {}
+  void Add(double x) {
+    value_ = initialized_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+    initialized_ = true;
+  }
+  double value() const { return value_; }
+  bool initialized() const { return initialized_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+// Fixed-bin histogram over [lo, hi); out-of-range values clamp to edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void Add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_[i]; }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double Quantile(double q) const;  // approximate, from bin midpoints
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace threelc::util

@@ -1,0 +1,45 @@
+// Timing for codec-overhead and per-step measurements.
+#pragma once
+
+#include <chrono>
+#include <ctime>
+
+namespace threelc::util {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+  void Reset() { start_ = Clock::now(); }
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Per-thread CPU time. Codec-overhead measurements use this rather than
+// wall-clock so that results are immune to preemption when simulated
+// workers oversubscribe the host's cores — on the paper's cluster each
+// worker has dedicated CPUs, which thread CPU time models faithfully.
+class CpuTimer {
+ public:
+  CpuTimer() : start_(Now()) {}
+  void Reset() { start_ = Now(); }
+  double ElapsedSeconds() const { return Now() - start_; }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  static double Now() {
+    timespec ts;
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+  double start_;
+};
+
+}  // namespace threelc::util

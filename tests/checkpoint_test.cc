@@ -1,0 +1,164 @@
+// Tests for model checkpointing (save/load round trips and corruption
+// handling), plus server-sharding assignment.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "nn/checkpoint.h"
+#include "ps/sharding.h"
+#include "tensor/tensor_ops.h"
+#include "train/model_zoo.h"
+#include "util/rng.h"
+
+namespace threelc {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+train::MlpSpec Spec() { return {6, {16, 8}, 3, true}; }
+
+TEST(Checkpoint, RoundTripRestoresForwardOutputs) {
+  auto model = train::BuildMlp(Spec(), 1);
+  const std::string path = TempPath("ckpt_roundtrip.bin");
+  nn::SaveCheckpoint(model, path);
+
+  auto restored = train::BuildMlp(Spec(), 2);  // different init
+  nn::LoadCheckpoint(restored, path);
+
+  util::Rng rng(3);
+  tensor::Tensor in(tensor::Shape{4, 6});
+  tensor::FillNormal(in, rng, 0.0f, 1.0f);
+  EXPECT_EQ(tensor::MaxAbsDiff(model.Forward(in, false),
+                               restored.Forward(in, false)),
+            0.0f);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RestoresBatchNormBuffers) {
+  auto model = train::BuildMlp(Spec(), 4);
+  // Drive the BN running statistics away from their init.
+  util::Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    tensor::Tensor in(tensor::Shape{32, 6});
+    tensor::FillNormal(in, rng, 2.0f, 3.0f);
+    model.Forward(in, true);
+  }
+  const std::string path = TempPath("ckpt_buffers.bin");
+  nn::SaveCheckpoint(model, path);
+  auto restored = train::BuildMlp(Spec(), 6);
+  nn::LoadCheckpoint(restored, path);
+  auto orig_buffers = model.Buffers();
+  auto rest_buffers = restored.Buffers();
+  ASSERT_EQ(orig_buffers.size(), rest_buffers.size());
+  for (std::size_t i = 0; i < orig_buffers.size(); ++i) {
+    EXPECT_EQ(tensor::MaxAbsDiff(*orig_buffers[i], *rest_buffers[i]), 0.0f);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  auto model = train::BuildMlp(Spec(), 1);
+  EXPECT_THROW(nn::LoadCheckpoint(model, TempPath("does_not_exist.bin")),
+               std::runtime_error);
+}
+
+TEST(Checkpoint, BadMagicThrows) {
+  const std::string path = TempPath("ckpt_bad_magic.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPE and some garbage";
+  }
+  auto model = train::BuildMlp(Spec(), 1);
+  EXPECT_THROW(nn::LoadCheckpoint(model, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ArchitectureMismatchThrows) {
+  auto model = train::BuildMlp(Spec(), 1);
+  const std::string path = TempPath("ckpt_arch.bin");
+  nn::SaveCheckpoint(model, path);
+  auto different = train::BuildMlp({6, {32, 8}, 3, true}, 1);
+  EXPECT_THROW(nn::LoadCheckpoint(different, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TruncatedFileThrows) {
+  auto model = train::BuildMlp(Spec(), 1);
+  const std::string path = TempPath("ckpt_trunc.bin");
+  nn::SaveCheckpoint(model, path);
+  // Truncate to half.
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size() / 2));
+  }
+  EXPECT_THROW(nn::LoadCheckpoint(model, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// ---------- Sharding ----------
+
+TEST(Sharding, SingleShardTakesEverything) {
+  auto model = train::BuildMlp(Spec(), 1);
+  auto plan = ps::TensorPlan::FromParams(model.Params(), 1);
+  auto shards = ps::ShardPlan(plan, 1);
+  EXPECT_EQ(shards.num_shards(), 1);
+  EXPECT_EQ(shards.shard_elements[0], plan.TotalElements());
+  EXPECT_NEAR(shards.Imbalance(), 1.0, 1e-9);
+}
+
+TEST(Sharding, AssignsEveryTensorExactlyOnce) {
+  auto model = train::BuildMlp({64, {128, 64, 32}, 10, true}, 2);
+  auto plan = ps::TensorPlan::FromParams(model.Params(), 1);
+  auto shards = ps::ShardPlan(plan, 3);
+  ASSERT_EQ(shards.shard_of.size(), plan.size());
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_GE(shards.shard_of[i], 0);
+    EXPECT_LT(shards.shard_of[i], 3);
+    total += plan.entry(i).shape.num_elements();
+  }
+  std::int64_t shard_total = 0;
+  for (auto e : shards.shard_elements) shard_total += e;
+  EXPECT_EQ(shard_total, total);
+}
+
+TEST(Sharding, LptBalancesLoad) {
+  auto model = train::BuildMlp({64, {128, 64, 32}, 10, true}, 2);
+  auto plan = ps::TensorPlan::FromParams(model.Params(), 1);
+  auto shards = ps::ShardPlan(plan, 2);
+  // LPT guarantees makespan within 4/3 of optimal; optimal >= ideal.
+  EXPECT_LT(shards.Imbalance(), 4.0 / 3.0 + 1e-9);
+}
+
+TEST(Sharding, MoreShardsNeverIncreaseBottleneck) {
+  auto model = train::BuildMlp({64, {128, 64, 32}, 10, true}, 2);
+  auto plan = ps::TensorPlan::FromParams(model.Params(), 1);
+  std::int64_t prev = plan.TotalElements() + 1;
+  for (int shards = 1; shards <= 4; ++shards) {
+    const auto assignment = ps::ShardPlan(plan, shards);
+    EXPECT_LE(assignment.MaxShardElements(), prev);
+    prev = assignment.MaxShardElements();
+  }
+}
+
+TEST(Sharding, MoreShardsThanTensors) {
+  auto model = train::BuildMlp(Spec(), 1);
+  auto plan = ps::TensorPlan::FromParams(model.Params(), 1);
+  auto shards = ps::ShardPlan(plan, 100);
+  std::int64_t largest = 0;
+  for (const auto& e : plan.entries()) {
+    largest = std::max(largest, e.shape.num_elements());
+  }
+  EXPECT_EQ(shards.MaxShardElements(), largest);  // largest tensor alone
+}
+
+}  // namespace
+}  // namespace threelc

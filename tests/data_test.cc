@@ -1,0 +1,184 @@
+// Tests for synthetic dataset generation and batching.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "tensor/tensor_ops.h"
+
+namespace threelc::data {
+namespace {
+
+SyntheticConfig SmallConfig() {
+  SyntheticConfig cfg;
+  cfg.num_train = 512;
+  cfg.num_test = 128;
+  cfg.input_dim = 16;
+  cfg.num_classes = 4;
+  cfg.teacher_hidden = 8;
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(TeacherDataset, ShapesMatchConfig) {
+  auto data = MakeTeacherDataset(SmallConfig());
+  EXPECT_EQ(data.train.size(), 512);
+  EXPECT_EQ(data.test.size(), 128);
+  EXPECT_EQ(data.train.inputs.shape(), tensor::Shape({512, 16}));
+  EXPECT_EQ(data.train.labels.size(), 512u);
+}
+
+TEST(TeacherDataset, LabelsInRange) {
+  auto data = MakeTeacherDataset(SmallConfig());
+  for (auto l : data.train.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 4);
+  }
+}
+
+TEST(TeacherDataset, AllClassesRepresented) {
+  auto cfg = SmallConfig();
+  cfg.num_train = 2048;
+  auto data = MakeTeacherDataset(cfg);
+  std::set<std::int32_t> seen(data.train.labels.begin(),
+                              data.train.labels.end());
+  EXPECT_GE(seen.size(), 3u);  // teacher may starve at most one class
+}
+
+TEST(TeacherDataset, DeterministicForSameSeed) {
+  auto a = MakeTeacherDataset(SmallConfig());
+  auto b = MakeTeacherDataset(SmallConfig());
+  EXPECT_EQ(tensor::MaxAbsDiff(a.train.inputs, b.train.inputs), 0.0f);
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+TEST(TeacherDataset, DifferentSeedsDiffer) {
+  auto cfg = SmallConfig();
+  auto a = MakeTeacherDataset(cfg);
+  cfg.seed = 100;
+  auto b = MakeTeacherDataset(cfg);
+  EXPECT_GT(tensor::MaxAbsDiff(a.train.inputs, b.train.inputs), 0.0f);
+}
+
+TEST(TeacherDataset, TrainAndTestShareDistributionButNotExamples) {
+  auto data = MakeTeacherDataset(SmallConfig());
+  // First train and test examples differ (fresh draws).
+  float diff = 0.0f;
+  for (int j = 0; j < 16; ++j) {
+    diff += std::fabs(data.train.inputs[static_cast<std::size_t>(j)] -
+                      data.test.inputs[static_cast<std::size_t>(j)]);
+  }
+  EXPECT_GT(diff, 0.0f);
+}
+
+TEST(TeacherDataset, LabelNoiseChangesLabels) {
+  auto cfg = SmallConfig();
+  cfg.label_noise = 0.0f;
+  auto clean = MakeTeacherDataset(cfg);
+  cfg.label_noise = 0.5f;
+  auto noisy = MakeTeacherDataset(cfg);
+  int diffs = 0;
+  for (std::size_t i = 0; i < clean.train.labels.size(); ++i) {
+    diffs += (clean.train.labels[i] != noisy.train.labels[i]);
+  }
+  EXPECT_GT(diffs, 50);
+}
+
+TEST(AsImages, ReshapesWithoutChangingData) {
+  auto cfg = SmallConfig();
+  cfg.input_dim = 48;  // 3 x 4 x 4
+  auto data = MakeTeacherDataset(cfg);
+  Dataset images = AsImages(data.train, 3, 4, 4);
+  EXPECT_EQ(images.inputs.shape(), tensor::Shape({512, 3, 4, 4}));
+  EXPECT_EQ(images.inputs[7], data.train.inputs[7]);
+  EXPECT_EQ(images.labels, data.train.labels);
+}
+
+TEST(TwoSpirals, BinaryLabelsAndTwoDims) {
+  auto data = MakeTwoSpirals(100, 50, 1);
+  EXPECT_EQ(data.train.inputs.shape(), tensor::Shape({100, 2}));
+  for (auto l : data.train.labels) EXPECT_TRUE(l == 0 || l == 1);
+}
+
+// ---------- Sampler ----------
+
+TEST(Sampler, BatchHasRequestedSize) {
+  auto data = MakeTeacherDataset(SmallConfig());
+  Sampler sampler(data.train, util::Rng(1), 0.0f);
+  Batch b = sampler.Next(32);
+  EXPECT_EQ(b.inputs.shape(), tensor::Shape({32, 16}));
+  EXPECT_EQ(b.labels.size(), 32u);
+}
+
+TEST(Sampler, ExamplesComeFromDataset) {
+  auto data = MakeTeacherDataset(SmallConfig());
+  Sampler sampler(data.train, util::Rng(2), 0.0f);
+  Batch b = sampler.Next(8);
+  // Each batch row must exactly match some dataset row (no augmentation).
+  for (int i = 0; i < 8; ++i) {
+    bool found = false;
+    for (std::int64_t r = 0; r < data.train.size() && !found; ++r) {
+      bool same = true;
+      for (int j = 0; j < 16 && same; ++j) {
+        same = b.inputs[static_cast<std::size_t>(i * 16 + j)] ==
+               data.train.inputs[static_cast<std::size_t>(r * 16 + j)];
+      }
+      if (same &&
+          b.labels[static_cast<std::size_t>(i)] ==
+              data.train.labels[static_cast<std::size_t>(r)]) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "row " << i;
+  }
+}
+
+TEST(Sampler, AugmentationPerturbsInputs) {
+  auto data = MakeTeacherDataset(SmallConfig());
+  Sampler a(data.train, util::Rng(3), 0.0f);
+  Sampler b(data.train, util::Rng(3), 0.5f);
+  Batch ba = a.Next(16);
+  Batch bb = b.Next(16);
+  // Same RNG seed draws the same examples; augmentation adds noise on top.
+  EXPECT_EQ(ba.labels, bb.labels);
+  EXPECT_GT(tensor::MaxAbsDiff(ba.inputs, bb.inputs), 0.0f);
+}
+
+TEST(Sampler, DeterministicGivenSeed) {
+  auto data = MakeTeacherDataset(SmallConfig());
+  Sampler a(data.train, util::Rng(4), 0.1f);
+  Sampler b(data.train, util::Rng(4), 0.1f);
+  Batch ba = a.Next(8);
+  Batch bb = b.Next(8);
+  EXPECT_EQ(tensor::MaxAbsDiff(ba.inputs, bb.inputs), 0.0f);
+  EXPECT_EQ(ba.labels, bb.labels);
+}
+
+// ---------- EvalBatches ----------
+
+TEST(EvalBatches, CoversWholeDatasetInOrder) {
+  auto data = MakeTeacherDataset(SmallConfig());
+  auto batches = EvalBatches(data.test, 50);
+  EXPECT_EQ(batches.size(), 3u);  // 50 + 50 + 28
+  EXPECT_EQ(batches[0].inputs.shape().dim(0), 50);
+  EXPECT_EQ(batches[2].inputs.shape().dim(0), 28);
+  std::size_t total = 0;
+  for (const auto& b : batches) total += b.labels.size();
+  EXPECT_EQ(total, 128u);
+  // First element of second batch is dataset row 50.
+  EXPECT_EQ(batches[1].labels[0], data.test.labels[50]);
+  EXPECT_EQ(batches[1].inputs[0],
+            data.test.inputs[static_cast<std::size_t>(50 * 16)]);
+}
+
+TEST(EvalBatches, ExactDivision) {
+  auto data = MakeTeacherDataset(SmallConfig());
+  auto batches = EvalBatches(data.test, 64);
+  EXPECT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[1].inputs.shape().dim(0), 64);
+}
+
+}  // namespace
+}  // namespace threelc::data

@@ -1,0 +1,110 @@
+// Tests for the discrete-event step simulator (fine-grained vs coarse
+// barriers, paper §2.1).
+#include <gtest/gtest.h>
+
+#include "net/event_sim.h"
+
+namespace threelc::net {
+namespace {
+
+std::vector<LayerCost> UniformLayers(std::size_t n, std::size_t bytes,
+                                     double compute) {
+  std::vector<LayerCost> layers(n);
+  for (auto& l : layers) {
+    l.push_bytes = bytes;
+    l.pull_bytes = bytes;
+    l.compute_seconds = compute;
+  }
+  return layers;
+}
+
+TEST(EventSim, EmptyModelHasZeroMakespan) {
+  EXPECT_EQ(SimulateFineGrainedStep({}, 1e9).makespan_seconds, 0.0);
+  EXPECT_EQ(SimulateCoarseStep({}, 1e9).makespan_seconds, 0.0);
+}
+
+TEST(EventSim, CoarseIsComputePlusTransfer) {
+  auto layers = UniformLayers(4, 125'000, 0.1);  // 1 Mbit per direction
+  auto t = SimulateCoarseStep(layers, 1e6);      // 1 Mbps
+  // compute: 4 layers * 0.1 * 2 passes = 0.8 s.
+  EXPECT_NEAR(t.compute_seconds, 0.8, 1e-9);
+  // transfer: 8 transfers * 1 Mbit / 1 Mbps = 8 s.
+  EXPECT_NEAR(t.transfer_seconds, 8.0, 1e-9);
+  EXPECT_NEAR(t.makespan_seconds, 8.8, 1e-9);
+  EXPECT_NEAR(t.overlap_fraction, 0.0, 1e-9);
+}
+
+TEST(EventSim, FineNeverSlowerThanCoarse) {
+  for (double bw : {1e6, 1e7, 1e8, 1e9}) {
+    auto layers = UniformLayers(8, 50'000, 0.02);
+    const double fine = SimulateFineGrainedStep(layers, bw).makespan_seconds;
+    const double coarse = SimulateCoarseStep(layers, bw).makespan_seconds;
+    EXPECT_LE(fine, coarse + 1e-9) << "bw=" << bw;
+  }
+}
+
+TEST(EventSim, FineLowerBoundedByComputeAndTransfer) {
+  auto layers = UniformLayers(8, 50'000, 0.02);
+  auto t = SimulateFineGrainedStep(layers, 1e7);
+  EXPECT_GE(t.makespan_seconds, t.compute_seconds - 1e-9);
+  EXPECT_GE(t.makespan_seconds + 1e-9,
+            t.transfer_seconds / 2.0);  // each direction fits its own link
+}
+
+TEST(EventSim, ComputeBoundRegimeFullyOverlaps) {
+  // Fast network, slow compute: transfers hide entirely behind compute.
+  auto layers = UniformLayers(16, 1'000, 0.05);
+  auto t = SimulateFineGrainedStep(layers, 1e9);
+  EXPECT_NEAR(t.makespan_seconds, t.compute_seconds, 0.01);
+  EXPECT_GT(t.overlap_fraction, 0.9);
+}
+
+TEST(EventSim, BandwidthBoundRegimeHasLittleHiding) {
+  // Slow network, fast compute: the link is busy the whole step.
+  auto layers = UniformLayers(16, 1'000'000, 0.0001);
+  auto t = SimulateFineGrainedStep(layers, 1e6);
+  // Makespan approaches the one-direction serialization time.
+  EXPECT_GT(t.makespan_seconds, t.transfer_seconds * 0.45);
+}
+
+TEST(EventSim, ManyLayersOverlapBetterThanOne) {
+  // Same totals, split across many layers vs one: finer tensors pipeline
+  // better (the paper's argument for why very deep nets hide latency).
+  const std::size_t total_bytes = 800'000;
+  const double total_compute = 0.4;
+  auto one = UniformLayers(1, total_bytes, total_compute / 2.0);
+  auto many = UniformLayers(16, total_bytes / 16, total_compute / 32.0);
+  const double bw = 2e7;
+  const double t_one = SimulateFineGrainedStep(one, bw).makespan_seconds;
+  const double t_many = SimulateFineGrainedStep(many, bw).makespan_seconds;
+  EXPECT_LT(t_many, t_one + 1e-9);
+}
+
+TEST(EventSim, CompressionShrinksMakespanInBandwidthBoundRegime) {
+  auto raw = UniformLayers(8, 400'000, 0.01);
+  auto compressed = UniformLayers(8, 10'000, 0.01);  // 40x smaller
+  const double bw = 1e7;
+  const double t_raw = SimulateFineGrainedStep(raw, bw).makespan_seconds;
+  const double t_comp =
+      SimulateFineGrainedStep(compressed, bw).makespan_seconds;
+  EXPECT_GT(t_raw / t_comp, 3.0);
+}
+
+TEST(EventSim, OverlapFractionInUnitRange) {
+  for (std::size_t n : {1u, 3u, 32u}) {
+    auto layers = UniformLayers(n, 10'000, 0.001);
+    auto t = SimulateFineGrainedStep(layers, 5e7);
+    EXPECT_GE(t.overlap_fraction, 0.0);
+    EXPECT_LE(t.overlap_fraction, 1.0);
+  }
+}
+
+TEST(EventSim, ZeroBytesIsPureCompute) {
+  auto layers = UniformLayers(4, 0, 0.05);
+  auto t = SimulateFineGrainedStep(layers, 1e6);
+  EXPECT_NEAR(t.makespan_seconds, 0.4, 1e-9);
+  EXPECT_EQ(t.transfer_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace threelc::net

@@ -1,0 +1,200 @@
+// Tests for the canonical Huffman coder (the entropy-coding comparator of
+// paper §3.3).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "compress/huffman.h"
+#include "compress/quantize3.h"
+#include "compress/quartic.h"
+#include "util/rng.h"
+
+namespace threelc::compress {
+namespace {
+
+util::ByteBuffer FromString(const std::string& s) {
+  util::ByteBuffer buf;
+  buf.Append(s.data(), s.size());
+  return buf;
+}
+
+std::vector<std::uint8_t> RoundTripBytes(util::ByteSpan in) {
+  util::ByteBuffer encoded;
+  HuffmanEncode(in, encoded);
+  util::ByteReader reader(encoded);
+  util::ByteBuffer decoded;
+  HuffmanDecode(reader, decoded, in.size());
+  EXPECT_TRUE(reader.AtEnd());
+  return std::vector<std::uint8_t>(decoded.data(),
+                                   decoded.data() + decoded.size());
+}
+
+TEST(Huffman, EmptyInput) {
+  util::ByteBuffer in;
+  auto out = RoundTripBytes(in.span());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Huffman, SingleByte) {
+  auto in = FromString("A");
+  auto out = RoundTripBytes(in.span());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 'A');
+}
+
+TEST(Huffman, SingleSymbolRun) {
+  auto in = FromString(std::string(1000, 'z'));
+  auto out = RoundTripBytes(in.span());
+  ASSERT_EQ(out.size(), 1000u);
+  for (auto b : out) EXPECT_EQ(b, 'z');
+}
+
+TEST(Huffman, TextRoundTrip) {
+  const std::string text =
+      "the quick brown fox jumps over the lazy dog, repeatedly: "
+      "the quick brown fox jumps over the lazy dog.";
+  auto in = FromString(text);
+  auto out = RoundTripBytes(in.span());
+  ASSERT_EQ(out.size(), text.size());
+  EXPECT_EQ(std::string(out.begin(), out.end()), text);
+}
+
+TEST(Huffman, RandomBytesRoundTrip) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    util::ByteBuffer in;
+    const std::size_t n = rng.Below(5000);
+    for (std::size_t i = 0; i < n; ++i) {
+      in.PushByte(static_cast<std::uint8_t>(rng.Below(256)));
+    }
+    auto out = RoundTripBytes(in.span());
+    ASSERT_EQ(out.size(), n);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(out[i], in.data()[i]);
+  }
+}
+
+TEST(Huffman, SkewedDistributionCompresses) {
+  // 95% zeros: entropy well under 1 bit/byte -> large compression.
+  util::Rng rng(4);
+  util::ByteBuffer in;
+  for (int i = 0; i < 20000; ++i) {
+    in.PushByte(rng.Bernoulli(0.95) ? 0 : static_cast<std::uint8_t>(rng.Below(8)));
+  }
+  util::ByteBuffer encoded;
+  HuffmanEncode(in.span(), encoded);
+  EXPECT_LT(encoded.size(), in.size() / 4);
+  auto out = RoundTripBytes(in.span());
+  EXPECT_EQ(out.size(), in.size());
+}
+
+TEST(Huffman, ApproachesEntropyOnLargeSkewedInput) {
+  util::Rng rng(5);
+  util::ByteBuffer in;
+  const std::size_t n = 100000;
+  for (std::size_t i = 0; i < n; ++i) {
+    in.PushByte(rng.Bernoulli(0.8) ? 121
+                                   : static_cast<std::uint8_t>(rng.Below(243)));
+  }
+  const double entropy_bits = ByteEntropyBits(in.span());
+  util::ByteBuffer encoded;
+  HuffmanEncode(in.span(), encoded);
+  const double actual_bits =
+      8.0 * static_cast<double>(encoded.size()) / static_cast<double>(n);
+  // Huffman is within 1 bit/symbol of entropy; header adds ~265 bytes.
+  EXPECT_LT(actual_bits, entropy_bits + 0.6 + 8.0 * 300.0 / n);
+  EXPECT_GE(actual_bits, entropy_bits * 0.99);
+}
+
+TEST(Huffman, QuarticStreamRoundTrip) {
+  // The real use: compressing quartic bytes from quantized gradients.
+  util::Rng rng(6);
+  std::vector<float> values(50000);
+  for (auto& v : values) v = rng.NormalFloat(0.0f, 0.01f);
+  std::vector<std::int8_t> ternary(values.size());
+  Quantize3(values.data(), values.size(), 1.75f, ternary.data());
+  util::ByteBuffer quartic;
+  QuarticEncode(ternary.data(), ternary.size(), quartic);
+  auto out = RoundTripBytes(quartic.span());
+  ASSERT_EQ(out.size(), quartic.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], quartic.data()[i]);
+  }
+}
+
+TEST(Huffman, DecodeRejectsOversizedOutput) {
+  auto in = FromString("hello world");
+  util::ByteBuffer encoded;
+  HuffmanEncode(in.span(), encoded);
+  util::ByteReader reader(encoded);
+  util::ByteBuffer decoded;
+  EXPECT_THROW(HuffmanDecode(reader, decoded, 3), std::runtime_error);
+}
+
+TEST(Huffman, DecodeRejectsTruncatedPayload) {
+  auto in = FromString("some reasonably long test payload for truncation");
+  util::ByteBuffer encoded;
+  HuffmanEncode(in.span(), encoded);
+  util::ByteBuffer truncated;
+  truncated.Append(encoded.data(), encoded.size() - 3);
+  util::ByteReader reader(truncated);
+  util::ByteBuffer decoded;
+  EXPECT_THROW(HuffmanDecode(reader, decoded, in.size()),
+               std::exception);
+}
+
+TEST(Huffman, ConsumesExactlyOnePayload) {
+  auto a = FromString("first payload");
+  auto b = FromString("and the second");
+  util::ByteBuffer encoded;
+  HuffmanEncode(a.span(), encoded);
+  HuffmanEncode(b.span(), encoded);
+  util::ByteReader reader(encoded);
+  util::ByteBuffer out;
+  HuffmanDecode(reader, out, 100);
+  EXPECT_EQ(out.size(), a.size());
+  HuffmanDecode(reader, out, 100);
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(out.size(), a.size() + b.size());
+}
+
+TEST(ByteEntropy, KnownValues) {
+  // Uniform over 256 symbols -> 8 bits.
+  util::ByteBuffer uniform;
+  for (int i = 0; i < 256; ++i) {
+    uniform.PushByte(static_cast<std::uint8_t>(i));
+  }
+  EXPECT_NEAR(ByteEntropyBits(uniform.span()), 8.0, 1e-9);
+  // Single symbol -> 0 bits.
+  auto constant = FromString(std::string(100, 'x'));
+  EXPECT_NEAR(ByteEntropyBits(constant.span()), 0.0, 1e-9);
+  // Two equiprobable symbols -> 1 bit.
+  util::ByteBuffer two;
+  for (int i = 0; i < 100; ++i) two.PushByte(i % 2 ? 7 : 9);
+  EXPECT_NEAR(ByteEntropyBits(two.span()), 1.0, 1e-9);
+}
+
+class HuffmanDensitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HuffmanDensitySweep, RoundTripAtDensity) {
+  const double zero_prob = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(zero_prob * 997) + 11);
+  util::ByteBuffer in;
+  for (int i = 0; i < 10000; ++i) {
+    in.PushByte(rng.Bernoulli(zero_prob)
+                    ? 121
+                    : static_cast<std::uint8_t>(rng.Below(243)));
+  }
+  auto out = RoundTripBytes(in.span());
+  ASSERT_EQ(out.size(), 10000u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], in.data()[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, HuffmanDensitySweep,
+                         ::testing::Values(0.0, 0.3, 0.7, 0.95, 1.0));
+
+}  // namespace
+}  // namespace threelc::compress

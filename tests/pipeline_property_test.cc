@@ -1,0 +1,188 @@
+// Property-based tests across the full 3LC pipeline
+// (quantize -> quartic -> zero-run and back), swept over tensor sizes and
+// value distributions with parameterized gtest.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "compress/quantize3.h"
+#include "compress/quartic.h"
+#include "compress/three_lc.h"
+#include "compress/zero_run.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+namespace threelc::compress {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+enum class Dist { kNormal, kUniform, kSparse, kHeavyTail, kConstant, kZero };
+
+const char* DistName(Dist d) {
+  switch (d) {
+    case Dist::kNormal: return "Normal";
+    case Dist::kUniform: return "Uniform";
+    case Dist::kSparse: return "Sparse";
+    case Dist::kHeavyTail: return "HeavyTail";
+    case Dist::kConstant: return "Constant";
+    case Dist::kZero: return "Zero";
+  }
+  return "?";
+}
+
+Tensor MakeTensor(Dist dist, std::int64_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Tensor t(Shape{n});
+  float* p = t.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    switch (dist) {
+      case Dist::kNormal:
+        p[i] = rng.NormalFloat(0.0f, 1.0f);
+        break;
+      case Dist::kUniform:
+        p[i] = static_cast<float>(rng.Uniform(-1.0, 1.0));
+        break;
+      case Dist::kSparse:
+        p[i] = rng.Bernoulli(0.05) ? rng.NormalFloat(0.0f, 1.0f) : 0.0f;
+        break;
+      case Dist::kHeavyTail: {
+        const float base = rng.NormalFloat(0.0f, 0.05f);
+        p[i] = rng.Bernoulli(0.01) ? base * 100.0f : base;
+        break;
+      }
+      case Dist::kConstant:
+        p[i] = 0.7f;
+        break;
+      case Dist::kZero:
+        p[i] = 0.0f;
+        break;
+    }
+  }
+  return t;
+}
+
+using Param = std::tuple<Dist, std::int64_t, float>;
+
+class PipelineSweep : public ::testing::TestWithParam<Param> {};
+
+// The two lossless stages must be exactly invertible for any quantizer
+// output, regardless of distribution, size, or sparsity multiplier.
+TEST_P(PipelineSweep, LosslessStagesRoundTripExactly) {
+  const auto [dist, n, s] = GetParam();
+  Tensor in = MakeTensor(dist, n, 1000 + static_cast<std::uint64_t>(n));
+  std::vector<std::int8_t> ternary(static_cast<std::size_t>(n));
+  Quantize3(in.data(), static_cast<std::size_t>(n), s, ternary.data());
+
+  util::ByteBuffer quartic;
+  QuarticEncode(ternary.data(), static_cast<std::size_t>(n), quartic);
+  util::ByteBuffer zre;
+  ZeroRunEncode(quartic.span(), zre);
+  util::ByteBuffer quartic_back;
+  ZeroRunDecode(zre.span(), quartic_back, quartic.size());
+  ASSERT_EQ(quartic_back.size(), quartic.size());
+  for (std::size_t i = 0; i < quartic.size(); ++i) {
+    ASSERT_EQ(quartic_back.data()[i], quartic.data()[i]);
+  }
+  std::vector<std::int8_t> ternary_back(static_cast<std::size_t>(n));
+  QuarticDecode(quartic_back.span(), static_cast<std::size_t>(n),
+                ternary_back.data());
+  EXPECT_EQ(ternary, ternary_back);
+}
+
+// End-to-end codec error bound holds for every distribution.
+TEST_P(PipelineSweep, FullCodecErrorBound) {
+  const auto [dist, n, s] = GetParam();
+  if (n == 0) GTEST_SKIP();
+  ThreeLC codec({s, true, true});
+  Tensor in = MakeTensor(dist, n, 2000 + static_cast<std::uint64_t>(n));
+  auto ctx = codec.MakeContext(in.shape());
+  Tensor out = RoundTrip(codec, in, *ctx);
+  const float m = tensor::MaxAbs(in) * s;
+  EXPECT_LE(tensor::MaxAbsDiff(in, out), m / 2.0f + 1e-5f);
+}
+
+// Compressed size never exceeds the no-ZRE fixed size, and the all-zero
+// distribution achieves the maximal 14x ZRE gain.
+TEST_P(PipelineSweep, CompressedSizeBounds) {
+  const auto [dist, n, s] = GetParam();
+  ThreeLC codec({s, true, true});
+  Tensor in = MakeTensor(dist, n, 3000 + static_cast<std::uint64_t>(n));
+  auto ctx = codec.MakeContext(in.shape());
+  util::ByteBuffer buf;
+  codec.Encode(in, *ctx, buf);
+  const std::size_t header = 8;
+  const std::size_t quartic_size =
+      QuarticEncodedSize(static_cast<std::size_t>(n));
+  EXPECT_LE(buf.size(), header + quartic_size);
+  EXPECT_GE(buf.size(), header + (quartic_size + 13) / 14);
+}
+
+// Error accumulation: over repeated encodes of the same input, the codec
+// transmits the full mass (within one step's bounded residual).
+TEST_P(PipelineSweep, ErrorAccumulationConverges) {
+  const auto [dist, n, s] = GetParam();
+  if (n == 0 || dist == Dist::kZero) GTEST_SKIP();
+  ThreeLC codec({s, true, true});
+  Tensor in = MakeTensor(dist, n, 4000 + static_cast<std::uint64_t>(n));
+  auto ctx = codec.MakeContext(in.shape());
+  Tensor total(in.shape());
+  const int steps = 30;
+  for (int i = 0; i < steps; ++i) {
+    Tensor out = RoundTrip(codec, in, *ctx);
+    tensor::Add(total, out);
+  }
+  // total ≈ steps * in, with residual bounded by M/2 of the running sum.
+  // Normalize by the accumulated max magnitude.
+  Tensor expected = in;
+  tensor::Scale(expected, static_cast<float>(steps));
+  const float bound =
+      tensor::MaxAbs(expected) * s / 2.0f / static_cast<float>(steps) + 1e-4f;
+  float max_err = 0.0f;
+  for (std::size_t i = 0; i < total.size(); ++i) {
+    max_err = std::max(max_err,
+                       std::fabs(total[i] - expected[i]) /
+                           static_cast<float>(steps));
+  }
+  EXPECT_LE(max_err, bound * static_cast<float>(steps));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, PipelineSweep,
+    ::testing::Combine(
+        ::testing::Values(Dist::kNormal, Dist::kUniform, Dist::kSparse,
+                          Dist::kHeavyTail, Dist::kConstant, Dist::kZero),
+        ::testing::Values<std::int64_t>(0, 1, 4, 5, 6, 100, 1001, 8192),
+        ::testing::Values(1.0f, 1.5f, 1.9f)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string name = DistName(std::get<0>(info.param));
+      name += "_n" + std::to_string(std::get<1>(info.param)) + "_s" +
+              std::to_string(static_cast<int>(std::get<2>(info.param) * 100));
+      return name;
+    });
+
+// ---------- Cross-codec compression ordering on sparse data ----------
+
+TEST(PipelineOrdering, SparserInputsCompressSmaller) {
+  ThreeLC codec({1.0f, true, true});
+  std::size_t prev = 0;
+  bool first = true;
+  for (double density : {1.0, 0.5, 0.1, 0.01, 0.0}) {
+    util::Rng rng(static_cast<std::uint64_t>(density * 1000) + 7);
+    Tensor t(Shape{50000});
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      t[i] = rng.Bernoulli(density) ? rng.NormalFloat(0.0f, 1.0f) : 0.0f;
+    }
+    auto ctx = codec.MakeContext(t.shape());
+    util::ByteBuffer buf;
+    codec.Encode(t, *ctx, buf);
+    if (!first) EXPECT_LE(buf.size(), prev) << "density " << density;
+    prev = buf.size();
+    first = false;
+  }
+}
+
+}  // namespace
+}  // namespace threelc::compress

@@ -1,0 +1,197 @@
+// Unit and property tests for 3-value quantization with sparsity
+// multiplication (paper §3.1, Eq. 1–3).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "compress/quantize3.h"
+#include "util/rng.h"
+
+namespace threelc::compress {
+namespace {
+
+std::vector<float> RandomValues(std::size_t n, std::uint64_t seed,
+                                float stddev = 1.0f) {
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.NormalFloat(0.0f, stddev);
+  return v;
+}
+
+TEST(Quantize3, OutputsOnlyTernaryValues) {
+  auto in = RandomValues(1000, 1);
+  std::vector<std::int8_t> q(in.size());
+  Quantize3(in.data(), in.size(), 1.0f, q.data());
+  for (auto v : q) EXPECT_TRUE(v == -1 || v == 0 || v == 1);
+}
+
+TEST(Quantize3, MEqualsMaxAbsTimesS) {
+  std::vector<float> in = {0.1f, -0.4f, 0.2f};
+  std::vector<std::int8_t> q(3);
+  EXPECT_FLOAT_EQ(Quantize3(in.data(), 3, 1.0f, q.data()), 0.4f);
+  EXPECT_FLOAT_EQ(Quantize3(in.data(), 3, 1.5f, q.data()), 0.6f);
+  EXPECT_FLOAT_EQ(Quantize3(in.data(), 3, 1.9f, q.data()), 0.4f * 1.9f);
+}
+
+TEST(Quantize3, RoundingMatchesPaperExample) {
+  // Figure 3: accumulated tensor quantized with s = 1 and M = 0.4... the
+  // paper's M is 0.3 pre-accumulation; here check the round() semantics:
+  // |v| >= M/2 maps to sign, else 0.
+  std::vector<float> in = {-0.3f, 0.1f, -0.4f, 0.0f, 0.2f, -0.19f};
+  std::vector<std::int8_t> q(in.size());
+  const float m = Quantize3(in.data(), in.size(), 1.0f, q.data());
+  EXPECT_FLOAT_EQ(m, 0.4f);
+  // M/2 = 0.2: -0.3 -> -1; 0.1 -> 0; -0.4 -> -1; 0 -> 0; 0.2 -> 1 (>=);
+  // -0.19 -> 0.
+  EXPECT_EQ(q[0], -1);
+  EXPECT_EQ(q[1], 0);
+  EXPECT_EQ(q[2], -1);
+  EXPECT_EQ(q[3], 0);
+  EXPECT_EQ(q[4], 1);
+  EXPECT_EQ(q[5], 0);
+}
+
+TEST(Quantize3, ZeroTensorQuantizesToZeros) {
+  std::vector<float> in(64, 0.0f);
+  std::vector<std::int8_t> q(64, 5);
+  const float m = Quantize3(in.data(), 64, 1.5f, q.data());
+  EXPECT_EQ(m, 0.0f);
+  for (auto v : q) EXPECT_EQ(v, 0);
+}
+
+TEST(Quantize3, MaxMagnitudeValueSurvivesAtSEqualsOne) {
+  std::vector<float> in = {1.0f, -1.0f, 0.1f};
+  std::vector<std::int8_t> q(3);
+  const float m = Quantize3(in.data(), 3, 1.0f, q.data());
+  std::vector<float> out(3);
+  Dequantize3(q.data(), 3, m, out.data());
+  // s = 1 preserves the maximum magnitude exactly (paper §3.1).
+  EXPECT_FLOAT_EQ(out[0], 1.0f);
+  EXPECT_FLOAT_EQ(out[1], -1.0f);
+}
+
+TEST(Quantize3, LargerSProducesMoreZeros) {
+  auto in = RandomValues(10000, 2);
+  std::vector<std::int8_t> q(in.size());
+  std::size_t prev_zeros = 0;
+  for (float s : {1.0f, 1.25f, 1.5f, 1.75f, 1.9f}) {
+    Quantize3(in.data(), in.size(), s, q.data());
+    std::size_t zeros = 0;
+    for (auto v : q) zeros += (v == 0);
+    EXPECT_GE(zeros, prev_zeros) << "s=" << s;
+    prev_zeros = zeros;
+  }
+}
+
+TEST(Dequantize3, ScalesByM) {
+  std::vector<std::int8_t> q = {-1, 0, 1};
+  std::vector<float> out(3);
+  Dequantize3(q.data(), 3, 0.25f, out.data());
+  EXPECT_FLOAT_EQ(out[0], -0.25f);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);
+  EXPECT_FLOAT_EQ(out[2], 0.25f);
+}
+
+TEST(Quantize3WithResidual, ResidualEqualsInputMinusDequantized) {
+  auto in = RandomValues(500, 3);
+  std::vector<std::int8_t> q(in.size());
+  std::vector<float> residual(in.size());
+  const float m = Quantize3WithResidual(in.data(), in.size(), 1.5f, q.data(),
+                                        residual.data());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_FLOAT_EQ(residual[i], in[i] - m * static_cast<float>(q[i]));
+  }
+}
+
+TEST(Quantize3WithResidual, MatchesSeparateQuantize) {
+  auto in = RandomValues(777, 4);
+  std::vector<std::int8_t> q1(in.size()), q2(in.size());
+  std::vector<float> residual(in.size());
+  const float m1 = Quantize3(in.data(), in.size(), 1.75f, q1.data());
+  const float m2 = Quantize3WithResidual(in.data(), in.size(), 1.75f,
+                                         q2.data(), residual.data());
+  EXPECT_FLOAT_EQ(m1, m2);
+  EXPECT_EQ(q1, q2);
+}
+
+TEST(Quantize3WithResidual, ZeroInputKeepsZeroResidual) {
+  std::vector<float> in(32, 0.0f);
+  std::vector<std::int8_t> q(32);
+  std::vector<float> residual(32, 1.0f);
+  Quantize3WithResidual(in.data(), 32, 1.0f, q.data(), residual.data());
+  for (auto r : residual) EXPECT_EQ(r, 0.0f);
+}
+
+// ---------- Property sweep over the sparsity multiplier ----------
+
+class SparsitySweep : public ::testing::TestWithParam<float> {};
+
+// Paper §3.1 "Convergence": max|T_in - T_out| <= M/2 < max|T_in|.
+TEST_P(SparsitySweep, ErrorBoundedByHalfM) {
+  const float s = GetParam();
+  auto in = RandomValues(4096, 17, 0.3f);
+  std::vector<std::int8_t> q(in.size());
+  const float m = Quantize3(in.data(), in.size(), s, q.data());
+  float max_in = 0.0f;
+  float max_err = 0.0f;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    max_in = std::max(max_in, std::fabs(in[i]));
+    const float out = m * static_cast<float>(q[i]);
+    max_err = std::max(max_err, std::fabs(in[i] - out));
+  }
+  EXPECT_LE(max_err, m / 2.0f + 1e-6f);
+  EXPECT_LT(m / 2.0f, max_in);  // requires s < 2
+}
+
+TEST_P(SparsitySweep, DequantizationPreservesSign) {
+  const float s = GetParam();
+  auto in = RandomValues(2048, 23);
+  std::vector<std::int8_t> q(in.size());
+  Quantize3(in.data(), in.size(), s, q.data());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (q[i] != 0) {
+      EXPECT_EQ(q[i] > 0, in[i] > 0.0f) << "sign flip at " << i;
+    }
+  }
+}
+
+// Sparsity multiplication preserves average magnitude better than
+// thresholding would: the dequantized mean |value| stays within a factor
+// of the input mean |value| for moderately heavy inputs.
+TEST_P(SparsitySweep, NonzeroOutputsAreLargestInputs) {
+  const float s = GetParam();
+  auto in = RandomValues(1024, 29);
+  std::vector<std::int8_t> q(in.size());
+  const float m = Quantize3(in.data(), in.size(), s, q.data());
+  const float threshold = m / 2.0f;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (std::fabs(in[i]) > threshold + 1e-6f) {
+      EXPECT_NE(q[i], 0) << "large value dropped at " << i;
+    }
+    if (std::fabs(in[i]) < threshold - 1e-6f) {
+      EXPECT_EQ(q[i], 0) << "small value kept at " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SparsityMultipliers, SparsitySweep,
+                         ::testing::Values(1.0f, 1.25f, 1.5f, 1.75f, 1.9f,
+                                           1.99f));
+
+// ---------- Death tests for contract violations ----------
+
+TEST(Quantize3Death, RejectsSparsityBelowOne) {
+  std::vector<float> in = {1.0f};
+  std::vector<std::int8_t> q(1);
+  EXPECT_DEATH(Quantize3(in.data(), 1, 0.9f, q.data()), "sparsity");
+}
+
+TEST(Quantize3Death, RejectsSparsityOfTwo) {
+  std::vector<float> in = {1.0f};
+  std::vector<std::int8_t> q(1);
+  EXPECT_DEATH(Quantize3(in.data(), 1, 2.0f, q.data()), "sparsity");
+}
+
+}  // namespace
+}  // namespace threelc::compress

@@ -1,0 +1,220 @@
+// Unit and property tests for quartic encoding (paper §3.2).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "compress/quartic.h"
+#include "util/rng.h"
+
+namespace threelc::compress {
+namespace {
+
+std::vector<std::int8_t> RandomTernary(std::size_t n, std::uint64_t seed,
+                                       double zero_prob = 0.4) {
+  util::Rng rng(seed);
+  std::vector<std::int8_t> v(n);
+  for (auto& x : v) {
+    if (rng.Bernoulli(zero_prob)) {
+      x = 0;
+    } else {
+      x = rng.Bernoulli(0.5) ? 1 : -1;
+    }
+  }
+  return v;
+}
+
+TEST(Quartic, EncodedSizeIsCeilNOver5) {
+  EXPECT_EQ(QuarticEncodedSize(0), 0u);
+  EXPECT_EQ(QuarticEncodedSize(1), 1u);
+  EXPECT_EQ(QuarticEncodedSize(5), 1u);
+  EXPECT_EQ(QuarticEncodedSize(6), 2u);
+  EXPECT_EQ(QuarticEncodedSize(10), 2u);
+  EXPECT_EQ(QuarticEncodedSize(11), 3u);
+}
+
+TEST(Quartic, FiveZerosEncodeToByte121) {
+  std::int8_t q[5] = {0, 0, 0, 0, 0};
+  util::ByteBuffer out;
+  QuarticEncode(q, 5, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.data()[0], kQuarticZeroByte);
+}
+
+TEST(Quartic, AllOnesEncodeToMaxByte) {
+  std::int8_t q[5] = {1, 1, 1, 1, 1};
+  util::ByteBuffer out;
+  QuarticEncode(q, 5, out);
+  EXPECT_EQ(out.data()[0], kQuarticMaxByte);  // 2*(81+27+9+3+1) = 242
+}
+
+TEST(Quartic, AllMinusOnesEncodeToZeroByte) {
+  std::int8_t q[5] = {-1, -1, -1, -1, -1};
+  util::ByteBuffer out;
+  QuarticEncode(q, 5, out);
+  EXPECT_EQ(out.data()[0], 0);
+}
+
+TEST(Quartic, DigitPlacesAreBase3BigEndian) {
+  // (q+1) digits d0..d4 pack as d0*81 + d1*27 + d2*9 + d3*3 + d4.
+  std::int8_t q[5] = {1, -1, 0, -1, 1};  // digits 2,0,1,0,2
+  util::ByteBuffer out;
+  QuarticEncode(q, 5, out);
+  EXPECT_EQ(out.data()[0], 2 * 81 + 0 * 27 + 1 * 9 + 0 * 3 + 2);
+}
+
+TEST(Quartic, PaperFigureExampleBytes) {
+  // Figure 3 step (3): the 4x4 quantized tensor
+  // [0,0,-1,0, 1,0,0,0, 0,0,0,0, 0,0,0,0] encodes to 113 121 121 121; the
+  // first group {0,0,-1,0,1} = digits {1,1,0,1,2} = 81+27+0+3+2 = 113, and
+  // the padded tail group is still the zero byte 121.
+  std::int8_t q[16] = {0, 0, -1, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  util::ByteBuffer out;
+  QuarticEncode(q, 16, out);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out.data()[0], 113);
+  EXPECT_EQ(out.data()[1], 121);
+  EXPECT_EQ(out.data()[2], 121);
+  EXPECT_EQ(out.data()[3], 121);
+}
+
+TEST(Quartic, OutputBytesNeverExceed242) {
+  auto q = RandomTernary(5000, 11);
+  util::ByteBuffer out;
+  QuarticEncode(q.data(), q.size(), out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_LE(out.data()[i], kQuarticMaxByte);
+  }
+}
+
+TEST(Quartic, AppendsToExistingBuffer) {
+  util::ByteBuffer out;
+  out.PushByte(0xAA);
+  std::int8_t q[5] = {0, 0, 0, 0, 0};
+  QuarticEncode(q, 5, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.data()[0], 0xAA);
+  EXPECT_EQ(out.data()[1], kQuarticZeroByte);
+}
+
+TEST(QuarticDecode, RejectsWrongPayloadSize) {
+  util::ByteBuffer out;
+  std::int8_t q[5];
+  QuarticEncode(q, 5, out);  // 1 byte
+  std::vector<std::int8_t> decoded(10);
+  EXPECT_THROW(QuarticDecode(out.span(), 10, decoded.data()),
+               std::runtime_error);
+}
+
+TEST(QuarticDecode, RejectsByteAbove242) {
+  util::ByteBuffer bad;
+  bad.PushByte(243);
+  std::vector<std::int8_t> decoded(5);
+  EXPECT_THROW(QuarticDecode(bad.span(), 5, decoded.data()),
+               std::runtime_error);
+}
+
+TEST(QuarticDecode, RejectsBadTailByte) {
+  util::ByteBuffer bad;
+  bad.PushByte(255);
+  std::vector<std::int8_t> decoded(2);  // tail group
+  EXPECT_THROW(QuarticDecode(bad.span(), 2, decoded.data()),
+               std::runtime_error);
+}
+
+// ---------- Round-trip property across lengths ----------
+
+class QuarticLengthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(QuarticLengthSweep, RoundTripIdentity) {
+  const std::size_t n = GetParam();
+  auto q = RandomTernary(n, 100 + n);
+  util::ByteBuffer encoded;
+  QuarticEncode(q.data(), n, encoded);
+  EXPECT_EQ(encoded.size(), QuarticEncodedSize(n));
+  std::vector<std::int8_t> decoded(n);
+  QuarticDecode(encoded.span(), n, decoded.data());
+  EXPECT_EQ(q, decoded);
+}
+
+TEST_P(QuarticLengthSweep, TwoBitRoundTripIdentity) {
+  const std::size_t n = GetParam();
+  auto q = RandomTernary(n, 200 + n);
+  util::ByteBuffer encoded;
+  TwoBitEncode(q.data(), n, encoded);
+  EXPECT_EQ(encoded.size(), TwoBitEncodedSize(n));
+  std::vector<std::int8_t> decoded(n);
+  TwoBitDecode(encoded.span(), n, decoded.data());
+  EXPECT_EQ(q, decoded);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, QuarticLengthSweep,
+                         ::testing::Values<std::size_t>(0, 1, 2, 3, 4, 5, 6,
+                                                        9, 10, 11, 24, 25,
+                                                        1000, 4099));
+
+TEST(Quartic, TwentyPercentSmallerThanTwoBit) {
+  // Paper §3.2: quartic takes 20% less space than 2-bit packing.
+  const std::size_t n = 10000;
+  EXPECT_NEAR(static_cast<double>(QuarticEncodedSize(n)) /
+                  static_cast<double>(TwoBitEncodedSize(n)),
+              0.8, 0.001);
+}
+
+TEST(Quartic, BitsPerValueCloseToTheoreticBound) {
+  const std::size_t n = 100000;
+  const double bits =
+      static_cast<double>(QuarticEncodedSize(n)) * 8.0 / static_cast<double>(n);
+  EXPECT_NEAR(bits, 1.6, 1e-3);
+  // 0.95% above log2(3) = 1.58496 (paper §3.2).
+  EXPECT_LT(bits / 1.58496, 1.0096);
+}
+
+TEST(Quartic, ExhaustiveSingleGroupRoundTrip) {
+  // All 243 possible 5-digit groups round trip.
+  for (int a = -1; a <= 1; ++a) {
+    for (int b = -1; b <= 1; ++b) {
+      for (int c = -1; c <= 1; ++c) {
+        for (int d = -1; d <= 1; ++d) {
+          for (int e = -1; e <= 1; ++e) {
+            std::int8_t q[5] = {static_cast<std::int8_t>(a),
+                                static_cast<std::int8_t>(b),
+                                static_cast<std::int8_t>(c),
+                                static_cast<std::int8_t>(d),
+                                static_cast<std::int8_t>(e)};
+            util::ByteBuffer out;
+            QuarticEncode(q, 5, out);
+            std::int8_t back[5];
+            QuarticDecode(out.span(), 5, back);
+            EXPECT_EQ(back[0], a);
+            EXPECT_EQ(back[1], b);
+            EXPECT_EQ(back[2], c);
+            EXPECT_EQ(back[3], d);
+            EXPECT_EQ(back[4], e);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Quartic, EncodingIsInjectiveOverGroups) {
+  // Distinct groups produce distinct bytes (needed for losslessness).
+  std::vector<bool> seen(256, false);
+  for (int v = 0; v < 243; ++v) {
+    std::int8_t q[5] = {
+        static_cast<std::int8_t>(v / 81 % 3 - 1),
+        static_cast<std::int8_t>(v / 27 % 3 - 1),
+        static_cast<std::int8_t>(v / 9 % 3 - 1),
+        static_cast<std::int8_t>(v / 3 % 3 - 1),
+        static_cast<std::int8_t>(v % 3 - 1),
+    };
+    util::ByteBuffer out;
+    QuarticEncode(q, 5, out);
+    EXPECT_FALSE(seen[out.data()[0]]) << "collision at " << v;
+    seen[out.data()[0]] = true;
+  }
+}
+
+}  // namespace
+}  // namespace threelc::compress

@@ -1,0 +1,302 @@
+// Tests for the full 3LC codec: pipeline composition, error accumulation,
+// wire format, and the compression-ratio claims of §3.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "compress/quantize3.h"
+#include "compress/quartic.h"
+#include "compress/three_lc.h"
+#include "compress/zero_run.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+namespace threelc::compress {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor RandomTensor(Shape shape, std::uint64_t seed, float stddev = 1.0f) {
+  util::Rng rng(seed);
+  Tensor t(std::move(shape));
+  tensor::FillNormal(t, rng, 0.0f, stddev);
+  return t;
+}
+
+TEST(ThreeLC, NameReflectsOptions) {
+  EXPECT_EQ(ThreeLC({1.0f, true, true}).name(), "3LC (s=1)");
+  EXPECT_EQ(ThreeLC({1.75f, true, true}).name(), "3LC (s=1.75)");
+  EXPECT_EQ(ThreeLC({1.0f, false, true}).name(), "3LC (s=1, no ZRE)");
+  EXPECT_EQ(ThreeLC({1.0f, true, false}).name(), "3LC (s=1, no EA)");
+}
+
+TEST(ThreeLC, RoundTripErrorBoundedByHalfM) {
+  ThreeLC codec({1.0f, true, true});
+  Tensor in = RandomTensor(Shape{1000}, 1);
+  auto ctx = codec.MakeContext(in.shape());
+  Tensor out = RoundTrip(codec, in, *ctx);
+  const float m = tensor::MaxAbs(in);  // s = 1
+  EXPECT_LE(tensor::MaxAbsDiff(in, out), m / 2.0f + 1e-6f);
+}
+
+TEST(ThreeLC, ZeroTensorCompressesAtLeast280x) {
+  // Paper §3.3: an all-zero float32 tensor reaches 280x compression.
+  ThreeLC codec({1.0f, true, true});
+  Tensor zero(Shape{70000});
+  auto ctx = codec.MakeContext(zero.shape());
+  util::ByteBuffer buf;
+  codec.Encode(zero, *ctx, buf);
+  const double ratio = CompressionRatio(70000, buf.size());
+  EXPECT_GE(ratio, 270.0);  // header bytes shave a little off 280
+  Tensor out(zero.shape());
+  util::ByteReader reader(buf);
+  codec.Decode(reader, out);
+  EXPECT_EQ(tensor::MaxAbs(out), 0.0f);
+}
+
+TEST(ThreeLC, WithoutZreIsExactlyQuarticSize) {
+  ThreeLC codec({1.0f, false, true});
+  Tensor in = RandomTensor(Shape{1000}, 2);
+  auto ctx = codec.MakeContext(in.shape());
+  util::ByteBuffer buf;
+  codec.Encode(in, *ctx, buf);
+  // 4 (M) + 4 (len) + ceil(1000/5).
+  EXPECT_EQ(buf.size(), 8u + 200u);
+}
+
+TEST(ThreeLC, ZreNeverLargerThanQuartic) {
+  for (float s : {1.0f, 1.5f, 1.9f}) {
+    ThreeLC with({s, true, true});
+    ThreeLC without({s, false, true});
+    Tensor in = RandomTensor(Shape{5000}, 3);
+    auto ctx1 = with.MakeContext(in.shape());
+    auto ctx2 = without.MakeContext(in.shape());
+    util::ByteBuffer b1, b2;
+    with.Encode(in, *ctx1, b1);
+    without.Encode(in, *ctx2, b2);
+    EXPECT_LE(b1.size(), b2.size()) << "s=" << s;
+  }
+}
+
+TEST(ThreeLC, HigherSparsityCompressesMore) {
+  Tensor in = RandomTensor(Shape{20000}, 4);
+  std::size_t prev = SIZE_MAX;
+  for (float s : {1.0f, 1.5f, 1.75f, 1.9f}) {
+    ThreeLC codec({s, true, true});
+    auto ctx = codec.MakeContext(in.shape());
+    util::ByteBuffer buf;
+    codec.Encode(in, *ctx, buf);
+    EXPECT_LT(buf.size(), prev) << "s=" << s;
+    prev = buf.size();
+  }
+}
+
+TEST(ThreeLC, ErrorAccumulationRecoversDroppedMass) {
+  // Feeding the same tensor repeatedly, the sum of decoded outputs must
+  // converge to step * input (error feedback sends withheld state changes
+  // at later steps).
+  ThreeLC codec({1.9f, true, true});
+  Tensor in = RandomTensor(Shape{500}, 5, 0.1f);
+  auto ctx = codec.MakeContext(in.shape());
+  Tensor accumulated(in.shape());
+  const int steps = 120;
+  for (int i = 0; i < steps; ++i) {
+    Tensor out = RoundTrip(codec, in, *ctx);
+    tensor::Add(accumulated, out);
+  }
+  Tensor expected = in;
+  tensor::Scale(expected, static_cast<float>(steps));
+  // Residual is bounded per step, so the relative error shrinks as 1/steps.
+  const double rel =
+      tensor::Rmse(accumulated, expected) /
+      (tensor::MaxAbs(expected) + 1e-12);
+  EXPECT_LT(rel, 0.05);
+}
+
+TEST(ThreeLC, NoErrorAccumulationForgetsDroppedMass) {
+  // Without error accumulation the same experiment keeps a persistent bias
+  // for values below the quantization threshold.
+  ThreeLCOptions opt{1.9f, true, false};
+  ThreeLC codec(opt);
+  // A tensor whose small entries always quantize to zero.
+  Tensor in(Shape{10}, {1.0f, 0.1f, 0.1f, 0.1f, 0.1f,
+                        0.1f, 0.1f, 0.1f, 0.1f, 0.1f});
+  auto ctx = codec.MakeContext(in.shape());
+  Tensor accumulated(in.shape());
+  for (int i = 0; i < 20; ++i) {
+    Tensor out = RoundTrip(codec, in, *ctx);
+    tensor::Add(accumulated, out);
+  }
+  // The 0.1 entries never transmit: accumulated stays 0 there.
+  EXPECT_EQ(accumulated[1], 0.0f);
+  // With EA they would have been about 20 * 0.1 = 2.
+}
+
+TEST(ThreeLC, ResidualStateBytesReported) {
+  ThreeLC codec({1.0f, true, true});
+  auto ctx = codec.MakeContext(Shape{100});
+  EXPECT_EQ(ctx->StateBytes(), 400u);
+  ThreeLC no_ea({1.0f, true, false});
+  auto ctx2 = no_ea.MakeContext(Shape{100});
+  EXPECT_EQ(ctx2->StateBytes(), 0u);
+}
+
+TEST(ThreeLC, DecodeConsumesExactlyOnePayload) {
+  ThreeLC codec({1.5f, true, true});
+  Tensor a = RandomTensor(Shape{333}, 6);
+  Tensor b = RandomTensor(Shape{333}, 7);
+  auto ctx = codec.MakeContext(a.shape());
+  util::ByteBuffer buf;
+  codec.Encode(a, *ctx, buf);
+  codec.Encode(b, *ctx, buf);
+  util::ByteReader reader(buf);
+  Tensor out(a.shape());
+  codec.Decode(reader, out);
+  codec.Decode(reader, out);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ThreeLC, CorruptPayloadThrows) {
+  ThreeLC codec({1.0f, true, true});
+  Tensor in = RandomTensor(Shape{100}, 8);
+  auto ctx = codec.MakeContext(in.shape());
+  util::ByteBuffer buf;
+  codec.Encode(in, *ctx, buf);
+  // Truncate the payload.
+  util::ByteBuffer truncated;
+  truncated.Append(buf.data(), buf.size() / 2);
+  util::ByteReader reader(truncated);
+  Tensor out(in.shape());
+  EXPECT_THROW(codec.Decode(reader, out), std::exception);
+}
+
+TEST(ThreeLC, WrongShapeDecodeThrows) {
+  ThreeLC codec({1.0f, true, true});
+  Tensor in = RandomTensor(Shape{100}, 9);
+  auto ctx = codec.MakeContext(in.shape());
+  util::ByteBuffer buf;
+  codec.Encode(in, *ctx, buf);
+  util::ByteReader reader(buf);
+  Tensor wrong(Shape{400});
+  EXPECT_THROW(codec.Decode(reader, wrong), std::exception);
+}
+
+TEST(ThreeLC, MultiDimensionalTensorsSupported) {
+  ThreeLC codec({1.0f, true, true});
+  Tensor in = RandomTensor(Shape{4, 5, 3, 3}, 10);  // conv-kernel shaped
+  auto ctx = codec.MakeContext(in.shape());
+  Tensor out = RoundTrip(codec, in, *ctx);
+  EXPECT_EQ(out.shape(), in.shape());
+  EXPECT_LE(tensor::MaxAbsDiff(in, out), tensor::MaxAbs(in) / 2.0f + 1e-6f);
+}
+
+TEST(ThreeLC, DeterministicAcrossRuns) {
+  for (int trial = 0; trial < 2; ++trial) {
+    ThreeLC codec({1.5f, true, true});
+    Tensor in = RandomTensor(Shape{777}, 11);
+    auto ctx = codec.MakeContext(in.shape());
+    util::ByteBuffer buf;
+    codec.Encode(in, *ctx, buf);
+    static std::vector<std::uint8_t> first;
+    if (trial == 0) {
+      first.assign(buf.data(), buf.data() + buf.size());
+    } else {
+      ASSERT_EQ(first.size(), buf.size());
+      for (std::size_t i = 0; i < first.size(); ++i) {
+        ASSERT_EQ(first[i], buf.data()[i]);
+      }
+    }
+  }
+}
+
+TEST(ThreeLC, GoldenWireFormat) {
+  // Freezes the on-wire byte format: [f32 M][u32 len][ZRE(quartic bytes)].
+  // A 4x4 tensor built to quantize (s=1, M=0.4, threshold 0.2) to the
+  // paper's Figure 3 ternary pattern [0,0,-1,0,1, 0...0], whose quartic
+  // encoding is 113 121 121 121 and whose ZRE output is 113 244.
+  Tensor in(Shape{4, 4}, {0.0f, 0.1f, -0.4f, 0.0f,
+                          0.25f, -0.1f, -0.1f, -0.1f,
+                          0.0f, 0.0f, 0.0f, 0.1f,
+                          0.0f, 0.1f, -0.1f, 0.0f});
+  ThreeLC codec({1.0f, true, true});
+  auto ctx = codec.MakeContext(in.shape());
+  util::ByteBuffer buf;
+  codec.Encode(in, *ctx, buf);
+  ASSERT_EQ(buf.size(), 4u + 4u + 2u);
+  util::ByteReader reader(buf);
+  EXPECT_FLOAT_EQ(reader.ReadF32(), 0.4f);    // M = max|T| * s
+  EXPECT_EQ(reader.ReadU32(), 2u);            // ZRE payload length
+  EXPECT_EQ(reader.ReadU8(), 113);            // group {-0.3,.1,-.4,0,.2}/M
+  EXPECT_EQ(reader.ReadU8(), 244);            // run of three 121s
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ThreeLC, MatchesManuallyComposedStages) {
+  // The codec must be exactly quantize3 -> quartic -> ZRE with framing.
+  Tensor in = RandomTensor(Shape{1234}, 77);
+  ThreeLC codec({1.5f, true, false});  // no EA: single-shot comparison
+  auto ctx = codec.MakeContext(in.shape());
+  util::ByteBuffer actual;
+  codec.Encode(in, *ctx, actual);
+
+  std::vector<std::int8_t> ternary(in.size());
+  const float m = Quantize3(in.data(), in.size(), 1.5f, ternary.data());
+  util::ByteBuffer quartic;
+  QuarticEncode(ternary.data(), in.size(), quartic);
+  util::ByteBuffer expected;
+  expected.AppendF32(m);
+  util::ByteBuffer zre;
+  ZeroRunEncode(quartic.span(), zre);
+  expected.AppendU32(static_cast<std::uint32_t>(zre.size()));
+  expected.Append(zre.span());
+  EXPECT_EQ(actual, expected);
+}
+
+// ---------- Sparsity sweep: compression ratio behaviour ----------
+
+class ThreeLCSparsitySweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(ThreeLCSparsitySweep, RoundTripErrorWithinConvergenceBound) {
+  const float s = GetParam();
+  ThreeLC codec({s, true, true});
+  Tensor in = RandomTensor(Shape{2048}, 12, 0.2f);
+  auto ctx = codec.MakeContext(in.shape());
+  Tensor out = RoundTrip(codec, in, *ctx);
+  const float m = tensor::MaxAbs(in) * s;
+  EXPECT_LE(tensor::MaxAbsDiff(in, out), m / 2.0f + 1e-5f);
+  // M/2 < max|in| (paper's convergence argument requires s < 2).
+  EXPECT_LT(m / 2.0f, tensor::MaxAbs(in));
+}
+
+TEST_P(ThreeLCSparsitySweep, BeatsThresholdingOnTransmittedMagnitude) {
+  // Paper §3.1: thresholding transmits the surviving values at their own
+  // (small-ish) magnitudes, while sparsity multiplication dequantizes every
+  // survivor to M >= its magnitude — so at the same survivor set, 3LC's
+  // transmitted mass is at least the thresholded tensor's.
+  const float s = GetParam();
+  ThreeLC codec({s, true, false});
+  Tensor in = RandomTensor(Shape{8192}, 13);
+  auto ctx = codec.MakeContext(in.shape());
+  Tensor out = RoundTrip(codec, in, *ctx);
+  double mass_threshold = 0.0, mass_3lc = 0.0;
+  std::size_t survivors = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (out[i] != 0.0f) {
+      mass_3lc += std::fabs(out[i]);
+      mass_threshold += std::fabs(in[i]);  // what thresholding would send
+      ++survivors;
+      // Individual survivors are never shrunk.
+      EXPECT_GE(std::fabs(out[i]), std::fabs(in[i]) - 1e-5f);
+    }
+  }
+  ASSERT_GT(survivors, 0u);
+  EXPECT_GE(mass_3lc, mass_threshold - 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sparsities, ThreeLCSparsitySweep,
+                         ::testing::Values(1.0f, 1.25f, 1.5f, 1.75f, 1.9f));
+
+}  // namespace
+}  // namespace threelc::compress

@@ -1,0 +1,153 @@
+// Tests for the network cost model and training-time estimation.
+#include <gtest/gtest.h>
+
+#include "net/bandwidth.h"
+#include "net/traffic_meter.h"
+#include "train/time_model.h"
+
+namespace threelc {
+namespace {
+
+// ---------- NetworkModel ----------
+
+TEST(NetworkModel, TransferTimeIsBytesOverBandwidth) {
+  net::NetworkModel model({10e6, 0.0});
+  // 10 Mbps = 1.25 MB/s: 1.25 MB takes 1 second.
+  EXPECT_NEAR(model.TransferSeconds(1'250'000), 1.0, 1e-9);
+}
+
+TEST(NetworkModel, StepTimeSumsComponents) {
+  net::NetworkModel model({100e6, 0.5});
+  // 100 Mbps: 12.5 MB/s.
+  const double t = model.StepSeconds(1.0, 0.25, 12'500'000, 12'500'000);
+  EXPECT_NEAR(t, 1.0 + 0.25 + 0.5 + 1.0 + 1.0, 1e-9);
+}
+
+TEST(NetworkModel, OverlapHidesBoundedTransfer) {
+  net::NetworkModel full_overlap({1e6, 0.0}, 1.0);
+  // transfer = 8s, compute = 2s: overlap hides min(8, 2) = 2s.
+  const double t = full_overlap.StepSeconds(2.0, 0.0, 1'000'000, 0);
+  EXPECT_NEAR(t, 2.0 + 8.0 - 2.0, 1e-9);
+}
+
+TEST(NetworkModel, PresetsAreOrdered) {
+  EXPECT_LT(net::LinkConfig::TenMbps().bandwidth_bps,
+            net::LinkConfig::HundredMbps().bandwidth_bps);
+  EXPECT_LT(net::LinkConfig::HundredMbps().bandwidth_bps,
+            net::LinkConfig::OneGbps().bandwidth_bps);
+  // Slower links have larger per-step synchronization overhead.
+  EXPECT_GT(net::LinkConfig::TenMbps().overhead_seconds,
+            net::LinkConfig::OneGbps().overhead_seconds);
+}
+
+TEST(LinkConfig, ToStringFormats) {
+  EXPECT_EQ(net::LinkConfig::TenMbps().ToString(), "10 Mbps");
+  EXPECT_EQ(net::LinkConfig::OneGbps().ToString(), "1 Gbps");
+}
+
+// ---------- TrafficMeter ----------
+
+TEST(TrafficMeter, AccumulatesPerStep) {
+  net::TrafficMeter meter;
+  meter.BeginStep();
+  meter.RecordPush(100, 50);
+  meter.RecordPull(200, 50);
+  meter.BeginStep();
+  meter.RecordPush(300, 50);
+  EXPECT_EQ(meter.steps().size(), 2u);
+  EXPECT_EQ(meter.TotalPushBytes(), 400u);
+  EXPECT_EQ(meter.TotalPullBytes(), 200u);
+  EXPECT_EQ(meter.TotalValues(), 150u);
+}
+
+TEST(TrafficMeter, BitsPerValue) {
+  net::TrafficMeter meter;
+  meter.BeginStep();
+  meter.RecordPush(100, 100);  // 8 bits per value
+  EXPECT_DOUBLE_EQ(meter.AverageBitsPerValue(), 8.0);
+  EXPECT_DOUBLE_EQ(meter.AverageCompressionRatio(), 4.0);
+}
+
+// ---------- Time model over TrainResult ----------
+
+train::TrainResult FakeResult(std::size_t steps, std::size_t push_bytes,
+                              std::size_t pull_bytes, double codec_s,
+                              int workers) {
+  train::TrainResult r;
+  r.num_workers = workers;
+  r.model_parameters = 1000;
+  for (std::size_t i = 0; i < steps; ++i) {
+    train::StepRecord s;
+    s.step = static_cast<std::int64_t>(i);
+    s.push_bytes = push_bytes;
+    s.pull_bytes = pull_bytes;
+    s.codec_seconds = codec_s;
+    r.steps.push_back(s);
+  }
+  return r;
+}
+
+TEST(TimeModel, ComputeOnlyWhenNoTraffic) {
+  auto r = FakeResult(10, 0, 0, 0.0, 10);
+  train::TimeModelConfig cfg;
+  cfg.link = {1e9, 0.0};
+  cfg.compute_seconds_per_step = 0.5;
+  cfg.element_scale = 1.0;
+  EXPECT_NEAR(train::EstimateTrainingSeconds(r, cfg), 5.0, 1e-9);
+}
+
+TEST(TimeModel, MachineShareScalesTraffic) {
+  // 10 workers, 2 per machine: the bottleneck carries 1/5 of total bytes.
+  auto r = FakeResult(1, 10'000'000, 0, 0.0, 10);
+  train::TimeModelConfig cfg;
+  cfg.link = {8e6, 0.0};  // 1 MB/s
+  cfg.compute_seconds_per_step = 0.0;
+  cfg.workers_per_machine = 2;
+  // 10 MB total -> 2 MB through the bottleneck -> 2 s.
+  EXPECT_NEAR(train::EstimateTrainingSeconds(r, cfg), 2.0, 1e-6);
+}
+
+TEST(TimeModel, ElementScaleMultipliesBytesAndCodec) {
+  auto r = FakeResult(1, 1'000'000, 0, 0.1, 1);
+  train::TimeModelConfig cfg;
+  cfg.link = {8e6, 0.0};
+  cfg.compute_seconds_per_step = 0.0;
+  cfg.workers_per_machine = 1;
+  cfg.element_scale = 3.0;
+  // 3 MB at 1 MB/s + 0.3 s codec.
+  EXPECT_NEAR(train::EstimateTrainingSeconds(r, cfg), 3.3, 1e-6);
+}
+
+TEST(TimeModel, PerStepIsTotalOverSteps) {
+  auto r = FakeResult(4, 1000, 1000, 0.0, 2);
+  train::TimeModelConfig cfg;
+  EXPECT_NEAR(train::EstimatePerStepSeconds(r, cfg) * 4.0,
+              train::EstimateTrainingSeconds(r, cfg), 1e-12);
+}
+
+TEST(TimeModel, PaperElementScaleForResNet110) {
+  EXPECT_NEAR(train::TimeModelConfig::PaperElementScale(1'730'000), 1.0,
+              1e-6);
+  EXPECT_NEAR(train::TimeModelConfig::PaperElementScale(173'000), 10.0, 1e-6);
+}
+
+TEST(TimeModel, SlowerLinkNeverFaster) {
+  auto r = FakeResult(5, 500'000, 500'000, 0.001, 10);
+  train::TimeModelConfig fast, slow;
+  fast.link = net::LinkConfig::OneGbps();
+  slow.link = net::LinkConfig::TenMbps();
+  EXPECT_GT(train::EstimateTrainingSeconds(r, slow),
+            train::EstimateTrainingSeconds(r, fast));
+}
+
+TEST(TimeModel, CompressionReducesEstimatedTime) {
+  auto heavy = FakeResult(5, 4'000'000, 4'000'000, 0.0, 10);
+  auto light = FakeResult(5, 100'000, 100'000, 0.002, 10);
+  train::TimeModelConfig cfg;
+  cfg.link = net::LinkConfig::TenMbps();
+  EXPECT_GT(train::EstimateTrainingSeconds(heavy, cfg),
+            train::EstimateTrainingSeconds(light, cfg));
+}
+
+}  // namespace
+}  // namespace threelc

@@ -1,0 +1,396 @@
+// Unit tests for the util substrate: RNG, byte buffers, statistics,
+// CSV emission, and the thread pool.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "util/byte_buffer.h"
+#include "util/csv_writer.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace threelc::util {
+namespace {
+
+// ---------- Rng ----------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Below(1), 0u);
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, IntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.Int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaledMoments) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(21);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(v);
+  auto resorted = v;
+  std::sort(resorted.begin(), resorted.end());
+  EXPECT_EQ(resorted, sorted);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.Fork();
+  // The child stream should differ from the parent's continuation.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (parent.Next() == child.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitMix64KnownSequenceIsStable) {
+  std::uint64_t s1 = 0, s2 = 0;
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(SplitMix64(s1), SplitMix64(s2));
+}
+
+// ---------- ByteBuffer / ByteReader ----------
+
+TEST(ByteBuffer, StartsEmpty) {
+  ByteBuffer buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(ByteBuffer, PushAndReadBytes) {
+  ByteBuffer buf;
+  buf.PushByte(0x12);
+  buf.PushByte(0xFE);
+  ByteReader r(buf);
+  EXPECT_EQ(r.ReadByte(), 0x12);
+  EXPECT_EQ(r.ReadByte(), 0xFE);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ByteBuffer, ScalarRoundTrip) {
+  ByteBuffer buf;
+  buf.AppendU8(7);
+  buf.AppendU16(65500);
+  buf.AppendU32(0xDEADBEEF);
+  buf.AppendU64(0x0123456789ABCDEFULL);
+  buf.AppendF32(3.25f);
+  buf.AppendF64(-1e100);
+  ByteReader r(buf);
+  EXPECT_EQ(r.ReadU8(), 7);
+  EXPECT_EQ(r.ReadU16(), 65500);
+  EXPECT_EQ(r.ReadU32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.ReadU64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.ReadF32(), 3.25f);
+  EXPECT_EQ(r.ReadF64(), -1e100);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ByteBuffer, AppendSpanCopies) {
+  ByteBuffer a;
+  a.AppendU32(42);
+  ByteBuffer b;
+  b.Append(a.span());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ByteReader, UnderflowThrows) {
+  ByteBuffer buf;
+  buf.AppendU16(1);
+  ByteReader r(buf);
+  EXPECT_THROW(r.ReadU32(), std::out_of_range);
+}
+
+TEST(ByteReader, ReadSpanAdvances) {
+  ByteBuffer buf;
+  for (int i = 0; i < 10; ++i) buf.PushByte(static_cast<std::uint8_t>(i));
+  ByteReader r(buf);
+  ByteSpan s = r.ReadSpan(4);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[3], 3);
+  EXPECT_EQ(r.ReadByte(), 4);
+  EXPECT_EQ(r.remaining(), 5u);
+}
+
+TEST(ByteReader, ReadSpanPastEndThrows) {
+  ByteBuffer buf;
+  buf.PushByte(1);
+  ByteReader r(buf);
+  EXPECT_THROW(r.ReadSpan(2), std::out_of_range);
+}
+
+TEST(ByteBuffer, ClearResets) {
+  ByteBuffer buf;
+  buf.AppendU64(9);
+  buf.Clear();
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(ByteReader, PositionTracksConsumption) {
+  ByteBuffer buf;
+  buf.AppendU32(1);
+  buf.AppendU32(2);
+  ByteReader r(buf);
+  EXPECT_EQ(r.position(), 0u);
+  r.ReadU32();
+  EXPECT_EQ(r.position(), 4u);
+}
+
+// ---------- RunningStat ----------
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStat, KnownMeanVariance) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, MergeMatchesCombinedStream) {
+  RunningStat a, b, all;
+  Rng rng(31);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.Normal();
+    (i % 2 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStat, MergeWithEmptyIsIdentity) {
+  RunningStat a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), 2.0);
+}
+
+TEST(Ema, TracksConstantInput) {
+  Ema ema(0.1);
+  for (int i = 0; i < 100; ++i) ema.Add(4.0);
+  EXPECT_NEAR(ema.value(), 4.0, 1e-12);
+}
+
+TEST(Ema, FirstValueInitializes) {
+  Ema ema(0.5);
+  ema.Add(10.0);
+  EXPECT_EQ(ema.value(), 10.0);
+}
+
+TEST(Histogram, CountsAndQuantiles) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.Add(static_cast<double>(i % 10) + 0.5);
+  EXPECT_EQ(h.total(), 100u);
+  for (std::size_t b = 0; b < 10; ++b) EXPECT_EQ(h.bin_count(b), 10u);
+  EXPECT_NEAR(h.Quantile(0.5), 5.0, 1.0);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-100.0);
+  h.Add(100.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(3), 1u);
+}
+
+// ---------- CsvWriter ----------
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.NewRow().Add(1).Add("x");
+    csv.NewRow().Add(2.5).Add("y,z");
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,x");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2.5,\"y,z\"");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, EscapesQuotes) {
+  const std::string path = ::testing::TempDir() + "/csv_quote.csv";
+  {
+    CsvWriter csv(path, {"v"});
+    csv.NewRow().Add("say \"hi\"");
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"say \"\"hi\"\"\"");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, BadPathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv", {"a"}),
+               std::runtime_error);
+}
+
+// ---------- ThreadPool ----------
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(100, [&](std::size_t i) { ++hits[i]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto fut = pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SizeClampsToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  std::atomic<int> x{0};
+  pool.ParallelFor(3, [&](std::size_t) { ++x; });
+  EXPECT_EQ(x.load(), 3);
+}
+
+TEST(WallTimer, MeasuresElapsedTime) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.ElapsedSeconds(), 0.015);
+  EXPECT_LT(t.ElapsedSeconds(), 5.0);
+}
+
+}  // namespace
+}  // namespace threelc::util

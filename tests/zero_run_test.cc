@@ -1,0 +1,207 @@
+// Unit and property tests for zero-run encoding (paper §3.3).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "compress/quartic.h"
+#include "compress/zero_run.h"
+#include "util/rng.h"
+
+namespace threelc::compress {
+namespace {
+
+util::ByteBuffer Bytes(std::initializer_list<int> vals) {
+  util::ByteBuffer buf;
+  for (int v : vals) buf.PushByte(static_cast<std::uint8_t>(v));
+  return buf;
+}
+
+std::vector<std::uint8_t> Decode(util::ByteSpan encoded, std::size_t max_out) {
+  util::ByteBuffer out;
+  ZeroRunDecode(encoded, out, max_out);
+  return std::vector<std::uint8_t>(out.data(), out.data() + out.size());
+}
+
+TEST(ZeroRun, EmptyInputYieldsEmptyOutput) {
+  util::ByteBuffer out;
+  EXPECT_EQ(ZeroRunEncode(util::ByteSpan{}, out), 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ZeroRun, NonZeroBytesPassThrough) {
+  auto in = Bytes({0, 50, 113, 242});
+  util::ByteBuffer out;
+  ZeroRunEncode(in.span(), out);
+  EXPECT_EQ(out, in);
+}
+
+TEST(ZeroRun, SingleZeroBytePassesThrough) {
+  auto in = Bytes({113, 121, 50});
+  util::ByteBuffer out;
+  ZeroRunEncode(in.span(), out);
+  EXPECT_EQ(out, in);
+}
+
+TEST(ZeroRun, RunOfTwoBecomesByte243) {
+  auto in = Bytes({121, 121});
+  util::ByteBuffer out;
+  ZeroRunEncode(in.span(), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.data()[0], 243);
+}
+
+TEST(ZeroRun, RunOfFourteenBecomesByte255) {
+  util::ByteBuffer in;
+  for (int i = 0; i < 14; ++i) in.PushByte(kQuarticZeroByte);
+  util::ByteBuffer out;
+  ZeroRunEncode(in.span(), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.data()[0], 255);
+}
+
+TEST(ZeroRun, RunLengthEncodingFormula) {
+  // k consecutive 121s (2 <= k <= 14) -> single byte 243 + (k-2).
+  for (int k = 2; k <= 14; ++k) {
+    util::ByteBuffer in;
+    for (int i = 0; i < k; ++i) in.PushByte(kQuarticZeroByte);
+    util::ByteBuffer out;
+    ZeroRunEncode(in.span(), out);
+    ASSERT_EQ(out.size(), 1u) << "k=" << k;
+    EXPECT_EQ(out.data()[0], 243 + (k - 2)) << "k=" << k;
+  }
+}
+
+TEST(ZeroRun, FifteenSplitsIntoFourteenPlusLiteral) {
+  util::ByteBuffer in;
+  for (int i = 0; i < 15; ++i) in.PushByte(kQuarticZeroByte);
+  util::ByteBuffer out;
+  ZeroRunEncode(in.span(), out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.data()[0], 255);
+  EXPECT_EQ(out.data()[1], kQuarticZeroByte);
+}
+
+TEST(ZeroRun, SixteenSplitsIntoFourteenPlusTwo) {
+  util::ByteBuffer in;
+  for (int i = 0; i < 16; ++i) in.PushByte(kQuarticZeroByte);
+  util::ByteBuffer out;
+  ZeroRunEncode(in.span(), out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.data()[0], 255);
+  EXPECT_EQ(out.data()[1], 243);
+}
+
+TEST(ZeroRun, PaperFigureExample) {
+  // Figure 3 step (4): 113 121 121 121 ... -> 113 244 ... (run of 3 -> 244).
+  auto in = Bytes({113, 121, 121, 121});
+  util::ByteBuffer out;
+  ZeroRunEncode(in.span(), out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.data()[0], 113);
+  EXPECT_EQ(out.data()[1], 244);
+}
+
+TEST(ZeroRun, MixedRunsAndLiterals) {
+  auto in = Bytes({121, 121, 7, 121, 121, 121, 121, 9, 121});
+  util::ByteBuffer out;
+  ZeroRunEncode(in.span(), out);
+  const std::vector<std::uint8_t> expected = {243, 7, 245, 9, 121};
+  ASSERT_EQ(out.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(out.data()[i], expected[i]) << "at " << i;
+  }
+}
+
+TEST(ZeroRun, NeverExpands) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    util::ByteBuffer in;
+    const std::size_t n = 1 + rng.Below(500);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Mix of zero-groups and arbitrary quartic bytes.
+      in.PushByte(rng.Bernoulli(0.5)
+                      ? kQuarticZeroByte
+                      : static_cast<std::uint8_t>(rng.Below(243)));
+    }
+    util::ByteBuffer out;
+    ZeroRunEncode(in.span(), out);
+    EXPECT_LE(out.size(), in.size());
+  }
+}
+
+TEST(ZeroRunDecode, ExpandsRunBytes) {
+  auto in = Bytes({244});  // run of 3
+  auto decoded = Decode(in.span(), 100);
+  EXPECT_EQ(decoded, std::vector<std::uint8_t>(3, kQuarticZeroByte));
+}
+
+TEST(ZeroRunDecode, OverflowGuardThrows) {
+  auto in = Bytes({255});  // expands to 14 bytes
+  util::ByteBuffer out;
+  EXPECT_THROW(ZeroRunDecode(in.span(), out, 13), std::runtime_error);
+}
+
+TEST(ZeroRunDecode, LiteralOverflowGuardThrows) {
+  auto in = Bytes({1, 2, 3});
+  util::ByteBuffer out;
+  EXPECT_THROW(ZeroRunDecode(in.span(), out, 2), std::runtime_error);
+}
+
+// ---------- Round-trip properties ----------
+
+class ZeroRunDensitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZeroRunDensitySweep, RoundTripIdentity) {
+  const double zero_prob = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(zero_prob * 1000) + 1);
+  for (int trial = 0; trial < 20; ++trial) {
+    util::ByteBuffer in;
+    const std::size_t n = rng.Below(2000);
+    for (std::size_t i = 0; i < n; ++i) {
+      in.PushByte(rng.Bernoulli(zero_prob)
+                      ? kQuarticZeroByte
+                      : static_cast<std::uint8_t>(rng.Below(243)));
+    }
+    util::ByteBuffer encoded;
+    ZeroRunEncode(in.span(), encoded);
+    auto decoded = Decode(encoded.span(), n);
+    ASSERT_EQ(decoded.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(decoded[i], in.data()[i]) << "at " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ZeroDensities, ZeroRunDensitySweep,
+                         ::testing::Values(0.0, 0.1, 0.5, 0.9, 0.99, 1.0));
+
+TEST(ZeroRun, AllZeroGroupsCompressFourteenFold) {
+  // 14 * k zero-bytes compress to k bytes — the source of the 280x
+  // hypothetical in §3.3 (32 bits -> 1.6 bits quartic -> /14 ZRE).
+  util::ByteBuffer in;
+  for (int i = 0; i < 14 * 100; ++i) in.PushByte(kQuarticZeroByte);
+  util::ByteBuffer out;
+  ZeroRunEncode(in.span(), out);
+  EXPECT_EQ(out.size(), 100u);
+}
+
+TEST(ZeroRun, EncodedValuesStayInByteRange) {
+  // Run bytes are 243..255; literals 0..242 — everything fits one byte and
+  // run bytes never collide with quartic output.
+  util::Rng rng(77);
+  util::ByteBuffer in;
+  for (int i = 0; i < 5000; ++i) {
+    in.PushByte(rng.Bernoulli(0.8) ? kQuarticZeroByte
+                                   : static_cast<std::uint8_t>(rng.Below(243)));
+  }
+  util::ByteBuffer out;
+  ZeroRunEncode(in.span(), out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::uint8_t b = out.data()[i];
+    EXPECT_TRUE(b <= kQuarticMaxByte || (b >= 243));
+  }
+}
+
+}  // namespace
+}  // namespace threelc::compress

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Plot the paper's figures from the CSVs the bench binaries write.
+
+Usage:
+    python3 tools/plot_results.py [--results results/] [--out plots/]
+
+Produces fig4/5/6 (time-vs-accuracy fronts), fig7 (loss/accuracy curves),
+fig8 (sparsity sweep), and fig9 (bits per state change) as PNGs, mirroring
+the layout of the paper's Figures 4-9. Requires matplotlib.
+"""
+import argparse
+import csv
+import os
+from collections import defaultdict
+
+
+def read_csv(path):
+    with open(path, newline="") as f:
+        return list(csv.DictReader(f))
+
+
+def series_by(rows, key):
+    groups = defaultdict(list)
+    for row in rows:
+        groups[row[key]].append(row)
+    return groups
+
+
+def plot_fig456(results_dir, out_dir, plt):
+    rows = read_csv(os.path.join(results_dir, "fig456.csv"))
+    for fig_idx, col, label in [
+        (4, "minutes_10mbps", "10 Mbps"),
+        (5, "minutes_100mbps", "100 Mbps"),
+        (6, "minutes_1gbps", "1 Gbps"),
+    ]:
+        plt.figure(figsize=(7, 5))
+        for design, pts in series_by(rows, "design").items():
+            pts = sorted(pts, key=lambda r: float(r["steps"]))
+            xs = [float(p[col]) for p in pts]
+            ys = [float(p["accuracy"]) for p in pts]
+            plt.plot(xs, ys, marker="o", label=design)
+        plt.xlabel("Total training time (minutes)")
+        plt.ylabel("Test accuracy (%)")
+        plt.title(f"Figure {fig_idx}: time vs accuracy @ {label}")
+        plt.legend(fontsize=7)
+        plt.grid(alpha=0.3)
+        path = os.path.join(out_dir, f"fig{fig_idx}.png")
+        plt.savefig(path, dpi=140, bbox_inches="tight")
+        plt.close()
+        print("wrote", path)
+
+
+def plot_fig7(results_dir, out_dir, plt):
+    fig, axes = plt.subplots(1, 2, figsize=(12, 4.5))
+    loss_rows = read_csv(os.path.join(results_dir, "fig7_loss.csv"))
+    for design, pts in series_by(loss_rows, "design").items():
+        pts = sorted(pts, key=lambda r: int(r["step"]))
+        # Light smoothing for readability.
+        ys, acc = [], None
+        for p in pts:
+            v = float(p["training_loss"])
+            acc = v if acc is None else 0.9 * acc + 0.1 * v
+            ys.append(acc)
+        axes[0].plot([int(p["step"]) for p in pts], ys, label=design)
+    axes[0].set_xlabel("Training steps")
+    axes[0].set_ylabel("Training loss")
+    axes[0].grid(alpha=0.3)
+    axes[0].legend(fontsize=7)
+    acc_rows = read_csv(os.path.join(results_dir, "fig7_accuracy.csv"))
+    for design, pts in series_by(acc_rows, "design").items():
+        pts = sorted(pts, key=lambda r: int(r["step"]))
+        axes[1].plot([int(p["step"]) for p in pts],
+                     [float(p["test_accuracy"]) for p in pts], label=design)
+    axes[1].set_xlabel("Training steps")
+    axes[1].set_ylabel("Test accuracy (%)")
+    axes[1].grid(alpha=0.3)
+    axes[1].legend(fontsize=7)
+    fig.suptitle("Figure 7: training loss (left) and test accuracy (right)")
+    path = os.path.join(out_dir, "fig7.png")
+    fig.savefig(path, dpi=140, bbox_inches="tight")
+    plt.close(fig)
+    print("wrote", path)
+
+
+def plot_fig8(results_dir, out_dir, plt):
+    rows = read_csv(os.path.join(results_dir, "fig8.csv"))
+    plt.figure(figsize=(7, 5))
+    for s, pts in series_by(rows, "s").items():
+        pts = sorted(pts, key=lambda r: float(r["steps"]))
+        plt.plot([float(p["minutes_10mbps"]) for p in pts],
+                 [float(p["accuracy"]) for p in pts], marker="o",
+                 label=f"3LC (s={s})")
+    plt.xlabel("Total training time (minutes)")
+    plt.ylabel("Test accuracy (%)")
+    plt.title("Figure 8: sparsity-multiplier sweep @ 10 Mbps")
+    plt.legend(fontsize=8)
+    plt.grid(alpha=0.3)
+    path = os.path.join(out_dir, "fig8.png")
+    plt.savefig(path, dpi=140, bbox_inches="tight")
+    plt.close()
+    print("wrote", path)
+
+
+def plot_fig9(results_dir, out_dir, plt):
+    rows = read_csv(os.path.join(results_dir, "fig9.csv"))
+    groups = series_by(rows, "s")
+    fig, axes = plt.subplots(1, len(groups), figsize=(6 * len(groups), 4.5),
+                             squeeze=False)
+    for ax, (s, pts) in zip(axes[0], sorted(groups.items())):
+        pts = sorted(pts, key=lambda r: int(r["step"]))
+        steps = [int(p["step"]) for p in pts]
+        ax.plot(steps, [float(p["no_zre_bits_per_value"]) for p in pts],
+                label="Without ZRE", linestyle="--")
+        ax.plot(steps, [float(p["push_bits_per_value"]) for p in pts],
+                label="With ZRE (push)", alpha=0.8)
+        ax.plot(steps, [float(p["pull_bits_per_value"]) for p in pts],
+                label="With ZRE (pull)", alpha=0.8)
+        ax.set_xlabel("Training steps")
+        ax.set_ylabel("Compressed size per state change (bits)")
+        ax.set_title(f"s = {s}")
+        ax.set_ylim(bottom=0)
+        ax.grid(alpha=0.3)
+        ax.legend(fontsize=8)
+    fig.suptitle("Figure 9: compressed bits per state change")
+    path = os.path.join(out_dir, "fig9.png")
+    fig.savefig(path, dpi=140, bbox_inches="tight")
+    plt.close(fig)
+    print("wrote", path)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--results", default="results")
+    parser.add_argument("--out", default="plots")
+    args = parser.parse_args()
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        raise SystemExit("matplotlib is required: pip install matplotlib")
+    os.makedirs(args.out, exist_ok=True)
+    for fn in (plot_fig456, plot_fig7, plot_fig8, plot_fig9):
+        name = fn.__name__
+        try:
+            fn(args.results, args.out, plt)
+        except FileNotFoundError as e:
+            print(f"skipping {name}: {e}")
+
+
+if __name__ == "__main__":
+    main()
