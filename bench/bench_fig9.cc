@@ -7,22 +7,35 @@
 // most of training (aggregated gradients have lower variance early), and
 // pushes grow past pulls near the end as workers' gradients sharpen.
 #include <cstdio>
+#include <memory>
 
 #include "bench_common.h"
+#include "obs/telemetry.h"
 #include "util/csv_writer.h"
+#include "util/flags.h"
 
 using namespace threelc;
 
-int main() {
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  obs::ApplyLogLevelFlag(flags);
   auto config = train::DefaultExperiment();
   const std::int64_t steps = bench::StandardSteps(config);
   auto data = data::MakeTeacherDataset(config.data);
+
+  // Optional telemetry (attached to the s=1.00 run).
+  std::unique_ptr<obs::Telemetry> telemetry;
+  const obs::TelemetryOptions tel_opts = obs::TelemetryOptionsFromFlags(flags);
+  if (!tel_opts.trace_path.empty() || !tel_opts.metrics_path.empty()) {
+    telemetry = std::make_unique<obs::Telemetry>(tel_opts);
+  }
 
   util::CsvWriter csv(bench::ResultsPath("fig9.csv"),
                       {"s", "step", "push_bits_per_value",
                        "pull_bits_per_value", "no_zre_bits_per_value"});
 
   for (float s : {1.00f, 1.75f}) {
+    config.trainer.telemetry = s == 1.00f ? telemetry.get() : nullptr;
     auto result = train::RunDesign(
         config, compress::CodecConfig::ThreeLC(s), steps, data);
     std::printf("\nFigure 9 (s=%.2f): compressed bits per state change "
@@ -35,16 +48,11 @@ int main() {
     std::size_t early_n = 0, late_n = 0;
     for (std::size_t i = 0; i < result.steps.size(); ++i) {
       const auto& rec = result.steps[i];
-      const double push_bits =
-          rec.push_values_codec
-              ? 8.0 * static_cast<double>(rec.push_bytes_codec) /
-                    static_cast<double>(rec.push_values_codec)
-              : 0.0;
-      const double pull_bits =
-          rec.pull_values_codec
-              ? 8.0 * static_cast<double>(rec.pull_bytes_codec) /
-                    static_cast<double>(rec.pull_values_codec)
-              : 0.0;
+      const auto rates = net::PerDirectionBitsPerValue(
+          {rec.push_bytes_codec, rec.pull_bytes_codec, rec.push_values_codec,
+           rec.pull_values_codec});
+      const double push_bits = rates.push;
+      const double pull_bits = rates.pull;
       csv.NewRow().Add(s).Add(rec.step).Add(push_bits).Add(pull_bits).Add(1.6);
       if (i % stride == 0) {
         std::printf("  %10lld %12.3f %12.3f\n",

@@ -13,6 +13,8 @@
 #include "compress/quantize3.h"
 #include "compress/quartic.h"
 #include "compress/zero_run.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 #include "util/rng.h"
 
@@ -202,6 +204,62 @@ BENCHMARK_CAPTURE(BM_CodecDecode, int8, CodecConfig::EightBit());
 BENCHMARK_CAPTURE(BM_CodecDecode, mqe_1bit, CodecConfig::MqeOneBit());
 BENCHMARK_CAPTURE(BM_CodecDecode, threelc_s100, CodecConfig::ThreeLC(1.00f));
 BENCHMARK_CAPTURE(BM_CodecDecode, threelc_s175, CodecConfig::ThreeLC(1.75f));
+
+// --- Observability overhead (src/obs) -------------------------------------
+// The disabled-registry path is the one every hot loop pays when telemetry
+// is off; it must stay a relaxed load + branch (the "<5% step overhead"
+// budget in ISSUE/DESIGN terms is dominated by this).
+
+void BM_MetricsCounterDisabled(benchmark::State& state) {
+  obs::MetricsRegistry registry;  // disabled by default
+  obs::Counter* counter = registry.counter("bench/disabled");
+  for (auto _ : state) {
+    counter->Add(1.0);
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsCounterDisabled);
+
+void BM_MetricsCounterEnabled(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  registry.set_enabled(true);
+  obs::Counter* counter = registry.counter("bench/enabled");
+  for (auto _ : state) {
+    counter->Add(1.0);
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsCounterEnabled);
+
+void BM_ScopedSpanDisabled(benchmark::State& state) {
+  obs::Tracer tracer;  // disabled by default
+  for (auto _ : state) {
+    obs::ScopedSpan span(&tracer, "bench", 0);
+    benchmark::DoNotOptimize(&tracer);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScopedSpanDisabled);
+
+// Full-codec encode with the stats sink attached — the per-tensor cost the
+// trainer pays per step when --metrics-out requests per-tensor records.
+void BM_CodecEncodeWithStats(benchmark::State& state) {
+  const std::int64_t n = 1 << 17;
+  auto codec = compress::MakeCompressor(CodecConfig::ThreeLC(1.00f));
+  auto in = MakeInput(n);
+  auto ctx = codec->MakeContext(in.shape());
+  util::ByteBuffer out;
+  for (auto _ : state) {
+    out.Clear();
+    compress::EncodeStats stats;
+    codec->Encode(in, *ctx, out, &stats);
+    benchmark::DoNotOptimize(stats.zeros);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CodecEncodeWithStats);
 
 }  // namespace
 

@@ -1,19 +1,84 @@
-// Quickstart: compress a gradient tensor with 3LC in a few lines.
+// Quickstart: compress a gradient tensor with 3LC in a few lines, then run
+// a short distributed training loop with full telemetry.
 //
 //   1. Build a codec (3-value quantization + quartic + zero-run encoding).
 //   2. Make a per-tensor context (holds the error-accumulation buffer).
 //   3. Encode / decode and inspect sizes and error bounds.
+//   4. Train for --steps steps over --workers workers, writing a Chrome
+//      trace (--trace-out) and per-step JSONL metrics (--metrics-out).
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:
+//   ./build/examples/quickstart \
+//     --trace-out trace.json --metrics-out metrics.jsonl
+// Open trace.json in Perfetto / chrome://tracing; plot metrics.jsonl with
+//   python3 tools/plot_results.py metrics metrics.jsonl
 #include <cstdio>
+#include <exception>
+#include <memory>
 
 #include "compress/factory.h"
+#include "obs/telemetry.h"
 #include "tensor/tensor_ops.h"
+#include "train/experiment.h"
+#include "util/flags.h"
 #include "util/rng.h"
 
 using namespace threelc;
 
-int main() {
+namespace {
+
+// Part 2 of the demo: a short instrumented training run (paper Fig. 2's
+// full worker/server loop) that exercises every telemetry surface.
+int RunInstrumentedTraining(const util::Flags& flags) {
+  obs::TelemetryOptions opts = obs::TelemetryOptionsFromFlags(flags);
+  if (opts.trace_path.empty() && opts.metrics_path.empty()) {
+    std::printf(
+        "\n(no --trace-out / --metrics-out given; skipping the instrumented "
+        "training demo)\n");
+    return 0;
+  }
+
+  train::ExperimentConfig config = train::SmallExperiment();
+  config.trainer.num_workers =
+      static_cast<int>(flags.GetInt("workers", config.trainer.num_workers));
+  const std::int64_t steps = flags.GetInt("steps", 50);
+  config.trainer.eval_every = 0;  // final eval only; keeps the run short
+
+  std::unique_ptr<obs::Telemetry> telemetry;
+  try {
+    telemetry = std::make_unique<obs::Telemetry>(opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "telemetry setup failed: %s\n", e.what());
+    return 1;
+  }
+  config.trainer.telemetry = telemetry.get();
+
+  std::printf("\ntraining: %d workers, %lld steps, codec %s\n",
+              config.trainer.num_workers, static_cast<long long>(steps),
+              "3LC (s=1.00)");
+  const data::SyntheticData data = data::MakeTeacherDataset(config.data);
+  train::TrainResult result =
+      train::RunDesign(config, compress::CodecConfig::ThreeLC(1.0f), steps,
+                       data);
+  std::printf("final loss %.4f, test accuracy %.3f, %.3f bits/value\n",
+              result.final_train_loss, result.final_test_accuracy,
+              result.CodecBitsPerValue());
+  telemetry->Flush();
+  if (!opts.trace_path.empty()) {
+    std::printf("trace written to %s (open in Perfetto)\n",
+                opts.trace_path.c_str());
+  }
+  if (!opts.metrics_path.empty()) {
+    std::printf("metrics written to %s\n", opts.metrics_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  obs::ApplyLogLevelFlag(flags);
   // A synthetic "gradient": zero-centred values, a few large entries.
   util::Rng rng(1);
   tensor::Tensor grad(tensor::Shape{256, 128});  // one layer's weights
@@ -68,5 +133,8 @@ int main() {
   std::printf("after 2 sends of the same gradient, cumulative rmse vs 2*grad "
               "= %.6f\n",
               tensor::Rmse(total, twice));
-  return 0;
+
+  // --- 6. The same codec inside a full distributed training loop, with
+  //        telemetry: spans, metrics, and per-step JSONL records.
+  return RunInstrumentedTraining(flags);
 }

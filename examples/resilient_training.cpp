@@ -4,7 +4,7 @@
 // Usage:
 //   ./build/examples/resilient_training [--steps=400] [--workers=8]
 //       [--backup=1] [--straggler-prob=0.15] [--s=1.5]
-//       [--checkpoint=/tmp/3lc_demo.ckpt]
+//       [--checkpoint=/tmp/3lc_demo.ckpt] [--log-level=debug]
 //
 // Phase 1 trains with stragglers and backup workers, saving a checkpoint;
 // phase 2 restores it into a fresh model and verifies the restored
@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "nn/checkpoint.h"
+#include "obs/telemetry.h"
 #include "train/experiment.h"
 #include "util/flags.h"
 
@@ -19,6 +20,7 @@ using namespace threelc;
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
+  obs::ApplyLogLevelFlag(flags);
   const std::int64_t steps = flags.GetInt("steps", 400);
   const int workers = static_cast<int>(flags.GetInt("workers", 8));
   const int backup = static_cast<int>(flags.GetInt("backup", 1));

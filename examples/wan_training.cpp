@@ -6,17 +6,32 @@
 // reports traffic and estimated wall-clock time on a 10 Mbps WAN.
 //
 // Build & run:  ./build/examples/wan_training
+//   [--steps=300] [--trace-out t.json] [--metrics-out m.jsonl]
+//   [--log-level=debug]
+// Telemetry (when requested) records the 3LC s=1.00 run.
 #include <cstdio>
+#include <memory>
 
+#include "obs/telemetry.h"
 #include "train/experiment.h"
+#include "util/flags.h"
 
 using namespace threelc;
 
-int main() {
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  obs::ApplyLogLevelFlag(flags);
   auto config = train::DefaultExperiment();
-  config.standard_steps = 300;  // demo-sized run
+  config.standard_steps = flags.GetInt("steps", 300);  // demo-sized run
   config.trainer.eval_every = 100;
   auto data = data::MakeTeacherDataset(config.data);
+
+  // Attach telemetry (if requested) to the first 3LC run below.
+  std::unique_ptr<obs::Telemetry> telemetry;
+  const obs::TelemetryOptions tel_opts = obs::TelemetryOptionsFromFlags(flags);
+  if (!tel_opts.trace_path.empty() || !tel_opts.metrics_path.empty()) {
+    telemetry = std::make_unique<obs::Telemetry>(tel_opts);
+  }
   const auto wan = net::LinkConfig::TenMbps();
 
   std::printf("Synchronous data-parallel training: %d workers, batch %lld, "
@@ -28,17 +43,19 @@ int main() {
   struct Row {
     const char* label;
     compress::CodecConfig codec;
+    bool instrumented;  // attach --trace-out / --metrics-out telemetry
   };
   const Row rows[] = {
-      {"32-bit float (baseline)", compress::CodecConfig::Float32()},
-      {"3LC s=1.00", compress::CodecConfig::ThreeLC(1.00f)},
-      {"3LC s=1.75", compress::CodecConfig::ThreeLC(1.75f)},
+      {"32-bit float (baseline)", compress::CodecConfig::Float32(), false},
+      {"3LC s=1.00", compress::CodecConfig::ThreeLC(1.00f), true},
+      {"3LC s=1.75", compress::CodecConfig::ThreeLC(1.75f), false},
   };
 
   std::printf("%-26s %12s %14s %16s %14s\n", "Design", "accuracy",
               "traffic (MB)", "time @10Mbps", "vs baseline");
   double baseline_time = 0.0;
   for (const auto& row : rows) {
+    config.trainer.telemetry = row.instrumented ? telemetry.get() : nullptr;
     auto result =
         train::RunDesign(config, row.codec, config.standard_steps, data);
     const auto tm = train::PaperTimeModel(wan, result.model_parameters);

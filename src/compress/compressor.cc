@@ -2,6 +2,18 @@
 
 namespace threelc::compress {
 
+void Compressor::Encode(const Tensor& in, Context& ctx, ByteBuffer& out,
+                        EncodeStats* stats) const {
+  if (stats == nullptr) {
+    EncodeImpl(in, ctx, out, nullptr);
+    return;
+  }
+  const std::size_t before = out.size();
+  EncodeImpl(in, ctx, out, stats);
+  stats->elements = static_cast<std::size_t>(in.num_elements());
+  stats->payload_bytes = out.size() - before;
+}
+
 Tensor RoundTrip(const Compressor& codec, const Tensor& in, Context& ctx) {
   ByteBuffer buf;
   codec.Encode(in, ctx, buf);

@@ -38,6 +38,38 @@ class Context {
   virtual std::size_t StateBytes() const { return 0; }
 };
 
+// Per-encode statistics sink for the observability layer. Callers that want
+// telemetry pass a (zeroed) EncodeStats to Encode; codecs fill the fields
+// they produce and leave the rest at their "absent" defaults. Filling stats
+// may cost extra passes over the tensor, so the null-stats path stays the
+// hot path.
+struct EncodeStats {
+  // Filled generically for every codec.
+  std::size_t elements = 0;
+  std::size_t payload_bytes = 0;
+  // Ternary symbol distribution (3-value quantization stages).
+  bool has_symbols = false;
+  std::size_t zeros = 0;
+  std::size_t positives = 0;
+  std::size_t negatives = 0;
+  // Zero-run stage: bytes entering (quartic) and leaving (wire payload).
+  bool has_zero_run = false;
+  std::size_t zre_bytes_in = 0;
+  std::size_t zre_bytes_out = 0;
+  // L2 norm of the error-accumulation buffer *after* this encode — the
+  // paper's error-behaviour measurements (Fig. 7 discussion).
+  bool has_residual = false;
+  double residual_l2 = 0.0;
+
+  // Fraction of zero-run input bytes eliminated on the wire (0 when the
+  // stage is absent or saved nothing).
+  double ZreHitRate() const {
+    if (!has_zero_run || zre_bytes_in == 0) return 0.0;
+    return 1.0 - static_cast<double>(zre_bytes_out) /
+                     static_cast<double>(zre_bytes_in);
+  }
+};
+
 class Compressor {
  public:
   virtual ~Compressor() = default;
@@ -51,7 +83,15 @@ class Compressor {
 
   // Compress `in`, appending the payload to `out`. `ctx` must have been
   // created by this codec's MakeContext with `in`'s shape.
-  virtual void Encode(const Tensor& in, Context& ctx, ByteBuffer& out) const = 0;
+  void Encode(const Tensor& in, Context& ctx, ByteBuffer& out) const {
+    EncodeImpl(in, ctx, out, nullptr);
+  }
+
+  // As above, additionally filling `stats` (when non-null) with element
+  // count, payload size, and whatever codec-specific fields this codec
+  // produces.
+  void Encode(const Tensor& in, Context& ctx, ByteBuffer& out,
+              EncodeStats* stats) const;
 
   // Decompress into `out` (shape preset by the caller), consuming exactly
   // one Encode payload from `in`. Throws std::runtime_error on corruption.
@@ -59,6 +99,12 @@ class Compressor {
 
   // True if the codec is lossy (decode != encode input in general).
   virtual bool lossy() const { return true; }
+
+ protected:
+  // Codec body. `stats` is null on the hot path; implementations only
+  // spend extra work (symbol counts, residual norms) when it is non-null.
+  virtual void EncodeImpl(const Tensor& in, Context& ctx, ByteBuffer& out,
+                          EncodeStats* stats) const = 0;
 };
 
 // Convenience: encode then decode through a fresh reader; returns the

@@ -8,7 +8,8 @@ std::unique_ptr<Context> EightBitInt::MakeContext(const Shape&) const {
   return std::make_unique<Context>();
 }
 
-void EightBitInt::Encode(const Tensor& in, Context&, ByteBuffer& out) const {
+void EightBitInt::EncodeImpl(const Tensor& in, Context&, ByteBuffer& out,
+                             EncodeStats*) const {
   const auto n = static_cast<std::size_t>(in.num_elements());
   const float* src = in.data();
   float m = 0.0f;

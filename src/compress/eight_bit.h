@@ -13,8 +13,11 @@ class EightBitInt final : public Compressor {
  public:
   std::string name() const override { return "8-bit int"; }
   std::unique_ptr<Context> MakeContext(const Shape& shape) const override;
-  void Encode(const Tensor& in, Context& ctx, ByteBuffer& out) const override;
   void Decode(ByteReader& in, Tensor& out) const override;
+
+ protected:
+  void EncodeImpl(const Tensor& in, Context& ctx, ByteBuffer& out,
+                  EncodeStats* stats) const override;
 };
 
 }  // namespace threelc::compress

@@ -1,5 +1,6 @@
 #include "compress/local_steps.h"
 
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -39,7 +40,8 @@ std::unique_ptr<Context> LocalSteps::MakeContext(const Shape& shape) const {
   return std::make_unique<LocalStepsContext>(shape);
 }
 
-void LocalSteps::Encode(const Tensor& in, Context& ctx, ByteBuffer& out) const {
+void LocalSteps::EncodeImpl(const Tensor& in, Context& ctx, ByteBuffer& out,
+                            EncodeStats* stats) const {
   auto& c = static_cast<LocalStepsContext&>(ctx);
   const auto n = static_cast<std::size_t>(in.num_elements());
   THREELC_CHECK_MSG(c.accum_.size() == n, "context/tensor shape mismatch");
@@ -51,6 +53,16 @@ void LocalSteps::Encode(const Tensor& in, Context& ctx, ByteBuffer& out) const {
   if (send) {
     out.Append(acc, n * sizeof(float));
     for (std::size_t i = 0; i < n; ++i) acc[i] = 0.0f;
+  }
+  if (stats != nullptr) {
+    // The local accumulator is this scheme's "error" buffer: state changes
+    // withheld from the wire until the next send step.
+    stats->has_residual = true;
+    double sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sq += static_cast<double>(acc[i]) * static_cast<double>(acc[i]);
+    }
+    stats->residual_l2 = std::sqrt(sq);
   }
 }
 

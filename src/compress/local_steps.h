@@ -17,10 +17,13 @@ class LocalSteps final : public Compressor {
 
   std::string name() const override;
   std::unique_ptr<Context> MakeContext(const Shape& shape) const override;
-  void Encode(const Tensor& in, Context& ctx, ByteBuffer& out) const override;
   void Decode(ByteReader& in, Tensor& out) const override;
 
   int period() const { return period_; }
+
+ protected:
+  void EncodeImpl(const Tensor& in, Context& ctx, ByteBuffer& out,
+                  EncodeStats* stats) const override;
 
  private:
   int period_;

@@ -1,5 +1,6 @@
 #include "compress/mqe_one_bit.h"
 
+#include <cmath>
 #include <vector>
 
 #include "util/logging.h"
@@ -28,7 +29,8 @@ std::unique_ptr<Context> MqeOneBit::MakeContext(const Shape& shape) const {
   return std::make_unique<MqeContext>(shape);
 }
 
-void MqeOneBit::Encode(const Tensor& in, Context& ctx, ByteBuffer& out) const {
+void MqeOneBit::EncodeImpl(const Tensor& in, Context& ctx, ByteBuffer& out,
+                           EncodeStats* stats) const {
   auto& c = static_cast<MqeContext&>(ctx);
   const auto n = static_cast<std::size_t>(in.num_elements());
   THREELC_CHECK_MSG(c.accum_.size() == n, "context/tensor shape mismatch");
@@ -70,6 +72,14 @@ void MqeOneBit::Encode(const Tensor& in, Context& ctx, ByteBuffer& out) const {
     bits[i / 8] |= static_cast<std::uint8_t>(nonneg) << (i % 8);
     const float deq = nonneg ? mean_nonneg : mean_neg;
     res[i] = acc[i] - deq;
+  }
+  if (stats != nullptr) {
+    stats->has_residual = true;
+    double sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sq += static_cast<double>(res[i]) * static_cast<double>(res[i]);
+    }
+    stats->residual_l2 = std::sqrt(sq);
   }
 }
 

@@ -6,7 +6,8 @@ std::unique_ptr<Context> Float32::MakeContext(const Shape&) const {
   return std::make_unique<Context>();
 }
 
-void Float32::Encode(const Tensor& in, Context&, ByteBuffer& out) const {
+void Float32::EncodeImpl(const Tensor& in, Context&, ByteBuffer& out,
+                         EncodeStats*) const {
   out.Append(in.data(), in.byte_size());
 }
 

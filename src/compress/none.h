@@ -10,9 +10,12 @@ class Float32 final : public Compressor {
  public:
   std::string name() const override { return "32-bit float"; }
   std::unique_ptr<Context> MakeContext(const Shape& shape) const override;
-  void Encode(const Tensor& in, Context& ctx, ByteBuffer& out) const override;
   void Decode(ByteReader& in, Tensor& out) const override;
   bool lossy() const override { return false; }
+
+ protected:
+  void EncodeImpl(const Tensor& in, Context& ctx, ByteBuffer& out,
+                  EncodeStats* stats) const override;
 };
 
 }  // namespace threelc::compress

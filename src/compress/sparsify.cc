@@ -48,7 +48,8 @@ std::unique_ptr<Context> Sparsify::MakeContext(const Shape& shape) const {
   return std::make_unique<SparsifyContext>(shape, options_.seed);
 }
 
-void Sparsify::Encode(const Tensor& in, Context& ctx, ByteBuffer& out) const {
+void Sparsify::EncodeImpl(const Tensor& in, Context& ctx, ByteBuffer& out,
+                          EncodeStats* stats) const {
   auto& c = static_cast<SparsifyContext&>(ctx);
   const auto n = static_cast<std::size_t>(in.num_elements());
   THREELC_CHECK_MSG(c.accum_.size() == n, "context/tensor shape mismatch");
@@ -100,6 +101,14 @@ void Sparsify::Encode(const Tensor& in, Context& ctx, ByteBuffer& out) const {
     if ((out.data()[bitmap_pos + i / 8] >> (i % 8)) & 1) out.AppendF32(acc[i]);
   }
   std::memcpy(out.data() + count_pos, &count, sizeof(count));
+  if (stats != nullptr) {
+    stats->has_residual = true;
+    double sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sq += static_cast<double>(res[i]) * static_cast<double>(res[i]);
+    }
+    stats->residual_l2 = std::sqrt(sq);
+  }
 }
 
 void Sparsify::Decode(ByteReader& in, Tensor& out) const {

@@ -34,8 +34,11 @@ class Sparsify final : public Compressor {
 
   std::string name() const override;
   std::unique_ptr<Context> MakeContext(const Shape& shape) const override;
-  void Encode(const Tensor& in, Context& ctx, ByteBuffer& out) const override;
   void Decode(ByteReader& in, Tensor& out) const override;
+
+ protected:
+  void EncodeImpl(const Tensor& in, Context& ctx, ByteBuffer& out,
+                  EncodeStats* stats) const override;
 
  private:
   SparsifyOptions options_;

@@ -40,8 +40,8 @@ std::unique_ptr<Context> StochThreeValueQE::MakeContext(
   return std::make_unique<StochContext>(shape, util::SplitMix64(mix));
 }
 
-void StochThreeValueQE::Encode(const Tensor& in, Context& ctx,
-                               ByteBuffer& out) const {
+void StochThreeValueQE::EncodeImpl(const Tensor& in, Context& ctx,
+                                   ByteBuffer& out, EncodeStats* stats) const {
   auto& c = static_cast<StochContext&>(ctx);
   const auto n = static_cast<std::size_t>(in.num_elements());
   THREELC_CHECK_MSG(c.ternary_.size() == n, "context/tensor shape mismatch");
@@ -61,6 +61,14 @@ void StochThreeValueQE::Encode(const Tensor& in, Context& ctx,
       const float p = std::fabs(v) * inv_m;  // selection probability
       const bool fire = c.rng_.UniformFloat() < p;
       q[i] = fire ? (v > 0.0f ? 1 : -1) : 0;
+    }
+  }
+  if (stats != nullptr) {
+    stats->has_symbols = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (q[i] == 0) ++stats->zeros;
+      else if (q[i] > 0) ++stats->positives;
+      else ++stats->negatives;
     }
   }
   c.quartic_.Clear();

@@ -22,8 +22,11 @@ class StochThreeValueQE final : public Compressor {
 
   std::string name() const override { return "Stoch 3-value + QE"; }
   std::unique_ptr<Context> MakeContext(const Shape& shape) const override;
-  void Encode(const Tensor& in, Context& ctx, ByteBuffer& out) const override;
   void Decode(ByteReader& in, Tensor& out) const override;
+
+ protected:
+  void EncodeImpl(const Tensor& in, Context& ctx, ByteBuffer& out,
+                  EncodeStats* stats) const override;
 
  private:
   std::uint64_t seed_;

@@ -1,5 +1,6 @@
 #include "compress/three_lc.h"
 
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
@@ -55,7 +56,8 @@ std::unique_ptr<Context> ThreeLC::MakeContext(const Shape& shape) const {
   return std::make_unique<ThreeLCContext>(shape, options_.error_accumulation);
 }
 
-void ThreeLC::Encode(const Tensor& in, Context& ctx, ByteBuffer& out) const {
+void ThreeLC::EncodeImpl(const Tensor& in, Context& ctx, ByteBuffer& out,
+                         EncodeStats* stats) const {
   auto& c = static_cast<ThreeLCContext&>(ctx);
   const auto n = static_cast<std::size_t>(in.num_elements());
   THREELC_CHECK_MSG(c.accum_.size() == n, "context/tensor shape mismatch");
@@ -91,9 +93,32 @@ void ThreeLC::Encode(const Tensor& in, Context& ctx, ByteBuffer& out) const {
     ZeroRunEncode(c.quartic_.span(), zre);
     out.AppendU32(static_cast<std::uint32_t>(zre.size()));
     out.Append(zre.span());
+    if (stats != nullptr) {
+      stats->has_zero_run = true;
+      stats->zre_bytes_in = c.quartic_.size();
+      stats->zre_bytes_out = zre.size();
+    }
   } else {
     out.AppendU32(static_cast<std::uint32_t>(c.quartic_.size()));
     out.Append(c.quartic_.span());
+  }
+
+  if (stats != nullptr) {
+    stats->has_symbols = true;
+    const std::int8_t* q = c.ternary_.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (q[i] == 0) ++stats->zeros;
+      else if (q[i] > 0) ++stats->positives;
+      else ++stats->negatives;
+    }
+    if (c.has_residual_) {
+      stats->has_residual = true;
+      double sq = 0.0;
+      for (const float r : c.residual_) {
+        sq += static_cast<double>(r) * static_cast<double>(r);
+      }
+      stats->residual_l2 = std::sqrt(sq);
+    }
   }
 }
 

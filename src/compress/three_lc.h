@@ -37,10 +37,15 @@ class ThreeLC final : public Compressor {
 
   std::string name() const override;
   std::unique_ptr<Context> MakeContext(const Shape& shape) const override;
-  void Encode(const Tensor& in, Context& ctx, ByteBuffer& out) const override;
   void Decode(ByteReader& in, Tensor& out) const override;
 
   const ThreeLCOptions& options() const { return options_; }
+
+ protected:
+  // Fills, when stats are requested: ternary symbol distribution, zero-run
+  // stage bytes in/out, and the error-accumulation buffer's L2 norm.
+  void EncodeImpl(const Tensor& in, Context& ctx, ByteBuffer& out,
+                  EncodeStats* stats) const override;
 
  private:
   ThreeLCOptions options_;

@@ -4,6 +4,19 @@
 
 namespace threelc::net {
 
+DirectionBitsPerValue PerDirectionBitsPerValue(const StepTraffic& step) {
+  DirectionBitsPerValue out;
+  if (step.push_values > 0) {
+    out.push = static_cast<double>(step.push_bytes) * 8.0 /
+               static_cast<double>(step.push_values);
+  }
+  if (step.pull_values > 0) {
+    out.pull = static_cast<double>(step.pull_bytes) * 8.0 /
+               static_cast<double>(step.pull_values);
+  }
+  return out;
+}
+
 void TrafficMeter::BeginStep() { steps_.emplace_back(); }
 
 void TrafficMeter::RecordPush(std::size_t bytes, std::size_t values) {
@@ -46,6 +59,17 @@ double TrafficMeter::AverageBitsPerValue() const {
   if (values == 0) return 0.0;
   return static_cast<double>(TotalBytes()) * 8.0 /
          static_cast<double>(values);
+}
+
+DirectionBitsPerValue TrafficMeter::AveragePerDirectionBitsPerValue() const {
+  StepTraffic totals;
+  for (const auto& s : steps_) {
+    totals.push_bytes += s.push_bytes;
+    totals.pull_bytes += s.pull_bytes;
+    totals.push_values += s.push_values;
+    totals.pull_values += s.pull_values;
+  }
+  return PerDirectionBitsPerValue(totals);
 }
 
 double TrafficMeter::AverageCompressionRatio() const {

@@ -18,6 +18,16 @@ struct StepTraffic {
   std::size_t pull_values = 0;    // state-change values pulled
 };
 
+// Compressed bits per state-change value, split by direction — the y-axis
+// of Fig. 9. A direction with no recorded values reports 0.
+struct DirectionBitsPerValue {
+  double push = 0.0;
+  double pull = 0.0;
+};
+
+// Per-direction bits/value for one step's traffic.
+DirectionBitsPerValue PerDirectionBitsPerValue(const StepTraffic& step);
+
 class TrafficMeter {
  public:
   // Begin accounting for a new step.
@@ -35,6 +45,8 @@ class TrafficMeter {
 
   // Average bits per state change over all recorded traffic.
   double AverageBitsPerValue() const;
+  // As above, split by direction (aggregated over all recorded steps).
+  DirectionBitsPerValue AveragePerDirectionBitsPerValue() const;
   // Average ratio vs. 32-bit float transmission.
   double AverageCompressionRatio() const;
 

@@ -1,0 +1,63 @@
+// Minimal JSON formatting helpers for the observability exporters.
+//
+// Only what the metrics/trace/step-log writers need: string escaping and
+// finite-number formatting (NaN/Inf serialize as null, which keeps every
+// emitted line strictly-valid JSON).
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace threelc::obs {
+
+inline void AppendJsonEscaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+inline std::string JsonString(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  AppendJsonEscaped(out, s);
+  return out;
+}
+
+inline void AppendJsonNumber(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+inline void AppendJsonNumber(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+inline void AppendJsonNumber(std::string& out, std::int64_t v) {
+  out += std::to_string(v);
+}
+
+}  // namespace threelc::obs

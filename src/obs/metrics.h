@@ -1,0 +1,164 @@
+// Metrics registry: named counters, gauges, and histograms cheap enough
+// for per-tensor hot paths.
+//
+// Design rules:
+//  - Compiled in everywhere, disabled by default. A disabled metric costs
+//    one relaxed atomic load and a predictable branch — no allocation, no
+//    locking (bench_kernels measures this as BM_MetricsCounterDisabled).
+//  - Handles returned by counter()/gauge()/histogram() are stable for the
+//    registry's lifetime; call sites look them up once and keep the pointer.
+//  - Counters and gauges are lock-free so worker threads on the pool can
+//    record concurrently; histograms take a mutex (per-phase cadence, not
+//    per-value hot paths).
+//  - Registries merge by metric name (Merge), so per-thread registries can
+//    be folded into one before export.
+//  - Exporters: JSONL (one metric object per line) and CSV.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace threelc::obs {
+
+namespace internal {
+// C++20 has std::atomic<double>::fetch_add but not every deployed libstdc++
+// inlines it well; a relaxed CAS loop is portable and equally fast here.
+inline void AtomicAdd(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+  }
+}
+}  // namespace internal
+
+class MetricsRegistry;
+
+// Monotonically increasing sum (bytes, events, seconds).
+class Counter {
+ public:
+  void Add(double v = 1.0) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    internal::AtomicAdd(sum_, v);
+    events_.fetch_add(1, std::memory_order_relaxed);
+  }
+  double value() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t events() const {
+    return events_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  const std::atomic<bool>* enabled_;
+  std::atomic<double> sum_{0.0};
+  std::atomic<std::uint64_t> events_{0};
+};
+
+// Last-written value (loss, learning rate, queue depth).
+class Gauge {
+ public:
+  void Set(double v) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.store(v, std::memory_order_relaxed);
+    set_.store(true, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  bool set() const { return set_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  const std::atomic<bool>* enabled_;
+  std::atomic<double> value_{0.0};
+  std::atomic<bool> set_{false};
+};
+
+// Distribution: RunningStat moments plus fixed bins for quantiles.
+class HistogramStat {
+ public:
+  void Add(double v) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    stat_.Add(v);
+    bins_.Add(v);
+  }
+  util::RunningStat stat() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stat_;
+  }
+  double Quantile(double q) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bins_.Quantile(q);
+  }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t num_bins() const { return num_bins_; }
+
+ private:
+  friend class MetricsRegistry;
+  HistogramStat(const std::atomic<bool>* enabled, double lo, double hi,
+                std::size_t bins)
+      : enabled_(enabled), lo_(lo), hi_(hi), num_bins_(bins),
+        bins_(lo, hi, bins) {}
+  void MergeFrom(const HistogramStat& other);
+
+  const std::atomic<bool>* enabled_;
+  double lo_, hi_;
+  std::size_t num_bins_;
+  mutable std::mutex mu_;
+  util::RunningStat stat_;
+  util::Histogram bins_;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Process-wide registry for call sites without an obvious owner.
+  static MetricsRegistry& Global();
+
+  void set_enabled(bool enabled) { enabled_.store(enabled); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Find-or-create by name. Pointers remain valid for the registry's
+  // lifetime; re-registering a histogram with different bounds keeps the
+  // original bounds.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  HistogramStat* histogram(const std::string& name, double lo, double hi,
+                           std::size_t bins);
+
+  // Fold `other`'s metrics into this registry, matching by name and
+  // creating missing metrics. Counters add, gauges take other's value if
+  // it was ever set, histograms merge moments and bin counts.
+  void Merge(const MetricsRegistry& other);
+
+  // One JSON object per line:
+  //   {"metric":"traffic/push_bytes","type":"counter","value":..,"events":..}
+  void WriteJsonl(std::ostream& out) const;
+  // metric,type,value,events,mean,stddev,min,max,p50,p99
+  void WriteCsv(std::ostream& out) const;
+  // All metrics as one JSON object (embedded in the step log's summary).
+  std::string ToJsonObject() const;
+
+  std::size_t metric_count() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;  // guards the maps; metric values self-synchronize
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramStat>> histograms_;
+};
+
+}  // namespace threelc::obs

@@ -1,0 +1,160 @@
+#include "obs/telemetry.h"
+
+#include <stdexcept>
+
+#include "obs/json.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace threelc::obs {
+
+Telemetry::Telemetry(TelemetryOptions options) : options_(std::move(options)) {
+  if (!options_.metrics_path.empty()) {
+    metrics_out_.open(options_.metrics_path, std::ios::trunc);
+    if (!metrics_out_) {
+      throw std::runtime_error("Telemetry: cannot open metrics path " +
+                               options_.metrics_path);
+    }
+    metrics_.set_enabled(true);
+  }
+  if (!options_.trace_path.empty()) {
+    // Fail fast before training rather than after: probe writability now.
+    std::ofstream probe(options_.trace_path, std::ios::trunc);
+    if (!probe) {
+      throw std::runtime_error("Telemetry: cannot open trace path " +
+                               options_.trace_path);
+    }
+    tracer_.set_enabled(true);
+  }
+}
+
+Telemetry::~Telemetry() { Flush(); }
+
+std::string Telemetry::StepToJson(const StepTelemetry& s) {
+  std::string out;
+  out.reserve(256 + s.tensors.size() * 160);
+  out += "{\"type\":\"step\",\"step\":";
+  AppendJsonNumber(out, static_cast<std::int64_t>(s.step));
+  out += ",\"loss\":";
+  AppendJsonNumber(out, s.loss);
+  out += ",\"lr\":";
+  AppendJsonNumber(out, s.lr);
+  out += ",\"push_bytes\":";
+  AppendJsonNumber(out, static_cast<std::uint64_t>(s.push_bytes));
+  out += ",\"pull_bytes\":";
+  AppendJsonNumber(out, static_cast<std::uint64_t>(s.pull_bytes));
+  out += ",\"push_values\":";
+  AppendJsonNumber(out, static_cast<std::uint64_t>(s.push_values));
+  out += ",\"pull_values\":";
+  AppendJsonNumber(out, static_cast<std::uint64_t>(s.pull_values));
+  out += ",\"push_bits_per_value\":";
+  AppendJsonNumber(out, s.push_bits_per_value);
+  out += ",\"pull_bits_per_value\":";
+  AppendJsonNumber(out, s.pull_bits_per_value);
+  out += ",\"codec_seconds\":";
+  AppendJsonNumber(out, s.codec_seconds);
+  out += ",\"contributors\":";
+  AppendJsonNumber(out, static_cast<std::int64_t>(s.contributors));
+  out += ",\"phases_ms\":{";
+  for (std::size_t i = 0; i < s.phases_ms.size(); ++i) {
+    if (i) out += ",";
+    AppendJsonEscaped(out, s.phases_ms[i].name);
+    out += ":";
+    AppendJsonNumber(out, s.phases_ms[i].ms);
+  }
+  out += "}";
+  if (!s.tensors.empty()) {
+    out += ",\"tensors\":[";
+    for (std::size_t i = 0; i < s.tensors.size(); ++i) {
+      const TensorStepTelemetry& t = s.tensors[i];
+      if (i) out += ",";
+      out += "{\"name\":";
+      AppendJsonEscaped(out, t.name);
+      out += ",\"elements\":";
+      AppendJsonNumber(out, static_cast<std::uint64_t>(t.elements));
+      out += ",\"push_bytes\":";
+      AppendJsonNumber(out, static_cast<std::uint64_t>(t.push_bytes));
+      out += ",\"pull_bytes\":";
+      AppendJsonNumber(out, static_cast<std::uint64_t>(t.pull_bytes));
+      if (t.zero_frac >= 0.0) {
+        out += ",\"zero_frac\":";
+        AppendJsonNumber(out, t.zero_frac);
+        out += ",\"plus_frac\":";
+        AppendJsonNumber(out, t.plus_frac);
+        out += ",\"minus_frac\":";
+        AppendJsonNumber(out, t.minus_frac);
+      }
+      if (t.zre_hit_rate >= 0.0) {
+        out += ",\"zre_hit_rate\":";
+        AppendJsonNumber(out, t.zre_hit_rate);
+      }
+      if (t.push_residual_l2 >= 0.0) {
+        out += ",\"push_residual_l2\":";
+        AppendJsonNumber(out, t.push_residual_l2);
+      }
+      if (t.pull_residual_l2 >= 0.0) {
+        out += ",\"pull_residual_l2\":";
+        AppendJsonNumber(out, t.pull_residual_l2);
+      }
+      out += "}";
+    }
+    out += "]";
+  }
+  out += "}";
+  return out;
+}
+
+void Telemetry::LogStep(const StepTelemetry& step) {
+  if (!metrics_.enabled()) return;
+  const std::string line = StepToJson(step);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!metrics_out_.is_open()) return;
+  metrics_out_ << line << "\n";
+}
+
+void Telemetry::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (flushed_) return;
+  flushed_ = true;
+  if (metrics_out_.is_open()) {
+    metrics_out_ << "{\"type\":\"summary\",\"metrics\":"
+                 << metrics_.ToJsonObject() << "}\n";
+    metrics_out_.close();
+    THREELC_LOG(Info) << "telemetry: wrote step metrics to "
+                      << options_.metrics_path;
+  }
+  if (tracer_.enabled()) {
+    std::ofstream trace_out(options_.trace_path, std::ios::trunc);
+    if (trace_out) {
+      tracer_.WriteChromeTrace(trace_out);
+      THREELC_LOG(Info) << "telemetry: wrote " << tracer_.event_count()
+                        << " trace events to " << options_.trace_path;
+    } else {
+      THREELC_LOG(Warn) << "telemetry: cannot write trace to "
+                        << options_.trace_path;
+    }
+  }
+}
+
+TelemetryOptions TelemetryOptionsFromFlags(const util::Flags& flags) {
+  TelemetryOptions options;
+  options.trace_path = flags.GetString("trace-out", "");
+  options.metrics_path = flags.GetString("metrics-out", "");
+  options.per_tensor = flags.GetBool("per-tensor", true);
+  return options;
+}
+
+bool ApplyLogLevelFlag(const util::Flags& flags) {
+  const std::string name = flags.GetString("log-level", "");
+  if (name.empty()) return true;
+  util::LogLevel level;
+  if (!util::ParseLogLevel(name, &level)) {
+    THREELC_LOG(Warn) << "unknown --log-level '" << name
+                      << "' (want debug|info|warn|error)";
+    return false;
+  }
+  util::SetLogLevel(level);
+  return true;
+}
+
+}  // namespace threelc::obs

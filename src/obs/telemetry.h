@@ -1,0 +1,127 @@
+// Telemetry: the bundle a training run threads through the stack — one
+// metrics registry, one span tracer, and one JSONL step logger, configured
+// from the shared --trace-out / --metrics-out / --log-level flags.
+//
+// Step-log JSONL schema (one object per line):
+//   {"type":"step","step":N,"loss":..,"lr":..,
+//    "push_bytes":..,"pull_bytes":..,"push_values":..,"pull_values":..,
+//    "push_bits_per_value":..,"pull_bits_per_value":..,
+//    "codec_seconds":..,"contributors":..,
+//    "phases_ms":{"forward_backward":..,"encode_push":..,...},
+//    "tensors":[{"name":"dense0/W","elements":..,"push_bytes":..,
+//                "pull_bytes":..,"zero_frac":..,"plus_frac":..,
+//                "minus_frac":..,"zre_hit_rate":..,
+//                "push_residual_l2":..,"pull_residual_l2":..}, ...]}
+// and, at Flush, one summary line:
+//   {"type":"summary","metrics":{<MetricsRegistry::ToJsonObject()>}}
+// Optional per-tensor fields are omitted when the codec does not produce
+// them (e.g. no ternary stage, no error-accumulation buffer).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace threelc::util {
+class Flags;
+}
+
+namespace threelc::obs {
+
+struct TelemetryOptions {
+  std::string trace_path;    // empty = span tracing off
+  std::string metrics_path;  // empty = metrics/step-log off
+  bool per_tensor = true;    // per-tensor codec stats in the step log
+};
+
+// Per-tensor codec behaviour for one training step (aggregated over
+// workers for the push direction). Fractions < 0 mean "not produced by
+// this codec" and are omitted from the JSONL.
+struct TensorStepTelemetry {
+  std::string name;
+  std::size_t elements = 0;
+  std::size_t push_bytes = 0;  // summed over workers
+  std::size_t pull_bytes = 0;  // the shared payload, once
+  double zero_frac = -1.0;     // ternary symbol distribution (push)
+  double plus_frac = -1.0;
+  double minus_frac = -1.0;
+  double zre_hit_rate = -1.0;  // fraction of quartic bytes removed by ZRE
+  double push_residual_l2 = -1.0;  // mean over workers' EA buffers
+  double pull_residual_l2 = -1.0;  // server's pull EA buffer
+};
+
+// One structured record per training step.
+struct StepTelemetry {
+  std::int64_t step = 0;
+  double loss = 0.0;
+  double lr = 0.0;
+  std::size_t push_bytes = 0;
+  std::size_t pull_bytes = 0;
+  std::size_t push_values = 0;
+  std::size_t pull_values = 0;
+  double push_bits_per_value = 0.0;
+  double pull_bits_per_value = 0.0;
+  double codec_seconds = 0.0;  // critical-path codec CPU time
+  int contributors = 0;
+  struct Phase {
+    const char* name;
+    double ms;
+  };
+  std::vector<Phase> phases_ms;  // critical-path phase wall times
+  std::vector<TensorStepTelemetry> tensors;
+};
+
+class Telemetry {
+ public:
+  // Opens the metrics JSONL immediately (fail-fast on bad paths); the trace
+  // file is written at Flush. Throws std::runtime_error if a path cannot
+  // be opened.
+  explicit Telemetry(TelemetryOptions options);
+  ~Telemetry();  // flushes
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  MetricsRegistry& metrics() { return metrics_; }
+  Tracer& tracer() { return tracer_; }
+
+  bool metrics_enabled() const { return metrics_.enabled(); }
+  bool trace_enabled() const { return tracer_.enabled(); }
+  bool per_tensor_enabled() const {
+    return options_.per_tensor && metrics_.enabled();
+  }
+
+  // Append one step record to the metrics JSONL. Thread-safe.
+  void LogStep(const StepTelemetry& step);
+
+  // Serialize one step record (exposed for tests).
+  static std::string StepToJson(const StepTelemetry& step);
+
+  // Write the Chrome trace and the metrics summary line, then close the
+  // outputs. Idempotent; also runs from the destructor.
+  void Flush();
+
+ private:
+  TelemetryOptions options_;
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+  std::mutex mu_;
+  std::ofstream metrics_out_;
+  bool flushed_ = false;
+};
+
+// --- Flag wiring shared by examples/ and bench/ ---------------------------
+
+// Build TelemetryOptions from --trace-out, --metrics-out, --per-tensor.
+TelemetryOptions TelemetryOptionsFromFlags(const util::Flags& flags);
+
+// Apply --log-level (debug|info|warn|error) to util::SetLogLevel. Returns
+// false (and warns) on an unrecognized level name.
+bool ApplyLogLevelFlag(const util::Flags& flags);
+
+}  // namespace threelc::obs

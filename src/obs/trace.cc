@@ -1,0 +1,92 @@
+#include "obs/trace.h"
+
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace threelc::obs {
+
+void Tracer::SetTrackName(int track, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  track_names_[track] = std::move(name);
+}
+
+void Tracer::RecordSpan(std::string name, int track, double ts_us,
+                        double dur_us) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back({std::move(name), track, ts_us, dur_us});
+}
+
+void Tracer::RecordCounter(std::string name, int track, double ts_us,
+                           double value) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.push_back({std::move(name), track, ts_us, value});
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void Tracer::WriteChromeTrace(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string buf;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n";
+  };
+  sep();
+  out << R"({"name":"process_name","ph":"M","pid":0,"tid":0,)"
+      << R"("args":{"name":"threelc"}})";
+  for (const auto& [track, name] : track_names_) {
+    buf.clear();
+    buf += R"({"name":"thread_name","ph":"M","pid":0,"tid":)";
+    AppendJsonNumber(buf, static_cast<std::int64_t>(track));
+    buf += ",\"args\":{\"name\":";
+    AppendJsonEscaped(buf, name);
+    buf += "}}";
+    sep();
+    out << buf;
+  }
+  for (const auto& e : events_) {
+    buf.clear();
+    buf += "{\"name\":";
+    AppendJsonEscaped(buf, e.name);
+    buf += R"(,"cat":"train","ph":"X","pid":0,"tid":)";
+    AppendJsonNumber(buf, static_cast<std::int64_t>(e.track));
+    buf += ",\"ts\":";
+    AppendJsonNumber(buf, e.ts_us);
+    buf += ",\"dur\":";
+    AppendJsonNumber(buf, e.dur_us);
+    buf += "}";
+    sep();
+    out << buf;
+  }
+  for (const auto& c : counters_) {
+    buf.clear();
+    buf += "{\"name\":";
+    AppendJsonEscaped(buf, c.name);
+    buf += R"(,"cat":"train","ph":"C","pid":0,"tid":)";
+    AppendJsonNumber(buf, static_cast<std::int64_t>(c.track));
+    buf += ",\"ts\":";
+    AppendJsonNumber(buf, c.ts_us);
+    buf += ",\"args\":{\"value\":";
+    AppendJsonNumber(buf, c.value);
+    buf += "}}";
+    sep();
+    out << buf;
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace threelc::obs

@@ -55,7 +55,7 @@ void ParameterServer::ReceivePush(std::size_t idx, ByteReader& payload,
   if (aggregate) tensor::Add(slot.agg_grad, slot.scratch);
 }
 
-void ParameterServer::UpdateAndPreparePulls(float lr, int num_contributions) {
+void ParameterServer::Update(float lr, int num_contributions) {
   THREELC_CHECK(num_contributions >= 1);
   const float inv = 1.0f / static_cast<float>(num_contributions);
   // Install averaged gradients into the model's grad tensors, then step the
@@ -66,7 +66,12 @@ void ParameterServer::UpdateAndPreparePulls(float lr, int num_contributions) {
     *params_[i].grad = slot.agg_grad;
   }
   optimizer_->ApplyGradients(params_, lr);
+}
 
+void ParameterServer::PreparePulls(std::vector<compress::EncodeStats>* stats) {
+  if (stats != nullptr) {
+    stats->assign(slots_.size(), compress::EncodeStats{});
+  }
   // Compute per-tensor model deltas and encode shared pull payloads.
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     Slot& slot = slots_[i];
@@ -74,12 +79,18 @@ void ParameterServer::UpdateAndPreparePulls(float lr, int num_contributions) {
     slot.delta = tensor::Difference(value, slot.prev_value);
     slot.pull_payload.Clear();
     if (plan_->entry(i).compressed) {
-      codec_->Encode(slot.delta, *slot.pull_ctx, slot.pull_payload);
+      codec_->Encode(slot.delta, *slot.pull_ctx, slot.pull_payload,
+                     stats != nullptr ? &(*stats)[i] : nullptr);
     } else {
       slot.pull_payload.Append(slot.delta.data(), slot.delta.byte_size());
     }
     slot.prev_value = value;
   }
+}
+
+void ParameterServer::UpdateAndPreparePulls(float lr, int num_contributions) {
+  Update(lr, num_contributions);
+  PreparePulls();
 }
 
 ByteSpan ParameterServer::PullPayload(std::size_t idx) const {

@@ -54,8 +54,16 @@ class ParameterServer {
   // pushes arriving after the backup-worker quorum is met (§2.1).
   void ReceivePush(std::size_t idx, ByteReader& payload, bool aggregate = true);
 
-  // After all pushes: average gradients over `num_contributions`, update
-  // the global model, and encode this step's pull payloads.
+  // After all pushes: average gradients over `num_contributions` and run
+  // the optimizer on the global model.
+  void Update(float lr, int num_contributions);
+
+  // Encode this step's shared pull payloads from the post-update model
+  // deltas. When `stats` is non-null it is resized to the plan size and
+  // each compressed entry's encode instrumentation is recorded in place.
+  void PreparePulls(std::vector<compress::EncodeStats>* stats = nullptr);
+
+  // Convenience: Update followed by PreparePulls.
   void UpdateAndPreparePulls(float lr, int num_contributions);
 
   // The shared compressed pull payload for tensor `idx` (valid until the

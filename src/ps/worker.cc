@@ -25,14 +25,19 @@ Worker::Worker(int id, nn::Model& local_model, const TensorPlan& plan,
   }
 }
 
-std::size_t Worker::EncodePush(std::size_t idx, ByteBuffer& out) {
+std::size_t Worker::EncodePush(std::size_t idx, ByteBuffer& out,
+                               compress::EncodeStats* stats) {
   THREELC_CHECK(idx < params_.size());
   const std::size_t before = out.size();
   const tensor::Tensor& grad = *params_[idx].grad;
   if (plan_->entry(idx).compressed) {
-    codec_->Encode(grad, *push_ctx_[idx], out);
+    codec_->Encode(grad, *push_ctx_[idx], out, stats);
   } else {
     out.Append(grad.data(), grad.byte_size());
+    if (stats != nullptr) {
+      stats->elements = static_cast<std::size_t>(grad.num_elements());
+      stats->payload_bytes = grad.byte_size();
+    }
   }
   return out.size() - before;
 }

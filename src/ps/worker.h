@@ -33,8 +33,11 @@ class Worker {
   nn::Model& model() { return *model_; }
 
   // Encode this worker's gradient for tensor `idx` (from the local model's
-  // grad tensor) into `out`. Returns the payload byte count.
-  std::size_t EncodePush(std::size_t idx, ByteBuffer& out);
+  // grad tensor) into `out`. Returns the payload byte count. When `stats`
+  // is non-null and the entry is compressed, the codec fills it with
+  // per-encode instrumentation (symbol counts, zero-run bytes, residual L2).
+  std::size_t EncodePush(std::size_t idx, ByteBuffer& out,
+                         compress::EncodeStats* stats = nullptr);
 
   // Decode a pull payload for tensor `idx` and add the model delta to the
   // local parameter value.

@@ -120,10 +120,149 @@ double DistributedTrainer::EvaluateGlobalModel() {
                : 0.0;
 }
 
+void DistributedTrainer::EmitStepTelemetry(
+    const StepRecord& rec, const std::vector<double>& worker_fb_ms,
+    const std::vector<double>& worker_encode_ms,
+    const std::vector<double>& worker_decode_ms, double decode_aggregate_ms,
+    double optimize_ms, double encode_pull_ms,
+    const std::vector<std::vector<compress::EncodeStats>>& push_stats,
+    const std::vector<compress::EncodeStats>& pull_stats) {
+  obs::Telemetry* tel = config_.telemetry;
+
+  obs::StepTelemetry st;
+  st.step = rec.step;
+  st.loss = rec.loss;
+  st.lr = rec.lr;
+  st.push_bytes = rec.push_bytes;
+  st.pull_bytes = rec.pull_bytes;
+  st.push_values = rec.push_values;
+  st.pull_values = rec.pull_values;
+  const auto rates = net::PerDirectionBitsPerValue(
+      {rec.push_bytes, rec.pull_bytes, rec.push_values, rec.pull_values});
+  st.push_bits_per_value = rates.push;
+  st.pull_bits_per_value = rates.pull;
+  st.codec_seconds = rec.codec_seconds;
+  st.contributors = rec.contributors;
+
+  // Critical-path phase times: parallel worker phases reduce by max (the
+  // barrier waits for the slowest), server phases are serial.
+  auto max_of = [](const std::vector<double>& v) {
+    return v.empty() ? 0.0 : *std::max_element(v.begin(), v.end());
+  };
+  st.phases_ms = {{"forward_backward", max_of(worker_fb_ms)},
+                  {"encode_push", max_of(worker_encode_ms)},
+                  {"decode_aggregate", decode_aggregate_ms},
+                  {"optimize", optimize_ms},
+                  {"encode_pull", encode_pull_ms},
+                  {"decode_pull", max_of(worker_decode_ms)}};
+
+  if (!push_stats.empty()) {
+    st.tensors.reserve(plan_.size());
+    for (std::size_t t = 0; t < plan_.size(); ++t) {
+      const auto& entry = plan_.entry(t);
+      obs::TensorStepTelemetry tt;
+      tt.name = entry.name;
+      tt.elements = static_cast<std::size_t>(entry.shape.num_elements());
+      std::size_t zeros = 0, positives = 0, negatives = 0;
+      std::size_t zre_in = 0, zre_out = 0;
+      double residual_sum = 0.0;
+      std::size_t residual_n = 0;
+      for (const auto& worker_row : push_stats) {
+        const compress::EncodeStats& s = worker_row[t];
+        tt.push_bytes += s.payload_bytes;
+        if (s.has_symbols) {
+          zeros += s.zeros;
+          positives += s.positives;
+          negatives += s.negatives;
+        }
+        if (s.has_zero_run) {
+          zre_in += s.zre_bytes_in;
+          zre_out += s.zre_bytes_out;
+        }
+        if (s.has_residual) {
+          residual_sum += s.residual_l2;
+          ++residual_n;
+        }
+      }
+      const std::size_t symbols = zeros + positives + negatives;
+      if (symbols > 0) {
+        const auto total = static_cast<double>(symbols);
+        tt.zero_frac = static_cast<double>(zeros) / total;
+        tt.plus_frac = static_cast<double>(positives) / total;
+        tt.minus_frac = static_cast<double>(negatives) / total;
+      }
+      const compress::EncodeStats* pull =
+          t < pull_stats.size() ? &pull_stats[t] : nullptr;
+      if (pull != nullptr && pull->has_zero_run) {
+        zre_in += pull->zre_bytes_in;
+        zre_out += pull->zre_bytes_out;
+      }
+      if (zre_in > 0) {
+        tt.zre_hit_rate =
+            1.0 - static_cast<double>(zre_out) / static_cast<double>(zre_in);
+      }
+      if (residual_n > 0) {
+        tt.push_residual_l2 = residual_sum / static_cast<double>(residual_n);
+      }
+      if (pull != nullptr) {
+        tt.pull_bytes = pull->payload_bytes > 0
+                            ? pull->payload_bytes
+                            : server_->PullPayload(t).size();
+        if (pull->has_residual) tt.pull_residual_l2 = pull->residual_l2;
+      }
+      st.tensors.push_back(std::move(tt));
+    }
+  }
+
+  tel->LogStep(st);
+  if (tel->trace_enabled()) {
+    obs::Tracer& tracer = tel->tracer();
+    const double now = tracer.NowUs();
+    tracer.RecordCounter("loss", 0, now, rec.loss);
+    tracer.RecordCounter("push_bytes", 0, now,
+                         static_cast<double>(rec.push_bytes));
+  }
+}
+
 TrainResult DistributedTrainer::Run() {
   const auto num_workers = static_cast<std::size_t>(config_.num_workers);
   const std::size_t num_tensors = plan_.size();
   nn::CosineDecay schedule(config_.lr_max, config_.lr_min, config_.total_steps);
+
+  // --- Telemetry wiring (all null/disabled when config_.telemetry is
+  // unset; every hot-path guard is a branch on a cached bool). Tracks:
+  // 0 = server, 1+w = worker w.
+  obs::Telemetry* tel = config_.telemetry;
+  obs::Tracer* tracer =
+      tel != nullptr && tel->trace_enabled() ? &tel->tracer() : nullptr;
+  const bool metrics_on = tel != nullptr && tel->metrics_enabled();
+  const bool per_tensor = tel != nullptr && tel->per_tensor_enabled();
+  if (tracer != nullptr) {
+    tracer->SetTrackName(0, "server");
+    for (std::size_t w = 0; w < num_workers; ++w) {
+      tracer->SetTrackName(1 + static_cast<int>(w),
+                           "worker " + std::to_string(w));
+    }
+  }
+  obs::Counter* m_push_bytes = nullptr;
+  obs::Counter* m_pull_bytes = nullptr;
+  obs::Counter* m_codec_cpu = nullptr;
+  obs::Gauge* m_loss = nullptr;
+  obs::Gauge* m_lr = nullptr;
+  obs::HistogramStat* m_push_bpv = nullptr;
+  obs::HistogramStat* m_pull_bpv = nullptr;
+  obs::HistogramStat* m_step_ms = nullptr;
+  if (tel != nullptr) {
+    auto& reg = tel->metrics();
+    m_push_bytes = reg.counter("traffic/push_bytes");
+    m_pull_bytes = reg.counter("traffic/pull_bytes");
+    m_codec_cpu = reg.counter("codec/cpu_seconds");
+    m_loss = reg.gauge("train/loss");
+    m_lr = reg.gauge("train/lr");
+    m_push_bpv = reg.histogram("traffic/push_bits_per_value", 0.0, 34.0, 68);
+    m_pull_bpv = reg.histogram("traffic/pull_bits_per_value", 0.0, 34.0, 68);
+    m_step_ms = reg.histogram("train/step_ms", 0.0, 1000.0, 200);
+  }
 
   std::unique_ptr<util::ThreadPool> pool;
   if (config_.parallel_workers) {
@@ -157,6 +296,19 @@ TrainResult DistributedTrainer::Run() {
   std::vector<double> worker_encode_s(num_workers, 0.0);
   std::vector<double> worker_decode_s(num_workers, 0.0);
   std::vector<double> worker_loss(num_workers, 0.0);
+
+  // Telemetry scratch: per-worker wall-clock phase times and per-worker,
+  // per-tensor encode stats (each worker writes only its own row, so the
+  // parallel stages stay race-free).
+  std::vector<double> worker_fb_ms(num_workers, 0.0);
+  std::vector<double> worker_encode_ms(num_workers, 0.0);
+  std::vector<double> worker_decode_ms(num_workers, 0.0);
+  std::vector<std::vector<compress::EncodeStats>> push_stats;
+  std::vector<compress::EncodeStats> pull_stats;
+  if (per_tensor) {
+    push_stats.assign(num_workers,
+                      std::vector<compress::EncodeStats>(num_tensors));
+  }
 
   for (std::int64_t step = 0; step < config_.total_steps; ++step) {
     StepRecord rec;
@@ -194,16 +346,31 @@ TrainResult DistributedTrainer::Run() {
 
     // --- Forward/backward + gradient push encode, per worker (parallel).
     auto compute_and_encode = [&](std::size_t w) {
-      data::Batch batch = samplers_[w].Next(config_.batch_size);
-      nn::LossResult loss =
-          worker_models_[w].TrainStep(batch.inputs, batch.labels);
-      worker_loss[w] = loss.loss;
+      const int track = 1 + static_cast<int>(w);
+      data::Batch batch = [&] {
+        obs::ScopedSpan span(tracer, "sample_batch", track);
+        return samplers_[w].Next(config_.batch_size);
+      }();
+      {
+        obs::ScopedSpan span(tracer, "forward_backward", track);
+        util::WallTimer wall;
+        nn::LossResult loss =
+            worker_models_[w].TrainStep(batch.inputs, batch.labels);
+        worker_loss[w] = loss.loss;
+        worker_fb_ms[w] = wall.ElapsedMillis();
+      }
       push_payloads[w].Clear();
+      obs::ScopedSpan span(tracer, "encode_push", track);
+      util::WallTimer wall;
       util::CpuTimer timer;
       for (std::size_t t = 0; t < num_tensors; ++t) {
-        push_sizes[w][t] = workers_[w]->EncodePush(t, push_payloads[w]);
+        compress::EncodeStats* stats =
+            per_tensor ? &(push_stats[w][t] = compress::EncodeStats{})
+                       : nullptr;
+        push_sizes[w][t] = workers_[w]->EncodePush(t, push_payloads[w], stats);
       }
       worker_encode_s[w] = timer.ElapsedSeconds();
+      worker_encode_ms[w] = wall.ElapsedMillis();
     };
     if (pool) {
       pool->ParallelFor(num_workers, compute_and_encode);
@@ -213,31 +380,52 @@ TrainResult DistributedTrainer::Run() {
 
     // --- Server: decode + aggregate pushes in fixed worker order.
     double server_decode_s = 0.0;
-    for (std::size_t w = 0; w < num_workers; ++w) {
-      util::ByteReader reader(push_payloads[w]);
-      util::CpuTimer timer;
-      for (std::size_t t = 0; t < num_tensors; ++t) {
-        server_->ReceivePush(t, reader, contributes[w]);
-        const auto values =
-            static_cast<std::size_t>(plan_.entry(t).shape.num_elements());
-        rec.push_bytes += push_sizes[w][t];
-        rec.push_values += values;
-        if (plan_.entry(t).compressed) {
-          rec.push_bytes_codec += push_sizes[w][t];
-          rec.push_values_codec += values;
+    double decode_aggregate_ms = 0.0;
+    {
+      obs::ScopedSpan span(tracer, "decode_aggregate", 0);
+      util::WallTimer wall;
+      for (std::size_t w = 0; w < num_workers; ++w) {
+        util::ByteReader reader(push_payloads[w]);
+        util::CpuTimer timer;
+        for (std::size_t t = 0; t < num_tensors; ++t) {
+          server_->ReceivePush(t, reader, contributes[w]);
+          const auto values =
+              static_cast<std::size_t>(plan_.entry(t).shape.num_elements());
+          rec.push_bytes += push_sizes[w][t];
+          rec.push_values += values;
+          if (plan_.entry(t).compressed) {
+            rec.push_bytes_codec += push_sizes[w][t];
+            rec.push_values_codec += values;
+          }
         }
+        server_decode_s += timer.ElapsedSeconds();
+        THREELC_CHECK_MSG(reader.AtEnd(), "push payload not fully consumed");
       }
-      server_decode_s += timer.ElapsedSeconds();
-      THREELC_CHECK_MSG(reader.AtEnd(), "push payload not fully consumed");
+      decode_aggregate_ms = wall.ElapsedMillis();
     }
 
     // --- Model update + shared pull compression (encoded once).
+    double optimize_ms = 0.0;
+    {
+      obs::ScopedSpan span(tracer, "optimize", 0);
+      util::WallTimer wall;
+      server_->Update(rec.lr, static_cast<int>(quorum));
+      optimize_ms = wall.ElapsedMillis();
+    }
     util::CpuTimer pull_encode_timer;
-    server_->UpdateAndPreparePulls(rec.lr, static_cast<int>(quorum));
+    double encode_pull_ms = 0.0;
+    {
+      obs::ScopedSpan span(tracer, "encode_pull", 0);
+      util::WallTimer wall;
+      server_->PreparePulls(per_tensor ? &pull_stats : nullptr);
+      encode_pull_ms = wall.ElapsedMillis();
+    }
     const double pull_encode_s = pull_encode_timer.ElapsedSeconds();
 
     // --- Workers decode and apply the shared pull payloads (parallel).
     auto apply_pulls = [&](std::size_t w) {
+      obs::ScopedSpan span(tracer, "decode_pull", 1 + static_cast<int>(w));
+      util::WallTimer wall;
       util::CpuTimer timer;
       for (std::size_t t = 0; t < num_tensors; ++t) {
         util::ByteReader reader(server_->PullPayload(t));
@@ -245,6 +433,7 @@ TrainResult DistributedTrainer::Run() {
         THREELC_CHECK_MSG(reader.AtEnd(), "pull payload not fully consumed");
       }
       worker_decode_s[w] = timer.ElapsedSeconds();
+      worker_decode_ms[w] = wall.ElapsedMillis();
     };
     if (pool) {
       pool->ParallelFor(num_workers, apply_pulls);
@@ -277,17 +466,48 @@ TrainResult DistributedTrainer::Run() {
     rec.loss = loss_sum / static_cast<double>(num_workers);
     result.steps.push_back(rec);
 
+    if (tel != nullptr) {
+      EmitStepTelemetry(rec, worker_fb_ms, worker_encode_ms, worker_decode_ms,
+                        decode_aggregate_ms, optimize_ms, encode_pull_ms,
+                        push_stats, pull_stats);
+      if (metrics_on) {
+        m_push_bytes->Add(static_cast<double>(rec.push_bytes));
+        m_pull_bytes->Add(static_cast<double>(rec.pull_bytes));
+        m_codec_cpu->Add(rec.codec_seconds);
+        m_loss->Set(rec.loss);
+        m_lr->Set(rec.lr);
+        const auto rates = net::PerDirectionBitsPerValue(
+            {rec.push_bytes, rec.pull_bytes, rec.push_values,
+             rec.pull_values});
+        m_push_bpv->Add(rates.push);
+        m_pull_bpv->Add(rates.pull);
+        const double step_ms =
+            *std::max_element(worker_fb_ms.begin(), worker_fb_ms.end()) +
+            *std::max_element(worker_encode_ms.begin(),
+                              worker_encode_ms.end()) +
+            decode_aggregate_ms + optimize_ms + encode_pull_ms +
+            *std::max_element(worker_decode_ms.begin(),
+                              worker_decode_ms.end());
+        m_step_ms->Add(step_ms);
+      }
+    }
+
     if (config_.eval_every > 0 && (step + 1) % config_.eval_every == 0) {
+      obs::ScopedSpan span(tracer, "evaluate", 0);
       result.evals.push_back({step + 1, EvaluateGlobalModel()});
     }
   }
 
-  result.final_test_accuracy = EvaluateGlobalModel();
+  {
+    obs::ScopedSpan span(tracer, "evaluate", 0);
+    result.final_test_accuracy = EvaluateGlobalModel();
+  }
   if (result.evals.empty() ||
       result.evals.back().step != config_.total_steps) {
     result.evals.push_back({config_.total_steps, result.final_test_accuracy});
   }
   result.final_train_loss = result.steps.back().loss;
+  if (tel != nullptr) tel->Flush();
   return result;
 }
 

@@ -21,6 +21,7 @@
 #include "compress/factory.h"
 #include "data/dataset.h"
 #include "net/traffic_meter.h"
+#include "obs/telemetry.h"
 #include "nn/adam.h"
 #include "nn/lr_schedule.h"
 #include "nn/model.h"
@@ -69,6 +70,11 @@ struct TrainerConfig {
   double straggler_jitter = 0.0;
   double straggler_prob = 0.0;
   double straggler_slowdown = 5.0;
+
+  // Optional telemetry sink (not owned; must outlive Run). When set, Run
+  // emits spans per phase per step (track 0 = server, 1+w = worker w), one
+  // structured JSONL step record, and registry metrics. Null = zero-cost.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 struct StepRecord {
@@ -143,6 +149,16 @@ class DistributedTrainer {
 
  private:
   double EvaluateGlobalModel();
+
+  // Assemble and log one obs::StepTelemetry record from this step's
+  // measurements. Only called when config_.telemetry is set.
+  void EmitStepTelemetry(
+      const StepRecord& rec, const std::vector<double>& worker_fb_ms,
+      const std::vector<double>& worker_encode_ms,
+      const std::vector<double>& worker_decode_ms, double decode_aggregate_ms,
+      double optimize_ms, double encode_pull_ms,
+      const std::vector<std::vector<compress::EncodeStats>>& push_stats,
+      const std::vector<compress::EncodeStats>& pull_stats);
 
   TrainerConfig config_;
   nn::Model global_model_;

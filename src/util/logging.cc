@@ -1,6 +1,8 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 
@@ -9,8 +11,9 @@ namespace threelc::util {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 std::mutex g_log_mutex;
+}  // namespace
 
-const char* LevelName(LogLevel l) {
+const char* LogLevelName(LogLevel l) {
   switch (l) {
     case LogLevel::kDebug: return "DEBUG";
     case LogLevel::kInfo: return "INFO";
@@ -19,7 +22,21 @@ const char* LevelName(LogLevel l) {
   }
   return "?";
 }
-}  // namespace
+
+bool ParseLogLevel(const std::string& name, LogLevel* out) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(static_cast<char>(std::tolower(
+        static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") *out = LogLevel::kDebug;
+  else if (lower == "info") *out = LogLevel::kInfo;
+  else if (lower == "warn" || lower == "warning") *out = LogLevel::kWarn;
+  else if (lower == "error") *out = LogLevel::kError;
+  else return false;
+  return true;
+}
 
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
@@ -30,13 +47,19 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+  stream_ << "[" << LogLevelName(level) << " " << base << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
   if (level_ < g_level.load()) return;
+  // Format the full line (newline included) before touching stderr, then
+  // emit it as ONE write under the lock: pool worker threads logging
+  // concurrently must never interleave partial lines.
+  stream_ << '\n';
+  const std::string line = stream_.str();
   std::lock_guard<std::mutex> lock(g_log_mutex);
-  std::cerr << stream_.str() << "\n";
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
 }
 
 void CheckFailed(const char* expr, const char* file, int line,

@@ -16,6 +16,11 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+// Parse "debug" | "info" | "warn" | "error" (case-insensitive; "warning"
+// also accepted). Returns false and leaves *out untouched on other input.
+bool ParseLogLevel(const std::string& name, LogLevel* out);
+const char* LogLevelName(LogLevel level);
+
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

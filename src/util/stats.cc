@@ -46,8 +46,18 @@ void Histogram::Add(double x) {
   ++total_;
 }
 
+void Histogram::Merge(const Histogram& other) {
+  assert(other.lo_ == lo_ && other.hi_ == hi_ &&
+         other.counts_.size() == counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
 double Histogram::Quantile(double q) const {
   if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
   const auto target = static_cast<std::size_t>(
       q * static_cast<double>(total_ - 1));
   std::size_t seen = 0;

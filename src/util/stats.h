@@ -55,6 +55,9 @@ class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
   void Add(double x);
+  // Fold another histogram's counts in; both must share [lo, hi) and the
+  // bin count (checked).
+  void Merge(const Histogram& other);
   std::size_t bin_count(std::size_t i) const { return counts_[i]; }
   std::size_t bins() const { return counts_.size(); }
   std::size_t total() const { return total_; }

@@ -1,0 +1,422 @@
+// Observability layer: metrics registry semantics (enable/disable, merge),
+// JSONL/CSV export, tracer span recording under concurrency, Chrome trace
+// well-formedness, and the telemetry step-record schema.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+
+namespace threelc::obs {
+namespace {
+
+// --- Minimal recursive-descent JSON validator ------------------------------
+// Enough of RFC 8259 to prove that trace/metrics output parses: objects,
+// arrays, strings with escapes, numbers, true/false/null.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // bare control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+  bool Number() {
+    const std::size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    if (Peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    return pos_ > start && std::isdigit(static_cast<unsigned char>(
+                               s_[pos_ - 1]));
+  }
+  bool Literal(const char* word) {
+    const std::size_t len = std::string(word).size();
+    if (s_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(JsonValidatorTest, AcceptsAndRejects) {
+  EXPECT_TRUE(JsonValidator(R"({"a":[1,2.5,-3e2],"b":"x\ny","c":null})")
+                  .Valid());
+  EXPECT_FALSE(JsonValidator("{\"a\":}").Valid());
+  EXPECT_FALSE(JsonValidator("{\"a\":1").Valid());
+  EXPECT_FALSE(JsonValidator("[1,]").Valid());
+}
+
+TEST(JsonTest, EscapesControlAndQuotes) {
+  std::string out;
+  AppendJsonEscaped(out, "a\"b\\c\nd\x01");
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+  std::string num;
+  AppendJsonNumber(num, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(num, "null");  // JSON has no NaN
+}
+
+// --- Metrics registry ------------------------------------------------------
+
+TEST(MetricsTest, DisabledMetricsAreNoOps) {
+  MetricsRegistry registry;
+  ASSERT_FALSE(registry.enabled());
+  Counter* c = registry.counter("c");
+  Gauge* g = registry.gauge("g");
+  HistogramStat* h = registry.histogram("h", 0.0, 10.0, 10);
+  c->Add(5.0);
+  g->Set(3.0);
+  h->Add(1.0);
+  EXPECT_EQ(c->value(), 0.0);
+  EXPECT_EQ(c->events(), 0u);
+  EXPECT_FALSE(g->set());
+  EXPECT_EQ(h->stat().count(), 0u);
+}
+
+TEST(MetricsTest, HandlesAreStableAndSharedByName) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Counter* a = registry.counter("same");
+  Counter* b = registry.counter("same");
+  EXPECT_EQ(a, b);
+  a->Add(1.0);
+  b->Add(2.0);
+  EXPECT_EQ(a->value(), 3.0);
+  EXPECT_EQ(a->events(), 2u);
+}
+
+TEST(MetricsTest, ConcurrentCounterAddsAreLossless) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Counter* c = registry.counter("hits");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < kPerThread; ++i) c->Add(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->value(), static_cast<double>(kThreads * kPerThread));
+  EXPECT_EQ(c->events(), static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(MetricsTest, MergeAddsCountersTakesGaugesAndFoldsHistograms) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.set_enabled(true);
+  b.set_enabled(true);
+  a.counter("shared")->Add(1.0);
+  b.counter("shared")->Add(2.0);
+  b.counter("only_b")->Add(7.0);
+  a.gauge("g")->Set(1.0);
+  b.gauge("g")->Set(9.0);
+  b.gauge("never_set");
+  for (double v : {1.0, 2.0, 3.0}) a.histogram("h", 0.0, 10.0, 10)->Add(v);
+  for (double v : {7.0, 8.0}) b.histogram("h", 0.0, 10.0, 10)->Add(v);
+
+  a.Merge(b);
+  EXPECT_EQ(a.counter("shared")->value(), 3.0);
+  EXPECT_EQ(a.counter("only_b")->value(), 7.0);
+  EXPECT_EQ(a.gauge("g")->value(), 9.0);  // merge takes other's set value
+  const util::RunningStat merged = a.histogram("h", 0.0, 10.0, 10)->stat();
+  EXPECT_EQ(merged.count(), 5u);
+  EXPECT_DOUBLE_EQ(merged.mean(), (1.0 + 2.0 + 3.0 + 7.0 + 8.0) / 5.0);
+  EXPECT_EQ(merged.max(), 8.0);
+}
+
+TEST(MetricsTest, MergeLandsIntoDisabledRegistry) {
+  // Export-time merges fold per-thread registries into a possibly-disabled
+  // aggregate; the data must not be dropped.
+  MetricsRegistry worker;
+  worker.set_enabled(true);
+  worker.counter("n")->Add(4.0);
+  worker.gauge("g")->Set(2.0);
+  MetricsRegistry aggregate;  // disabled
+  aggregate.Merge(worker);
+  EXPECT_EQ(aggregate.counter("n")->value(), 4.0);
+  EXPECT_EQ(aggregate.gauge("g")->value(), 2.0);
+}
+
+TEST(MetricsTest, JsonlAndCsvExport) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  registry.counter("traffic/push_bytes")->Add(128.0);
+  registry.gauge("train/loss")->Set(0.25);
+  HistogramStat* h = registry.histogram("step_ms", 0.0, 100.0, 50);
+  for (int i = 1; i <= 10; ++i) h->Add(static_cast<double>(i));
+
+  std::ostringstream jsonl;
+  registry.WriteJsonl(jsonl);
+  std::istringstream lines(jsonl.str());
+  std::string line;
+  int n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    EXPECT_TRUE(JsonValidator(line).Valid()) << line;
+  }
+  EXPECT_EQ(n, 3);
+  EXPECT_NE(jsonl.str().find("\"traffic/push_bytes\""), std::string::npos);
+
+  std::ostringstream csv;
+  registry.WriteCsv(csv);
+  std::istringstream csv_lines(csv.str());
+  std::getline(csv_lines, line);
+  EXPECT_EQ(line, "metric,type,value,events,mean,stddev,min,max,p50,p99");
+  int rows = 0;
+  while (std::getline(csv_lines, line)) ++rows;
+  EXPECT_EQ(rows, 3);
+
+  const std::string obj = registry.ToJsonObject();
+  EXPECT_TRUE(JsonValidator(obj).Valid()) << obj;
+}
+
+// --- Tracer ----------------------------------------------------------------
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer tracer;
+  { ScopedSpan span(&tracer, "ignored", 0); }
+  { ScopedSpan span(nullptr, "null tracer is fine too", 1); }
+  tracer.RecordSpan("direct", 0, 0.0, 1.0);
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(TracerTest, ConcurrentSpansAllRecorded) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  constexpr int kThreads = 6;
+  constexpr int kSpans = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (int i = 0; i < kSpans; ++i) {
+        ScopedSpan span(&tracer, "work", 1 + t);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(tracer.event_count(),
+            static_cast<std::size_t>(kThreads * kSpans));
+  for (const TraceEvent& e : tracer.snapshot()) {
+    EXPECT_GE(e.dur_us, 0.0);
+    EXPECT_GE(e.ts_us, 0.0);
+  }
+}
+
+TEST(TracerTest, ChromeTraceIsValidJsonWithTrackNames) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.SetTrackName(0, "server");
+  tracer.SetTrackName(1, "worker 0");
+  tracer.RecordSpan("encode \"quoted\"", 1, 10.0, 5.0);
+  tracer.RecordSpan("optimize", 0, 20.0, 2.5);
+  tracer.RecordCounter("loss", 0, 22.5, 0.75);
+
+  std::ostringstream out;
+  tracer.WriteChromeTrace(out);
+  const std::string trace = out.str();
+  EXPECT_TRUE(JsonValidator(trace).Valid()) << trace;
+  EXPECT_NE(trace.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(trace.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(trace.find("\"worker 0\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"C\""), std::string::npos);
+}
+
+// --- Telemetry step records ------------------------------------------------
+
+StepTelemetry MakeStep() {
+  StepTelemetry s;
+  s.step = 3;
+  s.loss = 1.5;
+  s.lr = 0.1;
+  s.push_bytes = 1000;
+  s.pull_bytes = 2000;
+  s.push_values = 4000;
+  s.pull_values = 4000;
+  s.push_bits_per_value = 2.0;
+  s.pull_bits_per_value = 4.0;
+  s.codec_seconds = 0.001;
+  s.contributors = 4;
+  s.phases_ms = {{"forward_backward", 2.0}, {"encode_push", 0.5}};
+  TensorStepTelemetry t;
+  t.name = "dense0/W";
+  t.elements = 2048;
+  t.push_bytes = 600;
+  t.pull_bytes = 150;
+  t.zero_frac = 0.5;
+  t.plus_frac = 0.25;
+  t.minus_frac = 0.25;
+  t.zre_hit_rate = 0.4;
+  t.push_residual_l2 = 0.01;
+  t.pull_residual_l2 = 0.02;
+  s.tensors.push_back(t);
+  return s;
+}
+
+TEST(TelemetryTest, StepToJsonHasRequiredKeysAndParses) {
+  const std::string json = Telemetry::StepToJson(MakeStep());
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+  for (const char* key :
+       {"\"type\":\"step\"", "\"step\":3", "\"loss\":", "\"lr\":",
+        "\"push_bytes\":", "\"pull_bytes\":", "\"push_bits_per_value\":",
+        "\"codec_seconds\":", "\"contributors\":", "\"phases_ms\":",
+        "\"forward_backward\":", "\"tensors\":", "\"zre_hit_rate\":",
+        "\"push_residual_l2\":", "\"zero_frac\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing";
+  }
+}
+
+TEST(TelemetryTest, OptionalTensorFieldsOmittedWhenAbsent) {
+  StepTelemetry s = MakeStep();
+  s.tensors[0].zero_frac = -1.0;
+  s.tensors[0].plus_frac = -1.0;
+  s.tensors[0].minus_frac = -1.0;
+  s.tensors[0].zre_hit_rate = -1.0;
+  s.tensors[0].push_residual_l2 = -1.0;
+  s.tensors[0].pull_residual_l2 = -1.0;
+  const std::string json = Telemetry::StepToJson(s);
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+  EXPECT_EQ(json.find("zero_frac"), std::string::npos);
+  EXPECT_EQ(json.find("zre_hit_rate"), std::string::npos);
+  EXPECT_EQ(json.find("residual_l2"), std::string::npos);
+}
+
+TEST(TelemetryTest, StepLogRoundTrip) {
+  const std::string path = ::testing::TempDir() + "obs_test_metrics.jsonl";
+  {
+    TelemetryOptions options;
+    options.metrics_path = path;
+    Telemetry telemetry(options);
+    EXPECT_TRUE(telemetry.metrics_enabled());
+    EXPECT_FALSE(telemetry.trace_enabled());
+    telemetry.metrics().counter("traffic/push_bytes")->Add(1000.0);
+    telemetry.LogStep(MakeStep());
+    telemetry.Flush();
+    telemetry.Flush();  // idempotent
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  std::remove(path.c_str());
+  ASSERT_EQ(lines.size(), 2u);  // one step + one summary
+  for (const std::string& l : lines) {
+    EXPECT_TRUE(JsonValidator(l).Valid()) << l;
+  }
+  EXPECT_NE(lines[0].find("\"type\":\"step\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"type\":\"summary\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"traffic/push_bytes\""), std::string::npos);
+}
+
+TEST(TelemetryTest, BadPathThrows) {
+  TelemetryOptions options;
+  options.metrics_path = "/nonexistent-dir-xyz/metrics.jsonl";
+  EXPECT_THROW(Telemetry telemetry(options), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace threelc::obs

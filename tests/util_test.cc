@@ -12,6 +12,7 @@
 
 #include "util/byte_buffer.h"
 #include "util/csv_writer.h"
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
@@ -284,6 +285,46 @@ TEST(RunningStat, MergeWithEmptyIsIdentity) {
   EXPECT_EQ(a.mean(), 2.0);
 }
 
+TEST(RunningStat, MergeEmptyWithEmptyStaysEmpty) {
+  RunningStat a, b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(RunningStat, MergeEmptyWithNonEmptyTakesOther) {
+  RunningStat empty, b;
+  b.Add(2.0);
+  b.Add(4.0);
+  b.Add(6.0);
+  empty.Merge(b);
+  EXPECT_EQ(empty.count(), 3u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(empty.min(), 2.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 6.0);
+  EXPECT_DOUBLE_EQ(empty.variance(), b.variance());
+}
+
+TEST(RunningStat, MergeLargeCountsIsNumericallyStable) {
+  // Chan's parallel formula must not lose precision when both sides hold
+  // millions of samples whose means differ only slightly.
+  RunningStat a, b, all;
+  constexpr int kN = 1'000'000;
+  for (int i = 0; i < kN; ++i) {
+    const double xa = 1000.0 + 1e-6 * static_cast<double>(i % 97);
+    const double xb = 1000.0 + 1e-6 * static_cast<double>((i + 13) % 89);
+    a.Add(xa);
+    b.Add(xb);
+    all.Add(xa);
+    all.Add(xb);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), static_cast<std::size_t>(2 * kN));
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+}
+
 TEST(Ema, TracksConstantInput) {
   Ema ema(0.1);
   for (int i = 0; i < 100; ++i) ema.Add(4.0);
@@ -310,6 +351,44 @@ TEST(Histogram, OutOfRangeClampsToEdges) {
   h.Add(100.0);
   EXPECT_EQ(h.bin_count(0), 1u);
   EXPECT_EQ(h.bin_count(3), 1u);
+}
+
+TEST(Histogram, QuantileEdges) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.Add(static_cast<double>(i) + 0.5);
+  // q clamps to [0, 1]: q<=0 is the lowest occupied bin's midpoint, q>=1
+  // the highest.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), h.Quantile(-1.0));
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), h.Quantile(2.0));
+  EXPECT_NEAR(h.Quantile(0.0), 0.5, 0.51);
+  EXPECT_NEAR(h.Quantile(1.0), 9.5, 0.51);
+  EXPECT_LT(h.Quantile(0.0), h.Quantile(1.0));
+}
+
+TEST(Histogram, QuantileOfEmptyIsLowerBound) {
+  Histogram h(2.0, 8.0, 6);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 2.0);
+}
+
+TEST(Histogram, QuantileAllMassInOneBin) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 50; ++i) h.Add(3.2);  // all mass in bin [3, 4)
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), h.Quantile(1.0));
+  EXPECT_NEAR(h.Quantile(0.5), 3.5, 1e-12);  // bin midpoint
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 10);
+  a.Add(1.5);
+  b.Add(1.5);
+  b.Add(7.5);
+  a.Merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.bin_count(1), 2u);
+  EXPECT_EQ(a.bin_count(7), 1u);
 }
 
 // ---------- CsvWriter ----------
@@ -383,6 +462,22 @@ TEST(ThreadPool, SizeClampsToAtLeastOne) {
   std::atomic<int> x{0};
   pool.ParallelFor(3, [&](std::size_t) { ++x; });
   EXPECT_EQ(x.load(), 3);
+}
+
+TEST(ParseLogLevel, AcceptsAliasesCaseInsensitively) {
+  LogLevel level;
+  ASSERT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  ASSERT_TRUE(ParseLogLevel("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  ASSERT_TRUE(ParseLogLevel("Warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  ASSERT_TRUE(ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  ASSERT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
 }
 
 TEST(WallTimer, MeasuresElapsedTime) {

@@ -1,15 +1,22 @@
 #!/usr/bin/env python3
-"""Plot the paper's figures from the CSVs the bench binaries write.
+"""Plot the paper's figures from bench CSVs, or a telemetry metrics JSONL.
 
 Usage:
-    python3 tools/plot_results.py [--results results/] [--out plots/]
+    python3 tools/plot_results.py [figures] [--results results/] [--out plots/]
+    python3 tools/plot_results.py metrics metrics.jsonl [--out plots/]
 
-Produces fig4/5/6 (time-vs-accuracy fronts), fig7 (loss/accuracy curves),
-fig8 (sparsity sweep), and fig9 (bits per state change) as PNGs, mirroring
-the layout of the paper's Figures 4-9. Requires matplotlib.
+`figures` (the default) produces fig4/5/6 (time-vs-accuracy fronts), fig7
+(loss/accuracy curves), fig8 (sparsity sweep), and fig9 (bits per state
+change) as PNGs, mirroring the paper's Figures 4-9.
+
+`metrics` plots a --metrics-out step log (loss vs. step, push/pull bits per
+value vs. step) written by examples/ and bench/ binaries.
+
+Requires matplotlib.
 """
 import argparse
 import csv
+import json
 import os
 from collections import defaultdict
 
@@ -128,18 +135,80 @@ def plot_fig9(results_dir, out_dir, plt):
     print("wrote", path)
 
 
-def main():
-    parser = argparse.ArgumentParser()
-    parser.add_argument("--results", default="results")
-    parser.add_argument("--out", default="plots")
-    args = parser.parse_args()
+def read_step_records(path):
+    """Parse a --metrics-out JSONL file into its per-step records."""
+    steps = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec.get("type") == "step":
+                steps.append(rec)
+    if not steps:
+        raise SystemExit(f"no step records found in {path}")
+    return steps
+
+
+def plot_metrics(jsonl_path, out_dir, plt):
+    steps = read_step_records(jsonl_path)
+    xs = [s["step"] for s in steps]
+
+    fig, axes = plt.subplots(1, 2, figsize=(12, 4.5))
+    axes[0].plot(xs, [s["loss"] for s in steps], label="training loss")
+    axes[0].set_xlabel("Training steps")
+    axes[0].set_ylabel("Training loss")
+    axes[0].grid(alpha=0.3)
+    axes[0].legend(fontsize=8)
+
+    axes[1].plot(xs, [s["push_bits_per_value"] for s in steps], label="push",
+                 alpha=0.8)
+    axes[1].plot(xs, [s["pull_bits_per_value"] for s in steps], label="pull",
+                 alpha=0.8)
+    axes[1].set_xlabel("Training steps")
+    axes[1].set_ylabel("Compressed size per state change (bits)")
+    axes[1].set_ylim(bottom=0)
+    axes[1].grid(alpha=0.3)
+    axes[1].legend(fontsize=8)
+
+    base = os.path.splitext(os.path.basename(jsonl_path))[0]
+    fig.suptitle(f"Telemetry: {base} (loss and bits/value per step)")
+    path = os.path.join(out_dir, f"{base}.png")
+    fig.savefig(path, dpi=140, bbox_inches="tight")
+    plt.close(fig)
+    print("wrote", path)
+
+
+def load_matplotlib():
     try:
         import matplotlib
         matplotlib.use("Agg")
         import matplotlib.pyplot as plt
     except ImportError:
         raise SystemExit("matplotlib is required: pip install matplotlib")
+    return plt
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    sub = parser.add_subparsers(dest="command")
+    figures = sub.add_parser("figures", help="plot paper figures from CSVs")
+    figures.add_argument("--results", default="results")
+    figures.add_argument("--out", default="plots")
+    metrics = sub.add_parser("metrics",
+                             help="plot a --metrics-out step-log JSONL")
+    metrics.add_argument("jsonl", help="path to metrics.jsonl")
+    metrics.add_argument("--out", default="plots")
+    # Default to `figures` so the historical bare invocation keeps working.
+    parser.set_defaults(command="figures", results="results", out="plots")
+    args = parser.parse_args()
+
+    plt = load_matplotlib()
     os.makedirs(args.out, exist_ok=True)
+    if args.command == "metrics":
+        plot_metrics(args.jsonl, args.out, plt)
+        return
     for fn in (plot_fig456, plot_fig7, plot_fig8, plot_fig9):
         name = fn.__name__
         try:
