@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
   // Optional telemetry (attached to the s=1.00 run).
   std::unique_ptr<obs::Telemetry> telemetry;
   const obs::TelemetryOptions tel_opts = obs::TelemetryOptionsFromFlags(flags);
-  if (!tel_opts.trace_path.empty() || !tel_opts.metrics_path.empty()) {
+  if (!tel_opts.trace_path.empty() || !tel_opts.metrics_path.empty() ||
+      tel_opts.monitoring_enabled()) {
     telemetry = std::make_unique<obs::Telemetry>(tel_opts);
   }
 

@@ -13,7 +13,10 @@
 #include "compress/quantize3.h"
 #include "compress/quartic.h"
 #include "compress/zero_run.h"
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 #include "util/rng.h"
@@ -260,6 +263,61 @@ void BM_CodecEncodeWithStats(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_CodecEncodeWithStats);
+
+// --- Live-monitoring overhead ---------------------------------------------
+// The watchdog and flight recorder run once per training step (not per
+// tensor element), so their cost must be microseconds against step times
+// of milliseconds — i.e. within measurement noise of a training step.
+
+obs::StepTelemetry MakeBenchStep(std::int64_t step) {
+  obs::StepTelemetry st;
+  st.step = step;
+  st.loss = 1.0 / static_cast<double>(step + 1);
+  st.lr = 0.1;
+  st.push_bytes = 123456;
+  st.pull_bytes = 65432;
+  st.push_values = 1 << 18;
+  st.pull_values = 1 << 18;
+  st.push_bits_per_value = 1.2;
+  st.pull_bits_per_value = 0.9;
+  st.codec_seconds = 0.004;
+  st.step_wall_ms = 12.0;
+  st.contributors = 8;
+  st.phases_ms = {{"forward_backward", 8.0}, {"encode_push", 2.0}};
+  for (int t = 0; t < 4; ++t) {
+    obs::TensorStepTelemetry ts;
+    ts.name = "dense" + std::to_string(t) + "/W";
+    ts.elements = 1 << 16;
+    ts.push_bytes = 9000;
+    ts.pull_bytes = 9000;
+    ts.push_residual_l2 = 0.5;
+    ts.pull_residual_l2 = 0.4;
+    st.tensors.push_back(ts);
+  }
+  return st;
+}
+
+void BM_HealthMonitorObserveStep(benchmark::State& state) {
+  obs::HealthMonitor monitor{obs::HealthMonitorOptions{}, nullptr};
+  std::int64_t step = 0;
+  for (auto _ : state) {
+    monitor.ObserveStep(MakeBenchStep(step++));
+    benchmark::DoNotOptimize(&monitor);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HealthMonitorObserveStep);
+
+void BM_FlightRecorderRecordStep(benchmark::State& state) {
+  obs::FlightRecorder recorder("/dev/null", obs::FlightRecorder::kDefaultCapacity);
+  std::int64_t step = 0;
+  for (auto _ : state) {
+    recorder.RecordStep(MakeBenchStep(step++));
+    benchmark::DoNotOptimize(&recorder);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecorderRecordStep);
 
 }  // namespace
 

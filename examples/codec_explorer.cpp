@@ -3,16 +3,27 @@
 // which scheme (and which sparsity multiplier) fits your workload.
 //
 // Usage:  ./build/examples/codec_explorer [num_values]
+//   [--metrics-port=9109] [--hold-seconds=30] [--metrics-out=m.jsonl]
 //
 // Prints, per (distribution, codec): payload size, compression ratio,
-// bits/value, RMSE of a single round trip, and encode throughput.
+// bits/value, RMSE of a single round trip, and encode throughput. With
+// --metrics-port the same numbers are recorded as registry metrics and
+// served on /metricsz; --hold-seconds keeps the process (and server)
+// alive after the sweep so a scraper can collect them.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "compress/factory.h"
+#include "obs/http_server.h"
+#include "obs/telemetry.h"
 #include "tensor/tensor_ops.h"
+#include "util/flags.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -45,8 +56,27 @@ tensor::Tensor MakeDistribution(const std::string& kind, std::int64_t n,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 262144;
+  util::Flags flags(argc, argv);
+  obs::ApplyLogLevelFlag(flags);
+  const std::int64_t n = flags.positional().empty()
+                             ? 262144
+                             : std::atoll(flags.positional()[0].c_str());
   util::Rng rng(2024);
+
+  std::unique_ptr<obs::Telemetry> telemetry;
+  const obs::TelemetryOptions tel_opts = obs::TelemetryOptionsFromFlags(flags);
+  if (!tel_opts.metrics_path.empty() || tel_opts.monitoring_enabled()) {
+    try {
+      telemetry = std::make_unique<obs::Telemetry>(tel_opts);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "telemetry setup failed: %s\n", e.what());
+      return 1;
+    }
+    if (telemetry->http_server() != nullptr) {
+      std::printf("live metrics on port %d: /metricsz /healthz /statusz\n",
+                  telemetry->http_server()->port());
+    }
+  }
 
   const std::vector<std::string> distributions = {
       "gaussian", "sparse-gradient", "heavy-tailed", "late-training"};
@@ -68,6 +98,18 @@ int main(int argc, char** argv) {
       tensor::Tensor decoded(input.shape());
       util::ByteReader reader(payload);
       codec->Decode(reader, decoded);
+      if (telemetry) {
+        // One gauge per (distribution, codec) so /metricsz carries the
+        // whole sweep; names are sanitized for Prometheus at exposition.
+        const std::string key = "explorer/" + dist + "/" + codec->name();
+        telemetry->metrics().gauge(key + "/bits_per_value")
+            ->Set(compress::BitsPerValue(static_cast<std::size_t>(n),
+                                         payload.size()));
+        telemetry->metrics().gauge(key + "/rmse")
+            ->Set(tensor::Rmse(input, decoded));
+        telemetry->metrics().counter(key + "/payload_bytes")
+            ->Add(static_cast<double>(payload.size()));
+      }
       std::printf("%-22s %12zu %9.1fx %12.3f %12.3g %14.0f\n",
                   codec->name().c_str(), payload.size(),
                   compress::CompressionRatio(static_cast<std::size_t>(n),
@@ -82,5 +124,11 @@ int main(int argc, char** argv) {
   std::printf("\nNote: '2 local steps' shows its send step; its skip steps "
               "are 1 byte.\nRMSE is a single-shot figure — error-feedback "
               "codecs transmit the remainder in later steps.\n");
+  const std::int64_t hold = flags.GetInt("hold-seconds", 0);
+  if (hold > 0 && telemetry && telemetry->http_server() != nullptr) {
+    std::printf("holding for %llds so the endpoints can be scraped...\n",
+                static_cast<long long>(hold));
+    std::this_thread::sleep_for(std::chrono::seconds(hold));
+  }
   return 0;
 }

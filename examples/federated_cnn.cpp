@@ -4,16 +4,24 @@
 // conv-kernel state-change tensors through the codec.
 //
 // Build & run:  ./build/examples/federated_cnn
+//   [--trace-out t.json] [--metrics-out m.jsonl] [--metrics-port 9109]
+//   [--flight-out flight.jsonl] [--log-level debug]
 #include <cstdio>
+#include <exception>
+#include <memory>
 
 #include "data/synthetic.h"
+#include "obs/telemetry.h"
 #include "train/experiment.h"
 #include "train/model_zoo.h"
 #include "train/trainer.h"
+#include "util/flags.h"
 
 using namespace threelc;
 
-int main() {
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  obs::ApplyLogLevelFlag(flags);
   // 8x8x3 synthetic "photos" that stay on device.
   data::SyntheticConfig data_cfg;
   data_cfg.num_train = 2048;
@@ -39,6 +47,21 @@ int main() {
   tc.codec = compress::CodecConfig::ThreeLC(1.9f);  // metered uplink: max s
   tc.lr_max = 0.05f;
   tc.lr_min = 0.001f;
+
+  // Same monitoring surface as every other binary: --metrics-port serves
+  // /metricsz, /healthz, /statusz, /flightz while the devices train.
+  std::unique_ptr<obs::Telemetry> telemetry;
+  const obs::TelemetryOptions tel_opts = obs::TelemetryOptionsFromFlags(flags);
+  if (!tel_opts.trace_path.empty() || !tel_opts.metrics_path.empty() ||
+      tel_opts.monitoring_enabled()) {
+    try {
+      telemetry = std::make_unique<obs::Telemetry>(tel_opts);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "telemetry setup failed: %s\n", e.what());
+      return 1;
+    }
+    tc.telemetry = telemetry.get();
+  }
 
   std::printf("Federated CNN: %d devices, conv(3x3x%lld) + dense model, "
               "3LC s=1.9 on a metered uplink\n\n",

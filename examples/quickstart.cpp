@@ -5,18 +5,23 @@
 //   2. Make a per-tensor context (holds the error-accumulation buffer).
 //   3. Encode / decode and inspect sizes and error bounds.
 //   4. Train for --steps steps over --workers workers, writing a Chrome
-//      trace (--trace-out) and per-step JSONL metrics (--metrics-out).
+//      trace (--trace-out) and per-step JSONL metrics (--metrics-out),
+//      optionally serving live monitoring endpoints (--metrics-port).
 //
 // Build & run:
 //   ./build/examples/quickstart \
 //     --trace-out trace.json --metrics-out metrics.jsonl
 // Open trace.json in Perfetto / chrome://tracing; plot metrics.jsonl with
 //   python3 tools/plot_results.py metrics metrics.jsonl
+// Or watch it live:
+//   ./build/examples/quickstart --metrics-port 9109 --steps 2000 &
+//   curl localhost:9109/metricsz   # also /healthz /statusz /flightz
 #include <cstdio>
 #include <exception>
 #include <memory>
 
 #include "compress/factory.h"
+#include "obs/http_server.h"
 #include "obs/telemetry.h"
 #include "tensor/tensor_ops.h"
 #include "train/experiment.h"
@@ -31,10 +36,11 @@ namespace {
 // full worker/server loop) that exercises every telemetry surface.
 int RunInstrumentedTraining(const util::Flags& flags) {
   obs::TelemetryOptions opts = obs::TelemetryOptionsFromFlags(flags);
-  if (opts.trace_path.empty() && opts.metrics_path.empty()) {
+  if (opts.trace_path.empty() && opts.metrics_path.empty() &&
+      !opts.monitoring_enabled()) {
     std::printf(
-        "\n(no --trace-out / --metrics-out given; skipping the instrumented "
-        "training demo)\n");
+        "\n(no --trace-out / --metrics-out / --metrics-port given; skipping "
+        "the instrumented training demo)\n");
     return 0;
   }
 
@@ -52,6 +58,11 @@ int RunInstrumentedTraining(const util::Flags& flags) {
     return 1;
   }
   config.trainer.telemetry = telemetry.get();
+  if (telemetry->http_server() != nullptr) {
+    std::printf("\nlive monitoring on port %d: /metricsz /healthz /statusz "
+                "/flightz\n",
+                telemetry->http_server()->port());
+  }
 
   std::printf("\ntraining: %d workers, %lld steps, codec %s\n",
               config.trainer.num_workers, static_cast<long long>(steps),

@@ -5,11 +5,16 @@
 //   ./build/examples/resilient_training [--steps=400] [--workers=8]
 //       [--backup=1] [--straggler-prob=0.15] [--s=1.5]
 //       [--checkpoint=/tmp/3lc_demo.ckpt] [--log-level=debug]
+//       [--metrics-port=9109] [--flight-out=flight.jsonl]
 //
 // Phase 1 trains with stragglers and backup workers, saving a checkpoint;
 // phase 2 restores it into a fresh model and verifies the restored
-// accuracy, then fine-tunes a little further.
+// accuracy, then fine-tunes a little further. With --metrics-port the
+// straggler-heavy phase 1 can be watched live (/statusz shows contributors
+// per step dropping when backups kick in).
 #include <cstdio>
+#include <exception>
+#include <memory>
 
 #include "nn/checkpoint.h"
 #include "obs/telemetry.h"
@@ -46,6 +51,18 @@ int main(int argc, char** argv) {
   train::TrainerConfig tc = config.trainer;
   tc.codec = codec;
   tc.total_steps = steps;
+  std::unique_ptr<obs::Telemetry> telemetry;
+  const obs::TelemetryOptions tel_opts = obs::TelemetryOptionsFromFlags(flags);
+  if (!tel_opts.trace_path.empty() || !tel_opts.metrics_path.empty() ||
+      tel_opts.monitoring_enabled()) {
+    try {
+      telemetry = std::make_unique<obs::Telemetry>(tel_opts);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "telemetry setup failed: %s\n", e.what());
+      return 1;
+    }
+    tc.telemetry = telemetry.get();
+  }
   const auto spec = config.model;
   const auto model_seed = config.model_seed;
   train::DistributedTrainer trainer(

@@ -7,7 +7,7 @@
 //
 // Build & run:  ./build/examples/wan_training
 //   [--steps=300] [--trace-out t.json] [--metrics-out m.jsonl]
-//   [--log-level=debug]
+//   [--metrics-port=9109] [--flight-out=flight.jsonl] [--log-level=debug]
 // Telemetry (when requested) records the 3LC s=1.00 run.
 #include <cstdio>
 #include <memory>
@@ -29,7 +29,8 @@ int main(int argc, char** argv) {
   // Attach telemetry (if requested) to the first 3LC run below.
   std::unique_ptr<obs::Telemetry> telemetry;
   const obs::TelemetryOptions tel_opts = obs::TelemetryOptionsFromFlags(flags);
-  if (!tel_opts.trace_path.empty() || !tel_opts.metrics_path.empty()) {
+  if (!tel_opts.trace_path.empty() || !tel_opts.metrics_path.empty() ||
+      tel_opts.monitoring_enabled()) {
     telemetry = std::make_unique<obs::Telemetry>(tel_opts);
   }
   const auto wan = net::LinkConfig::TenMbps();

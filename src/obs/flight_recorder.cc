@@ -1,0 +1,167 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <fstream>
+#include <ostream>
+
+#include "obs/health.h"
+#include "obs/telemetry.h"
+#include "util/logging.h"
+
+namespace threelc::obs {
+
+namespace {
+
+std::atomic<FlightRecorder*> g_signal_recorder{nullptr};
+
+void FlightRecorderSignalHandler(int sig) {
+  // Async-signal-safe path only: no allocation, no locks, no stdio. Every
+  // ring entry was serialized at record time; this just writes bytes.
+  FlightRecorder* recorder =
+      g_signal_recorder.load(std::memory_order_acquire);
+  if (recorder != nullptr) {
+    const int fd = ::open(recorder->dump_path().c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      recorder->DumpToFd(fd);
+      ::close(fd);
+    }
+  }
+  // SA_RESETHAND restored the default disposition, so the re-raise kills
+  // the process with the original signal (core dump, WIFSIGNALED, etc.).
+  ::raise(sig);
+}
+
+void WriteAll(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n <= 0) return;  // best effort; nowhere to report from a handler
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::string dump_path, std::size_t capacity)
+    : dump_path_(std::move(dump_path)),
+      capacity_(capacity == 0 ? 1 : capacity),
+      slots_(new Slot[capacity_]) {}
+
+FlightRecorder::~FlightRecorder() {
+  FlightRecorder* self = this;
+  g_signal_recorder.compare_exchange_strong(self, nullptr);
+}
+
+void FlightRecorder::InstallSignalHandlers(FlightRecorder* recorder) {
+  g_signal_recorder.store(recorder, std::memory_order_release);
+  if (recorder == nullptr) return;
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = &FlightRecorderSignalHandler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESETHAND;
+  ::sigaction(SIGSEGV, &action, nullptr);
+  ::sigaction(SIGABRT, &action, nullptr);
+}
+
+void FlightRecorder::Append(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t index = next_.load(std::memory_order_relaxed);
+  Slot& slot = slots_[index % capacity_];
+  const std::size_t len = std::min(line.size(), kSlotBytes);
+  // Empty the slot first so a signal arriving mid-copy sees no entry
+  // rather than a torn one, then publish the length last.
+  slot.len.store(0, std::memory_order_release);
+  std::memcpy(slot.data, line.data(), len);
+  slot.len.store(static_cast<std::uint32_t>(len), std::memory_order_release);
+  next_.store(index + 1, std::memory_order_release);
+}
+
+void FlightRecorder::RecordStep(const StepTelemetry& step) {
+  std::string line = Telemetry::StepToJson(step);
+  if (line.size() > kSlotBytes) {
+    // Per-tensor detail is what blows the slot budget; the compact form
+    // (loss, traffic, phases) is bounded and always fits.
+    StepTelemetry compact = step;
+    compact.tensors.clear();
+    line = Telemetry::StepToJson(compact);
+  }
+  Append(line);
+}
+
+void FlightRecorder::RecordEvent(const HealthEvent& event) {
+  if (event.message.size() > 1024) {
+    HealthEvent clipped = event;
+    clipped.message.resize(1024);
+    Append(clipped.ToJson());
+    return;
+  }
+  Append(event.ToJson());
+}
+
+std::size_t FlightRecorder::size() const {
+  return std::min(next_.load(std::memory_order_acquire), capacity_);
+}
+
+void FlightRecorder::DumpToFd(int fd) const {
+  const std::size_t total = next_.load(std::memory_order_acquire);
+  const std::size_t start = total > capacity_ ? total - capacity_ : 0;
+  for (std::size_t i = start; i < total; ++i) {
+    const Slot& slot = slots_[i % capacity_];
+    const std::uint32_t len = slot.len.load(std::memory_order_acquire);
+    if (len == 0 || len > kSlotBytes) continue;
+    WriteAll(fd, slot.data, len);
+    WriteAll(fd, "\n", 1);
+  }
+}
+
+void FlightRecorder::DumpTo(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t total = next_.load(std::memory_order_acquire);
+  const std::size_t start = total > capacity_ ? total - capacity_ : 0;
+  for (std::size_t i = start; i < total; ++i) {
+    const Slot& slot = slots_[i % capacity_];
+    const std::uint32_t len = slot.len.load(std::memory_order_acquire);
+    if (len == 0 || len > kSlotBytes) continue;
+    out.write(slot.data, static_cast<std::streamsize>(len));
+    out.put('\n');
+  }
+}
+
+bool FlightRecorder::Dump() const {
+  std::ofstream out(dump_path_, std::ios::trunc);
+  if (!out) {
+    THREELC_LOG(Warn) << "flight recorder: cannot open dump path "
+                      << dump_path_;
+    return false;
+  }
+  DumpTo(out);
+  THREELC_LOG(Info) << "flight recorder: dumped " << size()
+                    << " records to " << dump_path_;
+  return out.good();
+}
+
+std::string FlightRecorder::ToJsonArray() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t total = next_.load(std::memory_order_acquire);
+  const std::size_t start = total > capacity_ ? total - capacity_ : 0;
+  std::string out = "[";
+  bool first = true;
+  for (std::size_t i = start; i < total; ++i) {
+    const Slot& slot = slots_[i % capacity_];
+    const std::uint32_t len = slot.len.load(std::memory_order_acquire);
+    if (len == 0 || len > kSlotBytes) continue;
+    if (!first) out += ",";
+    first = false;
+    out.append(slot.data, len);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace threelc::obs

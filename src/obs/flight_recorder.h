@@ -1,0 +1,88 @@
+// Anomaly flight recorder: a fixed-size ring of the most recent training
+// step records and health events, pre-serialized to JSON at record time so
+// a crashed run can still dump its last ~256 steps.
+//
+// Dump triggers:
+//   - any error-severity HealthEvent (Telemetry wires the monitor callback
+//     to RecordEvent + Dump),
+//   - SIGSEGV / SIGABRT via InstallSignalHandlers — the handler walks the
+//     ring with only async-signal-safe calls (open/write/close) because
+//     every entry was serialized when it was recorded, not at dump time,
+//   - on demand (Dump, called from Telemetry::Flush).
+//
+// Ring entries are fixed-size slots with an atomic length word. A recorder
+// thread writes slot bytes first and publishes the length last (release),
+// so the signal handler — which may interrupt a write on the same thread —
+// sees either a complete entry or an empty slot, never a torn line. Step
+// records that do not fit a slot are re-serialized without the per-tensor
+// array, which always fits; lines in a dump are therefore always valid
+// JSON.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace threelc::obs {
+
+struct HealthEvent;
+struct StepTelemetry;
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kSlotBytes = 2048;
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  // `dump_path` is where Dump() and the signal handler write the ring as
+  // JSONL. The file is only created when a dump actually happens.
+  explicit FlightRecorder(std::string dump_path,
+                          std::size_t capacity = kDefaultCapacity);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Serialize and append one record. Thread-safe.
+  void RecordStep(const StepTelemetry& step);
+  void RecordEvent(const HealthEvent& event);
+
+  // Write the ring, oldest first, one JSON object per line. Returns false
+  // when the dump path cannot be opened.
+  bool Dump() const;
+  void DumpTo(std::ostream& out) const;
+
+  // The ring as a JSON array (the /flightz payload).
+  std::string ToJsonArray() const;
+
+  // Route SIGSEGV and SIGABRT through `recorder` (pass nullptr to detach).
+  // The handler dumps to dump_path and then re-raises with the default
+  // disposition, so the process still dies with the original signal.
+  static void InstallSignalHandlers(FlightRecorder* recorder);
+
+  // Async-signal-safe ring dump using only write(2). Public so the signal
+  // handler (and tests) can call it on an already-open descriptor.
+  void DumpToFd(int fd) const;
+
+  const std::string& dump_path() const { return dump_path_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;  // occupied slots
+
+ private:
+  struct Slot {
+    std::atomic<std::uint32_t> len{0};
+    char data[kSlotBytes];
+  };
+
+  void Append(const std::string& line);
+
+  const std::string dump_path_;
+  const std::size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  mutable std::mutex mu_;          // serializes writers; readers use len
+  std::atomic<std::size_t> next_{0};   // total records ever appended
+};
+
+}  // namespace threelc::obs

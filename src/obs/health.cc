@@ -1,0 +1,314 @@
+#include "obs/health.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "util/logging.h"
+
+namespace threelc::obs {
+
+const char* HealthSeverityName(HealthSeverity severity) {
+  return severity == HealthSeverity::kError ? "error" : "warn";
+}
+
+std::string HealthEvent::ToJson() const {
+  std::string out;
+  out.reserve(128 + message.size());
+  out += "{\"type\":\"health_event\",\"severity\":\"";
+  out += HealthSeverityName(severity);
+  out += "\",\"detector\":";
+  AppendJsonEscaped(out, detector);
+  out += ",\"step\":";
+  AppendJsonNumber(out, static_cast<std::int64_t>(step));
+  out += ",\"seconds\":";
+  AppendJsonNumber(out, seconds);
+  out += ",\"message\":";
+  AppendJsonEscaped(out, message);
+  out += "}";
+  return out;
+}
+
+HealthMonitor::HealthMonitor(HealthMonitorOptions options,
+                             MetricsRegistry* metrics)
+    : options_(options), metrics_(metrics) {}
+
+void HealthMonitor::SetEventCallback(
+    std::function<void(const HealthEvent&)> callback) {
+  callback_ = std::move(callback);
+}
+
+void HealthMonitor::SetClockForTest(std::function<double()> clock) {
+  clock_ = std::move(clock);
+}
+
+double HealthMonitor::Now() const {
+  if (clock_) return clock_();
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double HealthMonitor::Median(std::deque<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t mid = values.size() / 2;
+  return values.size() % 2 ? values[mid]
+                           : 0.5 * (values[mid - 1] + values[mid]);
+}
+
+void HealthMonitor::Fire(std::vector<HealthEvent>& fired,
+                         HealthSeverity severity, const char* detector,
+                         std::int64_t step, std::string message) {
+  HealthEvent event;
+  event.severity = severity;
+  event.detector = detector;
+  event.step = step;
+  event.seconds = Now();
+  event.message = std::move(message);
+  if (severity == HealthSeverity::kError) has_error_ = true;
+  events_.push_back(event);
+  while (events_.size() > options_.max_events) events_.pop_front();
+  fired.push_back(std::move(event));
+}
+
+void HealthMonitor::Dispatch(const std::vector<HealthEvent>& fired) {
+  for (const HealthEvent& event : fired) {
+    if (event.severity == HealthSeverity::kError) {
+      THREELC_LOG(Error) << "health: [" << event.detector << "] step "
+                         << event.step << ": " << event.message;
+    } else {
+      THREELC_LOG(Warn) << "health: [" << event.detector << "] step "
+                        << event.step << ": " << event.message;
+    }
+    if (metrics_ != nullptr) {
+      metrics_->counter("health/" + event.detector)->Add(1.0);
+    }
+    if (callback_) callback_(event);
+  }
+  if (metrics_ != nullptr && !fired.empty()) {
+    bool ok;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ok = !has_error_ && !stalled_;
+    }
+    metrics_->gauge("health/healthy")->Set(ok ? 1.0 : 0.0);
+  }
+}
+
+void HealthMonitor::CheckResiduals(const StepTelemetry& step,
+                                   std::vector<HealthEvent>& fired) {
+  for (const TensorStepTelemetry& t : step.tensors) {
+    for (const bool push : {true, false}) {
+      const double l2 = push ? t.push_residual_l2 : t.pull_residual_l2;
+      if (l2 < 0.0) continue;  // codec has no error-accumulation buffer
+      const char* direction = push ? "push" : "pull";
+      if (!std::isfinite(l2)) {
+        Fire(fired, HealthSeverity::kError, "nonfinite_residual", step.step,
+             "non-finite " + std::string(direction) + " residual L2 on " +
+                 t.name);
+        continue;
+      }
+      ResidualTrack& track =
+          (push ? push_residuals_ : pull_residuals_)[t.name];
+      if (track.baseline_samples.size() < options_.residual_baseline_steps) {
+        track.baseline_samples.push_back(l2);
+        if (track.baseline_samples.size() ==
+            options_.residual_baseline_steps) {
+          std::vector<double> sorted = track.baseline_samples;
+          std::sort(sorted.begin(), sorted.end());
+          track.baseline = sorted[sorted.size() / 2];
+        }
+        continue;
+      }
+      if (track.baseline <= 0.0) continue;
+      const double ratio = l2 / track.baseline;
+      if (!track.latched && ratio > options_.residual_growth_factor) {
+        track.latched = true;
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "%s residual L2 of %s grew %.1fx over its baseline "
+                      "%.3g (now %.3g)",
+                      direction, t.name.c_str(), ratio, track.baseline, l2);
+        Fire(fired, HealthSeverity::kWarn, "residual_growth", step.step, buf);
+      } else if (track.latched &&
+                 ratio < 0.5 * options_.residual_growth_factor) {
+        track.latched = false;  // re-arm once clearly back below threshold
+      }
+    }
+  }
+}
+
+void HealthMonitor::ObserveStep(const StepTelemetry& step) {
+  std::vector<HealthEvent> fired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const double now = Now();
+    ++steps_seen_;
+    stalled_ = false;  // a step arrived; the run is moving again
+
+    // --- nonfinite_loss
+    if (!std::isfinite(step.loss)) {
+      Fire(fired, HealthSeverity::kError, "nonfinite_loss", step.step,
+           "training loss is non-finite (NaN/Inf)");
+    } else {
+      // --- loss_explosion, against the trailing median of finite losses.
+      if (steps_seen_ > options_.warmup_steps && !recent_losses_.empty()) {
+        const double median = Median(recent_losses_);
+        if (median > 0.0 &&
+            step.loss > options_.loss_explosion_factor * median) {
+          char buf[128];
+          std::snprintf(buf, sizeof(buf),
+                        "loss %.4g exceeds %.0fx the trailing median %.4g",
+                        step.loss, options_.loss_explosion_factor, median);
+          Fire(fired, HealthSeverity::kError, "loss_explosion", step.step,
+               buf);
+        }
+      }
+      recent_losses_.push_back(step.loss);
+      while (recent_losses_.size() > options_.trailing_window) {
+        recent_losses_.pop_front();
+      }
+
+      // --- loss_plateau
+      if (!best_loss_set_ ||
+          step.loss <
+              best_loss_ - options_.plateau_min_delta * std::fabs(best_loss_)) {
+        best_loss_ = step.loss;
+        best_loss_set_ = true;
+        best_loss_step_ = step.step;
+        plateau_latched_ = false;
+      } else if (options_.plateau_window > 0 && !plateau_latched_ &&
+                 step.step - best_loss_step_ >= options_.plateau_window) {
+        plateau_latched_ = true;
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "loss has not improved on %.4g for %lld steps",
+                      best_loss_,
+                      static_cast<long long>(step.step - best_loss_step_));
+        Fire(fired, HealthSeverity::kWarn, "loss_plateau", step.step, buf);
+      }
+    }
+
+    CheckResiduals(step, fired);
+
+    // --- step-rate bookkeeping for the stall detector.
+    if (last_step_seconds_ >= 0.0) {
+      recent_intervals_.push_back(now - last_step_seconds_);
+      while (recent_intervals_.size() > options_.trailing_window) {
+        recent_intervals_.pop_front();
+      }
+    }
+    last_step_seconds_ = now;
+
+    last_step_ = step.step;
+    last_loss_ = step.loss;
+    last_lr_ = step.lr;
+    last_push_bpv_ = step.push_bits_per_value;
+    last_pull_bpv_ = step.pull_bits_per_value;
+    last_contributors_ = step.contributors;
+    last_residuals_.clear();
+    for (const TensorStepTelemetry& t : step.tensors) {
+      if (t.push_residual_l2 >= 0.0 || t.pull_residual_l2 >= 0.0) {
+        last_residuals_.emplace_back(
+            t.name, std::make_pair(t.push_residual_l2, t.pull_residual_l2));
+      }
+    }
+  }
+  Dispatch(fired);
+}
+
+bool HealthMonitor::CheckStall() {
+  std::vector<HealthEvent> fired;
+  bool stalled;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (last_step_seconds_ < 0.0 || recent_intervals_.empty()) {
+      return false;  // not enough signal yet
+    }
+    const double median = Median(recent_intervals_);
+    const double limit =
+        std::max(options_.stall_factor * median, options_.min_stall_seconds);
+    const double silent = Now() - last_step_seconds_;
+    if (silent > limit) {
+      if (!stalled_) {
+        stalled_ = true;
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "no step for %.1fs (median inter-step %.3fs, limit "
+                      "%.1fs)",
+                      silent, median, limit);
+        Fire(fired, HealthSeverity::kWarn, "step_stall", last_step_, buf);
+      }
+    } else {
+      stalled_ = false;
+    }
+    stalled = stalled_;
+  }
+  Dispatch(fired);
+  return stalled;
+}
+
+bool HealthMonitor::healthy() {
+  CheckStall();
+  std::lock_guard<std::mutex> lock(mu_);
+  return !has_error_ && !stalled_;
+}
+
+std::vector<HealthEvent> HealthMonitor::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {events_.begin(), events_.end()};
+}
+
+std::size_t HealthMonitor::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string HealthMonitor::StatusJson(double uptime_seconds) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(256 + last_residuals_.size() * 96);
+  out += "{\"step\":";
+  AppendJsonNumber(out, static_cast<std::int64_t>(last_step_));
+  out += ",\"loss\":";
+  AppendJsonNumber(out, last_loss_);
+  out += ",\"lr\":";
+  AppendJsonNumber(out, last_lr_);
+  out += ",\"push_bits_per_value\":";
+  AppendJsonNumber(out, last_push_bpv_);
+  out += ",\"pull_bits_per_value\":";
+  AppendJsonNumber(out, last_pull_bpv_);
+  out += ",\"contributors\":";
+  AppendJsonNumber(out, static_cast<std::int64_t>(last_contributors_));
+  out += ",\"uptime_seconds\":";
+  AppendJsonNumber(out, uptime_seconds);
+  out += ",\"healthy\":";
+  out += (!has_error_ && !stalled_) ? "true" : "false";
+  out += ",\"events\":";
+  AppendJsonNumber(out, static_cast<std::uint64_t>(events_.size()));
+  out += ",\"tensors\":[";
+  bool first = true;
+  for (const auto& [name, l2] : last_residuals_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":";
+    AppendJsonEscaped(out, name);
+    if (l2.first >= 0.0 || !std::isfinite(l2.first)) {
+      out += ",\"push_residual_l2\":";
+      AppendJsonNumber(out, l2.first);
+    }
+    if (l2.second >= 0.0 || !std::isfinite(l2.second)) {
+      out += ",\"pull_residual_l2\":";
+      AppendJsonNumber(out, l2.second);
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace threelc::obs

@@ -1,0 +1,162 @@
+// Training health watchdog.
+//
+// HealthMonitor consumes the per-step StepTelemetry stream (fed from
+// DistributedTrainer::EmitStepTelemetry via Telemetry::LogStep) and runs
+// four detectors over it, each motivated by a known failure mode of lossy
+// 3-value quantization with error feedback:
+//
+//   nonfinite_loss    training loss went NaN/Inf                  (error)
+//   nonfinite_residual  a residual L2 went NaN/Inf                (error)
+//   loss_explosion    loss blew past factor x trailing median     (error)
+//   residual_growth   an error-accumulation buffer's L2 grew past
+//                     factor x its early-training baseline — the
+//                     compounding-quantization-error signature     (warn)
+//   loss_plateau      no loss improvement for a whole window      (warn)
+//   step_stall        no step within factor x trailing median
+//                     inter-step time (checked on demand, e.g. on
+//                     every /healthz scrape)                       (warn)
+//
+// Each firing produces a structured HealthEvent, logs at warn/error,
+// increments "health/<detector>" in the attached registry, and reaches the
+// event callback (Telemetry wires that to the flight recorder). healthy()
+// is false while stalled or after any error-severity event — that is what
+// /healthz serves as 200 vs 503.
+//
+// Thread safety: ObserveStep is called by the training thread; CheckStall,
+// healthy, events, and StatusJson by HTTP handler threads. One mutex
+// covers all state; the event callback is invoked outside the lock.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace threelc::obs {
+
+class MetricsRegistry;
+struct StepTelemetry;
+
+enum class HealthSeverity { kWarn, kError };
+
+const char* HealthSeverityName(HealthSeverity severity);
+
+struct HealthEvent {
+  HealthSeverity severity = HealthSeverity::kWarn;
+  std::string detector;
+  std::int64_t step = 0;
+  double seconds = 0.0;  // monitor-clock time of the firing
+  std::string message;
+
+  std::string ToJson() const;  // {"type":"health_event",...}
+};
+
+struct HealthMonitorOptions {
+  // Error when loss exceeds this factor times the trailing median loss
+  // (after `warmup_steps`), or goes non-finite at any point.
+  double loss_explosion_factor = 100.0;
+  std::int64_t warmup_steps = 8;
+  // Trailing window for the median loss and median inter-step interval.
+  std::size_t trailing_window = 64;
+  // Warn when a tensor's error-accumulation-buffer L2 exceeds this factor
+  // times its baseline (median of its first `residual_baseline_steps`
+  // observations). Latched per tensor until it falls back under half the
+  // threshold, so a run that hovers at the edge does not spam.
+  double residual_growth_factor = 50.0;
+  std::size_t residual_baseline_steps = 8;
+  // Stalled when no step arrived within max(stall_factor x median
+  // inter-step interval, min_stall_seconds).
+  double stall_factor = 10.0;
+  double min_stall_seconds = 2.0;
+  // Warn when the best-seen loss has not improved by plateau_min_delta
+  // (relative) for plateau_window steps. 0 disables the detector.
+  std::int64_t plateau_window = 0;
+  double plateau_min_delta = 1e-3;
+  // Ring of recent events kept for /healthz and /statusz.
+  std::size_t max_events = 64;
+};
+
+class HealthMonitor {
+ public:
+  // `metrics` may be null; when set, firings increment
+  // "health/<detector>" counters and the "health/healthy" gauge.
+  explicit HealthMonitor(HealthMonitorOptions options,
+                         MetricsRegistry* metrics = nullptr);
+
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  // Invoked for every event, outside the monitor lock, on the thread that
+  // detected it. Set before the run starts.
+  void SetEventCallback(std::function<void(const HealthEvent&)> callback);
+
+  // Seconds-valued monotonic clock override for tests.
+  void SetClockForTest(std::function<double()> clock);
+
+  // Feed one step record; runs every per-step detector.
+  void ObserveStep(const StepTelemetry& step);
+
+  // Re-evaluate the stall detector now. Returns true while stalled.
+  // Called from /healthz so a wedged run is detected by its scraper even
+  // though ObserveStep never fires again.
+  bool CheckStall();
+
+  // False while stalled or after any error-severity event.
+  bool healthy();
+
+  std::vector<HealthEvent> events() const;
+  std::size_t event_count() const;
+
+  // Live status for /statusz: current step, loss, bits/value per
+  // direction, per-tensor residual L2, uptime, health.
+  std::string StatusJson(double uptime_seconds) const;
+
+ private:
+  struct ResidualTrack {
+    std::vector<double> baseline_samples;
+    double baseline = 0.0;
+    bool latched = false;
+  };
+
+  void Fire(std::vector<HealthEvent>& fired, HealthSeverity severity,
+            const char* detector, std::int64_t step, std::string message);
+  void Dispatch(const std::vector<HealthEvent>& fired);
+  double Now() const;
+  static double Median(std::deque<double> values);
+  void CheckResiduals(const StepTelemetry& step,
+                      std::vector<HealthEvent>& fired);
+
+  const HealthMonitorOptions options_;
+  MetricsRegistry* const metrics_;
+  std::function<void(const HealthEvent&)> callback_;
+  std::function<double()> clock_;
+
+  mutable std::mutex mu_;
+  std::deque<double> recent_losses_;     // finite losses, trailing window
+  std::deque<double> recent_intervals_;  // inter-step seconds
+  double last_step_seconds_ = -1.0;
+  std::int64_t steps_seen_ = 0;
+  double best_loss_ = 0.0;
+  bool best_loss_set_ = false;
+  std::int64_t best_loss_step_ = 0;
+  bool plateau_latched_ = false;
+  std::map<std::string, ResidualTrack> push_residuals_;
+  std::map<std::string, ResidualTrack> pull_residuals_;
+  std::deque<HealthEvent> events_;
+  bool has_error_ = false;
+  bool stalled_ = false;
+  // Last observed step, kept for StatusJson.
+  std::int64_t last_step_ = -1;
+  double last_loss_ = 0.0;
+  double last_lr_ = 0.0;
+  double last_push_bpv_ = 0.0;
+  double last_pull_bpv_ = 0.0;
+  int last_contributors_ = 0;
+  std::vector<std::pair<std::string, std::pair<double, double>>>
+      last_residuals_;  // name -> (push L2, pull L2); -1 = absent
+};
+
+}  // namespace threelc::obs

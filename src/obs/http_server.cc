@@ -1,0 +1,248 @@
+#include "obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace threelc::obs {
+
+namespace {
+
+void SendAll(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+const char* HttpServer::StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string HttpServer::FormatResponse(const HttpResponse& response,
+                                       bool include_body) {
+  std::string out;
+  out.reserve(128 + (include_body ? response.body.size() : 0));
+  out += "HTTP/1.1 " + std::to_string(response.status) + " ";
+  out += StatusText(response.status);
+  out += "\r\nContent-Type: " + response.content_type;
+  out += "\r\nContent-Length: " + std::to_string(response.body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  if (include_body) out += response.body;
+  return out;
+}
+
+bool HttpServer::ParseRequestLine(const std::string& line,
+                                  std::string* method, std::string* path) {
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos || sp1 == 0) return false;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos || sp2 == sp1 + 1) return false;
+  if (line.find(' ', sp2 + 1) != std::string::npos) return false;
+  const std::string version = line.substr(sp2 + 1);
+  if (version.rfind("HTTP/", 0) != 0) return false;
+  *method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (target.empty() || target[0] != '/') return false;
+  const std::size_t query = target.find('?');
+  if (query != std::string::npos) target.resize(query);
+  *path = std::move(target);
+  return true;
+}
+
+std::string HttpServer::ResponseFor(const std::string& request_head) const {
+  const std::size_t eol = request_head.find("\r\n");
+  const std::string line =
+      eol == std::string::npos ? request_head : request_head.substr(0, eol);
+  std::string method, path;
+  if (!ParseRequestLine(line, &method, &path)) {
+    return FormatResponse({400, "text/plain; charset=utf-8", "bad request\n"},
+                          true);
+  }
+  if (method != "GET" && method != "HEAD") {
+    return FormatResponse(
+        {405, "text/plain; charset=utf-8", "only GET is supported\n"}, true);
+  }
+  const auto it = handlers_.find(path);
+  if (it == handlers_.end()) {
+    return FormatResponse(
+        {404, "text/plain; charset=utf-8", "unknown path " + path + "\n"},
+        true);
+  }
+  return FormatResponse(it->second(), /*include_body=*/method == "GET");
+}
+
+HttpServer::HttpServer() = default;
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(std::string path, HttpHandler handler) {
+  THREELC_CHECK_MSG(!running(), "register handlers before Start()");
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+bool HttpServer::Start(int port) {
+  THREELC_CHECK_MSG(!running(), "HttpServer already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  workers_.reserve(kWorkerThreads);
+  for (int i = 0; i < kWorkerThreads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  THREELC_LOG(Info) << "monitoring: http server listening on port " << port_;
+  return true;
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  // Wake the accept thread's poll and the workers' condition wait.
+  const char byte = 'x';
+  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  queue_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    for (const int fd : pending_) ::close(fd);
+    pending_.clear();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+}
+
+void HttpServer::AcceptLoop() {
+  while (running()) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (!running()) return;
+    if (!(fds[0].revents & POLLIN)) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    // Slow or dead clients must not pin a worker forever.
+    timeval timeout{5, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+    bool queued = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (pending_.size() < kMaxQueuedConnections) {
+        pending_.push_back(fd);
+        queued = true;
+      }
+    }
+    if (queued) {
+      queue_cv_.notify_one();
+    } else {
+      SendAll(fd, FormatResponse(
+                      {503, "text/plain; charset=utf-8", "overloaded\n"},
+                      true));
+      ::close(fd);
+    }
+  }
+}
+
+void HttpServer::WorkerLoop() {
+  for (;;) {
+    int fd;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return !pending_.empty() || !running(); });
+      if (pending_.empty()) return;  // stopping
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    ServeConnection(fd);
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  // Read until the end of the header block, a size cap, or a timeout.
+  // Requests may trickle in across many reads (curl over loopback usually
+  // one, a test deliberately byte-by-byte).
+  std::string request;
+  bool complete = false;
+  while (request.size() < kMaxRequestBytes) {
+    char buf[1024];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // peer closed or timed out
+    request.append(buf, static_cast<std::size_t>(n));
+    if (request.find("\r\n\r\n") != std::string::npos ||
+        request.find("\n\n") != std::string::npos) {
+      complete = true;
+      break;
+    }
+  }
+  if (!complete) {
+    const int status =
+        request.size() >= kMaxRequestBytes ? 431 : 400;
+    SendAll(fd, FormatResponse({status, "text/plain; charset=utf-8",
+                                std::string(StatusText(status)) + "\n"},
+                               true));
+  } else {
+    SendAll(fd, ResponseFor(request));
+  }
+  ::close(fd);
+}
+
+}  // namespace threelc::obs

@@ -1,0 +1,99 @@
+// Embedded HTTP/1.1 exposition server — POSIX sockets only, no third-party
+// dependencies. Serves the live-monitoring endpoints (/metricsz, /healthz,
+// /statusz, /flightz) registered by Telemetry.
+//
+// Threading model: one accept thread multiplexing the listen socket and a
+// shutdown pipe through poll(2), plus a small fixed pool of worker threads
+// draining a bounded connection queue. When the queue is full the accept
+// thread answers 503 inline and closes — the server never queues unbounded
+// work and never touches the training threads.
+//
+// Protocol scope (deliberately small): GET/HEAD only, request line + headers
+// up to 8 KiB, responses close the connection. Handlers run on worker
+// threads and must be thread-safe. Partial reads are handled (requests may
+// arrive byte by byte); oversized requests get 431, malformed ones 400,
+// unknown paths 404.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace threelc::obs {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse()>;
+
+class HttpServer {
+ public:
+  HttpServer();
+  ~HttpServer();  // stops and joins
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Register a handler for an exact path. Call before Start.
+  void Handle(std::string path, HttpHandler handler);
+
+  // Bind + listen on `port` (0 picks an ephemeral port, see port()) and
+  // start the accept/worker threads. Returns false when the socket cannot
+  // be bound.
+  bool Start(int port);
+
+  // Stop accepting, drain workers, join threads. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  int port() const { return port_; }
+
+  // --- Parsing helpers, exposed for unit tests ----------------------------
+
+  // Parse "GET /path HTTP/1.1"; tolerates a query string (stripped from
+  // *path). Returns false on anything that is not three space-separated
+  // tokens with an HTTP/ version.
+  static bool ParseRequestLine(const std::string& line, std::string* method,
+                               std::string* path);
+
+  // Build the full response bytes for one request head (request line +
+  // headers, no body). Routing + error mapping live here so tests can
+  // exercise them without sockets.
+  std::string ResponseFor(const std::string& request_head) const;
+
+  static const char* StatusText(int status);
+  static std::string FormatResponse(const HttpResponse& response,
+                                    bool include_body);
+
+  static constexpr std::size_t kMaxRequestBytes = 8192;
+  static constexpr std::size_t kMaxQueuedConnections = 32;
+  static constexpr int kWorkerThreads = 2;
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+
+  std::map<std::string, HttpHandler> handlers_;
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  int port_ = -1;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  // accepted fds awaiting a worker
+};
+
+}  // namespace threelc::obs

@@ -86,9 +86,11 @@ void MetricsRegistry::Merge(const MetricsRegistry& other) {
   // Write through the private fields so a Merge lands even when this
   // registry is disabled (export-time merges must not drop data).
   for (const auto& [name, c] : counters) {
-    Counter* mine = counter(name);
-    internal::AtomicAdd(mine->sum_, c->value());
-    mine->events_.fetch_add(c->events(), std::memory_order_relaxed);
+    // Read() gives a consistent (value, events) pair even while workers
+    // keep adding on the other side; AddSample folds it in atomically with
+    // respect to concurrent exporters of this registry.
+    const Counter::Snapshot snap = c->Read();
+    counter(name)->AddSample(snap.value, snap.events);
   }
   for (const auto& [name, g] : gauges) {
     if (g->set()) {
@@ -124,17 +126,40 @@ void AppendHistogramFields(std::string& line, const HistogramStat& h) {
 
 }  // namespace
 
+MetricSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    const Counter::Snapshot s = c->Read();
+    snap.counters.push_back({name, s.value, s.events});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->value(), g->set()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    const util::RunningStat s = h->stat();
+    snap.histograms.push_back({name, s.count(), s.sum(), s.mean(), s.stddev(),
+                               s.min(), s.max(), h->Quantile(0.5),
+                               h->Quantile(0.9), h->Quantile(0.99)});
+  }
+  return snap;
+}
+
 void MetricsRegistry::WriteJsonl(std::ostream& out) const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string line;
   for (const auto& [name, c] : counters_) {
+    const Counter::Snapshot snap = c->Read();
     line.clear();
     line += "{\"metric\":";
     AppendJsonEscaped(line, name);
     line += ",\"type\":\"counter\",\"value\":";
-    AppendJsonNumber(line, c->value());
+    AppendJsonNumber(line, snap.value);
     line += ",\"events\":";
-    AppendJsonNumber(line, c->events());
+    AppendJsonNumber(line, snap.events);
     line += "}\n";
     out << line;
   }
@@ -162,7 +187,8 @@ void MetricsRegistry::WriteCsv(std::ostream& out) const {
   std::lock_guard<std::mutex> lock(mu_);
   out << "metric,type,value,events,mean,stddev,min,max,p50,p99\n";
   for (const auto& [name, c] : counters_) {
-    out << name << ",counter," << c->value() << "," << c->events()
+    const Counter::Snapshot snap = c->Read();
+    out << name << ",counter," << snap.value << "," << snap.events
         << ",,,,,,\n";
   }
   for (const auto& [name, g] : gauges_) {
@@ -185,12 +211,13 @@ std::string MetricsRegistry::ToJsonObject() const {
     first = false;
   };
   for (const auto& [name, c] : counters_) {
+    const Counter::Snapshot snap = c->Read();
     sep();
     AppendJsonEscaped(out, name);
     out += ":{\"type\":\"counter\",\"value\":";
-    AppendJsonNumber(out, c->value());
+    AppendJsonNumber(out, snap.value);
     out += ",\"events\":";
-    AppendJsonNumber(out, c->events());
+    AppendJsonNumber(out, snap.events);
     out += "}";
   }
   for (const auto& [name, g] : gauges_) {

@@ -28,36 +28,67 @@
 
 namespace threelc::obs {
 
-namespace internal {
-// C++20 has std::atomic<double>::fetch_add but not every deployed libstdc++
-// inlines it well; a relaxed CAS loop is portable and equally fast here.
-inline void AtomicAdd(std::atomic<double>& target, double v) {
-  double cur = target.load(std::memory_order_relaxed);
-  while (!target.compare_exchange_weak(cur, cur + v,
-                                       std::memory_order_relaxed)) {
-  }
-}
-}  // namespace internal
-
 class MetricsRegistry;
 
 // Monotonically increasing sum (bytes, events, seconds).
+//
+// `sum_` and `events_` always move together, and exporters must never see
+// one without the other (a value/events pair torn mid-Add misreports the
+// per-event average). A seqlock guards the pair: writers serialize on the
+// odd/even sequence word, readers retry while a write is in flight. The
+// disabled fast path is unchanged — one relaxed load and a branch.
 class Counter {
  public:
+  struct Snapshot {
+    double value = 0.0;
+    std::uint64_t events = 0;
+  };
+
   void Add(double v = 1.0) {
     if (!enabled_->load(std::memory_order_relaxed)) return;
-    internal::AtomicAdd(sum_, v);
-    events_.fetch_add(1, std::memory_order_relaxed);
+    AddSample(v, 1);
   }
-  double value() const { return sum_.load(std::memory_order_relaxed); }
-  std::uint64_t events() const {
-    return events_.load(std::memory_order_relaxed);
+
+  // Consistent (value, events) pair: both sides of the same set of
+  // completed Add() calls.
+  Snapshot Read() const {
+    for (;;) {
+      const std::uint64_t before = seq_.load(std::memory_order_acquire);
+      if (before & 1u) continue;  // writer in flight
+      Snapshot snap{sum_.load(std::memory_order_relaxed),
+                    events_.load(std::memory_order_relaxed)};
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (seq_.load(std::memory_order_relaxed) == before) return snap;
+    }
   }
+
+  double value() const { return Read().value; }
+  std::uint64_t events() const { return Read().events; }
 
  private:
   friend class MetricsRegistry;
   explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  void AddSample(double v, std::uint64_t n) {
+    std::uint64_t s = seq_.load(std::memory_order_relaxed);
+    for (;;) {
+      while (s & 1u) s = seq_.load(std::memory_order_relaxed);
+      if (seq_.compare_exchange_weak(s, s + 1, std::memory_order_acquire,
+                                     std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    // Exclusive writer between the odd and even sequence stores; the pair
+    // stays atomic<> only so concurrent readers are race-free.
+    sum_.store(sum_.load(std::memory_order_relaxed) + v,
+               std::memory_order_relaxed);
+    events_.store(events_.load(std::memory_order_relaxed) + n,
+                  std::memory_order_relaxed);
+    seq_.store(s + 2, std::memory_order_release);
+  }
+
   const std::atomic<bool>* enabled_;
+  std::atomic<std::uint64_t> seq_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<std::uint64_t> events_{0};
 };
@@ -118,6 +149,37 @@ class HistogramStat {
   util::Histogram bins_;
 };
 
+// Point-in-time copy of every registered metric, safe to format outside
+// the registry lock. Counters come through Counter::Read(), so the
+// (value, events) pairs are internally consistent.
+struct MetricSnapshot {
+  struct CounterSample {
+    std::string name;
+    double value = 0.0;
+    std::uint64_t events = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    double value = 0.0;
+    bool set = false;
+  };
+  struct HistogramSample {
+    std::string name;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+  };
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -142,6 +204,9 @@ class MetricsRegistry {
   // creating missing metrics. Counters add, gauges take other's value if
   // it was ever set, histograms merge moments and bin counts.
   void Merge(const MetricsRegistry& other);
+
+  // Copy every metric out for export (Prometheus exposition, /statusz).
+  MetricSnapshot Snapshot() const;
 
   // One JSON object per line:
   //   {"metric":"traffic/push_bytes","type":"counter","value":..,"events":..}

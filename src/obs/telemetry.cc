@@ -1,14 +1,19 @@
 #include "obs/telemetry.h"
 
+#include <sstream>
 #include <stdexcept>
 
+#include "obs/flight_recorder.h"
+#include "obs/http_server.h"
 #include "obs/json.h"
+#include "obs/prometheus.h"
 #include "util/flags.h"
 #include "util/logging.h"
 
 namespace threelc::obs {
 
-Telemetry::Telemetry(TelemetryOptions options) : options_(std::move(options)) {
+Telemetry::Telemetry(TelemetryOptions options)
+    : options_(std::move(options)), start_(std::chrono::steady_clock::now()) {
   if (!options_.metrics_path.empty()) {
     metrics_out_.open(options_.metrics_path, std::ios::trunc);
     if (!metrics_out_) {
@@ -26,9 +31,79 @@ Telemetry::Telemetry(TelemetryOptions options) : options_(std::move(options)) {
     }
     tracer_.set_enabled(true);
   }
+  if (options_.monitoring_enabled()) {
+    // The watchdog and the Prometheus endpoint read the registry, so
+    // monitoring implies enabled metrics even without a --metrics-out file.
+    metrics_.set_enabled(true);
+    const std::string flight_path =
+        options_.flight_path.empty() ? "flight.jsonl" : options_.flight_path;
+    flight_ = std::make_unique<FlightRecorder>(flight_path,
+                                               options_.flight_capacity);
+    FlightRecorder::InstallSignalHandlers(flight_.get());
+    health_ = std::make_unique<HealthMonitor>(options_.health, &metrics_);
+    health_->SetEventCallback([this](const HealthEvent& event) {
+      flight_->RecordEvent(event);
+      // An error-severity event is the black-box trigger: the run may be
+      // about to diverge or die, so leave the recording behind now.
+      if (event.severity == HealthSeverity::kError) flight_->Dump();
+    });
+  }
+  if (options_.metrics_port >= 0) {
+    http_ = std::make_unique<HttpServer>();
+    http_->Handle("/metricsz", [this] {
+      std::ostringstream out;
+      WritePrometheus(metrics_, out);
+      return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                          out.str()};
+    });
+    http_->Handle("/healthz", [this] {
+      if (health_->healthy()) {
+        return HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+      }
+      std::string body = "unhealthy\n";
+      for (const HealthEvent& event : health_->events()) {
+        body += std::string(HealthSeverityName(event.severity)) + " [" +
+                event.detector + "] step " + std::to_string(event.step) +
+                ": " + event.message + "\n";
+      }
+      return HttpResponse{503, "text/plain; charset=utf-8", body};
+    });
+    http_->Handle("/statusz", [this] {
+      return HttpResponse{200, "application/json",
+                          health_->StatusJson(UptimeSeconds())};
+    });
+    http_->Handle("/flightz", [this] {
+      return HttpResponse{200, "application/json",
+                          "{\"entries\":" + flight_->ToJsonArray() + "}"};
+    });
+    if (!http_->Start(options_.metrics_port)) {
+      throw std::runtime_error(
+          "Telemetry: cannot bind monitoring port " +
+          std::to_string(options_.metrics_port));
+    }
+  }
 }
 
-Telemetry::~Telemetry() { Flush(); }
+Telemetry::~Telemetry() {
+  // A failed flush during stack unwinding (disk full, dead NFS mount) must
+  // not std::terminate a run that is already throwing.
+  try {
+    Flush();
+  } catch (const std::exception& e) {
+    THREELC_LOG(Warn) << "telemetry: flush failed in destructor: "
+                      << e.what();
+  } catch (...) {
+    THREELC_LOG(Warn) << "telemetry: flush failed in destructor";
+  }
+  if (http_) http_->Stop();
+  if (flight_) FlightRecorder::InstallSignalHandlers(nullptr);
+}
+
+double Telemetry::UptimeSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
 
 std::string Telemetry::StepToJson(const StepTelemetry& s) {
   std::string out;
@@ -53,6 +128,8 @@ std::string Telemetry::StepToJson(const StepTelemetry& s) {
   AppendJsonNumber(out, s.pull_bits_per_value);
   out += ",\"codec_seconds\":";
   AppendJsonNumber(out, s.codec_seconds);
+  out += ",\"step_wall_ms\":";
+  AppendJsonNumber(out, s.step_wall_ms);
   out += ",\"contributors\":";
   AppendJsonNumber(out, static_cast<std::int64_t>(s.contributors));
   out += ",\"phases_ms\":{";
@@ -105,6 +182,10 @@ std::string Telemetry::StepToJson(const StepTelemetry& s) {
 }
 
 void Telemetry::LogStep(const StepTelemetry& step) {
+  // Recorder first, watchdog second: when a detector fires and dumps, the
+  // triggering step is already the newest entry in the ring.
+  if (flight_) flight_->RecordStep(step);
+  if (health_) health_->ObserveStep(step);
   if (!metrics_.enabled()) return;
   const std::string line = StepToJson(step);
   std::lock_guard<std::mutex> lock(mu_);
@@ -113,6 +194,7 @@ void Telemetry::LogStep(const StepTelemetry& step) {
 }
 
 void Telemetry::Flush() {
+  if (flight_) flight_->Dump();  // on-demand black-box snapshot
   std::lock_guard<std::mutex> lock(mu_);
   if (flushed_) return;
   flushed_ = true;
@@ -141,6 +223,8 @@ TelemetryOptions TelemetryOptionsFromFlags(const util::Flags& flags) {
   options.trace_path = flags.GetString("trace-out", "");
   options.metrics_path = flags.GetString("metrics-out", "");
   options.per_tensor = flags.GetBool("per-tensor", true);
+  options.metrics_port = flags.GetPort("metrics-port", -1);
+  options.flight_path = flags.GetString("flight-out", "");
   return options;
 }
 

@@ -18,12 +18,15 @@
 // them (e.g. no ternary stage, no error-accumulation buffer).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -33,10 +36,27 @@ class Flags;
 
 namespace threelc::obs {
 
+class FlightRecorder;
+class HttpServer;
+
 struct TelemetryOptions {
   std::string trace_path;    // empty = span tracing off
   std::string metrics_path;  // empty = metrics/step-log off
   bool per_tensor = true;    // per-tensor codec stats in the step log
+  // Live monitoring: metrics_port >= 0 starts the embedded HTTP server
+  // (/metricsz, /healthz, /statusz, /flightz; 0 picks an ephemeral port)
+  // and enables the health watchdog + flight recorder. Setting flight_path
+  // alone enables watchdog + recorder without the HTTP server. With
+  // neither, no socket is ever opened and no monitoring state exists.
+  int metrics_port = -1;
+  std::string flight_path;   // empty + monitoring on = "flight.jsonl"
+  std::size_t flight_capacity = 256;  // ring slots (~last N steps)
+  HealthMonitorOptions health;
+
+  // True when any live-monitoring piece (watchdog, recorder, HTTP) is on.
+  bool monitoring_enabled() const {
+    return metrics_port >= 0 || !flight_path.empty();
+  }
 };
 
 // Per-tensor codec behaviour for one training step (aggregated over
@@ -67,6 +87,7 @@ struct StepTelemetry {
   double push_bits_per_value = 0.0;
   double pull_bits_per_value = 0.0;
   double codec_seconds = 0.0;  // critical-path codec CPU time
+  double step_wall_ms = 0.0;   // critical-path wall time of the whole step
   int contributors = 0;
   struct Phase {
     const char* name;
@@ -78,11 +99,14 @@ struct StepTelemetry {
 
 class Telemetry {
  public:
-  // Opens the metrics JSONL immediately (fail-fast on bad paths); the trace
-  // file is written at Flush. Throws std::runtime_error if a path cannot
-  // be opened.
+  // Opens the metrics JSONL immediately (fail-fast on bad paths) and, when
+  // options.monitoring_enabled(), brings up the health watchdog, the
+  // flight recorder (with SIGSEGV/SIGABRT dump handlers), and — when
+  // metrics_port >= 0 — the embedded HTTP server. The trace file is
+  // written at Flush. Throws std::runtime_error if a path cannot be
+  // opened or the monitoring port cannot be bound.
   explicit Telemetry(TelemetryOptions options);
-  ~Telemetry();  // flushes
+  ~Telemetry();  // flushes (exceptions swallowed), stops the HTTP server
 
   Telemetry(const Telemetry&) = delete;
   Telemetry& operator=(const Telemetry&) = delete;
@@ -96,20 +120,35 @@ class Telemetry {
     return options_.per_tensor && metrics_.enabled();
   }
 
-  // Append one step record to the metrics JSONL. Thread-safe.
+  // Live-monitoring pieces; null when options_.monitoring_enabled() is
+  // false (health/flight) or metrics_port < 0 (http).
+  HealthMonitor* health() { return health_.get(); }
+  FlightRecorder* flight_recorder() { return flight_.get(); }
+  HttpServer* http_server() { return http_.get(); }
+
+  // Seconds since this Telemetry was constructed (served by /statusz).
+  double UptimeSeconds() const;
+
+  // Append one step record to the metrics JSONL and feed the flight
+  // recorder + health watchdog. Thread-safe.
   void LogStep(const StepTelemetry& step);
 
   // Serialize one step record (exposed for tests).
   static std::string StepToJson(const StepTelemetry& step);
 
-  // Write the Chrome trace and the metrics summary line, then close the
-  // outputs. Idempotent; also runs from the destructor.
+  // Write the Chrome trace, the metrics summary line, and an on-demand
+  // flight-recorder dump, then close the outputs. Idempotent; also runs
+  // from the destructor. The HTTP server keeps serving until destruction.
   void Flush();
 
  private:
   TelemetryOptions options_;
   MetricsRegistry metrics_;
   Tracer tracer_;
+  std::chrono::steady_clock::time_point start_;
+  std::unique_ptr<HealthMonitor> health_;
+  std::unique_ptr<FlightRecorder> flight_;
+  std::unique_ptr<HttpServer> http_;
   std::mutex mu_;
   std::ofstream metrics_out_;
   bool flushed_ = false;
@@ -117,7 +156,8 @@ class Telemetry {
 
 // --- Flag wiring shared by examples/ and bench/ ---------------------------
 
-// Build TelemetryOptions from --trace-out, --metrics-out, --per-tensor.
+// Build TelemetryOptions from --trace-out, --metrics-out, --per-tensor,
+// --metrics-port, and --flight-out.
 TelemetryOptions TelemetryOptionsFromFlags(const util::Flags& flags);
 
 // Apply --log-level (debug|info|warn|error) to util::SetLogLevel. Returns

@@ -155,6 +155,7 @@ void DistributedTrainer::EmitStepTelemetry(
                   {"optimize", optimize_ms},
                   {"encode_pull", encode_pull_ms},
                   {"decode_pull", max_of(worker_decode_ms)}};
+  for (const auto& phase : st.phases_ms) st.step_wall_ms += phase.ms;
 
   if (!push_stats.empty()) {
     st.tensors.reserve(plan_.size());

@@ -73,7 +73,9 @@ struct TrainerConfig {
 
   // Optional telemetry sink (not owned; must outlive Run). When set, Run
   // emits spans per phase per step (track 0 = server, 1+w = worker w), one
-  // structured JSONL step record, and registry metrics. Null = zero-cost.
+  // structured JSONL step record, and registry metrics; the step records
+  // also feed the sink's live-monitoring pieces (health watchdog + flight
+  // recorder + HTTP endpoints) when those are configured. Null = zero-cost.
   obs::Telemetry* telemetry = nullptr;
 };
 
@@ -151,7 +153,9 @@ class DistributedTrainer {
   double EvaluateGlobalModel();
 
   // Assemble and log one obs::StepTelemetry record from this step's
-  // measurements. Only called when config_.telemetry is set.
+  // measurements; via Telemetry::LogStep it also feeds the health
+  // watchdog and flight recorder. Only called when config_.telemetry is
+  // set.
   void EmitStepTelemetry(
       const StepRecord& rec, const std::vector<double>& worker_fb_ms,
       const std::vector<double>& worker_encode_ms,

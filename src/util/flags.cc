@@ -66,6 +66,17 @@ bool Flags::GetBool(const std::string& name, bool default_value) const {
                            v + "'");
 }
 
+int Flags::GetPort(const std::string& name, int default_value) const {
+  if (!Has(name)) return default_value;
+  const std::int64_t v = GetInt(name, default_value);
+  if (v < 0 || v > 65535) {
+    throw std::runtime_error("flag --" + name +
+                             " expects a TCP port in [0, 65535], got '" +
+                             std::to_string(v) + "'");
+  }
+  return static_cast<int>(v);
+}
+
 bool Flags::Has(const std::string& name) const {
   return values_.count(name) != 0;
 }

@@ -24,6 +24,10 @@ class Flags {
                       std::int64_t default_value) const;
   double GetDouble(const std::string& name, double default_value) const;
   bool GetBool(const std::string& name, bool default_value) const;
+  // Like GetInt but additionally range-checks a present value against
+  // [0, 65535]. The default is returned untouched when the flag is absent
+  // (so -1 can mean "disabled").
+  int GetPort(const std::string& name, int default_value) const;
 
   bool Has(const std::string& name) const;
   const std::vector<std::string>& positional() const { return positional_; }

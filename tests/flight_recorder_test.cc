@@ -1,0 +1,199 @@
+// Flight recorder: ring wraparound, JSONL dumps (on demand and to an fd),
+// /flightz JSON array shape, oversized-record fallback, and the
+// SIGABRT crash-dump path exercised end to end in a forked child.
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json_validator.h"
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
+#include "obs/telemetry.h"
+
+namespace threelc::obs {
+namespace {
+
+using testutil::JsonValidator;
+
+StepTelemetry MakeStep(std::int64_t step) {
+  StepTelemetry s;
+  s.step = step;
+  s.loss = 1.0 / static_cast<double>(step + 1);
+  s.lr = 0.1;
+  s.push_bytes = 100 * static_cast<std::size_t>(step + 1);
+  s.contributors = 4;
+  return s;
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(FlightRecorderTest, KeepsOnlyTheLastCapacityRecordsOldestFirst) {
+  FlightRecorder recorder("/dev/null", /*capacity=*/4);
+  for (std::int64_t i = 0; i < 10; ++i) recorder.RecordStep(MakeStep(i));
+  EXPECT_EQ(recorder.size(), 4u);
+
+  std::ostringstream out;
+  recorder.DumpTo(out);
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<std::string> dumped;
+  while (std::getline(lines, line)) dumped.push_back(line);
+  ASSERT_EQ(dumped.size(), 4u);
+  // Steps 6..9, oldest first, every line valid JSON.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(JsonValidator(dumped[i]).Valid()) << dumped[i];
+    const std::string key = "\"step\":" + std::to_string(6 + i);
+    EXPECT_NE(dumped[i].find(key), std::string::npos) << dumped[i];
+  }
+}
+
+TEST(FlightRecorderTest, SizeBelowCapacityBeforeWraparound) {
+  FlightRecorder recorder("/dev/null", /*capacity=*/8);
+  EXPECT_EQ(recorder.size(), 0u);
+  recorder.RecordStep(MakeStep(0));
+  recorder.RecordStep(MakeStep(1));
+  EXPECT_EQ(recorder.size(), 2u);
+  std::ostringstream out;
+  recorder.DumpTo(out);
+  std::istringstream lines(out.str());
+  std::string line;
+  int n = 0;
+  while (std::getline(lines, line)) ++n;
+  EXPECT_EQ(n, 2);
+}
+
+TEST(FlightRecorderTest, MixesStepsAndHealthEventsInArrivalOrder) {
+  FlightRecorder recorder("/dev/null", /*capacity=*/8);
+  recorder.RecordStep(MakeStep(0));
+  HealthEvent event;
+  event.severity = HealthSeverity::kError;
+  event.detector = "nonfinite_loss";
+  event.step = 1;
+  event.message = "loss went NaN";
+  recorder.RecordEvent(event);
+  recorder.RecordStep(MakeStep(2));
+
+  const std::string array = recorder.ToJsonArray();
+  EXPECT_TRUE(JsonValidator(array).Valid()) << array;
+  const std::size_t step0 = array.find("\"step\":0");
+  const std::size_t health = array.find("\"type\":\"health_event\"");
+  const std::size_t step2 = array.find("\"step\":2");
+  ASSERT_NE(step0, std::string::npos);
+  ASSERT_NE(health, std::string::npos);
+  ASSERT_NE(step2, std::string::npos);
+  EXPECT_LT(step0, health);
+  EXPECT_LT(health, step2);
+}
+
+TEST(FlightRecorderTest, EmptyRingDumpsNothingAndArrayIsEmpty) {
+  FlightRecorder recorder("/dev/null", /*capacity=*/4);
+  EXPECT_EQ(recorder.ToJsonArray(), "[]");
+  std::ostringstream out;
+  recorder.DumpTo(out);
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST(FlightRecorderTest, OversizedStepFallsBackToCompactRecord) {
+  FlightRecorder recorder("/dev/null", /*capacity=*/4);
+  StepTelemetry big = MakeStep(5);
+  for (int t = 0; t < 200; ++t) {
+    TensorStepTelemetry ts;
+    ts.name = "layer_with_a_rather_long_name_" + std::to_string(t) + "/W";
+    ts.elements = 1 << 20;
+    ts.push_bytes = 123456;
+    ts.pull_bytes = 123456;
+    ts.zero_frac = 0.5;
+    ts.plus_frac = 0.25;
+    ts.minus_frac = 0.25;
+    ts.zre_hit_rate = 0.5;
+    ts.push_residual_l2 = 0.123456;
+    ts.pull_residual_l2 = 0.654321;
+    big.tensors.push_back(ts);
+  }
+  ASSERT_GT(Telemetry::StepToJson(big).size(), FlightRecorder::kSlotBytes);
+  recorder.RecordStep(big);
+  std::ostringstream out;
+  recorder.DumpTo(out);
+  std::string line = out.str();
+  ASSERT_FALSE(line.empty());
+  line.pop_back();  // trailing newline
+  EXPECT_LE(line.size(), FlightRecorder::kSlotBytes);
+  EXPECT_TRUE(JsonValidator(line).Valid()) << line;
+  EXPECT_NE(line.find("\"step\":5"), std::string::npos);
+  // The compact fallback drops the per-tensor array entirely.
+  EXPECT_EQ(line.find("\"tensors\""), std::string::npos);
+}
+
+TEST(FlightRecorderTest, DumpWritesJsonlToDumpPath) {
+  const std::string path = ::testing::TempDir() + "flight_dump_test.jsonl";
+  FlightRecorder recorder(path, /*capacity=*/8);
+  for (std::int64_t i = 0; i < 3; ++i) recorder.RecordStep(MakeStep(i));
+  ASSERT_TRUE(recorder.Dump());
+  const std::vector<std::string> lines = ReadLines(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(lines.size(), 3u);
+  for (const std::string& l : lines) {
+    EXPECT_TRUE(JsonValidator(l).Valid()) << l;
+  }
+}
+
+// End-to-end crash path: a forked child records steps plus the triggering
+// health event, installs the handlers, and aborts. The parent checks the
+// child died by SIGABRT and that the dump holds the trailing steps and
+// the event.
+TEST(FlightRecorderTest, SigabrtProducesDumpWithTrailingStepsAndEvent) {
+  const std::string path = ::testing::TempDir() + "flight_sigabrt_test.jsonl";
+  std::remove(path.c_str());
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child. No gtest assertions here — just set up and crash.
+    FlightRecorder recorder(path, /*capacity=*/16);
+    FlightRecorder::InstallSignalHandlers(&recorder);
+    for (std::int64_t i = 0; i < 20; ++i) recorder.RecordStep(MakeStep(i));
+    HealthEvent event;
+    event.severity = HealthSeverity::kError;
+    event.detector = "loss_explosion";
+    event.step = 19;
+    event.message = "loss exploded right before the crash";
+    recorder.RecordEvent(event);
+    std::abort();
+  }
+
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGABRT);
+
+  const std::vector<std::string> lines = ReadLines(path);
+  std::remove(path.c_str());
+  // 16 slots: the 15 most recent steps (5..19) plus the health event.
+  ASSERT_EQ(lines.size(), 16u);
+  for (const std::string& l : lines) {
+    EXPECT_TRUE(JsonValidator(l).Valid()) << l;
+  }
+  EXPECT_NE(lines.front().find("\"step\":5"), std::string::npos)
+      << lines.front();
+  EXPECT_NE(lines.back().find("\"type\":\"health_event\""), std::string::npos)
+      << lines.back();
+  EXPECT_NE(lines.back().find("loss exploded"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace threelc::obs

@@ -1,0 +1,229 @@
+// Health watchdog: detector thresholds (non-finite loss, loss explosion,
+// residual growth + latching, plateau, stall with an injected clock),
+// event ring capping, registry wiring, and /statusz JSON shape.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "json_validator.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+
+namespace threelc::obs {
+namespace {
+
+using testutil::JsonValidator;
+
+StepTelemetry MakeStep(std::int64_t step, double loss) {
+  StepTelemetry s;
+  s.step = step;
+  s.loss = loss;
+  s.lr = 0.1;
+  s.push_bits_per_value = 1.2;
+  s.pull_bits_per_value = 0.9;
+  s.contributors = 4;
+  return s;
+}
+
+StepTelemetry MakeStepWithResidual(std::int64_t step, double loss,
+                                   double push_l2) {
+  StepTelemetry s = MakeStep(step, loss);
+  TensorStepTelemetry t;
+  t.name = "dense0/W";
+  t.elements = 1024;
+  t.push_residual_l2 = push_l2;
+  s.tensors.push_back(t);
+  return s;
+}
+
+TEST(HealthMonitorTest, StartsHealthyAndStaysHealthyOnNormalSteps) {
+  HealthMonitor monitor{HealthMonitorOptions{}};
+  for (int i = 0; i < 50; ++i) {
+    monitor.ObserveStep(MakeStep(i, 1.0 / (i + 1)));
+  }
+  EXPECT_TRUE(monitor.healthy());
+  EXPECT_EQ(monitor.event_count(), 0u);
+}
+
+TEST(HealthMonitorTest, NonFiniteLossIsAnError) {
+  HealthMonitor monitor{HealthMonitorOptions{}};
+  std::vector<HealthEvent> delivered;
+  monitor.SetEventCallback(
+      [&delivered](const HealthEvent& e) { delivered.push_back(e); });
+  monitor.ObserveStep(MakeStep(0, 0.5));
+  EXPECT_TRUE(monitor.healthy());
+  monitor.ObserveStep(
+      MakeStep(1, std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_FALSE(monitor.healthy());
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].detector, "nonfinite_loss");
+  EXPECT_EQ(delivered[0].severity, HealthSeverity::kError);
+  EXPECT_EQ(delivered[0].step, 1);
+  // Health does not recover: error events are sticky.
+  monitor.ObserveStep(MakeStep(2, 0.4));
+  EXPECT_FALSE(monitor.healthy());
+}
+
+TEST(HealthMonitorTest, LossExplosionFiresPastFactorTimesMedian) {
+  HealthMonitorOptions options;
+  options.loss_explosion_factor = 10.0;
+  options.warmup_steps = 4;
+  HealthMonitor monitor{options};
+  for (int i = 0; i < 8; ++i) monitor.ObserveStep(MakeStep(i, 1.0));
+  // 9x the median: still fine.
+  monitor.ObserveStep(MakeStep(8, 9.0));
+  EXPECT_TRUE(monitor.healthy());
+  // 11x the median: error.
+  monitor.ObserveStep(MakeStep(9, 11.0));
+  EXPECT_FALSE(monitor.healthy());
+  bool saw = false;
+  for (const HealthEvent& e : monitor.events()) {
+    if (e.detector == "loss_explosion") {
+      saw = true;
+      EXPECT_EQ(e.severity, HealthSeverity::kError);
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(HealthMonitorTest, ExplosionNotCheckedDuringWarmup) {
+  HealthMonitorOptions options;
+  options.loss_explosion_factor = 2.0;
+  options.warmup_steps = 8;
+  HealthMonitor monitor{options};
+  // Wild early losses are normal; nothing may fire in the warmup window.
+  for (int i = 0; i < 8; ++i) {
+    monitor.ObserveStep(MakeStep(i, i % 2 ? 100.0 : 0.01));
+  }
+  EXPECT_TRUE(monitor.healthy());
+}
+
+TEST(HealthMonitorTest, ResidualGrowthWarnsOnceAndRearms) {
+  HealthMonitorOptions options;
+  options.residual_growth_factor = 10.0;
+  options.residual_baseline_steps = 4;
+  HealthMonitor monitor{options};
+  std::int64_t step = 0;
+  // Establish a baseline around 1.0.
+  for (int i = 0; i < 4; ++i) {
+    monitor.ObserveStep(MakeStepWithResidual(step++, 0.5, 1.0));
+  }
+  // 20x baseline: warn (but still healthy — warn severity).
+  monitor.ObserveStep(MakeStepWithResidual(step++, 0.5, 20.0));
+  EXPECT_TRUE(monitor.healthy());
+  ASSERT_EQ(monitor.event_count(), 1u);
+  EXPECT_EQ(monitor.events()[0].detector, "residual_growth");
+  EXPECT_EQ(monitor.events()[0].severity, HealthSeverity::kWarn);
+  // Latched: staying high does not spam.
+  monitor.ObserveStep(MakeStepWithResidual(step++, 0.5, 25.0));
+  EXPECT_EQ(monitor.event_count(), 1u);
+  // Fall clearly below threshold (under half of it), then grow again:
+  // the detector re-arms and fires a second event.
+  monitor.ObserveStep(MakeStepWithResidual(step++, 0.5, 1.0));
+  monitor.ObserveStep(MakeStepWithResidual(step++, 0.5, 30.0));
+  EXPECT_EQ(monitor.event_count(), 2u);
+}
+
+TEST(HealthMonitorTest, PlateauWarnsAfterWindowWithoutImprovement) {
+  HealthMonitorOptions options;
+  options.plateau_window = 10;
+  options.plateau_min_delta = 1e-3;
+  HealthMonitor monitor{options};
+  monitor.ObserveStep(MakeStep(0, 1.0));
+  for (int i = 1; i <= 9; ++i) monitor.ObserveStep(MakeStep(i, 1.0));
+  EXPECT_EQ(monitor.event_count(), 0u);
+  monitor.ObserveStep(MakeStep(10, 1.0));
+  ASSERT_EQ(monitor.event_count(), 1u);
+  EXPECT_EQ(monitor.events()[0].detector, "loss_plateau");
+  EXPECT_TRUE(monitor.healthy());  // warn only
+  // Improvement resets the latch; a later plateau can fire again.
+  monitor.ObserveStep(MakeStep(11, 0.5));
+  for (int i = 12; i <= 22; ++i) monitor.ObserveStep(MakeStep(i, 0.5));
+  EXPECT_EQ(monitor.event_count(), 2u);
+}
+
+TEST(HealthMonitorTest, StallDetectedViaInjectedClockAndRecovers) {
+  HealthMonitorOptions options;
+  options.stall_factor = 5.0;
+  options.min_stall_seconds = 1.0;
+  HealthMonitor monitor{options};
+  double now = 0.0;
+  monitor.SetClockForTest([&now] { return now; });
+  // Steps every 0.5s: median interval 0.5, stall limit max(2.5, 1.0).
+  for (int i = 0; i < 10; ++i) {
+    monitor.ObserveStep(MakeStep(i, 1.0));
+    now += 0.5;
+  }
+  EXPECT_FALSE(monitor.CheckStall());
+  // Silence for 10s: stalled, unhealthy, exactly one event.
+  now += 10.0;
+  EXPECT_TRUE(monitor.CheckStall());
+  EXPECT_FALSE(monitor.healthy());
+  EXPECT_TRUE(monitor.CheckStall());  // still stalled; no second event
+  std::size_t stall_events = 0;
+  for (const HealthEvent& e : monitor.events()) {
+    if (e.detector == "step_stall") ++stall_events;
+  }
+  EXPECT_EQ(stall_events, 1u);
+  // A new step clears the stall.
+  monitor.ObserveStep(MakeStep(10, 1.0));
+  EXPECT_FALSE(monitor.CheckStall());
+  EXPECT_TRUE(monitor.healthy());
+}
+
+TEST(HealthMonitorTest, EventRingIsCapped) {
+  HealthMonitorOptions options;
+  options.max_events = 4;
+  options.residual_growth_factor = 2.0;
+  options.residual_baseline_steps = 1;
+  HealthMonitor monitor{options};
+  monitor.ObserveStep(MakeStepWithResidual(0, 0.5, 1.0));  // baseline
+  // Alternate low/high so the latch re-arms and every high step fires.
+  for (int i = 1; i <= 20; ++i) {
+    const double l2 = i % 2 ? 10.0 : 0.5;
+    monitor.ObserveStep(MakeStepWithResidual(i, 0.5, l2));
+  }
+  EXPECT_EQ(monitor.event_count(), 4u);
+}
+
+TEST(HealthMonitorTest, FiringsIncrementRegistryMetrics) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  HealthMonitor monitor{HealthMonitorOptions{}, &registry};
+  monitor.ObserveStep(
+      MakeStep(0, std::numeric_limits<double>::infinity()));
+  EXPECT_EQ(registry.counter("health/nonfinite_loss")->value(), 1.0);
+  EXPECT_EQ(registry.gauge("health/healthy")->value(), 0.0);
+}
+
+TEST(HealthMonitorTest, StatusJsonIsValidAndCarriesLiveState) {
+  HealthMonitor monitor{HealthMonitorOptions{}};
+  monitor.ObserveStep(MakeStepWithResidual(42, 0.25, 0.01));
+  const std::string json = monitor.StatusJson(12.5);
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+  EXPECT_NE(json.find("\"step\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"healthy\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"uptime_seconds\":12.5"), std::string::npos);
+  EXPECT_NE(json.find("\"dense0/W\""), std::string::npos);
+  EXPECT_NE(json.find("\"push_residual_l2\""), std::string::npos);
+}
+
+TEST(HealthEventTest, ToJsonIsValid) {
+  HealthEvent event;
+  event.severity = HealthSeverity::kError;
+  event.detector = "nonfinite_loss";
+  event.step = 7;
+  event.seconds = 1.25;
+  event.message = "loss is \"NaN\"\n";
+  const std::string json = event.ToJson();
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+  EXPECT_NE(json.find("\"severity\":\"error\""), std::string::npos);
+  EXPECT_NE(json.find("\"detector\":\"nonfinite_loss\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace threelc::obs

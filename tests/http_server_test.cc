@@ -1,0 +1,284 @@
+// Embedded HTTP server: request-line parsing, routing and error mapping
+// (400/404/405/431), response formatting, partial (byte-by-byte) reads over
+// real sockets, and the full Telemetry endpoint integration — /metricsz
+// exposition, /healthz flipping to 503 after a NaN loss, /statusz and
+// /flightz JSON.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <string>
+
+#include "json_validator.h"
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
+#include "obs/http_server.h"
+#include "obs/telemetry.h"
+
+namespace threelc::obs {
+namespace {
+
+using testutil::JsonValidator;
+
+// Blocking test client: connect to 127.0.0.1:port, send `request` in
+// chunks of `chunk` bytes, read until the server closes.
+std::string Fetch(int port, const std::string& request,
+                  std::size_t chunk = 0) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    ADD_FAILURE() << "connect failed";
+    return "";
+  }
+  if (chunk == 0) chunk = request.size();
+  for (std::size_t off = 0; off < request.size(); off += chunk) {
+    const std::size_t n = std::min(chunk, request.size() - off);
+    EXPECT_EQ(::send(fd, request.data() + off, n, 0),
+              static_cast<ssize_t>(n));
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Get(int port, const std::string& path, std::size_t chunk = 0) {
+  return Fetch(port,
+               "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n", chunk);
+}
+
+std::string BodyOf(const std::string& response) {
+  const std::size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+// --- Pure parsing / formatting (no sockets) --------------------------------
+
+TEST(HttpParseTest, AcceptsWellFormedRequestLines) {
+  std::string method, path;
+  ASSERT_TRUE(
+      HttpServer::ParseRequestLine("GET /metricsz HTTP/1.1", &method, &path));
+  EXPECT_EQ(method, "GET");
+  EXPECT_EQ(path, "/metricsz");
+  ASSERT_TRUE(
+      HttpServer::ParseRequestLine("HEAD / HTTP/1.0", &method, &path));
+  EXPECT_EQ(method, "HEAD");
+  EXPECT_EQ(path, "/");
+}
+
+TEST(HttpParseTest, StripsQueryString) {
+  std::string method, path;
+  ASSERT_TRUE(HttpServer::ParseRequestLine(
+      "GET /statusz?pretty=1&x=2 HTTP/1.1", &method, &path));
+  EXPECT_EQ(path, "/statusz");
+}
+
+TEST(HttpParseTest, RejectsMalformedRequestLines) {
+  std::string method, path;
+  EXPECT_FALSE(HttpServer::ParseRequestLine("", &method, &path));
+  EXPECT_FALSE(HttpServer::ParseRequestLine("GET", &method, &path));
+  EXPECT_FALSE(HttpServer::ParseRequestLine("GET /x", &method, &path));
+  EXPECT_FALSE(
+      HttpServer::ParseRequestLine("GET /x HTTP/1.1 extra", &method, &path));
+  EXPECT_FALSE(
+      HttpServer::ParseRequestLine("GET /x FTP/1.1", &method, &path));
+  EXPECT_FALSE(
+      HttpServer::ParseRequestLine("GET no-leading-slash HTTP/1.1", &method,
+                                   &path));
+  EXPECT_FALSE(HttpServer::ParseRequestLine("GET  /x HTTP/1.1",  // 2 spaces
+                                            &method, &path));
+}
+
+TEST(HttpRoutingTest, MapsErrorsWithoutSockets) {
+  HttpServer server;
+  server.Handle("/ok", [] {
+    return HttpResponse{200, "text/plain", "fine\n"};
+  });
+  EXPECT_NE(server.ResponseFor("garbage\r\n").find("400 Bad Request"),
+            std::string::npos);
+  EXPECT_NE(
+      server.ResponseFor("POST /ok HTTP/1.1\r\n").find("405 Method Not"),
+      std::string::npos);
+  EXPECT_NE(server.ResponseFor("GET /nope HTTP/1.1\r\n").find("404 Not"),
+            std::string::npos);
+  const std::string ok = server.ResponseFor("GET /ok HTTP/1.1\r\n");
+  EXPECT_NE(ok.find("200 OK"), std::string::npos);
+  EXPECT_NE(ok.find("fine\n"), std::string::npos);
+  // HEAD: same status and headers, no body.
+  const std::string head = server.ResponseFor("HEAD /ok HTTP/1.1\r\n");
+  EXPECT_NE(head.find("200 OK"), std::string::npos);
+  EXPECT_NE(head.find("Content-Length: 5"), std::string::npos);
+  EXPECT_EQ(BodyOf(head), "");
+}
+
+TEST(HttpFormatTest, ResponseCarriesHeadersAndLength) {
+  HttpResponse response{200, "application/json", "{\"a\":1}"};
+  const std::string out = HttpServer::FormatResponse(response, true);
+  EXPECT_EQ(out.find("HTTP/1.1 200 OK\r\n"), 0u);
+  EXPECT_NE(out.find("Content-Type: application/json\r\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("Content-Length: 7\r\n"), std::string::npos);
+  EXPECT_NE(out.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_EQ(BodyOf(out), "{\"a\":1}");
+}
+
+// --- Real sockets ----------------------------------------------------------
+
+class LiveServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_.Handle("/hello", [] {
+      return HttpResponse{200, "text/plain", "hi\n"};
+    });
+    ASSERT_TRUE(server_.Start(0));  // ephemeral port
+    ASSERT_GT(server_.port(), 0);
+  }
+  HttpServer server_;
+};
+
+TEST_F(LiveServerTest, ServesRegisteredPath) {
+  const std::string response = Get(server_.port(), "/hello");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_EQ(BodyOf(response), "hi\n");
+}
+
+TEST_F(LiveServerTest, HandlesByteByByteRequests) {
+  // TCP does not respect message boundaries; the reader must accumulate
+  // until the blank line even when every byte is its own segment.
+  const std::string response = Get(server_.port(), "/hello", /*chunk=*/1);
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_EQ(BodyOf(response), "hi\n");
+}
+
+TEST_F(LiveServerTest, UnknownPathIs404) {
+  const std::string response = Get(server_.port(), "/metricz-typo");
+  EXPECT_NE(response.find("404 Not Found"), std::string::npos);
+}
+
+TEST_F(LiveServerTest, OversizedRequestIs431) {
+  const std::string huge =
+      "GET /hello HTTP/1.1\r\nX-Pad: " +
+      std::string(HttpServer::kMaxRequestBytes, 'a') + "\r\n\r\n";
+  const std::string response = Fetch(server_.port(), huge);
+  EXPECT_NE(response.find("431 "), std::string::npos) << response;
+}
+
+TEST_F(LiveServerTest, StopIsIdempotentAndStopsServing) {
+  server_.Stop();
+  server_.Stop();
+  EXPECT_FALSE(server_.running());
+}
+
+// --- Full Telemetry integration --------------------------------------------
+
+TEST(TelemetryMonitoringTest, NoMonitoringMeansNoServerAndNoRecorder) {
+  TelemetryOptions options;  // nothing enabled
+  Telemetry telemetry(options);
+  EXPECT_EQ(telemetry.http_server(), nullptr);
+  EXPECT_EQ(telemetry.flight_recorder(), nullptr);
+  EXPECT_EQ(telemetry.health(), nullptr);
+}
+
+TEST(TelemetryMonitoringTest, EndpointsServeAndHealthzFlipsOnNanLoss) {
+  TelemetryOptions options;
+  options.metrics_port = 0;  // ephemeral
+  options.flight_path = ::testing::TempDir() + "http_test_flight.jsonl";
+  Telemetry telemetry(options);
+  ASSERT_NE(telemetry.http_server(), nullptr);
+  const int port = telemetry.http_server()->port();
+  ASSERT_GT(port, 0);
+
+  StepTelemetry step;
+  step.step = 1;
+  step.loss = 0.5;
+  step.push_bits_per_value = 1.2;
+  telemetry.metrics().counter("traffic/push_bytes")->Add(512.0);
+  telemetry.LogStep(step);
+
+  // /healthz: healthy run.
+  EXPECT_NE(Get(port, "/healthz").find("200 OK"), std::string::npos);
+
+  // /metricsz: Prometheus exposition with the sanitized counter.
+  const std::string metrics = Get(port, "/metricsz");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("threelc_traffic_push_bytes_total 512"),
+            std::string::npos)
+      << metrics;
+
+  // /statusz: live JSON with the last step.
+  const std::string status = BodyOf(Get(port, "/statusz"));
+  EXPECT_TRUE(JsonValidator(status).Valid()) << status;
+  EXPECT_NE(status.find("\"step\":1"), std::string::npos);
+  EXPECT_NE(status.find("\"healthy\":true"), std::string::npos);
+
+  // /flightz: the ring as JSON.
+  const std::string flight = BodyOf(Get(port, "/flightz"));
+  EXPECT_TRUE(JsonValidator(flight).Valid()) << flight;
+  EXPECT_NE(flight.find("\"entries\":["), std::string::npos);
+  EXPECT_NE(flight.find("\"step\":1"), std::string::npos);
+
+  // NaN loss: watchdog fires, /healthz flips to 503, the error dump exists.
+  step.step = 2;
+  step.loss = std::numeric_limits<double>::quiet_NaN();
+  telemetry.LogStep(step);
+  const std::string unhealthy = Get(port, "/healthz");
+  EXPECT_NE(unhealthy.find("503 "), std::string::npos);
+  EXPECT_NE(unhealthy.find("nonfinite_loss"), std::string::npos);
+  std::ifstream dump(options.flight_path);
+  EXPECT_TRUE(dump.good());
+  std::string line, last;
+  std::size_t lines = 0;
+  while (std::getline(dump, line)) {
+    ++lines;
+    EXPECT_TRUE(JsonValidator(line).Valid()) << line;
+    last = line;
+  }
+  // Both steps and the health event made it into the black box.
+  EXPECT_GE(lines, 3u);
+  EXPECT_NE(last.find("\"type\":\"health_event\""), std::string::npos);
+  std::remove(options.flight_path.c_str());
+}
+
+TEST(TelemetryMonitoringTest, FlightPathAloneEnablesRecorderNotServer) {
+  TelemetryOptions options;
+  options.flight_path = ::testing::TempDir() + "http_test_flight2.jsonl";
+  {
+    Telemetry telemetry(options);
+    EXPECT_EQ(telemetry.http_server(), nullptr);
+    ASSERT_NE(telemetry.flight_recorder(), nullptr);
+    ASSERT_NE(telemetry.health(), nullptr);
+    StepTelemetry step;
+    step.step = 7;
+    step.loss = 0.25;
+    telemetry.LogStep(step);
+  }  // destructor flushes -> on-demand dump
+  std::ifstream dump(options.flight_path);
+  ASSERT_TRUE(dump.good());
+  std::string line;
+  ASSERT_TRUE(static_cast<bool>(std::getline(dump, line)));
+  EXPECT_TRUE(JsonValidator(line).Valid()) << line;
+  EXPECT_NE(line.find("\"step\":7"), std::string::npos);
+  std::remove(options.flight_path.c_str());
+}
+
+}  // namespace
+}  // namespace threelc::obs

@@ -1,0 +1,128 @@
+// Minimal recursive-descent JSON validator shared by the observability
+// tests. Enough of RFC 8259 to prove that trace/metrics/flight output
+// parses: objects, arrays, strings with escapes, numbers, true/false/null.
+#pragma once
+
+#include <cctype>
+#include <string>
+
+namespace threelc::testutil {
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // bare control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+  bool Number() {
+    const std::size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    if (Peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    return pos_ > start &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_ - 1]));
+  }
+  bool Literal(const char* word) {
+    const std::size_t len = std::string(word).size();
+    if (s_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace threelc::testutil

@@ -1,9 +1,12 @@
-// Observability layer: metrics registry semantics (enable/disable, merge),
-// JSONL/CSV export, tracer span recording under concurrency, Chrome trace
-// well-formedness, and the telemetry step-record schema.
+// Observability layer: metrics registry semantics (enable/disable, merge,
+// seqlock consistency), JSONL/CSV export, Prometheus exposition, tracer
+// span recording under concurrency, Chrome trace well-formedness, and the
+// telemetry step-record schema (including non-finite values).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <limits>
@@ -12,133 +15,18 @@
 #include <thread>
 #include <vector>
 
+#include "json_validator.h"
+#include "obs/health.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 
 namespace threelc::obs {
 namespace {
 
-// --- Minimal recursive-descent JSON validator ------------------------------
-// Enough of RFC 8259 to prove that trace/metrics output parses: objects,
-// arrays, strings with escapes, numbers, true/false/null.
-class JsonValidator {
- public:
-  explicit JsonValidator(const std::string& text) : s_(text) {}
-
-  bool Valid() {
-    SkipWs();
-    if (!Value()) return false;
-    SkipWs();
-    return pos_ == s_.size();
-  }
-
- private:
-  bool Value() {
-    if (pos_ >= s_.size()) return false;
-    switch (s_[pos_]) {
-      case '{': return Object();
-      case '[': return Array();
-      case '"': return String();
-      case 't': return Literal("true");
-      case 'f': return Literal("false");
-      case 'n': return Literal("null");
-      default: return Number();
-    }
-  }
-  bool Object() {
-    ++pos_;  // '{'
-    SkipWs();
-    if (Peek() == '}') { ++pos_; return true; }
-    while (true) {
-      SkipWs();
-      if (!String()) return false;
-      SkipWs();
-      if (Peek() != ':') return false;
-      ++pos_;
-      SkipWs();
-      if (!Value()) return false;
-      SkipWs();
-      if (Peek() == ',') { ++pos_; continue; }
-      if (Peek() == '}') { ++pos_; return true; }
-      return false;
-    }
-  }
-  bool Array() {
-    ++pos_;  // '['
-    SkipWs();
-    if (Peek() == ']') { ++pos_; return true; }
-    while (true) {
-      SkipWs();
-      if (!Value()) return false;
-      SkipWs();
-      if (Peek() == ',') { ++pos_; continue; }
-      if (Peek() == ']') { ++pos_; return true; }
-      return false;
-    }
-  }
-  bool String() {
-    if (Peek() != '"') return false;
-    ++pos_;
-    while (pos_ < s_.size()) {
-      const char c = s_[pos_];
-      if (c == '"') { ++pos_; return true; }
-      if (static_cast<unsigned char>(c) < 0x20) return false;  // bare control
-      if (c == '\\') {
-        ++pos_;
-        if (pos_ >= s_.size()) return false;
-        const char e = s_[pos_];
-        if (e == 'u') {
-          for (int i = 0; i < 4; ++i) {
-            ++pos_;
-            if (pos_ >= s_.size() || !std::isxdigit(
-                    static_cast<unsigned char>(s_[pos_]))) {
-              return false;
-            }
-          }
-        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
-          return false;
-        }
-      }
-      ++pos_;
-    }
-    return false;  // unterminated
-  }
-  bool Number() {
-    const std::size_t start = pos_;
-    if (Peek() == '-') ++pos_;
-    while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
-    if (Peek() == '.') {
-      ++pos_;
-      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
-    }
-    if (Peek() == 'e' || Peek() == 'E') {
-      ++pos_;
-      if (Peek() == '+' || Peek() == '-') ++pos_;
-      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
-    }
-    return pos_ > start && std::isdigit(static_cast<unsigned char>(
-                               s_[pos_ - 1]));
-  }
-  bool Literal(const char* word) {
-    const std::size_t len = std::string(word).size();
-    if (s_.compare(pos_, len, word) != 0) return false;
-    pos_ += len;
-    return true;
-  }
-  void SkipWs() {
-    while (pos_ < s_.size() &&
-           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
-            s_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
+using testutil::JsonValidator;
 
 TEST(JsonValidatorTest, AcceptsAndRejects) {
   EXPECT_TRUE(JsonValidator(R"({"a":[1,2.5,-3e2],"b":"x\ny","c":null})")
@@ -271,6 +159,119 @@ TEST(MetricsTest, JsonlAndCsvExport) {
 
   const std::string obj = registry.ToJsonObject();
   EXPECT_TRUE(JsonValidator(obj).Valid()) << obj;
+}
+
+TEST(MetricsTest, SnapshotPairsAreConsistentUnderConcurrentAdds) {
+  // Every Add is (value += 2.0, events += 1); a torn read would break the
+  // value == 2 * events invariant. Readers hammer Read() while writers add.
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Counter* c = registry.counter("pair");
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([c, &stop, &violations] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Counter::Snapshot snap = c->Read();
+        if (snap.value != 2.0 * static_cast<double>(snap.events)) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([c] {
+      for (int i = 0; i < kPerThread; ++i) c->Add(2.0);
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(violations.load(), 0);
+  const Counter::Snapshot final_snap = c->Read();
+  EXPECT_EQ(final_snap.events,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(final_snap.value, 2.0 * static_cast<double>(kThreads * kPerThread));
+}
+
+// --- Prometheus exposition -------------------------------------------------
+
+TEST(PrometheusTest, SanitizeProducesValidNamesAndIsIdempotent) {
+  const std::vector<std::string> raw = {
+      "traffic/push_bytes", "codec.encode-ms", "9starts_with_digit",
+      "already_legal_name", "weird +*)( chars", "", "a:b"};
+  for (const std::string& name : raw) {
+    const std::string once = SanitizeMetricName(name);
+    EXPECT_TRUE(IsValidMetricName(once)) << name << " -> " << once;
+    // Round trip: sanitizing a sanitized name must be a no-op, so scrape
+    // pipelines that re-normalize names cannot drift.
+    EXPECT_EQ(SanitizeMetricName(once), once) << name;
+  }
+  EXPECT_EQ(SanitizeMetricName("traffic/push_bytes"), "traffic_push_bytes");
+  EXPECT_EQ(SanitizeMetricName("9x"), "_9x");
+  EXPECT_FALSE(IsValidMetricName(""));
+  EXPECT_FALSE(IsValidMetricName("has space"));
+  EXPECT_FALSE(IsValidMetricName("9leading"));
+  EXPECT_TRUE(IsValidMetricName("a:b_c123"));
+}
+
+TEST(PrometheusTest, EscapeLabelValue) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(PrometheusTest, WritePrometheusExposesAllMetricKinds) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  registry.counter("traffic/push_bytes")->Add(128.0);
+  registry.gauge("train/loss")->Set(0.25);
+  HistogramStat* h = registry.histogram("step_ms", 0.0, 100.0, 50);
+  for (int i = 1; i <= 10; ++i) h->Add(static_cast<double>(i));
+
+  std::ostringstream out;
+  WritePrometheus(registry, out);
+  const std::string text = out.str();
+
+  EXPECT_NE(text.find("# TYPE threelc_traffic_push_bytes_total counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("threelc_traffic_push_bytes_total 128"),
+            std::string::npos);
+  EXPECT_NE(text.find("threelc_traffic_push_bytes_events_total 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE threelc_train_loss gauge"), std::string::npos);
+  EXPECT_NE(text.find("threelc_train_loss 0.25"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE threelc_step_ms summary"), std::string::npos);
+  EXPECT_NE(text.find("threelc_step_ms{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("threelc_step_ms_sum 55"), std::string::npos);
+  EXPECT_NE(text.find("threelc_step_ms_count 10"), std::string::npos);
+
+  // Every exposed series name obeys the grammar (round-trip property over
+  // the real registry contents, not just hand-picked strings).
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t name_end = line.find_first_of(" {");
+    ASSERT_NE(name_end, std::string::npos) << line;
+    EXPECT_TRUE(IsValidMetricName(line.substr(0, name_end))) << line;
+  }
+}
+
+TEST(PrometheusTest, NonFiniteValuesUseExpositionLiterals) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  registry.gauge("bad/nan")->Set(std::numeric_limits<double>::quiet_NaN());
+  registry.gauge("bad/inf")->Set(std::numeric_limits<double>::infinity());
+  std::ostringstream out;
+  WritePrometheus(registry, out);
+  EXPECT_NE(out.str().find("threelc_bad_nan NaN"), std::string::npos);
+  EXPECT_NE(out.str().find("threelc_bad_inf +Inf"), std::string::npos);
 }
 
 // --- Tracer ----------------------------------------------------------------
@@ -410,6 +411,33 @@ TEST(TelemetryTest, StepLogRoundTrip) {
   EXPECT_NE(lines[0].find("\"type\":\"step\""), std::string::npos);
   EXPECT_NE(lines[1].find("\"type\":\"summary\""), std::string::npos);
   EXPECT_NE(lines[1].find("\"traffic/push_bytes\""), std::string::npos);
+}
+
+TEST(TelemetryTest, StepToJsonWithNonFiniteValuesStaysParseable) {
+  // A diverging run is exactly when the step log matters most, so NaN/Inf
+  // must not corrupt the JSONL (they serialize as null).
+  StepTelemetry s = MakeStep();
+  s.loss = std::numeric_limits<double>::quiet_NaN();
+  s.push_bits_per_value = std::numeric_limits<double>::infinity();
+  s.tensors[0].push_residual_l2 = std::numeric_limits<double>::quiet_NaN();
+  s.tensors[0].pull_residual_l2 = -std::numeric_limits<double>::infinity();
+  const std::string json = Telemetry::StepToJson(s);
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+  EXPECT_NE(json.find("\"loss\":null"), std::string::npos) << json;
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+
+  // And the watchdog classifies the same record as an error.
+  HealthMonitor monitor{HealthMonitorOptions{}};
+  monitor.ObserveStep(s);
+  EXPECT_FALSE(monitor.healthy());
+  ASSERT_GE(monitor.event_count(), 1u);
+  bool saw_nonfinite_loss = false;
+  for (const HealthEvent& e : monitor.events()) {
+    EXPECT_EQ(HealthSeverityName(e.severity), std::string("error"));
+    if (e.detector == "nonfinite_loss") saw_nonfinite_loss = true;
+  }
+  EXPECT_TRUE(saw_nonfinite_loss);
 }
 
 TEST(TelemetryTest, BadPathThrows) {

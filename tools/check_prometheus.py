@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition (format 0.0.4) read from stdin.
+
+Used by the CI monitoring smoke job:
+
+    curl -s localhost:9109/metricsz | python3 tools/check_prometheus.py
+
+Checks, with no third-party dependencies:
+  - every non-comment line is `name[{labels}] value` with a legal metric
+    name ([a-zA-Z_:][a-zA-Z0-9_:]*) and a parseable value (floats plus the
+    NaN/+Inf/-Inf exposition literals),
+  - label values are properly quoted and escaped,
+  - every sample's base name was declared by preceding # HELP and # TYPE
+    lines (quantile series and _sum/_count belong to their summary),
+  - # TYPE uses a known metric type.
+
+Exits 0 and prints a sample count on success; exits 1 with the offending
+line otherwise.
+"""
+import re
+import sys
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# name, optional {labels}, whitespace, value
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)\s*$")
+LABEL_RE = re.compile(
+    r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\[\\"n])*"$')
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def fail(lineno, line, why):
+    print(f"check_prometheus: line {lineno}: {why}\n  {line}",
+          file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_value(text):
+    if text in ("NaN", "+Inf", "-Inf", "Inf"):
+        return True
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False
+
+
+def base_name(name, summaries):
+    """Map _sum/_count series back to their declared summary name."""
+    for suffix in ("_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in summaries:
+            return name[: -len(suffix)]
+    return name
+
+
+def main():
+    helped, typed, summaries = set(), set(), set()
+    samples = 0
+    for lineno, raw in enumerate(sys.stdin, 1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 4 or not NAME_RE.match(parts[2]):
+                fail(lineno, line, "malformed HELP line")
+            helped.add(parts[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or not NAME_RE.match(parts[2]):
+                fail(lineno, line, "malformed TYPE line")
+            if parts[3] not in TYPES:
+                fail(lineno, line, f"unknown metric type {parts[3]!r}")
+            typed.add(parts[2])
+            if parts[3] == "summary":
+                summaries.add(parts[2])
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(lineno, line, "not a `name[{labels}] value` sample")
+        name, labels, value = m.groups()
+        if labels:
+            for label in labels[1:-1].split(","):
+                if label and not LABEL_RE.match(label):
+                    fail(lineno, line, f"bad label {label!r}")
+        if not parse_value(value):
+            fail(lineno, line, f"unparseable value {value!r}")
+        base = base_name(name, summaries)
+        if base not in helped or base not in typed:
+            fail(lineno, line,
+                 f"sample {name!r} lacks preceding # HELP/# TYPE for "
+                 f"{base!r}")
+        samples += 1
+    if samples == 0:
+        print("check_prometheus: no samples found", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_prometheus: OK ({samples} samples)")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,6 +4,7 @@
 Usage:
     python3 tools/plot_results.py [figures] [--results results/] [--out plots/]
     python3 tools/plot_results.py metrics metrics.jsonl [--out plots/]
+    python3 tools/plot_results.py flight flight.jsonl [--out plots/]
 
 `figures` (the default) produces fig4/5/6 (time-vs-accuracy fronts), fig7
 (loss/accuracy curves), fig8 (sparsity sweep), and fig9 (bits per state
@@ -11,6 +12,10 @@ change) as PNGs, mirroring the paper's Figures 4-9.
 
 `metrics` plots a --metrics-out step log (loss vs. step, push/pull bits per
 value vs. step) written by examples/ and bench/ binaries.
+
+`flight` renders a flight-recorder dump (the JSONL the black box writes on
+an error-severity health event, crash signal, or Flush): loss and residual
+L2 over the trailing steps, with a vertical line at every health event.
 
 Requires matplotlib.
 """
@@ -180,6 +185,77 @@ def plot_metrics(jsonl_path, out_dir, plt):
     print("wrote", path)
 
 
+def read_flight_dump(path):
+    """Parse a flight-recorder dump into (step records, health events)."""
+    steps, events = [], []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec.get("type") == "step":
+                steps.append(rec)
+            elif rec.get("type") == "health_event":
+                events.append(rec)
+    if not steps and not events:
+        raise SystemExit(f"no flight records found in {path}")
+    return steps, events
+
+
+def plot_flight(jsonl_path, out_dir, plt):
+    steps, events = read_flight_dump(jsonl_path)
+    xs = [s["step"] for s in steps]
+
+    fig, axes = plt.subplots(1, 2, figsize=(12, 4.5))
+    # null in the JSONL (serialized NaN/Inf) plots as a gap.
+    losses = [s["loss"] if s.get("loss") is not None else float("nan")
+              for s in steps]
+    axes[0].plot(xs, losses, marker=".", label="training loss")
+    axes[0].set_xlabel("Training steps")
+    axes[0].set_ylabel("Training loss")
+    axes[0].grid(alpha=0.3)
+
+    residuals = defaultdict(lambda: ([], []))
+    for s in steps:
+        for t in s.get("tensors", []):
+            l2 = t.get("push_residual_l2")
+            if l2 is not None:
+                sx, sy = residuals[t["name"]]
+                sx.append(s["step"])
+                sy.append(l2)
+    for name, (sx, sy) in sorted(residuals.items()):
+        axes[1].plot(sx, sy, alpha=0.8, label=name)
+    axes[1].set_xlabel("Training steps")
+    axes[1].set_ylabel("Push residual L2 (error-accumulation buffer)")
+    axes[1].grid(alpha=0.3)
+
+    severity_color = {"error": "red", "warn": "orange"}
+    for e in events:
+        color = severity_color.get(e.get("severity"), "gray")
+        for ax in axes:
+            ax.axvline(e["step"], color=color, linestyle=":", alpha=0.8)
+        axes[0].annotate(e.get("detector", "?"), (e["step"], 0.98),
+                         xycoords=("data", "axes fraction"), rotation=90,
+                         fontsize=7, va="top", color=color)
+    if events:
+        first = events[0]
+        print(f"{len(events)} health event(s); first: "
+              f"{first.get('severity')} [{first.get('detector')}] "
+              f"step {first.get('step')}: {first.get('message')}")
+    axes[0].legend(fontsize=8)
+    if residuals:
+        axes[1].legend(fontsize=7)
+
+    base = os.path.splitext(os.path.basename(jsonl_path))[0]
+    fig.suptitle(f"Flight recorder: {base} "
+                 f"({len(steps)} trailing steps, {len(events)} events)")
+    path = os.path.join(out_dir, f"{base}.png")
+    fig.savefig(path, dpi=140, bbox_inches="tight")
+    plt.close(fig)
+    print("wrote", path)
+
+
 def load_matplotlib():
     try:
         import matplotlib
@@ -200,6 +276,10 @@ def main():
                              help="plot a --metrics-out step-log JSONL")
     metrics.add_argument("jsonl", help="path to metrics.jsonl")
     metrics.add_argument("--out", default="plots")
+    flight = sub.add_parser("flight",
+                            help="plot a flight-recorder dump JSONL")
+    flight.add_argument("jsonl", help="path to flight.jsonl")
+    flight.add_argument("--out", default="plots")
     # Default to `figures` so the historical bare invocation keeps working.
     parser.set_defaults(command="figures", results="results", out="plots")
     args = parser.parse_args()
@@ -208,6 +288,9 @@ def main():
     os.makedirs(args.out, exist_ok=True)
     if args.command == "metrics":
         plot_metrics(args.jsonl, args.out, plt)
+        return
+    if args.command == "flight":
+        plot_flight(args.jsonl, args.out, plt)
         return
     for fn in (plot_fig456, plot_fig7, plot_fig8, plot_fig9):
         name = fn.__name__
