@@ -1,0 +1,374 @@
+// Real multi-process distributed training over TCP (rpc::RpcServer /
+// rpc::RpcWorker), producing bitwise-identical results to the in-process
+// DistributedTrainer for the same seed, codec, and step count.
+//
+// Modes:
+//   --spawn N            fork N worker processes, run the server in this
+//                        process over loopback (the default, N=3)
+//   --role server        run only the parameter server (then start workers
+//                        elsewhere with --role worker --port <port>)
+//   --role worker        run one worker; needs --worker-id and --port
+//
+// Common knobs: --steps, --workers, --batch-size, --codec none|3lc, --s,
+// --seed, --host, --port. Outputs: --checkpoint-out writes the final global
+// model (CRC32C-protected checkpoint); --compare re-runs the same training
+// in-process and verifies the parameters match bit for bit; --linger-ms
+// keeps the process (and the --metrics-port HTTP endpoints) alive after
+// training so a scraper can read final counters.
+//
+// Examples:
+//   ./build/examples/distributed_training --spawn 3 --steps 20 --codec 3lc
+//       --compare --metrics-port 9109 --linger-ms 2000
+//   ./build/examples/distributed_training --role server --port 7171 &
+//   ./build/examples/distributed_training --role worker --worker-id 0
+//       --port 7171
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compress/factory.h"
+#include "nn/checkpoint.h"
+#include "obs/http_server.h"
+#include "obs/telemetry.h"
+#include "rpc/runtime.h"
+#include "rpc/transport.h"
+#include "train/experiment.h"
+#include "train/model_zoo.h"
+#include "train/trainer.h"
+#include "util/crc32.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+using namespace threelc;
+
+namespace {
+
+// Everything both roles must agree on, derived from the same flags in
+// every process.
+struct Setup {
+  train::ExperimentConfig config;
+  data::SyntheticData data;
+};
+
+Setup MakeSetup(const util::Flags& flags, int num_workers) {
+  Setup setup;
+  setup.config = train::SmallExperiment();
+  train::TrainerConfig& tc = setup.config.trainer;
+  tc.num_workers = num_workers;
+  tc.total_steps = flags.GetInt("steps", 20);
+  tc.batch_size = flags.GetInt("batch-size", tc.batch_size);
+  tc.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 7));
+  tc.eval_every = 0;
+  const std::string codec = flags.GetString("codec", "3lc");
+  if (codec == "none") {
+    tc.codec = compress::CodecConfig::Float32();
+  } else if (codec == "3lc") {
+    tc.codec = compress::CodecConfig::ThreeLC(
+        static_cast<float>(flags.GetDouble("s", 1.0)));
+  } else {
+    THREELC_CHECK_MSG(false, "unknown --codec '" << codec
+                                                 << "' (want none|3lc)");
+  }
+  setup.data = data::MakeTeacherDataset(setup.config.data);
+  return setup;
+}
+
+std::uint32_t ModelHash(nn::Model& model) {
+  std::uint32_t crc = util::Crc32c(nullptr, 0);
+  for (const nn::ParamRef& param : model.Params()) {
+    crc = util::Crc32cExtend(crc, param.value->data(),
+                             param.value->byte_size());
+  }
+  for (const tensor::Tensor* buffer : model.Buffers()) {
+    crc = util::Crc32cExtend(crc, buffer->data(), buffer->byte_size());
+  }
+  return crc;
+}
+
+bool ModelsBitwiseEqual(nn::Model& a, nn::Model& b) {
+  auto pa = a.Params(), pb = b.Params();
+  if (pa.size() != pb.size()) return false;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    if (pa[i].value->byte_size() != pb[i].value->byte_size() ||
+        std::memcmp(pa[i].value->data(), pb[i].value->data(),
+                    pa[i].value->byte_size()) != 0) {
+      return false;
+    }
+  }
+  auto ba = a.Buffers(), bb = b.Buffers();
+  if (ba.size() != bb.size()) return false;
+  for (std::size_t i = 0; i < ba.size(); ++i) {
+    if (ba[i]->byte_size() != bb[i]->byte_size() ||
+        std::memcmp(ba[i]->data(), bb[i]->data(), ba[i]->byte_size()) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunWorker(const Setup& setup, int worker_id, const std::string& host,
+              int port, obs::Telemetry* telemetry) {
+  const train::TrainerConfig& tc = setup.config.trainer;
+  nn::Model model =
+      train::BuildMlp(setup.config.model, setup.config.model_seed);
+  const ps::TensorPlan plan =
+      ps::TensorPlan::FromParams(model.Params(), tc.min_compress_elems);
+  auto codec = std::shared_ptr<const compress::Compressor>(
+      compress::MakeCompressor(tc.codec));
+  ps::Worker ps_worker(worker_id, model, plan, codec);
+
+  // Reproduce DistributedTrainer's sampler seeding exactly: worker w uses
+  // the (w+1)-th Fork of one seeder — this is what makes the TCP run
+  // bitwise identical to the in-process run.
+  util::Rng seeder(tc.seed);
+  util::Rng rng = seeder.Fork();
+  for (int i = 0; i < worker_id; ++i) rng = seeder.Fork();
+  data::Sampler sampler(setup.data.train, rng, tc.augment_noise);
+
+  rpc::RpcWorkerConfig wc;
+  wc.host = host;
+  wc.port = port;
+  wc.worker_id = worker_id;
+  wc.batch_size = tc.batch_size;
+  wc.telemetry = telemetry;
+  rpc::RpcWorker worker(wc, ps_worker, plan, codec->name(),
+                        std::move(sampler));
+  if (!worker.Run()) {
+    std::fprintf(stderr, "worker %d failed: %s\n", worker_id,
+                 worker.error().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+// Returns 0 on a clean run. On success *out_model (when non-null) receives
+// the final global model.
+int RunServer(const Setup& setup, const util::Flags& flags,
+              obs::Telemetry* telemetry, int adopted_fd, int adopted_port,
+              std::unique_ptr<nn::Model>* out_model) {
+  const train::TrainerConfig& tc = setup.config.trainer;
+  auto model = std::make_unique<nn::Model>(
+      train::BuildMlp(setup.config.model, setup.config.model_seed));
+  const ps::TensorPlan plan =
+      ps::TensorPlan::FromParams(model->Params(), tc.min_compress_elems);
+  auto codec = std::shared_ptr<const compress::Compressor>(
+      compress::MakeCompressor(tc.codec));
+  ps::ParameterServer ps(*model, plan, codec, tc.optimizer);
+
+  rpc::RpcServerConfig sc;
+  sc.host = flags.GetString("host", "127.0.0.1");
+  sc.port = static_cast<int>(flags.GetInt("port", 0));
+  sc.num_workers = tc.num_workers;
+  sc.total_steps = tc.total_steps;
+  sc.lr_max = tc.lr_max;
+  sc.lr_min = tc.lr_min;
+  sc.telemetry = telemetry;
+  rpc::RpcServer server(sc, ps, codec->name());
+  if (adopted_fd >= 0) {
+    server.AdoptListener(adopted_fd, adopted_port);
+  } else {
+    std::string error;
+    if (!server.Listen(&error)) {
+      std::fprintf(stderr, "listen failed: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("server listening on %s:%d (%d workers, %lld steps, codec "
+                "%s)\n",
+                sc.host.c_str(), server.port(), sc.num_workers,
+                static_cast<long long>(sc.total_steps),
+                codec->name().c_str());
+    std::fflush(stdout);
+  }
+  if (!server.Run()) {
+    std::fprintf(stderr, "server failed after %lld steps: %s\n",
+                 static_cast<long long>(server.steps_completed()),
+                 server.error().c_str());
+    return 1;
+  }
+  std::printf("server: %lld steps, model hash %08x\n",
+              static_cast<long long>(server.steps_completed()),
+              ModelHash(*model));
+  if (out_model != nullptr) *out_model = std::move(model);
+  return 0;
+}
+
+void MaybeLinger(const util::Flags& flags) {
+  const std::int64_t linger_ms = flags.GetInt("linger-ms", 0);
+  if (linger_ms <= 0) return;
+  std::printf("lingering %lld ms for metric scrapes...\n",
+              static_cast<long long>(linger_ms));
+  std::fflush(stdout);
+  std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+}
+
+int RunSpawn(const util::Flags& flags) {
+  const int num_workers =
+      static_cast<int>(flags.GetInt("spawn", flags.GetInt("workers", 3)));
+  Setup setup = MakeSetup(flags, num_workers);
+  const std::string host = flags.GetString("host", "127.0.0.1");
+
+  // Bind before forking so children learn the ephemeral port, and fork
+  // before the parent creates telemetry threads (HTTP server, watchdog).
+  std::string error;
+  int bound_port = 0;
+  const int listen_fd = rpc::ListenOn(
+      host, static_cast<int>(flags.GetInt("port", 0)), &error, &bound_port);
+  if (listen_fd < 0) {
+    std::fprintf(stderr, "listen failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("spawning %d workers against %s:%d\n", num_workers,
+              host.c_str(), bound_port);
+  std::fflush(stdout);
+
+  std::vector<pid_t> children;
+  for (int w = 0; w < num_workers; ++w) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("fork");
+      return 1;
+    }
+    if (pid == 0) {
+      close(listen_fd);
+      _exit(RunWorker(setup, w, host, bound_port, /*telemetry=*/nullptr));
+    }
+    children.push_back(pid);
+  }
+
+  std::unique_ptr<obs::Telemetry> telemetry;
+  try {
+    obs::TelemetryOptions opts = obs::TelemetryOptionsFromFlags(flags);
+    if (opts.trace_path.empty() && opts.metrics_path.empty() &&
+        !opts.monitoring_enabled()) {
+      // No telemetry requested.
+    } else {
+      telemetry = std::make_unique<obs::Telemetry>(opts);
+      if (telemetry->http_server() != nullptr) {
+        std::printf("live monitoring on port %d\n",
+                    telemetry->http_server()->port());
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "telemetry setup failed: %s\n", e.what());
+    close(listen_fd);
+    return 1;
+  }
+
+  std::unique_ptr<nn::Model> model;
+  int failures = RunServer(setup, flags, telemetry.get(), listen_fd,
+                           bound_port, &model);
+  for (std::size_t w = 0; w < children.size(); ++w) {
+    int status = 0;
+    if (waitpid(children[w], &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "worker %zu exited abnormally (status %d)\n", w,
+                   status);
+      ++failures;
+    }
+  }
+  if (failures != 0) {
+    if (telemetry != nullptr) telemetry->Flush();
+    MaybeLinger(flags);
+    return 1;
+  }
+
+  const std::string checkpoint_path = flags.GetString("checkpoint-out", "");
+  if (!checkpoint_path.empty()) {
+    nn::SaveCheckpoint(*model, checkpoint_path);
+    std::printf("checkpoint written to %s\n", checkpoint_path.c_str());
+  }
+
+  int rc = 0;
+  if (flags.GetBool("compare", false)) {
+    std::printf("re-running in-process for bitwise comparison...\n");
+    std::fflush(stdout);
+    train::TrainerConfig tc = setup.config.trainer;
+    const train::MlpSpec spec = setup.config.model;
+    const std::uint64_t model_seed = setup.config.model_seed;
+    train::DistributedTrainer trainer(
+        tc, [spec, model_seed] { return train::BuildMlp(spec, model_seed); },
+        setup.data.train, setup.data.test);
+    trainer.Run();
+    const bool identical = ModelsBitwiseEqual(*model, trainer.global_model());
+    std::printf("in-process model hash %08x — %s\n",
+                ModelHash(trainer.global_model()),
+                identical ? "BITWISE IDENTICAL" : "MISMATCH");
+    if (!identical) rc = 1;
+  }
+
+  if (telemetry != nullptr) telemetry->Flush();
+  MaybeLinger(flags);
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  obs::ApplyLogLevelFlag(flags);
+  const std::string role = flags.GetString("role", "");
+
+  try {
+    if (role.empty()) return RunSpawn(flags);
+
+    if (role == "worker") {
+      const int worker_id = static_cast<int>(flags.GetInt("worker-id", 0));
+      const int num_workers = static_cast<int>(flags.GetInt("workers", 3));
+      const int port = static_cast<int>(flags.GetInt("port", 0));
+      if (port <= 0) {
+        std::fprintf(stderr, "--role worker needs --port\n");
+        return 1;
+      }
+      Setup setup = MakeSetup(flags, num_workers);
+      std::unique_ptr<obs::Telemetry> telemetry;
+      obs::TelemetryOptions opts = obs::TelemetryOptionsFromFlags(flags);
+      if (!opts.trace_path.empty() || !opts.metrics_path.empty() ||
+          opts.monitoring_enabled()) {
+        telemetry = std::make_unique<obs::Telemetry>(opts);
+      }
+      const int rc = RunWorker(setup, worker_id,
+                               flags.GetString("host", "127.0.0.1"), port,
+                               telemetry.get());
+      if (telemetry != nullptr) telemetry->Flush();
+      return rc;
+    }
+
+    if (role == "server") {
+      const int num_workers = static_cast<int>(flags.GetInt("workers", 3));
+      Setup setup = MakeSetup(flags, num_workers);
+      std::unique_ptr<obs::Telemetry> telemetry;
+      obs::TelemetryOptions opts = obs::TelemetryOptionsFromFlags(flags);
+      if (!opts.trace_path.empty() || !opts.metrics_path.empty() ||
+          opts.monitoring_enabled()) {
+        telemetry = std::make_unique<obs::Telemetry>(opts);
+      }
+      std::unique_ptr<nn::Model> model;
+      int rc = RunServer(setup, flags, telemetry.get(), /*adopted_fd=*/-1,
+                         /*adopted_port=*/0, &model);
+      const std::string checkpoint_path =
+          flags.GetString("checkpoint-out", "");
+      if (rc == 0 && !checkpoint_path.empty()) {
+        nn::SaveCheckpoint(*model, checkpoint_path);
+        std::printf("checkpoint written to %s\n", checkpoint_path.c_str());
+      }
+      if (telemetry != nullptr) telemetry->Flush();
+      MaybeLinger(flags);
+      return rc;
+    }
+
+    std::fprintf(stderr, "unknown --role '%s' (want server|worker)\n",
+                 role.c_str());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 1;
+  }
+}

@@ -5,12 +5,15 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/crc32.h"
+
 namespace threelc::nn {
 
 namespace {
 
 constexpr char kMagic[4] = {'3', 'L', 'C', 'K'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersionPlain = 1;     // no trailer
+constexpr std::uint32_t kVersionChecksum = 2;  // CRC32C trailer
 
 struct NamedTensor {
   std::string name;
@@ -27,13 +30,43 @@ std::vector<NamedTensor> CollectTensors(Model& model) {
   return tensors;
 }
 
-template <typename T>
-void WriteScalar(std::ofstream& out, T v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
+// Stream wrappers that fold every byte written/read after the version
+// field into a running CRC32C, so the trailer covers the whole body
+// without buffering the checkpoint in memory.
+struct CrcWriter {
+  std::ofstream& out;
+  std::uint32_t crc = 0;
+
+  void Write(const void* data, std::size_t n) {
+    out.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(n));
+    crc = util::Crc32cExtend(crc, data, n);
+  }
+  template <typename T>
+  void WriteScalar(T v) {
+    Write(&v, sizeof(T));
+  }
+};
+
+struct CrcReader {
+  std::ifstream& in;
+  std::uint32_t crc = 0;
+
+  void Read(void* data, std::size_t n) {
+    in.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    if (!in) throw std::runtime_error("checkpoint: unexpected end of file");
+    crc = util::Crc32cExtend(crc, data, n);
+  }
+  template <typename T>
+  T ReadScalar() {
+    T v;
+    Read(&v, sizeof(T));
+    return v;
+  }
+};
 
 template <typename T>
-T ReadScalar(std::ifstream& in) {
+T ReadScalarRaw(std::ifstream& in) {
   T v;
   in.read(reinterpret_cast<char*>(&v), sizeof(T));
   if (!in) throw std::runtime_error("checkpoint: unexpected end of file");
@@ -42,21 +75,26 @@ T ReadScalar(std::ifstream& in) {
 
 }  // namespace
 
-void SaveCheckpoint(Model& model, const std::string& path) {
+void SaveCheckpoint(Model& model, const std::string& path, bool checksum) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw std::runtime_error("checkpoint: cannot open " + path);
   out.write(kMagic, sizeof(kMagic));
-  WriteScalar<std::uint32_t>(out, kVersion);
+  const std::uint32_t version = checksum ? kVersionChecksum : kVersionPlain;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+
+  CrcWriter body{out};
   auto tensors = CollectTensors(model);
-  WriteScalar<std::uint32_t>(out, static_cast<std::uint32_t>(tensors.size()));
+  body.WriteScalar<std::uint32_t>(static_cast<std::uint32_t>(tensors.size()));
   for (auto& [name, tensor] : tensors) {
-    WriteScalar<std::uint32_t>(out, static_cast<std::uint32_t>(name.size()));
-    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    body.WriteScalar<std::uint32_t>(static_cast<std::uint32_t>(name.size()));
+    body.Write(name.data(), name.size());
     const auto& dims = tensor->shape().dims();
-    WriteScalar<std::uint32_t>(out, static_cast<std::uint32_t>(dims.size()));
-    for (auto d : dims) WriteScalar<std::int64_t>(out, d);
-    out.write(reinterpret_cast<const char*>(tensor->data()),
-              static_cast<std::streamsize>(tensor->byte_size()));
+    body.WriteScalar<std::uint32_t>(static_cast<std::uint32_t>(dims.size()));
+    for (auto d : dims) body.WriteScalar<std::int64_t>(d);
+    body.Write(tensor->data(), tensor->byte_size());
+  }
+  if (checksum) {
+    out.write(reinterpret_cast<const char*>(&body.crc), sizeof(body.crc));
   }
   if (!out) throw std::runtime_error("checkpoint: write failed for " + path);
 }
@@ -69,33 +107,40 @@ void LoadCheckpoint(Model& model, const std::string& path) {
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     throw std::runtime_error("checkpoint: bad magic in " + path);
   }
-  const auto version = ReadScalar<std::uint32_t>(in);
-  if (version != kVersion) {
+  const auto version = ReadScalarRaw<std::uint32_t>(in);
+  if (version != kVersionPlain && version != kVersionChecksum) {
     throw std::runtime_error("checkpoint: unsupported version " +
                              std::to_string(version));
   }
+
+  CrcReader body{in};
   auto tensors = CollectTensors(model);
-  const auto count = ReadScalar<std::uint32_t>(in);
+  const auto count = body.ReadScalar<std::uint32_t>();
   if (count != tensors.size()) {
     throw std::runtime_error("checkpoint: tensor count mismatch");
   }
   for (auto& [name, tensor] : tensors) {
-    const auto name_len = ReadScalar<std::uint32_t>(in);
+    const auto name_len = body.ReadScalar<std::uint32_t>();
     std::string stored_name(name_len, '\0');
-    in.read(stored_name.data(), name_len);
-    if (!in || stored_name != name) {
+    body.Read(stored_name.data(), name_len);
+    if (stored_name != name) {
       throw std::runtime_error("checkpoint: tensor name mismatch: expected " +
                                name + ", found " + stored_name);
     }
-    const auto rank = ReadScalar<std::uint32_t>(in);
+    const auto rank = body.ReadScalar<std::uint32_t>();
     std::vector<std::int64_t> dims(rank);
-    for (auto& d : dims) d = ReadScalar<std::int64_t>(in);
+    for (auto& d : dims) d = body.ReadScalar<std::int64_t>();
     if (tensor::Shape(dims) != tensor->shape()) {
       throw std::runtime_error("checkpoint: shape mismatch for " + name);
     }
-    in.read(reinterpret_cast<char*>(tensor->data()),
-            static_cast<std::streamsize>(tensor->byte_size()));
-    if (!in) throw std::runtime_error("checkpoint: truncated data for " + name);
+    body.Read(tensor->data(), tensor->byte_size());
+  }
+  if (version >= kVersionChecksum) {
+    const auto stored = ReadScalarRaw<std::uint32_t>(in);
+    if (stored != body.crc) {
+      throw std::runtime_error("checkpoint: CRC32C mismatch in " + path +
+                               " (file corrupt)");
+    }
   }
 }
 

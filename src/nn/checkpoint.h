@@ -7,8 +7,14 @@
 //   magic "3LCK" | u32 version | u32 tensor_count
 //   per tensor: u32 name_len | name bytes | u32 rank | i64 dims...
 //               | f32 data...
+//   version >= 2: u32 CRC32C trailer over every byte after the version
+//                 field (tensor_count through the last tensor's data)
 // Buffers (batch-norm running statistics) are stored after parameters
 // under the synthetic names "__buffer_<i>".
+//
+// Version 1 files (no checksum trailer) are still readable; version 2 is
+// written by default so bit rot in a checkpoint fails loudly at load time
+// instead of silently corrupting a resumed run.
 #pragma once
 
 #include <string>
@@ -17,13 +23,17 @@
 
 namespace threelc::nn {
 
-// Writes all parameters and buffers of `model`. Throws std::runtime_error
-// on I/O failure.
-void SaveCheckpoint(Model& model, const std::string& path);
+// Writes all parameters and buffers of `model`. When `checksum` is true
+// (the default) the file carries a CRC32C trailer (format version 2);
+// false writes the legacy version-1 layout. Throws std::runtime_error on
+// I/O failure.
+void SaveCheckpoint(Model& model, const std::string& path,
+                    bool checksum = true);
 
 // Restores a checkpoint written by SaveCheckpoint into an architecturally
-// identical model. Throws std::runtime_error on I/O failure, format
-// corruption, or architecture mismatch (name/shape disagreement).
+// identical model, verifying the CRC32C trailer when present. Throws
+// std::runtime_error on I/O failure, format corruption, checksum mismatch,
+// or architecture mismatch (name/shape disagreement).
 void LoadCheckpoint(Model& model, const std::string& path);
 
 }  // namespace threelc::nn

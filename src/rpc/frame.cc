@@ -1,0 +1,123 @@
+#include "rpc/frame.h"
+
+#include <cstring>
+
+#include "util/crc32.h"
+#include "util/logging.h"
+
+namespace threelc::rpc {
+
+bool IsValidMsgType(std::uint8_t raw) {
+  return raw >= static_cast<std::uint8_t>(MsgType::kHello) &&
+         raw <= static_cast<std::uint8_t>(MsgType::kError);
+}
+
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kHello: return "HELLO";
+    case MsgType::kHelloAck: return "HELLO_ACK";
+    case MsgType::kPush: return "PUSH";
+    case MsgType::kStepStats: return "STEP_STATS";
+    case MsgType::kPull: return "PULL";
+    case MsgType::kBye: return "BYE";
+    case MsgType::kByeAck: return "BYE_ACK";
+    case MsgType::kError: return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+const char* ParseErrorName(ParseError error) {
+  switch (error) {
+    case ParseError::kNone: return "none";
+    case ParseError::kBadMagic: return "bad_magic";
+    case ParseError::kBadVersion: return "bad_version";
+    case ParseError::kBadType: return "bad_type";
+    case ParseError::kOversized: return "oversized";
+    case ParseError::kBadCrc: return "bad_crc";
+  }
+  return "unknown";
+}
+
+void EncodeFrame(const FrameHeader& header, util::ByteSpan payload,
+                 util::ByteBuffer& out) {
+  THREELC_CHECK_MSG(payload.size() <= kMaxPayloadBytes,
+                    "frame payload too large: " << payload.size());
+  const std::size_t start = out.size();
+  out.AppendU32(kFrameMagic);
+  out.AppendU8(kProtocolVersion);
+  out.AppendU8(static_cast<std::uint8_t>(header.type));
+  out.AppendU16(header.flags);
+  out.AppendU64(header.step);
+  out.AppendU32(header.tensor);
+  out.AppendU32(static_cast<std::uint32_t>(payload.size()));
+  // CRC covers the 24 header bytes just written plus the payload.
+  std::uint32_t crc = util::Crc32c(out.data() + start, kFrameHeaderBytes - 4);
+  crc = util::Crc32cExtend(crc, payload.data(), payload.size());
+  out.AppendU32(crc);
+  out.Append(payload);
+}
+
+void EncodeFrame(MsgType type, std::uint64_t step, std::uint32_t tensor,
+                 util::ByteSpan payload, util::ByteBuffer& out) {
+  FrameHeader header;
+  header.type = type;
+  header.step = step;
+  header.tensor = tensor;
+  EncodeFrame(header, payload, out);
+}
+
+bool FrameParser::Fail(ParseError error) {
+  error_ = error;
+  buf_.clear();
+  consumed_ = 0;
+  return false;
+}
+
+void FrameParser::Compact() {
+  if (consumed_ == 0) return;
+  buf_.erase(buf_.begin(),
+             buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+  consumed_ = 0;
+}
+
+bool FrameParser::Feed(util::ByteSpan bytes, std::vector<Frame>* out) {
+  if (poisoned()) return false;
+  buf_.insert(buf_.end(), bytes.data(), bytes.data() + bytes.size());
+
+  while (buf_.size() - consumed_ >= kFrameHeaderBytes) {
+    const std::uint8_t* head = buf_.data() + consumed_;
+    auto read_u32 = [&](std::size_t off) {
+      std::uint32_t v;
+      std::memcpy(&v, head + off, sizeof(v));
+      return v;
+    };
+    if (read_u32(0) != kFrameMagic) return Fail(ParseError::kBadMagic);
+    if (head[4] != kProtocolVersion) return Fail(ParseError::kBadVersion);
+    if (!IsValidMsgType(head[5])) return Fail(ParseError::kBadType);
+    const std::uint32_t payload_len = read_u32(20);
+    if (payload_len > kMaxPayloadBytes) return Fail(ParseError::kOversized);
+    if (buf_.size() - consumed_ < kFrameHeaderBytes + payload_len) {
+      break;  // wait for the rest of the payload
+    }
+    const std::uint8_t* payload = head + kFrameHeaderBytes;
+    std::uint32_t crc = util::Crc32c(head, kFrameHeaderBytes - 4);
+    crc = util::Crc32cExtend(crc, payload, payload_len);
+    if (crc != read_u32(kFrameHeaderBytes - 4)) {
+      return Fail(ParseError::kBadCrc);
+    }
+
+    Frame frame;
+    std::memcpy(&frame.header.flags, head + 6, sizeof(std::uint16_t));
+    std::memcpy(&frame.header.step, head + 8, sizeof(std::uint64_t));
+    frame.header.type = static_cast<MsgType>(head[5]);
+    frame.header.tensor = read_u32(16);
+    frame.header.payload_len = payload_len;
+    frame.payload.Append(payload, payload_len);
+    out->push_back(std::move(frame));
+    consumed_ += kFrameHeaderBytes + payload_len;
+  }
+  Compact();
+  return true;
+}
+
+}  // namespace threelc::rpc

@@ -1,0 +1,115 @@
+// Wire framing for the real TCP transport (rpc/transport, rpc/runtime).
+//
+// Every message on the wire is one length-prefixed binary frame:
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------------
+//        0     4  magic 0x52434C33 ("3LCR" as little-endian bytes)
+//        4     1  protocol version (kProtocolVersion)
+//        5     1  message type (MsgType)
+//        6     2  flags (reserved, must be 0)
+//        8     8  step (u64; 0 for non-step messages)
+//       16     4  tensor index (u32; 0 when not tensor-addressed)
+//       20     4  payload length in bytes (u32, <= kMaxPayloadBytes)
+//       24     4  CRC32C over header bytes [0, 24) ++ payload
+//       28     n  payload (opaque: codec output, handshake fields, ...)
+//
+// All integers are little-endian, matching ByteBuffer's scalar writers
+// (byte_buffer.cc static_asserts a little-endian host). The CRC field is
+// last in the header so the checksum simply covers everything before it —
+// no zeroed-field dance — and a flipped bit anywhere in header or payload
+// is caught before a frame is surfaced.
+//
+// FrameParser is incremental: feed it whatever recv(2) returned — half a
+// header, three frames and a tail, one byte at a time — and it emits
+// complete frames in order. Any malformed input (bad magic/version/type,
+// oversized length, CRC mismatch) poisons the parser with a ParseError;
+// the connection must then be dropped, since resynchronizing an arbitrary
+// byte stream is not attempted.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/byte_buffer.h"
+
+namespace threelc::rpc {
+
+constexpr std::uint32_t kFrameMagic = 0x52434C33u;  // "3LCR"
+constexpr std::uint8_t kProtocolVersion = 1;
+constexpr std::size_t kFrameHeaderBytes = 28;
+// Largest payload the parser will accept. Generously above any encoded
+// tensor in this repo; primarily a defense against a corrupted length
+// field committing us to a multi-gigabyte allocation.
+constexpr std::size_t kMaxPayloadBytes = 64u << 20;
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,      // worker -> server: id, plan hash, codec id
+  kHelloAck = 2,   // server -> worker: num workers, total steps, plan hash
+  kPush = 3,       // worker -> server: one tensor's encoded gradient
+  kStepStats = 4,  // worker -> server: per-step scalars (training loss)
+  kPull = 5,       // server -> worker: one tensor's shared encoded delta
+  kBye = 6,        // worker -> server: done (worker 0 attaches BN buffers)
+  kByeAck = 7,     // server -> worker: acknowledged, connection closing
+  kError = 8,      // either way: fatal error, message string payload
+};
+
+bool IsValidMsgType(std::uint8_t raw);
+const char* MsgTypeName(MsgType type);
+
+struct FrameHeader {
+  MsgType type = MsgType::kError;
+  std::uint16_t flags = 0;
+  std::uint64_t step = 0;
+  std::uint32_t tensor = 0;
+  std::uint32_t payload_len = 0;  // filled by EncodeFrame
+};
+
+struct Frame {
+  FrameHeader header;
+  util::ByteBuffer payload;
+};
+
+// Append one complete frame (header incl. CRC, then payload) to `out`.
+// Sets header.payload_len from `payload`; payload.size() must be at most
+// kMaxPayloadBytes.
+void EncodeFrame(const FrameHeader& header, util::ByteSpan payload,
+                 util::ByteBuffer& out);
+// Convenience for the common fields.
+void EncodeFrame(MsgType type, std::uint64_t step, std::uint32_t tensor,
+                 util::ByteSpan payload, util::ByteBuffer& out);
+
+enum class ParseError : std::uint8_t {
+  kNone = 0,
+  kBadMagic,
+  kBadVersion,
+  kBadType,
+  kOversized,  // payload_len > kMaxPayloadBytes
+  kBadCrc,
+};
+
+const char* ParseErrorName(ParseError error);
+
+class FrameParser {
+ public:
+  // Consume `bytes`, appending every completed frame to `*out`. Returns
+  // true while the stream is well-formed (possibly with a partial frame
+  // buffered); returns false on the first malformed byte and records
+  // error(). A poisoned parser ignores further input.
+  bool Feed(util::ByteSpan bytes, std::vector<Frame>* out);
+
+  ParseError error() const { return error_; }
+  bool poisoned() const { return error_ != ParseError::kNone; }
+  // Bytes held waiting for the rest of a frame.
+  std::size_t buffered_bytes() const { return buf_.size() - consumed_; }
+
+ private:
+  bool Fail(ParseError error);
+  void Compact();
+
+  ParseError error_ = ParseError::kNone;
+  std::vector<std::uint8_t> buf_;
+  std::size_t consumed_ = 0;  // parsed prefix of buf_ awaiting Compact
+};
+
+}  // namespace threelc::rpc

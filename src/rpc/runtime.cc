@@ -1,0 +1,752 @@
+#include "rpc/runtime.h"
+
+#include <algorithm>
+#include <exception>
+#include <sstream>
+
+#include "nn/lr_schedule.h"
+#include "obs/flight_recorder.h"
+#include "obs/telemetry.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace threelc::rpc {
+
+namespace {
+
+// Poll granularity while waiting on a phase predicate; bounds how stale the
+// deadline check can get, not how fast frames are handled (poll returns
+// early on socket activity).
+constexpr int kPollSliceMs = 50;
+
+// Every fault funnels through here: error log, rpc/transport_errors
+// counter, and a flight-recorder event + dump so a post-mortem of a failed
+// distributed run has the last ~256 steps alongside the fault.
+void ReportFault(obs::Telemetry* telemetry, const std::string& who,
+                 const std::string& message) {
+  THREELC_LOG(Error) << who << ": " << message;
+  if (telemetry == nullptr) return;
+  telemetry->metrics().counter("rpc/transport_errors")->Add(1.0);
+  if (obs::FlightRecorder* flight = telemetry->flight_recorder()) {
+    obs::HealthEvent event;
+    event.severity = obs::HealthSeverity::kError;
+    event.detector = "rpc_transport";
+    event.message = who + ": " + message;
+    flight->RecordEvent(event);
+    flight->Dump();
+  }
+}
+
+void WriteString(util::ByteBuffer& out, const std::string& s) {
+  out.AppendU32(static_cast<std::uint32_t>(s.size()));
+  out.Append(s.data(), s.size());
+}
+
+std::string ReadString(util::ByteReader& in) {
+  const std::uint32_t n = in.ReadU32();
+  util::ByteSpan bytes = in.ReadSpan(n);
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+std::string PayloadString(const Frame& frame) {
+  return std::string(reinterpret_cast<const char*>(frame.payload.data()),
+                     frame.payload.size());
+}
+
+std::string DescribeWait(Connection::IoResult result, const Connection& conn) {
+  if (result == Connection::IoResult::kClosed) return "peer closed connection";
+  return conn.last_error().empty() ? "I/O error" : conn.last_error();
+}
+
+}  // namespace
+
+std::uint64_t PlanHash(const ps::TensorPlan& plan,
+                       const std::string& codec_name) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64 offset basis
+  auto mix = [&h](const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  };
+  auto mix_u64 = [&mix](std::uint64_t v) { mix(&v, sizeof(v)); };
+  mix(codec_name.data(), codec_name.size());
+  mix_u64(plan.size());
+  for (const auto& entry : plan.entries()) {
+    mix(entry.name.data(), entry.name.size());
+    mix_u64(entry.shape.rank());
+    for (std::int64_t d : entry.shape.dims()) {
+      mix_u64(static_cast<std::uint64_t>(d));
+    }
+    mix_u64(entry.compressed ? 1 : 0);
+  }
+  return h;
+}
+
+// --- RpcServer -------------------------------------------------------------
+
+RpcServer::RpcServer(RpcServerConfig config, ps::ParameterServer& ps,
+                     std::string codec_name)
+    : config_(std::move(config)),
+      ps_(&ps),
+      codec_name_(std::move(codec_name)),
+      plan_hash_(PlanHash(ps.plan(), codec_name_)),
+      metrics_(config_.telemetry != nullptr
+                   ? TransportMetrics::RegisterIn(config_.telemetry->metrics())
+                   : TransportMetrics{}),
+      tcp_(&metrics_) {
+  THREELC_CHECK_MSG(config_.num_workers >= 1,
+                    "num_workers must be positive: " << config_.num_workers);
+  const auto n = static_cast<std::size_t>(config_.num_workers);
+  const std::size_t num_tensors = ps_->plan().size();
+  push_payloads_.assign(n, std::vector<util::ByteBuffer>(num_tensors));
+  push_seen_.assign(n, std::vector<bool>(num_tensors, false));
+  step_losses_.assign(n, 0.0);
+  stats_seen_.assign(n, false);
+  worker_conns_.assign(n, nullptr);
+
+  tcp_.on_accept = [this](Connection& conn) { peers_.emplace(&conn, Peer{}); };
+  tcp_.on_frame = [this](Connection& conn, Frame&& frame) {
+    OnFrame(conn, std::move(frame));
+  };
+  tcp_.on_disconnect = [this](Connection& conn, const std::string& reason) {
+    OnDisconnect(conn, reason);
+  };
+}
+
+bool RpcServer::Listen(std::string* error) {
+  return tcp_.Listen(config_.host, config_.port, error);
+}
+
+void RpcServer::AdoptListener(int listen_fd, int port) {
+  tcp_.AdoptListener(listen_fd, port);
+}
+
+void RpcServer::Fail(const std::string& message) {
+  if (failed_) return;
+  failed_ = true;
+  error_ = message;
+  ReportFault(config_.telemetry, "rpc server", message);
+  BroadcastError(message);
+}
+
+void RpcServer::BroadcastError(const std::string& message) {
+  util::ByteSpan payload(
+      reinterpret_cast<const std::uint8_t*>(message.data()), message.size());
+  for (auto& [conn, peer] : peers_) {
+    if (!conn->open()) continue;
+    if (conn->SendFrame(MsgType::kError, 0, 0, payload)) {
+      conn->FlushOutput(/*timeout_ms=*/200);  // best effort
+    }
+  }
+}
+
+bool RpcServer::PollUntil(const std::function<bool()>& done, int timeout_ms,
+                          const char* phase) {
+  util::WallTimer timer;
+  while (!failed_) {
+    if (done()) return true;
+    const double elapsed_ms = timer.ElapsedMillis();
+    if (elapsed_ms >= timeout_ms) {
+      if (metrics_.timeouts != nullptr) metrics_.timeouts->Add(1.0);
+      Fail(std::string("timeout in ") + phase + " after " +
+           std::to_string(timeout_ms) + " ms");
+      return false;
+    }
+    const int slice = std::max(
+        1, std::min(kPollSliceMs,
+                    timeout_ms - static_cast<int>(elapsed_ms)));
+    if (!tcp_.Poll(slice)) {
+      Fail("listener closed unexpectedly");
+      return false;
+    }
+  }
+  return false;
+}
+
+void RpcServer::HandleHello(Connection& conn, const Frame& frame) {
+  Peer& peer = peers_[&conn];
+  if (peer.worker_id >= 0) {
+    Fail("duplicate HELLO from worker " + std::to_string(peer.worker_id));
+    return;
+  }
+  util::ByteReader reader(frame.payload);
+  const std::uint32_t worker_id = reader.ReadU32();
+  const std::uint64_t plan_hash = reader.ReadU64();
+  const std::string codec = ReadString(reader);
+  if (worker_id >= static_cast<std::uint32_t>(config_.num_workers)) {
+    Fail("HELLO with out-of-range worker id " + std::to_string(worker_id) +
+         " (num_workers " + std::to_string(config_.num_workers) + ")");
+    return;
+  }
+  if (worker_conns_[worker_id] != nullptr) {
+    Fail("second connection claiming worker id " + std::to_string(worker_id));
+    return;
+  }
+  if (plan_hash != plan_hash_ || codec != codec_name_) {
+    std::ostringstream oss;
+    oss << "handshake mismatch from worker " << worker_id << ": plan hash "
+        << std::hex << plan_hash << " vs " << plan_hash_ << std::dec
+        << ", codec '" << codec << "' vs '" << codec_name_ << "'";
+    Fail(oss.str());
+    return;
+  }
+  peer.worker_id = static_cast<int>(worker_id);
+  worker_conns_[worker_id] = &conn;
+  ++handshakes_;
+
+  util::ByteBuffer ack;
+  ack.AppendU32(static_cast<std::uint32_t>(config_.num_workers));
+  ack.AppendU64(static_cast<std::uint64_t>(config_.total_steps));
+  ack.AppendU64(plan_hash_);
+  if (!conn.SendFrame(MsgType::kHelloAck, 0, 0, ack.span())) {
+    Fail("sending HELLO_ACK to worker " + std::to_string(worker_id) + ": " +
+         conn.last_error());
+  }
+}
+
+void RpcServer::OnFrame(Connection& conn, Frame&& frame) {
+  if (failed_) return;
+  const FrameHeader& h = frame.header;
+  try {
+    if (h.type == MsgType::kHello) {
+      HandleHello(conn, frame);
+      return;
+    }
+    if (h.type == MsgType::kError) {
+      Fail("peer reported error: " + PayloadString(frame));
+      return;
+    }
+    Peer& peer = peers_[&conn];
+    if (peer.worker_id < 0) {
+      Fail(std::string(MsgTypeName(h.type)) + " before HELLO");
+      return;
+    }
+    const auto w = static_cast<std::size_t>(peer.worker_id);
+    switch (h.type) {
+      case MsgType::kPush: {
+        if (static_cast<std::int64_t>(h.step) != current_step_ ||
+            h.tensor >= push_payloads_[w].size()) {
+          std::ostringstream oss;
+          oss << "unexpected PUSH from worker " << w << ": step " << h.step
+              << " tensor " << h.tensor << " while collecting step "
+              << current_step_;
+          Fail(oss.str());
+          return;
+        }
+        if (push_seen_[w][h.tensor]) {
+          Fail("duplicate PUSH from worker " + std::to_string(w) +
+               " tensor " + std::to_string(h.tensor));
+          return;
+        }
+        push_payloads_[w][h.tensor] = std::move(frame.payload);
+        push_seen_[w][h.tensor] = true;
+        --frames_pending_;
+        return;
+      }
+      case MsgType::kStepStats: {
+        if (static_cast<std::int64_t>(h.step) != current_step_ ||
+            stats_seen_[w]) {
+          Fail("unexpected STEP_STATS from worker " + std::to_string(w) +
+               " for step " + std::to_string(h.step));
+          return;
+        }
+        util::ByteReader reader(frame.payload);
+        step_losses_[w] = reader.ReadF32();
+        stats_seen_[w] = true;
+        --frames_pending_;
+        return;
+      }
+      case MsgType::kBye: {
+        if (current_step_ != config_.total_steps || peer.said_bye) {
+          Fail("unexpected BYE from worker " + std::to_string(w) +
+               " at step " + std::to_string(current_step_));
+          return;
+        }
+        peer.said_bye = true;
+        if (peer.worker_id == 0) buffer_blob_ = std::move(frame.payload);
+        ++byes_;
+        return;
+      }
+      default:
+        Fail(std::string("unexpected frame type ") + MsgTypeName(h.type));
+        return;
+    }
+  } catch (const std::exception& e) {
+    Fail(std::string("malformed ") + MsgTypeName(h.type) +
+         " payload: " + e.what());
+  }
+}
+
+void RpcServer::OnDisconnect(Connection& conn, const std::string& reason) {
+  auto it = peers_.find(&conn);
+  if (it == peers_.end()) return;
+  const Peer peer = it->second;
+  peers_.erase(it);
+  if (peer.worker_id >= 0 &&
+      worker_conns_[static_cast<std::size_t>(peer.worker_id)] == &conn) {
+    worker_conns_[static_cast<std::size_t>(peer.worker_id)] = nullptr;
+  }
+  if (peer.said_bye) return;  // expected teardown after BYE_ACK
+  std::ostringstream oss;
+  if (peer.worker_id >= 0) {
+    oss << "worker " << peer.worker_id;
+  } else {
+    oss << "unidentified peer";
+  }
+  oss << " disconnected mid-run";
+  if (!reason.empty()) oss << " (" << reason << ")";
+  Fail(oss.str());
+}
+
+void RpcServer::BeginCollect(std::int64_t step) {
+  current_step_ = step;
+  if (step >= config_.total_steps) return;  // only BYE is valid now
+  const auto n = static_cast<std::size_t>(config_.num_workers);
+  const std::size_t num_tensors = ps_->plan().size();
+  for (std::size_t w = 0; w < n; ++w) {
+    std::fill(push_seen_[w].begin(), push_seen_[w].end(), false);
+    stats_seen_[w] = false;
+  }
+  frames_pending_ = n * (num_tensors + 1);  // T pushes + 1 stats per worker
+}
+
+bool RpcServer::RunStep(std::int64_t step, float lr) {
+  obs::Tracer* tracer =
+      config_.telemetry != nullptr ? &config_.telemetry->tracer() : nullptr;
+  const std::size_t num_tensors = ps_->plan().size();
+  const auto n = static_cast<std::size_t>(config_.num_workers);
+
+  util::WallTimer barrier_timer;
+  {
+    obs::ScopedSpan span(tracer, "rpc/step_barrier", 0);
+    if (!PollUntil([this] { return frames_pending_ == 0; },
+                   config_.step_timeout_ms, "step barrier")) {
+      return false;
+    }
+  }
+  const double barrier_ms = barrier_timer.ElapsedMillis();
+
+  // Decode + aggregate in worker-id order — the same float-addition order
+  // as DistributedTrainer::Run, which is what makes the distributed model
+  // bitwise identical to the in-process one.
+  util::WallTimer decode_timer;
+  util::CpuTimer decode_cpu;
+  std::size_t push_bytes = 0;
+  ps_->BeginStep();
+  try {
+    for (std::size_t w = 0; w < n; ++w) {
+      for (std::size_t t = 0; t < num_tensors; ++t) {
+        push_bytes += push_payloads_[w][t].size();
+        util::ByteReader reader(push_payloads_[w][t]);
+        ps_->ReceivePush(t, reader, /*aggregate=*/true);
+        if (!reader.AtEnd()) {
+          Fail("trailing bytes in PUSH payload from worker " +
+               std::to_string(w) + " tensor " + std::to_string(t));
+          return false;
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    Fail(std::string("decoding pushes for step ") + std::to_string(step) +
+         ": " + e.what());
+    return false;
+  }
+  const double decode_ms = decode_timer.ElapsedMillis();
+  const double decode_cpu_s = decode_cpu.ElapsedSeconds();
+
+  util::WallTimer optimize_timer;
+  ps_->Update(lr, config_.num_workers);
+  const double optimize_ms = optimize_timer.ElapsedMillis();
+
+  // Encode each pull payload once; every worker is queued the same frame
+  // bytes (the paper's shared pull compression, §3).
+  util::WallTimer encode_timer;
+  util::CpuTimer encode_cpu;
+  ps_->PreparePulls();
+  std::size_t pull_payload_bytes = 0;
+  util::ByteBuffer frame_bytes;
+  for (std::size_t t = 0; t < num_tensors; ++t) {
+    util::ByteSpan payload = ps_->PullPayload(t);
+    pull_payload_bytes += payload.size();
+    frame_bytes.Clear();
+    EncodeFrame(MsgType::kPull, static_cast<std::uint64_t>(step),
+                static_cast<std::uint32_t>(t), payload, frame_bytes);
+    for (std::size_t w = 0; w < n; ++w) {
+      Connection* conn = worker_conns_[w];
+      if (conn == nullptr || !conn->SendEncoded(frame_bytes.span(), 1)) {
+        Fail("queueing PULL to worker " + std::to_string(w) + ": " +
+             (conn != nullptr ? conn->last_error() : "connection gone"));
+        return false;
+      }
+    }
+  }
+  const double encode_ms = encode_timer.ElapsedMillis();
+  const double codec_seconds = decode_cpu_s + encode_cpu.ElapsedSeconds();
+
+  // Accept the next step's pushes before blocking on anything else — a
+  // fast worker pushes step+1 as soon as its pulls drain.
+  BeginCollect(step + 1);
+
+  double loss_sum = 0.0;
+  for (double loss : step_losses_) loss_sum += loss;
+  const double mean_loss = loss_sum / static_cast<double>(n);
+
+  if (obs::Telemetry* tel = config_.telemetry) {
+    tel->metrics().counter("rpc/push_payload_bytes")
+        ->Add(static_cast<double>(push_bytes));
+    tel->metrics().counter("rpc/pull_payload_bytes")
+        ->Add(static_cast<double>(pull_payload_bytes * n));
+    obs::StepTelemetry st;
+    st.step = step;
+    st.loss = mean_loss;
+    st.lr = lr;
+    st.push_bytes = push_bytes;
+    st.pull_bytes = pull_payload_bytes * n;
+    st.push_values =
+        static_cast<std::size_t>(ps_->plan().TotalElements()) * n;
+    st.pull_values = st.push_values;
+    if (st.push_values > 0) {
+      st.push_bits_per_value =
+          8.0 * static_cast<double>(st.push_bytes) /
+          static_cast<double>(st.push_values);
+      st.pull_bits_per_value =
+          8.0 * static_cast<double>(st.pull_bytes) /
+          static_cast<double>(st.pull_values);
+    }
+    st.codec_seconds = codec_seconds;
+    st.contributors = config_.num_workers;
+    st.phases_ms = {{"step_barrier", barrier_ms},
+                    {"decode_aggregate", decode_ms},
+                    {"optimize", optimize_ms},
+                    {"encode_pull", encode_ms}};
+    for (const auto& phase : st.phases_ms) st.step_wall_ms += phase.ms;
+    tel->LogStep(st);
+  }
+  return true;
+}
+
+bool RpcServer::ApplyWorkerBuffers() {
+  // Mirror of DistributedTrainer::EvaluateGlobalModel, which copies
+  // batch-norm running stats from worker 0 into the global model (buffers
+  // are updated by forward passes, which only workers run). Worker 0 ships
+  // them in its BYE payload.
+  std::vector<tensor::Tensor*> buffers = ps_->global_model().Buffers();
+  if (buffers.empty() && buffer_blob_.empty()) return true;
+  try {
+    util::ByteReader reader(buffer_blob_);
+    const std::uint32_t count = reader.ReadU32();
+    if (count != buffers.size()) {
+      Fail("BYE buffer count " + std::to_string(count) + " != model's " +
+           std::to_string(buffers.size()));
+      return false;
+    }
+    for (tensor::Tensor* buffer : buffers) {
+      const std::uint64_t elems = reader.ReadU64();
+      if (elems != static_cast<std::uint64_t>(buffer->num_elements())) {
+        Fail("BYE buffer element count mismatch: " + std::to_string(elems) +
+             " != " + std::to_string(buffer->num_elements()));
+        return false;
+      }
+      reader.ReadInto(buffer->data(), elems * sizeof(float));
+    }
+    if (!reader.AtEnd()) {
+      Fail("trailing bytes in BYE buffer payload");
+      return false;
+    }
+  } catch (const std::exception& e) {
+    Fail(std::string("malformed BYE buffer payload: ") + e.what());
+    return false;
+  }
+  return true;
+}
+
+bool RpcServer::Run() {
+  if (!tcp_.listening()) {
+    error_ = "server is not listening (call Listen or AdoptListener first)";
+    return false;
+  }
+  obs::Tracer* tracer =
+      config_.telemetry != nullptr ? &config_.telemetry->tracer() : nullptr;
+  if (tracer != nullptr) tracer->SetTrackName(0, "server");
+
+  // Step-0 pushes may arrive while slower workers are still shaking hands.
+  BeginCollect(0);
+  {
+    obs::ScopedSpan span(tracer, "rpc/handshake", 0);
+    if (!PollUntil(
+            [this] {
+              return handshakes_ ==
+                     static_cast<std::size_t>(config_.num_workers);
+            },
+            config_.handshake_timeout_ms, "handshake")) {
+      tcp_.Close();
+      return false;
+    }
+  }
+  THREELC_LOG(Info) << "rpc server: " << config_.num_workers
+                    << " workers handshaken (plan hash " << std::hex
+                    << plan_hash_ << std::dec << ", codec '" << codec_name_
+                    << "'), running " << config_.total_steps << " steps";
+
+  nn::CosineDecay schedule(config_.lr_max, config_.lr_min,
+                           config_.total_steps);
+  for (std::int64_t step = 0; step < config_.total_steps; ++step) {
+    if (!RunStep(step, schedule.At(step))) {
+      tcp_.Close();
+      return false;
+    }
+    ++steps_completed_;
+  }
+
+  // Shutdown: drain remaining pulls, collect every BYE, fold in worker 0's
+  // buffers, acknowledge, flush, close.
+  if (!PollUntil(
+          [this] {
+            return byes_ == static_cast<std::size_t>(config_.num_workers);
+          },
+          config_.shutdown_timeout_ms, "shutdown")) {
+    tcp_.Close();
+    return false;
+  }
+  if (!ApplyWorkerBuffers()) {
+    tcp_.Close();
+    return false;
+  }
+  for (Connection* conn : worker_conns_) {
+    if (conn == nullptr ||
+        !conn->SendFrame(MsgType::kByeAck, 0, 0, util::ByteSpan())) {
+      Fail("sending BYE_ACK: " +
+           (conn != nullptr ? conn->last_error() : "connection gone"));
+      tcp_.Close();
+      return false;
+    }
+  }
+  if (!PollUntil(
+          [this] {
+            for (Connection* conn : worker_conns_) {
+              if (conn != nullptr && conn->open() && conn->wants_write()) {
+                return false;
+              }
+            }
+            return true;
+          },
+          config_.shutdown_timeout_ms, "final flush")) {
+    tcp_.Close();
+    return false;
+  }
+  tcp_.Close();
+  THREELC_LOG(Info) << "rpc server: clean shutdown after "
+                    << steps_completed_ << " steps";
+  return true;
+}
+
+// --- RpcWorker -------------------------------------------------------------
+
+RpcWorker::RpcWorker(RpcWorkerConfig config, ps::Worker& worker,
+                     const ps::TensorPlan& plan, std::string codec_name,
+                     data::Sampler sampler)
+    : config_(std::move(config)),
+      worker_(&worker),
+      plan_(&plan),
+      codec_name_(std::move(codec_name)),
+      sampler_(std::move(sampler)),
+      metrics_(config_.telemetry != nullptr
+                   ? TransportMetrics::RegisterIn(config_.telemetry->metrics())
+                   : TransportMetrics{}) {}
+
+bool RpcWorker::Fail(const std::string& message) {
+  if (!failed_) {
+    failed_ = true;
+    error_ = message;
+    ReportFault(config_.telemetry,
+                "rpc worker " + std::to_string(config_.worker_id), message);
+  }
+  return false;
+}
+
+bool RpcWorker::Handshake(Connection& conn) {
+  util::ByteBuffer hello;
+  hello.AppendU32(static_cast<std::uint32_t>(config_.worker_id));
+  hello.AppendU64(PlanHash(*plan_, codec_name_));
+  WriteString(hello, codec_name_);
+  if (!conn.SendFrame(MsgType::kHello, 0, 0, hello.span())) {
+    return Fail("sending HELLO: " + conn.last_error());
+  }
+  if (conn.FlushOutput(config_.io_timeout_ms) != Connection::IoResult::kOk) {
+    return Fail("flushing HELLO: " + DescribeWait(Connection::IoResult::kError,
+                                                  conn));
+  }
+  Frame ack;
+  const Connection::IoResult r =
+      conn.WaitFrame(&ack, config_.handshake_timeout_ms);
+  if (r != Connection::IoResult::kOk) {
+    return Fail("waiting for HELLO_ACK: " + DescribeWait(r, conn));
+  }
+  if (ack.header.type == MsgType::kError) {
+    return Fail("server rejected handshake: " + PayloadString(ack));
+  }
+  if (ack.header.type != MsgType::kHelloAck) {
+    return Fail(std::string("expected HELLO_ACK, got ") +
+                MsgTypeName(ack.header.type));
+  }
+  try {
+    util::ByteReader reader(ack.payload);
+    num_workers_ = static_cast<int>(reader.ReadU32());
+    total_steps_ = static_cast<std::int64_t>(reader.ReadU64());
+    const std::uint64_t hash = reader.ReadU64();
+    if (hash != PlanHash(*plan_, codec_name_)) {
+      return Fail("HELLO_ACK plan hash mismatch");
+    }
+  } catch (const std::exception& e) {
+    return Fail(std::string("malformed HELLO_ACK: ") + e.what());
+  }
+  return true;
+}
+
+bool RpcWorker::RunStep(Connection& conn, std::int64_t step) {
+  obs::Tracer* tracer =
+      config_.telemetry != nullptr ? &config_.telemetry->tracer() : nullptr;
+  const int track = 1 + config_.worker_id;
+  const std::size_t num_tensors = plan_->size();
+
+  double loss_value = 0.0;
+  {
+    obs::ScopedSpan span(tracer, "forward_backward", track);
+    data::Batch batch = sampler_.Next(config_.batch_size);
+    loss_value = worker_->model().TrainStep(batch.inputs, batch.labels).loss;
+  }
+  {
+    obs::ScopedSpan span(tracer, "rpc/push", track);
+    util::ByteBuffer payload;
+    for (std::size_t t = 0; t < num_tensors; ++t) {
+      payload.Clear();
+      worker_->EncodePush(t, payload);
+      if (!conn.SendFrame(MsgType::kPush, static_cast<std::uint64_t>(step),
+                          static_cast<std::uint32_t>(t), payload.span())) {
+        return Fail("queueing PUSH tensor " + std::to_string(t) + ": " +
+                    conn.last_error());
+      }
+    }
+    util::ByteBuffer stats;
+    stats.AppendF32(static_cast<float>(loss_value));
+    if (!conn.SendFrame(MsgType::kStepStats, static_cast<std::uint64_t>(step),
+                        0, stats.span())) {
+      return Fail("queueing STEP_STATS: " + conn.last_error());
+    }
+    if (conn.FlushOutput(config_.io_timeout_ms) !=
+        Connection::IoResult::kOk) {
+      return Fail("flushing step " + std::to_string(step) +
+                  " pushes: " + conn.last_error());
+    }
+  }
+  {
+    obs::ScopedSpan span(tracer, "rpc/pull_wait", track);
+    for (std::size_t t = 0; t < num_tensors; ++t) {
+      Frame frame;
+      const Connection::IoResult r =
+          conn.WaitFrame(&frame, config_.pull_timeout_ms);
+      if (r != Connection::IoResult::kOk) {
+        return Fail("waiting for PULL tensor " + std::to_string(t) + ": " +
+                    DescribeWait(r, conn));
+      }
+      if (frame.header.type == MsgType::kError) {
+        return Fail("server error: " + PayloadString(frame));
+      }
+      if (frame.header.type != MsgType::kPull ||
+          frame.header.step != static_cast<std::uint64_t>(step) ||
+          frame.header.tensor != static_cast<std::uint32_t>(t)) {
+        std::ostringstream oss;
+        oss << "protocol violation: expected PULL step " << step << " tensor "
+            << t << ", got " << MsgTypeName(frame.header.type) << " step "
+            << frame.header.step << " tensor " << frame.header.tensor;
+        return Fail(oss.str());
+      }
+      try {
+        util::ByteReader reader(frame.payload);
+        worker_->ApplyPull(t, reader);
+        if (!reader.AtEnd()) {
+          return Fail("trailing bytes in PULL payload for tensor " +
+                      std::to_string(t));
+        }
+      } catch (const std::exception& e) {
+        return Fail(std::string("applying PULL tensor ") + std::to_string(t) +
+                    ": " + e.what());
+      }
+    }
+  }
+  return true;
+}
+
+bool RpcWorker::SayBye(Connection& conn) {
+  util::ByteBuffer payload;
+  if (config_.worker_id == 0) {
+    // Worker 0 ships its batch-norm running stats so the server's global
+    // model matches DistributedTrainer::EvaluateGlobalModel's
+    // CopyBuffersFrom(worker 0).
+    std::vector<tensor::Tensor*> buffers = worker_->model().Buffers();
+    payload.AppendU32(static_cast<std::uint32_t>(buffers.size()));
+    for (const tensor::Tensor* buffer : buffers) {
+      payload.AppendU64(static_cast<std::uint64_t>(buffer->num_elements()));
+      payload.Append(buffer->data(),
+                     static_cast<std::size_t>(buffer->num_elements()) *
+                         sizeof(float));
+    }
+  }
+  if (!conn.SendFrame(MsgType::kBye, 0, 0, payload.span())) {
+    return Fail("queueing BYE: " + conn.last_error());
+  }
+  if (conn.FlushOutput(config_.io_timeout_ms) != Connection::IoResult::kOk) {
+    return Fail("flushing BYE: " + conn.last_error());
+  }
+  Frame ack;
+  const Connection::IoResult r = conn.WaitFrame(&ack, config_.io_timeout_ms);
+  if (r == Connection::IoResult::kClosed) return true;  // server won the race
+  if (r != Connection::IoResult::kOk) {
+    return Fail("waiting for BYE_ACK: " + DescribeWait(r, conn));
+  }
+  if (ack.header.type == MsgType::kError) {
+    return Fail("server error at shutdown: " + PayloadString(ack));
+  }
+  if (ack.header.type != MsgType::kByeAck) {
+    return Fail(std::string("expected BYE_ACK, got ") +
+                MsgTypeName(ack.header.type));
+  }
+  return true;
+}
+
+bool RpcWorker::Run() {
+  std::string connect_error;
+  const int fd = ConnectWithRetry(config_.host, config_.port, config_.retry,
+                                  &metrics_, &connect_error);
+  if (fd < 0) return Fail(connect_error);
+  Connection conn(fd, &metrics_);
+
+  obs::Tracer* tracer =
+      config_.telemetry != nullptr ? &config_.telemetry->tracer() : nullptr;
+  const int track = 1 + config_.worker_id;
+  if (tracer != nullptr) {
+    tracer->SetTrackName(track,
+                         "worker " + std::to_string(config_.worker_id));
+  }
+  {
+    obs::ScopedSpan span(tracer, "rpc/handshake", track);
+    if (!Handshake(conn)) return false;
+  }
+  THREELC_LOG(Info) << "rpc worker " << config_.worker_id << ": handshaken ("
+                    << num_workers_ << " workers, " << total_steps_
+                    << " steps)";
+  for (std::int64_t step = 0; step < total_steps_; ++step) {
+    if (!RunStep(conn, step)) return false;
+    ++steps_run_;
+  }
+  if (!SayBye(conn)) return false;
+  conn.Close();
+  THREELC_LOG(Info) << "rpc worker " << config_.worker_id
+                    << ": clean shutdown after " << steps_run_ << " steps";
+  return true;
+}
+
+}  // namespace threelc::rpc

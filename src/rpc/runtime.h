@@ -1,0 +1,206 @@
+// Multi-process distributed runtime: the BSP step protocol of the paper's
+// parameter-server architecture (Fig. 2) carried over real TCP sockets.
+//
+// Roles:
+//  - RpcServer wraps an untouched ps::ParameterServer. It accepts N
+//    workers, validates their handshake (worker id, tensor-plan hash,
+//    codec id), then per step: collects every worker's per-tensor PUSH
+//    frames, decodes + aggregates them in fixed worker order (bitwise
+//    identical to the in-process DistributedTrainer), runs the optimizer,
+//    encodes the shared pull deltas once, and fans the same frame bytes
+//    out to every worker.
+//  - RpcWorker wraps an untouched ps::Worker plus its local model and
+//    sampler. Per step: forward/backward on a sampled batch, encode +
+//    PUSH each tensor, send a STEP_STATS frame (training loss), then
+//    block until the step's PULL frames arrive and apply them.
+//
+// Message flow (every box is one rpc::Frame):
+//
+//   worker                          server
+//     | -- HELLO {id, plan#, codec} -> |   . handshake: validates plan
+//     | <- HELLO_ACK {N, steps, plan#} |   ' hash + codec id, assigns id
+//     |                                |
+//     | -- PUSH t=0..T-1 {payload} --> |   .
+//     | -- STEP_STATS {loss} --------> |   | repeated total_steps
+//     |         (barrier: N workers)   |   | times; PULL is the
+//     | <- PULL t=0..T-1 {payload} --- |   ' barrier release
+//     |                                |
+//     | -- BYE {BN buffers if id 0} -> |   . shutdown: worker 0 ships
+//     | <- BYE_ACK ------------------- |   ' batch-norm running stats
+//
+// Lossy-codec state (error-accumulation buffers) lives exactly where it
+// does in the simulated path: push contexts inside each worker process's
+// ps::Worker, pull contexts inside the server's ps::ParameterServer.
+//
+// Fault model: any disconnect, malformed frame, protocol violation, or
+// deadline miss fails the run *cleanly* — logged, counted in rpc/*
+// metrics, reported as a flight-recorder event through Telemetry, ERROR
+// frames sent to surviving peers, every socket closed. No hangs: every
+// blocking wait carries a timeout.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "ps/plan.h"
+#include "ps/server.h"
+#include "ps/worker.h"
+#include "rpc/transport.h"
+
+namespace threelc::obs {
+class Telemetry;
+}
+
+namespace threelc::rpc {
+
+// Order-independent hash of the tensor plan + codec identity. Workers and
+// server must agree on it before any payload is interpreted, so a worker
+// built with a different model or codec fails at handshake, not with a
+// garbage decode mid-run. (FNV-1a 64 over codec name and every entry's
+// name, shape, and compressed flag.)
+std::uint64_t PlanHash(const ps::TensorPlan& plan,
+                       const std::string& codec_name);
+
+struct RpcServerConfig {
+  std::string host = "127.0.0.1";
+  int port = 0;  // 0 = ephemeral; port() reports the bound port
+  int num_workers = 1;
+  std::int64_t total_steps = 1;
+  // Cosine-decay learning rate, matching TrainerConfig.
+  float lr_max = 0.1f;
+  float lr_min = 0.001f;
+  int handshake_timeout_ms = 30000;
+  // Max wall time for one step barrier (all pushes of a step).
+  int step_timeout_ms = 60000;
+  int shutdown_timeout_ms = 30000;
+  // Optional; adds rpc metrics, per-step JSONL records, handshake /
+  // step-barrier spans (track 0), and flight-recorder error events.
+  obs::Telemetry* telemetry = nullptr;
+};
+
+class RpcServer {
+ public:
+  // `ps` must outlive the server. `codec_name` is the handshake codec id
+  // (Compressor::name()).
+  RpcServer(RpcServerConfig config, ps::ParameterServer& ps,
+            std::string codec_name);
+
+  // Bind the configured host:port. Alternatively adopt a listener created
+  // before fork (so children learn an ephemeral port from the parent).
+  bool Listen(std::string* error);
+  void AdoptListener(int listen_fd, int port);
+  int port() const { return tcp_.port(); }
+
+  // Handshake + total_steps BSP rounds + shutdown. Returns true on a
+  // clean run; false after any fault, with error() describing it.
+  bool Run();
+
+  const std::string& error() const { return error_; }
+  std::int64_t steps_completed() const { return steps_completed_; }
+  const TransportMetrics& metrics() const { return metrics_; }
+
+ private:
+  struct Peer {
+    int worker_id = -1;  // -1 until HELLO validates
+    bool said_bye = false;
+  };
+
+  void OnFrame(Connection& conn, Frame&& frame);
+  void OnDisconnect(Connection& conn, const std::string& reason);
+  void HandleHello(Connection& conn, const Frame& frame);
+  // Poll until `done` returns true. False on fault or deadline.
+  bool PollUntil(const std::function<bool()>& done, int timeout_ms,
+                 const char* phase);
+  void Fail(const std::string& message);
+  void BroadcastError(const std::string& message);
+  // Reset per-step collection state so OnFrame accepts `step`'s pushes
+  // (workers may push step s+1 the moment their step-s pulls land, so this
+  // runs before the server blocks waiting for them).
+  void BeginCollect(std::int64_t step);
+  bool RunStep(std::int64_t step, float lr);
+  bool ApplyWorkerBuffers();
+
+  RpcServerConfig config_;
+  ps::ParameterServer* ps_;
+  std::string codec_name_;
+  std::uint64_t plan_hash_;
+  TransportMetrics metrics_;
+  TcpServer tcp_;
+  std::map<Connection*, Peer> peers_;
+  std::vector<Connection*> worker_conns_;  // by worker id once handshaken
+
+  // Current-step collection state.
+  std::int64_t current_step_ = -1;
+  std::vector<std::vector<util::ByteBuffer>> push_payloads_;  // [w][t]
+  std::vector<std::vector<bool>> push_seen_;                  // [w][t]
+  std::vector<double> step_losses_;                           // [w]
+  std::vector<bool> stats_seen_;                              // [w]
+  std::size_t frames_pending_ = 0;  // barrier countdown
+
+  std::size_t handshakes_ = 0;
+  std::size_t byes_ = 0;
+  util::ByteBuffer buffer_blob_;  // worker 0's BYE payload (BN buffers)
+  bool failed_ = false;
+  std::string error_;
+  std::int64_t steps_completed_ = 0;
+};
+
+struct RpcWorkerConfig {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int worker_id = 0;
+  std::int64_t batch_size = 32;
+  RetryOptions retry;
+  int handshake_timeout_ms = 30000;
+  // Max wall time waiting for one step's pulls (covers the other workers'
+  // compute plus the server's aggregate/optimize/encode).
+  int pull_timeout_ms = 120000;
+  int io_timeout_ms = 30000;
+  obs::Telemetry* telemetry = nullptr;  // optional rpc metrics + spans
+};
+
+class RpcWorker {
+ public:
+  // `worker` (and the model it wraps) and `plan` must outlive this.
+  // The sampler must be seeded exactly as DistributedTrainer seeds worker
+  // `worker_id`'s sampler for bitwise-identical runs.
+  RpcWorker(RpcWorkerConfig config, ps::Worker& worker,
+            const ps::TensorPlan& plan, std::string codec_name,
+            data::Sampler sampler);
+
+  // Connect (with retry/backoff), handshake, run every step, shut down.
+  // Returns false on any fault, with error() describing it.
+  bool Run();
+
+  const std::string& error() const { return error_; }
+  std::int64_t steps_run() const { return steps_run_; }
+  // Populated from HELLO_ACK.
+  int num_workers() const { return num_workers_; }
+  std::int64_t total_steps() const { return total_steps_; }
+  const TransportMetrics& metrics() const { return metrics_; }
+
+ private:
+  bool Handshake(Connection& conn);
+  bool RunStep(Connection& conn, std::int64_t step);
+  bool SayBye(Connection& conn);
+  bool Fail(const std::string& message);
+
+  RpcWorkerConfig config_;
+  ps::Worker* worker_;
+  const ps::TensorPlan* plan_;
+  std::string codec_name_;
+  data::Sampler sampler_;
+  TransportMetrics metrics_;
+  int num_workers_ = 0;
+  std::int64_t total_steps_ = 0;
+  std::int64_t steps_run_ = 0;
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace threelc::rpc

@@ -1,0 +1,447 @@
+#include "rpc/transport.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace threelc::rpc {
+
+namespace {
+
+std::string ErrnoString(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+bool FillAddr(const std::string& host, int port, sockaddr_in* addr,
+              std::string* error) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(static_cast<std::uint16_t>(port));
+  const char* name = host.empty() ? "0.0.0.0" : host.c_str();
+  if (inet_pton(AF_INET, name, &addr->sin_addr) != 1) {
+    if (error != nullptr) *error = "bad IPv4 address: " + host;
+    return false;
+  }
+  return true;
+}
+
+class Deadline {
+ public:
+  explicit Deadline(int timeout_ms)
+      : end_(std::chrono::steady_clock::now() +
+             std::chrono::milliseconds(timeout_ms)) {}
+
+  // Remaining milliseconds, clamped to [0, ...]; 0 means expired.
+  int RemainingMs() const {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        end_ - std::chrono::steady_clock::now());
+    return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point end_;
+};
+
+}  // namespace
+
+TransportMetrics TransportMetrics::RegisterIn(obs::MetricsRegistry& registry) {
+  TransportMetrics m;
+  m.wire_bytes = registry.counter("rpc/wire_bytes");
+  m.wire_tx_bytes = registry.counter("rpc/wire_tx_bytes");
+  m.wire_rx_bytes = registry.counter("rpc/wire_rx_bytes");
+  m.frames_tx = registry.counter("rpc/frames_tx");
+  m.frames_rx = registry.counter("rpc/frames_rx");
+  m.frame_errors = registry.counter("rpc/frame_errors");
+  m.connect_retries = registry.counter("rpc/connect_retries");
+  m.timeouts = registry.counter("rpc/timeouts");
+  m.disconnects = registry.counter("rpc/disconnects");
+  return m;
+}
+
+void TransportMetrics::CountTx(std::size_t bytes) const {
+  if (wire_tx_bytes != nullptr) {
+    wire_tx_bytes->Add(static_cast<double>(bytes));
+  }
+  if (wire_bytes != nullptr) wire_bytes->Add(static_cast<double>(bytes));
+}
+
+void TransportMetrics::CountRx(std::size_t bytes) const {
+  if (wire_rx_bytes != nullptr) {
+    wire_rx_bytes->Add(static_cast<double>(bytes));
+  }
+  if (wire_bytes != nullptr) wire_bytes->Add(static_cast<double>(bytes));
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool SetNoDelay(int fd) {
+  int one = 1;
+  return setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) == 0;
+}
+
+int ListenOn(const std::string& host, int port, std::string* error,
+             int* bound_port) {
+  sockaddr_in addr;
+  if (!FillAddr(host, port, &addr, error)) return -1;
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = ErrnoString("socket");
+    return -1;
+  }
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) *error = ErrnoString("bind");
+    close(fd);
+    return -1;
+  }
+  if (listen(fd, 64) != 0) {
+    if (error != nullptr) *error = ErrnoString("listen");
+    close(fd);
+    return -1;
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound;
+    socklen_t len = sizeof(bound);
+    if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      *bound_port = ntohs(bound.sin_port);
+    } else {
+      *bound_port = port;
+    }
+  }
+  return fd;
+}
+
+int ConnectWithRetry(const std::string& host, int port,
+                     const RetryOptions& retry,
+                     const TransportMetrics* metrics, std::string* error) {
+  sockaddr_in addr;
+  if (!FillAddr(host, port, &addr, error)) return -1;
+  std::string last_error = "no attempts made";
+  double backoff_ms = retry.initial_backoff_ms;
+  for (int attempt = 0; attempt < retry.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      if (metrics != nullptr && metrics->connect_retries != nullptr) {
+        metrics->connect_retries->Add(1.0);
+      }
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<int>(backoff_ms)));
+      backoff_ms =
+          std::min(backoff_ms * retry.multiplier,
+                   static_cast<double>(retry.max_backoff_ms));
+    }
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      last_error = ErrnoString("socket");
+      continue;
+    }
+    if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return fd;
+    }
+    last_error = ErrnoString("connect");
+    close(fd);
+  }
+  if (error != nullptr) {
+    *error = "connect to " + host + ":" + std::to_string(port) +
+             " failed after " + std::to_string(retry.max_attempts) +
+             " attempts (" + last_error + ")";
+  }
+  return -1;
+}
+
+// --- Connection -----------------------------------------------------------
+
+Connection::Connection(int fd, const TransportMetrics* metrics,
+                       std::size_t max_queued_bytes)
+    : fd_(fd), metrics_(metrics), max_queued_bytes_(max_queued_bytes) {
+  if (fd_ >= 0) {
+    SetNonBlocking(fd_);
+    SetNoDelay(fd_);
+  }
+}
+
+Connection::~Connection() { Close(); }
+
+void Connection::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Connection::SendEncoded(util::ByteSpan frame_bytes,
+                             std::size_t frame_count) {
+  if (!open()) {
+    last_error_ = "send on closed connection";
+    return false;
+  }
+  if (queued_bytes() + frame_bytes.size() > max_queued_bytes_) {
+    last_error_ = "write queue full (" + std::to_string(queued_bytes()) +
+                  " + " + std::to_string(frame_bytes.size()) + " > " +
+                  std::to_string(max_queued_bytes_) + " bytes)";
+    return false;
+  }
+  outbuf_.insert(outbuf_.end(), frame_bytes.data(),
+                 frame_bytes.data() + frame_bytes.size());
+  if (metrics_ != nullptr && metrics_->frames_tx != nullptr) {
+    metrics_->frames_tx->Add(static_cast<double>(frame_count));
+  }
+  return FlushSome() != IoResult::kError;
+}
+
+bool Connection::SendFrame(MsgType type, std::uint64_t step,
+                           std::uint32_t tensor, util::ByteSpan payload) {
+  util::ByteBuffer encoded(kFrameHeaderBytes + payload.size());
+  EncodeFrame(type, step, tensor, payload, encoded);
+  return SendEncoded(encoded.span(), 1);
+}
+
+Connection::IoResult Connection::FlushSome() {
+  while (wants_write()) {
+    const ssize_t n = send(fd_, outbuf_.data() + out_head_,
+                           outbuf_.size() - out_head_, MSG_NOSIGNAL);
+    if (n > 0) {
+      out_head_ += static_cast<std::size_t>(n);
+      if (metrics_ != nullptr) metrics_->CountTx(static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    last_error_ = ErrnoString("send");
+    return IoResult::kError;
+  }
+  if (out_head_ == outbuf_.size()) {
+    outbuf_.clear();
+    out_head_ = 0;
+  } else if (out_head_ > (outbuf_.size() / 2)) {
+    outbuf_.erase(outbuf_.begin(),
+                  outbuf_.begin() + static_cast<std::ptrdiff_t>(out_head_));
+    out_head_ = 0;
+  }
+  return IoResult::kOk;
+}
+
+Connection::IoResult Connection::HandleWritable() { return FlushSome(); }
+
+Connection::IoResult Connection::HandleReadable() {
+  std::uint8_t chunk[64 * 1024];
+  for (;;) {
+    const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      if (metrics_ != nullptr) metrics_->CountRx(static_cast<std::size_t>(n));
+      std::vector<Frame> frames;
+      if (!parser_.Feed(util::ByteSpan(chunk, static_cast<std::size_t>(n)),
+                        &frames)) {
+        if (metrics_ != nullptr && metrics_->frame_errors != nullptr) {
+          metrics_->frame_errors->Add(1.0);
+        }
+        last_error_ = std::string("malformed frame (") +
+                      ParseErrorName(parser_.error()) + ")";
+        return IoResult::kError;
+      }
+      if (metrics_ != nullptr && metrics_->frames_rx != nullptr &&
+          !frames.empty()) {
+        metrics_->frames_rx->Add(static_cast<double>(frames.size()));
+      }
+      for (auto& frame : frames) inbox_.push_back(std::move(frame));
+      if (static_cast<std::size_t>(n) < sizeof(chunk)) return IoResult::kOk;
+      continue;
+    }
+    if (n == 0) return IoResult::kClosed;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kOk;
+    if (errno == EINTR) continue;
+    last_error_ = ErrnoString("recv");
+    return IoResult::kError;
+  }
+}
+
+bool Connection::PopFrame(Frame* out) {
+  if (inbox_.empty()) return false;
+  *out = std::move(inbox_.front());
+  inbox_.pop_front();
+  return true;
+}
+
+Connection::IoResult Connection::FlushOutput(int timeout_ms) {
+  Deadline deadline(timeout_ms);
+  while (wants_write()) {
+    const int remaining = deadline.RemainingMs();
+    if (remaining == 0) {
+      if (metrics_ != nullptr && metrics_->timeouts != nullptr) {
+        metrics_->timeouts->Add(1.0);
+      }
+      last_error_ = "flush timed out";
+      return IoResult::kError;
+    }
+    pollfd pfd{fd_, POLLOUT, 0};
+    const int ready = poll(&pfd, 1, remaining);
+    if (ready < 0 && errno != EINTR) {
+      last_error_ = ErrnoString("poll");
+      return IoResult::kError;
+    }
+    if (ready > 0 && FlushSome() == IoResult::kError) return IoResult::kError;
+  }
+  return IoResult::kOk;
+}
+
+Connection::IoResult Connection::WaitFrame(Frame* out, int timeout_ms) {
+  Deadline deadline(timeout_ms);
+  for (;;) {
+    if (PopFrame(out)) return IoResult::kOk;
+    const int remaining = deadline.RemainingMs();
+    if (remaining == 0) {
+      if (metrics_ != nullptr && metrics_->timeouts != nullptr) {
+        metrics_->timeouts->Add(1.0);
+      }
+      last_error_ = "timed out waiting for a frame";
+      return IoResult::kError;
+    }
+    pollfd pfd{fd_, static_cast<short>(POLLIN | (wants_write() ? POLLOUT : 0)),
+               0};
+    const int ready = poll(&pfd, 1, remaining);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      last_error_ = ErrnoString("poll");
+      return IoResult::kError;
+    }
+    if (ready == 0) continue;  // re-check the deadline
+    if ((pfd.revents & POLLOUT) != 0 && FlushSome() == IoResult::kError) {
+      return IoResult::kError;
+    }
+    if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      const IoResult r = HandleReadable();
+      if (r == IoResult::kError) return r;
+      if (r == IoResult::kClosed && inbox_.empty()) return IoResult::kClosed;
+    }
+  }
+}
+
+// --- TcpServer ------------------------------------------------------------
+
+TcpServer::TcpServer(const TransportMetrics* metrics) : metrics_(metrics) {}
+
+TcpServer::~TcpServer() { Close(); }
+
+bool TcpServer::Listen(const std::string& host, int port, std::string* error) {
+  THREELC_CHECK_MSG(listen_fd_ < 0, "TcpServer already listening");
+  int bound_port = -1;
+  const int fd = ListenOn(host, port, error, &bound_port);
+  if (fd < 0) return false;
+  AdoptListener(fd, bound_port);
+  return true;
+}
+
+void TcpServer::AdoptListener(int listen_fd, int port) {
+  THREELC_CHECK_MSG(listen_fd_ < 0, "TcpServer already listening");
+  listen_fd_ = listen_fd;
+  port_ = port;
+  SetNonBlocking(listen_fd_);
+}
+
+void TcpServer::Close() {
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  conns_.clear();
+}
+
+void TcpServer::Reap() {
+  for (std::size_t i = 0; i < conns_.size();) {
+    if (!conns_[i]->open()) {
+      conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+bool TcpServer::Poll(int timeout_ms) {
+  if (listen_fd_ < 0) return false;
+
+  std::vector<pollfd> pfds;
+  pfds.reserve(conns_.size() + 1);
+  pfds.push_back({listen_fd_, POLLIN, 0});
+  for (const auto& conn : conns_) {
+    pfds.push_back({conn->fd(),
+                    static_cast<short>(POLLIN |
+                                       (conn->wants_write() ? POLLOUT : 0)),
+                    0});
+  }
+
+  const int ready = poll(pfds.data(), pfds.size(), timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return true;
+    THREELC_LOG(Error) << "rpc: poll failed: " << std::strerror(errno);
+    return true;
+  }
+  if (ready == 0) return true;
+
+  // Accept everything pending.
+  if ((pfds[0].revents & POLLIN) != 0) {
+    for (;;) {
+      const int fd = accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) break;  // EAGAIN or transient error; retry next Poll
+      conns_.push_back(std::make_unique<Connection>(fd, metrics_));
+      if (on_accept) on_accept(*conns_.back());
+    }
+  }
+
+  // Service connections. pfds[i + 1] corresponds to conns_[i]; Reap only
+  // runs afterwards, and accepts append, so the mapping stays valid.
+  const std::size_t polled = pfds.size() - 1;
+  for (std::size_t i = 0; i < polled && i < conns_.size(); ++i) {
+    Connection& conn = *conns_[i];
+    const short revents = pfds[i + 1].revents;
+    if (!conn.open() || revents == 0) continue;
+
+    std::string disconnect_reason;
+    bool disconnected = false;
+    if ((revents & POLLOUT) != 0) {
+      if (conn.HandleWritable() == Connection::IoResult::kError) {
+        disconnected = true;
+        disconnect_reason = conn.last_error();
+      }
+    }
+    if (!disconnected && (revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      const Connection::IoResult r = conn.HandleReadable();
+      if (r == Connection::IoResult::kError) {
+        disconnected = true;
+        disconnect_reason = conn.last_error();
+      } else if (r == Connection::IoResult::kClosed) {
+        disconnected = true;
+        disconnect_reason = "peer closed connection";
+      }
+    }
+    // Deliver frames parsed before any error/close, then the disconnect.
+    Frame frame;
+    while (conn.open() && conn.PopFrame(&frame)) {
+      if (on_frame) on_frame(conn, std::move(frame));
+    }
+    if (disconnected && conn.open()) {
+      if (metrics_ != nullptr && metrics_->disconnects != nullptr) {
+        metrics_->disconnects->Add(1.0);
+      }
+      if (on_disconnect) on_disconnect(conn, disconnect_reason);
+      conn.Close();
+    }
+  }
+  Reap();
+  return true;
+}
+
+}  // namespace threelc::rpc

@@ -1,0 +1,191 @@
+// POSIX TCP transport for the distributed runtime — sockets, poll(2), and
+// nothing else. No third-party dependencies, mirroring obs/http_server.
+//
+// Pieces:
+//  - ListenOn / ConnectWithRetry: socket setup. Connects retry with
+//    exponential backoff (a worker may start before its server binds).
+//  - Connection: one non-blocking TCP_NODELAY socket carrying rpc frames.
+//    Outgoing frames go through a bounded write queue; incoming bytes go
+//    through an incremental FrameParser into an inbox. The same object
+//    serves two driving styles: the server's poll loop calls
+//    HandleReadable/HandleWritable from TcpServer::Poll, while a worker
+//    uses the blocking helpers (FlushOutput with a deadline, WaitFrame).
+//  - TcpServer: listener plus N connections multiplexed through one
+//    poll(2) call, surfacing accepts/frames/disconnects via callbacks.
+//
+// Every byte that crosses a socket is counted in TransportMetrics (wired
+// into MetricsRegistry as rpc/* counters, visible on /metricsz), which is
+// how measured wire traffic is compared against the analytic TrafficMeter
+// accounting (tools/plot_results.py wire).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rpc/frame.h"
+
+namespace threelc::obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace threelc::obs
+
+namespace threelc::rpc {
+
+// Nullable counter handles; a default-constructed TransportMetrics makes
+// every recording a no-op. RegisterIn binds the rpc/* names whose
+// Prometheus forms (rpc_wire_bytes_total, ...) the CI smoke job scrapes.
+struct TransportMetrics {
+  obs::Counter* wire_bytes = nullptr;     // rpc/wire_bytes (tx + rx)
+  obs::Counter* wire_tx_bytes = nullptr;  // rpc/wire_tx_bytes
+  obs::Counter* wire_rx_bytes = nullptr;  // rpc/wire_rx_bytes
+  obs::Counter* frames_tx = nullptr;      // rpc/frames_tx
+  obs::Counter* frames_rx = nullptr;      // rpc/frames_rx
+  obs::Counter* frame_errors = nullptr;   // rpc/frame_errors
+  obs::Counter* connect_retries = nullptr;  // rpc/connect_retries
+  obs::Counter* timeouts = nullptr;         // rpc/timeouts
+  obs::Counter* disconnects = nullptr;      // rpc/disconnects
+
+  static TransportMetrics RegisterIn(obs::MetricsRegistry& registry);
+
+  void CountTx(std::size_t bytes) const;
+  void CountRx(std::size_t bytes) const;
+};
+
+// Bind + listen on host:port (port 0 picks an ephemeral port, reported via
+// *bound_port). Returns the listening fd, or -1 with *error filled.
+int ListenOn(const std::string& host, int port, std::string* error,
+             int* bound_port);
+
+struct RetryOptions {
+  int max_attempts = 20;
+  int initial_backoff_ms = 50;
+  int max_backoff_ms = 2000;
+  double multiplier = 2.0;
+};
+
+// Blocking connect with exponential backoff between attempts. Each retry
+// increments metrics->connect_retries. Returns a connected fd, or -1 with
+// *error describing the last failure.
+int ConnectWithRetry(const std::string& host, int port,
+                     const RetryOptions& retry,
+                     const TransportMetrics* metrics, std::string* error);
+
+bool SetNonBlocking(int fd);
+bool SetNoDelay(int fd);
+
+class Connection {
+ public:
+  enum class IoResult {
+    kOk,      // made progress (possibly none needed)
+    kClosed,  // peer closed the connection
+    kError,   // socket error, parse error, queue overflow, or timeout
+  };
+
+  // 64 MiB of queued-but-unsent frames before SendFrame reports
+  // backpressure failure — far above a step's worth of pulls, so hitting
+  // it means the peer stopped reading.
+  static constexpr std::size_t kDefaultMaxQueuedBytes = 64u << 20;
+
+  // Takes ownership of `fd`; switches it to non-blocking + TCP_NODELAY.
+  explicit Connection(int fd, const TransportMetrics* metrics = nullptr,
+                      std::size_t max_queued_bytes = kDefaultMaxQueuedBytes);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd() const { return fd_; }
+  bool open() const { return fd_ >= 0; }
+  void Close();
+
+  // Queue one frame (encoded here) or pre-encoded frame bytes (the shared
+  // pull payload is encoded once and fanned out to every worker as the
+  // same bytes). Attempts an opportunistic non-blocking flush. Returns
+  // false — with last_error() set — when the write queue bound would be
+  // exceeded or the connection is closed.
+  bool SendFrame(MsgType type, std::uint64_t step, std::uint32_t tensor,
+                 util::ByteSpan payload);
+  bool SendEncoded(util::ByteSpan frame_bytes, std::size_t frame_count);
+
+  bool wants_write() const { return outbuf_.size() > out_head_; }
+  std::size_t queued_bytes() const { return outbuf_.size() - out_head_; }
+
+  // Non-blocking drains, for poll-loop drivers. HandleReadable consumes
+  // everything currently readable into the inbox; HandleWritable flushes
+  // as much of the write queue as the socket accepts.
+  IoResult HandleReadable();
+  IoResult HandleWritable();
+
+  // Oldest fully parsed frame, if any.
+  bool PopFrame(Frame* out);
+  std::size_t inbox_size() const { return inbox_.size(); }
+
+  // Blocking helpers for the single-connection (worker) side.
+  // FlushOutput writes the whole queue; WaitFrame returns the next frame,
+  // reading as needed. Both fail (kError, timeouts counter) after
+  // `timeout_ms` without completion.
+  IoResult FlushOutput(int timeout_ms);
+  IoResult WaitFrame(Frame* out, int timeout_ms);
+
+  ParseError parse_error() const { return parser_.error(); }
+  const std::string& last_error() const { return last_error_; }
+
+ private:
+  IoResult FlushSome();  // one non-blocking write pass
+
+  int fd_;
+  const TransportMetrics* metrics_;
+  std::size_t max_queued_bytes_;
+  FrameParser parser_;
+  std::deque<Frame> inbox_;
+  std::vector<std::uint8_t> outbuf_;
+  std::size_t out_head_ = 0;
+  std::string last_error_;
+};
+
+// Listener + connections behind one poll(2). Callbacks fire from Poll on
+// the calling thread; on_frame may send on the connection or Close() it.
+class TcpServer {
+ public:
+  explicit TcpServer(const TransportMetrics* metrics = nullptr);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  bool Listen(const std::string& host, int port, std::string* error);
+  // Use a listener socket created elsewhere (e.g. bound before fork so
+  // children know the ephemeral port).
+  void AdoptListener(int listen_fd, int port);
+  int port() const { return port_; }
+  bool listening() const { return listen_fd_ >= 0; }
+
+  std::function<void(Connection&)> on_accept;
+  std::function<void(Connection&, Frame&&)> on_frame;
+  // Peer-initiated close or I/O / parse error; the connection is removed
+  // after the callback returns.
+  std::function<void(Connection&, const std::string& reason)> on_disconnect;
+
+  // One multiplexing iteration: wait up to timeout_ms for socket events,
+  // then accept / read / write / reap. Returns false when the listener is
+  // gone (Close()d or failed).
+  bool Poll(int timeout_ms);
+
+  std::size_t connection_count() const { return conns_.size(); }
+  // Close the listener and every connection.
+  void Close();
+
+ private:
+  void Reap();  // drop closed connections
+
+  const TransportMetrics* metrics_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::vector<std::unique_ptr<Connection>> conns_;
+};
+
+}  // namespace threelc::rpc

@@ -30,7 +30,11 @@ class ByteBuffer {
 
   void Clear() { data_.clear(); }
   void Reserve(std::size_t n) { data_.reserve(n); }
-  // Resize without initialization semantics beyond vector's (zero fill).
+  // Grow or shrink to exactly n bytes. Growth zero-fills the new bytes
+  // (std::vector semantics) — there is deliberately no uninitialized-growth
+  // path, so a Resize followed by a partial overwrite can never leak stale
+  // heap bytes onto the wire. Callers that build payloads incrementally
+  // should use the Append*/Push APIs instead of Resize + data().
   void Resize(std::size_t n) { data_.resize(n); }
 
   void PushByte(std::uint8_t b) { data_.push_back(b); }

@@ -1,0 +1,66 @@
+#include "util/crc32.h"
+
+namespace threelc::util {
+
+namespace {
+
+// Reflected CRC32C polynomial.
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+struct Tables {
+  std::uint32_t t[4][256];
+};
+
+Tables BuildTables() {
+  Tables tables{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    }
+    tables.t[0][i] = crc;
+  }
+  // t[k][b] = CRC of byte b followed by k zero bytes, so four table lookups
+  // cover one little-endian 32-bit chunk.
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    tables.t[1][i] = (tables.t[0][i] >> 8) ^ tables.t[0][tables.t[0][i] & 0xFFu];
+    tables.t[2][i] = (tables.t[1][i] >> 8) ^ tables.t[0][tables.t[1][i] & 0xFFu];
+    tables.t[3][i] = (tables.t[2][i] >> 8) ^ tables.t[0][tables.t[2][i] & 0xFFu];
+  }
+  return tables;
+}
+
+const Tables& GetTables() {
+  static const Tables tables = BuildTables();
+  return tables;
+}
+
+}  // namespace
+
+std::uint32_t Crc32cExtend(std::uint32_t crc, const void* data,
+                           std::size_t n) {
+  const Tables& tb = GetTables();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  crc = ~crc;
+  // Byte-at-a-time until 4-byte alignment (keeps the 32-bit loads aligned).
+  while (n > 0 && (reinterpret_cast<std::uintptr_t>(p) & 3u) != 0) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *p++) & 0xFFu];
+    --n;
+  }
+  while (n >= 4) {
+    std::uint32_t word;
+    __builtin_memcpy(&word, p, 4);  // little-endian host (see byte_buffer.cc)
+    crc ^= word;
+    crc = tb.t[3][crc & 0xFFu] ^ tb.t[2][(crc >> 8) & 0xFFu] ^
+          tb.t[1][(crc >> 16) & 0xFFu] ^ tb.t[0][(crc >> 24) & 0xFFu];
+    p += 4;
+    n -= 4;
+  }
+  while (n > 0) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *p++) & 0xFFu];
+    --n;
+  }
+  return ~crc;
+}
+
+}  // namespace threelc::util

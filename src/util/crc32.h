@@ -1,0 +1,33 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41): the payload checksum shared
+// by the RPC wire framing (rpc/frame) and the optional checkpoint trailer
+// (nn/checkpoint).
+//
+// Slice-by-4 table lookup: four 256-entry tables processed 4 input bytes
+// per iteration — fast enough to checksum every frame on the wire path
+// without dedicated hardware instructions, and dependency-free.
+//
+// Convention (matches leveldb/rocksdb crc32c): values are *finalized*
+// CRCs. Crc32cExtend(prev, ...) takes a finalized CRC and returns the
+// finalized CRC of the concatenation, so incremental use is simply
+//   crc = Crc32cExtend(crc, chunk.data(), chunk.size());
+// starting from 0 (== Crc32c of the empty string).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/byte_buffer.h"
+
+namespace threelc::util {
+
+// CRC32C of `data[0, n)` continued from a previous finalized CRC.
+std::uint32_t Crc32cExtend(std::uint32_t crc, const void* data,
+                           std::size_t n);
+
+// One-shot CRC32C. Crc32c("123456789", 9) == 0xE3069283.
+inline std::uint32_t Crc32c(const void* data, std::size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+inline std::uint32_t Crc32c(ByteSpan s) { return Crc32c(s.data(), s.size()); }
+
+}  // namespace threelc::util

@@ -103,6 +103,75 @@ TEST(Checkpoint, TruncatedFileThrows) {
   std::remove(path.c_str());
 }
 
+// ---------- v2 checksum trailer ----------
+
+TEST(Checkpoint, ChecksumRoundTripLoads) {
+  auto model = train::BuildMlp(Spec(), 7);
+  const std::string path = TempPath("ckpt_crc_roundtrip.bin");
+  nn::SaveCheckpoint(model, path, /*checksum=*/true);
+  auto restored = train::BuildMlp(Spec(), 8);
+  nn::LoadCheckpoint(restored, path);
+  util::Rng rng(9);
+  tensor::Tensor in(tensor::Shape{4, 6});
+  tensor::FillNormal(in, rng, 0.0f, 1.0f);
+  EXPECT_EQ(tensor::MaxAbsDiff(model.Forward(in, false),
+                               restored.Forward(in, false)),
+            0.0f);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ChecksumDetectsFlippedPayloadByte) {
+  auto model = train::BuildMlp(Spec(), 7);
+  const std::string path = TempPath("ckpt_crc_corrupt.bin");
+  nn::SaveCheckpoint(model, path, /*checksum=*/true);
+
+  // Flip one byte in the middle of the tensor data region.
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  contents[contents.size() / 2] ^= 0x01;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+  }
+
+  auto restored = train::BuildMlp(Spec(), 8);
+  EXPECT_THROW(nn::LoadCheckpoint(restored, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, V1FileWithoutChecksumStillLoads) {
+  auto model = train::BuildMlp(Spec(), 7);
+  const std::string path = TempPath("ckpt_v1_compat.bin");
+  nn::SaveCheckpoint(model, path, /*checksum=*/false);
+  auto restored = train::BuildMlp(Spec(), 8);
+  EXPECT_NO_THROW(nn::LoadCheckpoint(restored, path));
+  util::Rng rng(9);
+  tensor::Tensor in(tensor::Shape{4, 6});
+  tensor::FillNormal(in, rng, 0.0f, 1.0f);
+  EXPECT_EQ(tensor::MaxAbsDiff(model.Forward(in, false),
+                               restored.Forward(in, false)),
+            0.0f);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ChecksumFileIsLargerByTrailer) {
+  auto model = train::BuildMlp(Spec(), 7);
+  const std::string with = TempPath("ckpt_with_crc.bin");
+  const std::string without = TempPath("ckpt_without_crc.bin");
+  nn::SaveCheckpoint(model, with, /*checksum=*/true);
+  nn::SaveCheckpoint(model, without, /*checksum=*/false);
+  auto size_of = [](const std::string& p) {
+    std::ifstream f(p, std::ios::binary | std::ios::ate);
+    return static_cast<std::size_t>(f.tellg());
+  };
+  EXPECT_GT(size_of(with), size_of(without));
+  std::remove(with.c_str());
+  std::remove(without.c_str());
+}
+
 // ---------- Sharding ----------
 
 TEST(Sharding, SingleShardTakesEverything) {

@@ -1,0 +1,241 @@
+// Wire-framing tests: encode/parse round trips, incremental parsing at
+// arbitrary (fuzzed) split points, and corruption handling — every
+// malformed input must produce a typed ParseError, never a crash or a
+// silently wrong frame.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "rpc/frame.h"
+#include "util/rng.h"
+
+namespace threelc::rpc {
+namespace {
+
+util::ByteBuffer MakePayload(std::size_t n, std::uint8_t seed) {
+  util::ByteBuffer payload;
+  for (std::size_t i = 0; i < n; ++i) {
+    payload.PushByte(static_cast<std::uint8_t>(seed + i));
+  }
+  return payload;
+}
+
+std::vector<Frame> ParseAll(util::ByteSpan bytes) {
+  FrameParser parser;
+  std::vector<Frame> frames;
+  EXPECT_TRUE(parser.Feed(bytes, &frames));
+  return frames;
+}
+
+TEST(Frame, EncodeParseRoundTrip) {
+  util::ByteBuffer payload = MakePayload(100, 7);
+  util::ByteBuffer wire;
+  EncodeFrame(MsgType::kPush, /*step=*/42, /*tensor=*/3, payload.span(),
+              wire);
+  ASSERT_EQ(wire.size(), kFrameHeaderBytes + payload.size());
+
+  std::vector<Frame> frames = ParseAll(wire.span());
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].header.type, MsgType::kPush);
+  EXPECT_EQ(frames[0].header.step, 42u);
+  EXPECT_EQ(frames[0].header.tensor, 3u);
+  EXPECT_EQ(frames[0].header.payload_len, payload.size());
+  EXPECT_EQ(frames[0].payload, payload);
+}
+
+TEST(Frame, EmptyPayloadRoundTrip) {
+  util::ByteBuffer wire;
+  EncodeFrame(MsgType::kByeAck, 0, 0, util::ByteSpan(), wire);
+  ASSERT_EQ(wire.size(), kFrameHeaderBytes);
+  std::vector<Frame> frames = ParseAll(wire.span());
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].header.type, MsgType::kByeAck);
+  EXPECT_TRUE(frames[0].payload.empty());
+}
+
+TEST(Frame, MultipleFramesInOneFeed) {
+  util::ByteBuffer wire;
+  for (std::uint32_t t = 0; t < 5; ++t) {
+    util::ByteBuffer payload = MakePayload(10 + t, static_cast<uint8_t>(t));
+    EncodeFrame(MsgType::kPull, 9, t, payload.span(), wire);
+  }
+  std::vector<Frame> frames = ParseAll(wire.span());
+  ASSERT_EQ(frames.size(), 5u);
+  for (std::uint32_t t = 0; t < 5; ++t) {
+    EXPECT_EQ(frames[t].header.tensor, t);
+    EXPECT_EQ(frames[t].payload.size(), 10 + t);
+  }
+}
+
+// Fuzz: a stream of frames fed one random chunk at a time must parse to
+// the identical sequence no matter where the chunk boundaries land —
+// including boundaries inside the magic, the length field, and the CRC.
+TEST(Frame, FuzzedSplitPointsReassembleExactly) {
+  util::Rng rng(99);
+  for (int round = 0; round < 50; ++round) {
+    util::ByteBuffer wire;
+    const int num_frames = 1 + static_cast<int>(rng.Next() % 6);
+    std::vector<std::size_t> payload_sizes;
+    for (int f = 0; f < num_frames; ++f) {
+      const std::size_t n = rng.Next() % 300;
+      payload_sizes.push_back(n);
+      util::ByteBuffer payload =
+          MakePayload(n, static_cast<std::uint8_t>(rng.Next()));
+      EncodeFrame(MsgType::kPush, static_cast<std::uint64_t>(round),
+                  static_cast<std::uint32_t>(f), payload.span(), wire);
+    }
+
+    FrameParser parser;
+    std::vector<Frame> frames;
+    std::size_t pos = 0;
+    while (pos < wire.size()) {
+      const std::size_t chunk =
+          std::min<std::size_t>(1 + rng.Next() % 64, wire.size() - pos);
+      ASSERT_TRUE(parser.Feed(
+          util::ByteSpan(wire.data() + pos, chunk), &frames));
+      pos += chunk;
+    }
+    ASSERT_EQ(frames.size(), static_cast<std::size_t>(num_frames))
+        << "round " << round;
+    for (int f = 0; f < num_frames; ++f) {
+      EXPECT_EQ(frames[static_cast<std::size_t>(f)].payload.size(),
+                payload_sizes[static_cast<std::size_t>(f)]);
+    }
+    EXPECT_EQ(parser.buffered_bytes(), 0u);
+  }
+}
+
+TEST(Frame, BadMagicPoisonsParser) {
+  util::ByteBuffer wire;
+  EncodeFrame(MsgType::kHello, 0, 0, util::ByteSpan(), wire);
+  wire.data()[0] ^= 0xFF;
+  FrameParser parser;
+  std::vector<Frame> frames;
+  EXPECT_FALSE(parser.Feed(wire.span(), &frames));
+  EXPECT_EQ(parser.error(), ParseError::kBadMagic);
+  EXPECT_TRUE(parser.poisoned());
+  EXPECT_TRUE(frames.empty());
+  // A poisoned parser ignores any further (even valid) input.
+  util::ByteBuffer valid;
+  EncodeFrame(MsgType::kHello, 0, 0, util::ByteSpan(), valid);
+  EXPECT_FALSE(parser.Feed(valid.span(), &frames));
+  EXPECT_TRUE(frames.empty());
+}
+
+TEST(Frame, BadVersionDetected) {
+  util::ByteBuffer wire;
+  EncodeFrame(MsgType::kHello, 0, 0, util::ByteSpan(), wire);
+  wire.data()[4] = kProtocolVersion + 1;
+  FrameParser parser;
+  std::vector<Frame> frames;
+  EXPECT_FALSE(parser.Feed(wire.span(), &frames));
+  EXPECT_EQ(parser.error(), ParseError::kBadVersion);
+}
+
+TEST(Frame, BadTypeDetected) {
+  util::ByteBuffer wire;
+  EncodeFrame(MsgType::kHello, 0, 0, util::ByteSpan(), wire);
+  wire.data()[5] = 0;  // below the valid MsgType range
+  FrameParser parser;
+  std::vector<Frame> frames;
+  EXPECT_FALSE(parser.Feed(wire.span(), &frames));
+  EXPECT_EQ(parser.error(), ParseError::kBadType);
+}
+
+TEST(Frame, OversizedLengthRejectedBeforeBuffering) {
+  util::ByteBuffer wire;
+  EncodeFrame(MsgType::kPush, 1, 0, MakePayload(8, 1).span(), wire);
+  const std::uint32_t huge = kMaxPayloadBytes + 1;
+  std::memcpy(wire.data() + 20, &huge, sizeof(huge));
+  FrameParser parser;
+  std::vector<Frame> frames;
+  // Rejected from the header alone — the parser must not wait for (or try
+  // to allocate) a 64 MiB payload that will never arrive.
+  EXPECT_FALSE(parser.Feed(
+      util::ByteSpan(wire.data(), kFrameHeaderBytes), &frames));
+  EXPECT_EQ(parser.error(), ParseError::kOversized);
+}
+
+TEST(Frame, CorruptedCrcDetected) {
+  util::ByteBuffer wire;
+  EncodeFrame(MsgType::kPush, 1, 0, MakePayload(50, 2).span(), wire);
+  wire.data()[kFrameHeaderBytes - 1] ^= 0x01;  // flip a CRC bit
+  FrameParser parser;
+  std::vector<Frame> frames;
+  EXPECT_FALSE(parser.Feed(wire.span(), &frames));
+  EXPECT_EQ(parser.error(), ParseError::kBadCrc);
+}
+
+TEST(Frame, CorruptedPayloadByteDetected) {
+  util::ByteBuffer wire;
+  EncodeFrame(MsgType::kPush, 1, 0, MakePayload(50, 3).span(), wire);
+  wire.data()[kFrameHeaderBytes + 25] ^= 0x40;
+  FrameParser parser;
+  std::vector<Frame> frames;
+  EXPECT_FALSE(parser.Feed(wire.span(), &frames));
+  EXPECT_EQ(parser.error(), ParseError::kBadCrc);
+}
+
+// Fuzz: flipping any single byte anywhere in a frame must either poison
+// the parser with a typed error or (never) produce a different frame.
+TEST(Frame, FuzzedSingleByteCorruptionNeverYieldsWrongFrame) {
+  util::ByteBuffer payload = MakePayload(40, 5);
+  util::ByteBuffer wire;
+  EncodeFrame(MsgType::kStepStats, 17, 2, payload.span(), wire);
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    util::ByteBuffer corrupted = wire;
+    corrupted.data()[i] ^= 0x5A;
+    FrameParser parser;
+    std::vector<Frame> frames;
+    const bool ok = parser.Feed(corrupted.span(), &frames);
+    if (ok) {
+      // Only acceptable when the frame is incomplete (a length-field
+      // corruption that made the parser wait for more bytes).
+      EXPECT_TRUE(frames.empty()) << "byte " << i;
+      EXPECT_GT(parser.buffered_bytes(), 0u) << "byte " << i;
+    } else {
+      EXPECT_NE(parser.error(), ParseError::kNone) << "byte " << i;
+    }
+  }
+}
+
+TEST(Frame, PartialHeaderThenRestParses) {
+  util::ByteBuffer wire;
+  EncodeFrame(MsgType::kBye, 0, 0, MakePayload(10, 9).span(), wire);
+  FrameParser parser;
+  std::vector<Frame> frames;
+  // One byte at a time — the ultimate short-read torture.
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    ASSERT_TRUE(parser.Feed(util::ByteSpan(wire.data() + i, 1), &frames));
+    if (i + 1 < wire.size()) {
+      EXPECT_TRUE(frames.empty());
+    }
+  }
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].header.type, MsgType::kBye);
+}
+
+TEST(Frame, EncodeRejectsOversizedPayloadByCheck) {
+  // EncodeFrame CHECKs payloads over kMaxPayloadBytes; regular payloads
+  // below the limit must pass. (Death tests are not used in this suite;
+  // this documents the boundary from the accepting side.)
+  util::ByteBuffer wire;
+  util::ByteBuffer payload = MakePayload(1024, 1);
+  EncodeFrame(MsgType::kPush, 0, 0, payload.span(), wire);
+  EXPECT_EQ(wire.size(), kFrameHeaderBytes + 1024);
+}
+
+TEST(Frame, MsgTypeNamesAreStable) {
+  EXPECT_STREQ(MsgTypeName(MsgType::kHello), "HELLO");
+  EXPECT_STREQ(MsgTypeName(MsgType::kPull), "PULL");
+  EXPECT_STREQ(MsgTypeName(MsgType::kError), "ERROR");
+  EXPECT_STREQ(ParseErrorName(ParseError::kBadCrc), "bad_crc");
+  EXPECT_FALSE(IsValidMsgType(0));
+  EXPECT_FALSE(IsValidMsgType(9));
+  EXPECT_TRUE(IsValidMsgType(1));
+  EXPECT_TRUE(IsValidMsgType(8));
+}
+
+}  // namespace
+}  // namespace threelc::rpc

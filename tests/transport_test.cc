@@ -1,0 +1,281 @@
+// Transport tests: Connection framing over real sockets with partial
+// reads/writes, bounded write queues, blocking-helper timeouts,
+// connect-with-retry behaviour against dead and late-binding ports, and
+// the TcpServer poll loop (accept / frame / disconnect callbacks).
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "rpc/transport.h"
+#include "util/rng.h"
+
+namespace threelc::rpc {
+namespace {
+
+util::ByteBuffer MakePayload(std::size_t n, std::uint8_t seed) {
+  util::ByteBuffer payload;
+  for (std::size_t i = 0; i < n; ++i) {
+    payload.PushByte(static_cast<std::uint8_t>(seed + 31 * i));
+  }
+  return payload;
+}
+
+// A connected AF_UNIX pair gives deterministic, single-threaded control
+// over both ends of a byte stream.
+void MakeSocketPair(int fds[2]) {
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+}
+
+TEST(Connection, FrameRoundTripOverSocketPair) {
+  int fds[2];
+  MakeSocketPair(fds);
+  Connection a(fds[0]);
+  Connection b(fds[1]);
+
+  util::ByteBuffer payload = MakePayload(300, 1);
+  ASSERT_TRUE(a.SendFrame(MsgType::kPush, 5, 2, payload.span()));
+  ASSERT_EQ(a.FlushOutput(1000), Connection::IoResult::kOk);
+
+  Frame frame;
+  ASSERT_EQ(b.WaitFrame(&frame, 1000), Connection::IoResult::kOk);
+  EXPECT_EQ(frame.header.type, MsgType::kPush);
+  EXPECT_EQ(frame.header.step, 5u);
+  EXPECT_EQ(frame.header.tensor, 2u);
+  EXPECT_EQ(frame.payload, payload);
+}
+
+// A payload far larger than any socket buffer forces the write side
+// through many partial send(2) calls and the read side through many
+// partial recv(2) calls; the frame must still reassemble bit-exactly.
+TEST(Connection, LargeFrameSurvivesPartialReadsAndWrites) {
+  int fds[2];
+  MakeSocketPair(fds);
+  Connection a(fds[0]);
+  Connection b(fds[1]);
+
+  util::ByteBuffer payload = MakePayload(4u << 20, 7);  // 4 MiB
+  ASSERT_TRUE(a.SendFrame(MsgType::kPull, 1, 0, payload.span()));
+  EXPECT_TRUE(a.wants_write());  // could not fit in the socket buffer
+
+  // Interleave non-blocking drains on both ends; neither side may block.
+  Frame frame;
+  bool got = false;
+  for (int i = 0; i < 100000 && !got; ++i) {
+    ASSERT_NE(a.HandleWritable(), Connection::IoResult::kError)
+        << a.last_error();
+    ASSERT_NE(b.HandleReadable(), Connection::IoResult::kError)
+        << b.last_error();
+    got = b.PopFrame(&frame);
+  }
+  ASSERT_TRUE(got);
+  EXPECT_EQ(frame.payload, payload);
+  EXPECT_FALSE(a.wants_write());
+}
+
+TEST(Connection, BoundedWriteQueueRejectsOverflow) {
+  int fds[2];
+  MakeSocketPair(fds);
+  Connection a(fds[0], nullptr, /*max_queued_bytes=*/4096);
+  Connection b(fds[1]);
+
+  util::ByteBuffer payload = MakePayload(2048, 3);
+  // The peer never reads, so the queue fills; eventually SendFrame must
+  // report backpressure instead of buffering without bound.
+  bool rejected = false;
+  for (int i = 0; i < 10000 && !rejected; ++i) {
+    rejected = !a.SendFrame(MsgType::kPush, 0, 0, payload.span());
+  }
+  EXPECT_TRUE(rejected);
+  EXPECT_FALSE(a.last_error().empty());
+  (void)b;
+}
+
+TEST(Connection, WaitFrameTimesOutAndCountsIt) {
+  obs::MetricsRegistry registry;
+  registry.set_enabled(true);
+  TransportMetrics metrics = TransportMetrics::RegisterIn(registry);
+
+  int fds[2];
+  MakeSocketPair(fds);
+  Connection a(fds[0], &metrics);
+  Connection b(fds[1], &metrics);
+
+  Frame frame;
+  EXPECT_EQ(a.WaitFrame(&frame, 50), Connection::IoResult::kError);
+  EXPECT_FALSE(a.last_error().empty());
+  EXPECT_EQ(metrics.timeouts->value(), 1.0);
+  (void)b;
+}
+
+TEST(Connection, PeerCloseSurfacesAsClosed) {
+  int fds[2];
+  MakeSocketPair(fds);
+  Connection a(fds[0]);
+  {
+    Connection b(fds[1]);
+    // b's destructor closes the socket.
+  }
+  Frame frame;
+  EXPECT_EQ(a.WaitFrame(&frame, 1000), Connection::IoResult::kClosed);
+}
+
+TEST(Connection, MalformedBytesSurfaceAsParseError) {
+  obs::MetricsRegistry registry;
+  registry.set_enabled(true);
+  TransportMetrics metrics = TransportMetrics::RegisterIn(registry);
+
+  int fds[2];
+  MakeSocketPair(fds);
+  Connection a(fds[0]);
+  Connection b(fds[1], &metrics);
+
+  const char garbage[] = "this is definitely not a 3LCR frame header....";
+  ASSERT_GT(::send(a.fd(), garbage, sizeof(garbage), 0), 0);
+  Frame frame;
+  EXPECT_EQ(b.WaitFrame(&frame, 1000), Connection::IoResult::kError);
+  EXPECT_EQ(b.parse_error(), ParseError::kBadMagic);
+  EXPECT_EQ(metrics.frame_errors->value(), 1.0);
+}
+
+TEST(Connection, WireByteCountersMatchTraffic) {
+  obs::MetricsRegistry registry;
+  registry.set_enabled(true);
+  TransportMetrics metrics = TransportMetrics::RegisterIn(registry);
+
+  int fds[2];
+  MakeSocketPair(fds);
+  Connection a(fds[0], &metrics);
+  Connection b(fds[1], &metrics);
+
+  util::ByteBuffer payload = MakePayload(100, 9);
+  const double frame_bytes =
+      static_cast<double>(kFrameHeaderBytes + payload.size());
+  ASSERT_TRUE(a.SendFrame(MsgType::kHello, 0, 0, payload.span()));
+  ASSERT_EQ(a.FlushOutput(1000), Connection::IoResult::kOk);
+  Frame frame;
+  ASSERT_EQ(b.WaitFrame(&frame, 1000), Connection::IoResult::kOk);
+
+  EXPECT_EQ(metrics.wire_tx_bytes->value(), frame_bytes);
+  EXPECT_EQ(metrics.wire_rx_bytes->value(), frame_bytes);
+  EXPECT_EQ(metrics.wire_bytes->value(), 2 * frame_bytes);
+  EXPECT_EQ(metrics.frames_tx->value(), 1.0);
+  EXPECT_EQ(metrics.frames_rx->value(), 1.0);
+}
+
+TEST(ConnectWithRetry, DeadPortFailsAfterBoundedRetries) {
+  obs::MetricsRegistry registry;
+  registry.set_enabled(true);
+  TransportMetrics metrics = TransportMetrics::RegisterIn(registry);
+
+  RetryOptions retry;
+  retry.max_attempts = 3;
+  retry.initial_backoff_ms = 1;
+  retry.max_backoff_ms = 2;
+  std::string error;
+  // Port 1 on loopback: reserved, nothing listens there in this container.
+  const int fd = ConnectWithRetry("127.0.0.1", 1, retry, &metrics, &error);
+  EXPECT_LT(fd, 0);
+  EXPECT_NE(error.find("3 attempts"), std::string::npos) << error;
+  EXPECT_EQ(metrics.connect_retries->value(), 2.0);  // attempts 2 and 3
+}
+
+TEST(ConnectWithRetry, SucceedsOnceListenerAppears) {
+  // Reserve an ephemeral port, free it, then bring the listener up only
+  // after the client has already started retrying.
+  std::string error;
+  int port = 0;
+  int probe = ListenOn("127.0.0.1", 0, &error, &port);
+  ASSERT_GE(probe, 0) << error;
+  ::close(probe);
+
+  std::atomic<int> client_fd{-2};
+  std::thread client([&] {
+    RetryOptions retry;
+    retry.max_attempts = 100;
+    retry.initial_backoff_ms = 5;
+    retry.max_backoff_ms = 20;
+    std::string client_error;
+    client_fd = ConnectWithRetry("127.0.0.1", port, retry, nullptr,
+                                 &client_error);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  int listener = ListenOn("127.0.0.1", port, &error, nullptr);
+  ASSERT_GE(listener, 0) << error;
+  client.join();
+  EXPECT_GE(client_fd.load(), 0);
+  if (client_fd >= 0) ::close(client_fd);
+  ::close(listener);
+}
+
+TEST(TcpServer, AcceptEchoDisconnectLifecycle) {
+  obs::MetricsRegistry registry;
+  registry.set_enabled(true);
+  TransportMetrics metrics = TransportMetrics::RegisterIn(registry);
+
+  TcpServer server(&metrics);
+  std::string error;
+  ASSERT_TRUE(server.Listen("127.0.0.1", 0, &error)) << error;
+  ASSERT_GT(server.port(), 0);
+
+  std::atomic<int> accepts{0};
+  std::atomic<int> disconnects{0};
+  server.on_accept = [&](Connection&) { ++accepts; };
+  server.on_frame = [&](Connection& conn, Frame&& frame) {
+    // Echo with the step bumped so the client can tell it came back.
+    conn.SendFrame(frame.header.type, frame.header.step + 1,
+                   frame.header.tensor, frame.payload.span());
+  };
+  server.on_disconnect = [&](Connection&, const std::string&) {
+    ++disconnects;
+  };
+
+  std::atomic<bool> stop{false};
+  std::thread server_thread([&] {
+    while (!stop.load()) server.Poll(20);
+  });
+
+  {
+    RetryOptions retry;
+    std::string connect_error;
+    const int fd = ConnectWithRetry("127.0.0.1", server.port(), retry,
+                                    nullptr, &connect_error);
+    ASSERT_GE(fd, 0) << connect_error;
+    Connection client(fd);
+    util::ByteBuffer payload = MakePayload(64, 4);
+    ASSERT_TRUE(client.SendFrame(MsgType::kPush, 10, 1, payload.span()));
+    ASSERT_EQ(client.FlushOutput(2000), Connection::IoResult::kOk);
+    Frame echoed;
+    ASSERT_EQ(client.WaitFrame(&echoed, 2000), Connection::IoResult::kOk);
+    EXPECT_EQ(echoed.header.step, 11u);
+    EXPECT_EQ(echoed.payload, payload);
+    // client destructor closes -> server sees a disconnect
+  }
+
+  for (int i = 0; i < 200 && disconnects.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop = true;
+  server_thread.join();
+  EXPECT_EQ(accepts.load(), 1);
+  EXPECT_EQ(disconnects.load(), 1);
+  EXPECT_EQ(server.connection_count(), 0u);
+  EXPECT_EQ(metrics.disconnects->value(), 1.0);
+  server.Close();
+}
+
+TEST(ListenOn, RejectsBadHost) {
+  std::string error;
+  int port = 0;
+  EXPECT_LT(ListenOn("definitely.not.an.ip", 0, &error, &port), 0);
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace threelc::rpc

@@ -487,5 +487,60 @@ TEST(WallTimer, MeasuresElapsedTime) {
   EXPECT_LT(t.ElapsedSeconds(), 5.0);
 }
 
+// Truncation regressions: a reader positioned one byte short of every
+// field width must throw std::out_of_range, not read past the span. The
+// wire runtime leans on this to reject short payloads loudly.
+TEST(ByteReader, ThrowsOnTruncationAtEveryFieldWidth) {
+  ByteBuffer buf;
+  for (int i = 0; i < 16; ++i) buf.PushByte(static_cast<std::uint8_t>(i));
+
+  auto reader_with = [&](std::size_t available) {
+    return ByteReader(ByteSpan(buf.data(), available));
+  };
+
+  EXPECT_THROW(reader_with(0).ReadU8(), std::out_of_range);
+  EXPECT_THROW(reader_with(1).ReadU16(), std::out_of_range);
+  EXPECT_THROW(reader_with(3).ReadU32(), std::out_of_range);
+  EXPECT_THROW(reader_with(7).ReadU64(), std::out_of_range);
+  EXPECT_THROW(reader_with(3).ReadF32(), std::out_of_range);
+  EXPECT_THROW(reader_with(7).ReadF64(), std::out_of_range);
+
+  std::uint8_t sink[8];
+  EXPECT_THROW(reader_with(7).ReadInto(sink, 8), std::out_of_range);
+  EXPECT_THROW(reader_with(7).ReadSpan(8), std::out_of_range);
+
+  // One byte more succeeds in each case.
+  EXPECT_NO_THROW(reader_with(1).ReadU8());
+  EXPECT_NO_THROW(reader_with(2).ReadU16());
+  EXPECT_NO_THROW(reader_with(4).ReadU32());
+  EXPECT_NO_THROW(reader_with(8).ReadU64());
+  EXPECT_NO_THROW(reader_with(4).ReadF32());
+  EXPECT_NO_THROW(reader_with(8).ReadF64());
+  EXPECT_NO_THROW(reader_with(8).ReadInto(sink, 8));
+  EXPECT_NO_THROW(reader_with(8).ReadSpan(8));
+}
+
+TEST(ByteReader, UnderflowLeavesCursorUnmoved) {
+  ByteBuffer buf;
+  buf.AppendU16(0x1234);
+  ByteReader reader(buf);
+  EXPECT_THROW(reader.ReadU32(), std::out_of_range);
+  EXPECT_EQ(reader.position(), 0u);
+  EXPECT_EQ(reader.ReadU16(), 0x1234);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+// Resize growth must zero-fill (std::vector semantics) so a partial
+// overwrite can never leak stale heap bytes onto the wire.
+TEST(ByteBuffer, ResizeGrowthZeroFills) {
+  ByteBuffer buf;
+  for (int i = 0; i < 8; ++i) buf.PushByte(0xAB);
+  buf.Resize(4);   // shrink keeps the prefix
+  buf.Resize(12);  // growth must zero the new tail
+  ASSERT_EQ(buf.size(), 12u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(buf.data()[i], 0xAB);
+  for (std::size_t i = 4; i < 12; ++i) EXPECT_EQ(buf.data()[i], 0x00);
+}
+
 }  // namespace
 }  // namespace threelc::util

@@ -5,6 +5,7 @@ Usage:
     python3 tools/plot_results.py [figures] [--results results/] [--out plots/]
     python3 tools/plot_results.py metrics metrics.jsonl [--out plots/]
     python3 tools/plot_results.py flight flight.jsonl [--out plots/]
+    python3 tools/plot_results.py wire metrics.jsonl [--out plots/]
 
 `figures` (the default) produces fig4/5/6 (time-vs-accuracy fronts), fig7
 (loss/accuracy curves), fig8 (sparsity sweep), and fig9 (bits per state
@@ -16,6 +17,14 @@ value vs. step) written by examples/ and bench/ binaries.
 `flight` renders a flight-recorder dump (the JSONL the black box writes on
 an error-severity health event, crash signal, or Flush): loss and residual
 L2 over the trailing steps, with a vertical line at every health event.
+
+`wire` compares measured TCP traffic against the analytic accounting for a
+--metrics-out JSONL written by the distributed runtime's server
+(examples/distributed_training). The per-step records carry the codec
+payload bytes per direction (the same accounting net::TrafficMeter does for
+simulated runs); the summary record's rpc/* counters carry what actually
+crossed the sockets, so the gap between the two is the protocol's framing
+and control overhead.
 
 Requires matplotlib.
 """
@@ -256,6 +265,92 @@ def plot_flight(jsonl_path, out_dir, plt):
     print("wrote", path)
 
 
+def read_wire_log(path):
+    """Parse a server metrics JSONL into (step records, summary metrics)."""
+    steps, summary = [], None
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec.get("type") == "step":
+                steps.append(rec)
+            elif rec.get("type") == "summary":
+                summary = rec.get("metrics", {})
+    if not steps:
+        raise SystemExit(f"no step records found in {path}")
+    if summary is None:
+        raise SystemExit(
+            f"no summary record in {path} (was Telemetry::Flush called?)")
+    return steps, summary
+
+
+def counter_value(summary, name):
+    metric = summary.get(name)
+    return float(metric["value"]) if metric else 0.0
+
+
+def plot_wire(jsonl_path, out_dir, plt):
+    steps, summary = read_wire_log(jsonl_path)
+    nsteps = len(steps)
+    xs = [s["step"] for s in steps]
+    push = [s["push_bytes"] for s in steps]
+    pull = [s["pull_bytes"] for s in steps]
+
+    # Measured on-wire totals from the transport counters. On the server,
+    # rx is the push direction (workers -> server) and tx the pull
+    # direction (server -> workers), each including frame headers and the
+    # handshake/stats/shutdown control messages.
+    wire_rx = counter_value(summary, "rpc/wire_rx_bytes")
+    wire_tx = counter_value(summary, "rpc/wire_tx_bytes")
+    payload_push = counter_value(summary, "rpc/push_payload_bytes")
+    payload_pull = counter_value(summary, "rpc/pull_payload_bytes")
+    if wire_rx == 0.0 and wire_tx == 0.0:
+        raise SystemExit("summary has no rpc/* counters — is this JSONL "
+                         "from the distributed runtime's server?")
+
+    fig, axes = plt.subplots(1, 2, figsize=(12, 4.5))
+    axes[0].plot(xs, push, label="push payload (analytic)", alpha=0.8)
+    axes[0].plot(xs, pull, label="pull payload (analytic)", alpha=0.8)
+    axes[0].axhline(wire_rx / nsteps, color="C0", linestyle="--",
+                    label="wire rx / step (measured)")
+    axes[0].axhline(wire_tx / nsteps, color="C1", linestyle="--",
+                    label="wire tx / step (measured)")
+    axes[0].set_xlabel("Training steps")
+    axes[0].set_ylabel("Bytes per step")
+    axes[0].set_ylim(bottom=0)
+    axes[0].grid(alpha=0.3)
+    axes[0].legend(fontsize=8)
+
+    labels = ["push (rx)", "pull (tx)"]
+    payloads = [payload_push, payload_pull]
+    wires = [wire_rx, wire_tx]
+    pos = range(len(labels))
+    axes[1].bar([p - 0.2 for p in pos], payloads, width=0.4,
+                label="codec payload")
+    axes[1].bar([p + 0.2 for p in pos], wires, width=0.4,
+                label="on the wire")
+    axes[1].set_xticks(list(pos))
+    axes[1].set_xticklabels(labels)
+    axes[1].set_ylabel("Total bytes")
+    axes[1].grid(alpha=0.3, axis="y")
+    axes[1].legend(fontsize=8)
+
+    for label, payload, wire in zip(labels, payloads, wires):
+        overhead = (wire - payload) / wire * 100.0 if wire else 0.0
+        print(f"{label}: payload {payload:.0f} B, wire {wire:.0f} B "
+              f"({overhead:.1f}% framing/control overhead)")
+
+    base = os.path.splitext(os.path.basename(jsonl_path))[0]
+    fig.suptitle(f"Wire traffic: {base} ({nsteps} steps; measured rpc/* "
+                 f"counters vs analytic payload accounting)")
+    path = os.path.join(out_dir, f"{base}_wire.png")
+    fig.savefig(path, dpi=140, bbox_inches="tight")
+    plt.close(fig)
+    print("wrote", path)
+
+
 def load_matplotlib():
     try:
         import matplotlib
@@ -280,6 +375,11 @@ def main():
                             help="plot a flight-recorder dump JSONL")
     flight.add_argument("jsonl", help="path to flight.jsonl")
     flight.add_argument("--out", default="plots")
+    wire = sub.add_parser("wire",
+                          help="measured wire bytes vs analytic payload "
+                               "accounting for a distributed-runtime run")
+    wire.add_argument("jsonl", help="path to the server's metrics.jsonl")
+    wire.add_argument("--out", default="plots")
     # Default to `figures` so the historical bare invocation keeps working.
     parser.set_defaults(command="figures", results="results", out="plots")
     args = parser.parse_args()
@@ -291,6 +391,9 @@ def main():
         return
     if args.command == "flight":
         plot_flight(args.jsonl, args.out, plt)
+        return
+    if args.command == "wire":
+        plot_wire(args.jsonl, args.out, plt)
         return
     for fn in (plot_fig456, plot_fig7, plot_fig8, plot_fig9):
         name = fn.__name__
