@@ -16,20 +16,43 @@
 // keeps the process (and the --metrics-port HTTP endpoints) alive after
 // training so a scraper can read final counters.
 //
+// Fault-tolerance / chaos knobs:
+//   --grace-ms N         server holds a dead worker's barrier slot open N ms
+//                        for a REJOIN before evicting it (0 = strict)
+//   --replay-steps N     pull-replay ring depth for rejoiners (default 8)
+//   --kill-step K --kill-worker W
+//                        worker W simulates a crash after completing step K:
+//                        writes a v3 checkpoint (model + EA buffers +
+//                        sampler cursor + step counter) and drops the socket
+//   --restart-killed     (default true) the parent restarts the killed
+//                        worker from its checkpoint; it REJOINs and the run
+//                        finishes bitwise identical to a fault-free one
+//   --state-dir DIR      where crash checkpoints are written (default ".")
+//   --inject SPEC        worker-side fault-injection spec, e.g.
+//                        "corrupt:push@3" or "delay100:push@any#*"
+//   --inject-server SPEC same, attached to the server's connections
+//   --inject-seed N      seed for the deterministic fault schedules
+//   --max-reconnects N   per-worker mid-run reconnect budget (default 5)
+//
 // Examples:
 //   ./build/examples/distributed_training --spawn 3 --steps 20 --codec 3lc
 //       --compare --metrics-port 9109 --linger-ms 2000
+//   ./build/examples/distributed_training --spawn 3 --steps 20 --codec 3lc
+//       --grace-ms 10000 --kill-step 7 --kill-worker 1 --compare
 //   ./build/examples/distributed_training --role server --port 7171 &
 //   ./build/examples/distributed_training --role worker --worker-id 0
 //       --port 7171
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <exception>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -38,6 +61,7 @@
 #include "nn/checkpoint.h"
 #include "obs/http_server.h"
 #include "obs/telemetry.h"
+#include "rpc/fault.h"
 #include "rpc/runtime.h"
 #include "rpc/transport.h"
 #include "train/experiment.h"
@@ -50,6 +74,10 @@
 using namespace threelc;
 
 namespace {
+
+// A worker that exits with this code crashed on purpose (--kill-step); the
+// parent treats it as restartable, every other nonzero status as a failure.
+constexpr int kSimulatedCrashExit = 42;
 
 // Everything both roles must agree on, derived from the same flags in
 // every process.
@@ -114,11 +142,33 @@ bool ModelsBitwiseEqual(nn::Model& a, nn::Model& b) {
   return true;
 }
 
+// Per-worker fault-tolerance knobs, all defaulting to "behave like PR 3".
+struct WorkerChaos {
+  std::int64_t exit_after_step = -1;  // simulate a crash after this step
+  std::string checkpoint_path;  // written at the crash / read on rejoin
+  bool rejoin = false;          // resume via REJOIN from checkpoint_path
+  int max_reconnects = 5;
+  std::string inject_spec;
+  std::uint64_t inject_seed = 0;
+};
+
 int RunWorker(const Setup& setup, int worker_id, const std::string& host,
-              int port, obs::Telemetry* telemetry) {
+              int port, obs::Telemetry* telemetry,
+              const WorkerChaos& chaos) {
   const train::TrainerConfig& tc = setup.config.trainer;
   nn::Model model =
       train::BuildMlp(setup.config.model, setup.config.model_seed);
+
+  // A restarted worker resumes from the v3 checkpoint its previous life
+  // wrote at the simulated crash: model tensors first (before the
+  // ps::Worker caches parameter pointers), then the codec EA buffers and
+  // the sampler cursor once those objects exist.
+  nn::TrainState resume;
+  const bool resuming = chaos.rejoin && !chaos.checkpoint_path.empty();
+  if (resuming) {
+    nn::LoadCheckpointState(model, &resume, chaos.checkpoint_path);
+  }
+
   const ps::TensorPlan plan =
       ps::TensorPlan::FromParams(model.Params(), tc.min_compress_elems);
   auto codec = std::shared_ptr<const compress::Compressor>(
@@ -133,15 +183,57 @@ int RunWorker(const Setup& setup, int worker_id, const std::string& host,
   for (int i = 0; i < worker_id; ++i) rng = seeder.Fork();
   data::Sampler sampler(setup.data.train, rng, tc.augment_noise);
 
+  if (resuming) {
+    try {
+      util::ByteReader codec_reader(util::ByteSpan(
+          resume.codec_state.data(), resume.codec_state.size()));
+      ps_worker.LoadCodecState(codec_reader);
+      util::ByteReader sampler_reader(util::ByteSpan(
+          resume.sampler_state.data(), resume.sampler_state.size()));
+      sampler.LoadState(sampler_reader);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "worker %d: cannot resume from %s: %s\n",
+                   worker_id, chaos.checkpoint_path.c_str(), e.what());
+      return 1;
+    }
+    std::printf("worker %d: resuming from %s at step %llu\n", worker_id,
+                chaos.checkpoint_path.c_str(),
+                static_cast<unsigned long long>(resume.next_step));
+    std::fflush(stdout);
+  }
+
+  rpc::FaultInjector injector(chaos.inject_seed);
+  rpc::FaultInjector* fault = nullptr;
+  if (!chaos.inject_spec.empty()) {
+    std::string spec_error;
+    if (!injector.AddRulesFromSpec(chaos.inject_spec, &spec_error)) {
+      std::fprintf(stderr, "worker %d: bad --inject spec: %s\n", worker_id,
+                   spec_error.c_str());
+      return 1;
+    }
+    fault = &injector;
+  }
+
   rpc::RpcWorkerConfig wc;
   wc.host = host;
   wc.port = port;
   wc.worker_id = worker_id;
   wc.batch_size = tc.batch_size;
   wc.telemetry = telemetry;
+  wc.start_step = resuming ? static_cast<std::int64_t>(resume.next_step) : 0;
+  wc.rejoin = chaos.rejoin;
+  wc.max_reconnects = chaos.max_reconnects;
+  wc.exit_after_step = chaos.exit_after_step;
+  wc.exit_checkpoint_path = chaos.checkpoint_path;
+  wc.fault = fault;
   rpc::RpcWorker worker(wc, ps_worker, plan, codec->name(),
                         std::move(sampler));
   if (!worker.Run()) {
+    if (worker.simulated_exit()) {
+      std::printf("worker %d: %s\n", worker_id, worker.error().c_str());
+      std::fflush(stdout);
+      return kSimulatedCrashExit;
+    }
     std::fprintf(stderr, "worker %d failed: %s\n", worker_id,
                  worker.error().c_str());
     return 1;
@@ -149,19 +241,30 @@ int RunWorker(const Setup& setup, int worker_id, const std::string& host,
   return 0;
 }
 
-// Returns 0 on a clean run. On success *out_model (when non-null) receives
-// the final global model.
-int RunServer(const Setup& setup, const util::Flags& flags,
-              obs::Telemetry* telemetry, int adopted_fd, int adopted_port,
-              std::unique_ptr<nn::Model>* out_model) {
+// The server plus everything it borrows, so callers (the spawn-mode reaper
+// thread needs a stable RpcServer* for RequestStop) control the lifetime.
+struct ServerParts {
+  std::unique_ptr<nn::Model> model;
+  std::unique_ptr<ps::TensorPlan> plan;
+  std::shared_ptr<const compress::Compressor> codec;
+  std::unique_ptr<ps::ParameterServer> ps;
+  std::unique_ptr<rpc::FaultInjector> fault;
+  std::unique_ptr<rpc::RpcServer> server;
+};
+
+ServerParts MakeServerParts(const Setup& setup, const util::Flags& flags,
+                            obs::Telemetry* telemetry) {
   const train::TrainerConfig& tc = setup.config.trainer;
-  auto model = std::make_unique<nn::Model>(
+  ServerParts parts;
+  parts.model = std::make_unique<nn::Model>(
       train::BuildMlp(setup.config.model, setup.config.model_seed));
-  const ps::TensorPlan plan =
-      ps::TensorPlan::FromParams(model->Params(), tc.min_compress_elems);
-  auto codec = std::shared_ptr<const compress::Compressor>(
+  parts.plan = std::make_unique<ps::TensorPlan>(
+      ps::TensorPlan::FromParams(parts.model->Params(),
+                                 tc.min_compress_elems));
+  parts.codec = std::shared_ptr<const compress::Compressor>(
       compress::MakeCompressor(tc.codec));
-  ps::ParameterServer ps(*model, plan, codec, tc.optimizer);
+  parts.ps = std::make_unique<ps::ParameterServer>(
+      *parts.model, *parts.plan, parts.codec, tc.optimizer);
 
   rpc::RpcServerConfig sc;
   sc.host = flags.GetString("host", "127.0.0.1");
@@ -170,34 +273,24 @@ int RunServer(const Setup& setup, const util::Flags& flags,
   sc.total_steps = tc.total_steps;
   sc.lr_max = tc.lr_max;
   sc.lr_min = tc.lr_min;
+  sc.grace_ms = static_cast<int>(flags.GetInt("grace-ms", 0));
+  sc.replay_steps = static_cast<int>(flags.GetInt("replay-steps", 8));
   sc.telemetry = telemetry;
-  rpc::RpcServer server(sc, ps, codec->name());
-  if (adopted_fd >= 0) {
-    server.AdoptListener(adopted_fd, adopted_port);
-  } else {
-    std::string error;
-    if (!server.Listen(&error)) {
-      std::fprintf(stderr, "listen failed: %s\n", error.c_str());
-      return 1;
-    }
-    std::printf("server listening on %s:%d (%d workers, %lld steps, codec "
-                "%s)\n",
-                sc.host.c_str(), server.port(), sc.num_workers,
-                static_cast<long long>(sc.total_steps),
-                codec->name().c_str());
-    std::fflush(stdout);
+  const std::string inject = flags.GetString("inject-server", "");
+  if (!inject.empty()) {
+    // Distinct stream from the workers' injectors so schedules don't
+    // accidentally mirror each other under a shared --inject-seed.
+    parts.fault = std::make_unique<rpc::FaultInjector>(
+        static_cast<std::uint64_t>(flags.GetInt("inject-seed", 1)) ^
+        0x5e4full);
+    std::string spec_error;
+    THREELC_CHECK_MSG(parts.fault->AddRulesFromSpec(inject, &spec_error),
+                      "bad --inject-server spec: " << spec_error);
+    sc.fault = parts.fault.get();
   }
-  if (!server.Run()) {
-    std::fprintf(stderr, "server failed after %lld steps: %s\n",
-                 static_cast<long long>(server.steps_completed()),
-                 server.error().c_str());
-    return 1;
-  }
-  std::printf("server: %lld steps, model hash %08x\n",
-              static_cast<long long>(server.steps_completed()),
-              ModelHash(*model));
-  if (out_model != nullptr) *out_model = std::move(model);
-  return 0;
+  parts.server =
+      std::make_unique<rpc::RpcServer>(sc, *parts.ps, parts.codec->name());
+  return parts;
 }
 
 void MaybeLinger(const util::Flags& flags) {
@@ -215,6 +308,16 @@ int RunSpawn(const util::Flags& flags) {
   Setup setup = MakeSetup(flags, num_workers);
   const std::string host = flags.GetString("host", "127.0.0.1");
 
+  const std::int64_t kill_step = flags.GetInt("kill-step", -1);
+  const int kill_worker = static_cast<int>(flags.GetInt("kill-worker", 0));
+  const bool restart_killed = flags.GetBool("restart-killed", true);
+  const std::string state_dir = flags.GetString("state-dir", ".");
+  const std::string inject = flags.GetString("inject", "");
+  const auto inject_seed =
+      static_cast<std::uint64_t>(flags.GetInt("inject-seed", 1));
+  const int max_reconnects =
+      static_cast<int>(flags.GetInt("max-reconnects", 5));
+
   // Bind before forking so children learn the ephemeral port, and fork
   // before the parent creates telemetry threads (HTTP server, watchdog).
   std::string error;
@@ -229,18 +332,39 @@ int RunSpawn(const util::Flags& flags) {
               host.c_str(), bound_port);
   std::fflush(stdout);
 
-  std::vector<pid_t> children;
-  for (int w = 0; w < num_workers; ++w) {
+  auto spawn_child = [&](int w, bool rejoin) -> pid_t {
     const pid_t pid = fork();
+    if (pid != 0) return pid;
+    close(listen_fd);
+    WorkerChaos chaos;
+    chaos.max_reconnects = max_reconnects;
+    chaos.inject_spec = inject;
+    // Per-worker stream: the combined schedule is still a pure function of
+    // --inject-seed, but workers don't mirror each other's faults.
+    chaos.inject_seed = inject_seed + static_cast<std::uint64_t>(w);
+    if (kill_step >= 0 && w == kill_worker) {
+      chaos.checkpoint_path =
+          state_dir + "/dt_worker" + std::to_string(w) + ".ckpt";
+      if (!rejoin) chaos.exit_after_step = kill_step;  // crash only once
+    }
+    chaos.rejoin = rejoin;
+    _exit(RunWorker(setup, w, host, bound_port, /*telemetry=*/nullptr,
+                    chaos));
+  };
+
+  struct ChildSlot {
+    pid_t pid = -1;
+    bool running = false;
+    bool restarted = false;
+  };
+  std::vector<ChildSlot> slots(static_cast<std::size_t>(num_workers));
+  for (int w = 0; w < num_workers; ++w) {
+    const pid_t pid = spawn_child(w, /*rejoin=*/false);
     if (pid < 0) {
       std::perror("fork");
       return 1;
     }
-    if (pid == 0) {
-      close(listen_fd);
-      _exit(RunWorker(setup, w, host, bound_port, /*telemetry=*/nullptr));
-    }
-    children.push_back(pid);
+    slots[static_cast<std::size_t>(w)] = {pid, true, false};
   }
 
   std::unique_ptr<obs::Telemetry> telemetry;
@@ -262,19 +386,114 @@ int RunSpawn(const util::Flags& flags) {
     return 1;
   }
 
-  std::unique_ptr<nn::Model> model;
-  int failures = RunServer(setup, flags, telemetry.get(), listen_fd,
-                           bound_port, &model);
-  for (std::size_t w = 0; w < children.size(); ++w) {
-    int status = 0;
-    if (waitpid(children[w], &status, 0) < 0 || !WIFEXITED(status) ||
-        WEXITSTATUS(status) != 0) {
-      std::fprintf(stderr, "worker %zu exited abnormally (status %d)\n", w,
-                   status);
-      ++failures;
+  ServerParts parts = MakeServerParts(setup, flags, telemetry.get());
+  parts.server->AdoptListener(listen_fd, bound_port);
+
+  // Reap children continuously while the server runs: a worker that dies
+  // unexpectedly stops the run immediately (instead of leaving the server
+  // to hit a timeout and the child a zombie), and the designated
+  // --kill-step worker is restarted from its crash checkpoint to REJOIN.
+  std::mutex slots_mu;
+  std::atomic<bool> reaper_stop{false};
+  std::atomic<int> child_failures{0};
+  std::thread reaper([&] {
+    while (!reaper_stop.load(std::memory_order_acquire)) {
+      {
+        std::lock_guard<std::mutex> lock(slots_mu);
+        for (int w = 0; w < num_workers; ++w) {
+          ChildSlot& slot = slots[static_cast<std::size_t>(w)];
+          if (!slot.running) continue;
+          int status = 0;
+          const pid_t r = waitpid(slot.pid, &status, WNOHANG);
+          if (r <= 0) continue;
+          slot.running = false;
+          if (WIFEXITED(status) && WEXITSTATUS(status) == 0) continue;
+          const bool simulated = WIFEXITED(status) &&
+                                 WEXITSTATUS(status) == kSimulatedCrashExit;
+          if (simulated && kill_step >= 0 && w == kill_worker &&
+              !slot.restarted) {
+            if (restart_killed) {
+              std::printf("restarting killed worker %d from checkpoint\n",
+                          w);
+              std::fflush(stdout);
+              const pid_t pid = spawn_child(w, /*rejoin=*/true);
+              if (pid < 0) {
+                std::perror("fork (restart)");
+                child_failures.fetch_add(1);
+                parts.server->RequestStop("restarting worker failed");
+              } else {
+                slot.pid = pid;
+                slot.running = true;
+                slot.restarted = true;
+              }
+            }
+            continue;  // the crash itself was requested, not a failure
+          }
+          std::fprintf(stderr, "worker %d exited abnormally (status %d)\n",
+                       w, status);
+          child_failures.fetch_add(1);
+          parts.server->RequestStop("worker " + std::to_string(w) +
+                                    " exited abnormally");
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
+  const bool server_ok = parts.server->Run();
+  if (!server_ok) {
+    std::fprintf(stderr, "server failed after %lld steps: %s\n",
+                 static_cast<long long>(parts.server->steps_completed()),
+                 parts.server->error().c_str());
+  } else {
+    std::printf("server: %lld steps, model hash %08x\n",
+                static_cast<long long>(parts.server->steps_completed()),
+                ModelHash(*parts.model));
+  }
+  reaper_stop.store(true, std::memory_order_release);
+  reaper.join();
+
+  // Final reap with a deadline: a clean server leaves children exiting on
+  // their own; after a failure, stragglers are killed rather than letting
+  // the parent hang and the children zombify.
+  int failures = child_failures.load();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  for (int w = 0; w < num_workers; ++w) {
+    ChildSlot& slot = slots[static_cast<std::size_t>(w)];
+    while (slot.running) {
+      int status = 0;
+      const pid_t r = waitpid(slot.pid, &status, WNOHANG);
+      if (r > 0) {
+        slot.running = false;
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+          const bool simulated = WIFEXITED(status) &&
+                                 WEXITSTATUS(status) == kSimulatedCrashExit;
+          const bool expected_crash = simulated && kill_step >= 0 &&
+                                      w == kill_worker && !restart_killed;
+          if (!expected_crash) {
+            std::fprintf(stderr,
+                         "worker %d exited abnormally (status %d)\n", w,
+                         status);
+            ++failures;
+          }
+        }
+        break;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        std::fprintf(stderr, "worker %d did not exit; killing pid %d\n", w,
+                     static_cast<int>(slot.pid));
+        kill(slot.pid, SIGKILL);
+        waitpid(slot.pid, &status, 0);
+        slot.running = false;
+        ++failures;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
     }
   }
-  if (failures != 0) {
+
+  if (!server_ok || failures != 0) {
     if (telemetry != nullptr) telemetry->Flush();
     MaybeLinger(flags);
     return 1;
@@ -282,7 +501,7 @@ int RunSpawn(const util::Flags& flags) {
 
   const std::string checkpoint_path = flags.GetString("checkpoint-out", "");
   if (!checkpoint_path.empty()) {
-    nn::SaveCheckpoint(*model, checkpoint_path);
+    nn::SaveCheckpoint(*parts.model, checkpoint_path);
     std::printf("checkpoint written to %s\n", checkpoint_path.c_str());
   }
 
@@ -297,7 +516,8 @@ int RunSpawn(const util::Flags& flags) {
         tc, [spec, model_seed] { return train::BuildMlp(spec, model_seed); },
         setup.data.train, setup.data.test);
     trainer.Run();
-    const bool identical = ModelsBitwiseEqual(*model, trainer.global_model());
+    const bool identical =
+        ModelsBitwiseEqual(*parts.model, trainer.global_model());
     std::printf("in-process model hash %08x — %s\n",
                 ModelHash(trainer.global_model()),
                 identical ? "BITWISE IDENTICAL" : "MISMATCH");
@@ -334,9 +554,24 @@ int main(int argc, char** argv) {
           opts.monitoring_enabled()) {
         telemetry = std::make_unique<obs::Telemetry>(opts);
       }
+      WorkerChaos chaos;
+      chaos.max_reconnects =
+          static_cast<int>(flags.GetInt("max-reconnects", 5));
+      chaos.inject_spec = flags.GetString("inject", "");
+      chaos.inject_seed = static_cast<std::uint64_t>(
+                              flags.GetInt("inject-seed", 1)) +
+                          static_cast<std::uint64_t>(worker_id);
+      chaos.rejoin = flags.GetBool("rejoin", false);
+      const std::int64_t kill_step = flags.GetInt("kill-step", -1);
+      if (kill_step >= 0 || chaos.rejoin) {
+        chaos.checkpoint_path = flags.GetString("state-dir", ".") +
+                                "/dt_worker" + std::to_string(worker_id) +
+                                ".ckpt";
+        if (!chaos.rejoin) chaos.exit_after_step = kill_step;
+      }
       const int rc = RunWorker(setup, worker_id,
                                flags.GetString("host", "127.0.0.1"), port,
-                               telemetry.get());
+                               telemetry.get(), chaos);
       if (telemetry != nullptr) telemetry->Flush();
       return rc;
     }
@@ -350,13 +585,38 @@ int main(int argc, char** argv) {
           opts.monitoring_enabled()) {
         telemetry = std::make_unique<obs::Telemetry>(opts);
       }
-      std::unique_ptr<nn::Model> model;
-      int rc = RunServer(setup, flags, telemetry.get(), /*adopted_fd=*/-1,
-                         /*adopted_port=*/0, &model);
+      ServerParts parts = MakeServerParts(setup, flags, telemetry.get());
+      std::string error;
+      int rc = 0;
+      if (!parts.server->Listen(&error)) {
+        std::fprintf(stderr, "listen failed: %s\n", error.c_str());
+        rc = 1;
+      } else {
+        std::printf("server listening on %s:%d (%d workers, %lld steps, "
+                    "codec %s)\n",
+                    flags.GetString("host", "127.0.0.1").c_str(),
+                    parts.server->port(), num_workers,
+                    static_cast<long long>(
+                        setup.config.trainer.total_steps),
+                    parts.codec->name().c_str());
+        std::fflush(stdout);
+        if (!parts.server->Run()) {
+          std::fprintf(stderr, "server failed after %lld steps: %s\n",
+                       static_cast<long long>(
+                           parts.server->steps_completed()),
+                       parts.server->error().c_str());
+          rc = 1;
+        } else {
+          std::printf("server: %lld steps, model hash %08x\n",
+                      static_cast<long long>(
+                          parts.server->steps_completed()),
+                      ModelHash(*parts.model));
+        }
+      }
       const std::string checkpoint_path =
           flags.GetString("checkpoint-out", "");
       if (rc == 0 && !checkpoint_path.empty()) {
-        nn::SaveCheckpoint(*model, checkpoint_path);
+        nn::SaveCheckpoint(*parts.model, checkpoint_path);
         std::printf("checkpoint written to %s\n", checkpoint_path.c_str());
       }
       if (telemetry != nullptr) telemetry->Flush();

@@ -36,6 +36,15 @@ class Context {
   // Bytes of auxiliary state the codec keeps per tensor (error accumulation
   // buffers etc.) — reported by memory-overhead benchmarks.
   virtual std::size_t StateBytes() const { return 0; }
+
+  // Exact-resume support: serialize the persistent per-tensor state (the
+  // error-accumulation buffer; reusable scratch is excluded) so a restarted
+  // worker continues the identical quantization trajectory. LoadState must
+  // consume exactly what SaveState wrote into a context of the same shape,
+  // throwing std::runtime_error on mismatch. Stateless codecs write and
+  // read nothing.
+  virtual void SaveState(ByteBuffer& out) const { (void)out; }
+  virtual void LoadState(ByteReader& in) { (void)in; }
 };
 
 // Per-encode statistics sink for the observability layer. Callers that want

@@ -39,6 +39,12 @@ class Sampler {
 
   Batch Next(std::int64_t batch_size);
 
+  // The sampler's only mutable state is its RNG; saving/restoring it is the
+  // data-pipeline cursor for exact-resume checkpoints (the dataset and
+  // augmentation level are reconstructed from the run configuration).
+  void SaveState(util::ByteBuffer& out) const { rng_.SaveState(out); }
+  void LoadState(util::ByteReader& in) { rng_.LoadState(in); }
+
  private:
   const Dataset* dataset_;
   util::Rng rng_;

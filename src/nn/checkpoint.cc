@@ -12,8 +12,9 @@ namespace threelc::nn {
 namespace {
 
 constexpr char kMagic[4] = {'3', 'L', 'C', 'K'};
-constexpr std::uint32_t kVersionPlain = 1;     // no trailer
-constexpr std::uint32_t kVersionChecksum = 2;  // CRC32C trailer
+constexpr std::uint32_t kVersionPlain = 1;       // no trailer
+constexpr std::uint32_t kVersionChecksum = 2;    // CRC32C trailer
+constexpr std::uint32_t kVersionTrainState = 3;  // + training-state section
 
 struct NamedTensor {
   std::string name;
@@ -38,6 +39,7 @@ struct CrcWriter {
   std::uint32_t crc = 0;
 
   void Write(const void* data, std::size_t n) {
+    if (n == 0) return;
     out.write(static_cast<const char*>(data),
               static_cast<std::streamsize>(n));
     crc = util::Crc32cExtend(crc, data, n);
@@ -53,6 +55,7 @@ struct CrcReader {
   std::uint32_t crc = 0;
 
   void Read(void* data, std::size_t n) {
+    if (n == 0) return;
     in.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
     if (!in) throw std::runtime_error("checkpoint: unexpected end of file");
     crc = util::Crc32cExtend(crc, data, n);
@@ -73,16 +76,7 @@ T ReadScalarRaw(std::ifstream& in) {
   return v;
 }
 
-}  // namespace
-
-void SaveCheckpoint(Model& model, const std::string& path, bool checksum) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("checkpoint: cannot open " + path);
-  out.write(kMagic, sizeof(kMagic));
-  const std::uint32_t version = checksum ? kVersionChecksum : kVersionPlain;
-  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
-
-  CrcWriter body{out};
+void WriteTensorSection(CrcWriter& body, Model& model) {
   auto tensors = CollectTensors(model);
   body.WriteScalar<std::uint32_t>(static_cast<std::uint32_t>(tensors.size()));
   for (auto& [name, tensor] : tensors) {
@@ -93,27 +87,9 @@ void SaveCheckpoint(Model& model, const std::string& path, bool checksum) {
     for (auto d : dims) body.WriteScalar<std::int64_t>(d);
     body.Write(tensor->data(), tensor->byte_size());
   }
-  if (checksum) {
-    out.write(reinterpret_cast<const char*>(&body.crc), sizeof(body.crc));
-  }
-  if (!out) throw std::runtime_error("checkpoint: write failed for " + path);
 }
 
-void LoadCheckpoint(Model& model, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
-  char magic[4];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("checkpoint: bad magic in " + path);
-  }
-  const auto version = ReadScalarRaw<std::uint32_t>(in);
-  if (version != kVersionPlain && version != kVersionChecksum) {
-    throw std::runtime_error("checkpoint: unsupported version " +
-                             std::to_string(version));
-  }
-
-  CrcReader body{in};
+void ReadTensorSection(CrcReader& body, Model& model) {
   auto tensors = CollectTensors(model);
   const auto count = body.ReadScalar<std::uint32_t>();
   if (count != tensors.size()) {
@@ -135,6 +111,59 @@ void LoadCheckpoint(Model& model, const std::string& path) {
     }
     body.Read(tensor->data(), tensor->byte_size());
   }
+}
+
+void WriteStateSection(CrcWriter& body, const TrainState& state) {
+  body.WriteScalar<std::uint64_t>(state.next_step);
+  body.WriteScalar<std::uint32_t>(
+      static_cast<std::uint32_t>(state.codec_state.size()));
+  body.Write(state.codec_state.data(), state.codec_state.size());
+  body.WriteScalar<std::uint32_t>(
+      static_cast<std::uint32_t>(state.sampler_state.size()));
+  body.Write(state.sampler_state.data(), state.sampler_state.size());
+}
+
+void ReadStateSection(CrcReader& body, TrainState* state) {
+  state->next_step = body.ReadScalar<std::uint64_t>();
+  state->codec_state.resize(body.ReadScalar<std::uint32_t>());
+  body.Read(state->codec_state.data(), state->codec_state.size());
+  state->sampler_state.resize(body.ReadScalar<std::uint32_t>());
+  body.Read(state->sampler_state.data(), state->sampler_state.size());
+}
+
+void CheckVersion(std::uint32_t version, const std::string& path) {
+  if (version < kVersionPlain || version > kVersionTrainState) {
+    throw std::runtime_error("checkpoint: unsupported version " +
+                             std::to_string(version) + " in " + path);
+  }
+}
+
+// Shared load path: restores tensors, fills *state from a v3 section when
+// requested (require_state), otherwise validates and discards it, and
+// verifies the CRC trailer for version >= 2.
+void LoadImpl(Model& model, TrainState* state, bool require_state,
+              const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("checkpoint: bad magic in " + path);
+  }
+  const auto version = ReadScalarRaw<std::uint32_t>(in);
+  CheckVersion(version, path);
+  if (require_state && version < kVersionTrainState) {
+    throw std::runtime_error(
+        "checkpoint: " + path + " (version " + std::to_string(version) +
+        ") has no training-state section; cannot resume exactly");
+  }
+
+  CrcReader body{in};
+  ReadTensorSection(body, model);
+  if (version >= kVersionTrainState) {
+    TrainState discard;
+    ReadStateSection(body, state != nullptr ? state : &discard);
+  }
   if (version >= kVersionChecksum) {
     const auto stored = ReadScalarRaw<std::uint32_t>(in);
     if (stored != body.crc) {
@@ -142,6 +171,47 @@ void LoadCheckpoint(Model& model, const std::string& path) {
                                " (file corrupt)");
     }
   }
+}
+
+}  // namespace
+
+void SaveCheckpoint(Model& model, const std::string& path, bool checksum) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("checkpoint: cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint32_t version = checksum ? kVersionChecksum : kVersionPlain;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+
+  CrcWriter body{out};
+  WriteTensorSection(body, model);
+  if (checksum) {
+    out.write(reinterpret_cast<const char*>(&body.crc), sizeof(body.crc));
+  }
+  if (!out) throw std::runtime_error("checkpoint: write failed for " + path);
+}
+
+void SaveCheckpointWithState(Model& model, const TrainState& state,
+                             const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("checkpoint: cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint32_t version = kVersionTrainState;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+
+  CrcWriter body{out};
+  WriteTensorSection(body, model);
+  WriteStateSection(body, state);
+  out.write(reinterpret_cast<const char*>(&body.crc), sizeof(body.crc));
+  if (!out) throw std::runtime_error("checkpoint: write failed for " + path);
+}
+
+void LoadCheckpoint(Model& model, const std::string& path) {
+  LoadImpl(model, nullptr, /*require_state=*/false, path);
+}
+
+void LoadCheckpointState(Model& model, TrainState* state,
+                         const std::string& path) {
+  LoadImpl(model, state, /*require_state=*/true, path);
 }
 
 }  // namespace threelc::nn

@@ -7,21 +7,42 @@
 //   magic "3LCK" | u32 version | u32 tensor_count
 //   per tensor: u32 name_len | name bytes | u32 rank | i64 dims...
 //               | f32 data...
+//   version >= 3: training-state section after the tensors —
+//                 u64 next_step | u32 codec_state_len | codec state bytes
+//                 | u32 sampler_state_len | sampler state bytes
 //   version >= 2: u32 CRC32C trailer over every byte after the version
-//                 field (tensor_count through the last tensor's data)
+//                 field (tensor_count through the end of the body)
 // Buffers (batch-norm running statistics) are stored after parameters
 // under the synthetic names "__buffer_<i>".
 //
 // Version 1 files (no checksum trailer) are still readable; version 2 is
 // written by default so bit rot in a checkpoint fails loudly at load time
-// instead of silently corrupting a resumed run.
+// instead of silently corrupting a resumed run. Version 3 additionally
+// carries the worker's mid-run training state — the codec's per-tensor
+// error-accumulation buffers, the data-pipeline cursor, and the step
+// counter — so a crashed worker restarts with a bitwise-identical
+// trajectory instead of silently discarding accumulated quantization
+// error. LoadCheckpoint accepts a v3 file (skipping the state section);
+// LoadCheckpointState demands one.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "nn/model.h"
 
 namespace threelc::nn {
+
+// Everything beyond the model tensors a worker needs to resume mid-run
+// exactly. The blobs are opaque here: codec_state is written/read by
+// ps::Worker::{Save,Load}CodecState and sampler_state by
+// data::Sampler::{Save,Load}State.
+struct TrainState {
+  std::uint64_t next_step = 0;  // first step the worker has NOT completed
+  std::vector<std::uint8_t> codec_state;
+  std::vector<std::uint8_t> sampler_state;
+};
 
 // Writes all parameters and buffers of `model`. When `checksum` is true
 // (the default) the file carries a CRC32C trailer (format version 2);
@@ -33,7 +54,19 @@ void SaveCheckpoint(Model& model, const std::string& path,
 // Restores a checkpoint written by SaveCheckpoint into an architecturally
 // identical model, verifying the CRC32C trailer when present. Throws
 // std::runtime_error on I/O failure, format corruption, checksum mismatch,
-// or architecture mismatch (name/shape disagreement).
+// or architecture mismatch (name/shape disagreement). Accepts v3 files,
+// validating but discarding the training-state section.
 void LoadCheckpoint(Model& model, const std::string& path);
+
+// Writes a version-3 checkpoint: model tensors plus `state`, always with
+// the CRC32C trailer. Throws std::runtime_error on I/O failure.
+void SaveCheckpointWithState(Model& model, const TrainState& state,
+                             const std::string& path);
+
+// Restores a version-3 checkpoint into `model` and `*state`. Throws
+// std::runtime_error if the file lacks a training-state section (version
+// < 3) or on any LoadCheckpoint failure mode.
+void LoadCheckpointState(Model& model, TrainState* state,
+                         const std::string& path);
 
 }  // namespace threelc::nn

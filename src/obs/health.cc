@@ -15,6 +15,15 @@ const char* HealthSeverityName(HealthSeverity severity) {
   return severity == HealthSeverity::kError ? "error" : "warn";
 }
 
+const char* RuntimeStateName(RuntimeState state) {
+  switch (state) {
+    case RuntimeState::kHealthy: return "healthy";
+    case RuntimeState::kDegraded: return "degraded";
+    case RuntimeState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
 std::string HealthEvent::ToJson() const {
   std::string out;
   out.reserve(128 + message.size());
@@ -268,6 +277,32 @@ std::size_t HealthMonitor::event_count() const {
   return events_.size();
 }
 
+void HealthMonitor::SetRuntimeState(RuntimeState state,
+                                    const std::string& reason) {
+  std::vector<HealthEvent> fired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state == runtime_state_) return;
+    runtime_state_ = state;
+    Fire(fired,
+         state == RuntimeState::kFailed ? HealthSeverity::kError
+                                        : HealthSeverity::kWarn,
+         "runtime_state", last_step_,
+         std::string("runtime state -> ") + RuntimeStateName(state) +
+             (reason.empty() ? "" : ": " + reason));
+  }
+  if (metrics_ != nullptr) {
+    metrics_->gauge("health/runtime_state")
+        ->Set(static_cast<double>(static_cast<int>(state)));
+  }
+  Dispatch(fired);
+}
+
+RuntimeState HealthMonitor::runtime_state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return runtime_state_;
+}
+
 std::string HealthMonitor::StatusJson(double uptime_seconds) const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
@@ -288,7 +323,9 @@ std::string HealthMonitor::StatusJson(double uptime_seconds) const {
   AppendJsonNumber(out, uptime_seconds);
   out += ",\"healthy\":";
   out += (!has_error_ && !stalled_) ? "true" : "false";
-  out += ",\"events\":";
+  out += ",\"state\":\"";
+  out += RuntimeStateName(runtime_state_);
+  out += "\",\"events\":";
   AppendJsonNumber(out, static_cast<std::uint64_t>(events_.size()));
   out += ",\"tensors\":[";
   bool first = true;

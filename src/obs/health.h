@@ -44,6 +44,15 @@ enum class HealthSeverity { kWarn, kError };
 
 const char* HealthSeverityName(HealthSeverity severity);
 
+// Distributed-membership state reported by the runtime. kDegraded means the
+// run continues on a reduced worker set after an eviction — operationally
+// alive but no longer the configured fleet; kFailed is a fatal runtime
+// fault. /healthz serves healthy as 200 "ok", degraded as 200 "degraded"
+// (scrapers can still distinguish by body), failed as 503.
+enum class RuntimeState { kHealthy, kDegraded, kFailed };
+
+const char* RuntimeStateName(RuntimeState state);
+
 struct HealthEvent {
   HealthSeverity severity = HealthSeverity::kWarn;
   std::string detector;
@@ -107,6 +116,13 @@ class HealthMonitor {
   // False while stalled or after any error-severity event.
   bool healthy();
 
+  // Record a membership-state transition (no-op when unchanged). Fires a
+  // "runtime_state" health event — warn for degraded/recovered, error for
+  // failed (which also flips healthy() false) — and sets the
+  // "health/runtime_state" gauge (0 healthy, 1 degraded, 2 failed).
+  void SetRuntimeState(RuntimeState state, const std::string& reason);
+  RuntimeState runtime_state() const;
+
   std::vector<HealthEvent> events() const;
   std::size_t event_count() const;
 
@@ -148,6 +164,7 @@ class HealthMonitor {
   std::deque<HealthEvent> events_;
   bool has_error_ = false;
   bool stalled_ = false;
+  RuntimeState runtime_state_ = RuntimeState::kHealthy;
   // Last observed step, kept for StatusJson.
   std::int64_t last_step_ = -1;
   double last_loss_ = 0.0;

@@ -57,10 +57,23 @@ Telemetry::Telemetry(TelemetryOptions options)
                           out.str()};
     });
     http_->Handle("/healthz", [this] {
-      if (health_->healthy()) {
+      const RuntimeState state = health_->runtime_state();
+      if (health_->healthy() && state != RuntimeState::kFailed) {
+        if (state == RuntimeState::kDegraded) {
+          // Alive but running on a reduced worker set: 200 so liveness
+          // probes pass, with a body scrapers can alert on.
+          std::string body = "degraded\n";
+          for (const HealthEvent& event : health_->events()) {
+            if (event.detector == "runtime_state") {
+              body += event.message + "\n";
+            }
+          }
+          return HttpResponse{200, "text/plain; charset=utf-8", body};
+        }
         return HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
       }
-      std::string body = "unhealthy\n";
+      std::string body =
+          state == RuntimeState::kFailed ? "failed\n" : "unhealthy\n";
       for (const HealthEvent& event : health_->events()) {
         body += std::string(HealthSeverityName(event.severity)) + " [" +
                 event.detector + "] step " + std::to_string(event.step) +

@@ -1,5 +1,8 @@
 #include "ps/worker.h"
 
+#include <stdexcept>
+#include <string>
+
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
 
@@ -51,6 +54,31 @@ void Worker::ApplyPull(std::size_t idx, ByteReader& in) {
     in.ReadInto(delta.data(), delta.byte_size());
   }
   tensor::Add(*params_[idx].value, delta);
+}
+
+void Worker::SaveCodecState(ByteBuffer& out) const {
+  out.AppendU32(static_cast<std::uint32_t>(push_ctx_.size()));
+  for (const auto& ctx : push_ctx_) {
+    out.AppendU8(ctx ? 1 : 0);
+    if (ctx) ctx->SaveState(out);
+  }
+}
+
+void Worker::LoadCodecState(ByteReader& in) {
+  const std::uint32_t count = in.ReadU32();
+  if (count != push_ctx_.size()) {
+    throw std::runtime_error("codec state mismatch: blob has " +
+                             std::to_string(count) + " contexts, plan has " +
+                             std::to_string(push_ctx_.size()));
+  }
+  for (auto& ctx : push_ctx_) {
+    const bool present = in.ReadU8() != 0;
+    if (present != (ctx != nullptr)) {
+      throw std::runtime_error(
+          "codec state mismatch: compressed-entry set differs from the plan");
+    }
+    if (ctx) ctx->LoadState(in);
+  }
 }
 
 std::size_t Worker::CodecStateBytes() const {

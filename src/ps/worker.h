@@ -46,6 +46,14 @@ class Worker {
   // Total codec state (error-accumulation buffers) held by this worker.
   std::size_t CodecStateBytes() const;
 
+  // Serialize / restore every push context's persistent codec state (the
+  // gradient-direction error-accumulation buffers), the blob checkpoint v3
+  // carries so a restarted worker resumes the exact quantization
+  // trajectory. LoadCodecState throws std::runtime_error when the blob was
+  // written under a different plan.
+  void SaveCodecState(ByteBuffer& out) const;
+  void LoadCodecState(ByteReader& in);
+
  private:
   int id_;
   nn::Model* model_;

@@ -1,0 +1,117 @@
+// Deterministic fault injection for the TCP runtime's chaos testing.
+//
+// A FaultInjector sits on a Connection's outbound path and decides, per
+// frame, whether to tamper with it: drop it, delay the enqueue, flip a
+// payload byte (the receiver's CRC check then kills the connection),
+// truncate the frame and close, or close the connection outright. Every
+// decision is a pure function of (seed, rule set, frame sequence) — no
+// wall clock, no global randomness — so a chaos run is replayable: the
+// same seed produces the identical fault schedule, byte for byte, which
+// the schedule log (one line per injected fault) makes checkable.
+//
+// Rules are matched in order; the first rule that matches a frame's
+// (type, step) and whose occurrence/probability gate passes fires. Rule
+// sets are built programmatically (AddRule) or parsed from a compact spec
+// string (one rule per ';'):
+//
+//   ACTION:TYPE@STEP[#OCCURRENCE]
+//
+//   ACTION      drop | corrupt | trunc | close | delay<ms>  (e.g. delay250)
+//   TYPE        hello | push | stats | pull | bye | rejoin | any
+//   STEP        a step number, or any
+//   OCCURRENCE  fire only on the Nth matching frame (0-based, default 0),
+//               or * to fire on every match
+//
+// Examples: "corrupt:push@2" (flip a byte in the first PUSH of step 2),
+// "close:pull@5" (kill the connection while fanning out step 5's pulls),
+// "delay200:push@any#*" (delay every push by 200 ms).
+//
+// One injector instance belongs to one endpoint (one worker process or the
+// server); sharing an instance across concurrently-sending endpoints would
+// make the occurrence counters race-order dependent and break replay.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rpc/frame.h"
+#include "util/rng.h"
+
+namespace threelc::rpc {
+
+enum class FaultAction : std::uint8_t {
+  kNone = 0,
+  kDrop,      // swallow the frame; the sender believes it was sent
+  kDelay,     // sleep delay_ms before queueing (simulates a slow link)
+  kCorrupt,   // flip one frame byte; receiver fails CRC and disconnects
+  kTruncate,  // send only a frame prefix, then close
+  kClose,     // close the connection instead of sending
+};
+
+const char* FaultActionName(FaultAction action);
+
+struct FaultRule {
+  FaultAction action = FaultAction::kNone;
+  bool any_type = true;
+  MsgType type = MsgType::kError;  // matched when !any_type
+  bool any_step = true;
+  std::uint64_t step = 0;  // matched when !any_step
+  // Fire on the Nth (0-based) matching frame only; every_match fires on
+  // all of them (e.g. a persistent delay).
+  int occurrence = 0;
+  bool every_match = false;
+  int delay_ms = 0;  // kDelay only
+};
+
+// The injector's verdict for one outbound frame.
+struct FaultDecision {
+  FaultAction action = FaultAction::kNone;
+  int delay_ms = 0;
+  // For kCorrupt: which byte of the frame to flip (already reduced modulo
+  // the frame size). For kTruncate: how many prefix bytes survive.
+  std::size_t byte_offset = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 0);
+
+  void AddRule(const FaultRule& rule);
+  std::size_t rule_count() const { return rules_.size(); }
+
+  // Parse a spec string (see file comment) into rules. Returns false with
+  // *error set on malformed input; on success appends to *out.
+  static bool ParseSpec(const std::string& spec, std::vector<FaultRule>* out,
+                        std::string* error);
+  // ParseSpec + AddRule for every parsed rule.
+  bool AddRulesFromSpec(const std::string& spec, std::string* error);
+
+  // Decide the fate of one outbound frame (frame_bytes = full wire size
+  // including header). Deterministic for a fixed (seed, rules, sequence of
+  // OnSend calls).
+  FaultDecision OnSend(MsgType type, std::uint64_t step,
+                       std::size_t frame_bytes);
+
+  // Faults actually injected (decisions other than kNone).
+  std::size_t faults_injected() const { return faults_; }
+
+  // One line per injected fault: "<action> <TYPE> step=<s> byte=<o>".
+  // Two runs with the same seed and traffic produce identical logs — the
+  // replayability contract the chaos tests assert.
+  const std::vector<std::string>& schedule_log() const { return log_; }
+
+ private:
+  struct RuleState {
+    FaultRule rule;
+    int matches = 0;  // frames that matched (type, step)
+    bool fired = false;
+  };
+
+  std::vector<RuleState> rules_;
+  util::Rng rng_;
+  std::vector<std::string> log_;
+  std::size_t faults_ = 0;
+};
+
+}  // namespace threelc::rpc

@@ -9,7 +9,7 @@ namespace threelc::rpc {
 
 bool IsValidMsgType(std::uint8_t raw) {
   return raw >= static_cast<std::uint8_t>(MsgType::kHello) &&
-         raw <= static_cast<std::uint8_t>(MsgType::kError);
+         raw <= static_cast<std::uint8_t>(MsgType::kEvict);
 }
 
 const char* MsgTypeName(MsgType type) {
@@ -22,6 +22,9 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kBye: return "BYE";
     case MsgType::kByeAck: return "BYE_ACK";
     case MsgType::kError: return "ERROR";
+    case MsgType::kRejoin: return "REJOIN";
+    case MsgType::kRejoinAck: return "REJOIN_ACK";
+    case MsgType::kEvict: return "EVICT";
   }
   return "UNKNOWN";
 }

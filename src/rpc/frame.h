@@ -36,7 +36,10 @@
 namespace threelc::rpc {
 
 constexpr std::uint32_t kFrameMagic = 0x52434C33u;  // "3LCR"
-constexpr std::uint8_t kProtocolVersion = 1;
+// Version 2 added the fault-tolerance frames (REJOIN, REJOIN_ACK, EVICT)
+// and BYE buffers from every worker. Version-1 peers are rejected at the
+// parser (kBadVersion) before any payload is interpreted.
+constexpr std::uint8_t kProtocolVersion = 2;
 constexpr std::size_t kFrameHeaderBytes = 28;
 // Largest payload the parser will accept. Generously above any encoded
 // tensor in this repo; primarily a defense against a corrupted length
@@ -49,9 +52,12 @@ enum class MsgType : std::uint8_t {
   kPush = 3,       // worker -> server: one tensor's encoded gradient
   kStepStats = 4,  // worker -> server: per-step scalars (training loss)
   kPull = 5,       // server -> worker: one tensor's shared encoded delta
-  kBye = 6,        // worker -> server: done (worker 0 attaches BN buffers)
+  kBye = 6,        // worker -> server: done (BN buffers attached)
   kByeAck = 7,     // server -> worker: acknowledged, connection closing
   kError = 8,      // either way: fatal error, message string payload
+  kRejoin = 9,     // worker -> server: id, plan hash, codec, next step
+  kRejoinAck = 10,  // server -> worker: N, steps, plan hash, collect step
+  kEvict = 11,     // server -> workers: a peer left the membership
 };
 
 bool IsValidMsgType(std::uint8_t raw);

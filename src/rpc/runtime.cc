@@ -4,8 +4,10 @@
 #include <exception>
 #include <sstream>
 
+#include "nn/checkpoint.h"
 #include "nn/lr_schedule.h"
 #include "obs/flight_recorder.h"
+#include "obs/health.h"
 #include "obs/telemetry.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -35,6 +37,10 @@ void ReportFault(obs::Telemetry* telemetry, const std::string& who,
     flight->RecordEvent(event);
     flight->Dump();
   }
+}
+
+void AddCounter(obs::Telemetry* telemetry, const char* name, double value) {
+  if (telemetry != nullptr) telemetry->metrics().counter(name)->Add(value);
 }
 
 void WriteString(util::ByteBuffer& out, const std::string& s) {
@@ -106,8 +112,15 @@ RpcServer::RpcServer(RpcServerConfig config, ps::ParameterServer& ps,
   step_losses_.assign(n, 0.0);
   stats_seen_.assign(n, false);
   worker_conns_.assign(n, nullptr);
+  member_state_.assign(n, Member::kActive);
+  dead_since_.assign(n, std::chrono::steady_clock::time_point{});
+  greeted_.assign(n, false);
+  bye_blobs_.assign(n, util::ByteBuffer{});
 
-  tcp_.on_accept = [this](Connection& conn) { peers_.emplace(&conn, Peer{}); };
+  tcp_.on_accept = [this](Connection& conn) {
+    peers_.emplace(&conn, Peer{});
+    if (config_.fault != nullptr) conn.set_fault_injector(config_.fault);
+  };
   tcp_.on_frame = [this](Connection& conn, Frame&& frame) {
     OnFrame(conn, std::move(frame));
   };
@@ -124,11 +137,23 @@ void RpcServer::AdoptListener(int listen_fd, int port) {
   tcp_.AdoptListener(listen_fd, port);
 }
 
+void RpcServer::RequestStop(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stop_reason_ = reason;
+  }
+  stop_requested_.store(true, std::memory_order_release);
+}
+
 void RpcServer::Fail(const std::string& message) {
   if (failed_) return;
   failed_ = true;
   error_ = message;
   ReportFault(config_.telemetry, "rpc server", message);
+  if (config_.telemetry != nullptr && config_.telemetry->health() != nullptr) {
+    config_.telemetry->health()->SetRuntimeState(obs::RuntimeState::kFailed,
+                                                 message);
+  }
   BroadcastError(message);
 }
 
@@ -143,10 +168,153 @@ void RpcServer::BroadcastError(const std::string& message) {
   }
 }
 
+std::size_t RpcServer::ActiveWorkers() const {
+  std::size_t n = 0;
+  for (Member m : member_state_) {
+    if (m == Member::kActive) ++n;
+  }
+  return n;
+}
+
+std::size_t RpcServer::WaitingWorkers() const {
+  std::size_t n = 0;
+  for (Member m : member_state_) {
+    if (m == Member::kWaiting) ++n;
+  }
+  return n;
+}
+
+bool RpcServer::BarrierDone() const {
+  return frames_pending_ == 0 && WaitingWorkers() == 0;
+}
+
+void RpcServer::RecordMembershipEvent(const std::string& message, bool error) {
+  if (error) {
+    THREELC_LOG(Error) << "rpc server: " << message;
+  } else {
+    THREELC_LOG(Warn) << "rpc server: " << message;
+  }
+  if (config_.telemetry == nullptr) return;
+  if (obs::FlightRecorder* flight = config_.telemetry->flight_recorder()) {
+    obs::HealthEvent event;
+    event.severity =
+        error ? obs::HealthSeverity::kError : obs::HealthSeverity::kWarn;
+    event.detector = "rpc_membership";
+    event.step = current_step_;
+    event.message = message;
+    flight->RecordEvent(event);
+    if (error) flight->Dump();
+  }
+}
+
+void RpcServer::RecomputePending() {
+  if (current_step_ < 0 || current_step_ >= config_.total_steps) {
+    frames_pending_ = 0;
+    return;
+  }
+  const std::size_t num_tensors = ps_->plan().size();
+  std::size_t pending = 0;
+  for (std::size_t w = 0; w < member_state_.size(); ++w) {
+    if (member_state_[w] != Member::kActive) continue;
+    for (std::size_t t = 0; t < num_tensors; ++t) {
+      if (!push_seen_[w][t]) ++pending;
+    }
+    if (!stats_seen_[w]) ++pending;
+  }
+  frames_pending_ = pending;
+}
+
+void RpcServer::MarkWorkerDead(std::size_t w, const std::string& reason) {
+  if (member_state_[w] != Member::kActive) return;
+  member_state_[w] = Member::kWaiting;
+  dead_since_[w] = std::chrono::steady_clock::now();
+  // Detach the connection now. When the server itself closed it (send
+  // failure), TcpServer::Reap frees the object silently — without the
+  // on_disconnect callback that would otherwise clear this slot — so a
+  // stale pointer here would dangle by the time the worker rejoins.
+  if (Connection* old = worker_conns_[w]; old != nullptr) {
+    peers_.erase(old);
+    old->Close();
+    worker_conns_[w] = nullptr;
+  }
+  // Discard the dead worker's partial contribution to the step being
+  // collected; a rejoiner resends the whole step from its pending buffers.
+  if (current_step_ >= 0 && current_step_ < config_.total_steps) {
+    std::fill(push_seen_[w].begin(), push_seen_[w].end(), false);
+    stats_seen_[w] = false;
+  }
+  RecomputePending();
+  RecordMembershipEvent("worker " + std::to_string(w) + " lost (" + reason +
+                            "); holding barrier " +
+                            std::to_string(config_.grace_ms) +
+                            " ms for rejoin",
+                        /*error=*/false);
+}
+
+void RpcServer::EvictExpired() {
+  if (config_.grace_ms <= 0 || failed_) return;
+  const auto now = std::chrono::steady_clock::now();
+  for (std::size_t w = 0; w < member_state_.size(); ++w) {
+    if (member_state_[w] != Member::kWaiting) continue;
+    const double waited_ms =
+        std::chrono::duration<double, std::milli>(now - dead_since_[w])
+            .count();
+    if (waited_ms >= config_.grace_ms) {
+      Evict(w, "grace window (" + std::to_string(config_.grace_ms) +
+                   " ms) expired");
+      if (failed_) return;
+    }
+  }
+}
+
+void RpcServer::Evict(std::size_t w, const std::string& reason) {
+  member_state_[w] = Member::kEvicted;
+  ++evictions_;
+  AddCounter(config_.telemetry, "rpc/evictions", 1.0);
+  // Tell the survivors which peer is gone (workers log it; supervisors can
+  // react, e.g. by not restarting the process).
+  util::ByteBuffer payload;
+  payload.AppendU32(static_cast<std::uint32_t>(w));
+  const auto step =
+      static_cast<std::uint64_t>(std::max<std::int64_t>(current_step_, 0));
+  for (std::size_t v = 0; v < worker_conns_.size(); ++v) {
+    if (member_state_[v] != Member::kActive) continue;
+    Connection* conn = worker_conns_[v];
+    if (conn != nullptr && conn->open()) {
+      conn->SendFrame(MsgType::kEvict, step, 0, payload.span());
+    }
+  }
+  RecomputePending();
+  RecordMembershipEvent("worker " + std::to_string(w) + " evicted: " +
+                            reason + "; rescaling aggregation to " +
+                            std::to_string(ActiveWorkers()) + " of " +
+                            std::to_string(config_.num_workers) + " workers",
+                        /*error=*/false);
+  if (config_.telemetry != nullptr && config_.telemetry->health() != nullptr) {
+    config_.telemetry->health()->SetRuntimeState(
+        obs::RuntimeState::kDegraded,
+        "worker " + std::to_string(w) + " evicted; " +
+            std::to_string(ActiveWorkers()) + " of " +
+            std::to_string(config_.num_workers) + " workers remain");
+  }
+  if (ActiveWorkers() == 0) Fail("all workers evicted");
+}
+
 bool RpcServer::PollUntil(const std::function<bool()>& done, int timeout_ms,
                           const char* phase) {
   util::WallTimer timer;
   while (!failed_) {
+    if (stop_requested_.load(std::memory_order_acquire)) {
+      std::string reason;
+      {
+        std::lock_guard<std::mutex> lock(stop_mutex_);
+        reason = stop_reason_;
+      }
+      Fail("stop requested: " + reason);
+      return false;
+    }
+    EvictExpired();
+    if (failed_) return false;
     if (done()) return true;
     const double elapsed_ms = timer.ElapsedMillis();
     if (elapsed_ms >= timeout_ms) {
@@ -185,6 +353,11 @@ void RpcServer::HandleHello(Connection& conn, const Frame& frame) {
     Fail("second connection claiming worker id " + std::to_string(worker_id));
     return;
   }
+  if (greeted_[worker_id]) {
+    Fail("HELLO from already-greeted worker " + std::to_string(worker_id) +
+         " (a restarted worker must REJOIN)");
+    return;
+  }
   if (plan_hash != plan_hash_ || codec != codec_name_) {
     std::ostringstream oss;
     oss << "handshake mismatch from worker " << worker_id << ": plan hash "
@@ -195,6 +368,8 @@ void RpcServer::HandleHello(Connection& conn, const Frame& frame) {
   }
   peer.worker_id = static_cast<int>(worker_id);
   worker_conns_[worker_id] = &conn;
+  member_state_[worker_id] = Member::kActive;
+  greeted_[worker_id] = true;
   ++handshakes_;
 
   util::ByteBuffer ack;
@@ -207,12 +382,144 @@ void RpcServer::HandleHello(Connection& conn, const Frame& frame) {
   }
 }
 
+void RpcServer::HandleRejoin(Connection& conn, const Frame& frame) {
+  Peer& peer = peers_[&conn];
+  if (peer.worker_id >= 0) {
+    Fail("REJOIN on an already-identified connection (worker " +
+         std::to_string(peer.worker_id) + ")");
+    return;
+  }
+  util::ByteReader reader(frame.payload);
+  const std::uint32_t worker_id = reader.ReadU32();
+  const std::uint64_t plan_hash = reader.ReadU64();
+  const std::string codec = ReadString(reader);
+  const auto next_step = static_cast<std::int64_t>(reader.ReadU64());
+  if (worker_id >= static_cast<std::uint32_t>(config_.num_workers)) {
+    Fail("REJOIN with out-of-range worker id " + std::to_string(worker_id));
+    return;
+  }
+  if (plan_hash != plan_hash_ || codec != codec_name_) {
+    std::ostringstream oss;
+    oss << "REJOIN handshake mismatch from worker " << worker_id
+        << ": plan hash " << std::hex << plan_hash << " vs " << plan_hash_
+        << std::dec << ", codec '" << codec << "' vs '" << codec_name_ << "'";
+    Fail(oss.str());
+    return;
+  }
+  const auto w = static_cast<std::size_t>(worker_id);
+
+  // Reject (ERROR + close) without failing the run: the rejoiner is wrong
+  // or too late, but the surviving workers are fine.
+  auto reject = [&](const std::string& why) {
+    THREELC_LOG(Warn) << "rpc server: rejecting REJOIN from worker "
+                      << worker_id << ": " << why;
+    util::ByteSpan payload(
+        reinterpret_cast<const std::uint8_t*>(why.data()), why.size());
+    if (conn.SendFrame(MsgType::kError, 0, 0, payload)) {
+      conn.FlushOutput(/*timeout_ms=*/200);
+    }
+    peers_.erase(&conn);
+    conn.Close();  // reaped silently by TcpServer
+  };
+
+  if (member_state_[w] == Member::kEvicted) {
+    reject("worker " + std::to_string(worker_id) +
+           " was evicted; the run continues without it");
+    return;
+  }
+  if (next_step > current_step_) {
+    Fail("REJOIN from worker " + std::to_string(worker_id) +
+         " claims future step " + std::to_string(next_step) +
+         " (server is at " + std::to_string(current_step_) + ")");
+    return;
+  }
+  if (next_step < current_step_) {
+    const std::int64_t oldest =
+        replay_.empty() ? current_step_ : replay_.front().first;
+    if (next_step < oldest) {
+      reject("replay window exceeded: worker needs step " +
+             std::to_string(next_step) + " but the oldest retained step is " +
+             std::to_string(oldest) + " (replay_steps " +
+             std::to_string(config_.replay_steps) + ")");
+      return;
+    }
+  }
+
+  // Displace a half-open previous connection for this id, if any.
+  if (Connection* old = worker_conns_[w];
+      old != nullptr && old != &conn) {
+    peers_.erase(old);
+    old->Close();
+    worker_conns_[w] = nullptr;
+  }
+
+  peer.worker_id = static_cast<int>(worker_id);
+  worker_conns_[w] = &conn;
+  member_state_[w] = Member::kActive;
+  if (!greeted_[w]) {
+    greeted_[w] = true;
+    ++handshakes_;
+  }
+  ++rejoins_;
+  AddCounter(config_.telemetry, "rpc/rejoins", 1.0);
+
+  util::ByteBuffer ack;
+  ack.AppendU32(static_cast<std::uint32_t>(config_.num_workers));
+  ack.AppendU64(static_cast<std::uint64_t>(config_.total_steps));
+  ack.AppendU64(plan_hash_);
+  ack.AppendU64(static_cast<std::uint64_t>(current_step_));
+  if (!conn.SendFrame(MsgType::kRejoinAck, 0, 0, ack.span())) {
+    Fail("sending REJOIN_ACK to worker " + std::to_string(worker_id) + ": " +
+         conn.last_error());
+    return;
+  }
+
+  // Replay the shared pull bytes for every completed step the worker
+  // missed, verbatim — the worker recomputes its own pushes (bitwise
+  // identical, since its state is deterministic) and only needs the
+  // server's side of each barrier.
+  std::size_t frames = 0;
+  for (const auto& [step, tensors] : replay_) {
+    if (step < next_step || step >= current_step_) continue;
+    for (const util::ByteBuffer& bytes : tensors) {
+      if (!conn.SendEncoded(bytes.span(), 1)) {
+        Fail("replaying step " + std::to_string(step) + " to worker " +
+             std::to_string(worker_id) + ": " + conn.last_error());
+        return;
+      }
+      ++frames;
+    }
+  }
+  replayed_frames_ += frames;
+  if (frames > 0) {
+    AddCounter(config_.telemetry, "rpc/replayed_frames",
+               static_cast<double>(frames));
+  }
+
+  // Expect a fresh contribution to the step being collected.
+  if (current_step_ >= 0 && current_step_ < config_.total_steps) {
+    std::fill(push_seen_[w].begin(), push_seen_[w].end(), false);
+    stats_seen_[w] = false;
+  }
+  RecomputePending();
+  RecordMembershipEvent(
+      "worker " + std::to_string(worker_id) + " rejoined at step " +
+          std::to_string(current_step_) + " (resumed from step " +
+          std::to_string(next_step) + ", replayed " + std::to_string(frames) +
+          " pull frames)",
+      /*error=*/false);
+}
+
 void RpcServer::OnFrame(Connection& conn, Frame&& frame) {
   if (failed_) return;
   const FrameHeader& h = frame.header;
   try {
     if (h.type == MsgType::kHello) {
       HandleHello(conn, frame);
+      return;
+    }
+    if (h.type == MsgType::kRejoin) {
+      HandleRejoin(conn, frame);
       return;
     }
     if (h.type == MsgType::kError) {
@@ -266,7 +573,7 @@ void RpcServer::OnFrame(Connection& conn, Frame&& frame) {
           return;
         }
         peer.said_bye = true;
-        if (peer.worker_id == 0) buffer_blob_ = std::move(frame.payload);
+        bye_blobs_[w] = std::move(frame.payload);
         ++byes_;
         return;
       }
@@ -285,9 +592,13 @@ void RpcServer::OnDisconnect(Connection& conn, const std::string& reason) {
   if (it == peers_.end()) return;
   const Peer peer = it->second;
   peers_.erase(it);
-  if (peer.worker_id >= 0 &&
-      worker_conns_[static_cast<std::size_t>(peer.worker_id)] == &conn) {
-    worker_conns_[static_cast<std::size_t>(peer.worker_id)] = nullptr;
+  bool registered = false;
+  if (peer.worker_id >= 0) {
+    const auto w = static_cast<std::size_t>(peer.worker_id);
+    if (worker_conns_[w] == &conn) {
+      worker_conns_[w] = nullptr;
+      registered = true;
+    }
   }
   if (peer.said_bye) return;  // expected teardown after BYE_ACK
   std::ostringstream oss;
@@ -298,36 +609,65 @@ void RpcServer::OnDisconnect(Connection& conn, const std::string& reason) {
   }
   oss << " disconnected mid-run";
   if (!reason.empty()) oss << " (" << reason << ")";
+  if (config_.grace_ms > 0) {
+    if (registered && !failed_ &&
+        member_state_[static_cast<std::size_t>(peer.worker_id)] ==
+            Member::kActive) {
+      MarkWorkerDead(static_cast<std::size_t>(peer.worker_id), oss.str());
+    } else {
+      THREELC_LOG(Warn) << "rpc server: " << oss.str();
+    }
+    return;
+  }
   Fail(oss.str());
 }
 
 void RpcServer::BeginCollect(std::int64_t step) {
   current_step_ = step;
-  if (step >= config_.total_steps) return;  // only BYE is valid now
-  const auto n = static_cast<std::size_t>(config_.num_workers);
-  const std::size_t num_tensors = ps_->plan().size();
-  for (std::size_t w = 0; w < n; ++w) {
+  if (step >= config_.total_steps) {  // only BYE is valid now
+    frames_pending_ = 0;
+    return;
+  }
+  for (std::size_t w = 0; w < push_seen_.size(); ++w) {
     std::fill(push_seen_[w].begin(), push_seen_[w].end(), false);
     stats_seen_[w] = false;
   }
-  frames_pending_ = n * (num_tensors + 1);  // T pushes + 1 stats per worker
+  RecomputePending();
 }
 
 bool RpcServer::RunStep(std::int64_t step, float lr) {
   obs::Tracer* tracer =
       config_.telemetry != nullptr ? &config_.telemetry->tracer() : nullptr;
   const std::size_t num_tensors = ps_->plan().size();
-  const auto n = static_cast<std::size_t>(config_.num_workers);
 
+  // The barrier budget covers the grace window: a dead worker may consume
+  // all of grace_ms rejoining (or being evicted) before the barrier can
+  // possibly complete.
+  const int barrier_timeout_ms =
+      config_.step_timeout_ms + std::max(config_.grace_ms, 0);
   util::WallTimer barrier_timer;
   {
     obs::ScopedSpan span(tracer, "rpc/step_barrier", 0);
-    if (!PollUntil([this] { return frames_pending_ == 0; },
-                   config_.step_timeout_ms, "step barrier")) {
+    if (!PollUntil([this] { return BarrierDone(); }, barrier_timeout_ms,
+                   "step barrier")) {
       return false;
     }
   }
   const double barrier_ms = barrier_timer.ElapsedMillis();
+
+  // The worker set this step's aggregate is computed over, frozen at
+  // barrier completion. Membership can only shrink from here (a fan-out
+  // write failure marks the target dead), never grow mid-step.
+  std::vector<std::size_t> contributors;
+  contributors.reserve(member_state_.size());
+  for (std::size_t w = 0; w < member_state_.size(); ++w) {
+    if (member_state_[w] == Member::kActive) contributors.push_back(w);
+  }
+  if (contributors.empty()) {
+    Fail("no active workers at step " + std::to_string(step));
+    return false;
+  }
+  const auto num_contributors = contributors.size();
 
   // Decode + aggregate in worker-id order — the same float-addition order
   // as DistributedTrainer::Run, which is what makes the distributed model
@@ -337,7 +677,7 @@ bool RpcServer::RunStep(std::int64_t step, float lr) {
   std::size_t push_bytes = 0;
   ps_->BeginStep();
   try {
-    for (std::size_t w = 0; w < n; ++w) {
+    for (std::size_t w : contributors) {
       for (std::size_t t = 0; t < num_tensors; ++t) {
         push_bytes += push_payloads_[w][t].size();
         util::ByteReader reader(push_payloads_[w][t]);
@@ -358,31 +698,43 @@ bool RpcServer::RunStep(std::int64_t step, float lr) {
   const double decode_cpu_s = decode_cpu.ElapsedSeconds();
 
   util::WallTimer optimize_timer;
-  ps_->Update(lr, config_.num_workers);
+  ps_->Update(lr, static_cast<int>(num_contributors));
   const double optimize_ms = optimize_timer.ElapsedMillis();
 
   // Encode each pull payload once; every worker is queued the same frame
-  // bytes (the paper's shared pull compression, §3).
+  // bytes (the paper's shared pull compression, §3). The encoded frames
+  // are also retained in the replay ring so a rejoiner can be caught up.
   util::WallTimer encode_timer;
   util::CpuTimer encode_cpu;
   ps_->PreparePulls();
   std::size_t pull_payload_bytes = 0;
-  util::ByteBuffer frame_bytes;
+  std::vector<util::ByteBuffer> step_frames(num_tensors);
   for (std::size_t t = 0; t < num_tensors; ++t) {
     util::ByteSpan payload = ps_->PullPayload(t);
     pull_payload_bytes += payload.size();
-    frame_bytes.Clear();
     EncodeFrame(MsgType::kPull, static_cast<std::uint64_t>(step),
-                static_cast<std::uint32_t>(t), payload, frame_bytes);
-    for (std::size_t w = 0; w < n; ++w) {
+                static_cast<std::uint32_t>(t), payload, step_frames[t]);
+    for (std::size_t w : contributors) {
+      if (member_state_[w] != Member::kActive) continue;  // died mid-fan-out
       Connection* conn = worker_conns_[w];
-      if (conn == nullptr || !conn->SendEncoded(frame_bytes.span(), 1)) {
-        Fail("queueing PULL to worker " + std::to_string(w) + ": " +
-             (conn != nullptr ? conn->last_error() : "connection gone"));
-        return false;
+      if (conn != nullptr && conn->SendEncoded(step_frames[t].span(), 1)) {
+        continue;
       }
+      const std::string why =
+          "queueing PULL to worker " + std::to_string(w) + ": " +
+          (conn != nullptr ? conn->last_error() : "connection gone");
+      if (config_.grace_ms > 0) {
+        MarkWorkerDead(w, why);
+        continue;
+      }
+      Fail(why);
+      return false;
     }
   }
+  replay_.emplace_back(step, std::move(step_frames));
+  const auto max_replay =
+      static_cast<std::size_t>(std::max(config_.replay_steps, 0));
+  while (replay_.size() > max_replay) replay_.pop_front();
   const double encode_ms = encode_timer.ElapsedMillis();
   const double codec_seconds = decode_cpu_s + encode_cpu.ElapsedSeconds();
 
@@ -391,22 +743,22 @@ bool RpcServer::RunStep(std::int64_t step, float lr) {
   BeginCollect(step + 1);
 
   double loss_sum = 0.0;
-  for (double loss : step_losses_) loss_sum += loss;
-  const double mean_loss = loss_sum / static_cast<double>(n);
+  for (std::size_t w : contributors) loss_sum += step_losses_[w];
+  const double mean_loss = loss_sum / static_cast<double>(num_contributors);
 
   if (obs::Telemetry* tel = config_.telemetry) {
     tel->metrics().counter("rpc/push_payload_bytes")
         ->Add(static_cast<double>(push_bytes));
     tel->metrics().counter("rpc/pull_payload_bytes")
-        ->Add(static_cast<double>(pull_payload_bytes * n));
+        ->Add(static_cast<double>(pull_payload_bytes * num_contributors));
     obs::StepTelemetry st;
     st.step = step;
     st.loss = mean_loss;
     st.lr = lr;
     st.push_bytes = push_bytes;
-    st.pull_bytes = pull_payload_bytes * n;
-    st.push_values =
-        static_cast<std::size_t>(ps_->plan().TotalElements()) * n;
+    st.pull_bytes = pull_payload_bytes * num_contributors;
+    st.push_values = static_cast<std::size_t>(ps_->plan().TotalElements()) *
+                     num_contributors;
     st.pull_values = st.push_values;
     if (st.push_values > 0) {
       st.push_bits_per_value =
@@ -417,7 +769,7 @@ bool RpcServer::RunStep(std::int64_t step, float lr) {
           static_cast<double>(st.pull_values);
     }
     st.codec_seconds = codec_seconds;
-    st.contributors = config_.num_workers;
+    st.contributors = static_cast<int>(num_contributors);
     st.phases_ms = {{"step_barrier", barrier_ms},
                     {"decode_aggregate", decode_ms},
                     {"optimize", optimize_ms},
@@ -431,12 +783,27 @@ bool RpcServer::RunStep(std::int64_t step, float lr) {
 bool RpcServer::ApplyWorkerBuffers() {
   // Mirror of DistributedTrainer::EvaluateGlobalModel, which copies
   // batch-norm running stats from worker 0 into the global model (buffers
-  // are updated by forward passes, which only workers run). Worker 0 ships
-  // them in its BYE payload.
+  // are updated by forward passes, which only workers run). Every worker
+  // ships its buffers in its BYE payload; the lowest surviving worker id
+  // is used — worker 0 whenever it survives, matching the in-process
+  // trainer bit for bit.
   std::vector<tensor::Tensor*> buffers = ps_->global_model().Buffers();
-  if (buffers.empty() && buffer_blob_.empty()) return true;
+  const util::ByteBuffer* blob = nullptr;
+  std::size_t source = 0;
+  for (std::size_t w = 0; w < bye_blobs_.size(); ++w) {
+    if (member_state_[w] == Member::kActive && !bye_blobs_[w].empty()) {
+      blob = &bye_blobs_[w];
+      source = w;
+      break;
+    }
+  }
+  if (blob == nullptr) {
+    if (buffers.empty()) return true;
+    Fail("no surviving worker shipped buffer state in its BYE");
+    return false;
+  }
   try {
-    util::ByteReader reader(buffer_blob_);
+    util::ByteReader reader(*blob);
     const std::uint32_t count = reader.ReadU32();
     if (count != buffers.size()) {
       Fail("BYE buffer count " + std::to_string(count) + " != model's " +
@@ -459,6 +826,10 @@ bool RpcServer::ApplyWorkerBuffers() {
   } catch (const std::exception& e) {
     Fail(std::string("malformed BYE buffer payload: ") + e.what());
     return false;
+  }
+  if (source != 0) {
+    THREELC_LOG(Warn) << "rpc server: applied batch-norm buffers from worker "
+                      << source << " (worker 0 did not survive)";
   }
   return true;
 }
@@ -501,13 +872,22 @@ bool RpcServer::Run() {
     ++steps_completed_;
   }
 
-  // Shutdown: drain remaining pulls, collect every BYE, fold in worker 0's
-  // buffers, acknowledge, flush, close.
+  // Shutdown: drain remaining pulls, collect a BYE from every surviving
+  // worker (a worker inside its grace window holds shutdown open until it
+  // rejoins and says BYE, or is evicted), fold in buffers, acknowledge,
+  // flush, close.
+  const int shutdown_timeout_ms =
+      config_.shutdown_timeout_ms + std::max(config_.grace_ms, 0);
   if (!PollUntil(
           [this] {
-            return byes_ == static_cast<std::size_t>(config_.num_workers);
+            return WaitingWorkers() == 0 && byes_ >= ActiveWorkers();
           },
-          config_.shutdown_timeout_ms, "shutdown")) {
+          shutdown_timeout_ms, "shutdown")) {
+    tcp_.Close();
+    return false;
+  }
+  if (ActiveWorkers() == 0) {
+    Fail("no active workers left at shutdown");
     tcp_.Close();
     return false;
   }
@@ -515,7 +895,9 @@ bool RpcServer::Run() {
     tcp_.Close();
     return false;
   }
-  for (Connection* conn : worker_conns_) {
+  for (std::size_t w = 0; w < worker_conns_.size(); ++w) {
+    if (member_state_[w] != Member::kActive) continue;
+    Connection* conn = worker_conns_[w];
     if (conn == nullptr ||
         !conn->SendFrame(MsgType::kByeAck, 0, 0, util::ByteSpan())) {
       Fail("sending BYE_ACK: " +
@@ -539,7 +921,11 @@ bool RpcServer::Run() {
   }
   tcp_.Close();
   THREELC_LOG(Info) << "rpc server: clean shutdown after "
-                    << steps_completed_ << " steps";
+                    << steps_completed_ << " steps"
+                    << (evictions_ > 0
+                            ? " (degraded: " + std::to_string(evictions_) +
+                                  " worker(s) evicted)"
+                            : "");
   return true;
 }
 
@@ -555,7 +941,9 @@ RpcWorker::RpcWorker(RpcWorkerConfig config, ps::Worker& worker,
       sampler_(std::move(sampler)),
       metrics_(config_.telemetry != nullptr
                    ? TransportMetrics::RegisterIn(config_.telemetry->metrics())
-                   : TransportMetrics{}) {}
+                   : TransportMetrics{}),
+      next_apply_(config_.start_step),
+      computed_through_(config_.start_step - 1) {}
 
 bool RpcWorker::Fail(const std::string& message) {
   if (!failed_) {
@@ -565,6 +953,27 @@ bool RpcWorker::Fail(const std::string& message) {
                 "rpc worker " + std::to_string(config_.worker_id), message);
   }
   return false;
+}
+
+Connection::IoResult RpcWorker::WaitDataFrame(Connection& conn, Frame* frame,
+                                              int timeout_ms) {
+  for (;;) {
+    const Connection::IoResult r = conn.WaitFrame(frame, timeout_ms);
+    if (r != Connection::IoResult::kOk) return r;
+    if (frame->header.type == MsgType::kEvict) {
+      // Membership news about another worker; informational here.
+      std::uint32_t evicted = 0xFFFFFFFFu;
+      try {
+        util::ByteReader reader(frame->payload);
+        evicted = reader.ReadU32();
+      } catch (...) {
+      }
+      THREELC_LOG(Warn) << "rpc worker " << config_.worker_id
+                        << ": server evicted worker " << evicted;
+      continue;
+    }
+    return r;
+  }
 }
 
 bool RpcWorker::Handshake(Connection& conn) {
@@ -581,7 +990,7 @@ bool RpcWorker::Handshake(Connection& conn) {
   }
   Frame ack;
   const Connection::IoResult r =
-      conn.WaitFrame(&ack, config_.handshake_timeout_ms);
+      WaitDataFrame(conn, &ack, config_.handshake_timeout_ms);
   if (r != Connection::IoResult::kOk) {
     return Fail("waiting for HELLO_ACK: " + DescribeWait(r, conn));
   }
@@ -606,94 +1015,312 @@ bool RpcWorker::Handshake(Connection& conn) {
   return true;
 }
 
-bool RpcWorker::RunStep(Connection& conn, std::int64_t step) {
+bool RpcWorker::RejoinHandshake(Connection& conn,
+                                std::int64_t* collect_step) {
+  util::ByteBuffer rejoin;
+  rejoin.AppendU32(static_cast<std::uint32_t>(config_.worker_id));
+  rejoin.AppendU64(PlanHash(*plan_, codec_name_));
+  WriteString(rejoin, codec_name_);
+  rejoin.AppendU64(static_cast<std::uint64_t>(next_apply_));
+  if (!conn.SendFrame(MsgType::kRejoin, 0, 0, rejoin.span())) {
+    return Fail("sending REJOIN: " + conn.last_error());
+  }
+  if (conn.FlushOutput(config_.io_timeout_ms) != Connection::IoResult::kOk) {
+    return Fail("flushing REJOIN: " + conn.last_error());
+  }
+  Frame ack;
+  const Connection::IoResult r =
+      WaitDataFrame(conn, &ack, config_.handshake_timeout_ms);
+  if (r != Connection::IoResult::kOk) {
+    return Fail("waiting for REJOIN_ACK: " + DescribeWait(r, conn));
+  }
+  if (ack.header.type == MsgType::kError) {
+    return Fail("server rejected rejoin: " + PayloadString(ack));
+  }
+  if (ack.header.type != MsgType::kRejoinAck) {
+    return Fail(std::string("expected REJOIN_ACK, got ") +
+                MsgTypeName(ack.header.type));
+  }
+  try {
+    util::ByteReader reader(ack.payload);
+    num_workers_ = static_cast<int>(reader.ReadU32());
+    total_steps_ = static_cast<std::int64_t>(reader.ReadU64());
+    const std::uint64_t hash = reader.ReadU64();
+    if (hash != PlanHash(*plan_, codec_name_)) {
+      return Fail("REJOIN_ACK plan hash mismatch");
+    }
+    *collect_step = static_cast<std::int64_t>(reader.ReadU64());
+  } catch (const std::exception& e) {
+    return Fail(std::string("malformed REJOIN_ACK: ") + e.what());
+  }
+  if (*collect_step < next_apply_) {
+    return Fail("REJOIN_ACK collect step " + std::to_string(*collect_step) +
+                " behind worker resume step " + std::to_string(next_apply_));
+  }
+  THREELC_LOG(Info) << "rpc worker " << config_.worker_id
+                    << ": rejoined at server step " << *collect_step
+                    << " (resuming from step " << next_apply_ << ")";
+  return true;
+}
+
+void RpcWorker::ComputeStep(std::int64_t step) {
+  obs::Tracer* tracer =
+      config_.telemetry != nullptr ? &config_.telemetry->tracer() : nullptr;
+  const int track = 1 + config_.worker_id;
+  obs::ScopedSpan span(tracer, "forward_backward", track);
+  data::Batch batch = sampler_.Next(config_.batch_size);
+  pending_loss_ = static_cast<float>(
+      worker_->model().TrainStep(batch.inputs, batch.labels).loss);
+  const std::size_t num_tensors = plan_->size();
+  pending_push_.resize(num_tensors);
+  for (std::size_t t = 0; t < num_tensors; ++t) {
+    pending_push_[t].Clear();
+    worker_->EncodePush(t, pending_push_[t]);
+  }
+  computed_through_ = step;
+}
+
+RpcWorker::StepStatus RpcWorker::ReplayTo(std::int64_t collect_step) {
+  const std::size_t num_tensors = plan_->size();
+  for (std::int64_t r = next_apply_; r < collect_step; ++r) {
+    // Advance the local state machine exactly as the original pass did:
+    // sample the batch, run forward/backward, and encode the pushes (which
+    // moves the EA buffers) — then discard the sends, since the server
+    // already aggregated bitwise-identical bytes.
+    if (computed_through_ < r) ComputeStep(r);
+    std::vector<util::ByteBuffer> pulls(num_tensors);
+    for (std::size_t t = 0; t < num_tensors; ++t) {
+      Frame frame;
+      const Connection::IoResult io =
+          WaitDataFrame(*conn_, &frame, config_.pull_timeout_ms);
+      if (io != Connection::IoResult::kOk) {
+        THREELC_LOG(Warn) << "rpc worker " << config_.worker_id
+                          << ": connection lost during replay of step " << r
+                          << ": " << DescribeWait(io, *conn_);
+        return StepStatus::kRetry;
+      }
+      if (frame.header.type == MsgType::kError) {
+        Fail("server error during replay: " + PayloadString(frame));
+        return StepStatus::kFailed;
+      }
+      if (frame.header.type != MsgType::kPull ||
+          frame.header.step != static_cast<std::uint64_t>(r) ||
+          frame.header.tensor != static_cast<std::uint32_t>(t)) {
+        std::ostringstream oss;
+        oss << "protocol violation during replay: expected PULL step " << r
+            << " tensor " << t << ", got " << MsgTypeName(frame.header.type)
+            << " step " << frame.header.step << " tensor "
+            << frame.header.tensor;
+        Fail(oss.str());
+        return StepStatus::kFailed;
+      }
+      pulls[t] = std::move(frame.payload);
+    }
+    for (std::size_t t = 0; t < num_tensors; ++t) {
+      try {
+        util::ByteReader reader(pulls[t]);
+        worker_->ApplyPull(t, reader);
+        if (!reader.AtEnd()) {
+          Fail("trailing bytes in replayed PULL for tensor " +
+               std::to_string(t));
+          return StepStatus::kFailed;
+        }
+      } catch (const std::exception& e) {
+        Fail(std::string("applying replayed PULL tensor ") +
+             std::to_string(t) + ": " + e.what());
+        return StepStatus::kFailed;
+      }
+    }
+    ++next_apply_;
+    ++steps_run_;
+  }
+  return StepStatus::kOk;
+}
+
+bool RpcWorker::Connect(bool rejoin_mode) {
+  RetryOptions retry = config_.retry;
+  if (retry.jitter_seed == 0) {
+    // Give each worker a distinct deterministic backoff schedule so a
+    // fleet reconnecting after a server blip does not stampede in lockstep.
+    retry.jitter_seed =
+        0x334C4333ull ^ (static_cast<std::uint64_t>(config_.worker_id) + 1);
+  }
+  std::string connect_error;
+  const int fd = ConnectWithRetry(config_.host, config_.port, retry,
+                                  &metrics_, &connect_error);
+  if (fd < 0) return Fail(connect_error);
+  conn_ = std::make_unique<Connection>(fd, &metrics_);
+  if (config_.fault != nullptr) conn_->set_fault_injector(config_.fault);
+
+  obs::Tracer* tracer =
+      config_.telemetry != nullptr ? &config_.telemetry->tracer() : nullptr;
+  const int track = 1 + config_.worker_id;
+  obs::ScopedSpan span(tracer, rejoin_mode ? "rpc/rejoin" : "rpc/handshake",
+                       track);
+  if (!rejoin_mode) return Handshake(*conn_);
+  std::int64_t collect_step = 0;
+  if (!RejoinHandshake(*conn_, &collect_step)) return false;
+  // kRetry leaves failed_ unset: the caller may spend another reconnect
+  // attempt on a fresh REJOIN.
+  return ReplayTo(collect_step) == StepStatus::kOk;
+}
+
+bool RpcWorker::Reconnect() {
+  if (conn_ != nullptr) conn_->Close();
+  while (!failed_) {
+    if (reconnects_ >=
+        static_cast<std::size_t>(std::max(config_.max_reconnects, 0))) {
+      return Fail("connection to server lost and reconnect budget (" +
+                  std::to_string(config_.max_reconnects) + ") exhausted");
+    }
+    ++reconnects_;
+    AddCounter(config_.telemetry, "rpc/reconnects", 1.0);
+    THREELC_LOG(Warn) << "rpc worker " << config_.worker_id
+                      << ": reconnecting (attempt " << reconnects_ << " of "
+                      << config_.max_reconnects << ")";
+    if (Connect(/*rejoin_mode=*/true)) return true;
+    // A hard failure during rejoin set failed_ and ends the loop; a soft
+    // one (the new connection died mid-replay) consumes another attempt.
+  }
+  return false;
+}
+
+RpcWorker::StepStatus RpcWorker::RunStep(std::int64_t step) {
   obs::Tracer* tracer =
       config_.telemetry != nullptr ? &config_.telemetry->tracer() : nullptr;
   const int track = 1 + config_.worker_id;
   const std::size_t num_tensors = plan_->size();
 
-  double loss_value = 0.0;
-  {
-    obs::ScopedSpan span(tracer, "forward_backward", track);
-    data::Batch batch = sampler_.Next(config_.batch_size);
-    loss_value = worker_->model().TrainStep(batch.inputs, batch.labels).loss;
-  }
+  // Forward/backward + encode runs at most once per step, no matter how
+  // many times the sends are retried across reconnects — re-encoding would
+  // advance the error-accumulation buffers twice and silently fork the
+  // trajectory. Retries resend the identical stored bytes.
+  if (computed_through_ < step) ComputeStep(step);
+
   {
     obs::ScopedSpan span(tracer, "rpc/push", track);
-    util::ByteBuffer payload;
     for (std::size_t t = 0; t < num_tensors; ++t) {
-      payload.Clear();
-      worker_->EncodePush(t, payload);
-      if (!conn.SendFrame(MsgType::kPush, static_cast<std::uint64_t>(step),
-                          static_cast<std::uint32_t>(t), payload.span())) {
-        return Fail("queueing PUSH tensor " + std::to_string(t) + ": " +
-                    conn.last_error());
+      if (!conn_->SendFrame(MsgType::kPush, static_cast<std::uint64_t>(step),
+                            static_cast<std::uint32_t>(t),
+                            pending_push_[t].span())) {
+        THREELC_LOG(Warn) << "rpc worker " << config_.worker_id
+                          << ": queueing PUSH tensor " << t << " failed: "
+                          << conn_->last_error();
+        return StepStatus::kRetry;
       }
     }
     util::ByteBuffer stats;
-    stats.AppendF32(static_cast<float>(loss_value));
-    if (!conn.SendFrame(MsgType::kStepStats, static_cast<std::uint64_t>(step),
-                        0, stats.span())) {
-      return Fail("queueing STEP_STATS: " + conn.last_error());
+    stats.AppendF32(pending_loss_);
+    if (!conn_->SendFrame(MsgType::kStepStats,
+                          static_cast<std::uint64_t>(step), 0, stats.span())) {
+      THREELC_LOG(Warn) << "rpc worker " << config_.worker_id
+                        << ": queueing STEP_STATS failed: "
+                        << conn_->last_error();
+      return StepStatus::kRetry;
     }
-    if (conn.FlushOutput(config_.io_timeout_ms) !=
+    if (conn_->FlushOutput(config_.io_timeout_ms) !=
         Connection::IoResult::kOk) {
-      return Fail("flushing step " + std::to_string(step) +
-                  " pushes: " + conn.last_error());
+      THREELC_LOG(Warn) << "rpc worker " << config_.worker_id
+                        << ": flushing step " << step << " pushes failed: "
+                        << conn_->last_error();
+      return StepStatus::kRetry;
     }
   }
   {
     obs::ScopedSpan span(tracer, "rpc/pull_wait", track);
+    // Collect all of the step's pulls before applying any (deferred
+    // apply): a connection lost mid-collect leaves the model untouched and
+    // the step cleanly resumable after a rejoin.
+    std::vector<util::ByteBuffer> pulls(num_tensors);
     for (std::size_t t = 0; t < num_tensors; ++t) {
       Frame frame;
       const Connection::IoResult r =
-          conn.WaitFrame(&frame, config_.pull_timeout_ms);
+          WaitDataFrame(*conn_, &frame, config_.pull_timeout_ms);
       if (r != Connection::IoResult::kOk) {
-        return Fail("waiting for PULL tensor " + std::to_string(t) + ": " +
-                    DescribeWait(r, conn));
+        THREELC_LOG(Warn) << "rpc worker " << config_.worker_id
+                          << ": waiting for PULL tensor " << t << " failed: "
+                          << DescribeWait(r, *conn_);
+        return StepStatus::kRetry;
       }
       if (frame.header.type == MsgType::kError) {
-        return Fail("server error: " + PayloadString(frame));
+        Fail("server error: " + PayloadString(frame));
+        return StepStatus::kFailed;
       }
       if (frame.header.type != MsgType::kPull ||
           frame.header.step != static_cast<std::uint64_t>(step) ||
           frame.header.tensor != static_cast<std::uint32_t>(t)) {
         std::ostringstream oss;
-        oss << "protocol violation: expected PULL step " << step << " tensor "
-            << t << ", got " << MsgTypeName(frame.header.type) << " step "
-            << frame.header.step << " tensor " << frame.header.tensor;
-        return Fail(oss.str());
+        oss << "protocol violation: expected PULL step " << step
+            << " tensor " << t << ", got " << MsgTypeName(frame.header.type)
+            << " step " << frame.header.step << " tensor "
+            << frame.header.tensor;
+        Fail(oss.str());
+        return StepStatus::kFailed;
       }
+      pulls[t] = std::move(frame.payload);
+    }
+    for (std::size_t t = 0; t < num_tensors; ++t) {
       try {
-        util::ByteReader reader(frame.payload);
+        util::ByteReader reader(pulls[t]);
         worker_->ApplyPull(t, reader);
         if (!reader.AtEnd()) {
-          return Fail("trailing bytes in PULL payload for tensor " +
-                      std::to_string(t));
+          Fail("trailing bytes in PULL payload for tensor " +
+               std::to_string(t));
+          return StepStatus::kFailed;
         }
       } catch (const std::exception& e) {
-        return Fail(std::string("applying PULL tensor ") + std::to_string(t) +
-                    ": " + e.what());
+        Fail(std::string("applying PULL tensor ") + std::to_string(t) +
+             ": " + e.what());
+        return StepStatus::kFailed;
       }
     }
   }
-  return true;
+  ++next_apply_;
+  return StepStatus::kOk;
+}
+
+void RpcWorker::SimulateCrash(std::int64_t step) {
+  if (!config_.exit_checkpoint_path.empty()) {
+    // Checkpoint timing invariant: after completing step k, the model has
+    // k's pulls applied, the EA buffers have advanced through k's encode,
+    // the sampler has consumed k's batch, and next_step is k + 1 — exactly
+    // the state a fault-free worker would carry into step k + 1.
+    nn::TrainState state;
+    state.next_step = static_cast<std::uint64_t>(next_apply_);
+    util::ByteBuffer codec_blob;
+    worker_->SaveCodecState(codec_blob);
+    state.codec_state.assign(codec_blob.data(),
+                             codec_blob.data() + codec_blob.size());
+    util::ByteBuffer sampler_blob;
+    sampler_.SaveState(sampler_blob);
+    state.sampler_state.assign(sampler_blob.data(),
+                               sampler_blob.data() + sampler_blob.size());
+    nn::SaveCheckpointWithState(worker_->model(), state,
+                                config_.exit_checkpoint_path);
+  }
+  conn_->Close();  // abrupt: no BYE — the server sees a mid-run disconnect
+  simulated_exit_ = true;
+  failed_ = true;
+  error_ = "simulated crash after step " + std::to_string(step);
+  THREELC_LOG(Info) << "rpc worker " << config_.worker_id << ": " << error_
+                    << (config_.exit_checkpoint_path.empty()
+                            ? ""
+                            : " (checkpoint at " +
+                                  config_.exit_checkpoint_path + ")");
 }
 
 bool RpcWorker::SayBye(Connection& conn) {
+  // Every worker ships its batch-norm running stats; the server applies
+  // the lowest surviving id's — worker 0's whenever it is alive, matching
+  // DistributedTrainer::EvaluateGlobalModel's CopyBuffersFrom(worker 0).
   util::ByteBuffer payload;
-  if (config_.worker_id == 0) {
-    // Worker 0 ships its batch-norm running stats so the server's global
-    // model matches DistributedTrainer::EvaluateGlobalModel's
-    // CopyBuffersFrom(worker 0).
-    std::vector<tensor::Tensor*> buffers = worker_->model().Buffers();
-    payload.AppendU32(static_cast<std::uint32_t>(buffers.size()));
-    for (const tensor::Tensor* buffer : buffers) {
-      payload.AppendU64(static_cast<std::uint64_t>(buffer->num_elements()));
-      payload.Append(buffer->data(),
-                     static_cast<std::size_t>(buffer->num_elements()) *
-                         sizeof(float));
-    }
+  std::vector<tensor::Tensor*> buffers = worker_->model().Buffers();
+  payload.AppendU32(static_cast<std::uint32_t>(buffers.size()));
+  for (const tensor::Tensor* buffer : buffers) {
+    payload.AppendU64(static_cast<std::uint64_t>(buffer->num_elements()));
+    payload.Append(buffer->data(),
+                   static_cast<std::size_t>(buffer->num_elements()) *
+                       sizeof(float));
   }
   if (!conn.SendFrame(MsgType::kBye, 0, 0, payload.span())) {
     return Fail("queueing BYE: " + conn.last_error());
@@ -702,7 +1329,8 @@ bool RpcWorker::SayBye(Connection& conn) {
     return Fail("flushing BYE: " + conn.last_error());
   }
   Frame ack;
-  const Connection::IoResult r = conn.WaitFrame(&ack, config_.io_timeout_ms);
+  const Connection::IoResult r =
+      WaitDataFrame(conn, &ack, config_.io_timeout_ms);
   if (r == Connection::IoResult::kClosed) return true;  // server won the race
   if (r != Connection::IoResult::kOk) {
     return Fail("waiting for BYE_ACK: " + DescribeWait(r, conn));
@@ -718,12 +1346,6 @@ bool RpcWorker::SayBye(Connection& conn) {
 }
 
 bool RpcWorker::Run() {
-  std::string connect_error;
-  const int fd = ConnectWithRetry(config_.host, config_.port, config_.retry,
-                                  &metrics_, &connect_error);
-  if (fd < 0) return Fail(connect_error);
-  Connection conn(fd, &metrics_);
-
   obs::Tracer* tracer =
       config_.telemetry != nullptr ? &config_.telemetry->tracer() : nullptr;
   const int track = 1 + config_.worker_id;
@@ -731,21 +1353,36 @@ bool RpcWorker::Run() {
     tracer->SetTrackName(track,
                          "worker " + std::to_string(config_.worker_id));
   }
-  {
-    obs::ScopedSpan span(tracer, "rpc/handshake", track);
-    if (!Handshake(conn)) return false;
+  if (!Connect(config_.rejoin)) {
+    if (failed_) return false;
+    // The rejoin replay died on a soft fault; spend reconnect budget.
+    if (!Reconnect()) return false;
   }
   THREELC_LOG(Info) << "rpc worker " << config_.worker_id << ": handshaken ("
                     << num_workers_ << " workers, " << total_steps_
                     << " steps)";
-  for (std::int64_t step = 0; step < total_steps_; ++step) {
-    if (!RunStep(conn, step)) return false;
+  while (next_apply_ < total_steps_) {
+    const std::int64_t step = next_apply_;
+    const StepStatus status = RunStep(step);
+    if (status == StepStatus::kFailed) return false;
+    if (status == StepStatus::kRetry) {
+      if (!Reconnect()) return false;
+      continue;
+    }
     ++steps_run_;
+    if (step == config_.exit_after_step) {
+      SimulateCrash(step);
+      return false;
+    }
   }
-  if (!SayBye(conn)) return false;
-  conn.Close();
+  if (!SayBye(*conn_)) return false;
+  conn_->Close();
   THREELC_LOG(Info) << "rpc worker " << config_.worker_id
-                    << ": clean shutdown after " << steps_run_ << " steps";
+                    << ": clean shutdown after " << steps_run_ << " steps"
+                    << (reconnects_ > 0
+                            ? " (" + std::to_string(reconnects_) +
+                                  " reconnect(s))"
+                            : "");
   return true;
 }
 

@@ -32,17 +32,39 @@
 // does in the simulated path: push contexts inside each worker process's
 // ps::Worker, pull contexts inside the server's ps::ParameterServer.
 //
-// Fault model: any disconnect, malformed frame, protocol violation, or
-// deadline miss fails the run *cleanly* — logged, counted in rpc/*
-// metrics, reported as a flight-recorder event through Telemetry, ERROR
-// frames sent to surviving peers, every socket closed. No hangs: every
-// blocking wait carries a timeout.
+// Fault model (strict, the default with grace_ms == 0): any disconnect,
+// malformed frame, protocol violation, or deadline miss fails the run
+// *cleanly* — logged, counted in rpc/* metrics, reported as a
+// flight-recorder event through Telemetry, ERROR frames sent to surviving
+// peers, every socket closed. No hangs: every blocking wait carries a
+// timeout.
+//
+// Fault tolerance (grace_ms > 0): a worker disconnect no longer fails the
+// run. The server discards the dead worker's partial contributions to the
+// step being collected, keeps the step barrier open for the grace window,
+// and accepts a REJOIN handshake (worker id + plan hash + codec + the
+// first step the worker has not completed). Pull fan-out frames for the
+// last `replay_steps` steps are retained verbatim, so a rejoiner is
+// replayed exactly the shared bytes it missed; because every worker's
+// training state is deterministic (checkpoint v3 carries the codec's
+// error-accumulation buffers, the sampler cursor, and the step counter),
+// the recomputed pushes are bitwise identical to the originals and the
+// final model matches a fault-free run bit for bit. If the grace window
+// expires the worker is evicted (EVICT broadcast to survivors), the
+// aggregation rescales to the surviving worker set, and health flips to
+// `degraded`. Every recovery action is counted: rpc/rejoins,
+// rpc/evictions, rpc/replayed_frames on the server; rpc/reconnects on the
+// worker; rpc/faults_injected wherever a FaultInjector is attached.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -78,6 +100,14 @@ struct RpcServerConfig {
   // Max wall time for one step barrier (all pushes of a step).
   int step_timeout_ms = 60000;
   int shutdown_timeout_ms = 30000;
+  // Fault tolerance. grace_ms > 0: after a worker disconnect, hold its
+  // barrier slot open that long for a REJOIN before evicting it; 0 keeps
+  // the strict fail-fast model. replay_steps bounds the per-step pull
+  // replay buffer a rejoiner can be caught up from.
+  int grace_ms = 0;
+  int replay_steps = 8;
+  // Injected into every accepted connection (chaos testing); not owned.
+  FaultInjector* fault = nullptr;
   // Optional; adds rpc metrics, per-step JSONL records, handshake /
   // step-barrier spans (track 0), and flight-recorder error events.
   obs::Telemetry* telemetry = nullptr;
@@ -103,17 +133,32 @@ class RpcServer {
   const std::string& error() const { return error_; }
   std::int64_t steps_completed() const { return steps_completed_; }
   const TransportMetrics& metrics() const { return metrics_; }
+  std::size_t evictions() const { return evictions_; }
+  std::size_t rejoins() const { return rejoins_; }
+  std::size_t replayed_frames() const { return replayed_frames_; }
+
+  // Thread-safe: ask the (single-threaded) poll loop to fail the run at
+  // its next iteration. Used by process supervisors (e.g. the example's
+  // child reaper) when an external fault makes completion impossible.
+  void RequestStop(const std::string& reason);
 
  private:
   struct Peer {
-    int worker_id = -1;  // -1 until HELLO validates
+    int worker_id = -1;  // -1 until HELLO/REJOIN validates
     bool said_bye = false;
   };
+
+  // Per-worker membership. kWaiting = disconnected, inside the grace
+  // window, barrier held open; kEvicted = permanently out, aggregation
+  // rescaled to the survivors.
+  enum class Member { kActive, kWaiting, kEvicted };
 
   void OnFrame(Connection& conn, Frame&& frame);
   void OnDisconnect(Connection& conn, const std::string& reason);
   void HandleHello(Connection& conn, const Frame& frame);
-  // Poll until `done` returns true. False on fault or deadline.
+  void HandleRejoin(Connection& conn, const Frame& frame);
+  // Poll until `done` returns true. False on fault or deadline. Also
+  // drives grace-window expiry (evictions) between poll slices.
   bool PollUntil(const std::function<bool()>& done, int timeout_ms,
                  const char* phase);
   void Fail(const std::string& message);
@@ -124,6 +169,16 @@ class RpcServer {
   void BeginCollect(std::int64_t step);
   bool RunStep(std::int64_t step, float lr);
   bool ApplyWorkerBuffers();
+
+  // Fault-tolerance plumbing.
+  void MarkWorkerDead(std::size_t w, const std::string& reason);
+  void EvictExpired();               // grace-window sweep
+  void Evict(std::size_t w, const std::string& reason);
+  void RecomputePending();           // barrier countdown from scratch
+  std::size_t ActiveWorkers() const;
+  std::size_t WaitingWorkers() const;
+  bool BarrierDone() const;
+  void RecordMembershipEvent(const std::string& message, bool error);
 
   RpcServerConfig config_;
   ps::ParameterServer* ps_;
@@ -142,12 +197,28 @@ class RpcServer {
   std::vector<bool> stats_seen_;                              // [w]
   std::size_t frames_pending_ = 0;  // barrier countdown
 
+  // Membership + rejoin state.
+  std::vector<Member> member_state_;
+  // Disconnect instants, meaningful only while kWaiting.
+  std::vector<std::chrono::steady_clock::time_point> dead_since_;
+  std::vector<bool> greeted_;  // ever completed HELLO or REJOIN
+  // Retained pull fan-out frames: replay_[i] holds the per-tensor encoded
+  // frame bytes of a completed step, bounded to config_.replay_steps.
+  std::deque<std::pair<std::int64_t, std::vector<util::ByteBuffer>>> replay_;
+  std::size_t rejoins_ = 0;
+  std::size_t evictions_ = 0;
+  std::size_t replayed_frames_ = 0;
+
   std::size_t handshakes_ = 0;
   std::size_t byes_ = 0;
-  util::ByteBuffer buffer_blob_;  // worker 0's BYE payload (BN buffers)
+  std::vector<util::ByteBuffer> bye_blobs_;  // per-worker BYE payloads
   bool failed_ = false;
   std::string error_;
   std::int64_t steps_completed_ = 0;
+
+  std::atomic<bool> stop_requested_{false};
+  std::mutex stop_mutex_;
+  std::string stop_reason_;
 };
 
 struct RpcWorkerConfig {
@@ -161,6 +232,24 @@ struct RpcWorkerConfig {
   // compute plus the server's aggregate/optimize/encode).
   int pull_timeout_ms = 120000;
   int io_timeout_ms = 30000;
+  // Fault tolerance / recovery.
+  //
+  // start_step is the first step this worker has NOT yet applied; with
+  // rejoin=true the initial handshake is REJOIN instead of HELLO, which is
+  // how a process restarted from a checkpoint v3 (model + EA buffers +
+  // sampler cursor + step counter) re-enters a live run.
+  std::int64_t start_step = 0;
+  bool rejoin = false;
+  // How many times a lost connection may be re-established mid-run before
+  // the worker gives up (0 keeps the strict fail-fast model).
+  int max_reconnects = 0;
+  // Chaos testing: after completing this step, write a checkpoint v3 to
+  // exit_checkpoint_path (if set), close the socket abruptly (no BYE), and
+  // return from Run with simulated_exit() true. -1 disables.
+  std::int64_t exit_after_step = -1;
+  std::string exit_checkpoint_path;
+  // Injected into every connection this worker makes; not owned.
+  FaultInjector* fault = nullptr;
   obs::Telemetry* telemetry = nullptr;  // optional rpc metrics + spans
 };
 
@@ -179,14 +268,39 @@ class RpcWorker {
 
   const std::string& error() const { return error_; }
   std::int64_t steps_run() const { return steps_run_; }
-  // Populated from HELLO_ACK.
+  // Populated from HELLO_ACK / REJOIN_ACK.
   int num_workers() const { return num_workers_; }
   std::int64_t total_steps() const { return total_steps_; }
   const TransportMetrics& metrics() const { return metrics_; }
+  std::size_t reconnects() const { return reconnects_; }
+  // True when Run returned false because exit_after_step fired — an
+  // intentional simulated crash, not a fault.
+  bool simulated_exit() const { return simulated_exit_; }
 
  private:
+  // kRetry = the connection died without a protocol violation; the step can
+  // be resumed on a fresh connection via REJOIN.
+  enum class StepStatus { kOk, kRetry, kFailed };
+
+  // Establish (or re-establish) conn_ and handshake. rejoin_mode sends
+  // REJOIN + replays missed pulls instead of HELLO. Returns false with
+  // failed_ unset on a soft failure (connection died again mid-replay).
+  bool Connect(bool rejoin_mode);
+  bool Reconnect();
   bool Handshake(Connection& conn);
-  bool RunStep(Connection& conn, std::int64_t step);
+  bool RejoinHandshake(Connection& conn, std::int64_t* collect_step);
+  // Catch up to the server's collect step by recomputing each missed step
+  // locally and applying the replayed pull bytes.
+  StepStatus ReplayTo(std::int64_t collect_step);
+  // Forward/backward + encode every push into pending_push_, advancing the
+  // codec's EA buffers and the sampler exactly once per step.
+  void ComputeStep(std::int64_t step);
+  // WaitFrame that skips EVICT broadcasts (membership news about other
+  // workers) and turns server ERROR frames into hard failures.
+  Connection::IoResult WaitDataFrame(Connection& conn, Frame* frame,
+                                     int timeout_ms);
+  StepStatus RunStep(std::int64_t step);
+  void SimulateCrash(std::int64_t step);
   bool SayBye(Connection& conn);
   bool Fail(const std::string& message);
 
@@ -196,9 +310,23 @@ class RpcWorker {
   std::string codec_name_;
   data::Sampler sampler_;
   TransportMetrics metrics_;
+  std::unique_ptr<Connection> conn_;
   int num_workers_ = 0;
   std::int64_t total_steps_ = 0;
   std::int64_t steps_run_ = 0;
+
+  // Step state machine. next_apply_ = first step whose pulls have not been
+  // applied; computed_through_ = last step forward/backward + encode ran.
+  // pending_push_ holds computed_through_'s encoded push payloads so a
+  // resend after reconnect ships bitwise-identical bytes (re-encoding
+  // would advance the EA buffers twice).
+  std::int64_t next_apply_ = 0;
+  std::int64_t computed_through_ = -1;
+  std::vector<util::ByteBuffer> pending_push_;
+  float pending_loss_ = 0.0f;
+
+  std::size_t reconnects_ = 0;
+  bool simulated_exit_ = false;
   bool failed_ = false;
   std::string error_;
 };

@@ -1,5 +1,6 @@
 #include "rpc/transport.h"
 
+#include <algorithm>
 #include <arpa/inet.h>
 #include <cerrno>
 #include <chrono>
@@ -13,7 +14,9 @@
 #include <unistd.h>
 
 #include "obs/metrics.h"
+#include "rpc/fault.h"
 #include "util/logging.h"
+#include "util/rng.h"
 
 namespace threelc::rpc {
 
@@ -66,6 +69,7 @@ TransportMetrics TransportMetrics::RegisterIn(obs::MetricsRegistry& registry) {
   m.connect_retries = registry.counter("rpc/connect_retries");
   m.timeouts = registry.counter("rpc/timeouts");
   m.disconnects = registry.counter("rpc/disconnects");
+  m.faults_injected = registry.counter("rpc/faults_injected");
   return m;
 }
 
@@ -126,23 +130,43 @@ int ListenOn(const std::string& host, int port, std::string* error,
   return fd;
 }
 
+int BackoffDelayMs(const RetryOptions& retry, int attempt) {
+  double base = retry.initial_backoff_ms;
+  for (int i = 1; i < attempt; ++i) {
+    base = std::min(base * retry.multiplier,
+                    static_cast<double>(retry.max_backoff_ms));
+  }
+  base = std::min(base, static_cast<double>(retry.max_backoff_ms));
+  if (retry.jitter_seed == 0 || retry.jitter <= 0.0) {
+    return static_cast<int>(base);
+  }
+  // Mix (seed, attempt) statelessly so the schedule is a pure function of
+  // the options — reconnect attempt k always sleeps the same amount.
+  std::uint64_t state =
+      retry.jitter_seed ^
+      (0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(attempt + 1));
+  const std::uint64_t bits = util::SplitMix64(state);
+  const double unit = static_cast<double>(bits >> 11) * 0x1.0p-53;  // [0, 1)
+  const double factor = 1.0 + retry.jitter * (2.0 * unit - 1.0);
+  const double jittered =
+      std::min(std::max(base * factor, 1.0),
+               static_cast<double>(retry.max_backoff_ms));
+  return static_cast<int>(jittered);
+}
+
 int ConnectWithRetry(const std::string& host, int port,
                      const RetryOptions& retry,
                      const TransportMetrics* metrics, std::string* error) {
   sockaddr_in addr;
   if (!FillAddr(host, port, &addr, error)) return -1;
   std::string last_error = "no attempts made";
-  double backoff_ms = retry.initial_backoff_ms;
   for (int attempt = 0; attempt < retry.max_attempts; ++attempt) {
     if (attempt > 0) {
       if (metrics != nullptr && metrics->connect_retries != nullptr) {
         metrics->connect_retries->Add(1.0);
       }
       std::this_thread::sleep_for(
-          std::chrono::milliseconds(static_cast<int>(backoff_ms)));
-      backoff_ms =
-          std::min(backoff_ms * retry.multiplier,
-                   static_cast<double>(retry.max_backoff_ms));
+          std::chrono::milliseconds(BackoffDelayMs(retry, attempt)));
     }
     const int fd = socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) {
@@ -183,24 +207,70 @@ void Connection::Close() {
   }
 }
 
+bool Connection::QueueAndFlush(const std::uint8_t* data, std::size_t size,
+                               std::size_t frame_count) {
+  if (queued_bytes() + size > max_queued_bytes_) {
+    last_error_ = "write queue full (" + std::to_string(queued_bytes()) +
+                  " + " + std::to_string(size) + " > " +
+                  std::to_string(max_queued_bytes_) + " bytes)";
+    return false;
+  }
+  outbuf_.insert(outbuf_.end(), data, data + size);
+  if (metrics_ != nullptr && metrics_->frames_tx != nullptr &&
+      frame_count > 0) {
+    metrics_->frames_tx->Add(static_cast<double>(frame_count));
+  }
+  return FlushSome() != IoResult::kError;
+}
+
 bool Connection::SendEncoded(util::ByteSpan frame_bytes,
                              std::size_t frame_count) {
   if (!open()) {
     last_error_ = "send on closed connection";
     return false;
   }
-  if (queued_bytes() + frame_bytes.size() > max_queued_bytes_) {
-    last_error_ = "write queue full (" + std::to_string(queued_bytes()) +
-                  " + " + std::to_string(frame_bytes.size()) + " > " +
-                  std::to_string(max_queued_bytes_) + " bytes)";
-    return false;
+  if (fault_ != nullptr && frame_count == 1 &&
+      frame_bytes.size() >= kFrameHeaderBytes) {
+    const MsgType type = static_cast<MsgType>(frame_bytes.data()[5]);
+    std::uint64_t step = 0;
+    std::memcpy(&step, frame_bytes.data() + 8, sizeof(step));
+    const FaultDecision fault = fault_->OnSend(type, step, frame_bytes.size());
+    if (fault.action != FaultAction::kNone && metrics_ != nullptr &&
+        metrics_->faults_injected != nullptr) {
+      metrics_->faults_injected->Add(1.0);
+    }
+    switch (fault.action) {
+      case FaultAction::kNone:
+        break;
+      case FaultAction::kDrop:
+        return true;  // swallowed: the peer never sees this frame
+      case FaultAction::kDelay:
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(fault.delay_ms));
+        break;
+      case FaultAction::kCorrupt: {
+        std::vector<std::uint8_t> mangled(
+            frame_bytes.data(), frame_bytes.data() + frame_bytes.size());
+        mangled[fault.byte_offset % mangled.size()] ^= 0x01;
+        return QueueAndFlush(mangled.data(), mangled.size(), frame_count);
+      }
+      case FaultAction::kTruncate: {
+        const std::size_t keep =
+            std::min(fault.byte_offset, frame_bytes.size() - 1);
+        QueueAndFlush(frame_bytes.data(), keep, 0);
+        FlushOutput(100);
+        Close();
+        last_error_ = "injected fault: truncated frame";
+        return false;
+      }
+      case FaultAction::kClose:
+        FlushOutput(100);
+        Close();
+        last_error_ = "injected fault: connection closed";
+        return false;
+    }
   }
-  outbuf_.insert(outbuf_.end(), frame_bytes.data(),
-                 frame_bytes.data() + frame_bytes.size());
-  if (metrics_ != nullptr && metrics_->frames_tx != nullptr) {
-    metrics_->frames_tx->Add(static_cast<double>(frame_count));
-  }
-  return FlushSome() != IoResult::kError;
+  return QueueAndFlush(frame_bytes.data(), frame_bytes.size(), frame_count);
 }
 
 bool Connection::SendFrame(MsgType type, std::uint64_t step,

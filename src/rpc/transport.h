@@ -35,6 +35,8 @@ class MetricsRegistry;
 
 namespace threelc::rpc {
 
+class FaultInjector;
+
 // Nullable counter handles; a default-constructed TransportMetrics makes
 // every recording a no-op. RegisterIn binds the rpc/* names whose
 // Prometheus forms (rpc_wire_bytes_total, ...) the CI smoke job scrapes.
@@ -48,6 +50,7 @@ struct TransportMetrics {
   obs::Counter* connect_retries = nullptr;  // rpc/connect_retries
   obs::Counter* timeouts = nullptr;         // rpc/timeouts
   obs::Counter* disconnects = nullptr;      // rpc/disconnects
+  obs::Counter* faults_injected = nullptr;  // rpc/faults_injected
 
   static TransportMetrics RegisterIn(obs::MetricsRegistry& registry);
 
@@ -65,7 +68,20 @@ struct RetryOptions {
   int initial_backoff_ms = 50;
   int max_backoff_ms = 2000;
   double multiplier = 2.0;
+  // Deterministic jitter: with a nonzero jitter_seed, each backoff is
+  // scaled by a factor in [1 - jitter, 1 + jitter] derived purely from
+  // (jitter_seed, attempt index) — no wall clock — so a fleet of workers
+  // given distinct seeds desynchronizes after a server blip while each
+  // worker's schedule stays reproducible. jitter_seed == 0 keeps the
+  // plain exponential schedule.
+  double jitter = 0.5;
+  std::uint64_t jitter_seed = 0;
 };
+
+// The backoff (ms) slept after `attempt` consecutive failures (attempt
+// >= 1), exponential in `attempt` with deterministic seeded jitter per
+// RetryOptions. Pure function, exposed for unit-testing the schedule.
+int BackoffDelayMs(const RetryOptions& retry, int attempt);
 
 // Blocking connect with exponential backoff between attempts. Each retry
 // increments metrics->connect_retries. Returns a connected fd, or -1 with
@@ -134,12 +150,20 @@ class Connection {
   ParseError parse_error() const { return parser_.error(); }
   const std::string& last_error() const { return last_error_; }
 
+  // Route every outbound frame through `injector` (not owned; may be
+  // nullptr to disable). Single-frame sends only — pre-batched multi-frame
+  // buffers bypass injection.
+  void set_fault_injector(FaultInjector* injector) { fault_ = injector; }
+
  private:
   IoResult FlushSome();  // one non-blocking write pass
+  bool QueueAndFlush(const std::uint8_t* data, std::size_t size,
+                     std::size_t frame_count);
 
   int fd_;
   const TransportMetrics* metrics_;
   std::size_t max_queued_bytes_;
+  FaultInjector* fault_ = nullptr;
   FrameParser parser_;
   std::deque<Frame> inbox_;
   std::vector<std::uint8_t> outbuf_;

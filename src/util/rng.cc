@@ -96,4 +96,16 @@ Rng Rng::Fork() {
   return child;
 }
 
+void Rng::SaveState(ByteBuffer& out) const {
+  for (const std::uint64_t s : s_) out.AppendU64(s);
+  out.AppendU8(has_cached_normal_ ? 1 : 0);
+  out.AppendF64(cached_normal_);
+}
+
+void Rng::LoadState(ByteReader& in) {
+  for (auto& s : s_) s = in.ReadU64();
+  has_cached_normal_ = in.ReadU8() != 0;
+  cached_normal_ = in.ReadF64();
+}
+
 }  // namespace threelc::util

@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/byte_buffer.h"
+
 namespace threelc::util {
 
 // splitmix64: used for seeding and as a cheap stateless mixer.
@@ -55,6 +57,12 @@ class Rng {
 
   // Derive an independent child generator (for per-worker streams).
   Rng Fork();
+
+  // Serialize / restore the complete generator state (xoshiro words plus
+  // the Box–Muller cache), so a checkpointed run resumes on the exact same
+  // random stream. LoadState throws std::out_of_range on short input.
+  void SaveState(ByteBuffer& out) const;
+  void LoadState(ByteReader& in);
 
  private:
   std::uint64_t s_[4];

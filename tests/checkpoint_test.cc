@@ -172,6 +172,87 @@ TEST(Checkpoint, ChecksumFileIsLargerByTrailer) {
   std::remove(without.c_str());
 }
 
+// ---------- v3 training state ----------
+
+nn::TrainState MakeState() {
+  nn::TrainState state;
+  state.next_step = 41;
+  state.codec_state = {0xDE, 0xAD, 0xBE, 0xEF, 0x01};
+  state.sampler_state = {0x10, 0x20, 0x30};
+  return state;
+}
+
+TEST(Checkpoint, V3RoundTripRestoresModelAndState) {
+  auto model = train::BuildMlp(Spec(), 7);
+  const std::string path = TempPath("ckpt_v3_roundtrip.bin");
+  nn::SaveCheckpointWithState(model, MakeState(), path);
+
+  auto restored = train::BuildMlp(Spec(), 8);
+  nn::TrainState state;
+  nn::LoadCheckpointState(restored, &state, path);
+  EXPECT_EQ(state.next_step, 41u);
+  EXPECT_EQ(state.codec_state, MakeState().codec_state);
+  EXPECT_EQ(state.sampler_state, MakeState().sampler_state);
+  util::Rng rng(9);
+  tensor::Tensor in(tensor::Shape{4, 6});
+  tensor::FillNormal(in, rng, 0.0f, 1.0f);
+  EXPECT_EQ(tensor::MaxAbsDiff(model.Forward(in, false),
+                               restored.Forward(in, false)),
+            0.0f);
+  std::remove(path.c_str());
+}
+
+// Plain LoadCheckpoint must accept a v3 file — readers that only want the
+// model (evaluation snapshots) skip the training-state section.
+TEST(Checkpoint, LoadCheckpointAcceptsV3AndSkipsState) {
+  auto model = train::BuildMlp(Spec(), 7);
+  const std::string path = TempPath("ckpt_v3_model_only.bin");
+  nn::SaveCheckpointWithState(model, MakeState(), path);
+  auto restored = train::BuildMlp(Spec(), 8);
+  EXPECT_NO_THROW(nn::LoadCheckpoint(restored, path));
+  util::Rng rng(9);
+  tensor::Tensor in(tensor::Shape{4, 6});
+  tensor::FillNormal(in, rng, 0.0f, 1.0f);
+  EXPECT_EQ(tensor::MaxAbsDiff(model.Forward(in, false),
+                               restored.Forward(in, false)),
+            0.0f);
+  std::remove(path.c_str());
+}
+
+// LoadCheckpointState demands the state section: a v2 (model-only) file is
+// an error, not silently-zero state.
+TEST(Checkpoint, LoadCheckpointStateRejectsV2File) {
+  auto model = train::BuildMlp(Spec(), 7);
+  const std::string path = TempPath("ckpt_v2_no_state.bin");
+  nn::SaveCheckpoint(model, path);
+  nn::TrainState state;
+  EXPECT_THROW(nn::LoadCheckpointState(model, &state, path),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, V3ChecksumDetectsStateCorruption) {
+  auto model = train::BuildMlp(Spec(), 7);
+  const std::string path = TempPath("ckpt_v3_corrupt.bin");
+  nn::SaveCheckpointWithState(model, MakeState(), path);
+  // Flip a byte near the end of the body — inside the training-state
+  // section, before the CRC trailer.
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  contents[contents.size() - 7] ^= 0x01;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+  }
+  nn::TrainState state;
+  EXPECT_THROW(nn::LoadCheckpointState(model, &state, path),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+
 // ---------- Sharding ----------
 
 TEST(Sharding, SingleShardTakesEverything) {

@@ -1,0 +1,553 @@
+// Fault-tolerance tests for the TCP distributed runtime: a worker killed
+// at an arbitrary step and restarted from its crash checkpoint (model +
+// error-accumulation buffers + sampler cursor + step counter) must REJOIN
+// and leave the final model bitwise identical to a fault-free run, for
+// both the float32 and 3LC codecs; injected connection faults must be
+// survived via reconnect + pull replay; grace-window expiry must evict the
+// dead worker and finish degraded on the survivors; and the deterministic
+// FaultInjector must produce identical schedules from identical seeds.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compress/factory.h"
+#include "data/synthetic.h"
+#include "nn/checkpoint.h"
+#include "ps/plan.h"
+#include "ps/server.h"
+#include "ps/worker.h"
+#include "rpc/fault.h"
+#include "rpc/runtime.h"
+#include "rpc/transport.h"
+#include "train/experiment.h"
+#include "train/model_zoo.h"
+#include "train/trainer.h"
+#include "util/byte_buffer.h"
+#include "util/rng.h"
+
+namespace threelc::rpc {
+namespace {
+
+struct TestSetup {
+  train::ExperimentConfig config;
+  data::SyntheticData data;
+};
+
+TestSetup MakeTestSetup(int num_workers, std::int64_t steps,
+                        const compress::CodecConfig& codec) {
+  TestSetup setup;
+  setup.config = train::SmallExperiment();
+  train::TrainerConfig& tc = setup.config.trainer;
+  tc.num_workers = num_workers;
+  tc.total_steps = steps;
+  tc.batch_size = 16;
+  tc.eval_every = 0;
+  tc.codec = codec;
+  setup.data = data::MakeTeacherDataset(setup.config.data);
+  return setup;
+}
+
+bool ModelsBitwiseEqual(nn::Model& a, nn::Model& b) {
+  auto pa = a.Params(), pb = b.Params();
+  if (pa.size() != pb.size()) return false;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    if (pa[i].value->byte_size() != pb[i].value->byte_size() ||
+        std::memcmp(pa[i].value->data(), pb[i].value->data(),
+                    pa[i].value->byte_size()) != 0) {
+      return false;
+    }
+  }
+  auto ba = a.Buffers(), bb = b.Buffers();
+  if (ba.size() != bb.size()) return false;
+  for (std::size_t i = 0; i < ba.size(); ++i) {
+    if (ba[i]->byte_size() != bb[i]->byte_size() ||
+        std::memcmp(ba[i]->data(), bb[i]->data(), ba[i]->byte_size()) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct WorkerChaos {
+  std::int64_t exit_after_step = -1;
+  std::string checkpoint_path;
+  bool rejoin = false;
+  int max_reconnects = 0;
+  FaultInjector* fault = nullptr;
+};
+
+struct WorkerResult {
+  bool ok = false;
+  bool simulated_exit = false;
+  std::size_t reconnects = 0;
+  std::string error;
+};
+
+// One worker lifetime on the calling thread, mirroring
+// examples/distributed_training.cpp: with chaos.rejoin it restores the
+// full training state from the crash checkpoint before reconnecting.
+WorkerResult RunOneWorker(const TestSetup& setup, int worker_id, int port,
+                          const WorkerChaos& chaos) {
+  WorkerResult result;
+  const train::TrainerConfig& tc = setup.config.trainer;
+  nn::Model model =
+      train::BuildMlp(setup.config.model, setup.config.model_seed);
+
+  nn::TrainState resume;
+  if (chaos.rejoin) {
+    nn::LoadCheckpointState(model, &resume, chaos.checkpoint_path);
+  }
+
+  const ps::TensorPlan plan =
+      ps::TensorPlan::FromParams(model.Params(), tc.min_compress_elems);
+  auto codec = std::shared_ptr<const compress::Compressor>(
+      compress::MakeCompressor(tc.codec));
+  ps::Worker ps_worker(worker_id, model, plan, codec);
+
+  util::Rng seeder(tc.seed);
+  util::Rng rng = seeder.Fork();
+  for (int i = 0; i < worker_id; ++i) rng = seeder.Fork();
+  data::Sampler sampler(setup.data.train, rng, tc.augment_noise);
+
+  if (chaos.rejoin) {
+    util::ByteReader codec_reader(util::ByteSpan(resume.codec_state.data(),
+                                                 resume.codec_state.size()));
+    ps_worker.LoadCodecState(codec_reader);
+    util::ByteReader sampler_reader(util::ByteSpan(
+        resume.sampler_state.data(), resume.sampler_state.size()));
+    sampler.LoadState(sampler_reader);
+  }
+
+  RpcWorkerConfig wc;
+  wc.port = port;
+  wc.worker_id = worker_id;
+  wc.batch_size = tc.batch_size;
+  wc.handshake_timeout_ms = 10000;
+  wc.pull_timeout_ms = 20000;
+  wc.io_timeout_ms = 10000;
+  wc.retry.max_attempts = 5;
+  wc.retry.initial_backoff_ms = 10;
+  wc.start_step =
+      chaos.rejoin ? static_cast<std::int64_t>(resume.next_step) : 0;
+  wc.rejoin = chaos.rejoin;
+  wc.max_reconnects = chaos.max_reconnects;
+  wc.exit_after_step = chaos.exit_after_step;
+  wc.exit_checkpoint_path = chaos.checkpoint_path;
+  wc.fault = chaos.fault;
+  RpcWorker worker(wc, ps_worker, plan, codec->name(), std::move(sampler));
+  result.ok = worker.Run();
+  result.simulated_exit = worker.simulated_exit();
+  result.reconnects = worker.reconnects();
+  result.error = worker.error();
+  return result;
+}
+
+struct ServerHarness {
+  std::unique_ptr<nn::Model> model;
+  std::unique_ptr<ps::TensorPlan> plan;
+  std::shared_ptr<const compress::Compressor> codec;
+  std::unique_ptr<ps::ParameterServer> ps;
+  std::unique_ptr<RpcServer> server;
+};
+
+ServerHarness MakeServer(const TestSetup& setup, int grace_ms,
+                         int replay_steps, FaultInjector* fault = nullptr) {
+  const train::TrainerConfig& tc = setup.config.trainer;
+  ServerHarness h;
+  h.model = std::make_unique<nn::Model>(
+      train::BuildMlp(setup.config.model, setup.config.model_seed));
+  h.plan = std::make_unique<ps::TensorPlan>(
+      ps::TensorPlan::FromParams(h.model->Params(), tc.min_compress_elems));
+  h.codec = std::shared_ptr<const compress::Compressor>(
+      compress::MakeCompressor(tc.codec));
+  h.ps = std::make_unique<ps::ParameterServer>(*h.model, *h.plan, h.codec,
+                                               tc.optimizer);
+  RpcServerConfig sc;
+  sc.num_workers = tc.num_workers;
+  sc.total_steps = tc.total_steps;
+  sc.lr_max = tc.lr_max;
+  sc.lr_min = tc.lr_min;
+  sc.handshake_timeout_ms = 10000;
+  sc.step_timeout_ms = 20000;
+  sc.shutdown_timeout_ms = 10000;
+  sc.grace_ms = grace_ms;
+  sc.replay_steps = replay_steps;
+  sc.fault = fault;
+  h.server = std::make_unique<RpcServer>(sc, *h.ps, h.codec->name());
+  return h;
+}
+
+std::unique_ptr<nn::Model> RunInProcessReference(const TestSetup& setup) {
+  const train::MlpSpec spec = setup.config.model;
+  const std::uint64_t model_seed = setup.config.model_seed;
+  train::DistributedTrainer trainer(
+      setup.config.trainer,
+      [spec, model_seed] { return train::BuildMlp(spec, model_seed); },
+      setup.data.train, setup.data.test);
+  trainer.Run();
+  auto model = std::make_unique<nn::Model>(train::BuildMlp(spec, model_seed));
+  // Copy the trained parameters/buffers out of the trainer.
+  auto src = trainer.global_model().Params();
+  auto dst = model->Params();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    std::memcpy(dst[i].value->data(), src[i].value->data(),
+                src[i].value->byte_size());
+  }
+  auto sb = trainer.global_model().Buffers();
+  auto db = model->Buffers();
+  for (std::size_t i = 0; i < sb.size(); ++i) {
+    std::memcpy(db[i]->data(), sb[i]->data(), sb[i]->byte_size());
+  }
+  return model;
+}
+
+// Kill worker `kill_worker` right after it completes step `kill_step`,
+// restart it from its crash checkpoint, and require the final global model
+// to be bitwise identical to a fault-free in-process run.
+void ExpectKillRejoinParity(const compress::CodecConfig& codec,
+                            std::int64_t kill_step) {
+  SCOPED_TRACE("kill_step=" + std::to_string(kill_step));
+  constexpr int kWorkers = 2;
+  constexpr int kKillWorker = 1;
+  TestSetup setup = MakeTestSetup(kWorkers, /*steps=*/6, codec);
+  const std::string ckpt =
+      ::testing::TempDir() + "/ft_rejoin_" + std::to_string(kill_step) +
+      ".ckpt";
+
+  ServerHarness h = MakeServer(setup, /*grace_ms=*/20000,
+                               /*replay_steps=*/8);
+  std::string error;
+  ASSERT_TRUE(h.server->Listen(&error)) << error;
+
+  bool server_ok = false;
+  std::thread server_thread([&] { server_ok = h.server->Run(); });
+
+  WorkerResult results[kWorkers];
+  std::thread survivor([&] {
+    results[0] = RunOneWorker(setup, 0, h.server->port(), WorkerChaos{});
+  });
+  std::thread victim([&] {
+    WorkerChaos first;
+    first.exit_after_step = kill_step;
+    first.checkpoint_path = ckpt;
+    WorkerResult life1 =
+        RunOneWorker(setup, kKillWorker, h.server->port(), first);
+    ASSERT_TRUE(life1.simulated_exit) << life1.error;
+    WorkerChaos second;
+    second.rejoin = true;
+    second.checkpoint_path = ckpt;
+    results[kKillWorker] =
+        RunOneWorker(setup, kKillWorker, h.server->port(), second);
+  });
+  survivor.join();
+  victim.join();
+  server_thread.join();
+
+  ASSERT_TRUE(server_ok) << h.server->error();
+  for (int w = 0; w < kWorkers; ++w) {
+    EXPECT_TRUE(results[w].ok) << "worker " << w << ": " << results[w].error;
+  }
+  EXPECT_EQ(h.server->rejoins(), 1u);
+  EXPECT_EQ(h.server->evictions(), 0u);
+  EXPECT_EQ(h.server->steps_completed(), setup.config.trainer.total_steps);
+
+  std::unique_ptr<nn::Model> reference = RunInProcessReference(setup);
+  EXPECT_TRUE(ModelsBitwiseEqual(*h.model, *reference))
+      << "model diverged after kill@" << kill_step << " + rejoin";
+  std::remove(ckpt.c_str());
+}
+
+TEST(FaultTolerance, KillRejoinBitwiseParityFloat32) {
+  for (const std::int64_t kill_step : {0, 2, 4}) {
+    ExpectKillRejoinParity(compress::CodecConfig::Float32(), kill_step);
+  }
+}
+
+TEST(FaultTolerance, KillRejoinBitwiseParity3lc) {
+  for (const std::int64_t kill_step : {0, 2, 4}) {
+    ExpectKillRejoinParity(compress::CodecConfig::ThreeLC(1.0f), kill_step);
+  }
+}
+
+// A connection the worker loses mid-run (injected close while queueing a
+// PUSH) is survived in place: reconnect, REJOIN, recompute nothing — the
+// stored encoded pushes are resent so the EA trajectory is unchanged.
+TEST(FaultTolerance, InjectedCloseSurvivedByLiveReconnect) {
+  TestSetup setup =
+      MakeTestSetup(2, /*steps=*/6, compress::CodecConfig::ThreeLC(1.0f));
+  ServerHarness h = MakeServer(setup, /*grace_ms=*/20000, /*replay_steps=*/8);
+  std::string error;
+  ASSERT_TRUE(h.server->Listen(&error)) << error;
+
+  FaultInjector injector(/*seed=*/7);
+  std::string spec_error;
+  ASSERT_TRUE(injector.AddRulesFromSpec("close:push@2", &spec_error))
+      << spec_error;
+
+  bool server_ok = false;
+  std::thread server_thread([&] { server_ok = h.server->Run(); });
+  WorkerResult results[2];
+  std::thread w0([&] {
+    WorkerChaos chaos;
+    chaos.fault = &injector;
+    chaos.max_reconnects = 3;
+    results[0] = RunOneWorker(setup, 0, h.server->port(), chaos);
+  });
+  std::thread w1([&] {
+    results[1] = RunOneWorker(setup, 1, h.server->port(), WorkerChaos{});
+  });
+  w0.join();
+  w1.join();
+  server_thread.join();
+
+  ASSERT_TRUE(server_ok) << h.server->error();
+  EXPECT_TRUE(results[0].ok) << results[0].error;
+  EXPECT_TRUE(results[1].ok) << results[1].error;
+  EXPECT_GE(results[0].reconnects, 1u);
+  EXPECT_EQ(injector.faults_injected(), 1u);
+  EXPECT_GE(h.server->rejoins(), 1u);
+
+  std::unique_ptr<nn::Model> reference = RunInProcessReference(setup);
+  EXPECT_TRUE(ModelsBitwiseEqual(*h.model, *reference));
+}
+
+// Server-side injected close on a PULL send: the step has already been
+// aggregated, so the rejoining worker is caught up from the bounded
+// replay buffer (verbatim retained frames), and parity still holds.
+TEST(FaultTolerance, ReplayBufferResyncsAfterServerSideDrop) {
+  TestSetup setup =
+      MakeTestSetup(2, /*steps=*/6, compress::CodecConfig::ThreeLC(1.0f));
+  FaultInjector injector(/*seed=*/11);
+  std::string spec_error;
+  ASSERT_TRUE(injector.AddRulesFromSpec("close:pull@2", &spec_error))
+      << spec_error;
+  ServerHarness h =
+      MakeServer(setup, /*grace_ms=*/20000, /*replay_steps=*/8, &injector);
+  std::string error;
+  ASSERT_TRUE(h.server->Listen(&error)) << error;
+
+  bool server_ok = false;
+  std::thread server_thread([&] { server_ok = h.server->Run(); });
+  WorkerResult results[2];
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 2; ++w) {
+    workers.emplace_back([&, w] {
+      WorkerChaos chaos;
+      chaos.max_reconnects = 3;
+      results[w] = RunOneWorker(setup, w, h.server->port(), chaos);
+    });
+  }
+  for (auto& t : workers) t.join();
+  server_thread.join();
+
+  ASSERT_TRUE(server_ok) << h.server->error();
+  EXPECT_TRUE(results[0].ok) << results[0].error;
+  EXPECT_TRUE(results[1].ok) << results[1].error;
+  EXPECT_GE(h.server->rejoins(), 1u);
+  EXPECT_GE(h.server->replayed_frames(), 1u);
+
+  std::unique_ptr<nn::Model> reference = RunInProcessReference(setup);
+  EXPECT_TRUE(ModelsBitwiseEqual(*h.model, *reference));
+}
+
+// A worker that dies and never comes back is evicted once the grace
+// window expires; the run completes on the survivors (aggregation
+// rescaled) instead of failing.
+TEST(FaultTolerance, GraceExpiryEvictsAndFinishesDegraded) {
+  TestSetup setup =
+      MakeTestSetup(2, /*steps=*/6, compress::CodecConfig::ThreeLC(1.0f));
+  ServerHarness h = MakeServer(setup, /*grace_ms=*/300, /*replay_steps=*/8);
+  std::string error;
+  ASSERT_TRUE(h.server->Listen(&error)) << error;
+
+  bool server_ok = false;
+  std::thread server_thread([&] { server_ok = h.server->Run(); });
+  WorkerResult results[2];
+  std::thread w0([&] {
+    results[0] = RunOneWorker(setup, 0, h.server->port(), WorkerChaos{});
+  });
+  std::thread w1([&] {
+    WorkerChaos chaos;
+    chaos.exit_after_step = 2;  // no checkpoint, no restart
+    results[1] = RunOneWorker(setup, 1, h.server->port(), chaos);
+  });
+  w0.join();
+  w1.join();
+  server_thread.join();
+
+  ASSERT_TRUE(server_ok) << h.server->error();
+  EXPECT_TRUE(results[0].ok) << results[0].error;
+  EXPECT_TRUE(results[1].simulated_exit);
+  EXPECT_EQ(h.server->evictions(), 1u);
+  EXPECT_EQ(h.server->rejoins(), 0u);
+  EXPECT_EQ(h.server->steps_completed(), setup.config.trainer.total_steps);
+}
+
+// With grace_ms = 0 (the default) a mid-run disconnect is still fatal —
+// the strict PR-3 failure model is preserved exactly.
+TEST(FaultTolerance, StrictModeStillFailsFastOnDisconnect) {
+  TestSetup setup =
+      MakeTestSetup(2, /*steps=*/6, compress::CodecConfig::Float32());
+  ServerHarness h = MakeServer(setup, /*grace_ms=*/0, /*replay_steps=*/8);
+  std::string error;
+  ASSERT_TRUE(h.server->Listen(&error)) << error;
+
+  bool server_ok = true;
+  std::thread server_thread([&] { server_ok = h.server->Run(); });
+  WorkerResult results[2];
+  std::thread w0([&] {
+    results[0] = RunOneWorker(setup, 0, h.server->port(), WorkerChaos{});
+  });
+  std::thread w1([&] {
+    WorkerChaos chaos;
+    chaos.exit_after_step = 1;
+    results[1] = RunOneWorker(setup, 1, h.server->port(), chaos);
+  });
+  w0.join();
+  w1.join();
+  server_thread.join();
+
+  EXPECT_FALSE(server_ok);
+  EXPECT_NE(h.server->error().find("disconnected"), std::string::npos)
+      << h.server->error();
+  EXPECT_EQ(h.server->evictions(), 0u);
+}
+
+// A REJOIN asking to resume from a step older than the bounded replay
+// buffer is rejected with an ERROR frame (the worker cannot be caught up
+// exactly), without failing the run for everyone else.
+TEST(FaultTolerance, StaleRejoinRejectedWithoutKillingRun) {
+  TestSetup setup =
+      MakeTestSetup(2, /*steps=*/8, compress::CodecConfig::ThreeLC(1.0f));
+  const std::string ckpt = ::testing::TempDir() + "/ft_stale.ckpt";
+  ServerHarness h = MakeServer(setup, /*grace_ms=*/20000, /*replay_steps=*/1);
+  std::string error;
+  ASSERT_TRUE(h.server->Listen(&error)) << error;
+
+  bool server_ok = false;
+  std::thread server_thread([&] { server_ok = h.server->Run(); });
+
+  WorkerResult results[2];
+  std::thread w0([&] {
+    results[0] = RunOneWorker(setup, 0, h.server->port(), WorkerChaos{});
+  });
+  std::thread w1([&] {
+    // Life 1: crash after step 5 so the replay buffer (depth 1) has
+    // advanced far beyond step 0.
+    WorkerChaos first;
+    first.exit_after_step = 5;
+    first.checkpoint_path = ckpt;
+    WorkerResult life1 = RunOneWorker(setup, 1, h.server->port(), first);
+    ASSERT_TRUE(life1.simulated_exit) << life1.error;
+
+    // A rogue REJOIN claiming next_step=0: too old to replay -> ERROR.
+    {
+      nn::Model model =
+          train::BuildMlp(setup.config.model, setup.config.model_seed);
+      const ps::TensorPlan plan = ps::TensorPlan::FromParams(
+          model.Params(), setup.config.trainer.min_compress_elems);
+      auto codec = std::shared_ptr<const compress::Compressor>(
+          compress::MakeCompressor(setup.config.trainer.codec));
+      RetryOptions retry;
+      std::string connect_error;
+      const int fd = ConnectWithRetry("127.0.0.1", h.server->port(), retry,
+                                      nullptr, &connect_error);
+      ASSERT_GE(fd, 0) << connect_error;
+      Connection stale(fd);
+      util::ByteBuffer req;
+      req.AppendU32(1);  // worker id
+      req.AppendU64(PlanHash(plan, codec->name()));
+      const std::string name = codec->name();
+      req.AppendU32(static_cast<std::uint32_t>(name.size()));
+      req.Append(name.data(), name.size());
+      req.AppendU64(0);  // next_step far behind the replay window
+      ASSERT_TRUE(stale.SendFrame(MsgType::kRejoin, 0, 0, req.span()));
+      ASSERT_EQ(stale.FlushOutput(2000), Connection::IoResult::kOk);
+      Frame reply;
+      const Connection::IoResult got = stale.WaitFrame(&reply, 5000);
+      if (got == Connection::IoResult::kOk) {
+        EXPECT_EQ(reply.header.type, MsgType::kError);
+      } else {
+        EXPECT_EQ(got, Connection::IoResult::kClosed);
+      }
+      stale.Close();
+    }
+
+    // Life 2: the legitimate rejoin from the checkpoint still works and
+    // the run completes.
+    WorkerChaos second;
+    second.rejoin = true;
+    second.checkpoint_path = ckpt;
+    results[1] = RunOneWorker(setup, 1, h.server->port(), second);
+  });
+  w0.join();
+  w1.join();
+  server_thread.join();
+
+  ASSERT_TRUE(server_ok) << h.server->error();
+  EXPECT_TRUE(results[0].ok) << results[0].error;
+  EXPECT_TRUE(results[1].ok) << results[1].error;
+  EXPECT_EQ(h.server->rejoins(), 1u);  // the stale attempt doesn't count
+  EXPECT_EQ(h.server->steps_completed(), setup.config.trainer.total_steps);
+  std::remove(ckpt.c_str());
+}
+
+// RequestStop from another thread (the process supervisor's path when a
+// child dies unrecoverably) fails the run promptly with the given reason.
+TEST(FaultTolerance, RequestStopFailsRunWithReason) {
+  TestSetup setup =
+      MakeTestSetup(1, /*steps=*/1, compress::CodecConfig::Float32());
+  ServerHarness h = MakeServer(setup, /*grace_ms=*/0, /*replay_steps=*/8);
+  std::string error;
+  ASSERT_TRUE(h.server->Listen(&error)) << error;
+  bool server_ok = true;
+  std::thread server_thread([&] { server_ok = h.server->Run(); });
+  h.server->RequestStop("supervisor says a child died");
+  server_thread.join();
+  EXPECT_FALSE(server_ok);
+  EXPECT_NE(h.server->error().find("supervisor says a child died"),
+            std::string::npos)
+      << h.server->error();
+}
+
+// ---------- deterministic fault injection ----------
+
+std::vector<std::string> DriveSchedule(std::uint64_t seed) {
+  FaultInjector injector(seed);
+  std::string error;
+  EXPECT_TRUE(
+      injector.AddRulesFromSpec("corrupt:push@any#*;delay5:pull@3", &error))
+      << error;
+  for (std::uint64_t step = 0; step < 6; ++step) {
+    for (int t = 0; t < 3; ++t) {
+      injector.OnSend(MsgType::kPush, step, 512);
+      injector.OnSend(MsgType::kPull, step, 2048);
+    }
+    injector.OnSend(MsgType::kStepStats, step, 12);
+  }
+  return injector.schedule_log();
+}
+
+TEST(FaultTolerance, SameSeedSameFaultSchedule) {
+  const std::vector<std::string> a = DriveSchedule(1234);
+  const std::vector<std::string> b = DriveSchedule(1234);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(FaultTolerance, DifferentSeedDifferentFaultSchedule) {
+  // Same rules, same traffic: the corrupted byte offsets must differ
+  // because they are drawn from the seeded stream.
+  const std::vector<std::string> a = DriveSchedule(1234);
+  const std::vector<std::string> b = DriveSchedule(99);
+  EXPECT_EQ(a.size(), b.size());  // rule matching is seed-independent
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace threelc::rpc

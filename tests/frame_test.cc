@@ -230,11 +230,57 @@ TEST(Frame, MsgTypeNamesAreStable) {
   EXPECT_STREQ(MsgTypeName(MsgType::kHello), "HELLO");
   EXPECT_STREQ(MsgTypeName(MsgType::kPull), "PULL");
   EXPECT_STREQ(MsgTypeName(MsgType::kError), "ERROR");
+  EXPECT_STREQ(MsgTypeName(MsgType::kRejoin), "REJOIN");
+  EXPECT_STREQ(MsgTypeName(MsgType::kRejoinAck), "REJOIN_ACK");
+  EXPECT_STREQ(MsgTypeName(MsgType::kEvict), "EVICT");
   EXPECT_STREQ(ParseErrorName(ParseError::kBadCrc), "bad_crc");
   EXPECT_FALSE(IsValidMsgType(0));
-  EXPECT_FALSE(IsValidMsgType(9));
+  EXPECT_FALSE(IsValidMsgType(12));
   EXPECT_TRUE(IsValidMsgType(1));
   EXPECT_TRUE(IsValidMsgType(8));
+  EXPECT_TRUE(IsValidMsgType(11));
+}
+
+// Protocol v1 frames (the pre-fault-tolerance wire format) must be
+// rejected at the parser with a typed kBadVersion, not misinterpreted.
+TEST(Frame, OldProtocolVersionRejected) {
+  static_assert(kProtocolVersion == 2,
+                "update this test alongside the protocol version");
+  util::ByteBuffer wire;
+  EncodeFrame(MsgType::kHello, 0, 0, MakePayload(8, 4).span(), wire);
+  wire.data()[4] = 1;  // downgrade to protocol version 1
+  FrameParser parser;
+  std::vector<Frame> frames;
+  EXPECT_FALSE(parser.Feed(wire.span(), &frames));
+  EXPECT_EQ(parser.error(), ParseError::kBadVersion);
+  EXPECT_TRUE(frames.empty());
+}
+
+// The fault-tolerance frame types added in protocol v2 round-trip through
+// encode/parse like any other frame, including the fuzzed split-point path.
+TEST(Frame, RejoinAndEvictFramesRoundTrip) {
+  const MsgType kNewTypes[] = {MsgType::kRejoin, MsgType::kRejoinAck,
+                               MsgType::kEvict};
+  util::Rng rng(0xFA117);
+  for (const MsgType type : kNewTypes) {
+    util::ByteBuffer payload = MakePayload(24, static_cast<int>(type));
+    util::ByteBuffer wire;
+    EncodeFrame(type, /*step=*/7, /*tensor=*/0, payload.span(), wire);
+    FrameParser parser;
+    std::vector<Frame> frames;
+    // Feed in random chunks, as recv(2) would deliver them.
+    std::size_t off = 0;
+    while (off < wire.size()) {
+      const std::size_t n = 1 + static_cast<std::size_t>(
+                                    rng.Below(wire.size() - off));
+      ASSERT_TRUE(parser.Feed(util::ByteSpan(wire.data() + off, n), &frames));
+      off += n;
+    }
+    ASSERT_EQ(frames.size(), 1u) << MsgTypeName(type);
+    EXPECT_EQ(frames[0].header.type, type);
+    EXPECT_EQ(frames[0].header.step, 7u);
+    EXPECT_EQ(frames[0].payload.size(), payload.size());
+  }
 }
 
 }  // namespace

@@ -212,6 +212,59 @@ TEST(HealthMonitorTest, StatusJsonIsValidAndCarriesLiveState) {
   EXPECT_NE(json.find("\"push_residual_l2\""), std::string::npos);
 }
 
+// ---------- runtime (membership) state ----------
+
+TEST(HealthMonitorTest, RuntimeStateStartsHealthy) {
+  HealthMonitor monitor{HealthMonitorOptions{}};
+  EXPECT_EQ(monitor.runtime_state(), RuntimeState::kHealthy);
+  EXPECT_TRUE(monitor.healthy());
+}
+
+TEST(HealthMonitorTest, DegradedStateWarnsButStaysHealthy) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  HealthMonitor monitor{HealthMonitorOptions{}, &registry};
+  std::vector<HealthEvent> delivered;
+  monitor.SetEventCallback(
+      [&delivered](const HealthEvent& e) { delivered.push_back(e); });
+
+  monitor.SetRuntimeState(RuntimeState::kDegraded, "worker 1 evicted");
+  EXPECT_EQ(monitor.runtime_state(), RuntimeState::kDegraded);
+  // Degraded means the run continues on survivors: /healthz must stay 200,
+  // so healthy() is still true — only the body changes.
+  EXPECT_TRUE(monitor.healthy());
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].detector, "runtime_state");
+  EXPECT_EQ(delivered[0].severity, HealthSeverity::kWarn);
+  EXPECT_EQ(registry.gauge("health/runtime_state")->value(), 1.0);
+
+  // Re-asserting the same state is a no-op, not event spam.
+  monitor.SetRuntimeState(RuntimeState::kDegraded, "worker 1 evicted");
+  EXPECT_EQ(delivered.size(), 1u);
+}
+
+TEST(HealthMonitorTest, FailedStateIsAnErrorAndUnhealthy) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  HealthMonitor monitor{HealthMonitorOptions{}, &registry};
+  monitor.SetRuntimeState(RuntimeState::kFailed, "all workers evicted");
+  EXPECT_EQ(monitor.runtime_state(), RuntimeState::kFailed);
+  EXPECT_FALSE(monitor.healthy());
+  EXPECT_EQ(registry.gauge("health/runtime_state")->value(), 2.0);
+  const std::vector<HealthEvent> events = monitor.events();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.back().severity, HealthSeverity::kError);
+  EXPECT_EQ(events.back().detector, "runtime_state");
+}
+
+TEST(HealthMonitorTest, StatusJsonCarriesRuntimeState) {
+  HealthMonitor monitor{HealthMonitorOptions{}};
+  monitor.SetRuntimeState(RuntimeState::kDegraded, "worker 0 evicted");
+  const std::string json = monitor.StatusJson(1.0);
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+  EXPECT_NE(json.find("\"state\":\"degraded\""), std::string::npos) << json;
+}
+
 TEST(HealthEventTest, ToJsonIsValid) {
   HealthEvent event;
   event.severity = HealthSeverity::kError;

@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <string>
 #include <thread>
@@ -212,6 +213,55 @@ TEST(ConnectWithRetry, SucceedsOnceListenerAppears) {
   EXPECT_GE(client_fd.load(), 0);
   if (client_fd >= 0) ::close(client_fd);
   ::close(listener);
+}
+
+TEST(BackoffDelayMs, UnseededMatchesPlainExponentialSchedule) {
+  RetryOptions retry;
+  retry.initial_backoff_ms = 50;
+  retry.max_backoff_ms = 2000;
+  retry.multiplier = 2.0;
+  EXPECT_EQ(BackoffDelayMs(retry, 1), 50);
+  EXPECT_EQ(BackoffDelayMs(retry, 2), 100);
+  EXPECT_EQ(BackoffDelayMs(retry, 3), 200);
+  EXPECT_EQ(BackoffDelayMs(retry, 4), 400);
+  EXPECT_EQ(BackoffDelayMs(retry, 7), 2000);   // capped
+  EXPECT_EQ(BackoffDelayMs(retry, 20), 2000);  // stays capped
+}
+
+TEST(BackoffDelayMs, SeededJitterIsDeterministicAndBounded) {
+  RetryOptions retry;
+  retry.initial_backoff_ms = 100;
+  retry.max_backoff_ms = 5000;
+  retry.multiplier = 2.0;
+  retry.jitter = 0.5;
+  retry.jitter_seed = 0xC0FFEEu;
+
+  bool any_jittered = false;
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    const int delay = BackoffDelayMs(retry, attempt);
+    // Same options, same attempt -> same delay (no hidden state).
+    EXPECT_EQ(delay, BackoffDelayMs(retry, attempt));
+    RetryOptions plain = retry;
+    plain.jitter_seed = 0;
+    const int base = BackoffDelayMs(plain, attempt);
+    EXPECT_GE(delay, static_cast<int>(base * 0.5));
+    EXPECT_LE(delay, std::min(static_cast<int>(base * 1.5) + 1,
+                              retry.max_backoff_ms));
+    if (delay != base) any_jittered = true;
+  }
+  EXPECT_TRUE(any_jittered);
+}
+
+TEST(BackoffDelayMs, DistinctSeedsDesynchronizeSchedules) {
+  RetryOptions a;
+  a.jitter_seed = 1;
+  RetryOptions b = a;
+  b.jitter_seed = 2;
+  bool differ = false;
+  for (int attempt = 1; attempt <= 8 && !differ; ++attempt) {
+    differ = BackoffDelayMs(a, attempt) != BackoffDelayMs(b, attempt);
+  }
+  EXPECT_TRUE(differ);
 }
 
 TEST(TcpServer, AcceptEchoDisconnectLifecycle) {
