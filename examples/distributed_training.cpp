@@ -34,6 +34,27 @@
 //   --inject-seed N      seed for the deterministic fault schedules
 //   --max-reconnects N   per-worker mid-run reconnect budget (default 5)
 //
+// Server crash recovery:
+//   --server-checkpoint PATH
+//                        enable the write-ahead server checkpoint (model +
+//                        aggregation/EA state + replay ring + membership +
+//                        epoch), written atomically every
+//                        --server-checkpoint-every steps (default 1)
+//   --kill-server-step K server simulates a crash after completing step K
+//                        (checkpoint already on disk); in --spawn mode the
+//                        supervisor resumes a fresh incarnation from the
+//                        checkpoint on the same port and the workers REJOIN
+//                        against the bumped epoch — the run still finishes
+//                        bitwise identical to a fault-free one
+//   --restart-server     (default true) whether --spawn resumes the killed
+//                        server; --role server instead takes --resume to
+//                        restart manually from --server-checkpoint
+//
+// SIGTERM/SIGINT: every role stops gracefully — the in-flight step is
+// abandoned cleanly, a resumable checkpoint is written (server: the server
+// checkpoint; worker: its v3 crash checkpoint in --state-dir), telemetry
+// and the flight recorder are flushed, and the process exits 0.
+//
 // Examples:
 //   ./build/examples/distributed_training --spawn 3 --steps 20 --codec 3lc
 //       --compare --metrics-port 9109 --linger-ms 2000
@@ -78,6 +99,24 @@ namespace {
 // A worker that exits with this code crashed on purpose (--kill-step); the
 // parent treats it as restartable, every other nonzero status as a failure.
 constexpr int kSimulatedCrashExit = 42;
+
+// Flipped by the SIGTERM/SIGINT handler; polled by both runtime roles
+// (RpcServer/RpcWorker stop_flag) and by the spawn-mode supervisor.
+std::atomic<bool> g_stop{false};
+
+extern "C" void HandleStopSignal(int) {
+  g_stop.store(true, std::memory_order_release);
+}
+
+void InstallStopHandlers() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleStopSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocking poll() must wake with EINTR
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
 
 // Everything both roles must agree on, derived from the same flags in
 // every process.
@@ -150,6 +189,7 @@ struct WorkerChaos {
   int max_reconnects = 5;
   std::string inject_spec;
   std::uint64_t inject_seed = 0;
+  std::string stop_checkpoint_path;  // written on SIGTERM/SIGINT
 };
 
 int RunWorker(const Setup& setup, int worker_id, const std::string& host,
@@ -225,6 +265,8 @@ int RunWorker(const Setup& setup, int worker_id, const std::string& host,
   wc.max_reconnects = chaos.max_reconnects;
   wc.exit_after_step = chaos.exit_after_step;
   wc.exit_checkpoint_path = chaos.checkpoint_path;
+  wc.stop_flag = &g_stop;
+  wc.stop_checkpoint_path = chaos.stop_checkpoint_path;
   wc.fault = fault;
   rpc::RpcWorker worker(wc, ps_worker, plan, codec->name(),
                         std::move(sampler));
@@ -233,6 +275,13 @@ int RunWorker(const Setup& setup, int worker_id, const std::string& host,
       std::printf("worker %d: %s\n", worker_id, worker.error().c_str());
       std::fflush(stdout);
       return kSimulatedCrashExit;
+    }
+    if (worker.interrupted()) {
+      // SIGTERM/SIGINT: the resumable checkpoint (if any) is on disk and
+      // the step was abandoned cleanly — a graceful stop, not a failure.
+      std::printf("worker %d: %s\n", worker_id, worker.error().c_str());
+      std::fflush(stdout);
+      return 0;
     }
     std::fprintf(stderr, "worker %d failed: %s\n", worker_id,
                  worker.error().c_str());
@@ -251,6 +300,18 @@ struct ServerParts {
   std::unique_ptr<rpc::FaultInjector> fault;
   std::unique_ptr<rpc::RpcServer> server;
 };
+
+// --server-checkpoint wins; killing the server without one would make the
+// crash unrecoverable, so --kill-server-step implies a default path under
+// --state-dir.
+std::string ServerCheckpointPath(const util::Flags& flags) {
+  const std::string explicit_path = flags.GetString("server-checkpoint", "");
+  if (!explicit_path.empty()) return explicit_path;
+  if (flags.GetInt("kill-server-step", -1) >= 0) {
+    return flags.GetString("state-dir", ".") + "/dt_server.sckpt";
+  }
+  return "";
+}
 
 ServerParts MakeServerParts(const Setup& setup, const util::Flags& flags,
                             obs::Telemetry* telemetry) {
@@ -275,6 +336,11 @@ ServerParts MakeServerParts(const Setup& setup, const util::Flags& flags,
   sc.lr_min = tc.lr_min;
   sc.grace_ms = static_cast<int>(flags.GetInt("grace-ms", 0));
   sc.replay_steps = static_cast<int>(flags.GetInt("replay-steps", 8));
+  sc.checkpoint_path = ServerCheckpointPath(flags);
+  sc.checkpoint_every =
+      static_cast<int>(flags.GetInt("server-checkpoint-every", 1));
+  sc.exit_after_step = flags.GetInt("kill-server-step", -1);
+  sc.stop_flag = &g_stop;
   sc.telemetry = telemetry;
   const std::string inject = flags.GetString("inject-server", "");
   if (!inject.empty()) {
@@ -348,6 +414,10 @@ int RunSpawn(const util::Flags& flags) {
       if (!rejoin) chaos.exit_after_step = kill_step;  // crash only once
     }
     chaos.rejoin = rejoin;
+    // A SIGTERM'd child leaves the same resumable v3 checkpoint a
+    // simulated crash would.
+    chaos.stop_checkpoint_path =
+        state_dir + "/dt_worker" + std::to_string(w) + ".ckpt";
     _exit(RunWorker(setup, w, host, bound_port, /*telemetry=*/nullptr,
                     chaos));
   };
@@ -393,13 +463,25 @@ int RunSpawn(const util::Flags& flags) {
   // unexpectedly stops the run immediately (instead of leaving the server
   // to hit a timeout and the child a zombie), and the designated
   // --kill-step worker is restarted from its crash checkpoint to REJOIN.
+  // slots_mu also guards `parts`: the supervisor swaps in a resumed server
+  // incarnation under the same lock the reaper takes to RequestStop.
   std::mutex slots_mu;
   std::atomic<bool> reaper_stop{false};
   std::atomic<int> child_failures{0};
   std::thread reaper([&] {
+    bool forwarded_stop = false;
     while (!reaper_stop.load(std::memory_order_acquire)) {
       {
         std::lock_guard<std::mutex> lock(slots_mu);
+        if (g_stop.load(std::memory_order_acquire) && !forwarded_stop) {
+          // Propagate the operator's SIGTERM/SIGINT so every child writes
+          // its resumable checkpoint and exits 0 on its own.
+          forwarded_stop = true;
+          for (int w = 0; w < num_workers; ++w) {
+            const ChildSlot& slot = slots[static_cast<std::size_t>(w)];
+            if (slot.running) kill(slot.pid, SIGTERM);
+          }
+        }
         for (int w = 0; w < num_workers; ++w) {
           ChildSlot& slot = slots[static_cast<std::size_t>(w)];
           if (!slot.running) continue;
@@ -408,6 +490,11 @@ int RunSpawn(const util::Flags& flags) {
           if (r <= 0) continue;
           slot.running = false;
           if (WIFEXITED(status) && WEXITSTATUS(status) == 0) continue;
+          if (g_stop.load(std::memory_order_acquire)) {
+            // Shutdown races (a child seeing the server's interruption
+            // notice before its own signal) are not failures.
+            continue;
+          }
           const bool simulated = WIFEXITED(status) &&
                                  WEXITSTATUS(status) == kSimulatedCrashExit;
           if (simulated && kill_step >= 0 && w == kill_worker &&
@@ -440,14 +527,61 @@ int RunSpawn(const util::Flags& flags) {
     }
   });
 
-  const bool server_ok = parts.server->Run();
+  // Run the server, resuming a fresh incarnation from its write-ahead
+  // checkpoint whenever a (simulated) crash takes it down; the workers ride
+  // out the gap on their reconnect budget and REJOIN against the bumped
+  // epoch. Bounded so a checkpoint that crashes every incarnation cannot
+  // loop forever.
+  const bool restart_server = flags.GetBool("restart-server", true);
+  const std::string server_ckpt = ServerCheckpointPath(flags);
+  bool server_ok = false;
+  bool server_interrupted = false;
+  for (int incarnation = 1;; ++incarnation) {
+    server_ok = parts.server->Run();
+    server_interrupted = parts.server->interrupted();
+    if (server_ok || !parts.server->simulated_exit()) break;
+    if (!restart_server || server_ckpt.empty() || incarnation >= 4) {
+      std::fprintf(stderr, "server down after %lld steps: %s\n",
+                   static_cast<long long>(parts.server->steps_completed()),
+                   parts.server->error().c_str());
+      break;
+    }
+    std::printf("server crashed (%s); resuming from %s\n",
+                parts.server->error().c_str(), server_ckpt.c_str());
+    std::fflush(stdout);
+    ServerParts next = MakeServerParts(setup, flags, telemetry.get());
+    std::string resume_error;
+    if (!next.server->ResumeFromCheckpoint(server_ckpt, &resume_error)) {
+      std::fprintf(stderr, "cannot resume server: %s\n",
+                   resume_error.c_str());
+      break;
+    }
+    // SO_REUSEADDR on the listener lets the new incarnation rebind the
+    // exact port the workers are still retrying.
+    const int fd = rpc::ListenOn(host, bound_port, &error, nullptr);
+    if (fd < 0) {
+      std::fprintf(stderr, "cannot rebind %s:%d: %s\n", host.c_str(),
+                   bound_port, error.c_str());
+      break;
+    }
+    next.server->AdoptListener(fd, bound_port);
+    {
+      std::lock_guard<std::mutex> lock(slots_mu);
+      parts = std::move(next);
+    }
+  }
   if (!server_ok) {
-    std::fprintf(stderr, "server failed after %lld steps: %s\n",
-                 static_cast<long long>(parts.server->steps_completed()),
-                 parts.server->error().c_str());
+    if (server_interrupted) {
+      std::printf("server: %s\n", parts.server->error().c_str());
+    } else {
+      std::fprintf(stderr, "server failed after %lld steps: %s\n",
+                   static_cast<long long>(parts.server->steps_completed()),
+                   parts.server->error().c_str());
+    }
   } else {
-    std::printf("server: %lld steps, model hash %08x\n",
+    std::printf("server: %lld steps (epoch %llu), model hash %08x\n",
                 static_cast<long long>(parts.server->steps_completed()),
+                static_cast<unsigned long long>(parts.server->epoch()),
                 ModelHash(*parts.model));
   }
   reaper_stop.store(true, std::memory_order_release);
@@ -471,7 +605,7 @@ int RunSpawn(const util::Flags& flags) {
                                  WEXITSTATUS(status) == kSimulatedCrashExit;
           const bool expected_crash = simulated && kill_step >= 0 &&
                                       w == kill_worker && !restart_killed;
-          if (!expected_crash) {
+          if (!expected_crash && !g_stop.load(std::memory_order_acquire)) {
             std::fprintf(stderr,
                          "worker %d exited abnormally (status %d)\n", w,
                          status);
@@ -493,6 +627,13 @@ int RunSpawn(const util::Flags& flags) {
     }
   }
 
+  if (server_interrupted && failures == 0) {
+    // Graceful SIGTERM/SIGINT shutdown: checkpoint on disk, children
+    // stopped cleanly — a successful interruption, not a failure.
+    if (telemetry != nullptr) telemetry->Flush();
+    MaybeLinger(flags);
+    return 0;
+  }
   if (!server_ok || failures != 0) {
     if (telemetry != nullptr) telemetry->Flush();
     MaybeLinger(flags);
@@ -534,6 +675,7 @@ int RunSpawn(const util::Flags& flags) {
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   obs::ApplyLogLevelFlag(flags);
+  InstallStopHandlers();  // before fork: children inherit the disposition
   const std::string role = flags.GetString("role", "");
 
   try {
@@ -569,6 +711,9 @@ int main(int argc, char** argv) {
                                 ".ckpt";
         if (!chaos.rejoin) chaos.exit_after_step = kill_step;
       }
+      chaos.stop_checkpoint_path = flags.GetString("state-dir", ".") +
+                                   "/dt_worker" + std::to_string(worker_id) +
+                                   ".ckpt";
       const int rc = RunWorker(setup, worker_id,
                                flags.GetString("host", "127.0.0.1"), port,
                                telemetry.get(), chaos);
@@ -588,34 +733,50 @@ int main(int argc, char** argv) {
       ServerParts parts = MakeServerParts(setup, flags, telemetry.get());
       std::string error;
       int rc = 0;
-      if (!parts.server->Listen(&error)) {
+      bool completed = false;
+      if (flags.GetBool("resume", false) &&
+          !parts.server->ResumeFromCheckpoint(ServerCheckpointPath(flags),
+                                              &error)) {
+        std::fprintf(stderr, "cannot resume server: %s\n", error.c_str());
+        rc = 1;
+      } else if (!parts.server->Listen(&error)) {
         std::fprintf(stderr, "listen failed: %s\n", error.c_str());
         rc = 1;
       } else {
         std::printf("server listening on %s:%d (%d workers, %lld steps, "
-                    "codec %s)\n",
+                    "codec %s, epoch %llu)\n",
                     flags.GetString("host", "127.0.0.1").c_str(),
                     parts.server->port(), num_workers,
                     static_cast<long long>(
                         setup.config.trainer.total_steps),
-                    parts.codec->name().c_str());
+                    parts.codec->name().c_str(),
+                    static_cast<unsigned long long>(parts.server->epoch()));
         std::fflush(stdout);
         if (!parts.server->Run()) {
-          std::fprintf(stderr, "server failed after %lld steps: %s\n",
-                       static_cast<long long>(
-                           parts.server->steps_completed()),
-                       parts.server->error().c_str());
-          rc = 1;
+          if (parts.server->interrupted()) {
+            // SIGTERM/SIGINT: checkpoint written, clean exit. Restart with
+            // --resume to continue the run.
+            std::printf("server: %s\n", parts.server->error().c_str());
+          } else {
+            std::fprintf(stderr, "server failed after %lld steps: %s\n",
+                         static_cast<long long>(
+                             parts.server->steps_completed()),
+                         parts.server->error().c_str());
+            rc = 1;
+          }
         } else {
-          std::printf("server: %lld steps, model hash %08x\n",
+          completed = true;
+          std::printf("server: %lld steps (epoch %llu), model hash %08x\n",
                       static_cast<long long>(
                           parts.server->steps_completed()),
+                      static_cast<unsigned long long>(
+                          parts.server->epoch()),
                       ModelHash(*parts.model));
         }
       }
       const std::string checkpoint_path =
           flags.GetString("checkpoint-out", "");
-      if (rc == 0 && !checkpoint_path.empty()) {
+      if (completed && !checkpoint_path.empty()) {
         nn::SaveCheckpoint(*parts.model, checkpoint_path);
         std::printf("checkpoint written to %s\n", checkpoint_path.c_str());
       }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/atomic_file.h"
 #include "util/crc32.h"
 
 namespace threelc::nn {
@@ -15,6 +16,11 @@ constexpr char kMagic[4] = {'3', 'L', 'C', 'K'};
 constexpr std::uint32_t kVersionPlain = 1;       // no trailer
 constexpr std::uint32_t kVersionChecksum = 2;    // CRC32C trailer
 constexpr std::uint32_t kVersionTrainState = 3;  // + training-state section
+
+// Server checkpoints: distinct magic, own version counter. The body is
+// CRC-protected like a v2+ model checkpoint.
+constexpr char kServerMagic[4] = {'3', 'L', 'C', 'S'};
+constexpr std::uint32_t kServerVersion = 1;
 
 struct NamedTensor {
   std::string name;
@@ -33,15 +39,16 @@ std::vector<NamedTensor> CollectTensors(Model& model) {
 
 // Stream wrappers that fold every byte written/read after the version
 // field into a running CRC32C, so the trailer covers the whole body
-// without buffering the checkpoint in memory.
+// without buffering the checkpoint in memory. Writes go through an
+// AtomicFileWriter (temp + fsync + rename), so an exception or crash at
+// any point leaves the previous checkpoint intact.
 struct CrcWriter {
-  std::ofstream& out;
+  util::AtomicFileWriter& out;
   std::uint32_t crc = 0;
 
   void Write(const void* data, std::size_t n) {
     if (n == 0) return;
-    out.write(static_cast<const char*>(data),
-              static_cast<std::streamsize>(n));
+    out.Write(data, n);
     crc = util::Crc32cExtend(crc, data, n);
   }
   template <typename T>
@@ -173,36 +180,80 @@ void LoadImpl(Model& model, TrainState* state, bool require_state,
   }
 }
 
+void WriteServerStateSection(CrcWriter& body, const ServerState& state) {
+  if (state.evicted.size() != state.greeted.size()) {
+    throw std::runtime_error(
+        "server checkpoint: evicted/greeted table size mismatch");
+  }
+  body.WriteScalar<std::uint64_t>(state.epoch);
+  body.WriteScalar<std::uint64_t>(state.next_step);
+  body.WriteScalar<std::uint32_t>(
+      static_cast<std::uint32_t>(state.ps_state.size()));
+  body.Write(state.ps_state.data(), state.ps_state.size());
+  body.WriteScalar<std::uint32_t>(
+      static_cast<std::uint32_t>(state.evicted.size()));
+  body.Write(state.evicted.data(), state.evicted.size());
+  body.Write(state.greeted.data(), state.greeted.size());
+  body.WriteScalar<std::uint32_t>(
+      static_cast<std::uint32_t>(state.replay.size()));
+  for (const auto& entry : state.replay) {
+    body.WriteScalar<std::uint64_t>(entry.step);
+    body.WriteScalar<std::uint32_t>(
+        static_cast<std::uint32_t>(entry.frames.size()));
+    for (const auto& frame : entry.frames) {
+      body.WriteScalar<std::uint32_t>(static_cast<std::uint32_t>(frame.size()));
+      body.Write(frame.data(), frame.size());
+    }
+  }
+}
+
+void ReadServerStateSection(CrcReader& body, ServerState* state) {
+  state->epoch = body.ReadScalar<std::uint64_t>();
+  state->next_step = body.ReadScalar<std::uint64_t>();
+  state->ps_state.resize(body.ReadScalar<std::uint32_t>());
+  body.Read(state->ps_state.data(), state->ps_state.size());
+  const auto workers = body.ReadScalar<std::uint32_t>();
+  state->evicted.resize(workers);
+  body.Read(state->evicted.data(), state->evicted.size());
+  state->greeted.resize(workers);
+  body.Read(state->greeted.data(), state->greeted.size());
+  state->replay.resize(body.ReadScalar<std::uint32_t>());
+  for (auto& entry : state->replay) {
+    entry.step = body.ReadScalar<std::uint64_t>();
+    entry.frames.resize(body.ReadScalar<std::uint32_t>());
+    for (auto& frame : entry.frames) {
+      frame.resize(body.ReadScalar<std::uint32_t>());
+      body.Read(frame.data(), frame.size());
+    }
+  }
+}
+
 }  // namespace
 
 void SaveCheckpoint(Model& model, const std::string& path, bool checksum) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("checkpoint: cannot open " + path);
-  out.write(kMagic, sizeof(kMagic));
+  util::AtomicFileWriter out(path);
+  out.Write(kMagic, sizeof(kMagic));
   const std::uint32_t version = checksum ? kVersionChecksum : kVersionPlain;
-  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.Write(&version, sizeof(version));
 
   CrcWriter body{out};
   WriteTensorSection(body, model);
-  if (checksum) {
-    out.write(reinterpret_cast<const char*>(&body.crc), sizeof(body.crc));
-  }
-  if (!out) throw std::runtime_error("checkpoint: write failed for " + path);
+  if (checksum) out.Write(&body.crc, sizeof(body.crc));
+  out.Commit();
 }
 
 void SaveCheckpointWithState(Model& model, const TrainState& state,
                              const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("checkpoint: cannot open " + path);
-  out.write(kMagic, sizeof(kMagic));
+  util::AtomicFileWriter out(path);
+  out.Write(kMagic, sizeof(kMagic));
   const std::uint32_t version = kVersionTrainState;
-  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.Write(&version, sizeof(version));
 
   CrcWriter body{out};
   WriteTensorSection(body, model);
   WriteStateSection(body, state);
-  out.write(reinterpret_cast<const char*>(&body.crc), sizeof(body.crc));
-  if (!out) throw std::runtime_error("checkpoint: write failed for " + path);
+  out.Write(&body.crc, sizeof(body.crc));
+  out.Commit();
 }
 
 void LoadCheckpoint(Model& model, const std::string& path) {
@@ -212,6 +263,44 @@ void LoadCheckpoint(Model& model, const std::string& path) {
 void LoadCheckpointState(Model& model, TrainState* state,
                          const std::string& path) {
   LoadImpl(model, state, /*require_state=*/true, path);
+}
+
+void SaveServerCheckpoint(Model& model, const ServerState& state,
+                          const std::string& path) {
+  util::AtomicFileWriter out(path);
+  out.Write(kServerMagic, sizeof(kServerMagic));
+  const std::uint32_t version = kServerVersion;
+  out.Write(&version, sizeof(version));
+
+  CrcWriter body{out};
+  WriteTensorSection(body, model);
+  WriteServerStateSection(body, state);
+  out.Write(&body.crc, sizeof(body.crc));
+  out.Commit();
+}
+
+void LoadServerCheckpoint(Model& model, ServerState* state,
+                          const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("server checkpoint: cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kServerMagic, sizeof(kServerMagic)) != 0) {
+    throw std::runtime_error("server checkpoint: bad magic in " + path);
+  }
+  const auto version = ReadScalarRaw<std::uint32_t>(in);
+  if (version != kServerVersion) {
+    throw std::runtime_error("server checkpoint: unsupported version " +
+                             std::to_string(version) + " in " + path);
+  }
+  CrcReader body{in};
+  ReadTensorSection(body, model);
+  ReadServerStateSection(body, state);
+  const auto stored = ReadScalarRaw<std::uint32_t>(in);
+  if (stored != body.crc) {
+    throw std::runtime_error("server checkpoint: CRC32C mismatch in " + path +
+                             " (file corrupt)");
+  }
 }
 
 }  // namespace threelc::nn

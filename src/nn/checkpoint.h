@@ -24,6 +24,17 @@
 // trajectory instead of silently discarding accumulated quantization
 // error. LoadCheckpoint accepts a v3 file (skipping the state section);
 // LoadCheckpointState demands one.
+//
+// Server checkpoints use a distinct magic "3LCS" (same framing: version,
+// CRC-protected body) and carry the parameter server's recurrence: model
+// tensors, the incarnation epoch, the next collect step, the
+// ParameterServer state blob (optimizer + prev_value + pull EA contexts),
+// the membership/greeted tables, and the verbatim pull-replay ring. See
+// ServerState below.
+//
+// All save paths write atomically (util::AtomicFileWriter: temp sibling +
+// fsync + rename), so a crash mid-write leaves either the previous
+// complete checkpoint or the new one — never a torn file.
 #pragma once
 
 #include <cstdint>
@@ -68,5 +79,44 @@ void SaveCheckpointWithState(Model& model, const TrainState& state,
 // < 3) or on any LoadCheckpoint failure mode.
 void LoadCheckpointState(Model& model, TrainState* state,
                          const std::string& path);
+
+// Everything a parameter server needs to resume a run bitwise-exactly,
+// beyond the model tensors. The blobs are opaque here: ps_state is
+// written/read by ps::ParameterServer::{Save,Load}State; replay frames
+// are retained wire bytes (rpc frames) stored and replayed verbatim.
+struct ServerState {
+  // Incarnation counter: the epoch this checkpoint was written under.
+  // A server resuming from the checkpoint runs as epoch + 1.
+  std::uint64_t epoch = 1;
+  // The step the server will collect next (all steps below it are fully
+  // applied to the model and ps_state).
+  std::uint64_t next_step = 0;
+  std::vector<std::uint8_t> ps_state;
+  // Per-worker membership tables, indexed by worker id. evicted[w] != 0
+  // marks a permanently removed worker; greeted[w] != 0 marks one that
+  // completed a HELLO/REJOIN at some point (and must REJOIN, not HELLO,
+  // against the resumed server). Both must have the same length.
+  std::vector<std::uint8_t> evicted;
+  std::vector<std::uint8_t> greeted;
+  // Retained pull fan-out frames of recent steps, oldest first: each entry
+  // is one completed step's per-tensor encoded frame bytes.
+  struct ReplayStep {
+    std::uint64_t step = 0;
+    std::vector<std::vector<std::uint8_t>> frames;
+  };
+  std::vector<ReplayStep> replay;
+};
+
+// Writes a server checkpoint ("3LCS", version 1, CRC32C trailer) —
+// atomically, like every save here. Throws std::runtime_error on I/O
+// failure.
+void SaveServerCheckpoint(Model& model, const ServerState& state,
+                          const std::string& path);
+
+// Restores a server checkpoint into `model` and `*state`. Throws
+// std::runtime_error on I/O failure, bad magic/version, truncation, CRC
+// mismatch, or architecture mismatch.
+void LoadServerCheckpoint(Model& model, ServerState* state,
+                          const std::string& path);
 
 }  // namespace threelc::nn

@@ -8,21 +8,40 @@
 // after to obtain deltas.
 #pragma once
 
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "nn/layer.h"
+#include "util/byte_buffer.h"
 
 namespace threelc::nn {
 
 // Abstract optimizer: updates parameters in place from their gradients.
 // The parameter server owns one instance and runs it on aggregated
 // gradients each step.
+//
+// SaveState/LoadState serialize whatever cross-step state the optimizer
+// carries (momentum velocities, Adam moments, ...) so a crashed parameter
+// server resumes with a bitwise-identical trajectory — optimizer state is
+// part of the recurrence, exactly like the codec's error-accumulation
+// buffers. The base implementations are for stateless optimizers (an
+// empty section that round-trips).
 class Optimizer {
  public:
   virtual ~Optimizer() = default;
   virtual void ApplyGradients(std::vector<ParamRef>& params, float lr) = 0;
+  virtual void SaveState(util::ByteBuffer& out) const {
+    out.AppendU32(0);  // zero state entries
+  }
+  virtual void LoadState(util::ByteReader& in) {
+    if (in.ReadU32() != 0) {
+      throw std::runtime_error(
+          "optimizer: stored state for a stateful optimizer loaded into a "
+          "stateless one");
+    }
+  }
 };
 
 struct MomentumOptions {
@@ -40,6 +59,12 @@ class MomentumSgd final : public Optimizer {
 
   // Velocity buffer for one parameter (created lazily; keyed by name).
   const Tensor* velocity(const std::string& name) const;
+
+  // Velocities, serialized sorted by parameter name (the map's iteration
+  // order is not deterministic; the file format must be).
+  void SaveState(util::ByteBuffer& out) const override;
+  // Replaces all velocities. Throws std::runtime_error on malformed input.
+  void LoadState(util::ByteReader& in) override;
 
  private:
   MomentumOptions options_;

@@ -1,5 +1,8 @@
 #include "ps/server.h"
 
+#include <stdexcept>
+#include <string>
+
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
 
@@ -101,6 +104,35 @@ ByteSpan ParameterServer::PullPayload(std::size_t idx) const {
 const tensor::Tensor& ParameterServer::AggregatedGrad(std::size_t idx) const {
   THREELC_CHECK(idx < slots_.size());
   return slots_[idx].agg_grad;
+}
+
+void ParameterServer::SaveState(ByteBuffer& out) const {
+  optimizer_->SaveState(out);
+  out.AppendU32(static_cast<std::uint32_t>(slots_.size()));
+  for (const Slot& slot : slots_) {
+    out.Append(slot.prev_value.data(), slot.prev_value.byte_size());
+    out.AppendU8(slot.pull_ctx ? 1 : 0);
+    if (slot.pull_ctx) slot.pull_ctx->SaveState(out);
+  }
+}
+
+void ParameterServer::LoadState(ByteReader& in) {
+  optimizer_->LoadState(in);
+  const std::uint32_t count = in.ReadU32();
+  if (count != slots_.size()) {
+    throw std::runtime_error("server state mismatch: blob has " +
+                             std::to_string(count) + " slots, plan has " +
+                             std::to_string(slots_.size()));
+  }
+  for (Slot& slot : slots_) {
+    in.ReadInto(slot.prev_value.data(), slot.prev_value.byte_size());
+    const bool present = in.ReadU8() != 0;
+    if (present != (slot.pull_ctx != nullptr)) {
+      throw std::runtime_error(
+          "server state mismatch: compressed-entry set differs from the plan");
+    }
+    if (slot.pull_ctx) slot.pull_ctx->LoadState(in);
+  }
 }
 
 }  // namespace threelc::ps

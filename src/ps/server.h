@@ -73,6 +73,18 @@ class ParameterServer {
   // Aggregated (averaged) gradient for tensor idx — exposed for tests.
   const tensor::Tensor& AggregatedGrad(std::size_t idx) const;
 
+  // Serialize/restore everything beyond the model tensors the server
+  // carries across steps: the optimizer's state (momentum velocities), the
+  // per-slot prev_value snapshots PreparePulls diffs against, and the pull
+  // codec's error-accumulation contexts. Together with the model this is
+  // the full server-side recurrence, so a server restarted from a
+  // checkpoint holding this blob continues a bitwise-identical trajectory.
+  // Meaningful only between steps (after PreparePulls, before the next
+  // BeginStep); agg_grad and scratch are transient and not saved.
+  void SaveState(ByteBuffer& out) const;
+  // Throws std::runtime_error when the blob disagrees with the plan.
+  void LoadState(ByteReader& in);
+
  private:
   nn::Model* model_;
   const TensorPlan* plan_;

@@ -35,6 +35,8 @@ bool ParseActionToken(const std::string& token, FaultRule* rule) {
     rule->action = FaultAction::kTruncate;
   } else if (token == "close") {
     rule->action = FaultAction::kClose;
+  } else if (token == "killserver") {
+    rule->action = FaultAction::kKillServer;
   } else if (token.rfind("delay", 0) == 0 && token.size() > 5) {
     const std::string digits = token.substr(5);
     for (char c : digits) {
@@ -66,6 +68,7 @@ const char* FaultActionName(FaultAction action) {
     case FaultAction::kCorrupt: return "corrupt";
     case FaultAction::kTruncate: return "trunc";
     case FaultAction::kClose: return "close";
+    case FaultAction::kKillServer: return "killserver";
   }
   return "unknown";
 }
@@ -152,6 +155,7 @@ FaultDecision FaultInjector::OnSend(MsgType type, std::uint64_t step,
 
     decision.action = rule.action;
     decision.delay_ms = rule.delay_ms;
+    if (rule.action == FaultAction::kKillServer) kill_requested_ = true;
     if (rule.action == FaultAction::kCorrupt && frame_bytes > 0) {
       decision.byte_offset =
           static_cast<std::size_t>(rng_.Below(frame_bytes));

@@ -16,7 +16,8 @@
 //
 //   ACTION:TYPE@STEP[#OCCURRENCE]
 //
-//   ACTION      drop | corrupt | trunc | close | delay<ms>  (e.g. delay250)
+//   ACTION      drop | corrupt | trunc | close | killserver
+//               | delay<ms>  (e.g. delay250)
 //   TYPE        hello | push | stats | pull | bye | rejoin | any
 //   STEP        a step number, or any
 //   OCCURRENCE  fire only on the Nth matching frame (0-based, default 0),
@@ -24,7 +25,8 @@
 //
 // Examples: "corrupt:push@2" (flip a byte in the first PUSH of step 2),
 // "close:pull@5" (kill the connection while fanning out step 5's pulls),
-// "delay200:push@any#*" (delay every push by 200 ms).
+// "delay200:push@any#*" (delay every push by 200 ms),
+// "killserver:pull@5" (crash the server mid-fan-out of step 5's pulls).
 //
 // One injector instance belongs to one endpoint (one worker process or the
 // server); sharing an instance across concurrently-sending endpoints would
@@ -47,6 +49,14 @@ enum class FaultAction : std::uint8_t {
   kCorrupt,   // flip one frame byte; receiver fails CRC and disconnects
   kTruncate,  // send only a frame prefix, then close
   kClose,     // close the connection instead of sending
+  // Kill the whole sending endpoint, not just one connection: the frame is
+  // not sent, the connection closes, and the injector latches
+  // kill_requested() for the endpoint's event loop to act on. On the
+  // server this simulates a parameter-server crash at an exact,
+  // deterministic point in the fan-out (RpcServer checks the latch and
+  // dies abruptly — no ERROR broadcast, sockets dropped mid-step — so
+  // recovery is exercised from its checkpoint). Spec token: "killserver".
+  kKillServer,
 };
 
 const char* FaultActionName(FaultAction action);
@@ -96,6 +106,10 @@ class FaultInjector {
   // Faults actually injected (decisions other than kNone).
   std::size_t faults_injected() const { return faults_; }
 
+  // Latched by the first kKillServer decision; the owning endpoint's event
+  // loop reads it (after any send) to die at the injected point.
+  bool kill_requested() const { return kill_requested_; }
+
   // One line per injected fault: "<action> <TYPE> step=<s> byte=<o>".
   // Two runs with the same seed and traffic produce identical logs — the
   // replayability contract the chaos tests assert.
@@ -112,6 +126,7 @@ class FaultInjector {
   util::Rng rng_;
   std::vector<std::string> log_;
   std::size_t faults_ = 0;
+  bool kill_requested_ = false;
 };
 
 }  // namespace threelc::rpc

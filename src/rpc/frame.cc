@@ -41,6 +41,56 @@ const char* ParseErrorName(ParseError error) {
   return "unknown";
 }
 
+void EncodeHandshake(const HandshakePayload& payload, bool rejoin,
+                     util::ByteBuffer& out) {
+  out.AppendU32(payload.worker_id);
+  out.AppendU64(payload.plan_hash);
+  out.AppendU32(static_cast<std::uint32_t>(payload.codec.size()));
+  out.Append(payload.codec.data(), payload.codec.size());
+  if (rejoin) out.AppendU64(payload.next_step);
+  out.AppendU64(payload.epoch);
+}
+
+HandshakePayload DecodeHandshake(util::ByteSpan bytes, bool rejoin) {
+  util::ByteReader in(bytes);
+  HandshakePayload payload;
+  payload.worker_id = in.ReadU32();
+  payload.plan_hash = in.ReadU64();
+  const std::uint32_t codec_len = in.ReadU32();
+  util::ByteSpan codec = in.ReadSpan(codec_len);
+  payload.codec.assign(reinterpret_cast<const char*>(codec.data()),
+                       codec.size());
+  if (rejoin) payload.next_step = in.ReadU64();
+  payload.epoch = in.ReadU64();
+  if (!in.AtEnd()) {
+    throw std::runtime_error("trailing bytes in handshake payload");
+  }
+  return payload;
+}
+
+void EncodeHandshakeAck(const HandshakeAckPayload& payload, bool rejoin,
+                        util::ByteBuffer& out) {
+  out.AppendU32(payload.num_workers);
+  out.AppendU64(payload.total_steps);
+  out.AppendU64(payload.plan_hash);
+  if (rejoin) out.AppendU64(payload.collect_step);
+  out.AppendU64(payload.epoch);
+}
+
+HandshakeAckPayload DecodeHandshakeAck(util::ByteSpan bytes, bool rejoin) {
+  util::ByteReader in(bytes);
+  HandshakeAckPayload payload;
+  payload.num_workers = in.ReadU32();
+  payload.total_steps = in.ReadU64();
+  payload.plan_hash = in.ReadU64();
+  if (rejoin) payload.collect_step = in.ReadU64();
+  payload.epoch = in.ReadU64();
+  if (!in.AtEnd()) {
+    throw std::runtime_error("trailing bytes in handshake ack payload");
+  }
+  return payload;
+}
+
 void EncodeFrame(const FrameHeader& header, util::ByteSpan payload,
                  util::ByteBuffer& out) {
   THREELC_CHECK_MSG(payload.size() <= kMaxPayloadBytes,

@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "util/byte_buffer.h"
@@ -37,9 +38,13 @@ namespace threelc::rpc {
 
 constexpr std::uint32_t kFrameMagic = 0x52434C33u;  // "3LCR"
 // Version 2 added the fault-tolerance frames (REJOIN, REJOIN_ACK, EVICT)
-// and BYE buffers from every worker. Version-1 peers are rejected at the
-// parser (kBadVersion) before any payload is interpreted.
-constexpr std::uint8_t kProtocolVersion = 2;
+// and BYE buffers from every worker. Version 3 added the server
+// incarnation epoch to every handshake payload (HELLO/REJOIN and their
+// acks), so a worker reconnecting after a server crash detects the
+// restarted incarnation — and a stale server detects a worker from the
+// future. Older peers are rejected at the parser (kBadVersion) before any
+// payload is interpreted.
+constexpr std::uint8_t kProtocolVersion = 3;
 constexpr std::size_t kFrameHeaderBytes = 28;
 // Largest payload the parser will accept. Generously above any encoded
 // tensor in this repo; primarily a defense against a corrupted length
@@ -47,16 +52,16 @@ constexpr std::size_t kFrameHeaderBytes = 28;
 constexpr std::size_t kMaxPayloadBytes = 64u << 20;
 
 enum class MsgType : std::uint8_t {
-  kHello = 1,      // worker -> server: id, plan hash, codec id
-  kHelloAck = 2,   // server -> worker: num workers, total steps, plan hash
+  kHello = 1,      // worker -> server: id, plan hash, codec id, epoch
+  kHelloAck = 2,   // server -> worker: N, total steps, plan hash, epoch
   kPush = 3,       // worker -> server: one tensor's encoded gradient
   kStepStats = 4,  // worker -> server: per-step scalars (training loss)
   kPull = 5,       // server -> worker: one tensor's shared encoded delta
   kBye = 6,        // worker -> server: done (BN buffers attached)
   kByeAck = 7,     // server -> worker: acknowledged, connection closing
   kError = 8,      // either way: fatal error, message string payload
-  kRejoin = 9,     // worker -> server: id, plan hash, codec, next step
-  kRejoinAck = 10,  // server -> worker: N, steps, plan hash, collect step
+  kRejoin = 9,     // worker -> server: id, plan hash, codec, next step, epoch
+  kRejoinAck = 10,  // server -> worker: N, steps, plan hash, collect, epoch
   kEvict = 11,     // server -> workers: a peer left the membership
 };
 
@@ -84,6 +89,43 @@ void EncodeFrame(const FrameHeader& header, util::ByteSpan payload,
 // Convenience for the common fields.
 void EncodeFrame(MsgType type, std::uint64_t step, std::uint32_t tensor,
                  util::ByteSpan payload, util::ByteBuffer& out);
+
+// Handshake payload codecs (protocol v3). Kept beside the frame format so
+// the payload layout is defined — and fuzzable — in one place; the
+// runtime's semantic checks (plan hash, epoch ordering) build on these.
+//
+// HELLO / REJOIN payload. epoch is the server incarnation the worker last
+// handshook with; 0 means "never connected" (a fresh HELLO). next_step is
+// REJOIN-only (the first step the worker has not applied) and ignored —
+// encoded as absent — for HELLO.
+struct HandshakePayload {
+  std::uint32_t worker_id = 0;
+  std::uint64_t plan_hash = 0;
+  std::string codec;
+  std::uint64_t epoch = 0;
+  std::uint64_t next_step = 0;  // REJOIN only
+};
+
+// HELLO_ACK / REJOIN_ACK payload. epoch is the server's current
+// incarnation; collect_step is REJOIN_ACK-only (the step the server is
+// collecting, i.e. where the rejoiner must catch up to).
+struct HandshakeAckPayload {
+  std::uint32_t num_workers = 0;
+  std::uint64_t total_steps = 0;
+  std::uint64_t plan_hash = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t collect_step = 0;  // REJOIN_ACK only
+};
+
+// `rejoin` selects whether the REJOIN-only field rides along. Decoders
+// throw std::runtime_error (via ByteReader) on truncated or malformed
+// bytes and reject trailing garbage.
+void EncodeHandshake(const HandshakePayload& payload, bool rejoin,
+                     util::ByteBuffer& out);
+HandshakePayload DecodeHandshake(util::ByteSpan bytes, bool rejoin);
+void EncodeHandshakeAck(const HandshakeAckPayload& payload, bool rejoin,
+                        util::ByteBuffer& out);
+HandshakeAckPayload DecodeHandshakeAck(util::ByteSpan bytes, bool rejoin);
 
 enum class ParseError : std::uint8_t {
   kNone = 0,

@@ -6,6 +6,7 @@
 
 #include "nn/checkpoint.h"
 #include "nn/lr_schedule.h"
+#include "rpc/fault.h"
 #include "obs/flight_recorder.h"
 #include "obs/health.h"
 #include "obs/telemetry.h"
@@ -41,18 +42,6 @@ void ReportFault(obs::Telemetry* telemetry, const std::string& who,
 
 void AddCounter(obs::Telemetry* telemetry, const char* name, double value) {
   if (telemetry != nullptr) telemetry->metrics().counter(name)->Add(value);
-}
-
-void WriteString(util::ByteBuffer& out, const std::string& s) {
-  out.AppendU32(static_cast<std::uint32_t>(s.size()));
-  out.Append(s.data(), s.size());
-}
-
-std::string ReadString(util::ByteReader& in) {
-  const std::uint32_t n = in.ReadU32();
-  util::ByteSpan bytes = in.ReadSpan(n);
-  return std::string(reinterpret_cast<const char*>(bytes.data()),
-                     bytes.size());
 }
 
 std::string PayloadString(const Frame& frame) {
@@ -304,6 +293,11 @@ bool RpcServer::PollUntil(const std::function<bool()>& done, int timeout_ms,
                           const char* phase) {
   util::WallTimer timer;
   while (!failed_) {
+    if (config_.stop_flag != nullptr &&
+        config_.stop_flag->load(std::memory_order_acquire)) {
+      GracefulStop("stop signal");
+      return false;
+    }
     if (stop_requested_.load(std::memory_order_acquire)) {
       std::string reason;
       {
@@ -340,13 +334,19 @@ void RpcServer::HandleHello(Connection& conn, const Frame& frame) {
     Fail("duplicate HELLO from worker " + std::to_string(peer.worker_id));
     return;
   }
-  util::ByteReader reader(frame.payload);
-  const std::uint32_t worker_id = reader.ReadU32();
-  const std::uint64_t plan_hash = reader.ReadU64();
-  const std::string codec = ReadString(reader);
+  const HandshakePayload hello = DecodeHandshake(frame.payload.span(),
+                                                 /*rejoin=*/false);
+  const std::uint32_t worker_id = hello.worker_id;
   if (worker_id >= static_cast<std::uint32_t>(config_.num_workers)) {
     Fail("HELLO with out-of-range worker id " + std::to_string(worker_id) +
          " (num_workers " + std::to_string(config_.num_workers) + ")");
+    return;
+  }
+  if (hello.epoch != 0) {
+    Fail("HELLO from worker " + std::to_string(worker_id) +
+         " carries server epoch " + std::to_string(hello.epoch) +
+         " (a fresh worker must send 0; one that saw an incarnation must "
+         "REJOIN)");
     return;
   }
   if (worker_conns_[worker_id] != nullptr) {
@@ -358,11 +358,11 @@ void RpcServer::HandleHello(Connection& conn, const Frame& frame) {
          " (a restarted worker must REJOIN)");
     return;
   }
-  if (plan_hash != plan_hash_ || codec != codec_name_) {
+  if (hello.plan_hash != plan_hash_ || hello.codec != codec_name_) {
     std::ostringstream oss;
     oss << "handshake mismatch from worker " << worker_id << ": plan hash "
-        << std::hex << plan_hash << " vs " << plan_hash_ << std::dec
-        << ", codec '" << codec << "' vs '" << codec_name_ << "'";
+        << std::hex << hello.plan_hash << " vs " << plan_hash_ << std::dec
+        << ", codec '" << hello.codec << "' vs '" << codec_name_ << "'";
     Fail(oss.str());
     return;
   }
@@ -372,10 +372,13 @@ void RpcServer::HandleHello(Connection& conn, const Frame& frame) {
   greeted_[worker_id] = true;
   ++handshakes_;
 
+  HandshakeAckPayload ack_payload;
+  ack_payload.num_workers = static_cast<std::uint32_t>(config_.num_workers);
+  ack_payload.total_steps = static_cast<std::uint64_t>(config_.total_steps);
+  ack_payload.plan_hash = plan_hash_;
+  ack_payload.epoch = epoch_;
   util::ByteBuffer ack;
-  ack.AppendU32(static_cast<std::uint32_t>(config_.num_workers));
-  ack.AppendU64(static_cast<std::uint64_t>(config_.total_steps));
-  ack.AppendU64(plan_hash_);
+  EncodeHandshakeAck(ack_payload, /*rejoin=*/false, ack);
   if (!conn.SendFrame(MsgType::kHelloAck, 0, 0, ack.span())) {
     Fail("sending HELLO_ACK to worker " + std::to_string(worker_id) + ": " +
          conn.last_error());
@@ -389,21 +392,33 @@ void RpcServer::HandleRejoin(Connection& conn, const Frame& frame) {
          std::to_string(peer.worker_id) + ")");
     return;
   }
-  util::ByteReader reader(frame.payload);
-  const std::uint32_t worker_id = reader.ReadU32();
-  const std::uint64_t plan_hash = reader.ReadU64();
-  const std::string codec = ReadString(reader);
-  const auto next_step = static_cast<std::int64_t>(reader.ReadU64());
+  const HandshakePayload rejoin = DecodeHandshake(frame.payload.span(),
+                                                  /*rejoin=*/true);
+  const std::uint32_t worker_id = rejoin.worker_id;
+  const auto next_step = static_cast<std::int64_t>(rejoin.next_step);
   if (worker_id >= static_cast<std::uint32_t>(config_.num_workers)) {
     Fail("REJOIN with out-of-range worker id " + std::to_string(worker_id));
     return;
   }
-  if (plan_hash != plan_hash_ || codec != codec_name_) {
+  if (rejoin.plan_hash != plan_hash_ || rejoin.codec != codec_name_) {
     std::ostringstream oss;
     oss << "REJOIN handshake mismatch from worker " << worker_id
-        << ": plan hash " << std::hex << plan_hash << " vs " << plan_hash_
-        << std::dec << ", codec '" << codec << "' vs '" << codec_name_ << "'";
+        << ": plan hash " << std::hex << rejoin.plan_hash << " vs "
+        << plan_hash_ << std::dec << ", codec '" << rejoin.codec << "' vs '"
+        << codec_name_ << "'";
     Fail(oss.str());
+    return;
+  }
+  // A worker can only ever have seen an epoch this incarnation knows about
+  // (epoch_ never regresses: it is persisted before any handshake). A
+  // larger epoch means this server restored a checkpoint older than the
+  // incarnation the worker last spoke to — a broken deployment, not a
+  // recoverable race.
+  if (rejoin.epoch > epoch_) {
+    Fail("REJOIN from worker " + std::to_string(worker_id) +
+         " carries epoch " + std::to_string(rejoin.epoch) +
+         " ahead of this server's " + std::to_string(epoch_) +
+         " (stale server checkpoint restored?)");
     return;
   }
   const auto w = static_cast<std::size_t>(worker_id);
@@ -463,11 +478,14 @@ void RpcServer::HandleRejoin(Connection& conn, const Frame& frame) {
   ++rejoins_;
   AddCounter(config_.telemetry, "rpc/rejoins", 1.0);
 
+  HandshakeAckPayload ack_payload;
+  ack_payload.num_workers = static_cast<std::uint32_t>(config_.num_workers);
+  ack_payload.total_steps = static_cast<std::uint64_t>(config_.total_steps);
+  ack_payload.plan_hash = plan_hash_;
+  ack_payload.epoch = epoch_;
+  ack_payload.collect_step = static_cast<std::uint64_t>(current_step_);
   util::ByteBuffer ack;
-  ack.AppendU32(static_cast<std::uint32_t>(config_.num_workers));
-  ack.AppendU64(static_cast<std::uint64_t>(config_.total_steps));
-  ack.AppendU64(plan_hash_);
-  ack.AppendU64(static_cast<std::uint64_t>(current_step_));
+  EncodeHandshakeAck(ack_payload, /*rejoin=*/true, ack);
   if (!conn.SendFrame(MsgType::kRejoinAck, 0, 0, ack.span())) {
     Fail("sending REJOIN_ACK to worker " + std::to_string(worker_id) + ": " +
          conn.last_error());
@@ -508,6 +526,22 @@ void RpcServer::HandleRejoin(Connection& conn, const Frame& frame) {
           std::to_string(next_step) + ", replayed " + std::to_string(frames) +
           " pull frames)",
       /*error=*/false);
+  MaybeReassembled();
+}
+
+void RpcServer::MaybeReassembled() {
+  if (!resumed_ || WaitingWorkers() != 0) return;
+  for (Member m : member_state_) {
+    if (m == Member::kEvicted) return;  // permanently degraded
+  }
+  RecordMembershipEvent("all workers rejoined after server restart (epoch " +
+                            std::to_string(epoch_) + "); run re-assembled",
+                        /*error=*/false);
+  if (config_.telemetry != nullptr && config_.telemetry->health() != nullptr) {
+    config_.telemetry->health()->SetRuntimeState(
+        obs::RuntimeState::kHealthy,
+        "all workers rejoined after server restart");
+  }
 }
 
 void RpcServer::OnFrame(Connection& conn, Frame&& frame) {
@@ -714,11 +748,33 @@ bool RpcServer::RunStep(std::int64_t step, float lr) {
     pull_payload_bytes += payload.size();
     EncodeFrame(MsgType::kPull, static_cast<std::uint64_t>(step),
                 static_cast<std::uint32_t>(t), payload, step_frames[t]);
+  }
+  // Retain the encoded frames BEFORE any byte leaves (one extra entry even
+  // with replay_steps == 0, dropped after fan-out): the write-ahead
+  // checkpoint below must carry exactly what the fan-out is about to send,
+  // so a server restored from it replays byte-identical pulls.
+  replay_.emplace_back(step, std::move(step_frames));
+  const auto max_replay =
+      static_cast<std::size_t>(std::max(config_.replay_steps, 0));
+  while (replay_.size() > std::max<std::size_t>(max_replay, 1)) {
+    replay_.pop_front();
+  }
+  // Write-ahead server checkpoint: this step's state is final (aggregate
+  // applied, pulls encoded, ring updated) and nothing has been sent, so a
+  // crash from here on restores to a point no worker can be ahead of.
+  if (!WriteCheckpoint(step + 1, /*force=*/false)) return false;
+  const std::vector<util::ByteBuffer>& fanout = replay_.back().second;
+  for (std::size_t t = 0; t < num_tensors; ++t) {
     for (std::size_t w : contributors) {
       if (member_state_[w] != Member::kActive) continue;  // died mid-fan-out
       Connection* conn = worker_conns_[w];
-      if (conn != nullptr && conn->SendEncoded(step_frames[t].span(), 1)) {
+      if (conn != nullptr && conn->SendEncoded(fanout[t].span(), 1)) {
         continue;
+      }
+      if (config_.fault != nullptr && config_.fault->kill_requested()) {
+        SimulatedCrash("injected server kill fanning out step " +
+                       std::to_string(step) + " pulls");
+        return false;
       }
       const std::string why =
           "queueing PULL to worker " + std::to_string(w) + ": " +
@@ -731,10 +787,7 @@ bool RpcServer::RunStep(std::int64_t step, float lr) {
       return false;
     }
   }
-  replay_.emplace_back(step, std::move(step_frames));
-  const auto max_replay =
-      static_cast<std::size_t>(std::max(config_.replay_steps, 0));
-  while (replay_.size() > max_replay) replay_.pop_front();
+  if (max_replay == 0) replay_.clear();
   const double encode_ms = encode_timer.ElapsedMillis();
   const double codec_seconds = decode_cpu_s + encode_cpu.ElapsedSeconds();
 
@@ -834,6 +887,131 @@ bool RpcServer::ApplyWorkerBuffers() {
   return true;
 }
 
+bool RpcServer::WriteCheckpoint(std::int64_t next_step, bool force) {
+  if (config_.checkpoint_path.empty()) return true;
+  const auto every =
+      static_cast<std::int64_t>(std::max(config_.checkpoint_every, 1));
+  if (!force && next_step % every != 0) return true;
+
+  nn::ServerState state;
+  state.epoch = epoch_;
+  state.next_step = static_cast<std::uint64_t>(std::max<std::int64_t>(
+      next_step, 0));
+  util::ByteBuffer ps_blob;
+  ps_->SaveState(ps_blob);
+  state.ps_state.assign(ps_blob.data(), ps_blob.data() + ps_blob.size());
+  state.evicted.resize(member_state_.size());
+  state.greeted.resize(greeted_.size());
+  for (std::size_t w = 0; w < member_state_.size(); ++w) {
+    state.evicted[w] = member_state_[w] == Member::kEvicted ? 1 : 0;
+    state.greeted[w] = greeted_[w] ? 1 : 0;
+  }
+  state.replay.reserve(replay_.size());
+  for (const auto& [step, tensors] : replay_) {
+    nn::ServerState::ReplayStep rs;
+    rs.step = static_cast<std::uint64_t>(step);
+    rs.frames.reserve(tensors.size());
+    for (const util::ByteBuffer& bytes : tensors) {
+      rs.frames.emplace_back(bytes.data(), bytes.data() + bytes.size());
+    }
+    state.replay.push_back(std::move(rs));
+  }
+  try {
+    nn::SaveServerCheckpoint(ps_->global_model(), state,
+                             config_.checkpoint_path);
+  } catch (const std::exception& e) {
+    // A server that promised durability but cannot deliver it must not keep
+    // training: workers could advance past a state that can never be
+    // restored.
+    Fail(std::string("writing server checkpoint: ") + e.what());
+    return false;
+  }
+  AddCounter(config_.telemetry, "rpc/server_checkpoints", 1.0);
+  return true;
+}
+
+bool RpcServer::ResumeFromCheckpoint(const std::string& path,
+                                     std::string* error) {
+  nn::ServerState state;
+  try {
+    nn::LoadServerCheckpoint(ps_->global_model(), &state, path);
+    util::ByteReader reader(
+        util::ByteSpan(state.ps_state.data(), state.ps_state.size()));
+    ps_->LoadState(reader);
+    if (!reader.AtEnd()) {
+      throw std::runtime_error("trailing bytes in parameter-server state");
+    }
+  } catch (const std::exception& e) {
+    if (error != nullptr) {
+      *error = "loading server checkpoint '" + path + "': " + e.what();
+    }
+    return false;
+  }
+  if (state.evicted.size() != member_state_.size() ||
+      state.greeted.size() != greeted_.size()) {
+    if (error != nullptr) {
+      *error = "server checkpoint '" + path + "' was written for " +
+               std::to_string(state.evicted.size()) + " workers, not " +
+               std::to_string(member_state_.size());
+    }
+    return false;
+  }
+  epoch_ = state.epoch + 1;
+  resume_step_ = static_cast<std::int64_t>(state.next_step);
+  for (std::size_t w = 0; w < member_state_.size(); ++w) {
+    member_state_[w] = state.evicted[w] != 0 ? Member::kEvicted
+                                             : Member::kActive;
+    greeted_[w] = state.greeted[w] != 0;
+  }
+  replay_.clear();
+  for (const nn::ServerState::ReplayStep& rs : state.replay) {
+    std::vector<util::ByteBuffer> tensors;
+    tensors.reserve(rs.frames.size());
+    for (const std::vector<std::uint8_t>& bytes : rs.frames) {
+      util::ByteBuffer frame;
+      frame.Append(bytes.data(), bytes.size());
+      tensors.push_back(std::move(frame));
+    }
+    replay_.emplace_back(static_cast<std::int64_t>(rs.step),
+                         std::move(tensors));
+  }
+  resumed_ = true;
+  THREELC_LOG(Info) << "rpc server: resumed from checkpoint '" << path
+                    << "' at step " << resume_step_ << " as epoch " << epoch_;
+  return true;
+}
+
+void RpcServer::SimulatedCrash(const std::string& why) {
+  simulated_exit_ = true;
+  failed_ = true;
+  error_ = why;
+  THREELC_LOG(Info) << "rpc server: " << why
+                    << (config_.checkpoint_path.empty()
+                            ? ""
+                            : " (checkpoint at " + config_.checkpoint_path +
+                                  ")");
+  // Abrupt: no ERROR broadcast, no flush — every socket just vanishes, the
+  // way a real crash looks to the workers.
+  tcp_.Close();
+}
+
+void RpcServer::GracefulStop(const std::string& reason) {
+  // Durability first: if the checkpoint cannot be written this becomes a
+  // hard Fail (with health kFailed), not a clean interruption.
+  if (!WriteCheckpoint(std::max<std::int64_t>(current_step_, 0),
+                       /*force=*/true)) {
+    return;
+  }
+  interrupted_ = true;
+  failed_ = true;  // stops the poll loops without Fail()'s kFailed health
+  error_ = "interrupted: " + reason;
+  THREELC_LOG(Info) << "rpc server: " << error_
+                    << (config_.checkpoint_path.empty()
+                            ? ""
+                            : "; checkpoint at " + config_.checkpoint_path);
+  BroadcastError("server interrupted: " + reason);  // workers exit, not hang
+}
+
 bool RpcServer::Run() {
   if (!tcp_.listening()) {
     error_ = "server is not listening (call Listen or AdoptListener first)";
@@ -843,8 +1021,60 @@ bool RpcServer::Run() {
       config_.telemetry != nullptr ? &config_.telemetry->tracer() : nullptr;
   if (tracer != nullptr) tracer->SetTrackName(0, "server");
 
-  // Step-0 pushes may arrive while slower workers are still shaking hands.
-  BeginCollect(0);
+  if (obs::Telemetry* tel = config_.telemetry) {
+    tel->metrics().gauge("rpc/server_epoch")
+        ->Set(static_cast<double>(epoch_));
+    if (epoch_ > 1) {
+      // Restart count is epoch - 1 by construction; exported as a counter
+      // so the CI chaos job can assert rpc_server_restarts_total >= 1 on
+      // the resumed incarnation.
+      tel->metrics().counter("rpc/server_restarts")
+          ->Add(static_cast<double>(epoch_ - 1));
+    }
+  }
+  // Persist this incarnation's epoch durably before any handshake can
+  // observe it — a crash from here on resumes as epoch_ + 1, so no epoch a
+  // worker has seen is ever reused.
+  if (!WriteCheckpoint(resume_step_, /*force=*/true)) {
+    tcp_.Close();
+    return false;
+  }
+
+  if (resumed_) {
+    // Every worker the previous incarnation greeted (and did not evict) is
+    // out there retrying against this port; treat each as freshly
+    // disconnected so the grace window — not the handshake count — governs
+    // its return, and hold the step barrier until it REJOINs.
+    const auto now = std::chrono::steady_clock::now();
+    std::size_t returning = 0;
+    handshakes_ = 0;
+    for (std::size_t w = 0; w < member_state_.size(); ++w) {
+      if (greeted_[w]) ++handshakes_;
+      if (!greeted_[w] || member_state_[w] == Member::kEvicted) continue;
+      member_state_[w] = Member::kWaiting;
+      dead_since_[w] = now;
+      ++returning;
+    }
+    steps_completed_ = resume_step_;
+    RecordMembershipEvent(
+        "server resumed from checkpoint at step " +
+            std::to_string(resume_step_) + " (epoch " +
+            std::to_string(epoch_) + "); awaiting " +
+            std::to_string(returning) + " worker rejoin(s)",
+        /*error=*/false);
+    if (config_.telemetry != nullptr &&
+        config_.telemetry->health() != nullptr) {
+      config_.telemetry->health()->SetRuntimeState(
+          obs::RuntimeState::kDegraded,
+          "server resumed (epoch " + std::to_string(epoch_) +
+              "); awaiting " + std::to_string(returning) +
+              " worker rejoin(s)");
+    }
+  }
+
+  // Pushes for the first collect step may arrive while slower workers are
+  // still shaking hands (or, after a resume, still rejoining).
+  BeginCollect(resume_step_);
   {
     obs::ScopedSpan span(tracer, "rpc/handshake", 0);
     if (!PollUntil(
@@ -860,16 +1090,28 @@ bool RpcServer::Run() {
   THREELC_LOG(Info) << "rpc server: " << config_.num_workers
                     << " workers handshaken (plan hash " << std::hex
                     << plan_hash_ << std::dec << ", codec '" << codec_name_
-                    << "'), running " << config_.total_steps << " steps";
+                    << "', epoch " << epoch_ << "), running steps "
+                    << resume_step_ << ".." << config_.total_steps;
 
   nn::CosineDecay schedule(config_.lr_max, config_.lr_min,
                            config_.total_steps);
-  for (std::int64_t step = 0; step < config_.total_steps; ++step) {
+  for (std::int64_t step = resume_step_; step < config_.total_steps;
+       ++step) {
     if (!RunStep(step, schedule.At(step))) {
       tcp_.Close();
       return false;
     }
     ++steps_completed_;
+    if (config_.fault != nullptr && config_.fault->kill_requested()) {
+      SimulatedCrash("injected server kill after step " +
+                     std::to_string(step));
+      return false;
+    }
+    if (step == config_.exit_after_step) {
+      SimulatedCrash("simulated server crash after step " +
+                     std::to_string(step));
+      return false;
+    }
   }
 
   // Shutdown: drain remaining pulls, collect a BYE from every surviving
@@ -892,6 +1134,12 @@ bool RpcServer::Run() {
     return false;
   }
   if (!ApplyWorkerBuffers()) {
+    tcp_.Close();
+    return false;
+  }
+  // Graceful-shutdown checkpoint: the final model (including folded-in
+  // batch-norm buffers) is durable before any BYE is acknowledged.
+  if (!WriteCheckpoint(config_.total_steps, /*force=*/true)) {
     tcp_.Close();
     return false;
   }
@@ -977,10 +1225,13 @@ Connection::IoResult RpcWorker::WaitDataFrame(Connection& conn, Frame* frame,
 }
 
 bool RpcWorker::Handshake(Connection& conn) {
+  HandshakePayload payload;
+  payload.worker_id = static_cast<std::uint32_t>(config_.worker_id);
+  payload.plan_hash = PlanHash(*plan_, codec_name_);
+  payload.codec = codec_name_;
+  payload.epoch = 0;  // fresh worker: no incarnation seen yet
   util::ByteBuffer hello;
-  hello.AppendU32(static_cast<std::uint32_t>(config_.worker_id));
-  hello.AppendU64(PlanHash(*plan_, codec_name_));
-  WriteString(hello, codec_name_);
+  EncodeHandshake(payload, /*rejoin=*/false, hello);
   if (!conn.SendFrame(MsgType::kHello, 0, 0, hello.span())) {
     return Fail("sending HELLO: " + conn.last_error());
   }
@@ -1002,13 +1253,18 @@ bool RpcWorker::Handshake(Connection& conn) {
                 MsgTypeName(ack.header.type));
   }
   try {
-    util::ByteReader reader(ack.payload);
-    num_workers_ = static_cast<int>(reader.ReadU32());
-    total_steps_ = static_cast<std::int64_t>(reader.ReadU64());
-    const std::uint64_t hash = reader.ReadU64();
-    if (hash != PlanHash(*plan_, codec_name_)) {
+    const HandshakeAckPayload ackp =
+        DecodeHandshakeAck(ack.payload.span(), /*rejoin=*/false);
+    num_workers_ = static_cast<int>(ackp.num_workers);
+    total_steps_ = static_cast<std::int64_t>(ackp.total_steps);
+    if (ackp.plan_hash != PlanHash(*plan_, codec_name_)) {
       return Fail("HELLO_ACK plan hash mismatch");
     }
+    if (ackp.epoch == 0) {
+      return Fail("HELLO_ACK carries epoch 0 (every server incarnation is "
+                  "numbered from 1)");
+    }
+    server_epoch_ = ackp.epoch;
   } catch (const std::exception& e) {
     return Fail(std::string("malformed HELLO_ACK: ") + e.what());
   }
@@ -1017,11 +1273,16 @@ bool RpcWorker::Handshake(Connection& conn) {
 
 bool RpcWorker::RejoinHandshake(Connection& conn,
                                 std::int64_t* collect_step) {
+  HandshakePayload payload;
+  payload.worker_id = static_cast<std::uint32_t>(config_.worker_id);
+  payload.plan_hash = PlanHash(*plan_, codec_name_);
+  payload.codec = codec_name_;
+  // 0 when this process restarted from a checkpoint and never completed a
+  // handshake; the server accepts any epoch <= its own.
+  payload.epoch = server_epoch_;
+  payload.next_step = static_cast<std::uint64_t>(next_apply_);
   util::ByteBuffer rejoin;
-  rejoin.AppendU32(static_cast<std::uint32_t>(config_.worker_id));
-  rejoin.AppendU64(PlanHash(*plan_, codec_name_));
-  WriteString(rejoin, codec_name_);
-  rejoin.AppendU64(static_cast<std::uint64_t>(next_apply_));
+  EncodeHandshake(payload, /*rejoin=*/true, rejoin);
   if (!conn.SendFrame(MsgType::kRejoin, 0, 0, rejoin.span())) {
     return Fail("sending REJOIN: " + conn.last_error());
   }
@@ -1042,14 +1303,32 @@ bool RpcWorker::RejoinHandshake(Connection& conn,
                 MsgTypeName(ack.header.type));
   }
   try {
-    util::ByteReader reader(ack.payload);
-    num_workers_ = static_cast<int>(reader.ReadU32());
-    total_steps_ = static_cast<std::int64_t>(reader.ReadU64());
-    const std::uint64_t hash = reader.ReadU64();
-    if (hash != PlanHash(*plan_, codec_name_)) {
+    const HandshakeAckPayload ackp =
+        DecodeHandshakeAck(ack.payload.span(), /*rejoin=*/true);
+    num_workers_ = static_cast<int>(ackp.num_workers);
+    total_steps_ = static_cast<std::int64_t>(ackp.total_steps);
+    if (ackp.plan_hash != PlanHash(*plan_, codec_name_)) {
       return Fail("REJOIN_ACK plan hash mismatch");
     }
-    *collect_step = static_cast<std::int64_t>(reader.ReadU64());
+    if (ackp.epoch == 0) {
+      return Fail("REJOIN_ACK carries epoch 0 (every server incarnation is "
+                  "numbered from 1)");
+    }
+    if (server_epoch_ != 0 && ackp.epoch < server_epoch_) {
+      // A server can only ever move forward: epoch_ is persisted before any
+      // handshake. Regression means we connected to a stale deployment.
+      return Fail("stale server: epoch regressed from " +
+                  std::to_string(server_epoch_) + " to " +
+                  std::to_string(ackp.epoch));
+    }
+    if (server_epoch_ != 0 && ackp.epoch > server_epoch_) {
+      THREELC_LOG(Warn) << "rpc worker " << config_.worker_id
+                        << ": server restarted from its checkpoint (epoch "
+                        << server_epoch_ << " -> " << ackp.epoch
+                        << "); re-synced via rejoin";
+    }
+    server_epoch_ = ackp.epoch;
+    *collect_step = static_cast<std::int64_t>(ackp.collect_step);
   } catch (const std::exception& e) {
     return Fail(std::string("malformed REJOIN_ACK: ") + e.what());
   }
@@ -1148,7 +1427,19 @@ bool RpcWorker::Connect(bool rejoin_mode) {
   std::string connect_error;
   const int fd = ConnectWithRetry(config_.host, config_.port, retry,
                                   &metrics_, &connect_error);
-  if (fd < 0) return Fail(connect_error);
+  if (fd < 0) {
+    if (rejoin_mode) {
+      // Soft failure: one exhausted connect budget (attempts + deadline)
+      // consumes one reconnect attempt, so Reconnect()'s max_reconnects —
+      // the same policy that governs mid-run drops — bounds the total
+      // spend. A restarting server (epoch bump) is typically back within
+      // one or two budgets.
+      THREELC_LOG(Warn) << "rpc worker " << config_.worker_id
+                        << ": reconnect attempt failed: " << connect_error;
+      return false;
+    }
+    return Fail(connect_error);
+  }
   conn_ = std::make_unique<Connection>(fd, &metrics_);
   if (config_.fault != nullptr) conn_->set_fault_injector(config_.fault);
 
@@ -1279,24 +1570,27 @@ RpcWorker::StepStatus RpcWorker::RunStep(std::int64_t step) {
   return StepStatus::kOk;
 }
 
+void RpcWorker::WriteResumeCheckpoint(const std::string& path) {
+  // Checkpoint timing invariant: after completing step k, the model has
+  // k's pulls applied, the EA buffers have advanced through k's encode,
+  // the sampler has consumed k's batch, and next_step is k + 1 — exactly
+  // the state a fault-free worker would carry into step k + 1.
+  nn::TrainState state;
+  state.next_step = static_cast<std::uint64_t>(next_apply_);
+  util::ByteBuffer codec_blob;
+  worker_->SaveCodecState(codec_blob);
+  state.codec_state.assign(codec_blob.data(),
+                           codec_blob.data() + codec_blob.size());
+  util::ByteBuffer sampler_blob;
+  sampler_.SaveState(sampler_blob);
+  state.sampler_state.assign(sampler_blob.data(),
+                             sampler_blob.data() + sampler_blob.size());
+  nn::SaveCheckpointWithState(worker_->model(), state, path);
+}
+
 void RpcWorker::SimulateCrash(std::int64_t step) {
   if (!config_.exit_checkpoint_path.empty()) {
-    // Checkpoint timing invariant: after completing step k, the model has
-    // k's pulls applied, the EA buffers have advanced through k's encode,
-    // the sampler has consumed k's batch, and next_step is k + 1 — exactly
-    // the state a fault-free worker would carry into step k + 1.
-    nn::TrainState state;
-    state.next_step = static_cast<std::uint64_t>(next_apply_);
-    util::ByteBuffer codec_blob;
-    worker_->SaveCodecState(codec_blob);
-    state.codec_state.assign(codec_blob.data(),
-                             codec_blob.data() + codec_blob.size());
-    util::ByteBuffer sampler_blob;
-    sampler_.SaveState(sampler_blob);
-    state.sampler_state.assign(sampler_blob.data(),
-                               sampler_blob.data() + sampler_blob.size());
-    nn::SaveCheckpointWithState(worker_->model(), state,
-                                config_.exit_checkpoint_path);
+    WriteResumeCheckpoint(config_.exit_checkpoint_path);
   }
   conn_->Close();  // abrupt: no BYE — the server sees a mid-run disconnect
   simulated_exit_ = true;
@@ -1307,6 +1601,26 @@ void RpcWorker::SimulateCrash(std::int64_t step) {
                             ? ""
                             : " (checkpoint at " +
                                   config_.exit_checkpoint_path + ")");
+}
+
+void RpcWorker::GracefulStop() {
+  std::string note;
+  if (!config_.stop_checkpoint_path.empty()) {
+    try {
+      WriteResumeCheckpoint(config_.stop_checkpoint_path);
+      note = "; checkpoint at " + config_.stop_checkpoint_path;
+    } catch (const std::exception& e) {
+      THREELC_LOG(Error) << "rpc worker " << config_.worker_id
+                         << ": writing stop checkpoint: " << e.what();
+      note = "; stop checkpoint FAILED";
+    }
+  }
+  if (conn_ != nullptr) conn_->Close();
+  interrupted_ = true;
+  failed_ = true;  // stops Run without poisoning health via Fail()
+  error_ = "interrupted: stop signal";
+  THREELC_LOG(Info) << "rpc worker " << config_.worker_id << ": " << error_
+                    << note;
 }
 
 bool RpcWorker::SayBye(Connection& conn) {
@@ -1362,6 +1676,11 @@ bool RpcWorker::Run() {
                     << num_workers_ << " workers, " << total_steps_
                     << " steps)";
   while (next_apply_ < total_steps_) {
+    if (config_.stop_flag != nullptr &&
+        config_.stop_flag->load(std::memory_order_acquire)) {
+      GracefulStop();
+      return false;
+    }
     const std::int64_t step = next_apply_;
     const StepStatus status = RunStep(step);
     if (status == StepStatus::kFailed) return false;

@@ -106,6 +106,27 @@ struct RpcServerConfig {
   // replay buffer a rejoiner can be caught up from.
   int grace_ms = 0;
   int replay_steps = 8;
+  // Server crash recovery. A non-empty checkpoint_path enables the
+  // write-ahead server checkpoint (nn::SaveServerCheckpoint: model +
+  // aggregation/optimizer/EA state + replay ring + membership + epoch),
+  // written atomically every checkpoint_every steps — after the step's
+  // state is final but BEFORE its pulls are fanned out, so no worker can
+  // ever have advanced past what a restarted server restored — plus once
+  // at Run() start (persisting the incarnation epoch) and at clean
+  // shutdown. With checkpoint_every > 1, a crash between cadence points
+  // restores an older step and rejoining workers that got further are
+  // rejected (documented clean failure, never silent divergence).
+  std::string checkpoint_path;
+  int checkpoint_every = 1;
+  // Chaos testing: after completing this step (its checkpoint already on
+  // disk), drop every socket abruptly — no ERROR broadcast, no flush —
+  // and return from Run with simulated_exit() true. -1 disables.
+  std::int64_t exit_after_step = -1;
+  // Graceful stop (e.g. set by a SIGTERM handler): polled by the event
+  // loop; when it flips true the server writes a forced checkpoint,
+  // notifies workers, closes cleanly, and returns with interrupted()
+  // true. Not owned; may be nullptr.
+  const std::atomic<bool>* stop_flag = nullptr;
   // Injected into every accepted connection (chaos testing); not owned.
   FaultInjector* fault = nullptr;
   // Optional; adds rpc metrics, per-step JSONL records, handshake /
@@ -126,6 +147,17 @@ class RpcServer {
   void AdoptListener(int listen_fd, int port);
   int port() const { return tcp_.port(); }
 
+  // Restore a previous incarnation's checkpoint: model tensors, the
+  // parameter server's recurrence (optimizer + prev_value + pull EA
+  // contexts), the step counter, the membership/greeted tables, and the
+  // verbatim pull-replay ring. This incarnation runs as the stored epoch
+  // + 1; previously-greeted workers enter the grace window at Run() start
+  // and must REJOIN (their stored pushes + the restored ring make the
+  // continuation bitwise-identical to a fault-free run). Call before Run,
+  // with grace_ms > 0. Returns false with *error on a missing, torn
+  // (CRC-failing), or plan-mismatched checkpoint.
+  bool ResumeFromCheckpoint(const std::string& path, std::string* error);
+
   // Handshake + total_steps BSP rounds + shutdown. Returns true on a
   // clean run; false after any fault, with error() describing it.
   bool Run();
@@ -136,6 +168,16 @@ class RpcServer {
   std::size_t evictions() const { return evictions_; }
   std::size_t rejoins() const { return rejoins_; }
   std::size_t replayed_frames() const { return replayed_frames_; }
+  // Server incarnation: 1 for a fresh run, stored epoch + 1 after
+  // ResumeFromCheckpoint. Carried in every handshake (protocol v3).
+  std::uint64_t epoch() const { return epoch_; }
+  bool resumed() const { return resumed_; }
+  // True when Run returned false because exit_after_step (or an injected
+  // killserver fault) fired — an intentional simulated crash, not a fault.
+  bool simulated_exit() const { return simulated_exit_; }
+  // True when Run returned false because config_.stop_flag flipped — a
+  // graceful, checkpointed stop, not a fault.
+  bool interrupted() const { return interrupted_; }
 
   // Thread-safe: ask the (single-threaded) poll loop to fail the run at
   // its next iteration. Used by process supervisors (e.g. the example's
@@ -180,6 +222,19 @@ class RpcServer {
   bool BarrierDone() const;
   void RecordMembershipEvent(const std::string& message, bool error);
 
+  // Server-recovery plumbing. WriteCheckpoint persists the current state
+  // under `next_step` when the cadence (or `force`) says so; Fails the run
+  // on I/O error (a server that promised durability but cannot deliver it
+  // must not keep training). SimulatedCrash drops every socket with no
+  // goodbye. GracefulStop is the stop_flag path: forced checkpoint, ERROR
+  // notice to workers, interrupted() true.
+  bool WriteCheckpoint(std::int64_t next_step, bool force);
+  void SimulatedCrash(const std::string& why);
+  void GracefulStop(const std::string& reason);
+  // After a successful rejoin: clear the degraded re-assembly state once
+  // every surviving worker is back.
+  void MaybeReassembled();
+
   RpcServerConfig config_;
   ps::ParameterServer* ps_;
   std::string codec_name_;
@@ -216,6 +271,13 @@ class RpcServer {
   std::string error_;
   std::int64_t steps_completed_ = 0;
 
+  // Server-recovery state.
+  std::uint64_t epoch_ = 1;
+  bool resumed_ = false;
+  std::int64_t resume_step_ = 0;  // first step this incarnation collects
+  bool simulated_exit_ = false;
+  bool interrupted_ = false;
+
   std::atomic<bool> stop_requested_{false};
   std::mutex stop_mutex_;
   std::string stop_reason_;
@@ -248,6 +310,13 @@ struct RpcWorkerConfig {
   // return from Run with simulated_exit() true. -1 disables.
   std::int64_t exit_after_step = -1;
   std::string exit_checkpoint_path;
+  // Graceful stop (e.g. set by a SIGTERM handler): polled between steps;
+  // when it flips true the worker writes a checkpoint v3 to
+  // stop_checkpoint_path (if set), closes, and returns from Run with
+  // interrupted() true — restartable exactly where it left off. Not
+  // owned; may be nullptr.
+  const std::atomic<bool>* stop_flag = nullptr;
+  std::string stop_checkpoint_path;
   // Injected into every connection this worker makes; not owned.
   FaultInjector* fault = nullptr;
   obs::Telemetry* telemetry = nullptr;  // optional rpc metrics + spans
@@ -276,6 +345,13 @@ class RpcWorker {
   // True when Run returned false because exit_after_step fired — an
   // intentional simulated crash, not a fault.
   bool simulated_exit() const { return simulated_exit_; }
+  // True when Run returned false because config_.stop_flag flipped — a
+  // graceful, checkpointed stop, not a fault.
+  bool interrupted() const { return interrupted_; }
+  // The server incarnation from the last HELLO_ACK / REJOIN_ACK (0 before
+  // any handshake). An epoch bump mid-run means the server restarted from
+  // its checkpoint and this worker re-handshook against it.
+  std::uint64_t server_epoch() const { return server_epoch_; }
 
  private:
   // kRetry = the connection died without a protocol violation; the step can
@@ -301,6 +377,11 @@ class RpcWorker {
                                      int timeout_ms);
   StepStatus RunStep(std::int64_t step);
   void SimulateCrash(std::int64_t step);
+  // Write a checkpoint v3 (model + EA buffers + sampler cursor +
+  // next_apply_) to `path` — the shared tail of SimulateCrash and the
+  // graceful stop_flag exit.
+  void WriteResumeCheckpoint(const std::string& path);
+  void GracefulStop();
   bool SayBye(Connection& conn);
   bool Fail(const std::string& message);
 
@@ -327,6 +408,8 @@ class RpcWorker {
 
   std::size_t reconnects_ = 0;
   bool simulated_exit_ = false;
+  bool interrupted_ = false;
+  std::uint64_t server_epoch_ = 0;
   bool failed_ = false;
   std::string error_;
 };

@@ -160,14 +160,37 @@ int ConnectWithRetry(const std::string& host, int port,
   sockaddr_in addr;
   if (!FillAddr(host, port, &addr, error)) return -1;
   std::string last_error = "no attempts made";
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed_ms = [&start] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+  bool deadline_hit = false;
+  int attempts_made = 0;
   for (int attempt = 0; attempt < retry.max_attempts; ++attempt) {
     if (attempt > 0) {
       if (metrics != nullptr && metrics->connect_retries != nullptr) {
         metrics->connect_retries->Add(1.0);
       }
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(BackoffDelayMs(retry, attempt)));
+      int backoff = BackoffDelayMs(retry, attempt);
+      if (retry.deadline_ms > 0) {
+        // Never sleep past the deadline; give up when no budget remains.
+        const double remaining = retry.deadline_ms - elapsed_ms();
+        if (remaining <= 0) {
+          deadline_hit = true;
+          break;
+        }
+        backoff = std::min(backoff, static_cast<int>(remaining));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
     }
+    if (retry.deadline_ms > 0 && elapsed_ms() >= retry.deadline_ms &&
+        attempt > 0) {
+      deadline_hit = true;
+      break;
+    }
+    ++attempts_made;
     const int fd = socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) {
       last_error = ErrnoString("socket");
@@ -180,9 +203,16 @@ int ConnectWithRetry(const std::string& host, int port,
     close(fd);
   }
   if (error != nullptr) {
-    *error = "connect to " + host + ":" + std::to_string(port) +
-             " failed after " + std::to_string(retry.max_attempts) +
-             " attempts (" + last_error + ")";
+    if (deadline_hit) {
+      *error = "connect to " + host + ":" + std::to_string(port) +
+               " failed: deadline (" + std::to_string(retry.deadline_ms) +
+               " ms) exceeded after " + std::to_string(attempts_made) +
+               " attempts (" + last_error + ")";
+    } else {
+      *error = "connect to " + host + ":" + std::to_string(port) +
+               " failed after " + std::to_string(retry.max_attempts) +
+               " attempts (" + last_error + ")";
+    }
   }
   return -1;
 }
@@ -267,6 +297,13 @@ bool Connection::SendEncoded(util::ByteSpan frame_bytes,
         FlushOutput(100);
         Close();
         last_error_ = "injected fault: connection closed";
+        return false;
+      case FaultAction::kKillServer:
+        // The endpoint-level crash is the owner's job (the injector has
+        // latched kill_requested()); here the frame just dies with the
+        // connection, unflushed — a crash does not say goodbye.
+        Close();
+        last_error_ = "injected fault: endpoint killed";
         return false;
     }
   }

@@ -68,6 +68,12 @@ struct RetryOptions {
   int initial_backoff_ms = 50;
   int max_backoff_ms = 2000;
   double multiplier = 2.0;
+  // Overall wall-clock budget across all attempts (0 = attempts-only).
+  // ConnectWithRetry stops — mid-backoff if needed — once the deadline
+  // passes, so the initial connect and every mid-run reconnect share one
+  // bounded policy: a worker whose server never comes back fails promptly
+  // instead of riding out the full exponential schedule.
+  int deadline_ms = 0;
   // Deterministic jitter: with a nonzero jitter_seed, each backoff is
   // scaled by a factor in [1 - jitter, 1 + jitter] derived purely from
   // (jitter_seed, attempt index) — no wall clock — so a fleet of workers

@@ -1,0 +1,94 @@
+#include "util/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace threelc::util {
+
+namespace {
+
+std::string ErrnoString(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)),
+      // The pid suffix keeps concurrent writers (e.g. a supervisor and a
+      // child both checkpointing into one state dir) from clobbering each
+      // other's in-flight temp file; the rename still serializes them.
+      temp_path_(path_ + ".tmp." + std::to_string(::getpid())) {
+  fd_ = ::open(temp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("atomic write: cannot create " + temp_path_ +
+                             " (" + ErrnoString("open") + ")");
+  }
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!committed_) Abort();
+}
+
+void AtomicFileWriter::Abort() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  ::unlink(temp_path_.c_str());
+}
+
+void AtomicFileWriter::Write(const void* data, std::size_t n) {
+  if (fd_ < 0) {
+    throw std::runtime_error("atomic write: writer for " + path_ +
+                             " is closed");
+  }
+  const auto* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t written = ::write(fd_, p, n);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = ErrnoString("write");
+      Abort();
+      throw std::runtime_error("atomic write: writing " + temp_path_ + " (" +
+                               err + ")");
+    }
+    p += written;
+    n -= static_cast<std::size_t>(written);
+  }
+}
+
+void AtomicFileWriter::Commit() {
+  if (fd_ < 0) {
+    throw std::runtime_error("atomic write: writer for " + path_ +
+                             " is closed");
+  }
+  if (::fsync(fd_) != 0) {
+    const std::string err = ErrnoString("fsync");
+    Abort();
+    throw std::runtime_error("atomic write: syncing " + temp_path_ + " (" +
+                             err + ")");
+  }
+  if (::close(fd_) != 0) {
+    fd_ = -1;
+    const std::string err = ErrnoString("close");
+    ::unlink(temp_path_.c_str());
+    throw std::runtime_error("atomic write: closing " + temp_path_ + " (" +
+                             err + ")");
+  }
+  fd_ = -1;
+  if (::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    const std::string err = ErrnoString("rename");
+    ::unlink(temp_path_.c_str());
+    throw std::runtime_error("atomic write: renaming " + temp_path_ +
+                             " -> " + path_ + " (" + err + ")");
+  }
+  committed_ = true;
+}
+
+}  // namespace threelc::util

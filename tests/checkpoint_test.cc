@@ -9,6 +9,7 @@
 #include "ps/sharding.h"
 #include "tensor/tensor_ops.h"
 #include "train/model_zoo.h"
+#include "util/atomic_file.h"
 #include "util/rng.h"
 
 namespace threelc {
@@ -250,6 +251,189 @@ TEST(Checkpoint, V3ChecksumDetectsStateCorruption) {
   nn::TrainState state;
   EXPECT_THROW(nn::LoadCheckpointState(model, &state, path),
                std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// ---------- server checkpoint ("3LCS") ----------
+
+nn::ServerState MakeServerState() {
+  nn::ServerState state;
+  state.epoch = 3;
+  state.next_step = 17;
+  state.ps_state = {0xAA, 0xBB, 0xCC, 0x01, 0x02};
+  state.evicted = {0, 1, 0};
+  state.greeted = {1, 1, 0};
+  nn::ServerState::ReplayStep s15;
+  s15.step = 15;
+  s15.frames = {{0x10, 0x11}, {0x12}};
+  nn::ServerState::ReplayStep s16;
+  s16.step = 16;
+  s16.frames = {{0x20}, {0x21, 0x22, 0x23}};
+  state.replay = {s15, s16};
+  return state;
+}
+
+TEST(ServerCheckpoint, RoundTripRestoresModelAndEveryField) {
+  auto model = train::BuildMlp(Spec(), 7);
+  const std::string path = TempPath("sckpt_roundtrip.bin");
+  nn::SaveServerCheckpoint(model, MakeServerState(), path);
+
+  auto restored = train::BuildMlp(Spec(), 8);  // different init
+  nn::ServerState state;
+  nn::LoadServerCheckpoint(restored, &state, path);
+
+  const nn::ServerState want = MakeServerState();
+  EXPECT_EQ(state.epoch, want.epoch);
+  EXPECT_EQ(state.next_step, want.next_step);
+  EXPECT_EQ(state.ps_state, want.ps_state);
+  EXPECT_EQ(state.evicted, want.evicted);
+  EXPECT_EQ(state.greeted, want.greeted);
+  ASSERT_EQ(state.replay.size(), want.replay.size());
+  for (std::size_t i = 0; i < want.replay.size(); ++i) {
+    EXPECT_EQ(state.replay[i].step, want.replay[i].step);
+    EXPECT_EQ(state.replay[i].frames, want.replay[i].frames);
+  }
+
+  util::Rng rng(9);
+  tensor::Tensor in(tensor::Shape{4, 6});
+  tensor::FillNormal(in, rng, 0.0f, 1.0f);
+  EXPECT_EQ(tensor::MaxAbsDiff(model.Forward(in, false),
+                               restored.Forward(in, false)),
+            0.0f);
+  std::remove(path.c_str());
+}
+
+TEST(ServerCheckpoint, EveryTruncationIsRejected) {
+  auto model = train::BuildMlp(Spec(), 7);
+  const std::string path = TempPath("sckpt_trunc.bin");
+  nn::SaveServerCheckpoint(model, MakeServerState(), path);
+
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(contents.size(), 16u);
+
+  // Sweep prefix lengths (stride keeps the test fast; the endpoints and
+  // everything in between must all fail the CRC or hit a hard underflow).
+  for (std::size_t len = 0; len < contents.size();
+       len += (contents.size() / 97) + 1) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(), static_cast<std::streamsize>(len));
+    out.close();
+    auto victim = train::BuildMlp(Spec(), 8);
+    nn::ServerState state;
+    EXPECT_THROW(nn::LoadServerCheckpoint(victim, &state, path),
+                 std::runtime_error)
+        << "truncated to " << len << " of " << contents.size() << " bytes";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ServerCheckpoint, FlippedByteIsRejected) {
+  auto model = train::BuildMlp(Spec(), 7);
+  const std::string path = TempPath("sckpt_flip.bin");
+  nn::SaveServerCheckpoint(model, MakeServerState(), path);
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  for (const std::size_t pos :
+       {contents.size() / 4, contents.size() / 2, contents.size() - 5}) {
+    std::string corrupt = contents;
+    corrupt[pos] ^= 0x08;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(corrupt.data(), static_cast<std::streamsize>(corrupt.size()));
+    out.close();
+    auto victim = train::BuildMlp(Spec(), 8);
+    nn::ServerState state;
+    EXPECT_THROW(nn::LoadServerCheckpoint(victim, &state, path),
+                 std::runtime_error)
+        << "flip at byte " << pos;
+  }
+  std::remove(path.c_str());
+}
+
+// The two record types must not be confusable: a worker checkpoint is not
+// a server checkpoint and vice versa.
+TEST(ServerCheckpoint, MagicSeparatesWorkerAndServerRecords) {
+  auto model = train::BuildMlp(Spec(), 7);
+  const std::string worker_path = TempPath("sckpt_worker_rec.bin");
+  const std::string server_path = TempPath("sckpt_server_rec.bin");
+  nn::SaveCheckpoint(model, worker_path);
+  nn::SaveServerCheckpoint(model, MakeServerState(), server_path);
+
+  nn::ServerState state;
+  EXPECT_THROW(nn::LoadServerCheckpoint(model, &state, worker_path),
+               std::runtime_error);
+  EXPECT_THROW(nn::LoadCheckpoint(model, server_path), std::runtime_error);
+  std::remove(worker_path.c_str());
+  std::remove(server_path.c_str());
+}
+
+// ---------- atomic write-temp + fsync + rename ----------
+
+TEST(AtomicFile, CommitLeavesContentsAndNoTempBehind) {
+  const std::string path = TempPath("atomic_commit.bin");
+  std::string temp_path;
+  {
+    util::AtomicFileWriter w(path);
+    temp_path = w.temp_path();
+    // The file under construction lives at the temp sibling, not `path`.
+    EXPECT_TRUE(std::ifstream(temp_path).good());
+    EXPECT_FALSE(std::ifstream(path).good());
+    w.Write("hello", 5);
+    w.Commit();
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "hello");
+  EXPECT_FALSE(std::ifstream(temp_path).good()) << "temp file leaked";
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, AbortRemovesTempAndPreservesPrevious) {
+  const std::string path = TempPath("atomic_abort.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "previous";
+  }
+  std::string temp_path;
+  {
+    util::AtomicFileWriter w(path);
+    temp_path = w.temp_path();
+    w.Write("partial", 7);
+    // Destroyed without Commit: exception-unwind path.
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "previous");
+  EXPECT_FALSE(std::ifstream(temp_path).good()) << "temp file leaked";
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, StaleTempFromEarlierCrashIsOverwritten) {
+  const std::string path = TempPath("atomic_stale.bin");
+  // Learn this process's temp-sibling name, then plant garbage there as if
+  // a previous attempt died mid-write.
+  std::string temp_path;
+  {
+    util::AtomicFileWriter probe(path);
+    temp_path = probe.temp_path();
+  }
+  {
+    std::ofstream out(temp_path, std::ios::binary);
+    out << "stale garbage from a crashed writer";
+  }
+  auto model = train::BuildMlp(Spec(), 7);
+  nn::SaveServerCheckpoint(model, MakeServerState(), path);
+  auto restored = train::BuildMlp(Spec(), 8);
+  nn::ServerState state;
+  EXPECT_NO_THROW(nn::LoadServerCheckpoint(restored, &state, path));
+  EXPECT_EQ(state.epoch, 3u);
+  EXPECT_FALSE(std::ifstream(temp_path).good()) << "temp file leaked";
   std::remove(path.c_str());
 }
 

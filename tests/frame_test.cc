@@ -241,19 +241,23 @@ TEST(Frame, MsgTypeNamesAreStable) {
   EXPECT_TRUE(IsValidMsgType(11));
 }
 
-// Protocol v1 frames (the pre-fault-tolerance wire format) must be
-// rejected at the parser with a typed kBadVersion, not misinterpreted.
-TEST(Frame, OldProtocolVersionRejected) {
-  static_assert(kProtocolVersion == 2,
+// Frames from every older protocol version (v1 pre-fault-tolerance, v2
+// pre-epoch) must be rejected at the parser with a typed kBadVersion, not
+// misinterpreted — a v2 peer cannot speak to a v3 endpoint at all.
+TEST(Frame, OldProtocolVersionsRejected) {
+  static_assert(kProtocolVersion == 3,
                 "update this test alongside the protocol version");
-  util::ByteBuffer wire;
-  EncodeFrame(MsgType::kHello, 0, 0, MakePayload(8, 4).span(), wire);
-  wire.data()[4] = 1;  // downgrade to protocol version 1
-  FrameParser parser;
-  std::vector<Frame> frames;
-  EXPECT_FALSE(parser.Feed(wire.span(), &frames));
-  EXPECT_EQ(parser.error(), ParseError::kBadVersion);
-  EXPECT_TRUE(frames.empty());
+  for (std::uint8_t old_version : {std::uint8_t{1}, std::uint8_t{2}}) {
+    util::ByteBuffer wire;
+    EncodeFrame(MsgType::kHello, 0, 0, MakePayload(8, 4).span(), wire);
+    wire.data()[4] = old_version;
+    FrameParser parser;
+    std::vector<Frame> frames;
+    EXPECT_FALSE(parser.Feed(wire.span(), &frames));
+    EXPECT_EQ(parser.error(), ParseError::kBadVersion)
+        << "version " << static_cast<int>(old_version);
+    EXPECT_TRUE(frames.empty());
+  }
 }
 
 // The fault-tolerance frame types added in protocol v2 round-trip through
@@ -281,6 +285,175 @@ TEST(Frame, RejoinAndEvictFramesRoundTrip) {
     EXPECT_EQ(frames[0].header.step, 7u);
     EXPECT_EQ(frames[0].payload.size(), payload.size());
   }
+}
+
+// --- protocol v3 handshake payload codecs ---------------------------------
+
+TEST(Handshake, HelloRoundTrip) {
+  HandshakePayload in;
+  in.worker_id = 3;
+  in.plan_hash = 0xDEADBEEFCAFEF00Dull;
+  in.codec = "3lc";
+  in.epoch = 0;  // fresh worker
+  util::ByteBuffer wire;
+  EncodeHandshake(in, /*rejoin=*/false, wire);
+  const HandshakePayload out = DecodeHandshake(wire.span(), /*rejoin=*/false);
+  EXPECT_EQ(out.worker_id, in.worker_id);
+  EXPECT_EQ(out.plan_hash, in.plan_hash);
+  EXPECT_EQ(out.codec, in.codec);
+  EXPECT_EQ(out.epoch, in.epoch);
+}
+
+TEST(Handshake, RejoinRoundTripCarriesEpochAndNextStep) {
+  HandshakePayload in;
+  in.worker_id = 1;
+  in.plan_hash = 42;
+  in.codec = "none";
+  in.epoch = 7;       // the incarnation this worker last spoke to
+  in.next_step = 19;  // first step it has not applied
+  util::ByteBuffer wire;
+  EncodeHandshake(in, /*rejoin=*/true, wire);
+  const HandshakePayload out = DecodeHandshake(wire.span(), /*rejoin=*/true);
+  EXPECT_EQ(out.worker_id, in.worker_id);
+  EXPECT_EQ(out.epoch, 7u);
+  EXPECT_EQ(out.next_step, 19u);
+}
+
+TEST(Handshake, AckRoundTrips) {
+  HandshakeAckPayload in;
+  in.num_workers = 4;
+  in.total_steps = 100;
+  in.plan_hash = 0x1234;
+  in.epoch = 2;
+  util::ByteBuffer hello_ack;
+  EncodeHandshakeAck(in, /*rejoin=*/false, hello_ack);
+  HandshakeAckPayload out =
+      DecodeHandshakeAck(hello_ack.span(), /*rejoin=*/false);
+  EXPECT_EQ(out.num_workers, 4u);
+  EXPECT_EQ(out.total_steps, 100u);
+  EXPECT_EQ(out.epoch, 2u);
+
+  in.collect_step = 57;
+  util::ByteBuffer rejoin_ack;
+  EncodeHandshakeAck(in, /*rejoin=*/true, rejoin_ack);
+  out = DecodeHandshakeAck(rejoin_ack.span(), /*rejoin=*/true);
+  EXPECT_EQ(out.epoch, 2u);
+  EXPECT_EQ(out.collect_step, 57u);
+}
+
+// A HELLO and a REJOIN from the same worker differ on the wire (REJOIN
+// carries next_step); decoding one as the other must throw or mismatch,
+// never silently succeed with garbage fields.
+TEST(Handshake, WrongModeDecodeThrows) {
+  HandshakePayload in;
+  in.worker_id = 0;
+  in.plan_hash = 1;
+  in.codec = "3lc";
+  in.epoch = 3;
+  in.next_step = 12;
+  util::ByteBuffer rejoin_wire;
+  EncodeHandshake(in, /*rejoin=*/true, rejoin_wire);
+  EXPECT_THROW(DecodeHandshake(rejoin_wire.span(), /*rejoin=*/false),
+               std::exception);
+  util::ByteBuffer hello_wire;
+  EncodeHandshake(in, /*rejoin=*/false, hello_wire);
+  EXPECT_THROW(DecodeHandshake(hello_wire.span(), /*rejoin=*/true),
+               std::exception);
+}
+
+// Fuzz: every truncation of a handshake payload must throw — the decoders
+// sit behind the server's OnFrame try/catch, so "throw" is the contract
+// that turns a malformed handshake into a clean Fail instead of UB.
+TEST(Handshake, EveryTruncationThrows) {
+  for (const bool rejoin : {false, true}) {
+    HandshakePayload in;
+    in.worker_id = 2;
+    in.plan_hash = 0xABCDEF;
+    in.codec = "3lc";
+    in.epoch = rejoin ? 4 : 0;
+    in.next_step = 9;
+    util::ByteBuffer wire;
+    EncodeHandshake(in, rejoin, wire);
+    for (std::size_t n = 0; n < wire.size(); ++n) {
+      EXPECT_THROW(DecodeHandshake(util::ByteSpan(wire.data(), n), rejoin),
+                   std::exception)
+          << (rejoin ? "REJOIN" : "HELLO") << " truncated to " << n;
+    }
+    // Trailing garbage is rejected too (a frame is exactly one payload).
+    util::ByteBuffer padded = wire;
+    padded.PushByte(0);
+    EXPECT_THROW(DecodeHandshake(padded.span(), rejoin), std::exception);
+  }
+}
+
+TEST(Handshake, EveryAckTruncationThrows) {
+  for (const bool rejoin : {false, true}) {
+    HandshakeAckPayload in;
+    in.num_workers = 2;
+    in.total_steps = 8;
+    in.plan_hash = 77;
+    in.epoch = 5;
+    in.collect_step = 6;
+    util::ByteBuffer wire;
+    EncodeHandshakeAck(in, rejoin, wire);
+    for (std::size_t n = 0; n < wire.size(); ++n) {
+      EXPECT_THROW(
+          DecodeHandshakeAck(util::ByteSpan(wire.data(), n), rejoin),
+          std::exception)
+          << (rejoin ? "REJOIN_ACK" : "HELLO_ACK") << " truncated to " << n;
+    }
+    util::ByteBuffer padded = wire;
+    padded.PushByte(0);
+    EXPECT_THROW(DecodeHandshakeAck(padded.span(), rejoin), std::exception);
+  }
+}
+
+// Fuzz: randomly corrupted handshake bytes either decode (possibly to
+// different field values — CRC catches corruption a layer below) or throw;
+// they never crash. The codec-length field is the dangerous byte: a huge
+// length must throw, not allocate or read out of bounds.
+TEST(Handshake, FuzzedCorruptionNeverCrashes) {
+  util::Rng rng(0xEB0C);
+  HandshakePayload in;
+  in.worker_id = 1;
+  in.plan_hash = 0x5555AAAA5555AAAAull;
+  in.codec = "3lc";
+  in.epoch = 6;
+  in.next_step = 33;
+  for (const bool rejoin : {false, true}) {
+    util::ByteBuffer wire;
+    EncodeHandshake(in, rejoin, wire);
+    for (int round = 0; round < 200; ++round) {
+      util::ByteBuffer corrupted = wire;
+      const std::size_t at = static_cast<std::size_t>(
+          rng.Below(corrupted.size()));
+      corrupted.data()[at] ^= static_cast<std::uint8_t>(1 + rng.Next() % 255);
+      try {
+        const HandshakePayload out = DecodeHandshake(corrupted.span(), rejoin);
+        (void)out;
+      } catch (const std::exception&) {
+        // acceptable: typed rejection
+      }
+    }
+  }
+}
+
+// The epoch field lands where the server's stale-incarnation check reads
+// it: a REJOIN re-encoded with a bumped epoch must decode to exactly that
+// bumped epoch (the server then Fails it as "ahead of this server").
+TEST(Handshake, EpochMismatchIsVisibleToTheServerCheck) {
+  HandshakePayload stale;
+  stale.worker_id = 0;
+  stale.plan_hash = 9;
+  stale.codec = "none";
+  stale.epoch = 3;
+  stale.next_step = 5;
+  util::ByteBuffer wire;
+  EncodeHandshake(stale, /*rejoin=*/true, wire);
+  HandshakePayload seen = DecodeHandshake(wire.span(), /*rejoin=*/true);
+  const std::uint64_t server_epoch = 2;  // server restored an older epoch
+  EXPECT_GT(seen.epoch, server_epoch)
+      << "the stale-server guard must fire on this payload";
 }
 
 }  // namespace

@@ -248,12 +248,12 @@ TEST(RpcRuntime, RogueDisconnectFailsServerCleanly) {
     ASSERT_GE(fd, 0) << connect_error;
     Connection rogue(fd);
     // Say a valid-looking HELLO so the server counts us, then vanish.
+    HandshakePayload payload;
+    payload.worker_id = 0;
+    payload.plan_hash = PlanHash(plan, codec->name());
+    payload.codec = codec->name();
     util::ByteBuffer hello;
-    hello.AppendU32(0);  // worker id
-    hello.AppendU64(PlanHash(plan, codec->name()));
-    const std::string name = codec->name();
-    hello.AppendU32(static_cast<std::uint32_t>(name.size()));
-    hello.Append(name.data(), name.size());
+    EncodeHandshake(payload, /*rejoin=*/false, hello);
     ASSERT_TRUE(rogue.SendFrame(MsgType::kHello, 0, 0, hello.span()));
     ASSERT_EQ(rogue.FlushOutput(2000), Connection::IoResult::kOk);
     // Destructor closes the socket mid-handshake.
@@ -337,12 +337,12 @@ TEST(RpcRuntime, PlanHashMismatchRejectedAtHandshake) {
                                   &connect_error);
   ASSERT_GE(fd, 0) << connect_error;
   Connection impostor(fd);
+  HandshakePayload payload;
+  payload.worker_id = 0;
+  payload.plan_hash = 0xDEADBEEFu;  // not the server's plan hash
+  payload.codec = codec->name();
   util::ByteBuffer hello;
-  hello.AppendU32(0);
-  hello.AppendU64(0xDEADBEEFu);  // not the server's plan hash
-  const std::string name = codec->name();
-  hello.AppendU32(static_cast<std::uint32_t>(name.size()));
-  hello.Append(name.data(), name.size());
+  EncodeHandshake(payload, /*rejoin=*/false, hello);
   ASSERT_TRUE(impostor.SendFrame(MsgType::kHello, 0, 0, hello.span()));
   ASSERT_EQ(impostor.FlushOutput(2000), Connection::IoResult::kOk);
 

@@ -187,6 +187,29 @@ TEST(ConnectWithRetry, DeadPortFailsAfterBoundedRetries) {
   EXPECT_EQ(metrics.connect_retries->value(), 2.0);  // attempts 2 and 3
 }
 
+// A wall-clock deadline caps the whole retry loop even when the attempt
+// budget alone would keep it spinning much longer — the unified policy
+// both initial connects and mid-run reconnects go through.
+TEST(ConnectWithRetry, DeadlineCapsRetriesBeforeAttemptsExhaust) {
+  RetryOptions retry;
+  retry.max_attempts = 1000000;  // attempts alone would retry ~forever
+  retry.initial_backoff_ms = 50;
+  retry.max_backoff_ms = 50;
+  retry.deadline_ms = 200;
+  std::string error;
+  const auto start = std::chrono::steady_clock::now();
+  const int fd = ConnectWithRetry("127.0.0.1", 1, retry, nullptr, &error);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_LT(fd, 0);
+  // Generous ceiling: the loop must stop near the 200 ms deadline, not
+  // anywhere near a million attempts.
+  EXPECT_LT(elapsed, 5000);
+  EXPECT_NE(error.find("deadline"), std::string::npos) << error;
+  EXPECT_NE(error.find("200 ms"), std::string::npos) << error;
+}
+
 TEST(ConnectWithRetry, SucceedsOnceListenerAppears) {
   // Reserve an ephemeral port, free it, then bring the listener up only
   // after the client has already started retrying.
