@@ -1,0 +1,163 @@
+// Codec throughput bench for the perf regression gate.
+//
+// Unlike bench_kernels (google-benchmark, human-oriented), this emits a
+// machine-readable BENCH_codec.json that tools/check_perf.py diffs against
+// the committed baseline in bench/baselines/. Iteration counts are pinned
+// by work volume (a fixed byte budget per configuration), so two runs on
+// the same machine do the same work and the JSON is directly comparable.
+//
+// Usage: bench_codec [--out=BENCH_codec.json] [--target-mb=256]
+// The commit id is taken from $THREELC_COMMIT when set (CI exports it).
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "compress/factory.h"
+#include "tensor/tensor.h"
+#include "util/byte_buffer.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace threelc;
+
+namespace {
+
+struct Metric {
+  std::string key;
+  double value = 0.0;
+  std::string unit;
+  bool higher_is_better = true;
+};
+
+tensor::Tensor MakeInput(std::int64_t n, double zero_prob) {
+  util::Rng rng(99);
+  tensor::Tensor t(tensor::Shape{n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    t[static_cast<std::size_t>(i)] =
+        rng.Bernoulli(zero_prob) ? 0.0f : rng.NormalFloat(0.0f, 1.0f);
+  }
+  return t;
+}
+
+// Iterations pinned by byte volume: enough passes over the tensor to touch
+// ~target_bytes of float input, clamped to [8, 4096]. Deterministic given
+// (n, target_bytes), so baseline and candidate runs do identical work.
+int PinnedIters(std::int64_t n, double target_bytes) {
+  const double tensor_bytes = static_cast<double>(n) * sizeof(float);
+  const double raw = target_bytes / tensor_bytes;
+  if (raw < 8.0) return 8;
+  if (raw > 4096.0) return 4096;
+  return static_cast<int>(raw);
+}
+
+double GigabytesPerSecond(std::int64_t n, int iters, double seconds) {
+  const double bytes =
+      static_cast<double>(n) * sizeof(float) * static_cast<double>(iters);
+  return bytes / seconds / 1e9;
+}
+
+void AppendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const std::string out_path = flags.GetString("out", "BENCH_codec.json");
+  const double target_mb = flags.GetDouble("target-mb", 256.0);
+  const double target_bytes = target_mb * 1e6;
+
+  const char* commit_env = std::getenv("THREELC_COMMIT");
+  const std::string commit = commit_env != nullptr ? commit_env : "unknown";
+
+  struct Named {
+    std::string label;
+    compress::CodecConfig config;
+  };
+  const std::vector<Named> codecs = {
+      {"float32", compress::CodecConfig::Float32()},
+      {"eightbit", compress::CodecConfig::EightBit()},
+      {"3lc_s1.00", compress::CodecConfig::ThreeLC(1.00f)},
+      {"3lc_s1.75", compress::CodecConfig::ThreeLC(1.75f)},
+  };
+  const std::vector<std::int64_t> sizes = {1 << 14, 1 << 16, 1 << 20};
+  // Gradient-like sparsity so ZRE has runs to compress, as in training.
+  const double zero_prob = 0.5;
+
+  std::vector<Metric> metrics;
+  for (const Named& named : codecs) {
+    auto codec = compress::MakeCompressor(named.config);
+    for (std::int64_t n : sizes) {
+      tensor::Tensor in = MakeInput(n, zero_prob);
+      auto ctx = codec->MakeContext(in.shape());
+      const int iters = PinnedIters(n, target_bytes);
+      util::ByteBuffer encoded;
+
+      // Warm-up pass: fault in pages and settle the residual context.
+      codec->Encode(in, *ctx, encoded);
+
+      util::WallTimer encode_timer;
+      for (int i = 0; i < iters; ++i) {
+        encoded.Clear();
+        codec->Encode(in, *ctx, encoded);
+      }
+      const double encode_s = encode_timer.ElapsedSeconds();
+
+      tensor::Tensor decoded(in.shape());
+      util::WallTimer decode_timer;
+      for (int i = 0; i < iters; ++i) {
+        util::ByteReader reader(encoded);
+        codec->Decode(reader, decoded);
+      }
+      const double decode_s = decode_timer.ElapsedSeconds();
+
+      const std::string suffix = named.label + "/n" + std::to_string(n);
+      metrics.push_back({"encode_gbps/" + suffix,
+                         GigabytesPerSecond(n, iters, encode_s), "GB/s", true});
+      metrics.push_back({"decode_gbps/" + suffix,
+                         GigabytesPerSecond(n, iters, decode_s), "GB/s", true});
+      std::cerr << "bench_codec: " << suffix << " iters=" << iters
+                << " encode=" << GigabytesPerSecond(n, iters, encode_s)
+                << " GB/s decode=" << GigabytesPerSecond(n, iters, decode_s)
+                << " GB/s\n";
+    }
+  }
+
+  std::string json;
+  json += "{\n  \"schema\": \"threelc-bench-v1\",\n  \"bench\": \"codec\",\n";
+  json += "  \"commit\": ";
+  AppendJsonString(json, commit);
+  json += ",\n  \"metrics\": {\n";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const Metric& m = metrics[i];
+    json += "    ";
+    AppendJsonString(json, m.key);
+    json += ": {\"value\": " + std::to_string(m.value) + ", \"unit\": ";
+    AppendJsonString(json, m.unit);
+    json += ", \"higher_is_better\": ";
+    json += m.higher_is_better ? "true" : "false";
+    json += "}";
+    if (i + 1 < metrics.size()) json += ",";
+    json += "\n";
+  }
+  json += "  }\n}\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "bench_codec: cannot open " << out_path << "\n";
+    return 1;
+  }
+  out << json;
+  std::cerr << "bench_codec: wrote " << out_path << "\n";
+  return 0;
+}

@@ -16,6 +16,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/stage_profiler.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "tensor/tensor_ops.h"
@@ -318,6 +319,46 @@ void BM_FlightRecorderRecordStep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FlightRecorderRecordStep);
+
+// --- Stage profiler overhead ----------------------------------------------
+// ScopedStage sits inside the codec inner stages and the transport read /
+// write paths, so both the disabled (one relaxed load + branch) and the
+// enabled (two clock reads + relaxed accumulator stores) cost must stay
+// nanoseconds. bench_step enforces the end-to-end <2% budget; these keep
+// the per-scope numbers visible.
+
+void BM_StageScopeDisabled(benchmark::State& state) {
+  obs::StageProfiler profiler;  // disabled by default
+  for (auto _ : state) {
+    obs::ScopedStage stage(&profiler, "bench");
+    benchmark::DoNotOptimize(&profiler);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StageScopeDisabled);
+
+void BM_StageScopeEnabled(benchmark::State& state) {
+  obs::StageProfiler profiler;
+  profiler.set_enabled(true);
+  for (auto _ : state) {
+    obs::ScopedStage stage(&profiler, "bench");
+    benchmark::DoNotOptimize(&profiler);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StageScopeEnabled);
+
+void BM_StageScopeEnabledNested(benchmark::State& state) {
+  obs::StageProfiler profiler;
+  profiler.set_enabled(true);
+  for (auto _ : state) {
+    obs::ScopedStage outer(&profiler, "outer");
+    obs::ScopedStage inner(&profiler, "inner");
+    benchmark::DoNotOptimize(&profiler);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StageScopeEnabledNested);
 
 }  // namespace
 

@@ -7,6 +7,7 @@
 #include "compress/quantize3.h"
 #include "compress/quartic.h"
 #include "compress/zero_run.h"
+#include "obs/stage_profiler.h"
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
 
@@ -77,39 +78,55 @@ std::unique_ptr<Context> ThreeLC::MakeContext(const Shape& shape) const {
 
 void ThreeLC::EncodeImpl(const Tensor& in, Context& ctx, ByteBuffer& out,
                          EncodeStats* stats) const {
+  obs::ScopedStage encode_stage(&obs::StageProfiler::Global(), "3lc_encode");
   auto& c = static_cast<ThreeLCContext&>(ctx);
   const auto n = static_cast<std::size_t>(in.num_elements());
   THREELC_CHECK_MSG(c.accum_.size() == n, "context/tensor shape mismatch");
 
   // Step (1): accumulate the input into the local buffer.
-  const float* src = in.data();
-  float* acc = c.accum_.data();
-  if (c.has_residual_) {
-    const float* res = c.residual_.data();
-    for (std::size_t i = 0; i < n; ++i) acc[i] = src[i] + res[i];
-  } else {
-    for (std::size_t i = 0; i < n; ++i) acc[i] = src[i];
+  {
+    obs::ScopedStage stage(&obs::StageProfiler::Global(), "accumulate");
+    const float* src = in.data();
+    float* acc = c.accum_.data();
+    if (c.has_residual_) {
+      const float* res = c.residual_.data();
+      for (std::size_t i = 0; i < n; ++i) acc[i] = src[i] + res[i];
+    } else {
+      for (std::size_t i = 0; i < n; ++i) acc[i] = src[i];
+    }
   }
 
   // Steps (2), (a), (b): quantize; keep the remaining error locally.
   float M;
-  if (c.has_residual_) {
-    M = Quantize3WithResidual(acc, n, options_.sparsity_multiplier,
-                              c.ternary_.data(), c.residual_.data());
-  } else {
-    M = Quantize3(acc, n, options_.sparsity_multiplier, c.ternary_.data());
+  {
+    obs::ScopedStage stage(&obs::StageProfiler::Global(), "quantize");
+    if (c.has_residual_) {
+      M = Quantize3WithResidual(c.accum_.data(), n,
+                                options_.sparsity_multiplier,
+                                c.ternary_.data(), c.residual_.data());
+    } else {
+      M = Quantize3(c.accum_.data(), n, options_.sparsity_multiplier,
+                    c.ternary_.data());
+    }
   }
 
   // Step (3): quartic encoding.
-  c.quartic_.Clear();
-  QuarticEncode(c.ternary_.data(), n, c.quartic_);
+  {
+    obs::ScopedStage stage(&obs::StageProfiler::Global(), "quartic");
+    c.quartic_.Clear();
+    QuarticEncode(c.ternary_.data(), n, c.quartic_);
+  }
 
   // Step (4): zero-run encoding (optional), then frame the payload.
   out.AppendF32(M);
   if (options_.zero_run) {
     ByteBuffer zre;
-    zre.Reserve(c.quartic_.size());
-    ZeroRunEncode(c.quartic_.span(), zre);
+    {
+      obs::ScopedStage stage(&obs::StageProfiler::Global(), "zre");
+      zre.Reserve(c.quartic_.size());
+      ZeroRunEncode(c.quartic_.span(), zre);
+    }
+    obs::ScopedStage stage(&obs::StageProfiler::Global(), "serialize");
     out.AppendU32(static_cast<std::uint32_t>(zre.size()));
     out.Append(zre.span());
     if (stats != nullptr) {
@@ -118,6 +135,7 @@ void ThreeLC::EncodeImpl(const Tensor& in, Context& ctx, ByteBuffer& out,
       stats->zre_bytes_out = zre.size();
     }
   } else {
+    obs::ScopedStage stage(&obs::StageProfiler::Global(), "serialize");
     out.AppendU32(static_cast<std::uint32_t>(c.quartic_.size()));
     out.Append(c.quartic_.span());
   }
@@ -142,6 +160,7 @@ void ThreeLC::EncodeImpl(const Tensor& in, Context& ctx, ByteBuffer& out,
 }
 
 void ThreeLC::Decode(ByteReader& in, Tensor& out) const {
+  obs::ScopedStage decode_stage(&obs::StageProfiler::Global(), "3lc_decode");
   const auto n = static_cast<std::size_t>(out.num_elements());
   const float M = in.ReadF32();
   const std::uint32_t len = in.ReadU32();
@@ -151,15 +170,22 @@ void ThreeLC::Decode(ByteReader& in, Tensor& out) const {
   std::vector<std::int8_t> ternary(n);
   if (options_.zero_run) {
     ByteBuffer quartic;
-    quartic.Reserve(quartic_len);
-    const std::size_t produced = ZeroRunDecode(payload, quartic, quartic_len);
-    if (produced != quartic_len) {
-      throw std::runtime_error("3LC decode: zero-run payload size mismatch");
+    {
+      obs::ScopedStage stage(&obs::StageProfiler::Global(), "zre");
+      quartic.Reserve(quartic_len);
+      const std::size_t produced =
+          ZeroRunDecode(payload, quartic, quartic_len);
+      if (produced != quartic_len) {
+        throw std::runtime_error("3LC decode: zero-run payload size mismatch");
+      }
     }
+    obs::ScopedStage stage(&obs::StageProfiler::Global(), "quartic");
     QuarticDecode(quartic.span(), n, ternary.data());
   } else {
+    obs::ScopedStage stage(&obs::StageProfiler::Global(), "quartic");
     QuarticDecode(payload, n, ternary.data());
   }
+  obs::ScopedStage stage(&obs::StageProfiler::Global(), "dequantize");
   Dequantize3(ternary.data(), n, M, out.data());
 }
 

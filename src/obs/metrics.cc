@@ -63,6 +63,12 @@ HistogramStat* MetricsRegistry::histogram(const std::string& name, double lo,
   return it->second.get();
 }
 
+void MetricsRegistry::AddCounterBatch(const std::string& name, double v,
+                                      std::uint64_t n) {
+  if (!enabled()) return;
+  counter(name)->AddSample(v, n);
+}
+
 void MetricsRegistry::Merge(const MetricsRegistry& other) {
   // Snapshot other's metric pointers, then fold them in. Values read through
   // the handles are atomics (or internally locked), so concurrent writers on

@@ -200,6 +200,12 @@ class MetricsRegistry {
   HistogramStat* histogram(const std::string& name, double lo, double hi,
                            std::size_t bins);
 
+  // Record a pre-aggregated batch on counter `name` in one consistent
+  // write: value += v, events += n. Used by exporters that fold an
+  // external accumulator (e.g. StageProfiler) into the registry without
+  // replaying every sample. Respects the enabled flag like Add().
+  void AddCounterBatch(const std::string& name, double v, std::uint64_t n);
+
   // Fold `other`'s metrics into this registry, matching by name and
   // creating missing metrics. Counters add, gauges take other's value if
   // it was ever set, histograms merge moments and bin counts.

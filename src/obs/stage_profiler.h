@@ -1,0 +1,162 @@
+// Hierarchical stage profiler for hot paths (codec stages, transport
+// frame handling, server step phases).
+//
+// Design rules, mirroring MetricsRegistry:
+//  - Compiled in everywhere, disabled by default. A ScopedStage against a
+//    disabled profiler costs one relaxed atomic load and a predictable
+//    branch (bench_kernels measures this as BM_StageScopeDisabled).
+//  - An enabled ScopedStage accumulates into thread-local, single-writer
+//    slots: two steady_clock reads plus a handful of relaxed stores, no
+//    locks and no allocation on the steady-state path. The only locking
+//    happens the first time a thread sees a new (parent, name) pair.
+//  - Stages are hierarchical: a ScopedStage opened while another is live
+//    on the same thread becomes its child, and the stage's identity is the
+//    full path ("server_step/decode_aggregate/3lc_decode/zre"). The same
+//    leaf name under different parents is a different stage, which is how
+//    one codec instrumentation serves both the push and pull directions.
+//  - Snapshot() merges every thread's accumulators outside the hot path
+//    (the scraping thread pays the cost, not the step loop). Counts and
+//    totals may be torn by in-flight recordings — profiling tolerance, not
+//    ledger accuracy.
+//  - Each stage keeps exact count/total/min/max plus a log2(ns) histogram
+//    for quantiles: 64 buckets cover 1 ns to ~18 s with <=50% relative
+//    error, enough to tell a 2 us quartic pack from a 2 ms fan-out stall.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace threelc::obs {
+
+class MetricsRegistry;
+
+// One stage, merged across threads, as of a Snapshot() call.
+struct StageSample {
+  std::string path;  // "parent/child/leaf"
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t min_ns = 0;
+  std::uint64_t max_ns = 0;
+  double p50_ns = 0.0;  // from the log2 histogram (geometric bucket mid)
+  double p90_ns = 0.0;
+  double p99_ns = 0.0;
+};
+
+class StageProfiler {
+ public:
+  // Log2 duration buckets: bucket b holds durations in [2^b, 2^(b+1)) ns.
+  static constexpr int kHistogramBuckets = 64;
+  // Distinct hierarchical stage paths per profiler. Fixed so per-thread
+  // accumulator arrays never reallocate under a concurrent Snapshot().
+  static constexpr int kMaxStages = 256;
+
+  StageProfiler();
+  ~StageProfiler();
+  StageProfiler(const StageProfiler&) = delete;
+  StageProfiler& operator=(const StageProfiler&) = delete;
+
+  // Process-wide profiler; what Telemetry enables and /metricsz serves.
+  static StageProfiler& Global();
+
+  void set_enabled(bool enabled) { enabled_.store(enabled); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Merge every thread's accumulators into per-path samples, sorted by
+  // path. Stages with zero recordings are omitted.
+  std::vector<StageSample> Snapshot() const;
+
+  // Record the current totals into `registry` as one counter per stage:
+  //   profile/<path>  (value = total seconds, events = count)
+  // Totals are cumulative, so call this once per registry (e.g. at
+  // Telemetry::Flush) — repeated exports double-count.
+  void ExportTo(MetricsRegistry& registry) const;
+
+  // Prometheus text exposition of the current snapshot:
+  //   <prefix>stage_<path>_seconds_total / _count_total  (counters)
+  //   <prefix>stage_<path>_ns{quantile=...} + _sum/_count (summary)
+  void WritePrometheus(std::ostream& out,
+                       const std::string& prefix = "threelc_") const;
+
+  // Zero every accumulator, keeping registered stages and thread slots.
+  // Test/bench helper; not safe against concurrent recording threads.
+  void Reset();
+
+  std::size_t stage_count() const;
+
+ private:
+  friend class ScopedStage;
+
+  // Single-writer accumulator: only the owning thread stores, any thread
+  // may load (Snapshot). Everything relaxed — the values are statistics.
+  struct StageAccum {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> total_ns{0};
+    std::atomic<std::uint64_t> min_ns{~std::uint64_t{0}};
+    std::atomic<std::uint64_t> max_ns{0};
+    std::atomic<std::uint32_t> hist[kHistogramBuckets] = {};
+  };
+
+  struct ThreadState {
+    ThreadState() : accums(new StageAccum[kMaxStages]) {}
+    std::unique_ptr<StageAccum[]> accums;
+    // Owner-thread-only state below.
+    int current = -1;  // innermost live stage id (-1 = top level)
+    struct ChildEdge {
+      int parent;
+      const char* name;  // pointer identity: stage names are literals
+      int id;
+    };
+    std::vector<ChildEdge> children;  // tiny; linear scan beats hashing
+    void Record(int id, std::uint64_t ns);
+  };
+
+  ThreadState* GetThreadState();
+  int ResolveChild(ThreadState& ts, int parent, const char* name);
+
+  std::atomic<bool> enabled_{false};
+  const std::uint64_t instance_id_;  // unique forever; keys the TLS cache
+  mutable std::mutex mu_;  // guards paths_/ids_/threads_ structure
+  std::vector<std::string> paths_;  // index = stage id
+  std::vector<std::unique_ptr<ThreadState>> threads_;
+};
+
+// RAII stage timer. Null or disabled profiler makes every member a no-op.
+class ScopedStage {
+ public:
+  // `name` must be a string literal (or otherwise outlive the profiler):
+  // the per-thread child cache keys on pointer identity.
+  ScopedStage(StageProfiler* profiler, const char* name) {
+    if (profiler == nullptr || !profiler->enabled()) return;
+    ts_ = profiler->GetThreadState();
+    parent_ = ts_->current;
+    id_ = profiler->ResolveChild(*ts_, parent_, name);
+    ts_->current = id_;
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  ScopedStage(const ScopedStage&) = delete;
+  ScopedStage& operator=(const ScopedStage&) = delete;
+
+  ~ScopedStage() {
+    if (ts_ == nullptr) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    ts_->Record(id_, ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
+    ts_->current = parent_;
+  }
+
+ private:
+  StageProfiler::ThreadState* ts_ = nullptr;
+  int parent_ = -1;
+  int id_ = -1;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace threelc::obs

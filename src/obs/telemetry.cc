@@ -7,6 +7,7 @@
 #include "obs/http_server.h"
 #include "obs/json.h"
 #include "obs/prometheus.h"
+#include "obs/stage_profiler.h"
 #include "util/flags.h"
 #include "util/logging.h"
 
@@ -31,6 +32,14 @@ Telemetry::Telemetry(TelemetryOptions options)
     }
     tracer_.set_enabled(true);
   }
+  // The stage profiler accumulates process-wide (codec, transport, and
+  // step-phase scopes have no per-call registry to thread through), so any
+  // telemetry that records metrics turns it on. It stays on for the
+  // process: the enabled cost is thread-local accumulation only, and
+  // another live Telemetry may still be exporting it.
+  if (metrics_.enabled() || options_.monitoring_enabled()) {
+    StageProfiler::Global().set_enabled(true);
+  }
   if (options_.monitoring_enabled()) {
     // The watchdog and the Prometheus endpoint read the registry, so
     // monitoring implies enabled metrics even without a --metrics-out file.
@@ -53,6 +62,9 @@ Telemetry::Telemetry(TelemetryOptions options)
     http_->Handle("/metricsz", [this] {
       std::ostringstream out;
       WritePrometheus(metrics_, out);
+      // Stage-profile snapshot: merged on the scraping thread, so the
+      // step critical path never pays for the export.
+      StageProfiler::Global().WritePrometheus(out);
       return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
                           out.str()};
     });
@@ -212,6 +224,9 @@ void Telemetry::Flush() {
   if (flushed_) return;
   flushed_ = true;
   if (metrics_out_.is_open()) {
+    // Fold the profiler totals in once, so the summary line carries the
+    // profile/<stage> counters alongside the regular metrics.
+    StageProfiler::Global().ExportTo(metrics_);
     metrics_out_ << "{\"type\":\"summary\",\"metrics\":"
                  << metrics_.ToJsonObject() << "}\n";
     metrics_out_.close();

@@ -12,10 +12,10 @@ void Tracer::SetTrackName(int track, std::string name) {
 }
 
 void Tracer::RecordSpan(std::string name, int track, double ts_us,
-                        double dur_us) {
+                        double dur_us, std::int64_t step) {
   if (!enabled()) return;
   std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back({std::move(name), track, ts_us, dur_us});
+  events_.push_back({std::move(name), track, ts_us, dur_us, step});
 }
 
 void Tracer::RecordCounter(std::string name, int track, double ts_us,
@@ -68,6 +68,11 @@ void Tracer::WriteChromeTrace(std::ostream& out) const {
     AppendJsonNumber(buf, e.ts_us);
     buf += ",\"dur\":";
     AppendJsonNumber(buf, e.dur_us);
+    if (e.step >= 0) {
+      buf += ",\"args\":{\"step\":";
+      AppendJsonNumber(buf, e.step);
+      buf += "}";
+    }
     buf += "}";
     sep();
     out << buf;

@@ -30,6 +30,10 @@ struct TraceEvent {
   int track = 0;
   double ts_us = 0.0;   // since tracer construction
   double dur_us = 0.0;
+  // Logical training step the span belongs to, or -1 when unknown. Stamped
+  // into the Chrome JSON as args.step so tools/merge_traces.py can align
+  // server and worker traces from different processes on one timeline.
+  std::int64_t step = -1;
 };
 
 class Tracer {
@@ -51,8 +55,10 @@ class Tracer {
   // Label a track ("server", "worker 0"); shown as the thread name.
   void SetTrackName(int track, std::string name);
 
-  // Record one completed span. Thread-safe; no-op when disabled.
-  void RecordSpan(std::string name, int track, double ts_us, double dur_us);
+  // Record one completed span. Thread-safe; no-op when disabled. `step`
+  // tags the span with a logical training step (-1 = untagged).
+  void RecordSpan(std::string name, int track, double ts_us, double dur_us,
+                  std::int64_t step = -1);
 
   // Instantaneous counter sample attached to the trace ("i" would lose the
   // value, so these export as counter events "C").
@@ -84,10 +90,12 @@ class Tracer {
 // A null tracer (telemetry off) makes every member a no-op.
 class ScopedSpan {
  public:
-  ScopedSpan(Tracer* tracer, const char* name, int track)
+  ScopedSpan(Tracer* tracer, const char* name, int track,
+             std::int64_t step = -1)
       : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
         name_(name),
         track_(track),
+        step_(step),
         start_us_(tracer_ != nullptr ? tracer_->NowUs() : 0.0) {}
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -96,7 +104,7 @@ class ScopedSpan {
   ~ScopedSpan() {
     if (tracer_ != nullptr) {
       tracer_->RecordSpan(name_, track_, start_us_,
-                          tracer_->NowUs() - start_us_);
+                          tracer_->NowUs() - start_us_, step_);
     }
   }
 
@@ -104,6 +112,7 @@ class ScopedSpan {
   Tracer* tracer_;
   const char* name_;
   int track_;
+  std::int64_t step_;
   double start_us_;
 };
 

@@ -5,6 +5,7 @@
 
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace threelc::ps {
 
@@ -44,18 +45,25 @@ ParameterServer::ParameterServer(nn::Model& global_model,
 
 void ParameterServer::BeginStep() {
   for (auto& slot : slots_) slot.agg_grad.SetZero();
+  step_timings_ = StepTimings{};
 }
 
 void ParameterServer::ReceivePush(std::size_t idx, ByteReader& payload,
                                   bool aggregate) {
   THREELC_CHECK(idx < slots_.size());
   Slot& slot = slots_[idx];
+  util::WallTimer timer;
   if (plan_->entry(idx).compressed) {
     codec_->Decode(payload, slot.scratch);
   } else {
     payload.ReadInto(slot.scratch.data(), slot.scratch.byte_size());
   }
-  if (aggregate) tensor::Add(slot.agg_grad, slot.scratch);
+  step_timings_.decode_ms += timer.ElapsedMillis();
+  if (aggregate) {
+    timer.Reset();
+    tensor::Add(slot.agg_grad, slot.scratch);
+    step_timings_.aggregate_ms += timer.ElapsedMillis();
+  }
 }
 
 void ParameterServer::Update(float lr, int num_contributions) {

@@ -46,13 +46,23 @@ class ParameterServer {
   const TensorPlan& plan() const { return *plan_; }
   nn::Model& global_model() { return *model_; }
 
-  // Start a synchronous step: clears gradient accumulators.
+  // Start a synchronous step: clears gradient accumulators and the
+  // per-step decode/aggregate timing split.
   void BeginStep();
 
   // Decode one worker's gradient push for tensor `idx`. When `aggregate`
   // is false the payload is consumed but discarded — how the server treats
   // pushes arriving after the backup-worker quorum is met (§2.1).
   void ReceivePush(std::size_t idx, ByteReader& payload, bool aggregate = true);
+
+  // Wall time this step spent inside ReceivePush, split into the codec
+  // decode and the gradient accumulation — the decode/aggregate halves of
+  // the RunStep breakdown. Reset by BeginStep.
+  struct StepTimings {
+    double decode_ms = 0.0;
+    double aggregate_ms = 0.0;
+  };
+  const StepTimings& step_timings() const { return step_timings_; }
 
   // After all pushes: average gradients over `num_contributions` and run
   // the optimizer on the global model.
@@ -101,6 +111,7 @@ class ParameterServer {
     ByteBuffer pull_payload;
   };
   std::vector<Slot> slots_;
+  StepTimings step_timings_;
 };
 
 }  // namespace threelc::ps

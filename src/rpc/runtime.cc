@@ -9,6 +9,7 @@
 #include "rpc/fault.h"
 #include "obs/flight_recorder.h"
 #include "obs/health.h"
+#include "obs/stage_profiler.h"
 #include "obs/telemetry.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -672,7 +673,13 @@ void RpcServer::BeginCollect(std::int64_t step) {
 bool RpcServer::RunStep(std::int64_t step, float lr) {
   obs::Tracer* tracer =
       config_.telemetry != nullptr ? &config_.telemetry->tracer() : nullptr;
+  obs::StageProfiler* prof = &obs::StageProfiler::Global();
   const std::size_t num_tensors = ps_->plan().size();
+
+  // Whole-step span, stamped with the step id so merge_traces.py can line
+  // this up against each worker's push/pull spans from other processes.
+  obs::ScopedSpan step_span(tracer, "rpc/step", 0, step);
+  obs::ScopedStage step_stage(prof, "server_step");
 
   // The barrier budget covers the grace window: a dead worker may consume
   // all of grace_ms rejoining (or being evicted) before the barrier can
@@ -681,7 +688,8 @@ bool RpcServer::RunStep(std::int64_t step, float lr) {
       config_.step_timeout_ms + std::max(config_.grace_ms, 0);
   util::WallTimer barrier_timer;
   {
-    obs::ScopedSpan span(tracer, "rpc/step_barrier", 0);
+    obs::ScopedSpan span(tracer, "rpc/step_barrier", 0, step);
+    obs::ScopedStage stage(prof, "barrier");
     if (!PollUntil([this] { return BarrierDone(); }, barrier_timeout_ms,
                    "step barrier")) {
       return false;
@@ -710,29 +718,40 @@ bool RpcServer::RunStep(std::int64_t step, float lr) {
   util::CpuTimer decode_cpu;
   std::size_t push_bytes = 0;
   ps_->BeginStep();
-  try {
-    for (std::size_t w : contributors) {
-      for (std::size_t t = 0; t < num_tensors; ++t) {
-        push_bytes += push_payloads_[w][t].size();
-        util::ByteReader reader(push_payloads_[w][t]);
-        ps_->ReceivePush(t, reader, /*aggregate=*/true);
-        if (!reader.AtEnd()) {
-          Fail("trailing bytes in PUSH payload from worker " +
-               std::to_string(w) + " tensor " + std::to_string(t));
-          return false;
+  {
+    obs::ScopedSpan span(tracer, "rpc/decode_aggregate", 0, step);
+    obs::ScopedStage stage(prof, "decode_aggregate");
+    try {
+      for (std::size_t w : contributors) {
+        for (std::size_t t = 0; t < num_tensors; ++t) {
+          push_bytes += push_payloads_[w][t].size();
+          util::ByteReader reader(push_payloads_[w][t]);
+          ps_->ReceivePush(t, reader, /*aggregate=*/true);
+          if (!reader.AtEnd()) {
+            Fail("trailing bytes in PUSH payload from worker " +
+                 std::to_string(w) + " tensor " + std::to_string(t));
+            return false;
+          }
         }
       }
+    } catch (const std::exception& e) {
+      Fail(std::string("decoding pushes for step ") + std::to_string(step) +
+           ": " + e.what());
+      return false;
     }
-  } catch (const std::exception& e) {
-    Fail(std::string("decoding pushes for step ") + std::to_string(step) +
-         ": " + e.what());
-    return false;
   }
   const double decode_ms = decode_timer.ElapsedMillis();
   const double decode_cpu_s = decode_cpu.ElapsedSeconds();
+  // ReceivePush timed its codec decodes and gradient adds separately; the
+  // remainder of the loop (readers, bookkeeping) stays out of both halves.
+  const ps::ParameterServer::StepTimings split = ps_->step_timings();
 
   util::WallTimer optimize_timer;
-  ps_->Update(lr, static_cast<int>(num_contributors));
+  {
+    obs::ScopedSpan span(tracer, "rpc/optimize", 0, step);
+    obs::ScopedStage stage(prof, "optimize");
+    ps_->Update(lr, static_cast<int>(num_contributors));
+  }
   const double optimize_ms = optimize_timer.ElapsedMillis();
 
   // Encode each pull payload once; every worker is queued the same frame
@@ -740,56 +759,74 @@ bool RpcServer::RunStep(std::int64_t step, float lr) {
   // are also retained in the replay ring so a rejoiner can be caught up.
   util::WallTimer encode_timer;
   util::CpuTimer encode_cpu;
-  ps_->PreparePulls();
   std::size_t pull_payload_bytes = 0;
-  std::vector<util::ByteBuffer> step_frames(num_tensors);
-  for (std::size_t t = 0; t < num_tensors; ++t) {
-    util::ByteSpan payload = ps_->PullPayload(t);
-    pull_payload_bytes += payload.size();
-    EncodeFrame(MsgType::kPull, static_cast<std::uint64_t>(step),
-                static_cast<std::uint32_t>(t), payload, step_frames[t]);
-  }
-  // Retain the encoded frames BEFORE any byte leaves (one extra entry even
-  // with replay_steps == 0, dropped after fan-out): the write-ahead
-  // checkpoint below must carry exactly what the fan-out is about to send,
-  // so a server restored from it replays byte-identical pulls.
-  replay_.emplace_back(step, std::move(step_frames));
   const auto max_replay =
       static_cast<std::size_t>(std::max(config_.replay_steps, 0));
-  while (replay_.size() > std::max<std::size_t>(max_replay, 1)) {
-    replay_.pop_front();
+  {
+    obs::ScopedSpan span(tracer, "rpc/encode", 0, step);
+    obs::ScopedStage stage(prof, "encode");
+    ps_->PreparePulls();
+    std::vector<util::ByteBuffer> step_frames(num_tensors);
+    for (std::size_t t = 0; t < num_tensors; ++t) {
+      util::ByteSpan payload = ps_->PullPayload(t);
+      pull_payload_bytes += payload.size();
+      EncodeFrame(MsgType::kPull, static_cast<std::uint64_t>(step),
+                  static_cast<std::uint32_t>(t), payload, step_frames[t]);
+    }
+    // Retain the encoded frames BEFORE any byte leaves (one extra entry
+    // even with replay_steps == 0, dropped after fan-out): the write-ahead
+    // checkpoint below must carry exactly what the fan-out is about to
+    // send, so a server restored from it replays byte-identical pulls.
+    replay_.emplace_back(step, std::move(step_frames));
+    while (replay_.size() > std::max<std::size_t>(max_replay, 1)) {
+      replay_.pop_front();
+    }
   }
+  const double encode_ms = encode_timer.ElapsedMillis();
+  const double codec_seconds = decode_cpu_s + encode_cpu.ElapsedSeconds();
+
   // Write-ahead server checkpoint: this step's state is final (aggregate
   // applied, pulls encoded, ring updated) and nothing has been sent, so a
   // crash from here on restores to a point no worker can be ahead of.
-  if (!WriteCheckpoint(step + 1, /*force=*/false)) return false;
-  const std::vector<util::ByteBuffer>& fanout = replay_.back().second;
-  for (std::size_t t = 0; t < num_tensors; ++t) {
-    for (std::size_t w : contributors) {
-      if (member_state_[w] != Member::kActive) continue;  // died mid-fan-out
-      Connection* conn = worker_conns_[w];
-      if (conn != nullptr && conn->SendEncoded(fanout[t].span(), 1)) {
-        continue;
-      }
-      if (config_.fault != nullptr && config_.fault->kill_requested()) {
-        SimulatedCrash("injected server kill fanning out step " +
-                       std::to_string(step) + " pulls");
+  util::WallTimer checkpoint_timer;
+  {
+    obs::ScopedSpan span(tracer, "rpc/checkpoint", 0, step);
+    obs::ScopedStage stage(prof, "checkpoint");
+    if (!WriteCheckpoint(step + 1, /*force=*/false)) return false;
+  }
+  const double checkpoint_ms = checkpoint_timer.ElapsedMillis();
+
+  util::WallTimer fanout_timer;
+  {
+    obs::ScopedSpan span(tracer, "rpc/fan_out", 0, step);
+    obs::ScopedStage stage(prof, "fan_out");
+    const std::vector<util::ByteBuffer>& fanout = replay_.back().second;
+    for (std::size_t t = 0; t < num_tensors; ++t) {
+      for (std::size_t w : contributors) {
+        if (member_state_[w] != Member::kActive) continue;  // died mid-fan-out
+        Connection* conn = worker_conns_[w];
+        if (conn != nullptr && conn->SendEncoded(fanout[t].span(), 1)) {
+          continue;
+        }
+        if (config_.fault != nullptr && config_.fault->kill_requested()) {
+          SimulatedCrash("injected server kill fanning out step " +
+                         std::to_string(step) + " pulls");
+          return false;
+        }
+        const std::string why =
+            "queueing PULL to worker " + std::to_string(w) + ": " +
+            (conn != nullptr ? conn->last_error() : "connection gone");
+        if (config_.grace_ms > 0) {
+          MarkWorkerDead(w, why);
+          continue;
+        }
+        Fail(why);
         return false;
       }
-      const std::string why =
-          "queueing PULL to worker " + std::to_string(w) + ": " +
-          (conn != nullptr ? conn->last_error() : "connection gone");
-      if (config_.grace_ms > 0) {
-        MarkWorkerDead(w, why);
-        continue;
-      }
-      Fail(why);
-      return false;
     }
+    if (max_replay == 0) replay_.clear();
   }
-  if (max_replay == 0) replay_.clear();
-  const double encode_ms = encode_timer.ElapsedMillis();
-  const double codec_seconds = decode_cpu_s + encode_cpu.ElapsedSeconds();
+  const double fanout_ms = fanout_timer.ElapsedMillis();
 
   // Accept the next step's pushes before blocking on anything else — a
   // fast worker pushes step+1 as soon as its pulls drain.
@@ -823,11 +860,26 @@ bool RpcServer::RunStep(std::int64_t step, float lr) {
     }
     st.codec_seconds = codec_seconds;
     st.contributors = static_cast<int>(num_contributors);
-    st.phases_ms = {{"step_barrier", barrier_ms},
-                    {"decode_aggregate", decode_ms},
-                    {"optimize", optimize_ms},
-                    {"encode_pull", encode_ms}};
+    // decode/aggregate come from the server's own ReceivePush split; the
+    // small difference against decode_ms (frame readers, bookkeeping) is
+    // charged to decode so the phases still sum to the step wall time.
+    const double aggregate_ms = split.aggregate_ms;
+    const double decode_only_ms = std::max(decode_ms - aggregate_ms, 0.0);
+    st.phases_ms = {{"step_barrier", barrier_ms}, {"decode", decode_only_ms},
+                    {"aggregate", aggregate_ms},  {"optimize", optimize_ms},
+                    {"encode", encode_ms},        {"checkpoint", checkpoint_ms},
+                    {"fan_out", fanout_ms}};
     for (const auto& phase : st.phases_ms) st.step_wall_ms += phase.ms;
+    // Per-phase histograms: the /metricsz view of the step breakdown
+    // (bounds match the trainer's train/step_ms idiom).
+    for (const auto& phase : st.phases_ms) {
+      tel->metrics()
+          .histogram(std::string("step/") + phase.name + "_ms", 0.0, 1000.0,
+                     200)
+          ->Add(phase.ms);
+    }
+    tel->metrics().histogram("step/total_ms", 0.0, 1000.0, 200)
+        ->Add(st.step_wall_ms);
     tel->LogStep(st);
   }
   return true;
@@ -1346,7 +1398,7 @@ void RpcWorker::ComputeStep(std::int64_t step) {
   obs::Tracer* tracer =
       config_.telemetry != nullptr ? &config_.telemetry->tracer() : nullptr;
   const int track = 1 + config_.worker_id;
-  obs::ScopedSpan span(tracer, "forward_backward", track);
+  obs::ScopedSpan span(tracer, "forward_backward", track, step);
   data::Batch batch = sampler_.Next(config_.batch_size);
   pending_loss_ = static_cast<float>(
       worker_->model().TrainStep(batch.inputs, batch.labels).loss);
@@ -1489,7 +1541,7 @@ RpcWorker::StepStatus RpcWorker::RunStep(std::int64_t step) {
   if (computed_through_ < step) ComputeStep(step);
 
   {
-    obs::ScopedSpan span(tracer, "rpc/push", track);
+    obs::ScopedSpan span(tracer, "rpc/push", track, step);
     for (std::size_t t = 0; t < num_tensors; ++t) {
       if (!conn_->SendFrame(MsgType::kPush, static_cast<std::uint64_t>(step),
                             static_cast<std::uint32_t>(t),
@@ -1518,7 +1570,7 @@ RpcWorker::StepStatus RpcWorker::RunStep(std::int64_t step) {
     }
   }
   {
-    obs::ScopedSpan span(tracer, "rpc/pull_wait", track);
+    obs::ScopedSpan span(tracer, "rpc/pull_wait", track, step);
     // Collect all of the step's pulls before applying any (deferred
     // apply): a connection lost mid-collect leaves the model untouched and
     // the step cleanly resumable after a rejoin.

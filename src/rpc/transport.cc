@@ -14,6 +14,7 @@
 #include <unistd.h>
 
 #include "obs/metrics.h"
+#include "obs/stage_profiler.h"
 #include "rpc/fault.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -70,6 +71,8 @@ TransportMetrics TransportMetrics::RegisterIn(obs::MetricsRegistry& registry) {
   m.timeouts = registry.counter("rpc/timeouts");
   m.disconnects = registry.counter("rpc/disconnects");
   m.faults_injected = registry.counter("rpc/faults_injected");
+  m.write_queue_bytes = registry.gauge("rpc/write_queue_bytes");
+  m.backpressure_rejects = registry.counter("rpc/backpressure_rejects");
   return m;
 }
 
@@ -240,6 +243,9 @@ void Connection::Close() {
 bool Connection::QueueAndFlush(const std::uint8_t* data, std::size_t size,
                                std::size_t frame_count) {
   if (queued_bytes() + size > max_queued_bytes_) {
+    if (metrics_ != nullptr && metrics_->backpressure_rejects != nullptr) {
+      metrics_->backpressure_rejects->Add(1.0);
+    }
     last_error_ = "write queue full (" + std::to_string(queued_bytes()) +
                   " + " + std::to_string(size) + " > " +
                   std::to_string(max_queued_bytes_) + " bytes)";
@@ -318,6 +324,7 @@ bool Connection::SendFrame(MsgType type, std::uint64_t step,
 }
 
 Connection::IoResult Connection::FlushSome() {
+  obs::ScopedStage stage(&obs::StageProfiler::Global(), "write_flush");
   while (wants_write()) {
     const ssize_t n = send(fd_, outbuf_.data() + out_head_,
                            outbuf_.size() - out_head_, MSG_NOSIGNAL);
@@ -339,6 +346,9 @@ Connection::IoResult Connection::FlushSome() {
                   outbuf_.begin() + static_cast<std::ptrdiff_t>(out_head_));
     out_head_ = 0;
   }
+  if (metrics_ != nullptr && metrics_->write_queue_bytes != nullptr) {
+    metrics_->write_queue_bytes->Set(static_cast<double>(queued_bytes()));
+  }
   return IoResult::kOk;
 }
 
@@ -350,6 +360,7 @@ Connection::IoResult Connection::HandleReadable() {
     const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
     if (n > 0) {
       if (metrics_ != nullptr) metrics_->CountRx(static_cast<std::size_t>(n));
+      obs::ScopedStage stage(&obs::StageProfiler::Global(), "frame_parse");
       std::vector<Frame> frames;
       if (!parser_.Feed(util::ByteSpan(chunk, static_cast<std::size_t>(n)),
                         &frames)) {

@@ -30,6 +30,7 @@
 
 namespace threelc::obs {
 class Counter;
+class Gauge;
 class MetricsRegistry;
 }  // namespace threelc::obs
 
@@ -51,6 +52,11 @@ struct TransportMetrics {
   obs::Counter* timeouts = nullptr;         // rpc/timeouts
   obs::Counter* disconnects = nullptr;      // rpc/disconnects
   obs::Counter* faults_injected = nullptr;  // rpc/faults_injected
+  // Write-queue depth after the most recent queue/flush on any connection
+  // sharing this struct (a backpressure "high-water" signal for /metricsz),
+  // plus the count of sends rejected because the queue bound was hit.
+  obs::Gauge* write_queue_bytes = nullptr;       // rpc/write_queue_bytes
+  obs::Counter* backpressure_rejects = nullptr;  // rpc/backpressure_rejects
 
   static TransportMetrics RegisterIn(obs::MetricsRegistry& registry);
 

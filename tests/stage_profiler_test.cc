@@ -1,0 +1,201 @@
+// StageProfiler: hierarchy paths, cross-thread merge, snapshot semantics,
+// log2-histogram quantiles, registry export, and the disabled no-op path.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/stage_profiler.h"
+
+namespace threelc::obs {
+namespace {
+
+const StageSample* Find(const std::vector<StageSample>& samples,
+                        const std::string& path) {
+  for (const StageSample& s : samples) {
+    if (s.path == path) return &s;
+  }
+  return nullptr;
+}
+
+TEST(StageProfilerTest, DisabledRecordsNothing) {
+  StageProfiler profiler;
+  {
+    ScopedStage outer(&profiler, "outer");
+    ScopedStage inner(&profiler, "inner");
+  }
+  EXPECT_TRUE(profiler.Snapshot().empty());
+  EXPECT_EQ(profiler.stage_count(), 0u);
+}
+
+TEST(StageProfilerTest, NullProfilerIsSafe) {
+  ScopedStage stage(nullptr, "whatever");  // must not crash
+}
+
+TEST(StageProfilerTest, NestingBuildsFullPaths) {
+  StageProfiler profiler;
+  profiler.set_enabled(true);
+  {
+    ScopedStage step(&profiler, "step");
+    { ScopedStage decode(&profiler, "decode"); }
+    { ScopedStage encode(&profiler, "encode"); }
+  }
+  auto samples = profiler.Snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_NE(Find(samples, "step"), nullptr);
+  EXPECT_NE(Find(samples, "step/decode"), nullptr);
+  EXPECT_NE(Find(samples, "step/encode"), nullptr);
+  // Sorted by path.
+  EXPECT_EQ(samples[0].path, "step");
+  EXPECT_EQ(samples[1].path, "step/decode");
+  EXPECT_EQ(samples[2].path, "step/encode");
+}
+
+TEST(StageProfilerTest, SameLeafUnderDifferentParentsIsDistinct) {
+  StageProfiler profiler;
+  profiler.set_enabled(true);
+  {
+    ScopedStage push(&profiler, "push");
+    ScopedStage codec(&profiler, "3lc");
+  }
+  {
+    ScopedStage pull(&profiler, "pull");
+    ScopedStage codec(&profiler, "3lc");
+  }
+  auto samples = profiler.Snapshot();
+  const StageSample* a = Find(samples, "push/3lc");
+  const StageSample* b = Find(samples, "pull/3lc");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->count, 1u);
+  EXPECT_EQ(b->count, 1u);
+}
+
+TEST(StageProfilerTest, CountsAreExactAndBoundsOrdered) {
+  StageProfiler profiler;
+  profiler.set_enabled(true);
+  constexpr int kIters = 1000;
+  for (int i = 0; i < kIters; ++i) {
+    ScopedStage stage(&profiler, "work");
+  }
+  auto samples = profiler.Snapshot();
+  const StageSample* s = Find(samples, "work");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, static_cast<std::uint64_t>(kIters));
+  EXPECT_LE(s->min_ns, s->max_ns);
+  EXPECT_GE(s->total_ns, s->min_ns * kIters);
+  EXPECT_LE(s->total_ns, s->max_ns * kIters);
+}
+
+TEST(StageProfilerTest, MergesAcrossThreads) {
+  StageProfiler profiler;
+  profiler.set_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&profiler] {
+      for (int i = 0; i < kIters; ++i) {
+        ScopedStage outer(&profiler, "outer");
+        ScopedStage inner(&profiler, "inner");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto samples = profiler.Snapshot();
+  const StageSample* outer = Find(samples, "outer");
+  const StageSample* inner = Find(samples, "outer/inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  // Exact: every thread's accumulator is merged, no sampling.
+  EXPECT_EQ(outer->count, static_cast<std::uint64_t>(kThreads * kIters));
+  EXPECT_EQ(inner->count, static_cast<std::uint64_t>(kThreads * kIters));
+  // One shared path table: the same (parent, name) resolves to one stage
+  // id across threads.
+  EXPECT_EQ(profiler.stage_count(), 2u);
+  // Histogram counts survive the merge: quantiles come from the merged
+  // buckets, so they must be populated and ordered.
+  EXPECT_GT(inner->p50_ns, 0.0);
+  EXPECT_LE(inner->p50_ns, inner->p90_ns);
+  EXPECT_LE(inner->p90_ns, inner->p99_ns);
+}
+
+TEST(StageProfilerTest, SingleSampleQuantilesCollapse) {
+  StageProfiler profiler;
+  profiler.set_enabled(true);
+  { ScopedStage stage(&profiler, "once"); }
+  auto samples = profiler.Snapshot();
+  const StageSample* s = Find(samples, "once");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->count, 1u);
+  // All quantiles land in the single occupied log2 bucket.
+  EXPECT_DOUBLE_EQ(s->p50_ns, s->p90_ns);
+  EXPECT_DOUBLE_EQ(s->p90_ns, s->p99_ns);
+  // And the bucket brackets the exact recorded duration within the log2
+  // histogram's <=50% relative error envelope (bucket [2^b, 2^(b+1))
+  // reported as its geometric mid).
+  EXPECT_GE(s->p50_ns * 2.0, static_cast<double>(s->min_ns));
+  EXPECT_LE(s->p50_ns / 2.0, static_cast<double>(s->max_ns));
+}
+
+TEST(StageProfilerTest, ResetZeroesButKeepsStages) {
+  StageProfiler profiler;
+  profiler.set_enabled(true);
+  { ScopedStage stage(&profiler, "work"); }
+  EXPECT_EQ(profiler.Snapshot().size(), 1u);
+  profiler.Reset();
+  // Zero-count stages are omitted from snapshots; the path stays known.
+  EXPECT_TRUE(profiler.Snapshot().empty());
+  EXPECT_EQ(profiler.stage_count(), 1u);
+  { ScopedStage stage(&profiler, "work"); }
+  auto samples = profiler.Snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].count, 1u);
+}
+
+TEST(StageProfilerTest, ExportToRegistryAsBatchCounters) {
+  StageProfiler profiler;
+  profiler.set_enabled(true);
+  constexpr int kIters = 10;
+  for (int i = 0; i < kIters; ++i) {
+    ScopedStage stage(&profiler, "work");
+  }
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  profiler.ExportTo(registry);
+  auto snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].name, "profile/work");
+  EXPECT_EQ(snap.counters[0].events, static_cast<std::uint64_t>(kIters));
+  const StageSample* s = Find(profiler.Snapshot(), "work");
+  ASSERT_NE(s, nullptr);
+  EXPECT_NEAR(snap.counters[0].value,
+              static_cast<double>(s->total_ns) * 1e-9, 1e-12);
+}
+
+TEST(StageProfilerTest, WritePrometheusEmitsStageFamilies) {
+  StageProfiler profiler;
+  profiler.set_enabled(true);
+  {
+    ScopedStage outer(&profiler, "step");
+    ScopedStage inner(&profiler, "decode");
+  }
+  std::ostringstream out;
+  profiler.WritePrometheus(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("threelc_stage_step_seconds_total"), std::string::npos);
+  EXPECT_NE(text.find("threelc_stage_step_decode_seconds_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("threelc_stage_step_decode_count_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.5\""), std::string::npos);
+  // Families are declared exactly once each (tools/check_prometheus.py
+  // fails the CI scrape otherwise).
+  EXPECT_EQ(text.find("# TYPE threelc_stage_step_seconds_total"),
+            text.rfind("# TYPE threelc_stage_step_seconds_total"));
+}
+
+}  // namespace
+}  // namespace threelc::obs

@@ -1,0 +1,244 @@
+#!/usr/bin/env python3
+"""Tests for the perf/trace/exposition tools (no third-party deps).
+
+Run directly or via ctest: python3 tests/tools_test.py
+
+Covers:
+  - merge_traces.py round-trip: synthetic server + worker traces with a
+    known clock skew come back on one timeline with the skew recovered,
+  - check_perf.py: passes on identical runs, fails (exit 1) when any
+    metric regresses >10% in its harmful direction — latency up or
+    throughput down — and ignores improvements; --update-baseline copies,
+  - check_prometheus.py: accepts a well-formed exposition, rejects empty
+    input, duplicate family declarations, and duplicate series.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOLS = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..",
+                     "tools")
+
+
+def run_tool(name, args, stdin_text=None):
+    return subprocess.run(
+        [sys.executable, os.path.join(TOOLS, name)] + args,
+        input=stdin_text, capture_output=True, text=True)
+
+
+def span(name, tid, ts, dur, step=None):
+    e = {"name": name, "cat": "train", "ph": "X", "pid": 0, "tid": tid,
+         "ts": ts, "dur": dur}
+    if step is not None:
+        e["args"] = {"step": step}
+    return e
+
+
+class MergeTracesTest(unittest.TestCase):
+    # Worker clock starts 5000us behind the server's: a worker push that
+    # lands at server time T has worker-local end T - 5000.
+    OFFSET_US = 5000.0
+
+    def make_traces(self):
+        server, worker = [], []
+        server.append({"name": "thread_name", "ph": "M", "pid": 0, "tid": 0,
+                       "args": {"name": "server"}})
+        worker.append({"name": "thread_name", "ph": "M", "pid": 0, "tid": 1,
+                       "args": {"name": "worker-0"}})
+        for s in range(5):
+            barrier_end = 10000.0 + 2000.0 * s
+            server.append(span("rpc/step_barrier", 0, barrier_end - 500.0,
+                               500.0, step=s))
+            push_end = barrier_end - self.OFFSET_US
+            worker.append(span("rpc/push", 1, push_end - 300.0, 300.0,
+                               step=s))
+            worker.append(span("forward_backward", 1, push_end - 1500.0,
+                               1000.0, step=s))
+        return ({"displayTimeUnit": "ms", "traceEvents": server},
+                {"displayTimeUnit": "ms", "traceEvents": worker})
+
+    def test_round_trip_recovers_skew(self):
+        server, worker = self.make_traces()
+        with tempfile.TemporaryDirectory() as tmp:
+            spath = os.path.join(tmp, "server.json")
+            wpath = os.path.join(tmp, "worker0.json")
+            mpath = os.path.join(tmp, "merged.json")
+            with open(spath, "w") as f:
+                json.dump(server, f)
+            with open(wpath, "w") as f:
+                json.dump(worker, f)
+            r = run_tool("merge_traces.py",
+                         [spath, wpath, "-o", mpath, "--report"])
+            self.assertEqual(r.returncode, 0, r.stderr)
+            with open(mpath) as f:
+                merged = json.load(f)
+        events = merged["traceEvents"]
+        # Every input event survives, plus 2 process_name metadata records.
+        in_count = (len(server["traceEvents"]) + len(worker["traceEvents"]))
+        self.assertEqual(len(events), in_count + 2)
+        roles = {e["args"]["name"] for e in events
+                 if e.get("name") == "process_name"}
+        self.assertEqual(roles, {"server", "worker-0"})
+        # Worker events moved to pid 1 and shifted onto the server clock.
+        server_barriers = {e["args"]["step"]: e["ts"] + e["dur"]
+                           for e in events
+                           if e.get("name") == "rpc/step_barrier"}
+        worker_pushes = {e["args"]["step"]: e["ts"] + e["dur"]
+                         for e in events if e.get("name") == "rpc/push"}
+        for s in range(5):
+            self.assertAlmostEqual(server_barriers[s], worker_pushes[s],
+                                   delta=1.0)
+        for e in events:
+            if e.get("name") in ("rpc/push", "forward_backward"):
+                self.assertEqual(e["pid"], 1)
+
+    def test_no_common_steps_warns_but_merges(self):
+        server, _ = self.make_traces()
+        orphan = {"traceEvents": [span("forward_backward", 1, 0.0, 100.0)]}
+        with tempfile.TemporaryDirectory() as tmp:
+            spath = os.path.join(tmp, "server.json")
+            wpath = os.path.join(tmp, "worker0.json")
+            mpath = os.path.join(tmp, "merged.json")
+            with open(spath, "w") as f:
+                json.dump(server, f)
+            with open(wpath, "w") as f:
+                json.dump(orphan, f)
+            r = run_tool("merge_traces.py", [spath, wpath, "-o", mpath])
+            self.assertEqual(r.returncode, 0, r.stderr)
+            self.assertIn("no step-stamped spans", r.stderr)
+
+
+def bench_file(values):
+    return {"schema": "threelc-bench-v1", "bench": "codec", "commit": "test",
+            "metrics": {
+                "encode_gbps/3lc": {"value": values[0], "unit": "GB/s",
+                                    "higher_is_better": True},
+                "step_latency_ms/p50": {"value": values[1], "unit": "ms",
+                                        "higher_is_better": False},
+            }}
+
+
+class CheckPerfTest(unittest.TestCase):
+    def run_pair(self, base_values, cur_values, extra=None):
+        with tempfile.TemporaryDirectory() as tmp:
+            bpath = os.path.join(tmp, "base.json")
+            cpath = os.path.join(tmp, "cur.json")
+            with open(bpath, "w") as f:
+                json.dump(bench_file(base_values), f)
+            with open(cpath, "w") as f:
+                json.dump(bench_file(cur_values), f)
+            return run_tool("check_perf.py",
+                            ["--baseline", bpath, "--current", cpath]
+                            + (extra or []))
+
+    def test_identical_passes(self):
+        r = self.run_pair([2.0, 5.0], [2.0, 5.0])
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_small_regression_within_budget_passes(self):
+        r = self.run_pair([2.0, 5.0], [1.9, 5.3])  # -5% / +6%
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_throughput_drop_fails(self):
+        r = self.run_pair([2.0, 5.0], [1.6, 5.0])  # -20% GB/s
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("encode_gbps/3lc", r.stderr)
+
+    def test_latency_rise_fails(self):
+        r = self.run_pair([2.0, 5.0], [2.0, 6.0])  # +20% ms
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("step_latency_ms/p50", r.stderr)
+
+    def test_improvement_passes(self):
+        r = self.run_pair([2.0, 5.0], [3.0, 2.0])
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_missing_metric_fails(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            bpath = os.path.join(tmp, "base.json")
+            cpath = os.path.join(tmp, "cur.json")
+            with open(bpath, "w") as f:
+                json.dump(bench_file([2.0, 5.0]), f)
+            cur = bench_file([2.0, 5.0])
+            del cur["metrics"]["step_latency_ms/p50"]
+            with open(cpath, "w") as f:
+                json.dump(cur, f)
+            r = run_tool("check_perf.py",
+                         ["--baseline", bpath, "--current", cpath])
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("missing", r.stderr)
+
+    def test_custom_threshold(self):
+        r = self.run_pair([2.0, 5.0], [1.6, 5.0], ["--threshold", "0.30"])
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_update_baseline_copies(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            bpath = os.path.join(tmp, "base.json")
+            cpath = os.path.join(tmp, "cur.json")
+            with open(bpath, "w") as f:
+                json.dump(bench_file([2.0, 5.0]), f)
+            with open(cpath, "w") as f:
+                json.dump(bench_file([4.0, 3.0]), f)
+            r = run_tool("check_perf.py",
+                         ["--baseline", bpath, "--current", cpath,
+                          "--update-baseline"])
+            self.assertEqual(r.returncode, 0, r.stderr)
+            with open(bpath) as f:
+                self.assertEqual(
+                    json.load(f)["metrics"]["encode_gbps/3lc"]["value"], 4.0)
+
+
+GOOD_EXPOSITION = """\
+# HELP threelc_rpc_wire_bytes_total total
+# TYPE threelc_rpc_wire_bytes_total counter
+threelc_rpc_wire_bytes_total 123
+# HELP threelc_step_ms step
+# TYPE threelc_step_ms summary
+threelc_step_ms{quantile="0.5"} 2.5
+threelc_step_ms{quantile="0.99"} 4.0
+threelc_step_ms_sum 100
+threelc_step_ms_count 40
+"""
+
+
+class CheckPrometheusTest(unittest.TestCase):
+    def check(self, text):
+        return run_tool("check_prometheus.py", [], stdin_text=text)
+
+    def test_good_exposition_passes(self):
+        r = self.check(GOOD_EXPOSITION)
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_empty_exposition_fails(self):
+        r = self.check("")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("no samples", r.stderr)
+
+    def test_duplicate_family_fails(self):
+        dup = GOOD_EXPOSITION + (
+            "# HELP threelc_rpc_wire_bytes_total again\n"
+            "# TYPE threelc_rpc_wire_bytes_total counter\n"
+            "threelc_rpc_wire_bytes_total 456\n")
+        r = self.check(dup)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("duplicate", r.stderr)
+
+    def test_duplicate_series_fails(self):
+        dup = GOOD_EXPOSITION + "threelc_rpc_wire_bytes_total 456\n"
+        r = self.check(dup)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("duplicate series", r.stderr)
+
+    def test_distinct_labels_are_not_duplicates(self):
+        extra = GOOD_EXPOSITION + 'threelc_step_ms{quantile="0.9"} 3.0\n'
+        r = self.check(extra)
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

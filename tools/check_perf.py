@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_*.json run against its committed baseline.
+
+The perf regression gate: bench_codec / bench_step emit machine-readable
+metric files (schema threelc-bench-v1), baselines are committed under
+bench/baselines/, and CI fails the build when any metric regresses by more
+than --threshold (default 10%). Direction comes from each metric's
+higher_is_better flag, so throughput (GB/s) and latency (ms) gate
+correctly with one rule.
+
+Usage:
+  check_perf.py --baseline bench/baselines/BENCH_codec.json \
+                --current BENCH_codec.json [--threshold 0.10]
+  check_perf.py --baseline ... --current ... --update-baseline
+
+Exit codes: 0 ok, 1 regression (or missing metric / malformed file).
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+
+def load_bench(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema") != "threelc-bench-v1":
+        raise ValueError(f"{path}: unexpected schema {data.get('schema')!r}")
+    metrics = data.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        raise ValueError(f"{path}: no metrics")
+    return data
+
+
+def regression(baseline, current, higher_is_better):
+    """Fractional regression (positive = worse), direction-aware."""
+    if baseline <= 0:
+        return 0.0
+    if higher_is_better:
+        return (baseline - current) / baseline
+    return (current - baseline) / baseline
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="max tolerated fractional regression (default 0.10)")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="copy --current over --baseline and exit 0")
+    args = ap.parse_args()
+
+    if args.update_baseline:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"check_perf: baseline {args.baseline} updated from "
+              f"{args.current}")
+        return 0
+
+    try:
+        base = load_bench(args.baseline)
+        cur = load_bench(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"check_perf: FAIL {e}", file=sys.stderr)
+        return 1
+
+    failures = []
+    rows = []
+    for key, bm in sorted(base["metrics"].items()):
+        cm = cur["metrics"].get(key)
+        if cm is None:
+            failures.append(f"{key}: missing from current run")
+            continue
+        hib = bool(bm.get("higher_is_better", True))
+        reg = regression(float(bm["value"]), float(cm["value"]), hib)
+        status = "FAIL" if reg > args.threshold else "ok"
+        rows.append((key, bm["value"], cm["value"], reg, status,
+                     bm.get("unit", "")))
+        if reg > args.threshold:
+            failures.append(
+                f"{key}: {bm['value']:.4g} -> {cm['value']:.4g} "
+                f"({reg * 100:+.1f}% vs {args.threshold * 100:.0f}% budget)")
+
+    new_keys = set(cur["metrics"]) - set(base["metrics"])
+    for key in sorted(new_keys):
+        print(f"check_perf: note: {key} not in baseline (run "
+              f"--update-baseline to add it)")
+
+    width = max((len(r[0]) for r in rows), default=20)
+    print(f"{'metric':<{width}}  {'baseline':>12}  {'current':>12}  "
+          f"{'delta':>8}  status")
+    for key, b, c, reg, status, unit in rows:
+        print(f"{key:<{width}}  {b:>12.4g}  {c:>12.4g}  "
+              f"{reg * 100:>+7.1f}%  {status} {unit}")
+
+    if failures:
+        print(f"\ncheck_perf: FAIL {len(failures)} regression(s) beyond "
+              f"{args.threshold * 100:.0f}%:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print(f"\ncheck_perf: ok ({len(rows)} metrics within "
+          f"{args.threshold * 100:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,10 +12,14 @@ Checks, with no third-party dependencies:
   - label values are properly quoted and escaped,
   - every sample's base name was declared by preceding # HELP and # TYPE
     lines (quantile series and _sum/_count belong to their summary),
-  - # TYPE uses a known metric type.
+  - # TYPE uses a known metric type,
+  - no metric family is declared (# HELP / # TYPE) twice — the symptom of
+    two writers emitting the same registry, or a registry merged into the
+    same exposition twice,
+  - no identical series (name + label set) is sampled twice.
 
 Exits 0 and prints a sample count on success; exits 1 with the offending
-line otherwise.
+line otherwise. An empty exposition (zero samples) also fails.
 """
 import re
 import sys
@@ -55,6 +59,7 @@ def base_name(name, summaries):
 
 def main():
     helped, typed, summaries = set(), set(), set()
+    seen_series = set()
     samples = 0
     for lineno, raw in enumerate(sys.stdin, 1):
         line = raw.rstrip("\n")
@@ -64,6 +69,9 @@ def main():
             parts = line.split(None, 3)
             if len(parts) < 4 or not NAME_RE.match(parts[2]):
                 fail(lineno, line, "malformed HELP line")
+            if parts[2] in helped:
+                fail(lineno, line,
+                     f"duplicate # HELP for family {parts[2]!r}")
             helped.add(parts[2])
             continue
         if line.startswith("# TYPE "):
@@ -72,6 +80,9 @@ def main():
                 fail(lineno, line, "malformed TYPE line")
             if parts[3] not in TYPES:
                 fail(lineno, line, f"unknown metric type {parts[3]!r}")
+            if parts[2] in typed:
+                fail(lineno, line,
+                     f"duplicate # TYPE for family {parts[2]!r}")
             typed.add(parts[2])
             if parts[3] == "summary":
                 summaries.add(parts[2])
@@ -93,6 +104,10 @@ def main():
             fail(lineno, line,
                  f"sample {name!r} lacks preceding # HELP/# TYPE for "
                  f"{base!r}")
+        series = (name, labels or "")
+        if series in seen_series:
+            fail(lineno, line, f"duplicate series {name}{labels or ''}")
+        seen_series.add(series)
         samples += 1
     if samples == 0:
         print("check_prometheus: no samples found", file=sys.stderr)

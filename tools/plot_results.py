@@ -6,6 +6,8 @@ Usage:
     python3 tools/plot_results.py metrics metrics.jsonl [--out plots/]
     python3 tools/plot_results.py flight flight.jsonl [--out plots/]
     python3 tools/plot_results.py wire metrics.jsonl [--out plots/]
+    python3 tools/plot_results.py perf BENCH_a.json [BENCH_b.json ...] \
+        [--out plots/]
 
 `figures` (the default) produces fig4/5/6 (time-vs-accuracy fronts), fig7
 (loss/accuracy curves), fig8 (sparsity sweep), and fig9 (bits per state
@@ -17,6 +19,12 @@ value vs. step) written by examples/ and bench/ binaries.
 `flight` renders a flight-recorder dump (the JSONL the black box writes on
 an error-severity health event, crash signal, or Flush): loss and residual
 L2 over the trailing steps, with a vertical line at every health event.
+
+`perf` plots BENCH_*.json files from bench_codec / bench_step (the perf
+regression gate's machine-readable output). One file gives a bar chart of
+its metrics grouped by codec/family; several files (e.g. the same bench
+across commits) add a trajectory plot with one line per metric, so a slow
+drift that never trips the 10% gate is still visible.
 
 `wire` compares measured TCP traffic against the analytic accounting for a
 --metrics-out JSONL written by the distributed runtime's server
@@ -351,6 +359,73 @@ def plot_wire(jsonl_path, out_dir, plt):
     print("wrote", path)
 
 
+def read_bench(path):
+    """Parse one BENCH_*.json (schema threelc-bench-v1)."""
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema") != "threelc-bench-v1" or "metrics" not in data:
+        raise SystemExit(f"{path}: not a threelc-bench-v1 file")
+    return data
+
+
+def plot_perf(paths, out_dir, plt):
+    benches = [read_bench(p) for p in paths]
+    latest = benches[-1]
+    bench_name = latest.get("bench", "bench")
+
+    # Bar chart of the latest file: one group per metric family (the text
+    # before the first '/'), one bar per series within it.
+    families = defaultdict(list)
+    for key, m in sorted(latest["metrics"].items()):
+        family, _, series = key.partition("/")
+        families[family].append((series or key, float(m["value"]),
+                                 m.get("unit", "")))
+    fig, axes = plt.subplots(1, len(families),
+                             figsize=(1.2 + 4.2 * len(families), 4.8),
+                             squeeze=False)
+    for ax, (family, entries) in zip(axes[0], sorted(families.items())):
+        labels = [e[0] for e in entries]
+        values = [e[1] for e in entries]
+        ax.bar(range(len(entries)), values, color="C0")
+        ax.set_xticks(range(len(entries)))
+        ax.set_xticklabels(labels, rotation=60, ha="right", fontsize=7)
+        ax.set_title(family, fontsize=9)
+        ax.set_ylabel(entries[0][2])
+        ax.grid(alpha=0.3, axis="y")
+    fig.suptitle(f"Perf: {bench_name} @ {latest.get('commit', '?')[:12]}")
+    path = os.path.join(out_dir, f"perf_{bench_name}.png")
+    fig.savefig(path, dpi=140, bbox_inches="tight")
+    plt.close(fig)
+    print("wrote", path)
+
+    # Trajectory across files (commits): one line per metric, normalized to
+    # its first value so throughput and latency share an axis.
+    if len(benches) < 2:
+        return
+    plt.figure(figsize=(9, 5))
+    keys = sorted(set().union(*(b["metrics"].keys() for b in benches)))
+    xs = range(len(benches))
+    for key in keys:
+        series = [b["metrics"].get(key, {}).get("value") for b in benches]
+        first = next((v for v in series if v), None)
+        if not first:
+            continue
+        plt.plot(xs, [v / first if v is not None else float("nan")
+                      for v in series], marker="o", label=key, alpha=0.7)
+    plt.xticks(list(xs),
+               [b.get("commit", "?")[:10] for b in benches], rotation=30,
+               ha="right", fontsize=7)
+    plt.ylabel("Relative to first run (1.0 = no change)")
+    plt.axhline(1.0, color="gray", linestyle=":")
+    plt.grid(alpha=0.3)
+    plt.legend(fontsize=6, ncol=2)
+    plt.title(f"Perf trajectory: {bench_name} across {len(benches)} runs")
+    path = os.path.join(out_dir, f"perf_{bench_name}_trajectory.png")
+    plt.savefig(path, dpi=140, bbox_inches="tight")
+    plt.close()
+    print("wrote", path)
+
+
 def load_matplotlib():
     try:
         import matplotlib
@@ -380,6 +455,13 @@ def main():
                                "accounting for a distributed-runtime run")
     wire.add_argument("jsonl", help="path to the server's metrics.jsonl")
     wire.add_argument("--out", default="plots")
+    perf = sub.add_parser("perf",
+                          help="plot BENCH_*.json perf-gate results; pass "
+                               "several files (oldest first) for a "
+                               "cross-commit trajectory")
+    perf.add_argument("bench_json", nargs="+",
+                      help="BENCH_*.json files, oldest first")
+    perf.add_argument("--out", default="plots")
     # Default to `figures` so the historical bare invocation keeps working.
     parser.set_defaults(command="figures", results="results", out="plots")
     args = parser.parse_args()
@@ -394,6 +476,9 @@ def main():
         return
     if args.command == "wire":
         plot_wire(args.jsonl, args.out, plt)
+        return
+    if args.command == "perf":
+        plot_perf(args.bench_json, args.out, plt)
         return
     for fn in (plot_fig456, plot_fig7, plot_fig8, plot_fig9):
         name = fn.__name__
