@@ -30,6 +30,9 @@
 //   --state-dir DIR      where crash checkpoints are written (default ".")
 //   --inject SPEC        worker-side fault-injection spec, e.g.
 //                        "corrupt:push@3" or "delay100:push@any#*"
+//   --inject-worker W    apply --inject to worker W only (default -1 =
+//                        every worker) — e.g. delay one worker's pushes to
+//                        make it the fleet's straggler on /clusterz
 //   --inject-server SPEC same, attached to the server's connections
 //   --inject-seed N      seed for the deterministic fault schedules
 //   --max-reconnects N   per-worker mid-run reconnect budget (default 5)
@@ -379,6 +382,7 @@ int RunSpawn(const util::Flags& flags) {
   const bool restart_killed = flags.GetBool("restart-killed", true);
   const std::string state_dir = flags.GetString("state-dir", ".");
   const std::string inject = flags.GetString("inject", "");
+  const int inject_worker = static_cast<int>(flags.GetInt("inject-worker", -1));
   const auto inject_seed =
       static_cast<std::uint64_t>(flags.GetInt("inject-seed", 1));
   const int max_reconnects =
@@ -404,7 +408,7 @@ int RunSpawn(const util::Flags& flags) {
     close(listen_fd);
     WorkerChaos chaos;
     chaos.max_reconnects = max_reconnects;
-    chaos.inject_spec = inject;
+    if (inject_worker < 0 || inject_worker == w) chaos.inject_spec = inject;
     // Per-worker stream: the combined schedule is still a pure function of
     // --inject-seed, but workers don't mirror each other's faults.
     chaos.inject_seed = inject_seed + static_cast<std::uint64_t>(w);
@@ -699,7 +703,11 @@ int main(int argc, char** argv) {
       WorkerChaos chaos;
       chaos.max_reconnects =
           static_cast<int>(flags.GetInt("max-reconnects", 5));
-      chaos.inject_spec = flags.GetString("inject", "");
+      const int inject_worker =
+          static_cast<int>(flags.GetInt("inject-worker", -1));
+      if (inject_worker < 0 || inject_worker == worker_id) {
+        chaos.inject_spec = flags.GetString("inject", "");
+      }
       chaos.inject_seed = static_cast<std::uint64_t>(
                               flags.GetInt("inject-seed", 1)) +
                           static_cast<std::uint64_t>(worker_id);

@@ -1,0 +1,381 @@
+#include "obs/cluster_view.h"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
+#include "obs/json.h"
+#include "obs/stage_profiler.h"
+
+namespace threelc::obs {
+
+namespace {
+
+const char* const kPhaseNames[ClusterView::kPhases] = {
+    "forward_backward", "encode", "push", "pull_wait", "decode"};
+
+// Phase values of one record in the kPhaseNames order.
+void PhaseValues(const WorkerStepRecord& r,
+                 std::uint64_t (&out)[ClusterView::kPhases]) {
+  out[0] = r.forward_backward_ns;
+  out[1] = r.encode_ns;
+  out[2] = r.push_ns;
+  out[3] = r.pull_wait_ns;
+  out[4] = r.decode_ns;
+}
+
+StragglerCause AttributeCause(const WorkerStepRecord& r) {
+  const std::uint64_t compute = r.forward_backward_ns;
+  const std::uint64_t encode = r.encode_ns + r.decode_ns;
+  const std::uint64_t network = r.push_ns + r.pull_wait_ns;
+  if (network >= compute && network >= encode) return StragglerCause::kNetwork;
+  if (compute >= encode) return StragglerCause::kCompute;
+  return StragglerCause::kEncode;
+}
+
+}  // namespace
+
+const char* StragglerCauseName(StragglerCause cause) {
+  switch (cause) {
+    case StragglerCause::kCompute: return "compute";
+    case StragglerCause::kEncode: return "encode";
+    case StragglerCause::kNetwork: return "network";
+  }
+  return "unknown";
+}
+
+void ClusterView::PhaseHist::Add(std::uint64_t ns) {
+  ++hist[StageLog2Bucket(ns)];
+  ++count;
+  total_ns += ns;
+}
+
+void ClusterView::PhaseHist::MergeInto(PhaseHist& into) const {
+  for (int b = 0; b < kHistogramBuckets; ++b) into.hist[b] += hist[b];
+  into.count += count;
+  into.total_ns += total_ns;
+}
+
+ClusterView::ClusterView(FlightRecorder* flight) : flight_(flight) {}
+
+void ClusterView::Ingest(int worker_id, const WorkerStepRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WorkerState& w = workers_[worker_id];
+  if (static_cast<std::int64_t>(record.step) <= w.last_step) return;
+  w.last_step = static_cast<std::int64_t>(record.step);
+  ++w.records;
+  w.bytes_out += record.bytes_out;
+  w.bytes_in += record.bytes_in;
+  w.ea_l2 = record.ea_l2;
+  w.rejoins = record.rejoins;
+  std::uint64_t values[kPhases];
+  PhaseValues(record, values);
+  for (int p = 0; p < kPhases; ++p) w.phases[p].Add(values[p]);
+
+  auto it = pending_barriers_.find(record.step);
+  if (it != pending_barriers_.end() && it->second.last_worker == worker_id) {
+    const StragglerCause cause = AttributeCause(record);
+    ++w.straggler_steps;
+    ++w.cause_counts[static_cast<int>(cause)];
+    w.barrier_wait_ms_sum += it->second.wait_ms;
+    pending_barriers_.erase(it);
+  }
+}
+
+void ClusterView::RecordBarrier(std::uint64_t step, int last_worker,
+                                double wait_ms, int contributors) {
+  FlightRecorder* dump = nullptr;
+  HealthEvent event;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++barriers_observed_;
+    pending_barriers_[step] = {last_worker, wait_ms, contributors};
+    while (pending_barriers_.size() > kMaxPendingBarriers) {
+      pending_barriers_.erase(pending_barriers_.begin());
+    }
+    if (last_worker != current_straggler_) {
+      if (current_straggler_ >= 0) ++straggler_flips_;
+      current_straggler_ = last_worker;
+      if (flight_ != nullptr) {
+        event.severity = HealthSeverity::kWarn;
+        event.detector = "cluster_straggler";
+        event.step = static_cast<std::int64_t>(step);
+        event.message = "straggler is now worker " +
+                        std::to_string(last_worker) + " (barrier wait " +
+                        std::to_string(wait_ms) + " ms)";
+        dump = flight_;
+      }
+    }
+  }
+  // Record outside the lock; FlightRecorder has its own synchronization.
+  if (dump != nullptr) dump->RecordEvent(event);
+}
+
+void ClusterView::RemoveWorker(int worker_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  workers_.erase(worker_id);
+  if (current_straggler_ == worker_id) current_straggler_ = -1;
+  for (auto it = pending_barriers_.begin(); it != pending_barriers_.end();) {
+    it = it->second.last_worker == worker_id ? pending_barriers_.erase(it)
+                                             : ++it;
+  }
+}
+
+void ClusterView::SetRawBytesPerStep(std::uint64_t push_raw,
+                                     std::uint64_t pull_raw) {
+  std::lock_guard<std::mutex> lock(mu_);
+  raw_push_bytes_per_step_ = push_raw;
+  raw_pull_bytes_per_step_ = pull_raw;
+}
+
+std::size_t ClusterView::worker_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
+std::uint64_t ClusterView::straggler_flips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return straggler_flips_;
+}
+
+int ClusterView::current_straggler() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_straggler_;
+}
+
+void ClusterView::AppendWorkerJson(std::string& out, int id,
+                                   const WorkerState& w) const {
+  out += "\"";
+  out += std::to_string(id);
+  out += "\":{\"last_step\":";
+  AppendJsonNumber(out, static_cast<std::int64_t>(w.last_step));
+  out += ",\"records\":";
+  AppendJsonNumber(out, w.records);
+  out += ",\"bytes_out\":";
+  AppendJsonNumber(out, w.bytes_out);
+  out += ",\"bytes_in\":";
+  AppendJsonNumber(out, w.bytes_in);
+  out += ",\"ea_l2\":";
+  AppendJsonNumber(out, w.ea_l2);
+  out += ",\"rejoins\":";
+  AppendJsonNumber(out, static_cast<std::uint64_t>(w.rejoins));
+  out += ",\"phases\":{";
+  for (int p = 0; p < kPhases; ++p) {
+    if (p > 0) out += ",";
+    const PhaseHist& h = w.phases[p];
+    out += "\"";
+    out += kPhaseNames[p];
+    out += "\":{\"p50_ns\":";
+    AppendJsonNumber(out, StageQuantileNs(h.hist, kHistogramBuckets, h.count,
+                                          0.50));
+    out += ",\"p95_ns\":";
+    AppendJsonNumber(out, StageQuantileNs(h.hist, kHistogramBuckets, h.count,
+                                          0.95));
+    out += ",\"p99_ns\":";
+    AppendJsonNumber(out, StageQuantileNs(h.hist, kHistogramBuckets, h.count,
+                                          0.99));
+    out += ",\"mean_ns\":";
+    AppendJsonNumber(out, h.count > 0 ? static_cast<double>(h.total_ns) /
+                                            static_cast<double>(h.count)
+                                      : 0.0);
+    out += ",\"total_ns\":";
+    AppendJsonNumber(out, h.total_ns);
+    out += "}";
+  }
+  out += "},\"straggler_steps\":";
+  AppendJsonNumber(out, w.straggler_steps);
+  out += ",\"straggler_causes\":{";
+  for (int c = 0; c < 3; ++c) {
+    if (c > 0) out += ",";
+    out += "\"";
+    out += StragglerCauseName(static_cast<StragglerCause>(c));
+    out += "\":";
+    AppendJsonNumber(out, w.cause_counts[c]);
+  }
+  out += "},\"barrier_wait_ms_sum\":";
+  AppendJsonNumber(out, w.barrier_wait_ms_sum);
+  out += "}";
+}
+
+std::string ClusterView::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(2048);
+  out += "{\"workers\":{";
+  bool first = true;
+  std::uint64_t fleet_records = 0, fleet_out = 0, fleet_in = 0;
+  PhaseHist fleet[kPhases];
+  for (const auto& [id, w] : workers_) {
+    if (!first) out += ",";
+    first = false;
+    AppendWorkerJson(out, id, w);
+    fleet_records += w.records;
+    fleet_out += w.bytes_out;
+    fleet_in += w.bytes_in;
+    for (int p = 0; p < kPhases; ++p) w.phases[p].MergeInto(fleet[p]);
+  }
+  out += "},\"fleet\":{\"workers\":";
+  AppendJsonNumber(out, static_cast<std::uint64_t>(workers_.size()));
+  out += ",\"records\":";
+  AppendJsonNumber(out, fleet_records);
+  out += ",\"bytes_out\":";
+  AppendJsonNumber(out, fleet_out);
+  out += ",\"bytes_in\":";
+  AppendJsonNumber(out, fleet_in);
+  out += ",\"raw_push_bytes_per_step\":";
+  AppendJsonNumber(out, raw_push_bytes_per_step_);
+  out += ",\"raw_pull_bytes_per_step\":";
+  AppendJsonNumber(out, raw_pull_bytes_per_step_);
+  // Ratio = uncompressed bytes the observed records represent / encoded
+  // bytes actually moved, per direction. > 1 means compression won.
+  const double push_ratio =
+      fleet_out > 0 ? static_cast<double>(raw_push_bytes_per_step_) *
+                          static_cast<double>(fleet_records) /
+                          static_cast<double>(fleet_out)
+                    : 0.0;
+  const double pull_ratio =
+      fleet_in > 0 ? static_cast<double>(raw_pull_bytes_per_step_) *
+                         static_cast<double>(fleet_records) /
+                         static_cast<double>(fleet_in)
+                   : 0.0;
+  out += ",\"compression_ratio_push\":";
+  AppendJsonNumber(out, push_ratio);
+  out += ",\"compression_ratio_pull\":";
+  AppendJsonNumber(out, pull_ratio);
+  out += ",\"phases\":{";
+  for (int p = 0; p < kPhases; ++p) {
+    if (p > 0) out += ",";
+    out += "\"";
+    out += kPhaseNames[p];
+    out += "\":{\"p50_ns\":";
+    AppendJsonNumber(out, StageQuantileNs(fleet[p].hist, kHistogramBuckets,
+                                          fleet[p].count, 0.50));
+    out += ",\"p95_ns\":";
+    AppendJsonNumber(out, StageQuantileNs(fleet[p].hist, kHistogramBuckets,
+                                          fleet[p].count, 0.95));
+    out += ",\"p99_ns\":";
+    AppendJsonNumber(out, StageQuantileNs(fleet[p].hist, kHistogramBuckets,
+                                          fleet[p].count, 0.99));
+    out += ",\"total_ns\":";
+    AppendJsonNumber(out, fleet[p].total_ns);
+    out += "}";
+  }
+  out += "}},\"straggler\":{\"current\":";
+  AppendJsonNumber(out, static_cast<std::int64_t>(current_straggler_));
+  out += ",\"flips\":";
+  AppendJsonNumber(out, straggler_flips_);
+  out += ",\"barriers_observed\":";
+  AppendJsonNumber(out, barriers_observed_);
+  out += "}}";
+  return out;
+}
+
+void ClusterView::WritePrometheus(std::ostream& out,
+                                  const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (workers_.empty()) return;
+  std::string text;
+  char buf[64];
+  const std::string base = prefix + "cluster_";
+  auto fmt = [&buf](double v) {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return std::string(buf);
+  };
+
+  text += "# HELP " + base + "workers Workers currently tracked\n";
+  text += "# TYPE " + base + "workers gauge\n";
+  text += base + "workers " + std::to_string(workers_.size()) + "\n";
+
+  text += "# HELP " + base +
+          "straggler_flips_total Times the slowest worker changed\n";
+  text += "# TYPE " + base + "straggler_flips_total counter\n";
+  text += base + "straggler_flips_total " + std::to_string(straggler_flips_) +
+          "\n";
+
+  text += "# HELP " + base +
+          "worker_records_total Telemetry records ingested per worker\n";
+  text += "# TYPE " + base + "worker_records_total counter\n";
+  for (const auto& [id, w] : workers_) {
+    text += base + "worker_records_total{worker=\"" + std::to_string(id) +
+            "\"} " + std::to_string(w.records) + "\n";
+  }
+
+  text += "# HELP " + base +
+          "worker_bytes_total Encoded payload bytes per worker\n";
+  text += "# TYPE " + base + "worker_bytes_total counter\n";
+  for (const auto& [id, w] : workers_) {
+    text += base + "worker_bytes_total{worker=\"" + std::to_string(id) +
+            "\",direction=\"out\"} " + std::to_string(w.bytes_out) + "\n";
+    text += base + "worker_bytes_total{worker=\"" + std::to_string(id) +
+            "\",direction=\"in\"} " + std::to_string(w.bytes_in) + "\n";
+  }
+
+  text += "# HELP " + base +
+          "worker_rejoins Reconnects reported by each worker\n";
+  text += "# TYPE " + base + "worker_rejoins gauge\n";
+  for (const auto& [id, w] : workers_) {
+    text += base + "worker_rejoins{worker=\"" + std::to_string(id) + "\"} " +
+            std::to_string(w.rejoins) + "\n";
+  }
+
+  text += "# HELP " + base +
+          "worker_ea_l2 Latest error-accumulation buffer L2 per worker\n";
+  text += "# TYPE " + base + "worker_ea_l2 gauge\n";
+  for (const auto& [id, w] : workers_) {
+    text += base + "worker_ea_l2{worker=\"" + std::to_string(id) + "\"} " +
+            fmt(w.ea_l2) + "\n";
+  }
+
+  text += "# HELP " + base +
+          "straggler_steps_total Steps where the worker was last to the "
+          "barrier\n";
+  text += "# TYPE " + base + "straggler_steps_total counter\n";
+  for (const auto& [id, w] : workers_) {
+    text += base + "straggler_steps_total{worker=\"" + std::to_string(id) +
+            "\"} " + std::to_string(w.straggler_steps) + "\n";
+  }
+
+  text += "# HELP " + base +
+          "straggler_cause_total Straggler steps attributed per cause\n";
+  text += "# TYPE " + base + "straggler_cause_total counter\n";
+  for (const auto& [id, w] : workers_) {
+    for (int c = 0; c < 3; ++c) {
+      if (w.cause_counts[c] == 0) continue;
+      text += base + "straggler_cause_total{worker=\"" + std::to_string(id) +
+              "\",cause=\"" +
+              StragglerCauseName(static_cast<StragglerCause>(c)) + "\"} " +
+              std::to_string(w.cause_counts[c]) + "\n";
+    }
+  }
+
+  text += "# HELP " + base +
+          "phase_ns Per-worker step-phase duration distribution (ns)\n";
+  text += "# TYPE " + base + "phase_ns summary\n";
+  for (const auto& [id, w] : workers_) {
+    for (int p = 0; p < kPhases; ++p) {
+      const PhaseHist& h = w.phases[p];
+      const std::string labels = "{worker=\"" + std::to_string(id) +
+                                 "\",phase=\"" + kPhaseNames[p] + "\"";
+      const struct {
+        const char* q;
+        double v;
+      } quantiles[] = {
+          {"0.5", StageQuantileNs(h.hist, kHistogramBuckets, h.count, 0.50)},
+          {"0.95", StageQuantileNs(h.hist, kHistogramBuckets, h.count, 0.95)},
+          {"0.99", StageQuantileNs(h.hist, kHistogramBuckets, h.count, 0.99)}};
+      for (const auto& q : quantiles) {
+        text += base + "phase_ns" + labels + ",quantile=\"" + q.q + "\"} " +
+                fmt(q.v) + "\n";
+      }
+      text += base + "phase_ns_sum" + labels + "} " +
+              std::to_string(h.total_ns) + "\n";
+      text += base + "phase_ns_count" + labels + "} " +
+              std::to_string(h.count) + "\n";
+    }
+  }
+  out << text;
+}
+
+}  // namespace threelc::obs

@@ -14,29 +14,6 @@ namespace {
 
 std::atomic<std::uint64_t> g_next_instance_id{1};
 
-// Bucket b covers [2^b, 2^(b+1)) ns; 0 and 1 ns both land in bucket 0.
-int Log2Bucket(std::uint64_t ns) {
-  if (ns <= 1) return 0;
-  return 63 - __builtin_clzll(ns);
-}
-
-// Geometric midpoint of bucket b — the representative duration reported
-// for quantiles (exact to within the bucket's +-50% width).
-double BucketMidNs(int b) {
-  return static_cast<double>(std::uint64_t{1} << b) * 1.4142135623730951;
-}
-
-double QuantileNs(const std::uint64_t* hist, std::uint64_t total, double q) {
-  if (total == 0) return 0.0;
-  const double target = q * static_cast<double>(total);
-  std::uint64_t cum = 0;
-  for (int b = 0; b < StageProfiler::kHistogramBuckets; ++b) {
-    cum += hist[b];
-    if (static_cast<double>(cum) >= target && cum > 0) return BucketMidNs(b);
-  }
-  return BucketMidNs(StageProfiler::kHistogramBuckets - 1);
-}
-
 }  // namespace
 
 void StageProfiler::ThreadState::Record(int id, std::uint64_t ns) {
@@ -53,7 +30,7 @@ void StageProfiler::ThreadState::Record(int id, std::uint64_t ns) {
   if (ns > a.max_ns.load(std::memory_order_relaxed)) {
     a.max_ns.store(ns, std::memory_order_relaxed);
   }
-  std::atomic<std::uint32_t>& bucket = a.hist[Log2Bucket(ns)];
+  std::atomic<std::uint32_t>& bucket = a.hist[StageLog2Bucket(ns)];
   bucket.store(bucket.load(std::memory_order_relaxed) + 1,
                std::memory_order_relaxed);
 }
@@ -140,9 +117,9 @@ std::vector<StageSample> StageProfiler::Snapshot() const {
       }
     }
     if (s.count == 0) continue;
-    s.p50_ns = QuantileNs(hist, s.count, 0.50);
-    s.p90_ns = QuantileNs(hist, s.count, 0.90);
-    s.p99_ns = QuantileNs(hist, s.count, 0.99);
+    s.p50_ns = StageQuantileNs(hist, kHistogramBuckets, s.count, 0.50);
+    s.p90_ns = StageQuantileNs(hist, kHistogramBuckets, s.count, 0.90);
+    s.p99_ns = StageQuantileNs(hist, kHistogramBuckets, s.count, 0.99);
     samples.push_back(std::move(s));
   }
   std::sort(samples.begin(), samples.end(),

@@ -36,6 +36,39 @@ namespace threelc::obs {
 
 class MetricsRegistry;
 
+// Shared log2(ns) bucket math. StageProfiler records into these buckets
+// and ClusterView merges worker-shipped durations into the same layout,
+// so cluster-level quantiles are computed with bit-identical math.
+//
+// Bucket b covers [2^b, 2^(b+1)) ns; 0 and 1 ns both land in bucket 0.
+inline int StageLog2Bucket(std::uint64_t ns) {
+  if (ns <= 1) return 0;
+  return 63 - __builtin_clzll(ns);
+}
+
+// Geometric midpoint of bucket b — the representative duration reported
+// for quantiles (exact to within the bucket's +-50% width).
+inline double StageBucketMidNs(int b) {
+  return static_cast<double>(std::uint64_t{1} << b) * 1.4142135623730951;
+}
+
+// Quantile over a 64-bucket log2 histogram via cumulative walk. `hist`
+// must have at least `buckets` entries; returns the midpoint of the
+// bucket where the cumulative count first reaches q * total.
+inline double StageQuantileNs(const std::uint64_t* hist, int buckets,
+                              std::uint64_t total, double q) {
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (int b = 0; b < buckets; ++b) {
+    cum += hist[b];
+    if (static_cast<double>(cum) >= target && cum > 0) {
+      return StageBucketMidNs(b);
+    }
+  }
+  return StageBucketMidNs(buckets - 1);
+}
+
 // One stage, merged across threads, as of a Snapshot() call.
 struct StageSample {
   std::string path;  // "parent/child/leaf"

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/cluster_view.h"
 #include "obs/flight_recorder.h"
 #include "obs/http_server.h"
 #include "obs/json.h"
@@ -57,6 +58,10 @@ Telemetry::Telemetry(TelemetryOptions options)
       if (event.severity == HealthSeverity::kError) flight_->Dump();
     });
   }
+  // Constructed after flight_ so straggler flips land in the recorder
+  // when monitoring is on; the view itself is always present so the RPC
+  // server can feed it unconditionally.
+  cluster_view_ = std::make_unique<ClusterView>(flight_.get());
   if (options_.metrics_port >= 0) {
     http_ = std::make_unique<HttpServer>();
     http_->Handle("/metricsz", [this] {
@@ -65,8 +70,14 @@ Telemetry::Telemetry(TelemetryOptions options)
       // Stage-profile snapshot: merged on the scraping thread, so the
       // step critical path never pays for the export.
       StageProfiler::Global().WritePrometheus(out);
+      // Cluster families are empty (and omitted) until the first worker
+      // telemetry record arrives.
+      cluster_view_->WritePrometheus(out);
       return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
                           out.str()};
+    });
+    http_->Handle("/clusterz", [this] {
+      return HttpResponse{200, "application/json", cluster_view_->ToJson()};
     });
     http_->Handle("/healthz", [this] {
       const RuntimeState state = health_->runtime_state();

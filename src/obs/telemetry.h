@@ -36,6 +36,7 @@ class Flags;
 
 namespace threelc::obs {
 
+class ClusterView;
 class FlightRecorder;
 class HttpServer;
 
@@ -126,6 +127,12 @@ class Telemetry {
   FlightRecorder* flight_recorder() { return flight_.get(); }
   HttpServer* http_server() { return http_.get(); }
 
+  // Cluster-wide telemetry aggregation, fed by the RPC server from
+  // TELEMETRY frames and barrier observations. Always constructed (the
+  // in-process trainer simply never feeds it); served at /clusterz and
+  // as threelc_cluster_* families on /metricsz.
+  ClusterView* cluster_view() { return cluster_view_.get(); }
+
   // Seconds since this Telemetry was constructed (served by /statusz).
   double UptimeSeconds() const;
 
@@ -148,6 +155,7 @@ class Telemetry {
   std::chrono::steady_clock::time_point start_;
   std::unique_ptr<HealthMonitor> health_;
   std::unique_ptr<FlightRecorder> flight_;
+  std::unique_ptr<ClusterView> cluster_view_;
   std::unique_ptr<HttpServer> http_;
   std::mutex mu_;
   std::ofstream metrics_out_;

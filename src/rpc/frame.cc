@@ -8,8 +8,25 @@
 namespace threelc::rpc {
 
 bool IsValidMsgType(std::uint8_t raw) {
-  return raw >= static_cast<std::uint8_t>(MsgType::kHello) &&
-         raw <= static_cast<std::uint8_t>(MsgType::kEvict);
+  // Exhaustive over MsgType so a new frame type cannot be forgotten here:
+  // the switch stops compiling (-Wswitch) until the new enumerator is
+  // listed, unlike the old range check which silently admitted gaps.
+  switch (static_cast<MsgType>(raw)) {
+    case MsgType::kHello:
+    case MsgType::kHelloAck:
+    case MsgType::kPush:
+    case MsgType::kStepStats:
+    case MsgType::kPull:
+    case MsgType::kBye:
+    case MsgType::kByeAck:
+    case MsgType::kError:
+    case MsgType::kRejoin:
+    case MsgType::kRejoinAck:
+    case MsgType::kEvict:
+    case MsgType::kTelemetry:
+      return true;
+  }
+  return false;
 }
 
 const char* MsgTypeName(MsgType type) {
@@ -25,6 +42,7 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kRejoin: return "REJOIN";
     case MsgType::kRejoinAck: return "REJOIN_ACK";
     case MsgType::kEvict: return "EVICT";
+    case MsgType::kTelemetry: return "TELEMETRY";
   }
   return "UNKNOWN";
 }
@@ -88,6 +106,43 @@ HandshakeAckPayload DecodeHandshakeAck(util::ByteSpan bytes, bool rejoin) {
   if (!in.AtEnd()) {
     throw std::runtime_error("trailing bytes in handshake ack payload");
   }
+  return payload;
+}
+
+void EncodeTelemetry(const TelemetryPayload& payload, util::ByteBuffer& out) {
+  // u32 envelope length, then the known fields. 7 u64 + 1 f64 + 1 u32.
+  constexpr std::uint32_t kRecordBytes = 7 * 8 + 8 + 4;
+  out.AppendU32(kRecordBytes);
+  out.AppendU64(payload.forward_backward_ns);
+  out.AppendU64(payload.encode_ns);
+  out.AppendU64(payload.push_ns);
+  out.AppendU64(payload.pull_wait_ns);
+  out.AppendU64(payload.decode_ns);
+  out.AppendU64(payload.bytes_out);
+  out.AppendU64(payload.bytes_in);
+  out.AppendF64(payload.ea_l2);
+  out.AppendU32(payload.rejoins);
+}
+
+TelemetryPayload DecodeTelemetry(util::ByteSpan bytes) {
+  util::ByteReader outer(bytes);
+  const std::uint32_t record_len = outer.ReadU32();
+  util::ByteSpan record = outer.ReadSpan(record_len);
+  if (!outer.AtEnd()) {
+    throw std::runtime_error("trailing bytes after telemetry envelope");
+  }
+  util::ByteReader in(record);
+  TelemetryPayload payload;
+  payload.forward_backward_ns = in.ReadU64();
+  payload.encode_ns = in.ReadU64();
+  payload.push_ns = in.ReadU64();
+  payload.pull_wait_ns = in.ReadU64();
+  payload.decode_ns = in.ReadU64();
+  payload.bytes_out = in.ReadU64();
+  payload.bytes_in = in.ReadU64();
+  payload.ea_l2 = in.ReadF64();
+  payload.rejoins = in.ReadU32();
+  // Bytes left inside the envelope are fields from a newer writer: skip.
   return payload;
 }
 

@@ -42,9 +42,10 @@ constexpr std::uint32_t kFrameMagic = 0x52434C33u;  // "3LCR"
 // incarnation epoch to every handshake payload (HELLO/REJOIN and their
 // acks), so a worker reconnecting after a server crash detects the
 // restarted incarnation — and a stale server detects a worker from the
-// future. Older peers are rejected at the parser (kBadVersion) before any
-// payload is interpreted.
-constexpr std::uint8_t kProtocolVersion = 3;
+// future. Version 4 added the TELEMETRY frame, a per-step worker metric
+// record the server's obs::ClusterView aggregates. Older peers are
+// rejected at the parser (kBadVersion) before any payload is interpreted.
+constexpr std::uint8_t kProtocolVersion = 4;
 constexpr std::size_t kFrameHeaderBytes = 28;
 // Largest payload the parser will accept. Generously above any encoded
 // tensor in this repo; primarily a defense against a corrupted length
@@ -63,6 +64,7 @@ enum class MsgType : std::uint8_t {
   kRejoin = 9,     // worker -> server: id, plan hash, codec, next step, epoch
   kRejoinAck = 10,  // server -> worker: N, steps, plan hash, collect, epoch
   kEvict = 11,     // server -> workers: a peer left the membership
+  kTelemetry = 12,  // worker -> server: per-step telemetry record
 };
 
 bool IsValidMsgType(std::uint8_t raw);
@@ -126,6 +128,27 @@ HandshakePayload DecodeHandshake(util::ByteSpan bytes, bool rejoin);
 void EncodeHandshakeAck(const HandshakeAckPayload& payload, bool rejoin,
                         util::ByteBuffer& out);
 HandshakeAckPayload DecodeHandshakeAck(util::ByteSpan bytes, bool rejoin);
+
+// TELEMETRY payload (protocol v4). One compact record per completed step,
+// sent worker -> server after the step's pulls were applied; the step id
+// rides in the frame header. The record is wrapped in a u32 length
+// envelope so future versions can append fields without a version bump:
+// decoders read the fields they know and skip the rest of the envelope,
+// but reject bytes after the envelope (framing bug, not a new field).
+struct TelemetryPayload {
+  std::uint64_t forward_backward_ns = 0;  // sampler + TrainStep
+  std::uint64_t encode_ns = 0;            // EncodePush over all tensors
+  std::uint64_t push_ns = 0;              // send + flush of PUSH/STEP_STATS
+  std::uint64_t pull_wait_ns = 0;         // blocking wait for all pulls
+  std::uint64_t decode_ns = 0;            // ApplyPull over all tensors
+  std::uint64_t bytes_out = 0;            // encoded push payload bytes
+  std::uint64_t bytes_in = 0;             // encoded pull payload bytes
+  double ea_l2 = 0.0;                     // error-accumulation buffer L2
+  std::uint32_t rejoins = 0;              // reconnects so far this process
+};
+
+void EncodeTelemetry(const TelemetryPayload& payload, util::ByteBuffer& out);
+TelemetryPayload DecodeTelemetry(util::ByteSpan bytes);
 
 enum class ParseError : std::uint8_t {
   kNone = 0,

@@ -1,12 +1,14 @@
 #include "rpc/runtime.h"
 
 #include <algorithm>
+#include <cmath>
 #include <exception>
 #include <sstream>
 
 #include "nn/checkpoint.h"
 #include "nn/lr_schedule.h"
 #include "rpc/fault.h"
+#include "obs/cluster_view.h"
 #include "obs/flight_recorder.h"
 #include "obs/health.h"
 #include "obs/stage_profiler.h"
@@ -106,6 +108,17 @@ RpcServer::RpcServer(RpcServerConfig config, ps::ParameterServer& ps,
   dead_since_.assign(n, std::chrono::steady_clock::time_point{});
   greeted_.assign(n, false);
   bye_blobs_.assign(n, util::ByteBuffer{});
+  barrier_arrival_ms_.assign(n, -1.0);
+
+  if (config_.telemetry != nullptr) {
+    if (obs::ClusterView* view = config_.telemetry->cluster_view()) {
+      // Uncompressed f32 traffic per worker per step, both directions —
+      // the denominator for /clusterz's per-direction compression ratios.
+      const auto raw = static_cast<std::uint64_t>(
+                           ps_->plan().TotalElements()) * sizeof(float);
+      view->SetRawBytesPerStep(raw, raw);
+    }
+  }
 
   tcp_.on_accept = [this](Connection& conn) {
     peers_.emplace(&conn, Peer{});
@@ -232,6 +245,7 @@ void RpcServer::MarkWorkerDead(std::size_t w, const std::string& reason) {
   if (current_step_ >= 0 && current_step_ < config_.total_steps) {
     std::fill(push_seen_[w].begin(), push_seen_[w].end(), false);
     stats_seen_[w] = false;
+    barrier_arrival_ms_[w] = -1.0;  // the rejoiner re-arrives from scratch
   }
   RecomputePending();
   RecordMembershipEvent("worker " + std::to_string(w) + " lost (" + reason +
@@ -261,6 +275,11 @@ void RpcServer::Evict(std::size_t w, const std::string& reason) {
   member_state_[w] = Member::kEvicted;
   ++evictions_;
   AddCounter(config_.telemetry, "rpc/evictions", 1.0);
+  if (config_.telemetry != nullptr) {
+    if (obs::ClusterView* view = config_.telemetry->cluster_view()) {
+      view->RemoveWorker(static_cast<int>(w));
+    }
+  }
   // Tell the survivors which peer is gone (workers log it; supervisors can
   // react, e.g. by not restarting the process).
   util::ByteBuffer payload;
@@ -519,6 +538,7 @@ void RpcServer::HandleRejoin(Connection& conn, const Frame& frame) {
   if (current_step_ >= 0 && current_step_ < config_.total_steps) {
     std::fill(push_seen_[w].begin(), push_seen_[w].end(), false);
     stats_seen_[w] = false;
+    barrier_arrival_ms_[w] = -1.0;
   }
   RecomputePending();
   RecordMembershipEvent(
@@ -586,6 +606,7 @@ void RpcServer::OnFrame(Connection& conn, Frame&& frame) {
         push_payloads_[w][h.tensor] = std::move(frame.payload);
         push_seen_[w][h.tensor] = true;
         --frames_pending_;
+        StampBarrierArrival(w);
         return;
       }
       case MsgType::kStepStats: {
@@ -599,6 +620,32 @@ void RpcServer::OnFrame(Connection& conn, Frame&& frame) {
         step_losses_[w] = reader.ReadF32();
         stats_seen_[w] = true;
         --frames_pending_;
+        StampBarrierArrival(w);
+        return;
+      }
+      case MsgType::kTelemetry: {
+        // Non-barrier: a worker's per-step record for an already-released
+        // step (it is sent after the step's pulls were applied, while the
+        // server collects the next one). Decode always — a malformed
+        // record is a protocol fault — but feed only an attached view.
+        // Duplicates from rejoin replay are deduped inside ClusterView.
+        const TelemetryPayload p = DecodeTelemetry(frame.payload.span());
+        if (config_.telemetry != nullptr) {
+          if (obs::ClusterView* view = config_.telemetry->cluster_view()) {
+            obs::WorkerStepRecord rec;
+            rec.step = h.step;
+            rec.forward_backward_ns = p.forward_backward_ns;
+            rec.encode_ns = p.encode_ns;
+            rec.push_ns = p.push_ns;
+            rec.pull_wait_ns = p.pull_wait_ns;
+            rec.decode_ns = p.decode_ns;
+            rec.bytes_out = p.bytes_out;
+            rec.bytes_in = p.bytes_in;
+            rec.ea_l2 = p.ea_l2;
+            rec.rejoins = p.rejoins;
+            view->Ingest(static_cast<int>(w), rec);
+          }
+        }
         return;
       }
       case MsgType::kBye: {
@@ -667,7 +714,18 @@ void RpcServer::BeginCollect(std::int64_t step) {
     std::fill(push_seen_[w].begin(), push_seen_[w].end(), false);
     stats_seen_[w] = false;
   }
+  std::fill(barrier_arrival_ms_.begin(), barrier_arrival_ms_.end(), -1.0);
+  collect_timer_.Reset();
   RecomputePending();
+}
+
+void RpcServer::StampBarrierArrival(std::size_t w) {
+  if (barrier_arrival_ms_[w] >= 0.0) return;
+  if (!stats_seen_[w]) return;
+  for (std::size_t t = 0; t < push_seen_[w].size(); ++t) {
+    if (!push_seen_[w][t]) return;
+  }
+  barrier_arrival_ms_[w] = collect_timer_.ElapsedMillis();
 }
 
 bool RpcServer::RunStep(std::int64_t step, float lr) {
@@ -710,6 +768,31 @@ bool RpcServer::RunStep(std::int64_t step, float lr) {
     return false;
   }
   const auto num_contributors = contributors.size();
+
+  // Straggler attribution: who was last to the barrier and by how much,
+  // read before BeginCollect(step + 1) wipes the arrival stamps. The
+  // cause lands when the straggler's TELEMETRY record for this step
+  // arrives (after its pulls drain).
+  if (config_.telemetry != nullptr) {
+    if (obs::ClusterView* view = config_.telemetry->cluster_view()) {
+      double first = -1.0, last = -1.0;
+      int last_worker = -1;
+      for (std::size_t w : contributors) {
+        const double arrival = barrier_arrival_ms_[w];
+        if (arrival < 0.0) continue;  // rejoined mid-step; stamp lost
+        if (first < 0.0 || arrival < first) first = arrival;
+        if (arrival > last) {
+          last = arrival;
+          last_worker = static_cast<int>(w);
+        }
+      }
+      if (last_worker >= 0) {
+        view->RecordBarrier(static_cast<std::uint64_t>(step), last_worker,
+                            last - first,
+                            static_cast<int>(num_contributors));
+      }
+    }
+  }
 
   // Decode + aggregate in worker-id order — the same float-addition order
   // as DistributedTrainer::Run, which is what makes the distributed model
@@ -1399,15 +1482,30 @@ void RpcWorker::ComputeStep(std::int64_t step) {
       config_.telemetry != nullptr ? &config_.telemetry->tracer() : nullptr;
   const int track = 1 + config_.worker_id;
   obs::ScopedSpan span(tracer, "forward_backward", track, step);
+  // Plain wall timers, not profiler scopes: spawned workers run with no
+  // Telemetry at all, and these numbers ship to the server in the step's
+  // TELEMETRY frame either way.
+  pending_telemetry_ = TelemetryPayload{};
+  util::WallTimer fb_timer;
   data::Batch batch = sampler_.Next(config_.batch_size);
   pending_loss_ = static_cast<float>(
       worker_->model().TrainStep(batch.inputs, batch.labels).loss);
+  pending_telemetry_.forward_backward_ns =
+      static_cast<std::uint64_t>(fb_timer.ElapsedSeconds() * 1e9);
   const std::size_t num_tensors = plan_->size();
   pending_push_.resize(num_tensors);
+  util::WallTimer encode_timer;
+  double ea_sq = 0.0;
   for (std::size_t t = 0; t < num_tensors; ++t) {
     pending_push_[t].Clear();
-    worker_->EncodePush(t, pending_push_[t]);
+    compress::EncodeStats stats;
+    worker_->EncodePush(t, pending_push_[t], &stats);
+    if (stats.has_residual) ea_sq += stats.residual_l2 * stats.residual_l2;
+    pending_telemetry_.bytes_out += pending_push_[t].size();
   }
+  pending_telemetry_.encode_ns =
+      static_cast<std::uint64_t>(encode_timer.ElapsedSeconds() * 1e9);
+  pending_telemetry_.ea_l2 = std::sqrt(ea_sq);
   computed_through_ = step;
 }
 
@@ -1540,6 +1638,7 @@ RpcWorker::StepStatus RpcWorker::RunStep(std::int64_t step) {
   // trajectory. Retries resend the identical stored bytes.
   if (computed_through_ < step) ComputeStep(step);
 
+  util::WallTimer push_timer;
   {
     obs::ScopedSpan span(tracer, "rpc/push", track, step);
     for (std::size_t t = 0; t < num_tensors; ++t) {
@@ -1569,8 +1668,11 @@ RpcWorker::StepStatus RpcWorker::RunStep(std::int64_t step) {
       return StepStatus::kRetry;
     }
   }
+  pending_telemetry_.push_ns =
+      static_cast<std::uint64_t>(push_timer.ElapsedSeconds() * 1e9);
   {
     obs::ScopedSpan span(tracer, "rpc/pull_wait", track, step);
+    util::WallTimer pull_wait_timer;
     // Collect all of the step's pulls before applying any (deferred
     // apply): a connection lost mid-collect leaves the model untouched and
     // the step cleanly resumable after a rejoin.
@@ -1602,7 +1704,11 @@ RpcWorker::StepStatus RpcWorker::RunStep(std::int64_t step) {
       }
       pulls[t] = std::move(frame.payload);
     }
+    pending_telemetry_.pull_wait_ns =
+        static_cast<std::uint64_t>(pull_wait_timer.ElapsedSeconds() * 1e9);
+    util::WallTimer decode_timer;
     for (std::size_t t = 0; t < num_tensors; ++t) {
+      pending_telemetry_.bytes_in += pulls[t].size();
       try {
         util::ByteReader reader(pulls[t]);
         worker_->ApplyPull(t, reader);
@@ -1617,8 +1723,19 @@ RpcWorker::StepStatus RpcWorker::RunStep(std::int64_t step) {
         return StepStatus::kFailed;
       }
     }
+    pending_telemetry_.decode_ns =
+        static_cast<std::uint64_t>(decode_timer.ElapsedSeconds() * 1e9);
   }
   ++next_apply_;
+  // Ship the completed step's telemetry record. Best-effort by design:
+  // it is queued here and rides out with the next step's pushes (or the
+  // BYE flush); a send failure is surfaced by the next real send, not by
+  // the record, and a resent step resends it (the server dedups by step).
+  pending_telemetry_.rejoins = static_cast<std::uint32_t>(reconnects_);
+  util::ByteBuffer record;
+  EncodeTelemetry(pending_telemetry_, record);
+  conn_->SendFrame(MsgType::kTelemetry, static_cast<std::uint64_t>(step), 0,
+                   record.span());
   return StepStatus::kOk;
 }
 

@@ -73,6 +73,7 @@
 #include "ps/server.h"
 #include "ps/worker.h"
 #include "rpc/transport.h"
+#include "util/timer.h"
 
 namespace threelc::obs {
 class Telemetry;
@@ -221,6 +222,9 @@ class RpcServer {
   std::size_t WaitingWorkers() const;
   bool BarrierDone() const;
   void RecordMembershipEvent(const std::string& message, bool error);
+  // Stamp worker w's barrier arrival (collect-clock ms) once its last
+  // frame of the current step landed; feeds straggler attribution.
+  void StampBarrierArrival(std::size_t w);
 
   // Server-recovery plumbing. WriteCheckpoint persists the current state
   // under `next_step` when the cadence (or `force`) says so; Fails the run
@@ -251,6 +255,11 @@ class RpcServer {
   std::vector<double> step_losses_;                           // [w]
   std::vector<bool> stats_seen_;                              // [w]
   std::size_t frames_pending_ = 0;  // barrier countdown
+  // Straggler attribution: per-worker arrival instant (ms on the
+  // collect clock, -1 = not yet complete) of the current step's last
+  // contribution frame. Reset by BeginCollect.
+  std::vector<double> barrier_arrival_ms_;
+  util::WallTimer collect_timer_;
 
   // Membership + rejoin state.
   std::vector<Member> member_state_;
@@ -405,6 +414,10 @@ class RpcWorker {
   std::int64_t computed_through_ = -1;
   std::vector<util::ByteBuffer> pending_push_;
   float pending_loss_ = 0.0f;
+  // Per-step telemetry record under assembly: ComputeStep fills the
+  // compute/encode half, RunStep the transport half, then ships it as one
+  // best-effort TELEMETRY frame after the step's pulls are applied.
+  TelemetryPayload pending_telemetry_;
 
   std::size_t reconnects_ = 0;
   bool simulated_exit_ = false;

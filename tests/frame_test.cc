@@ -233,21 +233,25 @@ TEST(Frame, MsgTypeNamesAreStable) {
   EXPECT_STREQ(MsgTypeName(MsgType::kRejoin), "REJOIN");
   EXPECT_STREQ(MsgTypeName(MsgType::kRejoinAck), "REJOIN_ACK");
   EXPECT_STREQ(MsgTypeName(MsgType::kEvict), "EVICT");
+  EXPECT_STREQ(MsgTypeName(MsgType::kTelemetry), "TELEMETRY");
   EXPECT_STREQ(ParseErrorName(ParseError::kBadCrc), "bad_crc");
   EXPECT_FALSE(IsValidMsgType(0));
-  EXPECT_FALSE(IsValidMsgType(12));
+  EXPECT_FALSE(IsValidMsgType(13));
   EXPECT_TRUE(IsValidMsgType(1));
   EXPECT_TRUE(IsValidMsgType(8));
   EXPECT_TRUE(IsValidMsgType(11));
+  EXPECT_TRUE(IsValidMsgType(12));
 }
 
 // Frames from every older protocol version (v1 pre-fault-tolerance, v2
-// pre-epoch) must be rejected at the parser with a typed kBadVersion, not
-// misinterpreted — a v2 peer cannot speak to a v3 endpoint at all.
+// pre-epoch, v3 pre-telemetry) must be rejected at the parser with a typed
+// kBadVersion, not misinterpreted — a v3 peer cannot speak to a v4
+// endpoint at all.
 TEST(Frame, OldProtocolVersionsRejected) {
-  static_assert(kProtocolVersion == 3,
+  static_assert(kProtocolVersion == 4,
                 "update this test alongside the protocol version");
-  for (std::uint8_t old_version : {std::uint8_t{1}, std::uint8_t{2}}) {
+  for (std::uint8_t old_version :
+       {std::uint8_t{1}, std::uint8_t{2}, std::uint8_t{3}}) {
     util::ByteBuffer wire;
     EncodeFrame(MsgType::kHello, 0, 0, MakePayload(8, 4).span(), wire);
     wire.data()[4] = old_version;
@@ -454,6 +458,134 @@ TEST(Handshake, EpochMismatchIsVisibleToTheServerCheck) {
   const std::uint64_t server_epoch = 2;  // server restored an older epoch
   EXPECT_GT(seen.epoch, server_epoch)
       << "the stale-server guard must fire on this payload";
+}
+
+// --- protocol v4 telemetry payload codec ----------------------------------
+
+TelemetryPayload MakeTelemetry() {
+  TelemetryPayload p;
+  p.forward_backward_ns = 1'200'000;
+  p.encode_ns = 340'000;
+  p.push_ns = 95'000;
+  p.pull_wait_ns = 2'750'000;
+  p.decode_ns = 180'000;
+  p.bytes_out = 48'123;
+  p.bytes_in = 47'991;
+  p.ea_l2 = 0.03125;
+  p.rejoins = 2;
+  return p;
+}
+
+TEST(TelemetryCodec, RoundTrip) {
+  const TelemetryPayload in = MakeTelemetry();
+  util::ByteBuffer wire;
+  EncodeTelemetry(in, wire);
+  const TelemetryPayload out = DecodeTelemetry(wire.span());
+  EXPECT_EQ(out.forward_backward_ns, in.forward_backward_ns);
+  EXPECT_EQ(out.encode_ns, in.encode_ns);
+  EXPECT_EQ(out.push_ns, in.push_ns);
+  EXPECT_EQ(out.pull_wait_ns, in.pull_wait_ns);
+  EXPECT_EQ(out.decode_ns, in.decode_ns);
+  EXPECT_EQ(out.bytes_out, in.bytes_out);
+  EXPECT_EQ(out.bytes_in, in.bytes_in);
+  EXPECT_DOUBLE_EQ(out.ea_l2, in.ea_l2);
+  EXPECT_EQ(out.rejoins, in.rejoins);
+}
+
+// Every truncation must throw: the decoder sits behind the server's
+// OnFrame try/catch, so "throw" is the contract that turns a malformed
+// telemetry record into a clean worker Fail instead of UB.
+TEST(TelemetryCodec, EveryTruncationThrows) {
+  util::ByteBuffer wire;
+  EncodeTelemetry(MakeTelemetry(), wire);
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    EXPECT_THROW(DecodeTelemetry(util::ByteSpan(wire.data(), n)),
+                 std::exception)
+        << "TELEMETRY truncated to " << n;
+  }
+}
+
+// Bytes after the length-prefixed envelope are a framing bug, not a
+// future field — a frame is exactly one payload.
+TEST(TelemetryCodec, TrailingBytesAfterEnvelopeThrow) {
+  util::ByteBuffer wire;
+  EncodeTelemetry(MakeTelemetry(), wire);
+  util::ByteBuffer padded = wire;
+  padded.PushByte(0);
+  EXPECT_THROW(DecodeTelemetry(padded.span()), std::exception);
+}
+
+// Bytes INSIDE the envelope beyond the known fields are fields from a
+// newer writer: a v4 reader must decode the fields it knows and skip the
+// rest, so the record format can grow without another version bump.
+TEST(TelemetryCodec, UnknownFutureFieldsInsideEnvelopeAreSkipped) {
+  const TelemetryPayload in = MakeTelemetry();
+  util::ByteBuffer wire;
+  EncodeTelemetry(in, wire);
+  // Grow the envelope by 12 bytes of hypothetical future fields: bump the
+  // u32 length prefix and append the bytes.
+  std::uint32_t record_len;
+  std::memcpy(&record_len, wire.data(), sizeof(record_len));
+  record_len += 12;
+  util::ByteBuffer extended;
+  extended.AppendU32(record_len);
+  for (std::size_t i = 4; i < wire.size(); ++i) {
+    extended.PushByte(wire.data()[i]);
+  }
+  extended.AppendU64(0xFEEDFACECAFEBEEFull);  // future u64 field
+  extended.AppendU32(7);                      // future u32 field
+  const TelemetryPayload out = DecodeTelemetry(extended.span());
+  EXPECT_EQ(out.forward_backward_ns, in.forward_backward_ns);
+  EXPECT_EQ(out.pull_wait_ns, in.pull_wait_ns);
+  EXPECT_EQ(out.rejoins, in.rejoins);
+  EXPECT_DOUBLE_EQ(out.ea_l2, in.ea_l2);
+}
+
+// Fuzz: randomly corrupted telemetry bytes either decode (possibly to
+// different values — CRC catches corruption a layer below) or throw; they
+// never crash. The length prefix is the dangerous field: a huge value
+// must throw, not allocate or read out of bounds.
+TEST(TelemetryCodec, FuzzedCorruptionNeverCrashes) {
+  util::Rng rng(0x7E1E);
+  util::ByteBuffer wire;
+  EncodeTelemetry(MakeTelemetry(), wire);
+  for (int round = 0; round < 200; ++round) {
+    util::ByteBuffer corrupted = wire;
+    const std::size_t at =
+        static_cast<std::size_t>(rng.Below(corrupted.size()));
+    corrupted.data()[at] ^= static_cast<std::uint8_t>(1 + rng.Next() % 255);
+    try {
+      const TelemetryPayload out = DecodeTelemetry(corrupted.span());
+      (void)out;
+    } catch (const std::exception&) {
+      // acceptable: typed rejection
+    }
+  }
+}
+
+// A TELEMETRY frame rides the same wire as PUSH/PULL: it must round-trip
+// through the FrameParser under random chunking like any other type.
+TEST(TelemetryCodec, TelemetryFrameRoundTripsThroughParser) {
+  util::ByteBuffer payload;
+  EncodeTelemetry(MakeTelemetry(), payload);
+  util::ByteBuffer wire;
+  EncodeFrame(MsgType::kTelemetry, /*step=*/23, /*tensor=*/0, payload.span(),
+              wire);
+  util::Rng rng(0x3E1E);
+  FrameParser parser;
+  std::vector<Frame> frames;
+  std::size_t off = 0;
+  while (off < wire.size()) {
+    const std::size_t n =
+        1 + static_cast<std::size_t>(rng.Below(wire.size() - off));
+    ASSERT_TRUE(parser.Feed(util::ByteSpan(wire.data() + off, n), &frames));
+    off += n;
+  }
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].header.type, MsgType::kTelemetry);
+  EXPECT_EQ(frames[0].header.step, 23u);
+  const TelemetryPayload out = DecodeTelemetry(frames[0].payload.span());
+  EXPECT_EQ(out.bytes_out, 48'123u);
 }
 
 }  // namespace

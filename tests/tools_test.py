@@ -5,12 +5,17 @@ Run directly or via ctest: python3 tests/tools_test.py
 
 Covers:
   - merge_traces.py round-trip: synthetic server + worker traces with a
-    known clock skew come back on one timeline with the skew recovered,
+    known clock skew come back on one timeline with the skew recovered;
+    a rejoined rank (two traces, unrelated clocks) gets an independent
+    offset per incarnation with distinct track names,
   - check_perf.py: passes on identical runs, fails (exit 1) when any
     metric regresses >10% in its harmful direction — latency up or
     throughput down — and ignores improvements; --update-baseline copies,
   - check_prometheus.py: accepts a well-formed exposition, rejects empty
-    input, duplicate family declarations, and duplicate series.
+    input, duplicate family declarations, duplicate series, and (with
+    --max-workers) unbounded worker-label cardinality in cluster families,
+  - run_report.py: joins a /clusterz snapshot with a server step log and
+    names the straggler with its dominant cause.
 """
 
 import json
@@ -95,6 +100,57 @@ class MergeTracesTest(unittest.TestCase):
         for e in events:
             if e.get("name") in ("rpc/push", "forward_backward"):
                 self.assertEqual(e["pid"], 1)
+
+    def test_rejoined_rank_gets_independent_offsets(self):
+        # Worker rank 0 runs steps 0-1, dies, rejoins with a NEW process
+        # whose clock is wildly different, and runs steps 3-4. Each
+        # incarnation must be aligned with its own offset; the rejoin must
+        # not clobber (or inherit) the first connection's offset.
+        first_skew, second_skew = 5000.0, 250000.0
+        server, first, second = [], [], []
+        for s in range(5):
+            barrier_end = 10000.0 + 2000.0 * s
+            server.append(span("rpc/step_barrier", 0, barrier_end - 500.0,
+                               500.0, step=s))
+            if s < 2:
+                first.append(span("rpc/push", 1,
+                                  barrier_end - first_skew - 300.0, 300.0,
+                                  step=s))
+            elif s >= 3:
+                second.append(span("rpc/push", 1,
+                                   barrier_end - second_skew - 300.0, 300.0,
+                                   step=s))
+        with tempfile.TemporaryDirectory() as tmp:
+            spath = os.path.join(tmp, "server.json")
+            p1 = os.path.join(tmp, "w0_run1.json")
+            p2 = os.path.join(tmp, "w0_rejoin.json")
+            mpath = os.path.join(tmp, "merged.json")
+            for path, events in ((spath, server), (p1, first), (p2, second)):
+                with open(path, "w") as f:
+                    json.dump({"traceEvents": events}, f)
+            r = run_tool("merge_traces.py",
+                         [spath, f"0={p1}", f"0={p2}", "-o", mpath,
+                          "--report"])
+            self.assertEqual(r.returncode, 0, r.stderr)
+            self.assertIn("worker-0 (", r.stdout)      # first incarnation
+            self.assertIn("(rejoin 1)", r.stdout)      # second incarnation
+            with open(mpath) as f:
+                merged = json.load(f)
+        events = merged["traceEvents"]
+        roles = {e["args"]["name"]: e["pid"] for e in events
+                 if e.get("name") == "process_name"}
+        self.assertEqual(set(roles),
+                         {"server", "worker-0", "worker-0 (rejoin 1)"})
+        self.assertNotEqual(roles["worker-0"], roles["worker-0 (rejoin 1)"])
+        # Both incarnations landed on the server clock: every push end
+        # matches its barrier end despite the two unrelated skews.
+        barriers = {e["args"]["step"]: e["ts"] + e["dur"] for e in events
+                    if e.get("name") == "rpc/step_barrier"}
+        pushes = {e["args"]["step"]: e["ts"] + e["dur"] for e in events
+                  if e.get("name") == "rpc/push"}
+        for s in (0, 1, 3, 4):
+            self.assertAlmostEqual(barriers[s], pushes[s], delta=1.0,
+                                   msg=f"step {s}")
 
     def test_no_common_steps_warns_but_merges(self):
         server, _ = self.make_traces()
@@ -238,6 +294,115 @@ class CheckPrometheusTest(unittest.TestCase):
         extra = GOOD_EXPOSITION + 'threelc_step_ms{quantile="0.9"} 3.0\n'
         r = self.check(extra)
         self.assertEqual(r.returncode, 0, r.stderr)
+
+    CLUSTER = GOOD_EXPOSITION + (
+        "# HELP threelc_cluster_worker_records_total records\n"
+        "# TYPE threelc_cluster_worker_records_total counter\n"
+        'threelc_cluster_worker_records_total{worker="0"} 10\n'
+        'threelc_cluster_worker_records_total{worker="1"} 10\n'
+        'threelc_cluster_worker_records_total{worker="2"} 10\n')
+
+    def test_cluster_cardinality_within_bound_passes(self):
+        r = run_tool("check_prometheus.py", ["--max-workers", "3"],
+                     stdin_text=self.CLUSTER)
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_cluster_cardinality_over_bound_fails(self):
+        r = run_tool("check_prometheus.py", ["--max-workers", "2"],
+                     stdin_text=self.CLUSTER)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("worker labels", r.stderr)
+        self.assertIn("threelc_cluster_worker_records_total", r.stderr)
+
+    def test_non_cluster_families_ignore_worker_bound(self):
+        labeled = GOOD_EXPOSITION + (
+            "# HELP threelc_other labeled\n"
+            "# TYPE threelc_other gauge\n"
+            'threelc_other{worker="0"} 1\n'
+            'threelc_other{worker="1"} 1\n')
+        r = run_tool("check_prometheus.py", ["--max-workers", "1"],
+                     stdin_text=labeled)
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+
+def clusterz_snapshot():
+    def phases(scale):
+        return {name: {"p50_ns": 1e6 * scale, "p95_ns": 2e6 * scale,
+                       "p99_ns": 3e6 * scale, "mean_ns": 1e6 * scale,
+                       "total_ns": 2e7 * scale}
+                for name in ("forward_backward", "encode", "push",
+                             "pull_wait", "decode")}
+
+    def worker(slow, causes, scale=1.0):
+        return {"last_step": 19, "records": 20, "bytes_out": 20000,
+                "bytes_in": 18000, "ea_l2": 0.5, "rejoins": 0,
+                "phases": phases(scale), "straggler_steps": slow,
+                "straggler_causes": causes,
+                "barrier_wait_ms_sum": 40.0 * slow}
+
+    return {
+        "workers": {
+            "0": worker(0, {"compute": 0, "encode": 0, "network": 0}),
+            "1": worker(18, {"compute": 1, "encode": 0, "network": 17},
+                        scale=4.0),
+            "2": worker(1, {"compute": 1, "encode": 0, "network": 0}),
+        },
+        "fleet": {"workers": 3, "records": 60, "bytes_out": 60000,
+                  "bytes_in": 54000, "raw_push_bytes_per_step": 4000,
+                  "raw_pull_bytes_per_step": 4000,
+                  "compression_ratio_push": 4.0,
+                  "compression_ratio_pull": 4.4, "phases": phases(1.0)},
+        "straggler": {"current": 1, "flips": 3, "barriers_observed": 20},
+    }
+
+
+class RunReportTest(unittest.TestCase):
+    def test_report_names_straggler_and_cause(self):
+        steps = [{"type": "step", "step": s, "loss": 1.0 / (s + 1),
+                  "step_wall_ms": 5.0 + s, "contributors": 3}
+                 for s in range(20)]
+        with tempfile.TemporaryDirectory() as tmp:
+            cpath = os.path.join(tmp, "clusterz.json")
+            lpath = os.path.join(tmp, "metrics.jsonl")
+            with open(cpath, "w") as f:
+                json.dump(clusterz_snapshot(), f)
+            with open(lpath, "w") as f:
+                for s in steps:
+                    f.write(json.dumps(s) + "\n")
+                f.write('{"type":"summary","metrics":{}}\n')
+            r = run_tool("run_report.py",
+                         ["--clusterz", cpath, "--server-log", lpath])
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("steps logged: 20", r.stdout)
+        self.assertIn("straggler: worker 1", r.stdout)
+        self.assertIn("dominant cause: network", r.stdout)
+        self.assertIn("compression ratio: push 4.00x", r.stdout)
+        # Every worker appears in the phase table.
+        for wid in ("0", "1", "2"):
+            self.assertIn(f"\n{wid:>6}  forward_backward", r.stdout)
+
+    def test_report_without_server_log(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            cpath = os.path.join(tmp, "clusterz.json")
+            opath = os.path.join(tmp, "report.txt")
+            with open(cpath, "w") as f:
+                json.dump(clusterz_snapshot(), f)
+            r = run_tool("run_report.py",
+                         ["--clusterz", cpath, "-o", opath])
+            self.assertEqual(r.returncode, 0, r.stderr)
+            with open(opath) as f:
+                report = f.read()
+        self.assertIn("straggler: worker 1", report)
+        self.assertNotIn("steps logged", report)
+
+    def test_rejects_non_clusterz_json(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            cpath = os.path.join(tmp, "bogus.json")
+            with open(cpath, "w") as f:
+                json.dump({"hello": 1}, f)
+            r = run_tool("run_report.py", ["--clusterz", cpath])
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("not a /clusterz snapshot", r.stderr)
 
 
 if __name__ == "__main__":

@@ -16,11 +16,16 @@ Checks, with no third-party dependencies:
   - no metric family is declared (# HELP / # TYPE) twice — the symptom of
     two writers emitting the same registry, or a registry merged into the
     same exposition twice,
-  - no identical series (name + label set) is sampled twice.
+  - no identical series (name + label set) is sampled twice,
+  - with --max-workers N: no *_cluster_* family carries more than N
+    distinct worker="..." label values — more workers in the exposition
+    than the fleet has means stale per-worker series were never pruned
+    (eviction must call ClusterView::RemoveWorker).
 
 Exits 0 and prints a sample count on success; exits 1 with the offending
 line otherwise. An empty exposition (zero samples) also fails.
 """
+import argparse
 import re
 import sys
 
@@ -57,9 +62,20 @@ def base_name(name, summaries):
     return name
 
 
+WORKER_LABEL_RE = re.compile(r'worker="([^"]*)"')
+
+
 def main():
+    ap = argparse.ArgumentParser(
+        description="validate Prometheus text exposition from stdin")
+    ap.add_argument("--max-workers", type=int, default=None,
+                    help="fail if any *_cluster_* family has more distinct "
+                         "worker label values than this")
+    args = ap.parse_args()
+
     helped, typed, summaries = set(), set(), set()
     seen_series = set()
+    cluster_workers = {}  # family -> set of worker label values
     samples = 0
     for lineno, raw in enumerate(sys.stdin, 1):
         line = raw.rstrip("\n")
@@ -108,10 +124,22 @@ def main():
         if series in seen_series:
             fail(lineno, line, f"duplicate series {name}{labels or ''}")
         seen_series.add(series)
+        if labels and "_cluster_" in base:
+            m = WORKER_LABEL_RE.search(labels)
+            if m:
+                cluster_workers.setdefault(base, set()).add(m.group(1))
         samples += 1
     if samples == 0:
         print("check_prometheus: no samples found", file=sys.stderr)
         sys.exit(1)
+    if args.max_workers is not None:
+        for family, workers in sorted(cluster_workers.items()):
+            if len(workers) > args.max_workers:
+                print(f"check_prometheus: family {family!r} has "
+                      f"{len(workers)} distinct worker labels "
+                      f"(> --max-workers {args.max_workers}): "
+                      f"{sorted(workers)}", file=sys.stderr)
+                sys.exit(1)
     print(f"check_prometheus: OK ({samples} samples)")
 
 

@@ -11,13 +11,24 @@ Alignment uses the step ids stamped into the spans (the "args":{"step":N}
 field emitted by obs::ScopedSpan): for every step both sides see, the
 server's rpc/step_barrier span ends when the last push of that step
 arrived, and a worker's rpc/push span ends when its push was flushed. The
-per-worker offset is the median over common steps of
+per-trace offset is the median over common steps of
 (server_barrier_end - worker_push_end), which is robust to stragglers and
 needs no synchronized clocks.
+
+A worker that crashes and rejoins mid-run restarts with a fresh process
+and a fresh clock, so it leaves TWO trace files for the same rank. Each
+file is an incarnation with its own independent offset — aligning the
+rejoined trace must never reuse (or overwrite) the first connection's
+offset, since the two processes' clocks are unrelated. Pass multiple
+traces for one rank with the RANK=PATH form; incarnations are numbered in
+argument order and each gets its own pid and a "worker-R (rejoin K)"
+track name.
 
 Usage:
   merge_traces.py server_trace.json worker0.json [worker1.json ...] \
       -o merged.json [--report]
+  merge_traces.py server.json 0=w0_run1.json 1=w1.json 0=w0_rejoin.json \
+      -o merged.json
 """
 
 import argparse
@@ -59,13 +70,24 @@ def worker_offset_us(server_events, worker_events):
     return statistics.median(deltas), len(common)
 
 
+def parse_worker_arg(arg, position):
+    """`RANK=PATH` -> (rank, path); bare PATH -> (position, path)."""
+    rank_part, sep, path_part = arg.partition("=")
+    if sep and rank_part.isdigit():
+        return int(rank_part), path_part
+    return position, arg
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("traces", nargs="+",
-                    help="server trace first, then one trace per worker")
+                    help="server trace first, then one trace per worker "
+                         "incarnation (PATH, or RANK=PATH when a rank "
+                         "rejoined and left several traces)")
     ap.add_argument("-o", "--out", required=True)
     ap.add_argument("--report", action="store_true",
-                    help="print per-worker offsets and common-step counts")
+                    help="print per-incarnation offsets and common-step "
+                         "counts")
     args = ap.parse_args()
 
     try:
@@ -88,7 +110,14 @@ def main():
 
     add_process(0, "server", server_events, 0.0)
 
-    for i, path in enumerate(args.traces[1:]):
+    # (rank, incarnation) -> offset. A rank appears once per process that
+    # ever held it; each incarnation's clock is aligned independently, so
+    # a rejoin can never clobber the first connection's offset.
+    incarnations = {}
+    for position, arg in enumerate(args.traces[1:]):
+        rank, path = parse_worker_arg(arg, position)
+        incarnation = incarnations.setdefault(rank, 0)
+        incarnations[rank] = incarnation + 1
         try:
             worker_events = load_events(path)
         except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
@@ -100,10 +129,13 @@ def main():
                   f"spans with the server trace; leaving its clock unshifted",
                   file=sys.stderr)
             offset = 0.0
+        role = f"worker-{rank}"
+        if incarnation > 0:
+            role += f" (rejoin {incarnation})"
         if args.report:
-            print(f"merge_traces: worker {i} ({path}): offset "
+            print(f"merge_traces: {role} ({path}): offset "
                   f"{offset:+.1f} us from {common} common steps")
-        add_process(1 + i, f"worker-{i}", worker_events, offset)
+        add_process(1 + position, role, worker_events, offset)
 
     with open(args.out, "w") as f:
         json.dump({"displayTimeUnit": "ms", "traceEvents": merged}, f)

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""End-of-run report: join server step JSONL with a /clusterz snapshot.
+
+The server's --metrics-out JSONL records the critical path (one line per
+step: loss, wall time, contributors); the /clusterz snapshot holds the
+per-worker view shipped in-band over TELEMETRY frames (phase histograms,
+traffic, straggler attribution). Neither alone answers "who made this run
+slow and why" — this tool joins them into one human-readable summary:
+
+  - run shape: steps logged, contributors, final loss, step-wall quantiles,
+  - per-worker step-phase table (p50/p95/p99 ms per phase),
+  - barrier-wait attribution: slow steps per worker, summed wait, and the
+    dominant cause (compute / encode / network) per worker, ending in a
+    single "straggler: worker N (...)" line naming the fleet's slowest
+    worker — the line CI asserts on,
+  - traffic per worker and the per-direction compression ratio.
+
+Usage:
+  run_report.py --clusterz cluster.json [--server-log metrics.jsonl] \
+      [-o report.txt]
+
+Exit codes: 0 on success (report written/printed), 1 on unreadable or
+schema-less input. stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+PHASES = ["forward_backward", "encode", "push", "pull_wait", "decode"]
+
+
+def load_clusterz(path):
+    with open(path) as f:
+        snap = json.load(f)
+    if "workers" not in snap or "straggler" not in snap:
+        raise ValueError(f"{path}: not a /clusterz snapshot "
+                         "(missing workers/straggler)")
+    return snap
+
+
+def load_server_steps(path):
+    """type==step lines from the server's --metrics-out JSONL."""
+    steps = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # tolerate a torn final line from a killed run
+            if rec.get("type") == "step":
+                steps.append(rec)
+    return steps
+
+
+def quantile(sorted_values, q):
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[idx]
+
+
+def dominant_cause(causes):
+    """Largest attributed cause; network wins ties (it absorbs the most
+    unrelated skew), mirroring the server-side attribution order."""
+    best, best_count = None, 0
+    for name in ("network", "compute", "encode"):
+        if causes.get(name, 0) > best_count:
+            best, best_count = name, causes[name]
+    return best, best_count
+
+
+def fmt_ms(ns):
+    return f"{ns / 1e6:.2f}"
+
+
+def build_report(snap, steps):
+    out = []
+    workers = snap["workers"]
+    fleet = snap.get("fleet", {})
+    straggler = snap.get("straggler", {})
+    out.append("== 3LC run report ==")
+
+    # --- run shape from the server step log --------------------------------
+    if steps:
+        walls = sorted(s.get("step_wall_ms", 0.0) for s in steps)
+        final = steps[-1]
+        out.append(f"steps logged: {len(steps)}  "
+                   f"final loss: {final.get('loss', float('nan')):.6f}  "
+                   f"contributors (last step): {final.get('contributors', 0)}")
+        out.append(f"step wall ms: p50 {quantile(walls, 0.50):.2f}  "
+                   f"p95 {quantile(walls, 0.95):.2f}  "
+                   f"p99 {quantile(walls, 0.99):.2f}")
+    out.append(f"telemetry: {fleet.get('records', 0)} worker records, "
+               f"{straggler.get('barriers_observed', 0)} barriers observed, "
+               f"{straggler.get('flips', 0)} straggler flips")
+    out.append("")
+
+    # --- per-worker phase table --------------------------------------------
+    out.append("-- per-worker step phases (ms) --")
+    header = f"{'worker':>6}  {'phase':<16} {'p50':>9} {'p95':>9} {'p99':>9}"
+    out.append(header)
+    for wid in sorted(workers, key=int):
+        phases = workers[wid].get("phases", {})
+        for phase in PHASES:
+            p = phases.get(phase)
+            if p is None:
+                continue
+            out.append(f"{wid:>6}  {phase:<16} {fmt_ms(p['p50_ns']):>9} "
+                       f"{fmt_ms(p['p95_ns']):>9} {fmt_ms(p['p99_ns']):>9}")
+    out.append("")
+
+    # --- barrier-wait attribution ------------------------------------------
+    out.append("-- barrier-wait attribution --")
+    out.append(f"{'worker':>6} {'slow_steps':>10} {'wait_ms_sum':>12} "
+               f"{'dominant_cause':>15}")
+    worst_id, worst_slow = None, -1
+    for wid in sorted(workers, key=int):
+        w = workers[wid]
+        slow = w.get("straggler_steps", 0)
+        cause, _ = dominant_cause(w.get("straggler_causes", {}))
+        out.append(f"{wid:>6} {slow:>10} "
+                   f"{w.get('barrier_wait_ms_sum', 0.0):>12.2f} "
+                   f"{cause or '-':>15}")
+        if slow > worst_slow:
+            worst_id, worst_slow = wid, slow
+    current = straggler.get("current", -1)
+    named = str(current) if current >= 0 else worst_id
+    if named is not None and named in workers and worst_slow >= 0:
+        w = workers[named]
+        cause, count = dominant_cause(w.get("straggler_causes", {}))
+        slow = w.get("straggler_steps", 0)
+        if slow > 0 and cause:
+            out.append(f"straggler: worker {named} "
+                       f"({slow} slow steps, dominant cause: {cause}, "
+                       f"{count}/{slow} attributed)")
+        else:
+            out.append(f"straggler: worker {named} (no attributed waits)")
+    else:
+        out.append("straggler: none observed")
+    out.append("")
+
+    # --- traffic and compression -------------------------------------------
+    out.append("-- traffic --")
+    out.append(f"{'worker':>6} {'bytes_out':>12} {'bytes_in':>12} "
+               f"{'records':>8} {'rejoins':>8}")
+    for wid in sorted(workers, key=int):
+        w = workers[wid]
+        out.append(f"{wid:>6} {w.get('bytes_out', 0):>12} "
+                   f"{w.get('bytes_in', 0):>12} {w.get('records', 0):>8} "
+                   f"{w.get('rejoins', 0):>8}")
+    push_ratio = fleet.get("compression_ratio_push", 0.0)
+    pull_ratio = fleet.get("compression_ratio_pull", 0.0)
+    out.append(f"compression ratio: push {push_ratio:.2f}x, "
+               f"pull {pull_ratio:.2f}x")
+    return "\n".join(out) + "\n"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--clusterz", required=True,
+                    help="saved /clusterz JSON snapshot")
+    ap.add_argument("--server-log", default=None,
+                    help="server --metrics-out JSONL (optional)")
+    ap.add_argument("-o", "--out", default=None,
+                    help="write the report here instead of stdout")
+    args = ap.parse_args()
+
+    try:
+        snap = load_clusterz(args.clusterz)
+        steps = load_server_steps(args.server_log) if args.server_log else []
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"run_report: {e}", file=sys.stderr)
+        return 1
+
+    report = build_report(snap, steps)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(report)
+        print(f"run_report: wrote {args.out}")
+    else:
+        sys.stdout.write(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
