@@ -9,13 +9,17 @@
 // Usage: bench_codec [--out=BENCH_codec.json] [--target-mb=256]
 // The commit id is taken from $THREELC_COMMIT when set (CI exports it).
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "blockcodec/block_codec.h"
 #include "compress/factory.h"
+#include "compress/quantize3.h"
+#include "compress/quartic.h"
 #include "tensor/tensor.h"
 #include "util/byte_buffer.h"
 #include "util/flags.h"
@@ -130,6 +134,98 @@ int main(int argc, char** argv) {
                 << " encode=" << GigabytesPerSecond(n, iters, encode_s)
                 << " GB/s decode=" << GigabytesPerSecond(n, iters, decode_s)
                 << " GB/s\n";
+    }
+  }
+
+  // Second-stage block codecs (paper §3.3: is heavier entropy coding worth
+  // it?) over each tensor codec's real output stream, plus the bare
+  // pre-ZRE quartic streams (Quantize3 + QuarticEncode with no zero-run
+  // pass) — the paper's "quartic encoding" output, the natural input for
+  // a general-purpose second stage. Throughput is measured against the
+  // block codec's *input* bytes (the stage-1 stream), since that is the
+  // byte volume the wire path pays per step; bits_per_value is end-to-end
+  // — envelope bytes over original tensor elements — so the table reads
+  // directly against the stage-1 row ("store", the no-op envelope-free
+  // baseline).
+  {
+    const std::int64_t n = 1 << 20;
+    tensor::Tensor in = MakeInput(n, zero_prob);
+    struct Stream {
+      std::string label;
+      util::ByteBuffer bytes;
+    };
+    std::vector<Stream> streams;
+    for (const Named& named : codecs) {
+      auto codec = compress::MakeCompressor(named.config);
+      auto ctx = codec->MakeContext(in.shape());
+      Stream s{named.label, {}};
+      codec->Encode(in, *ctx, s.bytes);
+      streams.push_back(std::move(s));
+    }
+    for (float s : {1.00f, 1.75f}) {
+      std::vector<std::int8_t> ternary(static_cast<std::size_t>(n));
+      compress::Quantize3(in.data(), static_cast<std::size_t>(n), s,
+                          ternary.data());
+      char label[32];
+      std::snprintf(label, sizeof(label), "quartic_s%.2f", s);
+      Stream q{label, {}};
+      compress::QuarticEncode(ternary.data(), static_cast<std::size_t>(n),
+                              q.bytes);
+      streams.push_back(std::move(q));
+    }
+    for (const Stream& s : streams) {
+      const util::ByteBuffer& stream = s.bytes;
+      const double stream_bytes = static_cast<double>(stream.size());
+      metrics.push_back({"block_bits_per_value/store/" + s.label,
+                         stream_bytes * 8.0 / static_cast<double>(n),
+                         "bits", false});
+
+      for (const char* block_name : {"lz", "rans", "lz+rans"}) {
+        const blockcodec::BlockCodec* bc = blockcodec::Find(block_name);
+        const int iters = [&] {
+          const double raw = target_bytes / stream_bytes;
+          if (raw < 8.0) return 8;
+          if (raw > 4096.0) return 4096;
+          return static_cast<int>(raw);
+        }();
+
+        util::ByteBuffer envelope;
+        blockcodec::EncodeBlock(*bc, stream.span(), envelope);  // warm-up
+        util::WallTimer encode_timer;
+        for (int i = 0; i < iters; ++i) {
+          envelope.Clear();
+          blockcodec::EncodeBlock(*bc, stream.span(), envelope);
+        }
+        const double encode_s = encode_timer.ElapsedSeconds();
+
+        util::ByteBuffer decoded;
+        util::WallTimer decode_timer;
+        for (int i = 0; i < iters; ++i) {
+          decoded.Clear();
+          blockcodec::DecodeBlock(envelope.span(), stream.size(), decoded);
+        }
+        const double decode_s = decode_timer.ElapsedSeconds();
+
+        const std::string suffix = std::string(block_name) + "/" + s.label;
+        const double encode_gbps =
+            stream_bytes * iters / encode_s / 1e9;
+        const double decode_gbps =
+            stream_bytes * iters / decode_s / 1e9;
+        metrics.push_back(
+            {"block_encode_gbps/" + suffix, encode_gbps, "GB/s", true});
+        metrics.push_back(
+            {"block_decode_gbps/" + suffix, decode_gbps, "GB/s", true});
+        metrics.push_back(
+            {"block_bits_per_value/" + suffix,
+             static_cast<double>(envelope.size()) * 8.0 /
+                 static_cast<double>(n),
+             "bits", false});
+        std::cerr << "bench_codec: block " << suffix << " iters=" << iters
+                  << " encode=" << encode_gbps << " GB/s decode="
+                  << decode_gbps << " GB/s ratio="
+                  << stream_bytes / static_cast<double>(envelope.size())
+                  << "\n";
+      }
     }
   }
 

@@ -10,6 +10,8 @@
 //   --role worker        run one worker; needs --worker-id and --port
 //
 // Common knobs: --steps, --workers, --batch-size, --codec none|3lc, --s,
+// --block-codec store|lz|rans|lz+rans (second-stage lossless byte codec
+// over the wire payloads and checkpoint files; default store = off),
 // --seed, --host, --port. Outputs: --checkpoint-out writes the final global
 // model (CRC32C-protected checkpoint); --compare re-runs the same training
 // in-process and verifies the parameters match bit for bit; --linger-ms
@@ -81,6 +83,7 @@
 #include <thread>
 #include <vector>
 
+#include "blockcodec/block_codec.h"
 #include "compress/factory.h"
 #include "nn/checkpoint.h"
 #include "obs/http_server.h"
@@ -126,6 +129,9 @@ void InstallStopHandlers() {
 struct Setup {
   train::ExperimentConfig config;
   data::SyntheticData data;
+  // Second-stage lossless block codec, negotiated in the handshake; both
+  // roles derive it from the same --block-codec flag.
+  std::string block_codec = "store";
 };
 
 Setup MakeSetup(const util::Flags& flags, int num_workers) {
@@ -147,6 +153,11 @@ Setup MakeSetup(const util::Flags& flags, int num_workers) {
     THREELC_CHECK_MSG(false, "unknown --codec '" << codec
                                                  << "' (want none|3lc)");
   }
+  setup.block_codec = flags.GetString("block-codec", "store");
+  THREELC_CHECK_MSG(blockcodec::Find(setup.block_codec) != nullptr,
+                    "unknown --block-codec '"
+                        << setup.block_codec << "' (want "
+                        << blockcodec::KnownNames() << ")");
   setup.data = data::MakeTeacherDataset(setup.config.data);
   return setup;
 }
@@ -271,6 +282,7 @@ int RunWorker(const Setup& setup, int worker_id, const std::string& host,
   wc.stop_flag = &g_stop;
   wc.stop_checkpoint_path = chaos.stop_checkpoint_path;
   wc.fault = fault;
+  wc.block_codec = setup.block_codec;
   rpc::RpcWorker worker(wc, ps_worker, plan, codec->name(),
                         std::move(sampler));
   if (!worker.Run()) {
@@ -345,6 +357,7 @@ ServerParts MakeServerParts(const Setup& setup, const util::Flags& flags,
   sc.exit_after_step = flags.GetInt("kill-server-step", -1);
   sc.stop_flag = &g_stop;
   sc.telemetry = telemetry;
+  sc.block_codec = setup.block_codec;
   const std::string inject = flags.GetString("inject-server", "");
   if (!inject.empty()) {
     // Distinct stream from the workers' injectors so schedules don't
@@ -646,7 +659,8 @@ int RunSpawn(const util::Flags& flags) {
 
   const std::string checkpoint_path = flags.GetString("checkpoint-out", "");
   if (!checkpoint_path.empty()) {
-    nn::SaveCheckpoint(*parts.model, checkpoint_path);
+    nn::SaveCheckpoint(*parts.model, checkpoint_path, /*checksum=*/true,
+                       setup.block_codec);
     std::printf("checkpoint written to %s\n", checkpoint_path.c_str());
   }
 
@@ -785,7 +799,8 @@ int main(int argc, char** argv) {
       const std::string checkpoint_path =
           flags.GetString("checkpoint-out", "");
       if (completed && !checkpoint_path.empty()) {
-        nn::SaveCheckpoint(*parts.model, checkpoint_path);
+        nn::SaveCheckpoint(*parts.model, checkpoint_path,
+                           /*checksum=*/true, setup.block_codec);
         std::printf("checkpoint written to %s\n", checkpoint_path.c_str());
       }
       if (telemetry != nullptr) telemetry->Flush();

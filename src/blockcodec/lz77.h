@@ -1,0 +1,50 @@
+// In-house LZ77 byte compressor with greedy hash-chain match finding.
+//
+// Token format (LZ4-flavored, but ours — decoders reject anything our
+// encoder would not emit where that is cheap to check):
+//
+//   sequence := token | literal-ext* | literals | offset(u16 LE) | match-ext*
+//
+//   token     1 byte: high nibble = literal count, low nibble = match
+//             length - kMinMatch. A nibble of 15 means "extended": the
+//             count continues in following bytes, each adding 0..255,
+//             terminated by the first byte < 255.
+//   literals  copied verbatim.
+//   offset    distance back into the already-decoded output, 1..65535;
+//             matches may overlap their own output (offset < length
+//             repeats a period, byte-for-byte).
+//
+// The final sequence carries literals only: its match nibble must be 0
+// and it has no offset. A block that ends exactly on a match simply has
+// no final literal sequence. Empty input encodes to empty output.
+//
+// Decompress is strict: it throws std::runtime_error on truncation (via
+// ByteReader), literal/match overrun past the declared raw size, offsets
+// of 0 or beyond the decoded prefix, and trailing bytes.
+#pragma once
+
+#include <cstddef>
+
+#include "util/byte_buffer.h"
+
+namespace threelc::blockcodec::lz {
+
+inline constexpr std::size_t kMinMatch = 4;
+inline constexpr std::size_t kMaxOffset = 65535;
+
+// Worst-case encoded size for `raw_size` input bytes (all-literal block
+// plus extension bytes) — used to sanity-bound intermediate sizes.
+constexpr std::size_t MaxCompressedSize(std::size_t raw_size) {
+  return raw_size + raw_size / 255 + 16;
+}
+
+// Append the compressed form of `raw` to `out`.
+void Compress(util::ByteSpan raw, util::ByteBuffer& out);
+
+// Append exactly `raw_size` decompressed bytes to `out`, consuming all
+// of `encoded`. Throws std::runtime_error / std::out_of_range on any
+// malformed input.
+void Decompress(util::ByteSpan encoded, std::size_t raw_size,
+                util::ByteBuffer& out);
+
+}  // namespace threelc::blockcodec::lz

@@ -1,0 +1,52 @@
+// Static order-0 rANS (range asymmetric numeral system) entropy coder.
+//
+// Two interleaved 32-bit states with 16-bit-word renormalization and a
+// 12-bit frequency scale (kProbScale = 4096). The stream layout is:
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------
+//        0   512  frequency table: 256 x u16 LE, summing to 4096
+//      512     4  final encoder state 0 (u32 LE) = decoder's initial state 0
+//      516     4  final encoder state 1 (u32 LE) = decoder's initial state 1
+//      520     n  renormalization words (u16 LE), in decode order
+//
+// Symbol i is coded by state i & 1; the two dependency chains run in
+// parallel in the hot loops, which is the main reason this beats a
+// single-state byte-renorm coder by >2x in throughput. The encoder walks
+// the input backward (ANS is LIFO) starting both states from L = 1<<16
+// and spills a 16-bit word whenever a state would overflow; the decoder
+// consumes those words forward and must land both states back on exactly
+// L after the last symbol — together with the frequency-table sum check
+// and the trailing-bytes check this makes corrupt streams loudly fail
+// rather than decode to garbage. Empty input encodes to empty output.
+//
+// Frequencies are normalized to the 4096 scale with every present symbol
+// kept >= 1 (a symbol that occurs must stay encodable); rounding drift
+// is settled on the most frequent symbol where it distorts the ratio
+// least. Division in the encoder hot loop is done via precomputed
+// reciprocals (multiply + shift), the standard rANS trick.
+#pragma once
+
+#include <cstddef>
+
+#include "util/byte_buffer.h"
+
+namespace threelc::blockcodec::rans {
+
+inline constexpr unsigned kProbBits = 12;
+inline constexpr std::uint32_t kProbScale = 1u << kProbBits;
+// Lower bound of the normalized state interval [L, 65536*L).
+inline constexpr std::uint32_t kStateLowerBound = 1u << 16;
+inline constexpr std::size_t kHeaderBytes = 256 * 2 + 4 + 4;
+
+// Append the encoded form of `raw` to `out`.
+void Encode(util::ByteSpan raw, util::ByteBuffer& out);
+
+// Append exactly `raw_size` decoded bytes to `out`, consuming all of
+// `encoded`. Throws std::runtime_error / std::out_of_range on truncated
+// input, a frequency table that does not sum to kProbScale, a final
+// state != L, or trailing bytes.
+void Decode(util::ByteSpan encoded, std::size_t raw_size,
+            util::ByteBuffer& out);
+
+}  // namespace threelc::blockcodec::rans

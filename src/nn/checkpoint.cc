@@ -2,10 +2,15 @@
 
 #include <cstring>
 #include <fstream>
+#include <istream>
+#include <iterator>
+#include <sstream>
 #include <stdexcept>
 #include <vector>
 
+#include "blockcodec/block_codec.h"
 #include "util/atomic_file.h"
+#include "util/byte_buffer.h"
 #include "util/crc32.h"
 
 namespace threelc::nn {
@@ -21,6 +26,22 @@ constexpr std::uint32_t kVersionTrainState = 3;  // + training-state section
 // CRC-protected like a v2+ model checkpoint.
 constexpr char kServerMagic[4] = {'3', 'L', 'C', 'S'};
 constexpr std::uint32_t kServerVersion = 1;
+
+// Compressed container ("3LCZ"): an outer wrapper holding a complete
+// model or server checkpoint blob run through a blockcodec. Layout:
+//   magic "3LCZ" | u32 container_version | u8 codec_id | u64 raw_size
+//   | u32 raw_crc32c | u32 comp_size | comp bytes (nothing after)
+// Loaders accept either form: a file starting with "3LCZ" is unwrapped
+// (strictly: comp_size must consume the rest of the file, the decoded
+// length must equal raw_size, and the decoded bytes must match
+// raw_crc32c) before the inner magic is even looked at; any other file
+// is parsed as a bare checkpoint, so pre-container files keep loading.
+constexpr char kContainerMagic[4] = {'3', 'L', 'C', 'Z'};
+constexpr std::uint32_t kContainerVersion = 1;
+constexpr std::size_t kContainerHeaderBytes = 4 + 4 + 1 + 8 + 4 + 4;
+// Defense against a corrupt raw_size committing us to a huge allocation;
+// far above any checkpoint this repo writes.
+constexpr std::uint64_t kMaxContainerRawBytes = 1ull << 32;
 
 struct NamedTensor {
   std::string name;
@@ -38,17 +59,19 @@ std::vector<NamedTensor> CollectTensors(Model& model) {
 }
 
 // Stream wrappers that fold every byte written/read after the version
-// field into a running CRC32C, so the trailer covers the whole body
-// without buffering the checkpoint in memory. Writes go through an
+// field into a running CRC32C, so the trailer covers the whole body.
+// Writes accumulate the complete blob in memory (checkpoints here are
+// small — a model plus bounded state) so the container path can compress
+// it as one block; the blob then goes to disk through an
 // AtomicFileWriter (temp + fsync + rename), so an exception or crash at
 // any point leaves the previous checkpoint intact.
 struct CrcWriter {
-  util::AtomicFileWriter& out;
+  util::ByteBuffer& out;
   std::uint32_t crc = 0;
 
   void Write(const void* data, std::size_t n) {
     if (n == 0) return;
-    out.Write(data, n);
+    out.Append(data, n);
     crc = util::Crc32cExtend(crc, data, n);
   }
   template <typename T>
@@ -58,7 +81,7 @@ struct CrcWriter {
 };
 
 struct CrcReader {
-  std::ifstream& in;
+  std::istream& in;
   std::uint32_t crc = 0;
 
   void Read(void* data, std::size_t n) {
@@ -76,11 +99,117 @@ struct CrcReader {
 };
 
 template <typename T>
-T ReadScalarRaw(std::ifstream& in) {
+T ReadScalarRaw(std::istream& in) {
   T v;
   in.read(reinterpret_cast<char*>(&v), sizeof(T));
   if (!in) throw std::runtime_error("checkpoint: unexpected end of file");
   return v;
+}
+
+// Atomically write a finished checkpoint blob, optionally wrapped in the
+// compressed container. `store` (or a block the codec cannot shrink —
+// the skip-if-incompressible escape) writes the bare blob, byte-for-byte
+// what pre-container versions wrote.
+void WriteBlob(const std::string& path, const util::ByteBuffer& blob,
+               const std::string& block_codec, const char* what) {
+  const blockcodec::BlockCodec* codec = blockcodec::Find(block_codec);
+  if (codec == nullptr) {
+    throw std::runtime_error(std::string(what) + ": unknown block codec '" +
+                             block_codec + "' (known: " +
+                             blockcodec::KnownNames() + ")");
+  }
+  util::AtomicFileWriter out(path);
+  bool wrapped = false;
+  if (codec->id() != blockcodec::kStoreId) {
+    util::ByteBuffer encoded;
+    codec->Encode(blob.span(), encoded);
+    if (encoded.size() + kContainerHeaderBytes < blob.size()) {
+      util::ByteBuffer header;
+      header.Append(kContainerMagic, sizeof(kContainerMagic));
+      header.AppendU32(kContainerVersion);
+      header.AppendU8(codec->id());
+      header.AppendU64(static_cast<std::uint64_t>(blob.size()));
+      header.AppendU32(util::Crc32c(blob.data(), blob.size()));
+      header.AppendU32(static_cast<std::uint32_t>(encoded.size()));
+      out.Write(header.data(), header.size());
+      out.Write(encoded.data(), encoded.size());
+      wrapped = true;
+    }
+  }
+  if (!wrapped) out.Write(blob.data(), blob.size());
+  out.Commit();
+}
+
+// Read the whole file, unwrapping (and strictly validating) the "3LCZ"
+// container when present. Returns the bare checkpoint bytes.
+std::vector<std::uint8_t> ReadCheckpointBytes(const std::string& path,
+                                              const char* what) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error(std::string(what) + ": cannot open " + path);
+  }
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  if (bytes.size() < sizeof(kContainerMagic) ||
+      std::memcmp(bytes.data(), kContainerMagic,
+                  sizeof(kContainerMagic)) != 0) {
+    return bytes;  // bare (pre-container) checkpoint
+  }
+  try {
+    util::ByteReader reader(util::ByteSpan(bytes.data(), bytes.size()));
+    reader.ReadSpan(sizeof(kContainerMagic));
+    const std::uint32_t version = reader.ReadU32();
+    if (version != kContainerVersion) {
+      throw std::runtime_error("unsupported container version " +
+                               std::to_string(version));
+    }
+    const std::uint8_t codec_id = reader.ReadU8();
+    const blockcodec::BlockCodec* codec = blockcodec::FindById(codec_id);
+    if (codec == nullptr) {
+      throw std::runtime_error("unknown block codec id " +
+                               std::to_string(static_cast<int>(codec_id)));
+    }
+    const std::uint64_t raw_size = reader.ReadU64();
+    if (raw_size > kMaxContainerRawBytes) {
+      throw std::runtime_error("declared raw size " +
+                               std::to_string(raw_size) + " is implausible");
+    }
+    const std::uint32_t raw_crc = reader.ReadU32();
+    const std::uint32_t comp_size = reader.ReadU32();
+    util::ByteSpan comp = reader.ReadSpan(comp_size);
+    if (!reader.AtEnd()) {
+      throw std::runtime_error("trailing bytes after compressed payload");
+    }
+    util::ByteBuffer decoded;
+    codec->Decode(comp, static_cast<std::size_t>(raw_size), decoded);
+    // Cross-check both invariants independently: the decoded length must
+    // equal the declared raw size AND the decoded bytes must match the
+    // stored CRC. Either failing means the container lies about its
+    // contents — reject rather than hand corrupt bytes to the parser.
+    if (decoded.size() != raw_size) {
+      throw std::runtime_error("decoded length " +
+                               std::to_string(decoded.size()) +
+                               " != declared raw size " +
+                               std::to_string(raw_size));
+    }
+    if (util::Crc32c(decoded.data(), decoded.size()) != raw_crc) {
+      throw std::runtime_error("decoded bytes fail the container CRC32C");
+    }
+    return std::vector<std::uint8_t>(decoded.data(),
+                                     decoded.data() + decoded.size());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string(what) +
+                             ": bad compressed container in " + path + ": " +
+                             e.what());
+  }
+}
+
+// In-memory istream over the (possibly unwrapped) checkpoint bytes, so
+// one parser serves bare files and container contents alike.
+std::istringstream MemoryStream(const std::vector<std::uint8_t>& bytes) {
+  return std::istringstream(
+      std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()),
+      std::ios::binary);
 }
 
 void WriteTensorSection(CrcWriter& body, Model& model) {
@@ -150,8 +279,9 @@ void CheckVersion(std::uint32_t version, const std::string& path) {
 // verifies the CRC trailer for version >= 2.
 void LoadImpl(Model& model, TrainState* state, bool require_state,
               const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  const std::vector<std::uint8_t> bytes =
+      ReadCheckpointBytes(path, "checkpoint");
+  std::istringstream in = MemoryStream(bytes);
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
@@ -230,30 +360,32 @@ void ReadServerStateSection(CrcReader& body, ServerState* state) {
 
 }  // namespace
 
-void SaveCheckpoint(Model& model, const std::string& path, bool checksum) {
-  util::AtomicFileWriter out(path);
-  out.Write(kMagic, sizeof(kMagic));
+void SaveCheckpoint(Model& model, const std::string& path, bool checksum,
+                    const std::string& block_codec) {
+  util::ByteBuffer blob;
+  blob.Append(kMagic, sizeof(kMagic));
   const std::uint32_t version = checksum ? kVersionChecksum : kVersionPlain;
-  out.Write(&version, sizeof(version));
+  blob.Append(&version, sizeof(version));
 
-  CrcWriter body{out};
+  CrcWriter body{blob};
   WriteTensorSection(body, model);
-  if (checksum) out.Write(&body.crc, sizeof(body.crc));
-  out.Commit();
+  if (checksum) blob.Append(&body.crc, sizeof(body.crc));
+  WriteBlob(path, blob, block_codec, "checkpoint");
 }
 
 void SaveCheckpointWithState(Model& model, const TrainState& state,
-                             const std::string& path) {
-  util::AtomicFileWriter out(path);
-  out.Write(kMagic, sizeof(kMagic));
+                             const std::string& path,
+                             const std::string& block_codec) {
+  util::ByteBuffer blob;
+  blob.Append(kMagic, sizeof(kMagic));
   const std::uint32_t version = kVersionTrainState;
-  out.Write(&version, sizeof(version));
+  blob.Append(&version, sizeof(version));
 
-  CrcWriter body{out};
+  CrcWriter body{blob};
   WriteTensorSection(body, model);
   WriteStateSection(body, state);
-  out.Write(&body.crc, sizeof(body.crc));
-  out.Commit();
+  blob.Append(&body.crc, sizeof(body.crc));
+  WriteBlob(path, blob, block_codec, "checkpoint");
 }
 
 void LoadCheckpoint(Model& model, const std::string& path) {
@@ -266,23 +398,25 @@ void LoadCheckpointState(Model& model, TrainState* state,
 }
 
 void SaveServerCheckpoint(Model& model, const ServerState& state,
-                          const std::string& path) {
-  util::AtomicFileWriter out(path);
-  out.Write(kServerMagic, sizeof(kServerMagic));
+                          const std::string& path,
+                          const std::string& block_codec) {
+  util::ByteBuffer blob;
+  blob.Append(kServerMagic, sizeof(kServerMagic));
   const std::uint32_t version = kServerVersion;
-  out.Write(&version, sizeof(version));
+  blob.Append(&version, sizeof(version));
 
-  CrcWriter body{out};
+  CrcWriter body{blob};
   WriteTensorSection(body, model);
   WriteServerStateSection(body, state);
-  out.Write(&body.crc, sizeof(body.crc));
-  out.Commit();
+  blob.Append(&body.crc, sizeof(body.crc));
+  WriteBlob(path, blob, block_codec, "server checkpoint");
 }
 
 void LoadServerCheckpoint(Model& model, ServerState* state,
                           const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("server checkpoint: cannot open " + path);
+  const std::vector<std::uint8_t> bytes =
+      ReadCheckpointBytes(path, "server checkpoint");
+  std::istringstream in = MemoryStream(bytes);
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kServerMagic, sizeof(kServerMagic)) != 0) {

@@ -32,6 +32,19 @@
 // the membership/greeted tables, and the verbatim pull-replay ring. See
 // ServerState below.
 //
+// Compressed container (optional): when a save is handed a block codec
+// other than "store" (blockcodec/block_codec.h), the complete "3LCK" /
+// "3LCS" byte stream above becomes the payload of an outer container:
+//   magic "3LCZ" | u32 container_version (1) | u8 codec_id
+//   | u64 raw_size | u32 raw_crc32c | u32 comp_size | comp bytes
+// Loaders sniff the magic: "3LCZ" files are decoded first (rejecting
+// unknown codec ids, truncation, trailing bytes, and any disagreement
+// between raw_size/raw_crc32c and the decoded bytes — size and CRC are
+// cross-checked independently), then parsed as a bare checkpoint; files
+// without the container magic parse as before, so every pre-container
+// checkpoint stays loadable. A save whose compressed payload would not
+// be smaller than the bare stream skips the container entirely.
+//
 // All save paths write atomically (util::AtomicFileWriter: temp sibling +
 // fsync + rename), so a crash mid-write leaves either the previous
 // complete checkpoint or the new one — never a torn file.
@@ -57,10 +70,13 @@ struct TrainState {
 
 // Writes all parameters and buffers of `model`. When `checksum` is true
 // (the default) the file carries a CRC32C trailer (format version 2);
-// false writes the legacy version-1 layout. Throws std::runtime_error on
-// I/O failure.
+// false writes the legacy version-1 layout. `block_codec` names the
+// lossless block codec wrapping the file in the "3LCZ" container above
+// ("store", the default, writes the bare stream). Throws
+// std::runtime_error on I/O failure or an unknown codec name.
 void SaveCheckpoint(Model& model, const std::string& path,
-                    bool checksum = true);
+                    bool checksum = true,
+                    const std::string& block_codec = "store");
 
 // Restores a checkpoint written by SaveCheckpoint into an architecturally
 // identical model, verifying the CRC32C trailer when present. Throws
@@ -70,9 +86,11 @@ void SaveCheckpoint(Model& model, const std::string& path,
 void LoadCheckpoint(Model& model, const std::string& path);
 
 // Writes a version-3 checkpoint: model tensors plus `state`, always with
-// the CRC32C trailer. Throws std::runtime_error on I/O failure.
+// the CRC32C trailer; `block_codec` as in SaveCheckpoint. Throws
+// std::runtime_error on I/O failure or an unknown codec name.
 void SaveCheckpointWithState(Model& model, const TrainState& state,
-                             const std::string& path);
+                             const std::string& path,
+                             const std::string& block_codec = "store");
 
 // Restores a version-3 checkpoint into `model` and `*state`. Throws
 // std::runtime_error if the file lacks a training-state section (version
@@ -108,10 +126,11 @@ struct ServerState {
 };
 
 // Writes a server checkpoint ("3LCS", version 1, CRC32C trailer) —
-// atomically, like every save here. Throws std::runtime_error on I/O
-// failure.
+// atomically, like every save here; `block_codec` as in SaveCheckpoint.
+// Throws std::runtime_error on I/O failure or an unknown codec name.
 void SaveServerCheckpoint(Model& model, const ServerState& state,
-                          const std::string& path);
+                          const std::string& path,
+                          const std::string& block_codec = "store");
 
 // Restores a server checkpoint into `model` and `*state`. Throws
 // std::runtime_error on I/O failure, bad magic/version, truncation, CRC

@@ -68,6 +68,8 @@ void ClusterView::Ingest(int worker_id, const WorkerStepRecord& record) {
   ++w.records;
   w.bytes_out += record.bytes_out;
   w.bytes_in += record.bytes_in;
+  w.stage1_bytes_out += record.stage1_bytes_out;
+  w.stage1_bytes_in += record.stage1_bytes_in;
   w.ea_l2 = record.ea_l2;
   w.rejoins = record.rejoins;
   std::uint64_t values[kPhases];
@@ -157,6 +159,10 @@ void ClusterView::AppendWorkerJson(std::string& out, int id,
   AppendJsonNumber(out, w.bytes_out);
   out += ",\"bytes_in\":";
   AppendJsonNumber(out, w.bytes_in);
+  out += ",\"stage1_bytes_out\":";
+  AppendJsonNumber(out, w.stage1_bytes_out);
+  out += ",\"stage1_bytes_in\":";
+  AppendJsonNumber(out, w.stage1_bytes_in);
   out += ",\"ea_l2\":";
   AppendJsonNumber(out, w.ea_l2);
   out += ",\"rejoins\":";
@@ -206,6 +212,7 @@ std::string ClusterView::ToJson() const {
   out += "{\"workers\":{";
   bool first = true;
   std::uint64_t fleet_records = 0, fleet_out = 0, fleet_in = 0;
+  std::uint64_t fleet_stage1_out = 0, fleet_stage1_in = 0;
   PhaseHist fleet[kPhases];
   for (const auto& [id, w] : workers_) {
     if (!first) out += ",";
@@ -214,6 +221,8 @@ std::string ClusterView::ToJson() const {
     fleet_records += w.records;
     fleet_out += w.bytes_out;
     fleet_in += w.bytes_in;
+    fleet_stage1_out += w.stage1_bytes_out;
+    fleet_stage1_in += w.stage1_bytes_in;
     for (int p = 0; p < kPhases; ++p) w.phases[p].MergeInto(fleet[p]);
   }
   out += "},\"fleet\":{\"workers\":";
@@ -224,26 +233,35 @@ std::string ClusterView::ToJson() const {
   AppendJsonNumber(out, fleet_out);
   out += ",\"bytes_in\":";
   AppendJsonNumber(out, fleet_in);
+  out += ",\"stage1_bytes_out\":";
+  AppendJsonNumber(out, fleet_stage1_out);
+  out += ",\"stage1_bytes_in\":";
+  AppendJsonNumber(out, fleet_stage1_in);
   out += ",\"raw_push_bytes_per_step\":";
   AppendJsonNumber(out, raw_push_bytes_per_step_);
   out += ",\"raw_pull_bytes_per_step\":";
   AppendJsonNumber(out, raw_pull_bytes_per_step_);
-  // Ratio = uncompressed bytes the observed records represent / encoded
-  // bytes actually moved, per direction. > 1 means compression won.
-  const double push_ratio =
-      fleet_out > 0 ? static_cast<double>(raw_push_bytes_per_step_) *
-                          static_cast<double>(fleet_records) /
-                          static_cast<double>(fleet_out)
-                    : 0.0;
-  const double pull_ratio =
-      fleet_in > 0 ? static_cast<double>(raw_pull_bytes_per_step_) *
+  // Ratio = uncompressed bytes the observed records represent / bytes
+  // actually moved, per direction. > 1 means compression won. The plain
+  // ratio is end-to-end (wire bytes, after any second-stage block codec);
+  // the _stage1 variant stops after the tensor codec, so the difference
+  // between them is exactly what the block codec bought.
+  const auto ratio = [fleet_records](std::uint64_t raw, std::uint64_t got) {
+    return got > 0 ? static_cast<double>(raw) *
                          static_cast<double>(fleet_records) /
-                         static_cast<double>(fleet_in)
+                         static_cast<double>(got)
                    : 0.0;
+  };
+  const double push_ratio = ratio(raw_push_bytes_per_step_, fleet_out);
+  const double pull_ratio = ratio(raw_pull_bytes_per_step_, fleet_in);
   out += ",\"compression_ratio_push\":";
   AppendJsonNumber(out, push_ratio);
   out += ",\"compression_ratio_pull\":";
   AppendJsonNumber(out, pull_ratio);
+  out += ",\"compression_ratio_push_stage1\":";
+  AppendJsonNumber(out, ratio(raw_push_bytes_per_step_, fleet_stage1_out));
+  out += ",\"compression_ratio_pull_stage1\":";
+  AppendJsonNumber(out, ratio(raw_pull_bytes_per_step_, fleet_stage1_in));
   out += ",\"phases\":{";
   for (int p = 0; p < kPhases; ++p) {
     if (p > 0) out += ",";
@@ -310,6 +328,19 @@ void ClusterView::WritePrometheus(std::ostream& out,
             "\",direction=\"out\"} " + std::to_string(w.bytes_out) + "\n";
     text += base + "worker_bytes_total{worker=\"" + std::to_string(id) +
             "\",direction=\"in\"} " + std::to_string(w.bytes_in) + "\n";
+  }
+
+  text += "# HELP " + base +
+          "worker_stage1_bytes_total First-stage (pre-block-codec) payload "
+          "bytes per worker\n";
+  text += "# TYPE " + base + "worker_stage1_bytes_total counter\n";
+  for (const auto& [id, w] : workers_) {
+    text += base + "worker_stage1_bytes_total{worker=\"" +
+            std::to_string(id) + "\",direction=\"out\"} " +
+            std::to_string(w.stage1_bytes_out) + "\n";
+    text += base + "worker_stage1_bytes_total{worker=\"" +
+            std::to_string(id) + "\",direction=\"in\"} " +
+            std::to_string(w.stage1_bytes_in) + "\n";
   }
 
   text += "# HELP " + base +

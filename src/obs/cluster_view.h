@@ -53,6 +53,10 @@ struct WorkerStepRecord {
   std::uint64_t decode_ns = 0;
   std::uint64_t bytes_out = 0;
   std::uint64_t bytes_in = 0;
+  // First-stage (pre-block-codec) payload bytes; equal to bytes_out/in
+  // when no second-stage block codec is negotiated.
+  std::uint64_t stage1_bytes_out = 0;
+  std::uint64_t stage1_bytes_in = 0;
   double ea_l2 = 0.0;
   std::uint32_t rejoins = 0;
 };
@@ -116,6 +120,8 @@ class ClusterView {
     std::uint64_t records = 0;
     std::uint64_t bytes_out = 0;
     std::uint64_t bytes_in = 0;
+    std::uint64_t stage1_bytes_out = 0;
+    std::uint64_t stage1_bytes_in = 0;
     double ea_l2 = 0.0;       // latest
     std::uint32_t rejoins = 0;  // latest
     PhaseHist phases[kPhases];

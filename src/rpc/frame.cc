@@ -65,6 +65,7 @@ void EncodeHandshake(const HandshakePayload& payload, bool rejoin,
   out.AppendU64(payload.plan_hash);
   out.AppendU32(static_cast<std::uint32_t>(payload.codec.size()));
   out.Append(payload.codec.data(), payload.codec.size());
+  out.AppendU8(payload.block_codec);
   if (rejoin) out.AppendU64(payload.next_step);
   out.AppendU64(payload.epoch);
 }
@@ -78,6 +79,7 @@ HandshakePayload DecodeHandshake(util::ByteSpan bytes, bool rejoin) {
   util::ByteSpan codec = in.ReadSpan(codec_len);
   payload.codec.assign(reinterpret_cast<const char*>(codec.data()),
                        codec.size());
+  payload.block_codec = in.ReadU8();
   if (rejoin) payload.next_step = in.ReadU64();
   payload.epoch = in.ReadU64();
   if (!in.AtEnd()) {
@@ -91,6 +93,7 @@ void EncodeHandshakeAck(const HandshakeAckPayload& payload, bool rejoin,
   out.AppendU32(payload.num_workers);
   out.AppendU64(payload.total_steps);
   out.AppendU64(payload.plan_hash);
+  out.AppendU8(payload.block_codec);
   if (rejoin) out.AppendU64(payload.collect_step);
   out.AppendU64(payload.epoch);
 }
@@ -101,6 +104,7 @@ HandshakeAckPayload DecodeHandshakeAck(util::ByteSpan bytes, bool rejoin) {
   payload.num_workers = in.ReadU32();
   payload.total_steps = in.ReadU64();
   payload.plan_hash = in.ReadU64();
+  payload.block_codec = in.ReadU8();
   if (rejoin) payload.collect_step = in.ReadU64();
   payload.epoch = in.ReadU64();
   if (!in.AtEnd()) {
@@ -110,8 +114,9 @@ HandshakeAckPayload DecodeHandshakeAck(util::ByteSpan bytes, bool rejoin) {
 }
 
 void EncodeTelemetry(const TelemetryPayload& payload, util::ByteBuffer& out) {
-  // u32 envelope length, then the known fields. 7 u64 + 1 f64 + 1 u32.
-  constexpr std::uint32_t kRecordBytes = 7 * 8 + 8 + 4;
+  // u32 envelope length, then the known fields. 7 u64 + 1 f64 + 1 u32,
+  // plus the 2 u64 stage-1 byte counters appended in protocol v5.
+  constexpr std::uint32_t kRecordBytes = 7 * 8 + 8 + 4 + 2 * 8;
   out.AppendU32(kRecordBytes);
   out.AppendU64(payload.forward_backward_ns);
   out.AppendU64(payload.encode_ns);
@@ -122,6 +127,8 @@ void EncodeTelemetry(const TelemetryPayload& payload, util::ByteBuffer& out) {
   out.AppendU64(payload.bytes_in);
   out.AppendF64(payload.ea_l2);
   out.AppendU32(payload.rejoins);
+  out.AppendU64(payload.stage1_bytes_out);
+  out.AppendU64(payload.stage1_bytes_in);
 }
 
 TelemetryPayload DecodeTelemetry(util::ByteSpan bytes) {
@@ -142,6 +149,8 @@ TelemetryPayload DecodeTelemetry(util::ByteSpan bytes) {
   payload.bytes_in = in.ReadU64();
   payload.ea_l2 = in.ReadF64();
   payload.rejoins = in.ReadU32();
+  payload.stage1_bytes_out = in.ReadU64();
+  payload.stage1_bytes_in = in.ReadU64();
   // Bytes left inside the envelope are fields from a newer writer: skip.
   return payload;
 }

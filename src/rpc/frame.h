@@ -43,9 +43,12 @@ constexpr std::uint32_t kFrameMagic = 0x52434C33u;  // "3LCR"
 // acks), so a worker reconnecting after a server crash detects the
 // restarted incarnation — and a stale server detects a worker from the
 // future. Version 4 added the TELEMETRY frame, a per-step worker metric
-// record the server's obs::ClusterView aggregates. Older peers are
+// record the server's obs::ClusterView aggregates. Version 5 added the
+// negotiated block-codec id (blockcodec/) to every handshake payload —
+// PUSH/PULL payloads ride in a block envelope when a non-store codec was
+// agreed — and first-stage byte counters to TELEMETRY. Older peers are
 // rejected at the parser (kBadVersion) before any payload is interpreted.
-constexpr std::uint8_t kProtocolVersion = 4;
+constexpr std::uint8_t kProtocolVersion = 5;
 constexpr std::size_t kFrameHeaderBytes = 28;
 // Largest payload the parser will accept. Generously above any encoded
 // tensor in this repo; primarily a defense against a corrupted length
@@ -104,6 +107,9 @@ struct HandshakePayload {
   std::uint32_t worker_id = 0;
   std::uint64_t plan_hash = 0;
   std::string codec;
+  // Second-stage block codec id (blockcodec::k*Id); both sides must agree
+  // or the server Fails the handshake. 0 (store) == v4 byte behavior.
+  std::uint8_t block_codec = 0;
   std::uint64_t epoch = 0;
   std::uint64_t next_step = 0;  // REJOIN only
 };
@@ -115,6 +121,7 @@ struct HandshakeAckPayload {
   std::uint32_t num_workers = 0;
   std::uint64_t total_steps = 0;
   std::uint64_t plan_hash = 0;
+  std::uint8_t block_codec = 0;  // the server's negotiated block codec id
   std::uint64_t epoch = 0;
   std::uint64_t collect_step = 0;  // REJOIN_ACK only
 };
@@ -141,10 +148,15 @@ struct TelemetryPayload {
   std::uint64_t push_ns = 0;              // send + flush of PUSH/STEP_STATS
   std::uint64_t pull_wait_ns = 0;         // blocking wait for all pulls
   std::uint64_t decode_ns = 0;            // ApplyPull over all tensors
-  std::uint64_t bytes_out = 0;            // encoded push payload bytes
-  std::uint64_t bytes_in = 0;             // encoded pull payload bytes
+  std::uint64_t bytes_out = 0;            // wire push payload bytes
+  std::uint64_t bytes_in = 0;             // wire pull payload bytes
   double ea_l2 = 0.0;                     // error-accumulation buffer L2
   std::uint32_t rejoins = 0;              // reconnects so far this process
+  // First-stage (pre-block-codec) payload bytes; equal to bytes_out/in
+  // when the negotiated block codec is store. Added in protocol v5 so the
+  // server can report stage-1 and end-to-end compression separately.
+  std::uint64_t stage1_bytes_out = 0;
+  std::uint64_t stage1_bytes_in = 0;
 };
 
 void EncodeTelemetry(const TelemetryPayload& payload, util::ByteBuffer& out);

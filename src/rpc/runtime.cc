@@ -5,6 +5,7 @@
 #include <exception>
 #include <sstream>
 
+#include "blockcodec/block_codec.h"
 #include "nn/checkpoint.h"
 #include "nn/lr_schedule.h"
 #include "rpc/fault.h"
@@ -91,15 +92,22 @@ RpcServer::RpcServer(RpcServerConfig config, ps::ParameterServer& ps,
       ps_(&ps),
       codec_name_(std::move(codec_name)),
       plan_hash_(PlanHash(ps.plan(), codec_name_)),
+      block_codec_(blockcodec::Find(config_.block_codec)),
       metrics_(config_.telemetry != nullptr
                    ? TransportMetrics::RegisterIn(config_.telemetry->metrics())
                    : TransportMetrics{}),
       tcp_(&metrics_) {
   THREELC_CHECK_MSG(config_.num_workers >= 1,
                     "num_workers must be positive: " << config_.num_workers);
+  THREELC_CHECK_MSG(block_codec_ != nullptr,
+                    "unknown block codec '" << config_.block_codec
+                                            << "' (known: "
+                                            << blockcodec::KnownNames()
+                                            << ")");
   const auto n = static_cast<std::size_t>(config_.num_workers);
   const std::size_t num_tensors = ps_->plan().size();
   push_payloads_.assign(n, std::vector<util::ByteBuffer>(num_tensors));
+  push_wire_bytes_.assign(n, 0);
   push_seen_.assign(n, std::vector<bool>(num_tensors, false));
   step_losses_.assign(n, 0.0);
   stats_seen_.assign(n, false);
@@ -245,6 +253,7 @@ void RpcServer::MarkWorkerDead(std::size_t w, const std::string& reason) {
   if (current_step_ >= 0 && current_step_ < config_.total_steps) {
     std::fill(push_seen_[w].begin(), push_seen_[w].end(), false);
     stats_seen_[w] = false;
+    push_wire_bytes_[w] = 0;
     barrier_arrival_ms_[w] = -1.0;  // the rejoiner re-arrives from scratch
   }
   RecomputePending();
@@ -386,6 +395,14 @@ void RpcServer::HandleHello(Connection& conn, const Frame& frame) {
     Fail(oss.str());
     return;
   }
+  if (hello.block_codec != block_codec_->id()) {
+    Fail("handshake block-codec mismatch from worker " +
+         std::to_string(worker_id) + ": worker sent id " +
+         std::to_string(static_cast<int>(hello.block_codec)) +
+         ", server runs '" + std::string(block_codec_->name()) + "' (id " +
+         std::to_string(static_cast<int>(block_codec_->id())) + ")");
+    return;
+  }
   peer.worker_id = static_cast<int>(worker_id);
   worker_conns_[worker_id] = &conn;
   member_state_[worker_id] = Member::kActive;
@@ -396,6 +413,7 @@ void RpcServer::HandleHello(Connection& conn, const Frame& frame) {
   ack_payload.num_workers = static_cast<std::uint32_t>(config_.num_workers);
   ack_payload.total_steps = static_cast<std::uint64_t>(config_.total_steps);
   ack_payload.plan_hash = plan_hash_;
+  ack_payload.block_codec = block_codec_->id();
   ack_payload.epoch = epoch_;
   util::ByteBuffer ack;
   EncodeHandshakeAck(ack_payload, /*rejoin=*/false, ack);
@@ -427,6 +445,14 @@ void RpcServer::HandleRejoin(Connection& conn, const Frame& frame) {
         << plan_hash_ << std::dec << ", codec '" << rejoin.codec << "' vs '"
         << codec_name_ << "'";
     Fail(oss.str());
+    return;
+  }
+  if (rejoin.block_codec != block_codec_->id()) {
+    Fail("REJOIN block-codec mismatch from worker " +
+         std::to_string(worker_id) + ": worker sent id " +
+         std::to_string(static_cast<int>(rejoin.block_codec)) +
+         ", server runs '" + std::string(block_codec_->name()) + "' (id " +
+         std::to_string(static_cast<int>(block_codec_->id())) + ")");
     return;
   }
   // A worker can only ever have seen an epoch this incarnation knows about
@@ -502,6 +528,7 @@ void RpcServer::HandleRejoin(Connection& conn, const Frame& frame) {
   ack_payload.num_workers = static_cast<std::uint32_t>(config_.num_workers);
   ack_payload.total_steps = static_cast<std::uint64_t>(config_.total_steps);
   ack_payload.plan_hash = plan_hash_;
+  ack_payload.block_codec = block_codec_->id();
   ack_payload.epoch = epoch_;
   ack_payload.collect_step = static_cast<std::uint64_t>(current_step_);
   util::ByteBuffer ack;
@@ -538,6 +565,7 @@ void RpcServer::HandleRejoin(Connection& conn, const Frame& frame) {
   if (current_step_ >= 0 && current_step_ < config_.total_steps) {
     std::fill(push_seen_[w].begin(), push_seen_[w].end(), false);
     stats_seen_[w] = false;
+    push_wire_bytes_[w] = 0;
     barrier_arrival_ms_[w] = -1.0;
   }
   RecomputePending();
@@ -603,7 +631,27 @@ void RpcServer::OnFrame(Connection& conn, Frame&& frame) {
                " tensor " + std::to_string(h.tensor));
           return;
         }
-        push_payloads_[w][h.tensor] = std::move(frame.payload);
+        util::ByteBuffer payload = std::move(frame.payload);
+        push_wire_bytes_[w] += payload.size();
+        if (block_codec_->id() != blockcodec::kStoreId) {
+          // Unwrap the negotiated block envelope on arrival, so the step
+          // loop's decode_aggregate phase sees exactly the stage-1 bytes
+          // it saw in protocol v4. A malformed envelope lands in the
+          // enclosing catch and Fails the run cleanly.
+          obs::ScopedStage stage(&obs::StageProfiler::Global(),
+                                 "block_decode");
+          util::ByteBuffer decoded;
+          blockcodec::DecodeBlock(payload.span(), kMaxPayloadBytes, decoded);
+          if (config_.telemetry != nullptr) {
+            auto& m = config_.telemetry->metrics();
+            m.counter("block/decode_bytes_in")
+                ->Add(static_cast<double>(payload.size()));
+            m.counter("block/decode_bytes_out")
+                ->Add(static_cast<double>(decoded.size()));
+          }
+          payload = std::move(decoded);
+        }
+        push_payloads_[w][h.tensor] = std::move(payload);
         push_seen_[w][h.tensor] = true;
         --frames_pending_;
         StampBarrierArrival(w);
@@ -641,6 +689,8 @@ void RpcServer::OnFrame(Connection& conn, Frame&& frame) {
             rec.decode_ns = p.decode_ns;
             rec.bytes_out = p.bytes_out;
             rec.bytes_in = p.bytes_in;
+            rec.stage1_bytes_out = p.stage1_bytes_out;
+            rec.stage1_bytes_in = p.stage1_bytes_in;
             rec.ea_l2 = p.ea_l2;
             rec.rejoins = p.rejoins;
             view->Ingest(static_cast<int>(w), rec);
@@ -713,6 +763,7 @@ void RpcServer::BeginCollect(std::int64_t step) {
   for (std::size_t w = 0; w < push_seen_.size(); ++w) {
     std::fill(push_seen_[w].begin(), push_seen_[w].end(), false);
     stats_seen_[w] = false;
+    push_wire_bytes_[w] = 0;
   }
   std::fill(barrier_arrival_ms_.begin(), barrier_arrival_ms_.end(), -1.0);
   collect_timer_.Reset();
@@ -799,7 +850,14 @@ bool RpcServer::RunStep(std::int64_t step, float lr) {
   // bitwise identical to the in-process one.
   util::WallTimer decode_timer;
   util::CpuTimer decode_cpu;
+  // Stage-1 bytes (what the tensor codec produced; the envelope was
+  // already stripped at frame arrival) vs wire bytes (what actually
+  // crossed the socket). Equal when the block codec is store.
   std::size_t push_bytes = 0;
+  std::size_t push_wire_bytes = 0;
+  for (std::size_t w : contributors) {
+    push_wire_bytes += static_cast<std::size_t>(push_wire_bytes_[w]);
+  }
   ps_->BeginStep();
   {
     obs::ScopedSpan span(tracer, "rpc/decode_aggregate", 0, step);
@@ -842,7 +900,9 @@ bool RpcServer::RunStep(std::int64_t step, float lr) {
   // are also retained in the replay ring so a rejoiner can be caught up.
   util::WallTimer encode_timer;
   util::CpuTimer encode_cpu;
+  std::size_t pull_stage1_bytes = 0;
   std::size_t pull_payload_bytes = 0;
+  std::size_t incompressible_frames = 0;
   const auto max_replay =
       static_cast<std::size_t>(std::max(config_.replay_steps, 0));
   {
@@ -852,6 +912,18 @@ bool RpcServer::RunStep(std::int64_t step, float lr) {
     std::vector<util::ByteBuffer> step_frames(num_tensors);
     for (std::size_t t = 0; t < num_tensors; ++t) {
       util::ByteSpan payload = ps_->PullPayload(t);
+      pull_stage1_bytes += payload.size();
+      util::ByteBuffer enveloped;
+      if (block_codec_->id() != blockcodec::kStoreId) {
+        // Second-stage compression of the shared pull bytes — paid once
+        // per step no matter how many workers receive the frame (and no
+        // extra cost on rejoin replay, which resends these bytes verbatim).
+        obs::ScopedStage block_stage(prof, "block_encode");
+        const std::uint8_t used =
+            blockcodec::EncodeBlock(*block_codec_, payload, enveloped);
+        if (used == blockcodec::kStoreId) ++incompressible_frames;
+        payload = enveloped.span();
+      }
       pull_payload_bytes += payload.size();
       EncodeFrame(MsgType::kPull, static_cast<std::uint64_t>(step),
                   static_cast<std::uint32_t>(t), payload, step_frames[t]);
@@ -920,15 +992,31 @@ bool RpcServer::RunStep(std::int64_t step, float lr) {
   const double mean_loss = loss_sum / static_cast<double>(num_contributors);
 
   if (obs::Telemetry* tel = config_.telemetry) {
+    // rpc/*_payload_bytes count what crossed the wire (post block codec);
+    // rpc/*_stage1_bytes what the tensor codec produced. Equal for store.
     tel->metrics().counter("rpc/push_payload_bytes")
-        ->Add(static_cast<double>(push_bytes));
+        ->Add(static_cast<double>(push_wire_bytes));
     tel->metrics().counter("rpc/pull_payload_bytes")
         ->Add(static_cast<double>(pull_payload_bytes * num_contributors));
+    tel->metrics().counter("rpc/push_stage1_bytes")
+        ->Add(static_cast<double>(push_bytes));
+    tel->metrics().counter("rpc/pull_stage1_bytes")
+        ->Add(static_cast<double>(pull_stage1_bytes * num_contributors));
+    if (block_codec_->id() != blockcodec::kStoreId) {
+      tel->metrics().counter("block/encode_bytes_in")
+          ->Add(static_cast<double>(pull_stage1_bytes));
+      tel->metrics().counter("block/encode_bytes_out")
+          ->Add(static_cast<double>(pull_payload_bytes));
+      if (incompressible_frames > 0) {
+        tel->metrics().counter("block/incompressible_frames")
+            ->Add(static_cast<double>(incompressible_frames));
+      }
+    }
     obs::StepTelemetry st;
     st.step = step;
     st.loss = mean_loss;
     st.lr = lr;
-    st.push_bytes = push_bytes;
+    st.push_bytes = push_wire_bytes;
     st.pull_bytes = pull_payload_bytes * num_contributors;
     st.push_values = static_cast<std::size_t>(ps_->plan().TotalElements()) *
                      num_contributors;
@@ -1053,7 +1141,7 @@ bool RpcServer::WriteCheckpoint(std::int64_t next_step, bool force) {
   }
   try {
     nn::SaveServerCheckpoint(ps_->global_model(), state,
-                             config_.checkpoint_path);
+                             config_.checkpoint_path, config_.block_codec);
   } catch (const std::exception& e) {
     // A server that promised durability but cannot deliver it must not keep
     // training: workers could advance past a state that can never be
@@ -1321,12 +1409,19 @@ RpcWorker::RpcWorker(RpcWorkerConfig config, ps::Worker& worker,
       worker_(&worker),
       plan_(&plan),
       codec_name_(std::move(codec_name)),
+      block_codec_(blockcodec::Find(config_.block_codec)),
       sampler_(std::move(sampler)),
       metrics_(config_.telemetry != nullptr
                    ? TransportMetrics::RegisterIn(config_.telemetry->metrics())
                    : TransportMetrics{}),
       next_apply_(config_.start_step),
-      computed_through_(config_.start_step - 1) {}
+      computed_through_(config_.start_step - 1) {
+  THREELC_CHECK_MSG(block_codec_ != nullptr,
+                    "unknown block codec '" << config_.block_codec
+                                            << "' (known: "
+                                            << blockcodec::KnownNames()
+                                            << ")");
+}
 
 bool RpcWorker::Fail(const std::string& message) {
   if (!failed_) {
@@ -1364,6 +1459,7 @@ bool RpcWorker::Handshake(Connection& conn) {
   payload.worker_id = static_cast<std::uint32_t>(config_.worker_id);
   payload.plan_hash = PlanHash(*plan_, codec_name_);
   payload.codec = codec_name_;
+  payload.block_codec = block_codec_->id();
   payload.epoch = 0;  // fresh worker: no incarnation seen yet
   util::ByteBuffer hello;
   EncodeHandshake(payload, /*rejoin=*/false, hello);
@@ -1395,6 +1491,13 @@ bool RpcWorker::Handshake(Connection& conn) {
     if (ackp.plan_hash != PlanHash(*plan_, codec_name_)) {
       return Fail("HELLO_ACK plan hash mismatch");
     }
+    if (ackp.block_codec != block_codec_->id()) {
+      return Fail("HELLO_ACK block-codec mismatch: server negotiated id " +
+                  std::to_string(static_cast<int>(ackp.block_codec)) +
+                  ", worker runs '" + std::string(block_codec_->name()) +
+                  "' (id " + std::to_string(static_cast<int>(
+                                 block_codec_->id())) + ")");
+    }
     if (ackp.epoch == 0) {
       return Fail("HELLO_ACK carries epoch 0 (every server incarnation is "
                   "numbered from 1)");
@@ -1412,6 +1515,7 @@ bool RpcWorker::RejoinHandshake(Connection& conn,
   payload.worker_id = static_cast<std::uint32_t>(config_.worker_id);
   payload.plan_hash = PlanHash(*plan_, codec_name_);
   payload.codec = codec_name_;
+  payload.block_codec = block_codec_->id();
   // 0 when this process restarted from a checkpoint and never completed a
   // handshake; the server accepts any epoch <= its own.
   payload.epoch = server_epoch_;
@@ -1444,6 +1548,13 @@ bool RpcWorker::RejoinHandshake(Connection& conn,
     total_steps_ = static_cast<std::int64_t>(ackp.total_steps);
     if (ackp.plan_hash != PlanHash(*plan_, codec_name_)) {
       return Fail("REJOIN_ACK plan hash mismatch");
+    }
+    if (ackp.block_codec != block_codec_->id()) {
+      return Fail("REJOIN_ACK block-codec mismatch: server negotiated id " +
+                  std::to_string(static_cast<int>(ackp.block_codec)) +
+                  ", worker runs '" + std::string(block_codec_->name()) +
+                  "' (id " + std::to_string(static_cast<int>(
+                                 block_codec_->id())) + ")");
     }
     if (ackp.epoch == 0) {
       return Fail("REJOIN_ACK carries epoch 0 (every server incarnation is "
@@ -1501,12 +1612,41 @@ void RpcWorker::ComputeStep(std::int64_t step) {
     compress::EncodeStats stats;
     worker_->EncodePush(t, pending_push_[t], &stats);
     if (stats.has_residual) ea_sq += stats.residual_l2 * stats.residual_l2;
+    pending_telemetry_.stage1_bytes_out += pending_push_[t].size();
+  }
+  if (block_codec_->id() != blockcodec::kStoreId) {
+    // Wrap each push in the negotiated block envelope. pending_push_
+    // keeps the wrapped bytes, so a resend after a reconnect ships the
+    // identical wire payload without re-running either codec stage.
+    obs::ScopedStage stage(&obs::StageProfiler::Global(), "block_encode");
+    for (std::size_t t = 0; t < num_tensors; ++t) {
+      util::ByteBuffer wrapped;
+      blockcodec::EncodeBlock(*block_codec_, pending_push_[t].span(),
+                              wrapped);
+      pending_push_[t] = std::move(wrapped);
+    }
+  }
+  for (std::size_t t = 0; t < num_tensors; ++t) {
     pending_telemetry_.bytes_out += pending_push_[t].size();
   }
   pending_telemetry_.encode_ns =
       static_cast<std::uint64_t>(encode_timer.ElapsedSeconds() * 1e9);
   pending_telemetry_.ea_l2 = std::sqrt(ea_sq);
   computed_through_ = step;
+}
+
+bool RpcWorker::UnwrapPull(std::size_t t, util::ByteBuffer& payload) {
+  if (block_codec_->id() == blockcodec::kStoreId) return true;
+  try {
+    obs::ScopedStage stage(&obs::StageProfiler::Global(), "block_decode");
+    util::ByteBuffer decoded;
+    blockcodec::DecodeBlock(payload.span(), kMaxPayloadBytes, decoded);
+    payload = std::move(decoded);
+  } catch (const std::exception& e) {
+    return Fail("decoding block envelope of PULL tensor " +
+                std::to_string(t) + ": " + e.what());
+  }
+  return true;
 }
 
 RpcWorker::StepStatus RpcWorker::ReplayTo(std::int64_t collect_step) {
@@ -1546,6 +1686,7 @@ RpcWorker::StepStatus RpcWorker::ReplayTo(std::int64_t collect_step) {
       pulls[t] = std::move(frame.payload);
     }
     for (std::size_t t = 0; t < num_tensors; ++t) {
+      if (!UnwrapPull(t, pulls[t])) return StepStatus::kFailed;
       try {
         util::ByteReader reader(pulls[t]);
         worker_->ApplyPull(t, reader);
@@ -1709,6 +1850,8 @@ RpcWorker::StepStatus RpcWorker::RunStep(std::int64_t step) {
     util::WallTimer decode_timer;
     for (std::size_t t = 0; t < num_tensors; ++t) {
       pending_telemetry_.bytes_in += pulls[t].size();
+      if (!UnwrapPull(t, pulls[t])) return StepStatus::kFailed;
+      pending_telemetry_.stage1_bytes_in += pulls[t].size();
       try {
         util::ByteReader reader(pulls[t]);
         worker_->ApplyPull(t, reader);
@@ -1754,7 +1897,8 @@ void RpcWorker::WriteResumeCheckpoint(const std::string& path) {
   sampler_.SaveState(sampler_blob);
   state.sampler_state.assign(sampler_blob.data(),
                              sampler_blob.data() + sampler_blob.size());
-  nn::SaveCheckpointWithState(worker_->model(), state, path);
+  nn::SaveCheckpointWithState(worker_->model(), state, path,
+                              config_.block_codec);
 }
 
 void RpcWorker::SimulateCrash(std::int64_t step) {

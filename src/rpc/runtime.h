@@ -79,6 +79,10 @@ namespace threelc::obs {
 class Telemetry;
 }
 
+namespace threelc::blockcodec {
+class BlockCodec;
+}
+
 namespace threelc::rpc {
 
 // Order-independent hash of the tensor plan + codec identity. Workers and
@@ -133,6 +137,12 @@ struct RpcServerConfig {
   // Optional; adds rpc metrics, per-step JSONL records, handshake /
   // step-barrier spans (track 0), and flight-recorder error events.
   obs::Telemetry* telemetry = nullptr;
+  // Second-stage lossless block codec (blockcodec::KnownNames()) applied
+  // to every PUSH/PULL payload after the tensor codec. Both sides must
+  // configure the same codec; the negotiated id rides in every handshake
+  // (protocol v5) and a mismatch fails the handshake. "store" keeps the
+  // payload bytes identical to protocol v4 (no envelope).
+  std::string block_codec = "store";
 };
 
 class RpcServer {
@@ -243,14 +253,19 @@ class RpcServer {
   ps::ParameterServer* ps_;
   std::string codec_name_;
   std::uint64_t plan_hash_;
+  // Resolved from config_.block_codec at construction; never null.
+  const blockcodec::BlockCodec* block_codec_;
   TransportMetrics metrics_;
   TcpServer tcp_;
   std::map<Connection*, Peer> peers_;
   std::vector<Connection*> worker_conns_;  // by worker id once handshaken
 
-  // Current-step collection state.
+  // Current-step collection state. push_payloads_ holds first-stage
+  // (block-envelope-decoded) bytes; push_wire_bytes_ the as-received wire
+  // sizes, so RunStep can report stage-1 and end-to-end traffic apart.
   std::int64_t current_step_ = -1;
   std::vector<std::vector<util::ByteBuffer>> push_payloads_;  // [w][t]
+  std::vector<std::uint64_t> push_wire_bytes_;                // [w]
   std::vector<std::vector<bool>> push_seen_;                  // [w][t]
   std::vector<double> step_losses_;                           // [w]
   std::vector<bool> stats_seen_;                              // [w]
@@ -329,6 +344,9 @@ struct RpcWorkerConfig {
   // Injected into every connection this worker makes; not owned.
   FaultInjector* fault = nullptr;
   obs::Telemetry* telemetry = nullptr;  // optional rpc metrics + spans
+  // Second-stage block codec; must match the server's (see
+  // RpcServerConfig::block_codec).
+  std::string block_codec = "store";
 };
 
 class RpcWorker {
@@ -384,6 +402,9 @@ class RpcWorker {
   // workers) and turns server ERROR frames into hard failures.
   Connection::IoResult WaitDataFrame(Connection& conn, Frame* frame,
                                      int timeout_ms);
+  // Unwrap the negotiated block envelope in place (no-op for store).
+  // Returns false after Fail() on a malformed envelope.
+  bool UnwrapPull(std::size_t t, util::ByteBuffer& payload);
   StepStatus RunStep(std::int64_t step);
   void SimulateCrash(std::int64_t step);
   // Write a checkpoint v3 (model + EA buffers + sampler cursor +
@@ -398,6 +419,8 @@ class RpcWorker {
   ps::Worker* worker_;
   const ps::TensorPlan* plan_;
   std::string codec_name_;
+  // Resolved from config_.block_codec at construction; never null.
+  const blockcodec::BlockCodec* block_codec_;
   data::Sampler sampler_;
   TransportMetrics metrics_;
   std::unique_ptr<Connection> conn_;

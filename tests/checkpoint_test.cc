@@ -371,6 +371,218 @@ TEST(ServerCheckpoint, MagicSeparatesWorkerAndServerRecords) {
   std::remove(server_path.c_str());
 }
 
+// ---------- 3LCZ compressed container ----------
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// A model whose tensor bytes are trivially compressible, so every codec
+// shrinks the blob and the save is guaranteed to emit the container (the
+// skip-if-incompressible escape never fires).
+nn::Model CompressibleModel(int seed) {
+  auto model = train::BuildMlp(Spec(), seed);
+  float v = 0.25f;
+  for (auto& p : model.Params()) {
+    tensor::Tensor* t = p.value;
+    for (std::int64_t i = 0; i < t->num_elements(); ++i) t->data()[i] = v;
+    v += 0.125f;  // distinct per tensor so a swapped load would show
+  }
+  return model;
+}
+
+bool HasContainerMagic(const std::string& bytes) {
+  return bytes.size() >= 4 && bytes.compare(0, 4, "3LCZ") == 0;
+}
+
+// Container header layout (checkpoint.h): magic[4] | u32 version |
+// u8 codec_id | u64 raw_size | u32 raw_crc32c | u32 comp_size.
+constexpr std::size_t kCodecIdOffset = 8;
+constexpr std::size_t kRawSizeOffset = 9;
+constexpr std::size_t kRawCrcOffset = 17;
+
+TEST(CompressedCheckpoint, RoundTripEveryCodecBitwiseExact) {
+  auto model = CompressibleModel(7);
+  const std::string bare = TempPath("zckpt_bare.bin");
+  nn::SaveCheckpoint(model, bare);
+  const std::size_t bare_size = ReadFileBytes(bare).size();
+
+  for (const char* codec : {"lz", "rans", "lz+rans"}) {
+    const std::string path = TempPath("zckpt_roundtrip.bin");
+    nn::SaveCheckpoint(model, path, /*checksum=*/true, codec);
+    const std::string bytes = ReadFileBytes(path);
+    EXPECT_TRUE(HasContainerMagic(bytes)) << codec;
+    EXPECT_LT(bytes.size(), bare_size) << codec;
+
+    auto restored = train::BuildMlp(Spec(), 8);
+    nn::LoadCheckpoint(restored, path);
+    util::Rng rng(9);
+    tensor::Tensor in(tensor::Shape{4, 6});
+    tensor::FillNormal(in, rng, 0.0f, 1.0f);
+    EXPECT_EQ(tensor::MaxAbsDiff(model.Forward(in, false),
+                                 restored.Forward(in, false)),
+              0.0f)
+        << codec;
+    std::remove(path.c_str());
+  }
+  std::remove(bare.c_str());
+}
+
+TEST(CompressedCheckpoint, StoreCodecWritesBareFile) {
+  auto model = CompressibleModel(7);
+  const std::string path = TempPath("zckpt_store.bin");
+  nn::SaveCheckpoint(model, path, /*checksum=*/true, "store");
+  EXPECT_FALSE(HasContainerMagic(ReadFileBytes(path)));
+  auto restored = train::BuildMlp(Spec(), 8);
+  EXPECT_NO_THROW(nn::LoadCheckpoint(restored, path));
+  std::remove(path.c_str());
+}
+
+TEST(CompressedCheckpoint, UnknownCodecNameThrowsOnSave) {
+  auto model = CompressibleModel(7);
+  EXPECT_THROW(nn::SaveCheckpoint(model, TempPath("zckpt_unknown.bin"),
+                                  /*checksum=*/true, "zstd"),
+               std::runtime_error);
+}
+
+TEST(CompressedCheckpoint, V3StateAndServerRecordsRoundTrip) {
+  auto model = CompressibleModel(7);
+  const std::string wpath = TempPath("zckpt_v3.bin");
+  nn::SaveCheckpointWithState(model, MakeState(), wpath, "lz+rans");
+  EXPECT_TRUE(HasContainerMagic(ReadFileBytes(wpath)));
+  auto restored = train::BuildMlp(Spec(), 8);
+  nn::TrainState state;
+  nn::LoadCheckpointState(restored, &state, wpath);
+  EXPECT_EQ(state.next_step, 41u);
+  EXPECT_EQ(state.codec_state, MakeState().codec_state);
+
+  const std::string spath = TempPath("zsckpt.bin");
+  nn::SaveServerCheckpoint(model, MakeServerState(), spath, "lz+rans");
+  EXPECT_TRUE(HasContainerMagic(ReadFileBytes(spath)));
+  auto restored2 = train::BuildMlp(Spec(), 9);
+  nn::ServerState sstate;
+  nn::LoadServerCheckpoint(restored2, &sstate, spath);
+  EXPECT_EQ(sstate.epoch, MakeServerState().epoch);
+  EXPECT_EQ(sstate.replay.size(), MakeServerState().replay.size());
+
+  util::Rng rng(9);
+  tensor::Tensor in(tensor::Shape{4, 6});
+  tensor::FillNormal(in, rng, 0.0f, 1.0f);
+  EXPECT_EQ(tensor::MaxAbsDiff(restored.Forward(in, false),
+                               restored2.Forward(in, false)),
+            0.0f);
+  std::remove(wpath.c_str());
+  std::remove(spath.c_str());
+}
+
+// The loader must cross-check the declared raw size against the decoded
+// length independently of the CRC: a tampered size field fails even
+// though the compressed payload itself is intact.
+TEST(CompressedCheckpoint, DeclaredSizeMismatchIsRejected) {
+  auto model = CompressibleModel(7);
+  const std::string path = TempPath("zckpt_size.bin");
+  nn::SaveCheckpoint(model, path, /*checksum=*/true, "lz+rans");
+  std::string bytes = ReadFileBytes(path);
+  ASSERT_TRUE(HasContainerMagic(bytes));
+  bytes[kRawSizeOffset] ^= 0x01;  // raw_size off by one
+  WriteFileBytes(path, bytes);
+  auto victim = train::BuildMlp(Spec(), 8);
+  EXPECT_THROW(nn::LoadCheckpoint(victim, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(CompressedCheckpoint, DeclaredCrcMismatchIsRejected) {
+  auto model = CompressibleModel(7);
+  const std::string path = TempPath("zckpt_crc.bin");
+  nn::SaveCheckpoint(model, path, /*checksum=*/true, "lz+rans");
+  std::string bytes = ReadFileBytes(path);
+  ASSERT_TRUE(HasContainerMagic(bytes));
+  bytes[kRawCrcOffset] ^= 0x01;  // container CRC no longer matches
+  WriteFileBytes(path, bytes);
+  auto victim = train::BuildMlp(Spec(), 8);
+  EXPECT_THROW(nn::LoadCheckpoint(victim, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(CompressedCheckpoint, UnknownCodecIdIsRejected) {
+  auto model = CompressibleModel(7);
+  const std::string path = TempPath("zckpt_badid.bin");
+  nn::SaveCheckpoint(model, path, /*checksum=*/true, "lz+rans");
+  std::string bytes = ReadFileBytes(path);
+  ASSERT_TRUE(HasContainerMagic(bytes));
+  bytes[kCodecIdOffset] = static_cast<char>(0xEE);
+  WriteFileBytes(path, bytes);
+  auto victim = train::BuildMlp(Spec(), 8);
+  EXPECT_THROW(nn::LoadCheckpoint(victim, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(CompressedCheckpoint, ImplausibleRawSizeIsRejected) {
+  auto model = CompressibleModel(7);
+  const std::string path = TempPath("zckpt_hugesize.bin");
+  nn::SaveCheckpoint(model, path, /*checksum=*/true, "lz+rans");
+  std::string bytes = ReadFileBytes(path);
+  ASSERT_TRUE(HasContainerMagic(bytes));
+  for (int i = 0; i < 8; ++i) {
+    bytes[kRawSizeOffset + i] = static_cast<char>(0xFF);
+  }
+  WriteFileBytes(path, bytes);
+  auto victim = train::BuildMlp(Spec(), 8);
+  EXPECT_THROW(nn::LoadCheckpoint(victim, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(CompressedCheckpoint, TruncationSweepIsRejected) {
+  auto model = CompressibleModel(7);
+  const std::string path = TempPath("zckpt_trunc.bin");
+  nn::SaveServerCheckpoint(model, MakeServerState(), path, "lz+rans");
+  const std::string contents = ReadFileBytes(path);
+  ASSERT_TRUE(HasContainerMagic(contents));
+  for (std::size_t len = 0; len < contents.size();
+       len += (contents.size() / 97) + 1) {
+    WriteFileBytes(path, contents.substr(0, len));
+    auto victim = train::BuildMlp(Spec(), 8);
+    nn::ServerState state;
+    EXPECT_THROW(nn::LoadServerCheckpoint(victim, &state, path),
+                 std::runtime_error)
+        << "truncated to " << len << " of " << contents.size() << " bytes";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CompressedCheckpoint, TrailingGarbageIsRejected) {
+  auto model = CompressibleModel(7);
+  const std::string path = TempPath("zckpt_trailing.bin");
+  nn::SaveCheckpoint(model, path, /*checksum=*/true, "lz+rans");
+  std::string bytes = ReadFileBytes(path);
+  ASSERT_TRUE(HasContainerMagic(bytes));
+  bytes += "extra";
+  WriteFileBytes(path, bytes);
+  auto victim = train::BuildMlp(Spec(), 8);
+  EXPECT_THROW(nn::LoadCheckpoint(victim, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(CompressedCheckpoint, CompressedPayloadFlipIsRejected) {
+  auto model = CompressibleModel(7);
+  const std::string path = TempPath("zckpt_payload_flip.bin");
+  nn::SaveCheckpoint(model, path, /*checksum=*/true, "lz+rans");
+  std::string bytes = ReadFileBytes(path);
+  ASSERT_TRUE(HasContainerMagic(bytes));
+  bytes[bytes.size() / 2] ^= 0x04;
+  WriteFileBytes(path, bytes);
+  auto victim = train::BuildMlp(Spec(), 8);
+  EXPECT_THROW(nn::LoadCheckpoint(victim, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
 // ---------- atomic write-temp + fsync + rename ----------
 
 TEST(AtomicFile, CommitLeavesContentsAndNoTempBehind) {

@@ -36,6 +36,9 @@ namespace {
 struct TestSetup {
   train::ExperimentConfig config;
   data::SyntheticData data;
+  // Second-stage lossless block codec; also wraps crash checkpoints so
+  // resume paths exercise the compressed container.
+  std::string block_codec = "store";
 };
 
 TestSetup MakeTestSetup(int num_workers, std::int64_t steps,
@@ -139,6 +142,7 @@ WorkerResult RunOneWorker(const TestSetup& setup, int worker_id, int port,
   wc.exit_after_step = chaos.exit_after_step;
   wc.exit_checkpoint_path = chaos.checkpoint_path;
   wc.fault = chaos.fault;
+  wc.block_codec = setup.block_codec;
   RpcWorker worker(wc, ps_worker, plan, codec->name(), std::move(sampler));
   result.ok = worker.Run();
   result.simulated_exit = worker.simulated_exit();
@@ -191,6 +195,7 @@ ServerHarness MakeServer(const TestSetup& setup, int grace_ms,
   sc.checkpoint_every = chaos.checkpoint_every;
   sc.exit_after_step = chaos.exit_after_step;
   sc.fault = fault;
+  sc.block_codec = setup.block_codec;
   h.server = std::make_unique<RpcServer>(sc, *h.ps, h.codec->name());
   return h;
 }
@@ -223,11 +228,13 @@ std::unique_ptr<nn::Model> RunInProcessReference(const TestSetup& setup) {
 // restart it from its crash checkpoint, and require the final global model
 // to be bitwise identical to a fault-free in-process run.
 void ExpectKillRejoinParity(const compress::CodecConfig& codec,
-                            std::int64_t kill_step) {
+                            std::int64_t kill_step,
+                            const std::string& block_codec = "store") {
   SCOPED_TRACE("kill_step=" + std::to_string(kill_step));
   constexpr int kWorkers = 2;
   constexpr int kKillWorker = 1;
   TestSetup setup = MakeTestSetup(kWorkers, /*steps=*/6, codec);
+  setup.block_codec = block_codec;
   const std::string ckpt =
       ::testing::TempDir() + "/ft_rejoin_" + std::to_string(kill_step) +
       ".ckpt";
@@ -285,6 +292,14 @@ TEST(FaultTolerance, KillRejoinBitwiseParity3lc) {
   for (const std::int64_t kill_step : {0, 2, 4}) {
     ExpectKillRejoinParity(compress::CodecConfig::ThreeLC(1.0f), kill_step);
   }
+}
+
+// With lz+rans negotiated, the crash checkpoint is a 3LCZ compressed
+// container and every replayed frame carries a block envelope; the
+// kill+rejoin trajectory must still land bitwise on the reference model.
+TEST(FaultTolerance, KillRejoinBitwiseParity3lcWithBlockCodec) {
+  ExpectKillRejoinParity(compress::CodecConfig::ThreeLC(1.0f),
+                         /*kill_step=*/2, "lz+rans");
 }
 
 // A connection the worker loses mid-run (injected close while queueing a
@@ -538,10 +553,12 @@ TEST(FaultTolerance, RequestStopFailsRunWithReason) {
 // workers must survive the outage via their reconnect budget and REJOIN
 // against the bumped incarnation epoch.
 void ExpectServerKillResumeParity(const compress::CodecConfig& codec,
-                                  std::int64_t kill_step) {
+                                  std::int64_t kill_step,
+                                  const std::string& block_codec = "store") {
   SCOPED_TRACE("kill_step=" + std::to_string(kill_step));
   constexpr int kWorkers = 2;
   TestSetup setup = MakeTestSetup(kWorkers, /*steps=*/6, codec);
+  setup.block_codec = block_codec;
   const std::string ckpt = ::testing::TempDir() + "/ft_server_kill_" +
                            std::to_string(kill_step) + ".sckpt";
   std::remove(ckpt.c_str());
@@ -618,6 +635,14 @@ TEST(FaultTolerance, KillServerResumeBitwiseParity3lc) {
     ExpectServerKillResumeParity(compress::CodecConfig::ThreeLC(1.0f),
                                  kill_step);
   }
+}
+
+// The write-ahead server checkpoint is a 3LCZ compressed container when
+// lz+rans is negotiated; the resumed incarnation must restore from it —
+// including the replay ring's already-enveloped frames — bitwise exactly.
+TEST(FaultTolerance, KillServerResumeBitwiseParity3lcWithBlockCodec) {
+  ExpectServerKillResumeParity(compress::CodecConfig::ThreeLC(1.0f),
+                               /*kill_step=*/2, "lz+rans");
 }
 
 // Worst case: the server crashes at the same step a worker does, so the

@@ -244,14 +244,14 @@ TEST(Frame, MsgTypeNamesAreStable) {
 }
 
 // Frames from every older protocol version (v1 pre-fault-tolerance, v2
-// pre-epoch, v3 pre-telemetry) must be rejected at the parser with a typed
-// kBadVersion, not misinterpreted — a v3 peer cannot speak to a v4
-// endpoint at all.
+// pre-epoch, v3 pre-telemetry, v4 pre-block-codec) must be rejected at
+// the parser with a typed kBadVersion, not misinterpreted — a v4 peer
+// cannot speak to a v5 endpoint at all.
 TEST(Frame, OldProtocolVersionsRejected) {
-  static_assert(kProtocolVersion == 4,
+  static_assert(kProtocolVersion == 5,
                 "update this test alongside the protocol version");
   for (std::uint8_t old_version :
-       {std::uint8_t{1}, std::uint8_t{2}, std::uint8_t{3}}) {
+       {std::uint8_t{1}, std::uint8_t{2}, std::uint8_t{3}, std::uint8_t{4}}) {
     util::ByteBuffer wire;
     EncodeFrame(MsgType::kHello, 0, 0, MakePayload(8, 4).span(), wire);
     wire.data()[4] = old_version;
@@ -298,13 +298,15 @@ TEST(Handshake, HelloRoundTrip) {
   in.worker_id = 3;
   in.plan_hash = 0xDEADBEEFCAFEF00Dull;
   in.codec = "3lc";
-  in.epoch = 0;  // fresh worker
+  in.block_codec = 3;  // lz+rans
+  in.epoch = 0;        // fresh worker
   util::ByteBuffer wire;
   EncodeHandshake(in, /*rejoin=*/false, wire);
   const HandshakePayload out = DecodeHandshake(wire.span(), /*rejoin=*/false);
   EXPECT_EQ(out.worker_id, in.worker_id);
   EXPECT_EQ(out.plan_hash, in.plan_hash);
   EXPECT_EQ(out.codec, in.codec);
+  EXPECT_EQ(out.block_codec, in.block_codec);
   EXPECT_EQ(out.epoch, in.epoch);
 }
 
@@ -313,12 +315,14 @@ TEST(Handshake, RejoinRoundTripCarriesEpochAndNextStep) {
   in.worker_id = 1;
   in.plan_hash = 42;
   in.codec = "none";
-  in.epoch = 7;       // the incarnation this worker last spoke to
-  in.next_step = 19;  // first step it has not applied
+  in.block_codec = 1;  // lz
+  in.epoch = 7;        // the incarnation this worker last spoke to
+  in.next_step = 19;   // first step it has not applied
   util::ByteBuffer wire;
   EncodeHandshake(in, /*rejoin=*/true, wire);
   const HandshakePayload out = DecodeHandshake(wire.span(), /*rejoin=*/true);
   EXPECT_EQ(out.worker_id, in.worker_id);
+  EXPECT_EQ(out.block_codec, 1);
   EXPECT_EQ(out.epoch, 7u);
   EXPECT_EQ(out.next_step, 19u);
 }
@@ -328,6 +332,7 @@ TEST(Handshake, AckRoundTrips) {
   in.num_workers = 4;
   in.total_steps = 100;
   in.plan_hash = 0x1234;
+  in.block_codec = 2;  // rans
   in.epoch = 2;
   util::ByteBuffer hello_ack;
   EncodeHandshakeAck(in, /*rejoin=*/false, hello_ack);
@@ -335,6 +340,7 @@ TEST(Handshake, AckRoundTrips) {
       DecodeHandshakeAck(hello_ack.span(), /*rejoin=*/false);
   EXPECT_EQ(out.num_workers, 4u);
   EXPECT_EQ(out.total_steps, 100u);
+  EXPECT_EQ(out.block_codec, 2);
   EXPECT_EQ(out.epoch, 2u);
 
   in.collect_step = 57;
@@ -473,6 +479,8 @@ TelemetryPayload MakeTelemetry() {
   p.bytes_in = 47'991;
   p.ea_l2 = 0.03125;
   p.rejoins = 2;
+  p.stage1_bytes_out = 52'000;
+  p.stage1_bytes_in = 51'500;
   return p;
 }
 
@@ -490,6 +498,8 @@ TEST(TelemetryCodec, RoundTrip) {
   EXPECT_EQ(out.bytes_in, in.bytes_in);
   EXPECT_DOUBLE_EQ(out.ea_l2, in.ea_l2);
   EXPECT_EQ(out.rejoins, in.rejoins);
+  EXPECT_EQ(out.stage1_bytes_out, in.stage1_bytes_out);
+  EXPECT_EQ(out.stage1_bytes_in, in.stage1_bytes_in);
 }
 
 // Every truncation must throw: the decoder sits behind the server's

@@ -32,6 +32,8 @@ namespace {
 struct TestSetup {
   train::ExperimentConfig config;
   data::SyntheticData data;
+  // Second-stage lossless block codec both sides negotiate at handshake.
+  std::string block_codec = "store";
 };
 
 TestSetup MakeTestSetup(int num_workers, std::int64_t steps,
@@ -97,6 +99,7 @@ bool RunOneWorker(const TestSetup& setup, int worker_id, int port,
   wc.io_timeout_ms = 10000;
   wc.retry.max_attempts = 5;
   wc.retry.initial_backoff_ms = 10;
+  wc.block_codec = setup.block_codec;
   RpcWorker worker(wc, ps_worker, plan, codec->name(), std::move(sampler));
   const bool ok = worker.Run();
   if (!ok && error != nullptr) *error = worker.error();
@@ -123,6 +126,7 @@ std::unique_ptr<nn::Model> RunTcpTraining(const TestSetup& setup) {
   sc.handshake_timeout_ms = 10000;
   sc.step_timeout_ms = 20000;
   sc.shutdown_timeout_ms = 10000;
+  sc.block_codec = setup.block_codec;
   RpcServer server(sc, ps, codec->name());
   std::string error;
   EXPECT_TRUE(server.Listen(&error)) << error;
@@ -157,8 +161,10 @@ std::unique_ptr<nn::Model> RunTcpTraining(const TestSetup& setup) {
   return model;
 }
 
-void ExpectTcpMatchesInProcess(const compress::CodecConfig& codec) {
+void ExpectTcpMatchesInProcess(const compress::CodecConfig& codec,
+                               const std::string& block_codec = "store") {
   TestSetup setup = MakeTestSetup(/*num_workers=*/2, /*steps=*/6, codec);
+  setup.block_codec = block_codec;
   std::unique_ptr<nn::Model> tcp_model = RunTcpTraining(setup);
   ASSERT_NE(tcp_model, nullptr);
 
@@ -179,6 +185,65 @@ TEST(RpcRuntime, BitwiseIdenticalToInProcessWithFloat32Codec) {
 
 TEST(RpcRuntime, BitwiseIdenticalToInProcessWith3lcCodec) {
   ExpectTcpMatchesInProcess(compress::CodecConfig::ThreeLC(1.0f));
+}
+
+// Wire parity for the second-stage block codec: wrapping every payload in
+// the lz+rans envelope must not change a single model bit relative to the
+// in-process trainer (and hence relative to a --block-codec store run,
+// which the two tests above pin to the same trainer). Covers both tensor
+// codecs: raw float32 frames and 3LC-compressed frames.
+TEST(RpcRuntime, BlockCodecLzRansWireParityWithFloat32Codec) {
+  ExpectTcpMatchesInProcess(compress::CodecConfig::Float32(), "lz+rans");
+}
+
+TEST(RpcRuntime, BlockCodecLzRansWireParityWith3lcCodec) {
+  ExpectTcpMatchesInProcess(compress::CodecConfig::ThreeLC(1.0f), "lz+rans");
+}
+
+// Every registered non-store codec must hold wire parity, not just the
+// composed one (a bug in either stage alone must not hide behind the
+// other).
+TEST(RpcRuntime, BlockCodecLzAndRansAloneWireParity) {
+  ExpectTcpMatchesInProcess(compress::CodecConfig::ThreeLC(1.0f), "lz");
+  ExpectTcpMatchesInProcess(compress::CodecConfig::ThreeLC(1.0f), "rans");
+}
+
+// A worker negotiating a different block codec than the server is a
+// configuration error the handshake must reject loudly — silently mixing
+// framed and bare payloads would corrupt training.
+TEST(RpcRuntime, BlockCodecMismatchRejectedAtHandshake) {
+  TestSetup setup =
+      MakeTestSetup(1, 1, compress::CodecConfig::Float32());
+  setup.block_codec = "lz+rans";
+  nn::Model model =
+      train::BuildMlp(setup.config.model, setup.config.model_seed);
+  const ps::TensorPlan plan = ps::TensorPlan::FromParams(
+      model.Params(), setup.config.trainer.min_compress_elems);
+  auto codec = std::shared_ptr<const compress::Compressor>(
+      compress::MakeCompressor(setup.config.trainer.codec));
+  ps::ParameterServer ps(model, plan, codec, setup.config.trainer.optimizer);
+
+  RpcServerConfig sc;
+  sc.num_workers = 1;
+  sc.total_steps = 1;
+  sc.handshake_timeout_ms = 5000;
+  sc.block_codec = "store";  // disagrees with the worker's lz+rans
+  RpcServer server(sc, ps, codec->name());
+  std::string error;
+  ASSERT_TRUE(server.Listen(&error)) << error;
+
+  bool server_ok = true;
+  std::thread server_thread([&] { server_ok = server.Run(); });
+  std::string worker_error;
+  TestSetup worker_setup = setup;  // worker keeps lz+rans
+  const bool worker_ok =
+      RunOneWorker(worker_setup, 0, server.port(), &worker_error);
+  server_thread.join();
+
+  EXPECT_FALSE(server_ok);
+  EXPECT_FALSE(worker_ok);
+  EXPECT_NE(server.error().find("block-codec"), std::string::npos)
+      << server.error();
 }
 
 TEST(RpcRuntime, PlanHashIsOrderStableAndCodecSensitive) {

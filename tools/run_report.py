@@ -156,6 +156,19 @@ def build_report(snap, steps):
     pull_ratio = fleet.get("compression_ratio_pull", 0.0)
     out.append(f"compression ratio: push {push_ratio:.2f}x, "
                f"pull {pull_ratio:.2f}x")
+    # Stage-1 vs end-to-end: when a second-stage block codec ran, the wire
+    # ratio above exceeds the tensor-codec-only ratio; report the split so
+    # the block codec's contribution is visible. Older snapshots carry no
+    # stage1 fields (ratio 0) and print nothing extra.
+    push_s1 = fleet.get("compression_ratio_push_stage1", 0.0)
+    pull_s1 = fleet.get("compression_ratio_pull_stage1", 0.0)
+    if push_s1 > 0.0 or pull_s1 > 0.0:
+        out.append(f"  stage 1 (tensor codec): push {push_s1:.2f}x, "
+                   f"pull {pull_s1:.2f}x")
+        if push_s1 > 0.0 and pull_s1 > 0.0:
+            out.append(f"  stage 2 (block codec): push "
+                       f"{push_ratio / push_s1:.2f}x, "
+                       f"pull {pull_ratio / pull_s1:.2f}x")
     return "\n".join(out) + "\n"
 
 
