@@ -38,6 +38,21 @@
 //   --inject-server SPEC same, attached to the server's connections
 //   --inject-seed N      seed for the deterministic fault schedules
 //   --max-reconnects N   per-worker mid-run reconnect budget (default 5)
+//   --lease-ms N         liveness lease (protocol v6): a peer silent for N ms
+//                        is declared hung — the server routes the expiry
+//                        through the grace/evict path, a worker force-closes
+//                        and reconnects. Both sides beacon HEARTBEAT frames
+//                        when idle so a healthy-but-quiet peer never trips
+//                        it. 0 (default) disables leases entirely
+//   --heartbeat-ms N     idle beacon cadence (default 0 = lease-ms / 4)
+//   --sigstop-worker W@STEP
+//                        spawn mode: freeze worker W with SIGSTOP once the
+//                        server has completed STEP steps — a real hung
+//                        process, socket open but nothing flowing, which
+//                        only the lease layer can detect
+//   --sigcont-after-ms N thaw the SIGSTOP'd worker N ms later (default
+//                        3000); depending on --grace-ms it then REJOINs
+//                        (grace still open) or exits evicted
 //
 // Server crash recovery:
 //   --server-checkpoint PATH
@@ -204,6 +219,8 @@ struct WorkerChaos {
   std::string inject_spec;
   std::uint64_t inject_seed = 0;
   std::string stop_checkpoint_path;  // written on SIGTERM/SIGINT
+  int lease_ms = 0;
+  int heartbeat_ms = 0;
 };
 
 int RunWorker(const Setup& setup, int worker_id, const std::string& host,
@@ -283,6 +300,8 @@ int RunWorker(const Setup& setup, int worker_id, const std::string& host,
   wc.stop_checkpoint_path = chaos.stop_checkpoint_path;
   wc.fault = fault;
   wc.block_codec = setup.block_codec;
+  wc.lease_ms = chaos.lease_ms;
+  wc.heartbeat_ms = chaos.heartbeat_ms;
   rpc::RpcWorker worker(wc, ps_worker, plan, codec->name(),
                         std::move(sampler));
   if (!worker.Run()) {
@@ -351,6 +370,8 @@ ServerParts MakeServerParts(const Setup& setup, const util::Flags& flags,
   sc.lr_min = tc.lr_min;
   sc.grace_ms = static_cast<int>(flags.GetInt("grace-ms", 0));
   sc.replay_steps = static_cast<int>(flags.GetInt("replay-steps", 8));
+  sc.lease_ms = static_cast<int>(flags.GetInt("lease-ms", 0));
+  sc.heartbeat_ms = static_cast<int>(flags.GetInt("heartbeat-ms", 0));
   sc.checkpoint_path = ServerCheckpointPath(flags);
   sc.checkpoint_every =
       static_cast<int>(flags.GetInt("server-checkpoint-every", 1));
@@ -400,6 +421,35 @@ int RunSpawn(const util::Flags& flags) {
       static_cast<std::uint64_t>(flags.GetInt("inject-seed", 1));
   const int max_reconnects =
       static_cast<int>(flags.GetInt("max-reconnects", 5));
+  const int lease_ms = static_cast<int>(flags.GetInt("lease-ms", 0));
+  const int heartbeat_ms = static_cast<int>(flags.GetInt("heartbeat-ms", 0));
+
+  // --sigstop-worker W@STEP: a real hung-process drill. The worker keeps
+  // its socket open but stops making progress, which nothing below the
+  // lease layer can distinguish from "just slow".
+  const std::string sigstop_spec = flags.GetString("sigstop-worker", "");
+  int sigstop_worker = -1;
+  std::int64_t sigstop_step = -1;
+  if (!sigstop_spec.empty()) {
+    const std::size_t at = sigstop_spec.find('@');
+    bool spec_ok = at != std::string::npos;
+    if (spec_ok) {
+      try {
+        sigstop_worker = std::stoi(sigstop_spec.substr(0, at));
+        sigstop_step = std::stoll(sigstop_spec.substr(at + 1));
+      } catch (const std::exception&) {
+        spec_ok = false;
+      }
+    }
+    if (!spec_ok || sigstop_worker < 0 || sigstop_worker >= num_workers ||
+        sigstop_step < 0) {
+      std::fprintf(stderr, "bad --sigstop-worker '%s' (want W@STEP)\n",
+                   sigstop_spec.c_str());
+      return 1;
+    }
+  }
+  const std::int64_t sigcont_after_ms =
+      flags.GetInt("sigcont-after-ms", 3000);
 
   // Bind before forking so children learn the ephemeral port, and fork
   // before the parent creates telemetry threads (HTTP server, watchdog).
@@ -431,6 +481,8 @@ int RunSpawn(const util::Flags& flags) {
       if (!rejoin) chaos.exit_after_step = kill_step;  // crash only once
     }
     chaos.rejoin = rejoin;
+    chaos.lease_ms = lease_ms;
+    chaos.heartbeat_ms = heartbeat_ms;
     // A SIGTERM'd child leaves the same resumable v3 checkpoint a
     // simulated crash would.
     chaos.stop_checkpoint_path =
@@ -512,6 +564,13 @@ int RunSpawn(const util::Flags& flags) {
             // notice before its own signal) are not failures.
             continue;
           }
+          if (w == sigstop_worker) {
+            // The drilled worker can exit nonzero after its lease expired
+            // and the server evicted it — the drill working as intended.
+            std::printf("drilled worker %d exited (status %d)\n", w, status);
+            std::fflush(stdout);
+            continue;
+          }
           const bool simulated = WIFEXITED(status) &&
                                  WEXITSTATUS(status) == kSimulatedCrashExit;
           if (simulated && kill_step >= 0 && w == kill_worker &&
@@ -543,6 +602,46 @@ int RunSpawn(const util::Flags& flags) {
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
     }
   });
+
+  // The SIGSTOP drill: wait for the trigger step, freeze the victim, thaw
+  // it later. SIGCONT is always sent — even on early shutdown — so the
+  // final reap never waits on a stopped process.
+  std::atomic<bool> drill_stop{false};
+  std::thread drill;
+  if (sigstop_worker >= 0) {
+    drill = std::thread([&] {
+      while (!drill_stop.load(std::memory_order_acquire)) {
+        {
+          std::lock_guard<std::mutex> lock(slots_mu);
+          if (parts.server->steps_completed() >= sigstop_step) break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      if (drill_stop.load(std::memory_order_acquire)) return;
+      pid_t victim = -1;
+      {
+        std::lock_guard<std::mutex> lock(slots_mu);
+        const ChildSlot& slot =
+            slots[static_cast<std::size_t>(sigstop_worker)];
+        if (slot.running) victim = slot.pid;
+      }
+      if (victim < 0) return;
+      std::printf("drill: SIGSTOP worker %d (pid %d) at step %lld\n",
+                  sigstop_worker, static_cast<int>(victim),
+                  static_cast<long long>(sigstop_step));
+      std::fflush(stdout);
+      kill(victim, SIGSTOP);
+      const auto resume_at = std::chrono::steady_clock::now() +
+                             std::chrono::milliseconds(sigcont_after_ms);
+      while (!drill_stop.load(std::memory_order_acquire) &&
+             std::chrono::steady_clock::now() < resume_at) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      kill(victim, SIGCONT);
+      std::printf("drill: SIGCONT worker %d\n", sigstop_worker);
+      std::fflush(stdout);
+    });
+  }
 
   // Run the server, resuming a fresh incarnation from its write-ahead
   // checkpoint whenever a (simulated) crash takes it down; the workers ride
@@ -601,6 +700,8 @@ int RunSpawn(const util::Flags& flags) {
                 static_cast<unsigned long long>(parts.server->epoch()),
                 ModelHash(*parts.model));
   }
+  drill_stop.store(true, std::memory_order_release);
+  if (drill.joinable()) drill.join();
   reaper_stop.store(true, std::memory_order_release);
   reaper.join();
 
@@ -622,7 +723,8 @@ int RunSpawn(const util::Flags& flags) {
                                  WEXITSTATUS(status) == kSimulatedCrashExit;
           const bool expected_crash = simulated && kill_step >= 0 &&
                                       w == kill_worker && !restart_killed;
-          if (!expected_crash && !g_stop.load(std::memory_order_acquire)) {
+          if (!expected_crash && w != sigstop_worker &&
+              !g_stop.load(std::memory_order_acquire)) {
             std::fprintf(stderr,
                          "worker %d exited abnormally (status %d)\n", w,
                          status);
@@ -736,6 +838,9 @@ int main(int argc, char** argv) {
       chaos.stop_checkpoint_path = flags.GetString("state-dir", ".") +
                                    "/dt_worker" + std::to_string(worker_id) +
                                    ".ckpt";
+      chaos.lease_ms = static_cast<int>(flags.GetInt("lease-ms", 0));
+      chaos.heartbeat_ms =
+          static_cast<int>(flags.GetInt("heartbeat-ms", 0));
       const int rc = RunWorker(setup, worker_id,
                                flags.GetString("host", "127.0.0.1"), port,
                                telemetry.get(), chaos);

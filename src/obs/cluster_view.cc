@@ -118,11 +118,31 @@ void ClusterView::RecordBarrier(std::uint64_t step, int last_worker,
 void ClusterView::RemoveWorker(int worker_id) {
   std::lock_guard<std::mutex> lock(mu_);
   workers_.erase(worker_id);
+  last_seen_.erase(worker_id);
+  // lease_expiries_by_worker_ is deliberately kept: post-eviction reports
+  // need the expiry count to attribute the eviction to a hang.
   if (current_straggler_ == worker_id) current_straggler_ = -1;
   for (auto it = pending_barriers_.begin(); it != pending_barriers_.end();) {
     it = it->second.last_worker == worker_id ? pending_barriers_.erase(it)
                                              : ++it;
   }
+}
+
+void ClusterView::RecordLiveness(int worker_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  last_seen_[worker_id] = std::chrono::steady_clock::now();
+}
+
+void ClusterView::RecordLeaseExpiry(int worker_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++lease_expiries_by_worker_[worker_id];
+}
+
+std::uint64_t ClusterView::lease_expiries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [id, n] : lease_expiries_by_worker_) total += n;
+  return total;
 }
 
 void ClusterView::SetRawBytesPerStep(std::uint64_t push_raw,
@@ -202,6 +222,16 @@ void ClusterView::AppendWorkerJson(std::string& out, int id,
   }
   out += "},\"barrier_wait_ms_sum\":";
   AppendJsonNumber(out, w.barrier_wait_ms_sum);
+  out += ",\"last_heartbeat_age_ms\":";
+  const auto seen = last_seen_.find(id);
+  if (seen == last_seen_.end()) {
+    // Liveness tracking off (lease_ms == 0) or no frame stamped yet.
+    AppendJsonNumber(out, static_cast<std::int64_t>(-1));
+  } else {
+    AppendJsonNumber(out, std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - seen->second)
+                              .count());
+  }
   out += "}";
 }
 
@@ -286,14 +316,28 @@ std::string ClusterView::ToJson() const {
   AppendJsonNumber(out, straggler_flips_);
   out += ",\"barriers_observed\":";
   AppendJsonNumber(out, barriers_observed_);
-  out += "}}";
+  // Lease expiries are keyed by worker id and survive eviction, so this
+  // section can name a worker the "workers" map no longer contains.
+  out += "},\"liveness\":{\"lease_expiries\":{";
+  bool first_lease = true;
+  for (const auto& [id, n] : lease_expiries_by_worker_) {
+    if (!first_lease) out += ",";
+    first_lease = false;
+    out += "\"";
+    out += std::to_string(id);
+    out += "\":";
+    AppendJsonNumber(out, n);
+  }
+  out += "}}}";
   return out;
 }
 
 void ClusterView::WritePrometheus(std::ostream& out,
                                   const std::string& prefix) const {
   std::lock_guard<std::mutex> lock(mu_);
-  if (workers_.empty()) return;
+  // Lease-expiry counters must keep exporting after the last tracked
+  // worker was evicted — that is exactly when a scrape wants them.
+  if (workers_.empty() && lease_expiries_by_worker_.empty()) return;
   std::string text;
   char buf[64];
   const std::string base = prefix + "cluster_";
@@ -404,6 +448,32 @@ void ClusterView::WritePrometheus(std::ostream& out,
               std::to_string(h.total_ns) + "\n";
       text += base + "phase_ns_count" + labels + "} " +
               std::to_string(h.count) + "\n";
+    }
+  }
+
+  if (!last_seen_.empty()) {
+    const auto now = std::chrono::steady_clock::now();
+    text += "# HELP " + base +
+            "worker_heartbeat_age_ms Milliseconds since the last frame "
+            "from each worker\n";
+    text += "# TYPE " + base + "worker_heartbeat_age_ms gauge\n";
+    for (const auto& [id, when] : last_seen_) {
+      text += base + "worker_heartbeat_age_ms{worker=\"" +
+              std::to_string(id) + "\"} " +
+              fmt(std::chrono::duration<double, std::milli>(now - when)
+                      .count()) +
+              "\n";
+    }
+  }
+
+  if (!lease_expiries_by_worker_.empty()) {
+    text += "# HELP " + base +
+            "worker_lease_expiries_total Lease expiries (hang/partition "
+            "detections) per worker; survives eviction\n";
+    text += "# TYPE " + base + "worker_lease_expiries_total counter\n";
+    for (const auto& [id, n] : lease_expiries_by_worker_) {
+      text += base + "worker_lease_expiries_total{worker=\"" +
+              std::to_string(id) + "\"} " + std::to_string(n) + "\n";
     }
   }
   out << text;

@@ -27,6 +27,7 @@
 // any hot path; the HTTP scrape thread pays for JSON/Prometheus assembly.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -85,8 +86,19 @@ class ClusterView {
                      int contributors);
 
   // Drop a worker's state entirely (eviction). Its traffic and straggler
-  // counts leave the per-worker families; fleet totals keep history.
+  // counts leave the per-worker families; fleet totals keep history, and
+  // so do lease-expiry counts (the eviction's cause must stay visible
+  // after the eviction removed the worker).
   void RemoveWorker(int worker_id);
+
+  // Liveness (protocol v6 leases). RecordLiveness stamps "a frame from
+  // this worker arrived now"; /clusterz reports the age of each worker's
+  // stamp as last_heartbeat_age_ms. RecordLeaseExpiry counts a server-side
+  // lease expiry against the worker — the signal that lets a run report
+  // say "worker N (hung)" rather than just "worker N was slowest".
+  void RecordLiveness(int worker_id);
+  void RecordLeaseExpiry(int worker_id);
+  std::uint64_t lease_expiries() const;
 
   // Uncompressed bytes a worker would move per step in each direction
   // (model size x 4 bytes); enables per-direction compression ratios.
@@ -142,6 +154,10 @@ class ClusterView {
   FlightRecorder* const flight_;
   mutable std::mutex mu_;
   std::map<int, WorkerState> workers_;
+  // Liveness stamps leave with the worker (RemoveWorker); lease-expiry
+  // counts outlive it.
+  std::map<int, std::chrono::steady_clock::time_point> last_seen_;
+  std::map<int, std::uint64_t> lease_expiries_by_worker_;
   std::map<std::uint64_t, PendingBarrier> pending_barriers_;
   std::uint64_t barriers_observed_ = 0;
   int current_straggler_ = -1;

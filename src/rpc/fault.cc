@@ -22,6 +22,19 @@ bool ParseTypeToken(const std::string& token, FaultRule* rule) {
   else if (token == "bye") rule->type = MsgType::kBye;
   else if (token == "rejoin") rule->type = MsgType::kRejoin;
   else if (token == "evict") rule->type = MsgType::kEvict;
+  else if (token == "heartbeat") rule->type = MsgType::kHeartbeat;
+  else return false;
+  return true;
+}
+
+// kPartition rules carry a direction where other rules carry a frame
+// type: a partition cuts the connection's whole direction, so the rule
+// matches any frame and the TYPE slot is reused for rx|tx|both.
+bool ParseDirectionToken(const std::string& token, FaultRule* rule) {
+  rule->any_type = true;
+  if (token == "rx") rule->direction = PartitionDirection::kRx;
+  else if (token == "tx") rule->direction = PartitionDirection::kTx;
+  else if (token == "both") rule->direction = PartitionDirection::kBoth;
   else return false;
   return true;
 }
@@ -37,6 +50,10 @@ bool ParseActionToken(const std::string& token, FaultRule* rule) {
     rule->action = FaultAction::kClose;
   } else if (token == "killserver") {
     rule->action = FaultAction::kKillServer;
+  } else if (token == "stall") {
+    rule->action = FaultAction::kStall;
+  } else if (token == "partition") {
+    rule->action = FaultAction::kPartition;
   } else if (token.rfind("delay", 0) == 0 && token.size() > 5) {
     const std::string digits = token.substr(5);
     for (char c : digits) {
@@ -69,6 +86,17 @@ const char* FaultActionName(FaultAction action) {
     case FaultAction::kTruncate: return "trunc";
     case FaultAction::kClose: return "close";
     case FaultAction::kKillServer: return "killserver";
+    case FaultAction::kStall: return "stall";
+    case FaultAction::kPartition: return "partition";
+  }
+  return "unknown";
+}
+
+const char* PartitionDirectionName(PartitionDirection direction) {
+  switch (direction) {
+    case PartitionDirection::kRx: return "rx";
+    case PartitionDirection::kTx: return "tx";
+    case PartitionDirection::kBoth: return "both";
   }
   return "unknown";
 }
@@ -99,7 +127,16 @@ bool FaultInjector::ParseSpec(const std::string& spec,
       if (error != nullptr) *error = "bad action in '" + item + "'";
       return false;
     }
-    if (!ParseTypeToken(item.substr(colon + 1, at - colon - 1), &rule)) {
+    const std::string type_token = item.substr(colon + 1, at - colon - 1);
+    if (rule.action == FaultAction::kPartition) {
+      if (!ParseDirectionToken(type_token, &rule)) {
+        if (error != nullptr) {
+          *error = "bad partition direction (want rx|tx|both) in '" + item +
+                   "'";
+        }
+        return false;
+      }
+    } else if (!ParseTypeToken(type_token, &rule)) {
       if (error != nullptr) *error = "bad frame type in '" + item + "'";
       return false;
     }
@@ -155,6 +192,7 @@ FaultDecision FaultInjector::OnSend(MsgType type, std::uint64_t step,
 
     decision.action = rule.action;
     decision.delay_ms = rule.delay_ms;
+    decision.direction = rule.direction;
     if (rule.action == FaultAction::kKillServer) kill_requested_ = true;
     if (rule.action == FaultAction::kCorrupt && frame_bytes > 0) {
       decision.byte_offset =
@@ -170,6 +208,9 @@ FaultDecision FaultInjector::OnSend(MsgType type, std::uint64_t step,
          << " step=" << step << " byte=" << decision.byte_offset;
     if (rule.action == FaultAction::kDelay) {
       line << " ms=" << decision.delay_ms;
+    }
+    if (rule.action == FaultAction::kPartition) {
+      line << " dir=" << PartitionDirectionName(rule.direction);
     }
     log_.push_back(line.str());
     ++faults_;

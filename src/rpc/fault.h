@@ -16,17 +16,28 @@
 //
 //   ACTION:TYPE@STEP[#OCCURRENCE]
 //
-//   ACTION      drop | corrupt | trunc | close | killserver
+//   ACTION      drop | corrupt | trunc | close | killserver | stall
 //               | delay<ms>  (e.g. delay250)
-//   TYPE        hello | push | stats | pull | bye | rejoin | any
+//   TYPE        hello | push | stats | pull | bye | rejoin | heartbeat | any
 //   STEP        a step number, or any
 //   OCCURRENCE  fire only on the Nth matching frame (0-based, default 0),
 //               or * to fire on every match
 //
+// plus the partition form, whose direction token rides in the TYPE slot
+// (a partition severs the whole connection's direction, not one frame
+// type):
+//
+//   partition:rx|tx|both@STEP[#OCCURRENCE]
+//
 // Examples: "corrupt:push@2" (flip a byte in the first PUSH of step 2),
 // "close:pull@5" (kill the connection while fanning out step 5's pulls),
 // "delay200:push@any#*" (delay every push by 200 ms),
-// "killserver:pull@5" (crash the server mid-fan-out of step 5's pulls).
+// "killserver:pull@5" (crash the server mid-fan-out of step 5's pulls),
+// "stall:push@3" (freeze the endpoint at step 3's first push: it stops
+// reading AND writing without closing, like a SIGSTOP'd process — its
+// write queue grows until backpressure), "partition:tx@3" (one-way
+// outage: everything this endpoint sends from step 3's first frame on is
+// silently lost in the network while it still receives).
 //
 // One injector instance belongs to one endpoint (one worker process or the
 // server); sharing an instance across concurrently-sending endpoints would
@@ -57,9 +68,26 @@ enum class FaultAction : std::uint8_t {
   // dies abruptly — no ERROR broadcast, sockets dropped mid-step — so
   // recovery is exercised from its checkpoint). Spec token: "killserver".
   kKillServer,
+  // Freeze the connection without closing it: from the triggering frame
+  // on, the endpoint neither reads nor flushes — the socket stays open,
+  // the peer sees silence, and this endpoint's bounded write queue grows
+  // until backpressure rejects. Models a SIGSTOP'd/wedged process or a
+  // half-open socket. The triggering frame is queued but never flushed.
+  kStall,
+  // One- or two-way network partition: rx stops delivering inbound bytes
+  // to this endpoint, tx silently discards its outbound bytes (the app's
+  // sends "succeed" — the packets are lost in the network), both does
+  // both. Unlike kStall the tx side keeps draining, so the write queue
+  // never backpressures. The triggering frame is lost for tx/both.
+  kPartition,
 };
 
+// Direction of a kPartition rule (which half of the connection is cut,
+// from the injected endpoint's point of view).
+enum class PartitionDirection : std::uint8_t { kRx = 0, kTx, kBoth };
+
 const char* FaultActionName(FaultAction action);
+const char* PartitionDirectionName(PartitionDirection direction);
 
 struct FaultRule {
   FaultAction action = FaultAction::kNone;
@@ -72,6 +100,7 @@ struct FaultRule {
   int occurrence = 0;
   bool every_match = false;
   int delay_ms = 0;  // kDelay only
+  PartitionDirection direction = PartitionDirection::kBoth;  // kPartition only
 };
 
 // The injector's verdict for one outbound frame.
@@ -81,6 +110,7 @@ struct FaultDecision {
   // For kCorrupt: which byte of the frame to flip (already reduced modulo
   // the frame size). For kTruncate: how many prefix bytes survive.
   std::size_t byte_offset = 0;
+  PartitionDirection direction = PartitionDirection::kBoth;  // kPartition
 };
 
 class FaultInjector {

@@ -24,6 +24,7 @@ bool IsValidMsgType(std::uint8_t raw) {
     case MsgType::kRejoinAck:
     case MsgType::kEvict:
     case MsgType::kTelemetry:
+    case MsgType::kHeartbeat:
       return true;
   }
   return false;
@@ -43,6 +44,7 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kRejoinAck: return "REJOIN_ACK";
     case MsgType::kEvict: return "EVICT";
     case MsgType::kTelemetry: return "TELEMETRY";
+    case MsgType::kHeartbeat: return "HEARTBEAT";
   }
   return "UNKNOWN";
 }
@@ -151,6 +153,31 @@ TelemetryPayload DecodeTelemetry(util::ByteSpan bytes) {
   payload.rejoins = in.ReadU32();
   payload.stage1_bytes_out = in.ReadU64();
   payload.stage1_bytes_in = in.ReadU64();
+  // Bytes left inside the envelope are fields from a newer writer: skip.
+  return payload;
+}
+
+void EncodeHeartbeat(const HeartbeatPayload& payload, util::ByteBuffer& out) {
+  // u32 envelope length, then the known fields: u8 role + 2 u64.
+  constexpr std::uint32_t kRecordBytes = 1 + 2 * 8;
+  out.AppendU32(kRecordBytes);
+  out.AppendU8(payload.role);
+  out.AppendU64(payload.seq);
+  out.AppendU64(payload.progress);
+}
+
+HeartbeatPayload DecodeHeartbeat(util::ByteSpan bytes) {
+  util::ByteReader outer(bytes);
+  const std::uint32_t record_len = outer.ReadU32();
+  util::ByteSpan record = outer.ReadSpan(record_len);
+  if (!outer.AtEnd()) {
+    throw std::runtime_error("trailing bytes after heartbeat envelope");
+  }
+  util::ByteReader in(record);
+  HeartbeatPayload payload;
+  payload.role = in.ReadU8();
+  payload.seq = in.ReadU64();
+  payload.progress = in.ReadU64();
   // Bytes left inside the envelope are fields from a newer writer: skip.
   return payload;
 }

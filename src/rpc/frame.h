@@ -46,9 +46,13 @@ constexpr std::uint32_t kFrameMagic = 0x52434C33u;  // "3LCR"
 // record the server's obs::ClusterView aggregates. Version 5 added the
 // negotiated block-codec id (blockcodec/) to every handshake payload —
 // PUSH/PULL payloads ride in a block envelope when a non-store codec was
-// agreed — and first-stage byte counters to TELEMETRY. Older peers are
+// agreed — and first-stage byte counters to TELEMETRY. Version 6 added
+// the HEARTBEAT liveness frame: both roles emit it on an idle-aware
+// cadence so a hung-but-connected peer (SIGSTOP, one-way partition,
+// half-open socket) is detected by lease expiry instead of the global
+// step timeout. Older peers are
 // rejected at the parser (kBadVersion) before any payload is interpreted.
-constexpr std::uint8_t kProtocolVersion = 5;
+constexpr std::uint8_t kProtocolVersion = 6;
 constexpr std::size_t kFrameHeaderBytes = 28;
 // Largest payload the parser will accept. Generously above any encoded
 // tensor in this repo; primarily a defense against a corrupted length
@@ -68,6 +72,7 @@ enum class MsgType : std::uint8_t {
   kRejoinAck = 10,  // server -> worker: N, steps, plan hash, collect, epoch
   kEvict = 11,     // server -> workers: a peer left the membership
   kTelemetry = 12,  // worker -> server: per-step telemetry record
+  kHeartbeat = 13,  // either way: liveness beacon refreshing the lease
 };
 
 bool IsValidMsgType(std::uint8_t raw);
@@ -161,6 +166,22 @@ struct TelemetryPayload {
 
 void EncodeTelemetry(const TelemetryPayload& payload, util::ByteBuffer& out);
 TelemetryPayload DecodeTelemetry(util::ByteSpan bytes);
+
+// HEARTBEAT payload (protocol v6). A tiny liveness beacon both roles send
+// on an idle-aware cadence; receiving any frame — heartbeat or not —
+// refreshes the sender's lease, so a hung-but-connected peer is detected
+// by lease expiry instead of the global step timeout. Wrapped in the same
+// u32 length envelope as TELEMETRY: decoders read the fields they know
+// and skip the rest of the envelope (a newer writer's future fields), but
+// reject truncation and bytes after the envelope.
+struct HeartbeatPayload {
+  std::uint8_t role = 0;       // 0 = worker, 1 = server
+  std::uint64_t seq = 0;       // per-sender monotonic heartbeat counter
+  std::uint64_t progress = 0;  // sender's step progress (diagnostics only)
+};
+
+void EncodeHeartbeat(const HeartbeatPayload& payload, util::ByteBuffer& out);
+HeartbeatPayload DecodeHeartbeat(util::ByteSpan bytes);
 
 enum class ParseError : std::uint8_t {
   kNone = 0,

@@ -114,6 +114,7 @@ RpcServer::RpcServer(RpcServerConfig config, ps::ParameterServer& ps,
   worker_conns_.assign(n, nullptr);
   member_state_.assign(n, Member::kActive);
   dead_since_.assign(n, std::chrono::steady_clock::time_point{});
+  last_rx_.assign(n, std::chrono::steady_clock::time_point{});
   greeted_.assign(n, false);
   bye_blobs_.assign(n, util::ByteBuffer{});
   barrier_arrival_ms_.assign(n, -1.0);
@@ -280,6 +281,89 @@ void RpcServer::EvictExpired() {
   }
 }
 
+int RpcServer::EffectiveHeartbeatMs() const {
+  if (config_.heartbeat_ms > 0) return config_.heartbeat_ms;
+  return std::max(50, config_.lease_ms / 4);
+}
+
+void RpcServer::StampLiveness(std::size_t w) {
+  if (config_.lease_ms <= 0) return;
+  last_rx_[w] = std::chrono::steady_clock::now();
+  if (config_.telemetry != nullptr) {
+    if (obs::ClusterView* view = config_.telemetry->cluster_view()) {
+      view->RecordLiveness(static_cast<int>(w));
+    }
+  }
+}
+
+void RpcServer::CheckLeases() {
+  if (config_.lease_ms <= 0 || failed_) return;
+  const auto now = std::chrono::steady_clock::now();
+  for (std::size_t w = 0; w < member_state_.size(); ++w) {
+    // The lease clock starts at the handshake stamp; a worker that never
+    // connected is the handshake timeout's problem, not the lease's.
+    if (member_state_[w] != Member::kActive) continue;
+    if (last_rx_[w] == std::chrono::steady_clock::time_point{}) continue;
+    const double silent_ms =
+        std::chrono::duration<double, std::milli>(now - last_rx_[w]).count();
+    if (silent_ms < config_.lease_ms) continue;
+    ++lease_expiries_;
+    AddCounter(config_.telemetry, "rpc/lease_expiries", 1.0);
+    if (config_.telemetry != nullptr) {
+      if (obs::ClusterView* view = config_.telemetry->cluster_view()) {
+        view->RecordLeaseExpiry(static_cast<int>(w));
+      }
+    }
+    const std::string why = "lease expired (no frame for " +
+                            std::to_string(static_cast<int>(silent_ms)) +
+                            " ms, lease " + std::to_string(config_.lease_ms) +
+                            " ms; hung or partitioned)";
+    if (config_.grace_ms > 0) {
+      // MarkWorkerDead force-closes the half-open socket, so a SIGCONT'd
+      // worker's REJOIN takes the displacement path instead of colliding
+      // with its stale connection.
+      MarkWorkerDead(w, why);
+    } else {
+      Fail("worker " + std::to_string(w) + " " + why);
+      return;
+    }
+  }
+}
+
+void RpcServer::SendHeartbeats() {
+  if (config_.lease_ms <= 0 && config_.heartbeat_ms <= 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  if (last_heartbeat_tx_ != std::chrono::steady_clock::time_point{} &&
+      std::chrono::duration<double, std::milli>(now - last_heartbeat_tx_)
+              .count() < EffectiveHeartbeatMs()) {
+    return;
+  }
+  last_heartbeat_tx_ = now;
+  HeartbeatPayload beat;
+  beat.role = 1;
+  beat.seq = heartbeat_seq_++;
+  beat.progress =
+      static_cast<std::uint64_t>(std::max<std::int64_t>(steps_completed_, 0));
+  util::ByteBuffer payload;
+  EncodeHeartbeat(beat, payload);
+  for (std::size_t w = 0; w < worker_conns_.size(); ++w) {
+    if (member_state_[w] != Member::kActive) continue;
+    Connection* conn = worker_conns_[w];
+    if (conn == nullptr || !conn->open()) continue;
+    if (conn->SendFrame(MsgType::kHeartbeat, 0, 0, payload.span())) {
+      AddCounter(config_.telemetry, "rpc/heartbeats_sent", 1.0);
+      continue;
+    }
+    const std::string why = "queueing HEARTBEAT: " + conn->last_error();
+    if (config_.grace_ms > 0) {
+      MarkWorkerDead(w, why);
+    } else {
+      Fail("worker " + std::to_string(w) + ": " + why);
+      return;
+    }
+  }
+}
+
 void RpcServer::Evict(std::size_t w, const std::string& reason) {
   member_state_[w] = Member::kEvicted;
   ++evictions_;
@@ -337,6 +421,10 @@ bool RpcServer::PollUntil(const std::function<bool()>& done, int timeout_ms,
       return false;
     }
     EvictExpired();
+    if (failed_) return false;
+    CheckLeases();
+    if (failed_) return false;
+    SendHeartbeats();
     if (failed_) return false;
     if (done()) return true;
     const double elapsed_ms = timer.ElapsedMillis();
@@ -407,6 +495,7 @@ void RpcServer::HandleHello(Connection& conn, const Frame& frame) {
   worker_conns_[worker_id] = &conn;
   member_state_[worker_id] = Member::kActive;
   greeted_[worker_id] = true;
+  StampLiveness(worker_id);
   ++handshakes_;
 
   HandshakeAckPayload ack_payload;
@@ -517,6 +606,7 @@ void RpcServer::HandleRejoin(Connection& conn, const Frame& frame) {
   peer.worker_id = static_cast<int>(worker_id);
   worker_conns_[w] = &conn;
   member_state_[w] = Member::kActive;
+  StampLiveness(w);
   if (!greeted_[w]) {
     greeted_[w] = true;
     ++handshakes_;
@@ -609,12 +699,26 @@ void RpcServer::OnFrame(Connection& conn, Frame&& frame) {
       Fail("peer reported error: " + PayloadString(frame));
       return;
     }
+    if (h.type == MsgType::kHeartbeat) {
+      // Liveness beacon. Decode to validate (a malformed beacon is a
+      // protocol fault like any payload); tolerated from a connection
+      // still mid-handshake, since workers beacon while blocked on any
+      // server reply.
+      DecodeHeartbeat(frame.payload.span());
+      AddCounter(config_.telemetry, "rpc/heartbeats_received", 1.0);
+      const Peer& beaconer = peers_[&conn];
+      if (beaconer.worker_id >= 0) {
+        StampLiveness(static_cast<std::size_t>(beaconer.worker_id));
+      }
+      return;
+    }
     Peer& peer = peers_[&conn];
     if (peer.worker_id < 0) {
       Fail(std::string(MsgTypeName(h.type)) + " before HELLO");
       return;
     }
     const auto w = static_cast<std::size_t>(peer.worker_id);
+    StampLiveness(w);
     switch (h.type) {
       case MsgType::kPush: {
         if (static_cast<std::int64_t>(h.step) != current_step_ ||
@@ -1435,19 +1539,86 @@ bool RpcWorker::Fail(const std::string& message) {
 
 Connection::IoResult RpcWorker::WaitDataFrame(Connection& conn, Frame* frame,
                                               int timeout_ms) {
+  // With leases off (lease_ms == 0) each data frame is one blocking
+  // WaitFrame. With leases on the wait is sliced: a HEARTBEAT beacon goes
+  // out on the cadence (keeping the server's lease on this worker fresh
+  // while it blocks), any received frame resets the silence clock, and
+  // lease_ms of total server silence closes the connection early — the
+  // bound that keeps a hung or one-way-partitioned server from costing
+  // the full timeout_ms.
+  const bool lease_on = config_.lease_ms > 0;
+  const int cadence = config_.heartbeat_ms > 0
+                          ? config_.heartbeat_ms
+                          : std::max(50, config_.lease_ms / 4);
+  util::WallTimer total_timer;
+  util::WallTimer silence_timer;
+  double next_beat_ms = 0.0;  // beacon immediately on entering the wait
   for (;;) {
-    const Connection::IoResult r = conn.WaitFrame(frame, timeout_ms);
-    if (r != Connection::IoResult::kOk) return r;
-    if (frame->header.type == MsgType::kEvict) {
-      // Membership news about another worker; informational here.
-      std::uint32_t evicted = 0xFFFFFFFFu;
-      try {
-        util::ByteReader reader(frame->payload);
-        evicted = reader.ReadU32();
-      } catch (...) {
+    const int remaining =
+        timeout_ms - static_cast<int>(total_timer.ElapsedMillis());
+    if (remaining <= 0) {
+      if (metrics_.timeouts != nullptr) metrics_.timeouts->Add(1.0);
+      return Connection::IoResult::kError;
+    }
+    int slice = remaining;
+    if (lease_on) {
+      const double silent_ms = silence_timer.ElapsedMillis();
+      if (silent_ms >= config_.lease_ms) {
+        THREELC_LOG(Warn) << "rpc worker " << config_.worker_id
+                          << ": server lease expired (no frame for "
+                          << static_cast<int>(silent_ms) << " ms, lease "
+                          << config_.lease_ms
+                          << " ms); treating the connection as dead";
+        AddCounter(config_.telemetry, "rpc/lease_expiries", 1.0);
+        conn.Close();
+        return Connection::IoResult::kClosed;
       }
-      THREELC_LOG(Warn) << "rpc worker " << config_.worker_id
-                        << ": server evicted worker " << evicted;
+      if (total_timer.ElapsedMillis() >= next_beat_ms) {
+        HeartbeatPayload beat;
+        beat.role = 0;
+        beat.seq = heartbeat_seq_++;
+        beat.progress = static_cast<std::uint64_t>(
+            std::max<std::int64_t>(computed_through_, 0));
+        util::ByteBuffer payload;
+        EncodeHeartbeat(beat, payload);
+        // Best-effort: a failed queue (backpressure, closed) surfaces via
+        // the lease or the next real send, not via the beacon.
+        if (conn.SendFrame(MsgType::kHeartbeat, 0, 0, payload.span())) {
+          AddCounter(config_.telemetry, "rpc/heartbeats_sent", 1.0);
+        }
+        next_beat_ms = total_timer.ElapsedMillis() + cadence;
+      }
+      slice = std::min({slice, cadence,
+                        config_.lease_ms -
+                            static_cast<int>(silence_timer.ElapsedMillis())});
+      slice = std::max(slice, 1);
+    }
+    const Connection::IoResult r = conn.WaitFrame(frame, slice);
+    if (r == Connection::IoResult::kOk) {
+      silence_timer.Reset();
+      if (frame->header.type == MsgType::kHeartbeat) {
+        // Server liveness beacon; the silence reset above is its payload.
+        AddCounter(config_.telemetry, "rpc/heartbeats_received", 1.0);
+        continue;
+      }
+      if (frame->header.type == MsgType::kEvict) {
+        // Membership news about another worker; informational here.
+        std::uint32_t evicted = 0xFFFFFFFFu;
+        try {
+          util::ByteReader reader(frame->payload);
+          evicted = reader.ReadU32();
+        } catch (...) {
+        }
+        THREELC_LOG(Warn) << "rpc worker " << config_.worker_id
+                          << ": server evicted worker " << evicted;
+        continue;
+      }
+      return r;
+    }
+    if (r == Connection::IoResult::kClosed) return r;
+    // kError: a slice that merely timed out (transport.cc's WaitFrame
+    // message, verbatim) is the lease/beacon clock ticking, not a fault.
+    if (lease_on && conn.last_error() == "timed out waiting for a frame") {
       continue;
     }
     return r;

@@ -111,6 +111,19 @@ struct RpcServerConfig {
   // replay buffer a rejoiner can be caught up from.
   int grace_ms = 0;
   int replay_steps = 8;
+  // Liveness (protocol v6). lease_ms > 0: any frame from an identified
+  // worker refreshes its lease; a worker silent past lease_ms is treated
+  // as dead even though its socket is still open — how a SIGSTOP'd,
+  // one-way-partitioned, or half-open worker is detected within
+  // grace_ms + lease_ms instead of step_timeout_ms. Expiry routes through
+  // the grace/evict machinery (grace_ms > 0) or fails the run (strict
+  // mode). The server also broadcasts HEARTBEAT beacons every
+  // heartbeat_ms (0 derives max(50, lease_ms / 4)) so workers can run
+  // their own lease against it. Set lease_ms comfortably above the
+  // longest worker compute+encode gap: a worker only beacons while
+  // blocked on the server, not mid-compute. lease_ms == 0 disables both.
+  int lease_ms = 0;
+  int heartbeat_ms = 0;
   // Server crash recovery. A non-empty checkpoint_path enables the
   // write-ahead server checkpoint (nn::SaveServerCheckpoint: model +
   // aggregation/optimizer/EA state + replay ring + membership + epoch),
@@ -178,6 +191,7 @@ class RpcServer {
   const TransportMetrics& metrics() const { return metrics_; }
   std::size_t evictions() const { return evictions_; }
   std::size_t rejoins() const { return rejoins_; }
+  std::size_t lease_expiries() const { return lease_expiries_; }
   std::size_t replayed_frames() const { return replayed_frames_; }
   // Server incarnation: 1 for a fresh run, stored epoch + 1 after
   // ResumeFromCheckpoint. Carried in every handshake (protocol v3).
@@ -222,6 +236,16 @@ class RpcServer {
   void BeginCollect(std::int64_t step);
   bool RunStep(std::int64_t step, float lr);
   bool ApplyWorkerBuffers();
+
+  // Liveness plumbing (lease_ms > 0). StampLiveness records a frame —
+  // any type — from worker w; CheckLeases sweeps for workers silent past
+  // the lease and routes them through MarkWorkerDead (grace mode) or
+  // Fail (strict); SendHeartbeats broadcasts the server's beacon on the
+  // effective cadence. All driven from PollUntil's slice loop.
+  void StampLiveness(std::size_t w);
+  void CheckLeases();
+  void SendHeartbeats();
+  int EffectiveHeartbeatMs() const;
 
   // Fault-tolerance plumbing.
   void MarkWorkerDead(std::size_t w, const std::string& reason);
@@ -288,6 +312,13 @@ class RpcServer {
   std::size_t evictions_ = 0;
   std::size_t replayed_frames_ = 0;
 
+  // Liveness state (lease_ms > 0): the last-frame instant per worker
+  // (meaningful while kActive) and the server's own beacon clock.
+  std::vector<std::chrono::steady_clock::time_point> last_rx_;
+  std::chrono::steady_clock::time_point last_heartbeat_tx_;
+  std::uint64_t heartbeat_seq_ = 0;
+  std::size_t lease_expiries_ = 0;
+
   std::size_t handshakes_ = 0;
   std::size_t byes_ = 0;
   std::vector<util::ByteBuffer> bye_blobs_;  // per-worker BYE payloads
@@ -329,6 +360,15 @@ struct RpcWorkerConfig {
   // How many times a lost connection may be re-established mid-run before
   // the worker gives up (0 keeps the strict fail-fast model).
   int max_reconnects = 0;
+  // Liveness (protocol v6). lease_ms > 0: while blocked on the server
+  // (pull wait, handshake, replay) the worker sends HEARTBEAT beacons
+  // every heartbeat_ms (0 derives max(50, lease_ms / 4)) and requires
+  // some frame — heartbeat or data — from the server within lease_ms.
+  // Expiry closes the connection and surfaces as a soft failure feeding
+  // the max_reconnects budget, so a hung or rx-partitioned server costs
+  // lease_ms + backoff instead of the full pull_timeout_ms. 0 disables.
+  int lease_ms = 0;
+  int heartbeat_ms = 0;
   // Chaos testing: after completing this step, write a checkpoint v3 to
   // exit_checkpoint_path (if set), close the socket abruptly (no BYE), and
   // return from Run with simulated_exit() true. -1 disables.
@@ -399,7 +439,10 @@ class RpcWorker {
   // codec's EA buffers and the sampler exactly once per step.
   void ComputeStep(std::int64_t step);
   // WaitFrame that skips EVICT broadcasts (membership news about other
-  // workers) and turns server ERROR frames into hard failures.
+  // workers) and HEARTBEAT beacons (they refresh the lease and are
+  // dropped). With config_.lease_ms > 0 the wait is sliced: beacons go
+  // out on the cadence and lease_ms of total server silence ends the
+  // wait early (connection closed, kClosed returned).
   Connection::IoResult WaitDataFrame(Connection& conn, Frame* frame,
                                      int timeout_ms);
   // Unwrap the negotiated block envelope in place (no-op for store).
@@ -443,6 +486,7 @@ class RpcWorker {
   TelemetryPayload pending_telemetry_;
 
   std::size_t reconnects_ = 0;
+  std::uint64_t heartbeat_seq_ = 0;
   bool simulated_exit_ = false;
   bool interrupted_ = false;
   std::uint64_t server_epoch_ = 0;

@@ -311,6 +311,21 @@ bool Connection::SendEncoded(util::ByteSpan frame_bytes,
         Close();
         last_error_ = "injected fault: endpoint killed";
         return false;
+      case FaultAction::kStall:
+        // Freeze the endpoint: it stops reading and flushing but the
+        // socket stays open. The triggering frame (and everything after)
+        // queues without reaching the wire, so the bounded write queue
+        // eventually backpressures.
+        rx_blocked_ = true;
+        tx_stalled_ = true;
+        break;
+      case FaultAction::kPartition:
+        if (fault.direction != PartitionDirection::kTx) rx_blocked_ = true;
+        if (fault.direction != PartitionDirection::kRx) {
+          tx_dropped_ = true;
+          return true;  // the triggering frame is lost in the network
+        }
+        break;  // rx-only cut: this frame still goes out
     }
   }
   return QueueAndFlush(frame_bytes.data(), frame_bytes.size(), frame_count);
@@ -324,6 +339,17 @@ bool Connection::SendFrame(MsgType type, std::uint64_t step,
 }
 
 Connection::IoResult Connection::FlushSome() {
+  if (tx_stalled_) return IoResult::kOk;  // frozen endpoint: queue holds
+  if (tx_dropped_) {
+    // Partitioned tx: the app's sends "succeed" but the bytes are lost in
+    // the network, so the queue drains without touching the socket.
+    outbuf_.clear();
+    out_head_ = 0;
+    if (metrics_ != nullptr && metrics_->write_queue_bytes != nullptr) {
+      metrics_->write_queue_bytes->Set(0.0);
+    }
+    return IoResult::kOk;
+  }
   obs::ScopedStage stage(&obs::StageProfiler::Global(), "write_flush");
   while (wants_write()) {
     const ssize_t n = send(fd_, outbuf_.data() + out_head_,
@@ -355,6 +381,9 @@ Connection::IoResult Connection::FlushSome() {
 Connection::IoResult Connection::HandleWritable() { return FlushSome(); }
 
 Connection::IoResult Connection::HandleReadable() {
+  // Severed inbound (stall / rx partition): leave whatever arrives in the
+  // kernel buffer, exactly as a frozen process would.
+  if (rx_blocked_) return IoResult::kOk;
   std::uint8_t chunk[64 * 1024];
   for (;;) {
     const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
@@ -428,6 +457,17 @@ Connection::IoResult Connection::WaitFrame(Frame* out, int timeout_ms) {
       last_error_ = "timed out waiting for a frame";
       return IoResult::kError;
     }
+    if (rx_blocked_) {
+      // Inbound is severed: polling POLLIN (or riding out POLLHUP) would
+      // spin hot on the never-drained fd. Flush opportunistically, then
+      // sleep a bounded slice so the deadline still fires.
+      if (wants_write() && FlushSome() == IoResult::kError) {
+        return IoResult::kError;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::min(remaining, 20)));
+      continue;
+    }
     pollfd pfd{fd_, static_cast<short>(POLLIN | (wants_write() ? POLLOUT : 0)),
                0};
     const int ready = poll(&pfd, 1, remaining);
@@ -495,10 +535,14 @@ bool TcpServer::Poll(int timeout_ms) {
   pfds.reserve(conns_.size() + 1);
   pfds.push_back({listen_fd_, POLLIN, 0});
   for (const auto& conn : conns_) {
-    pfds.push_back({conn->fd(),
-                    static_cast<short>(POLLIN |
-                                       (conn->wants_write() ? POLLOUT : 0)),
-                    0});
+    // An rx-blocked (stalled/partitioned) connection must not be polled
+    // for POLLIN: the unread kernel bytes would make every poll return
+    // instantly. When no event is of interest a negative fd keeps the
+    // pfds[i+1] <-> conns_[i] mapping while poll(2) skips the entry.
+    const short events =
+        static_cast<short>((conn->rx_blocked() ? 0 : POLLIN) |
+                           (conn->wants_write() ? POLLOUT : 0));
+    pfds.push_back({events != 0 ? conn->fd() : -1, events, 0});
   }
 
   const int ready = poll(pfds.data(), pfds.size(), timeout_ms);
@@ -535,7 +579,8 @@ bool TcpServer::Poll(int timeout_ms) {
         disconnect_reason = conn.last_error();
       }
     }
-    if (!disconnected && (revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+    if (!disconnected && !conn.rx_blocked() &&
+        (revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
       const Connection::IoResult r = conn.HandleReadable();
       if (r == Connection::IoResult::kError) {
         disconnected = true;

@@ -139,8 +139,21 @@ class Connection {
                  util::ByteSpan payload);
   bool SendEncoded(util::ByteSpan frame_bytes, std::size_t frame_count);
 
-  bool wants_write() const { return outbuf_.size() > out_head_; }
+  // A stalled connection holds its queue without flushing, so it never
+  // "wants" a POLLOUT it would ignore; the queued bytes still count
+  // against the backpressure bound.
+  bool wants_write() const {
+    return !tx_stalled_ && outbuf_.size() > out_head_;
+  }
   std::size_t queued_bytes() const { return outbuf_.size() - out_head_; }
+
+  // Injected liveness faults (FaultAction::kStall / kPartition) latch
+  // these: rx_blocked stops delivering inbound bytes (poll drivers must
+  // skip POLLIN), tx_stalled queues without flushing (a frozen process),
+  // tx_dropped discards flushed bytes (a one-way network partition).
+  bool rx_blocked() const { return rx_blocked_; }
+  bool tx_stalled() const { return tx_stalled_; }
+  bool tx_dropped() const { return tx_dropped_; }
 
   // Non-blocking drains, for poll-loop drivers. HandleReadable consumes
   // everything currently readable into the inbox; HandleWritable flushes
@@ -181,6 +194,9 @@ class Connection {
   std::vector<std::uint8_t> outbuf_;
   std::size_t out_head_ = 0;
   std::string last_error_;
+  bool rx_blocked_ = false;
+  bool tx_stalled_ = false;
+  bool tx_dropped_ = false;
 };
 
 // Listener + connections behind one poll(2). Callbacks fire from Poll on

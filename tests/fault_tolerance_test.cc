@@ -8,6 +8,7 @@
 // FaultInjector must produce identical schedules from identical seeds.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -82,6 +83,8 @@ struct WorkerChaos {
   bool rejoin = false;
   int max_reconnects = 0;
   FaultInjector* fault = nullptr;
+  int lease_ms = 0;
+  int heartbeat_ms = 0;
 };
 
 struct WorkerResult {
@@ -143,6 +146,8 @@ WorkerResult RunOneWorker(const TestSetup& setup, int worker_id, int port,
   wc.exit_checkpoint_path = chaos.checkpoint_path;
   wc.fault = chaos.fault;
   wc.block_codec = setup.block_codec;
+  wc.lease_ms = chaos.lease_ms;
+  wc.heartbeat_ms = chaos.heartbeat_ms;
   RpcWorker worker(wc, ps_worker, plan, codec->name(), std::move(sampler));
   result.ok = worker.Run();
   result.simulated_exit = worker.simulated_exit();
@@ -165,6 +170,8 @@ struct ServerChaos {
   std::string checkpoint_path;
   int checkpoint_every = 1;
   std::int64_t exit_after_step = -1;
+  int lease_ms = 0;
+  int heartbeat_ms = 0;
 };
 
 ServerHarness MakeServer(const TestSetup& setup, int grace_ms,
@@ -196,6 +203,8 @@ ServerHarness MakeServer(const TestSetup& setup, int grace_ms,
   sc.exit_after_step = chaos.exit_after_step;
   sc.fault = fault;
   sc.block_codec = setup.block_codec;
+  sc.lease_ms = chaos.lease_ms;
+  sc.heartbeat_ms = chaos.heartbeat_ms;
   h.server = std::make_unique<RpcServer>(sc, *h.ps, h.codec->name());
   return h;
 }
@@ -800,6 +809,291 @@ TEST(FaultTolerance, TornServerCheckpointRejectedOnResume) {
       << resume_error;
   EXPECT_EQ(fresh.server->epoch(), 2u);
   std::remove(ckpt.c_str());
+}
+
+// ---------- liveness: leases, hangs, one-way partitions ----------
+
+// A worker whose endpoint freezes mid-run (injected `stall`: stops
+// reading and flushing without closing, like a SIGSTOP'd process) is
+// detected by BOTH leases: the server's lease expires (no frames in) and
+// routes through the grace path, force-closing the half-open socket; the
+// worker's own lease expires (no frames out of its blocked inbox) and it
+// reconnects. The REJOIN resends the stored encoded push, so the final
+// model is still bitwise identical to a fault-free run.
+TEST(FaultTolerance, StalledWorkerLeaseEvictsThenRejoinsWithParity) {
+  TestSetup setup =
+      MakeTestSetup(2, /*steps=*/6, compress::CodecConfig::ThreeLC(1.0f));
+  ServerChaos leases;
+  leases.lease_ms = 400;
+  leases.heartbeat_ms = 100;
+  ServerHarness h = MakeServer(setup, /*grace_ms=*/20000, /*replay_steps=*/8,
+                               /*fault=*/nullptr, leases);
+  std::string error;
+  ASSERT_TRUE(h.server->Listen(&error)) << error;
+
+  FaultInjector injector(/*seed=*/21);
+  std::string spec_error;
+  ASSERT_TRUE(injector.AddRulesFromSpec("stall:push@2", &spec_error))
+      << spec_error;
+
+  bool server_ok = false;
+  std::thread server_thread([&] { server_ok = h.server->Run(); });
+  WorkerResult results[2];
+  std::thread w0([&] {
+    WorkerChaos chaos;
+    chaos.lease_ms = 400;
+    chaos.heartbeat_ms = 100;
+    results[0] = RunOneWorker(setup, 0, h.server->port(), chaos);
+  });
+  std::thread w1([&] {
+    WorkerChaos chaos;
+    chaos.fault = &injector;
+    chaos.max_reconnects = 3;
+    // Longer than the server's lease so the server detects the hang
+    // first; the worker's own clock is the (slower) self-recovery path —
+    // its blocked rx never sees the server's force-close.
+    chaos.lease_ms = 1500;
+    chaos.heartbeat_ms = 100;
+    results[1] = RunOneWorker(setup, 1, h.server->port(), chaos);
+  });
+  w0.join();
+  w1.join();
+  server_thread.join();
+
+  ASSERT_TRUE(server_ok) << h.server->error();
+  EXPECT_TRUE(results[0].ok) << results[0].error;
+  EXPECT_TRUE(results[1].ok) << results[1].error;
+  EXPECT_GE(results[1].reconnects, 1u);
+  EXPECT_GE(h.server->lease_expiries(), 1u);
+  EXPECT_GE(h.server->rejoins(), 1u);
+  EXPECT_EQ(h.server->evictions(), 0u);  // grace held for the rejoin
+
+  std::unique_ptr<nn::Model> reference = RunInProcessReference(setup);
+  EXPECT_TRUE(ModelsBitwiseEqual(*h.model, *reference));
+}
+
+// A hung worker that never comes back (stall + zero reconnect budget)
+// must converge to exactly the same survivors' model as a worker that
+// died cleanly at the same point: lease expiry -> grace -> eviction is
+// just a slower route to the rescaled aggregation.
+TEST(FaultTolerance, HungWorkerEvictionMatchesCleanDeathRescaledParity) {
+  TestSetup setup =
+      MakeTestSetup(2, /*steps=*/6, compress::CodecConfig::ThreeLC(1.0f));
+
+  // Run 1: worker 1 freezes while sending its step-2 push (contributed
+  // steps 0..1), detected only by the server's lease.
+  ServerChaos leases;
+  leases.lease_ms = 400;
+  leases.heartbeat_ms = 100;
+  ServerHarness hung = MakeServer(setup, /*grace_ms=*/300, /*replay_steps=*/8,
+                                  /*fault=*/nullptr, leases);
+  std::string error;
+  ASSERT_TRUE(hung.server->Listen(&error)) << error;
+  FaultInjector injector(/*seed=*/22);
+  std::string spec_error;
+  ASSERT_TRUE(injector.AddRulesFromSpec("stall:push@2", &spec_error))
+      << spec_error;
+  {
+    bool ok = false;
+    std::thread server_thread([&] { ok = hung.server->Run(); });
+    WorkerResult results[2];
+    std::thread w0([&] {
+      // Healthy survivor: beacons on (leases imply heartbeats), its own
+      // lease generous enough to never self-trip while the server holds
+      // the barrier for the hung peer.
+      WorkerChaos chaos;
+      chaos.lease_ms = 5000;
+      chaos.heartbeat_ms = 100;
+      results[0] = RunOneWorker(setup, 0, hung.server->port(), chaos);
+    });
+    std::thread w1([&] {
+      WorkerChaos chaos;
+      chaos.fault = &injector;
+      chaos.max_reconnects = 0;  // the hung worker never returns
+      chaos.lease_ms = 2000;     // server's (400 ms) lease detects first
+      chaos.heartbeat_ms = 100;
+      results[1] = RunOneWorker(setup, 1, hung.server->port(), chaos);
+    });
+    w0.join();
+    w1.join();
+    server_thread.join();
+    ASSERT_TRUE(ok) << hung.server->error();
+    EXPECT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_FALSE(results[1].ok);  // its reconnect budget was zero
+    EXPECT_GE(hung.server->lease_expiries(), 1u);
+    EXPECT_EQ(hung.server->evictions(), 1u);
+    EXPECT_EQ(hung.server->steps_completed(),
+              setup.config.trainer.total_steps);
+  }
+
+  // Run 2: worker 1 exits cleanly after completing step 1 — the same
+  // contribution cut-off, detected by the disconnect instead of a lease.
+  ServerHarness dead = MakeServer(setup, /*grace_ms=*/300, /*replay_steps=*/8);
+  ASSERT_TRUE(dead.server->Listen(&error)) << error;
+  {
+    bool ok = false;
+    std::thread server_thread([&] { ok = dead.server->Run(); });
+    WorkerResult results[2];
+    std::thread w0([&] {
+      results[0] = RunOneWorker(setup, 0, dead.server->port(), WorkerChaos{});
+    });
+    std::thread w1([&] {
+      WorkerChaos chaos;
+      chaos.exit_after_step = 1;  // no checkpoint, no restart
+      results[1] = RunOneWorker(setup, 1, dead.server->port(), chaos);
+    });
+    w0.join();
+    w1.join();
+    server_thread.join();
+    ASSERT_TRUE(ok) << dead.server->error();
+    EXPECT_EQ(dead.server->evictions(), 1u);
+  }
+
+  EXPECT_TRUE(ModelsBitwiseEqual(*hung.model, *dead.model))
+      << "lease eviction and clean death diverged at the same cut-off";
+}
+
+// Satellite regression: a one-way (tx) partition leaves the worker
+// blocked in pull-wait — its pushes vanish, but its rx side still sees
+// the server, so its own lease never trips. The SERVER's lease must bound
+// the hang: expiry force-closes the socket, the worker sees EOF and
+// reconnects within lease + backoff, not pull_timeout_ms (20 s here, 60 s
+// in production configs).
+TEST(FaultTolerance, TxPartitionedWorkerReconnectsWithinLeaseBudget) {
+  TestSetup setup =
+      MakeTestSetup(2, /*steps=*/6, compress::CodecConfig::ThreeLC(1.0f));
+  ServerChaos leases;
+  leases.lease_ms = 500;
+  leases.heartbeat_ms = 100;
+  ServerHarness h = MakeServer(setup, /*grace_ms=*/20000, /*replay_steps=*/8,
+                               /*fault=*/nullptr, leases);
+  std::string error;
+  ASSERT_TRUE(h.server->Listen(&error)) << error;
+
+  FaultInjector injector(/*seed=*/23);
+  std::string spec_error;
+  ASSERT_TRUE(injector.AddRulesFromSpec("partition:tx@2", &spec_error))
+      << spec_error;
+
+  const auto start = std::chrono::steady_clock::now();
+  bool server_ok = false;
+  std::thread server_thread([&] { server_ok = h.server->Run(); });
+  WorkerResult results[2];
+  std::thread w0([&] {
+    WorkerChaos chaos;  // healthy survivor: beacons on, lease generous
+    chaos.lease_ms = 5000;
+    chaos.heartbeat_ms = 100;
+    results[0] = RunOneWorker(setup, 0, h.server->port(), chaos);
+  });
+  std::thread w1([&] {
+    WorkerChaos chaos;
+    chaos.fault = &injector;
+    chaos.max_reconnects = 3;
+    chaos.lease_ms = 2000;  // must NOT be what saves it: rx stays live
+    chaos.heartbeat_ms = 100;
+    results[1] = RunOneWorker(setup, 1, h.server->port(), chaos);
+  });
+  w0.join();
+  w1.join();
+  server_thread.join();
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
+  ASSERT_TRUE(server_ok) << h.server->error();
+  EXPECT_TRUE(results[0].ok) << results[0].error;
+  EXPECT_TRUE(results[1].ok) << results[1].error;
+  EXPECT_GE(results[1].reconnects, 1u);
+  EXPECT_GE(h.server->lease_expiries(), 1u);
+  EXPECT_GE(h.server->rejoins(), 1u);
+  // Bounded by the server lease (500 ms) + backoff, nowhere near the
+  // 20 s pull timeout the worker would otherwise ride out.
+  EXPECT_LT(elapsed_ms, 10000.0);
+
+  std::unique_ptr<nn::Model> reference = RunInProcessReference(setup);
+  EXPECT_TRUE(ModelsBitwiseEqual(*h.model, *reference));
+}
+
+// The liveness additions to the injector grammar parse (direction rides
+// the TYPE slot for partition rules) and bad directions are diagnosed.
+TEST(FaultTolerance, StallAndPartitionSpecsParse) {
+  FaultInjector ok(1);
+  std::string error;
+  EXPECT_TRUE(ok.AddRulesFromSpec(
+      "stall:push@2;partition:rx@3;partition:tx@1#2;partition:both@any#*",
+      &error))
+      << error;
+  FaultInjector bad(1);
+  EXPECT_FALSE(bad.AddRulesFromSpec("partition:bogus@1", &error));
+  EXPECT_NE(error.find("partition direction"), std::string::npos) << error;
+}
+
+// Seeded chaos sweep, in-process edition: each seed derives a random
+// recoverable fault schedule (mixed corruption, close, delay, stall, and
+// one-way partitions) for worker 1, and every seed must terminate
+// cleanly with the survivors' — here, everyone's — final model bitwise
+// identical to a fault-free run. tools/chaos_sweep.py runs the same idea
+// against the real multi-process example.
+TEST(FaultTolerance, ChaosSweepSeededSchedulesTerminateCleanly) {
+  const char* const kMenu[] = {
+      "corrupt:push@", "close:push@",      "delay50:pull@",
+      "stall:push@",   "partition:tx@",    "partition:rx@",
+  };
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    util::Rng rng(seed);
+    const char* const action = kMenu[rng.Next() % 6];
+    const std::int64_t at = 1 + static_cast<std::int64_t>(rng.Next() % 3);
+    const std::string spec = std::string(action) + std::to_string(at);
+    SCOPED_TRACE("spec=" + spec);
+
+    TestSetup setup =
+        MakeTestSetup(2, /*steps=*/6, compress::CodecConfig::ThreeLC(1.0f));
+    ServerChaos leases;
+    leases.lease_ms = 400;
+    leases.heartbeat_ms = 100;
+    ServerHarness h = MakeServer(setup, /*grace_ms=*/20000,
+                                 /*replay_steps=*/8, /*fault=*/nullptr,
+                                 leases);
+    std::string error;
+    ASSERT_TRUE(h.server->Listen(&error)) << error;
+
+    FaultInjector injector(seed);
+    std::string spec_error;
+    ASSERT_TRUE(injector.AddRulesFromSpec(spec, &spec_error)) << spec_error;
+
+    bool server_ok = false;
+    std::thread server_thread([&] { server_ok = h.server->Run(); });
+    WorkerResult results[2];
+    std::thread w0([&] {
+      WorkerChaos chaos;
+      chaos.lease_ms = 400;
+      chaos.heartbeat_ms = 100;
+      results[0] = RunOneWorker(setup, 0, h.server->port(), chaos);
+    });
+    std::thread w1([&] {
+      WorkerChaos chaos;
+      chaos.fault = &injector;
+      chaos.max_reconnects = 5;
+      chaos.lease_ms = 400;
+      chaos.heartbeat_ms = 100;
+      results[1] = RunOneWorker(setup, 1, h.server->port(), chaos);
+    });
+    w0.join();
+    w1.join();
+    server_thread.join();
+
+    ASSERT_TRUE(server_ok) << h.server->error();
+    EXPECT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_TRUE(results[1].ok) << results[1].error;
+    EXPECT_EQ(h.server->evictions(), 0u);
+    EXPECT_EQ(h.server->steps_completed(),
+              setup.config.trainer.total_steps);
+
+    std::unique_ptr<nn::Model> reference = RunInProcessReference(setup);
+    EXPECT_TRUE(ModelsBitwiseEqual(*h.model, *reference));
+  }
 }
 
 // ---------- deterministic fault injection ----------

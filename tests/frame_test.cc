@@ -234,24 +234,28 @@ TEST(Frame, MsgTypeNamesAreStable) {
   EXPECT_STREQ(MsgTypeName(MsgType::kRejoinAck), "REJOIN_ACK");
   EXPECT_STREQ(MsgTypeName(MsgType::kEvict), "EVICT");
   EXPECT_STREQ(MsgTypeName(MsgType::kTelemetry), "TELEMETRY");
+  EXPECT_STREQ(MsgTypeName(MsgType::kHeartbeat), "HEARTBEAT");
   EXPECT_STREQ(ParseErrorName(ParseError::kBadCrc), "bad_crc");
   EXPECT_FALSE(IsValidMsgType(0));
-  EXPECT_FALSE(IsValidMsgType(13));
+  EXPECT_FALSE(IsValidMsgType(14));
   EXPECT_TRUE(IsValidMsgType(1));
   EXPECT_TRUE(IsValidMsgType(8));
   EXPECT_TRUE(IsValidMsgType(11));
   EXPECT_TRUE(IsValidMsgType(12));
+  EXPECT_TRUE(IsValidMsgType(13));
 }
 
 // Frames from every older protocol version (v1 pre-fault-tolerance, v2
-// pre-epoch, v3 pre-telemetry, v4 pre-block-codec) must be rejected at
-// the parser with a typed kBadVersion, not misinterpreted — a v4 peer
-// cannot speak to a v5 endpoint at all.
+// pre-epoch, v3 pre-telemetry, v4 pre-block-codec, v5 pre-liveness) must
+// be rejected at the parser with a typed kBadVersion, not misinterpreted —
+// a v5 peer cannot speak to a v6 endpoint at all, so a version-skewed
+// HELLO dies as a clean "protocol" reject before any payload decode.
 TEST(Frame, OldProtocolVersionsRejected) {
-  static_assert(kProtocolVersion == 5,
+  static_assert(kProtocolVersion == 6,
                 "update this test alongside the protocol version");
   for (std::uint8_t old_version :
-       {std::uint8_t{1}, std::uint8_t{2}, std::uint8_t{3}, std::uint8_t{4}}) {
+       {std::uint8_t{1}, std::uint8_t{2}, std::uint8_t{3}, std::uint8_t{4},
+        std::uint8_t{5}}) {
     util::ByteBuffer wire;
     EncodeFrame(MsgType::kHello, 0, 0, MakePayload(8, 4).span(), wire);
     wire.data()[4] = old_version;
@@ -596,6 +600,119 @@ TEST(TelemetryCodec, TelemetryFrameRoundTripsThroughParser) {
   EXPECT_EQ(frames[0].header.step, 23u);
   const TelemetryPayload out = DecodeTelemetry(frames[0].payload.span());
   EXPECT_EQ(out.bytes_out, 48'123u);
+}
+
+// --- protocol v6 heartbeat payload codec -----------------------------------
+
+HeartbeatPayload MakeHeartbeat() {
+  HeartbeatPayload p;
+  p.role = 1;  // server
+  p.seq = 0x0123456789ABCDEFull;
+  p.progress = 417;
+  return p;
+}
+
+TEST(HeartbeatCodec, RoundTrip) {
+  const HeartbeatPayload in = MakeHeartbeat();
+  util::ByteBuffer wire;
+  EncodeHeartbeat(in, wire);
+  const HeartbeatPayload out = DecodeHeartbeat(wire.span());
+  EXPECT_EQ(out.role, in.role);
+  EXPECT_EQ(out.seq, in.seq);
+  EXPECT_EQ(out.progress, in.progress);
+}
+
+// Every truncation must throw: the decoder sits behind OnFrame try/catch
+// on the server and a catch in the worker's wait loop, so "throw" is the
+// contract that turns a malformed heartbeat into a clean typed failure.
+TEST(HeartbeatCodec, EveryTruncationThrows) {
+  util::ByteBuffer wire;
+  EncodeHeartbeat(MakeHeartbeat(), wire);
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    EXPECT_THROW(DecodeHeartbeat(util::ByteSpan(wire.data(), n)),
+                 std::exception)
+        << "HEARTBEAT truncated to " << n;
+  }
+}
+
+// Bytes after the length-prefixed envelope are a framing bug, not a
+// future field — a frame is exactly one payload.
+TEST(HeartbeatCodec, TrailingBytesAfterEnvelopeThrow) {
+  util::ByteBuffer wire;
+  EncodeHeartbeat(MakeHeartbeat(), wire);
+  util::ByteBuffer padded = wire;
+  padded.PushByte(0);
+  EXPECT_THROW(DecodeHeartbeat(padded.span()), std::exception);
+}
+
+// Bytes INSIDE the envelope beyond the known fields are fields from a
+// newer writer: a v6 reader must decode the fields it knows and skip the
+// rest, so the beacon format can grow without another version bump.
+TEST(HeartbeatCodec, UnknownFutureFieldsInsideEnvelopeAreSkipped) {
+  const HeartbeatPayload in = MakeHeartbeat();
+  util::ByteBuffer wire;
+  EncodeHeartbeat(in, wire);
+  std::uint32_t record_len;
+  std::memcpy(&record_len, wire.data(), sizeof(record_len));
+  record_len += 12;
+  util::ByteBuffer extended;
+  extended.AppendU32(record_len);
+  for (std::size_t i = 4; i < wire.size(); ++i) {
+    extended.PushByte(wire.data()[i]);
+  }
+  extended.AppendU64(0xFEEDFACECAFEBEEFull);  // future u64 field
+  extended.AppendU32(7);                      // future u32 field
+  const HeartbeatPayload out = DecodeHeartbeat(extended.span());
+  EXPECT_EQ(out.role, in.role);
+  EXPECT_EQ(out.seq, in.seq);
+  EXPECT_EQ(out.progress, in.progress);
+}
+
+// Fuzz: randomly corrupted heartbeat bytes either decode (possibly to
+// different values — CRC catches corruption a layer below) or throw; they
+// never crash. The length prefix is the dangerous field: a huge value
+// must throw, not allocate or read out of bounds.
+TEST(HeartbeatCodec, FuzzedCorruptionNeverCrashes) {
+  util::Rng rng(0xBEA7);
+  util::ByteBuffer wire;
+  EncodeHeartbeat(MakeHeartbeat(), wire);
+  for (int round = 0; round < 200; ++round) {
+    util::ByteBuffer corrupted = wire;
+    const std::size_t at =
+        static_cast<std::size_t>(rng.Below(corrupted.size()));
+    corrupted.data()[at] ^= static_cast<std::uint8_t>(1 + rng.Next() % 255);
+    try {
+      const HeartbeatPayload out = DecodeHeartbeat(corrupted.span());
+      (void)out;
+    } catch (const std::exception&) {
+      // acceptable: typed rejection
+    }
+  }
+}
+
+// A HEARTBEAT frame rides the same wire as PUSH/PULL: it must round-trip
+// through the FrameParser under random chunking like any other type.
+TEST(HeartbeatCodec, HeartbeatFrameRoundTripsThroughParser) {
+  util::ByteBuffer payload;
+  EncodeHeartbeat(MakeHeartbeat(), payload);
+  util::ByteBuffer wire;
+  EncodeFrame(MsgType::kHeartbeat, /*step=*/0, /*tensor=*/0, payload.span(),
+              wire);
+  util::Rng rng(0x6EA7);
+  FrameParser parser;
+  std::vector<Frame> frames;
+  std::size_t off = 0;
+  while (off < wire.size()) {
+    const std::size_t n =
+        1 + static_cast<std::size_t>(rng.Below(wire.size() - off));
+    ASSERT_TRUE(parser.Feed(util::ByteSpan(wire.data() + off, n), &frames));
+    off += n;
+  }
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].header.type, MsgType::kHeartbeat);
+  const HeartbeatPayload out = DecodeHeartbeat(frames[0].payload.span());
+  EXPECT_EQ(out.seq, 0x0123456789ABCDEFull);
+  EXPECT_EQ(out.progress, 417u);
 }
 
 }  // namespace

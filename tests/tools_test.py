@@ -395,6 +395,48 @@ class RunReportTest(unittest.TestCase):
         self.assertIn("straggler: worker 1", report)
         self.assertNotIn("steps logged", report)
 
+    def test_hung_straggler_is_tagged(self):
+        # The named straggler's lease expired mid-run: the straggler line
+        # must carry the "hung" tag and the liveness table must show the
+        # per-worker heartbeat age and expiry counts.
+        snap = clusterz_snapshot()
+        for wid, w in snap["workers"].items():
+            w["last_heartbeat_age_ms"] = 40 if wid != "1" else 900
+        snap["liveness"] = {"lease_expiries": {"1": 2}}
+        with tempfile.TemporaryDirectory() as tmp:
+            cpath = os.path.join(tmp, "clusterz.json")
+            with open(cpath, "w") as f:
+                json.dump(snap, f)
+            r = run_tool("run_report.py", ["--clusterz", cpath])
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("straggler: worker 1 (hung; ", r.stdout)
+        self.assertIn("-- liveness --", r.stdout)
+        self.assertIn("900", r.stdout)
+
+    def test_lease_evicted_worker_is_named_after_removal(self):
+        # Worker 1 was lease-evicted: gone from the workers map, but its
+        # expiry count survives in the liveness section — the report must
+        # still name it and mark it evicted.
+        snap = clusterz_snapshot()
+        del snap["workers"]["1"]
+        for w in snap["workers"].values():
+            w["straggler_steps"] = 0
+            w["straggler_causes"] = {"compute": 0, "encode": 0,
+                                     "network": 0}
+            w["last_heartbeat_age_ms"] = 40
+        snap["straggler"] = {"current": -1, "flips": 0,
+                             "barriers_observed": 20}
+        snap["liveness"] = {"lease_expiries": {"1": 1}}
+        with tempfile.TemporaryDirectory() as tmp:
+            cpath = os.path.join(tmp, "clusterz.json")
+            with open(cpath, "w") as f:
+                json.dump(snap, f)
+            r = run_tool("run_report.py", ["--clusterz", cpath])
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("straggler: worker 1 (hung; 1 lease expiries, "
+                      "evicted)", r.stdout)
+        self.assertIn("(hung; evicted)", r.stdout)
+
     def test_rejects_non_clusterz_json(self):
         with tempfile.TemporaryDirectory() as tmp:
             cpath = os.path.join(tmp, "bogus.json")

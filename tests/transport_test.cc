@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "rpc/fault.h"
 #include "rpc/transport.h"
 #include "util/rng.h"
 
@@ -96,6 +97,81 @@ TEST(Connection, BoundedWriteQueueRejectsOverflow) {
   EXPECT_TRUE(rejected);
   EXPECT_FALSE(a.last_error().empty());
   (void)b;
+}
+
+// An injected `stall` freezes the endpoint: it stops reading AND stops
+// flushing, but the socket stays open — the transport-level model of a
+// SIGSTOP'd peer. Queued frames must count against the bounded write
+// queue so memory stays bounded and SendFrame reports backpressure
+// (rpc/backpressure_rejects), rather than growing the outbuf forever.
+TEST(Connection, StalledEndpointTripsBackpressureNotMemoryGrowth) {
+  obs::MetricsRegistry registry;
+  registry.set_enabled(true);
+  TransportMetrics metrics = TransportMetrics::RegisterIn(registry);
+
+  int fds[2];
+  MakeSocketPair(fds);
+  Connection a(fds[0], &metrics, /*max_queued_bytes=*/4096);
+  Connection b(fds[1]);
+
+  FaultInjector injector(/*seed=*/5);
+  std::string spec_error;
+  ASSERT_TRUE(injector.AddRulesFromSpec("stall:push@1", &spec_error))
+      << spec_error;
+  a.set_fault_injector(&injector);
+
+  util::ByteBuffer payload = MakePayload(1024, 5);
+  // The triggering frame latches the stall; it queues but never flushes.
+  ASSERT_TRUE(a.SendFrame(MsgType::kPush, 1, 0, payload.span()));
+  EXPECT_TRUE(a.tx_stalled());
+  EXPECT_TRUE(a.rx_blocked());
+  EXPECT_FALSE(a.wants_write());  // frozen: never asks for POLLOUT
+
+  bool rejected = false;
+  for (int i = 0; i < 100 && !rejected; ++i) {
+    rejected = !a.SendFrame(MsgType::kPush, 2, 0, payload.span());
+  }
+  EXPECT_TRUE(rejected);
+  EXPECT_GE(metrics.backpressure_rejects->value(), 1.0);
+  EXPECT_NE(a.last_error().find("write queue full"), std::string::npos)
+      << a.last_error();
+  // Bounded: the queue never exceeded its cap plus one in-flight frame.
+  EXPECT_LE(a.queued_bytes(), 4096u + kFrameHeaderBytes + payload.size());
+  (void)b;
+}
+
+// An injected one-way (tx) partition silently discards outbound frames —
+// the app-level send "succeeds" — while the rx side stays live, the
+// network shape that used to park a worker in pull-wait for the full
+// step timeout.
+TEST(Connection, TxPartitionDropsFramesSilentlyWhileRxStaysLive) {
+  int fds[2];
+  MakeSocketPair(fds);
+  Connection a(fds[0]);
+  Connection b(fds[1]);
+
+  FaultInjector injector(/*seed=*/6);
+  std::string spec_error;
+  ASSERT_TRUE(injector.AddRulesFromSpec("partition:tx@1#*", &spec_error))
+      << spec_error;
+  a.set_fault_injector(&injector);
+
+  util::ByteBuffer payload = MakePayload(64, 2);
+  ASSERT_TRUE(a.SendFrame(MsgType::kPush, 1, 0, payload.span()));  // lost
+  EXPECT_TRUE(a.tx_dropped());
+  EXPECT_FALSE(a.rx_blocked());  // tx-only: the other direction is fine
+  EXPECT_EQ(a.FlushOutput(100), Connection::IoResult::kOk);
+  EXPECT_FALSE(a.wants_write());
+
+  // Nothing arrives at the peer.
+  Frame frame;
+  EXPECT_EQ(b.WaitFrame(&frame, 100), Connection::IoResult::kError);
+
+  // The reverse direction still delivers: b -> a is untouched.
+  ASSERT_TRUE(b.SendFrame(MsgType::kPull, 3, 0, payload.span()));
+  ASSERT_EQ(b.FlushOutput(1000), Connection::IoResult::kOk);
+  ASSERT_EQ(a.WaitFrame(&frame, 1000), Connection::IoResult::kOk);
+  EXPECT_EQ(frame.header.type, MsgType::kPull);
 }
 
 TEST(Connection, WaitFrameTimesOutAndCountsIt) {

@@ -12,7 +12,11 @@ slow and why" — this tool joins them into one human-readable summary:
   - barrier-wait attribution: slow steps per worker, summed wait, and the
     dominant cause (compute / encode / network) per worker, ending in a
     single "straggler: worker N (...)" line naming the fleet's slowest
-    worker — the line CI asserts on,
+    worker — the line CI asserts on; a worker whose lease expired is
+    tagged "hung", and a lease-evicted worker absent from the workers map
+    is still named ("straggler: worker N (hung; ...)"),
+  - liveness: per-worker last-heartbeat age and lease-expiry counts
+    (expiries survive eviction so the cause stays visible),
   - traffic per worker and the per-direction compression ratio.
 
 Usage:
@@ -127,21 +131,52 @@ def build_report(snap, steps):
                    f"{cause or '-':>15}")
         if slow > worst_slow:
             worst_id, worst_slow = wid, slow
+    expiries = snap.get("liveness", {}).get("lease_expiries", {})
+    hung = {wid for wid, n in expiries.items() if n > 0}
     current = straggler.get("current", -1)
     named = str(current) if current >= 0 else worst_id
-    if named is not None and named in workers and worst_slow >= 0:
+    conventional = named is not None and named in workers and worst_slow >= 0
+    named_slow = (workers[named].get("straggler_steps", 0)
+                  if conventional else 0)
+    if hung and (not conventional
+                 or (named_slow == 0 and named not in hung)):
+        # A hung worker trumps a straggler with nothing to say — notably
+        # a lease-evicted one that is gone from the workers map but whose
+        # expiry count survives in the liveness section.
+        wid = max(hung, key=lambda i: (expiries[i], -int(i)))
+        where = "evicted" if wid not in workers else "recovered"
+        out.append(f"straggler: worker {wid} "
+                   f"(hung; {expiries[wid]} lease expiries, {where})")
+    elif conventional:
         w = workers[named]
         cause, count = dominant_cause(w.get("straggler_causes", {}))
-        slow = w.get("straggler_steps", 0)
-        if slow > 0 and cause:
+        tag = "hung; " if named in hung else ""
+        if named_slow > 0 and cause:
             out.append(f"straggler: worker {named} "
-                       f"({slow} slow steps, dominant cause: {cause}, "
-                       f"{count}/{slow} attributed)")
+                       f"({tag}{named_slow} slow steps, "
+                       f"dominant cause: {cause}, "
+                       f"{count}/{named_slow} attributed)")
         else:
-            out.append(f"straggler: worker {named} (no attributed waits)")
+            out.append(f"straggler: worker {named} "
+                       f"({tag}no attributed waits)")
     else:
         out.append("straggler: none observed")
     out.append("")
+
+    # --- liveness ----------------------------------------------------------
+    ages = {wid: w.get("last_heartbeat_age_ms", -1)
+            for wid, w in workers.items()}
+    if expiries or any(age >= 0 for age in ages.values()):
+        out.append("-- liveness --")
+        out.append(f"{'worker':>6} {'hb_age_ms':>10} {'lease_expiries':>15}")
+        for wid in sorted(set(workers) | set(expiries), key=int):
+            age = ages.get(wid, -1)
+            marks = (["hung"] if wid in hung else []) + \
+                    (["evicted"] if wid not in workers else [])
+            note = f"  ({'; '.join(marks)})" if marks else ""
+            out.append(f"{wid:>6} {f'{age:.0f}' if age >= 0 else '-':>10} "
+                       f"{expiries.get(wid, 0):>15}{note}")
+        out.append("")
 
     # --- traffic and compression -------------------------------------------
     out.append("-- traffic --")
