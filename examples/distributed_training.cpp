@@ -70,6 +70,28 @@
 //                        server; --role server instead takes --resume to
 //                        restart manually from --server-checkpoint
 //
+// Storage-fault drills (checkpoint generations live at
+// "<server-checkpoint>.g<N>"; resume falls back past bad ones):
+//   --server-checkpoint-retain N
+//                        checkpoint generations kept on disk (default 2)
+//   --fs-fault SPEC      server-side filesystem fault spec, e.g.
+//                        "enospc:write@any#*" (disk full from the first
+//                        write on), "eio:fsync@2", "torn:rename@1" (the
+//                        rename is swallowed and the server dies at the
+//                        torn-write point); grammar in util/fs.h. Seeded
+//                        by --inject-seed; one injector instance spans
+//                        server incarnations so call counters keep
+//                        advancing across restarts
+//   --kill-server-at-checkpoint K
+//                        server dies between step K's checkpoint write
+//                        and its fan-out (the window where generation
+//                        fallback is bitwise-safe); the supervisor
+//                        resumes it like --kill-server-step
+//   --corrupt-newest-on-resume
+//                        (spawn mode) flip one byte in the newest
+//                        checkpoint generation before the first resume,
+//                        forcing the last-good fallback path
+//
 // SIGTERM/SIGINT: every role stops gracefully — the in-flight step is
 // abandoned cleanly, a resumable checkpoint is written (server: the server
 // checkpoint; worker: its v3 crash checkpoint in --state-dir), telemetry
@@ -87,9 +109,11 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <memory>
@@ -105,6 +129,7 @@
 #include "obs/telemetry.h"
 #include "rpc/fault.h"
 #include "rpc/runtime.h"
+#include "util/fs.h"
 #include "rpc/transport.h"
 #include "train/experiment.h"
 #include "train/model_zoo.h"
@@ -336,19 +361,86 @@ struct ServerParts {
 };
 
 // --server-checkpoint wins; killing the server without one would make the
-// crash unrecoverable, so --kill-server-step implies a default path under
-// --state-dir.
+// crash unrecoverable, so --kill-server-step (and the storage-drill kill,
+// --kill-server-at-checkpoint) implies a default path under --state-dir.
 std::string ServerCheckpointPath(const util::Flags& flags) {
   const std::string explicit_path = flags.GetString("server-checkpoint", "");
   if (!explicit_path.empty()) return explicit_path;
-  if (flags.GetInt("kill-server-step", -1) >= 0) {
+  if (flags.GetInt("kill-server-step", -1) >= 0 ||
+      flags.GetInt("kill-server-at-checkpoint", -1) >= 0) {
     return flags.GetString("state-dir", ".") + "/dt_server.sckpt";
   }
   return "";
 }
 
+// --fs-fault: a deterministic storage-fault injector for the server's
+// checkpoint writes. Built once per process (not per incarnation) so the
+// per-op call counters, occurrence latches, and the seeded short-write
+// stream span server restarts — a persistent "disk" whose behavior does
+// not reset because the process recovered.
+std::unique_ptr<util::FaultFs> MakeServerFs(const util::Flags& flags) {
+  const std::string spec = flags.GetString("fs-fault", "");
+  if (spec.empty()) return nullptr;
+  // Distinct stream from the frame injectors under a shared --inject-seed.
+  auto fs = std::make_unique<util::FaultFs>(
+      nullptr,
+      static_cast<std::uint64_t>(flags.GetInt("inject-seed", 1)) ^ 0xd15cull);
+  std::string spec_error;
+  THREELC_CHECK_MSG(fs->AddRulesFromSpec(spec, &spec_error),
+                    "bad --fs-fault spec: " << spec_error);
+  return fs;
+}
+
+// --corrupt-newest-on-resume: flip one byte in the middle of the newest
+// checkpoint generation, simulating at-rest corruption discovered at
+// resume time; the server must fall back to the previous good generation.
+bool CorruptNewestGeneration(const std::string& ckpt_path) {
+  const std::size_t slash = ckpt_path.rfind('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : ckpt_path.substr(0, slash);
+  const std::string prefix =
+      (slash == std::string::npos ? ckpt_path : ckpt_path.substr(slash + 1)) +
+      ".g";
+  std::vector<std::string> names;
+  if (!util::Fs::Real()->List(dir, &names)) return false;
+  long long newest = -1;
+  for (const std::string& name : names) {
+    if (name.rfind(prefix, 0) != 0) continue;
+    const std::string digits = name.substr(prefix.size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    newest = std::max(newest, std::atoll(digits.c_str()));
+  }
+  if (newest < 0) return false;
+  const std::string path = ckpt_path + ".g" + std::to_string(newest);
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  if (f == nullptr) return false;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  if (size <= 0) {
+    std::fclose(f);
+    return false;
+  }
+  std::fseek(f, size / 2, SEEK_SET);
+  const int byte = std::fgetc(f);
+  if (byte == EOF) {
+    std::fclose(f);
+    return false;
+  }
+  std::fseek(f, size / 2, SEEK_SET);
+  std::fputc(byte ^ 0x40, f);
+  std::fclose(f);
+  std::printf("corrupting newest generation %s (byte %ld)\n", path.c_str(),
+              size / 2);
+  std::fflush(stdout);
+  return true;
+}
+
 ServerParts MakeServerParts(const Setup& setup, const util::Flags& flags,
-                            obs::Telemetry* telemetry) {
+                            obs::Telemetry* telemetry,
+                            util::Fs* fs = nullptr) {
   const train::TrainerConfig& tc = setup.config.trainer;
   ServerParts parts;
   parts.model = std::make_unique<nn::Model>(
@@ -375,7 +467,11 @@ ServerParts MakeServerParts(const Setup& setup, const util::Flags& flags,
   sc.checkpoint_path = ServerCheckpointPath(flags);
   sc.checkpoint_every =
       static_cast<int>(flags.GetInt("server-checkpoint-every", 1));
+  sc.checkpoint_retain =
+      static_cast<int>(flags.GetInt("server-checkpoint-retain", 2));
+  sc.fs = fs;
   sc.exit_after_step = flags.GetInt("kill-server-step", -1);
+  sc.exit_at_checkpoint = flags.GetInt("kill-server-at-checkpoint", -1);
   sc.stop_flag = &g_stop;
   sc.telemetry = telemetry;
   sc.block_codec = setup.block_codec;
@@ -525,7 +621,11 @@ int RunSpawn(const util::Flags& flags) {
     return 1;
   }
 
-  ServerParts parts = MakeServerParts(setup, flags, telemetry.get());
+  // One storage-fault injector for the whole supervised run: its call
+  // counters and latches persist across server incarnations.
+  std::unique_ptr<util::FaultFs> server_fs = MakeServerFs(flags);
+  ServerParts parts = MakeServerParts(setup, flags, telemetry.get(),
+                                      server_fs.get());
   parts.server->AdoptListener(listen_fd, bound_port);
 
   // Reap children continuously while the server runs: a worker that dies
@@ -652,6 +752,7 @@ int RunSpawn(const util::Flags& flags) {
   const std::string server_ckpt = ServerCheckpointPath(flags);
   bool server_ok = false;
   bool server_interrupted = false;
+  bool corrupted_newest = false;
   for (int incarnation = 1;; ++incarnation) {
     server_ok = parts.server->Run();
     server_interrupted = parts.server->interrupted();
@@ -665,7 +766,16 @@ int RunSpawn(const util::Flags& flags) {
     std::printf("server crashed (%s); resuming from %s\n",
                 parts.server->error().c_str(), server_ckpt.c_str());
     std::fflush(stdout);
-    ServerParts next = MakeServerParts(setup, flags, telemetry.get());
+    if (flags.GetBool("corrupt-newest-on-resume", false) &&
+        !corrupted_newest) {
+      corrupted_newest = true;
+      if (!CorruptNewestGeneration(server_ckpt)) {
+        std::fprintf(stderr,
+                     "corrupt-newest-on-resume: no generation file found\n");
+      }
+    }
+    ServerParts next = MakeServerParts(setup, flags, telemetry.get(),
+                                       server_fs.get());
     std::string resume_error;
     if (!next.server->ResumeFromCheckpoint(server_ckpt, &resume_error)) {
       std::fprintf(stderr, "cannot resume server: %s\n",
@@ -857,7 +967,9 @@ int main(int argc, char** argv) {
           opts.monitoring_enabled()) {
         telemetry = std::make_unique<obs::Telemetry>(opts);
       }
-      ServerParts parts = MakeServerParts(setup, flags, telemetry.get());
+      std::unique_ptr<util::FaultFs> server_fs = MakeServerFs(flags);
+      ServerParts parts = MakeServerParts(setup, flags, telemetry.get(),
+                                          server_fs.get());
       std::string error;
       int rc = 0;
       bool completed = false;

@@ -111,14 +111,15 @@ T ReadScalarRaw(std::istream& in) {
 // the skip-if-incompressible escape) writes the bare blob, byte-for-byte
 // what pre-container versions wrote.
 void WriteBlob(const std::string& path, const util::ByteBuffer& blob,
-               const std::string& block_codec, const char* what) {
+               const std::string& block_codec, const char* what,
+               util::Fs* fs) {
   const blockcodec::BlockCodec* codec = blockcodec::Find(block_codec);
   if (codec == nullptr) {
     throw std::runtime_error(std::string(what) + ": unknown block codec '" +
                              block_codec + "' (known: " +
                              blockcodec::KnownNames() + ")");
   }
-  util::AtomicFileWriter out(path);
+  util::AtomicFileWriter out(path, fs);
   bool wrapped = false;
   if (codec->id() != blockcodec::kStoreId) {
     util::ByteBuffer encoded;
@@ -361,7 +362,7 @@ void ReadServerStateSection(CrcReader& body, ServerState* state) {
 }  // namespace
 
 void SaveCheckpoint(Model& model, const std::string& path, bool checksum,
-                    const std::string& block_codec) {
+                    const std::string& block_codec, util::Fs* fs) {
   util::ByteBuffer blob;
   blob.Append(kMagic, sizeof(kMagic));
   const std::uint32_t version = checksum ? kVersionChecksum : kVersionPlain;
@@ -370,12 +371,12 @@ void SaveCheckpoint(Model& model, const std::string& path, bool checksum,
   CrcWriter body{blob};
   WriteTensorSection(body, model);
   if (checksum) blob.Append(&body.crc, sizeof(body.crc));
-  WriteBlob(path, blob, block_codec, "checkpoint");
+  WriteBlob(path, blob, block_codec, "checkpoint", fs);
 }
 
 void SaveCheckpointWithState(Model& model, const TrainState& state,
                              const std::string& path,
-                             const std::string& block_codec) {
+                             const std::string& block_codec, util::Fs* fs) {
   util::ByteBuffer blob;
   blob.Append(kMagic, sizeof(kMagic));
   const std::uint32_t version = kVersionTrainState;
@@ -385,7 +386,7 @@ void SaveCheckpointWithState(Model& model, const TrainState& state,
   WriteTensorSection(body, model);
   WriteStateSection(body, state);
   blob.Append(&body.crc, sizeof(body.crc));
-  WriteBlob(path, blob, block_codec, "checkpoint");
+  WriteBlob(path, blob, block_codec, "checkpoint", fs);
 }
 
 void LoadCheckpoint(Model& model, const std::string& path) {
@@ -399,7 +400,7 @@ void LoadCheckpointState(Model& model, TrainState* state,
 
 void SaveServerCheckpoint(Model& model, const ServerState& state,
                           const std::string& path,
-                          const std::string& block_codec) {
+                          const std::string& block_codec, util::Fs* fs) {
   util::ByteBuffer blob;
   blob.Append(kServerMagic, sizeof(kServerMagic));
   const std::uint32_t version = kServerVersion;
@@ -409,7 +410,7 @@ void SaveServerCheckpoint(Model& model, const ServerState& state,
   WriteTensorSection(body, model);
   WriteServerStateSection(body, state);
   blob.Append(&body.crc, sizeof(body.crc));
-  WriteBlob(path, blob, block_codec, "server checkpoint");
+  WriteBlob(path, blob, block_codec, "server checkpoint", fs);
 }
 
 void LoadServerCheckpoint(Model& model, ServerState* state,

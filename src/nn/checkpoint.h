@@ -46,8 +46,13 @@
 // be smaller than the bare stream skips the container entirely.
 //
 // All save paths write atomically (util::AtomicFileWriter: temp sibling +
-// fsync + rename), so a crash mid-write leaves either the previous
-// complete checkpoint or the new one — never a torn file.
+// fsync + rename + parent-dir fsync), so a crash mid-write leaves either
+// the previous complete checkpoint or the new one — never a torn file.
+// Every save takes an optional util::Fs* syscall seam (nullptr = the real
+// filesystem) so storage-fault drills can fail exactly one call; see
+// util/fs.h. Loads read through plain streams — a corrupt file is the
+// interesting failure there, and CheckpointManager (checkpoint_manager.h)
+// layers generation fallback on top of these primitives.
 #pragma once
 
 #include <cstdint>
@@ -55,6 +60,7 @@
 #include <vector>
 
 #include "nn/model.h"
+#include "util/fs.h"
 
 namespace threelc::nn {
 
@@ -76,7 +82,8 @@ struct TrainState {
 // std::runtime_error on I/O failure or an unknown codec name.
 void SaveCheckpoint(Model& model, const std::string& path,
                     bool checksum = true,
-                    const std::string& block_codec = "store");
+                    const std::string& block_codec = "store",
+                    util::Fs* fs = nullptr);
 
 // Restores a checkpoint written by SaveCheckpoint into an architecturally
 // identical model, verifying the CRC32C trailer when present. Throws
@@ -90,7 +97,8 @@ void LoadCheckpoint(Model& model, const std::string& path);
 // std::runtime_error on I/O failure or an unknown codec name.
 void SaveCheckpointWithState(Model& model, const TrainState& state,
                              const std::string& path,
-                             const std::string& block_codec = "store");
+                             const std::string& block_codec = "store",
+                             util::Fs* fs = nullptr);
 
 // Restores a version-3 checkpoint into `model` and `*state`. Throws
 // std::runtime_error if the file lacks a training-state section (version
@@ -130,7 +138,8 @@ struct ServerState {
 // Throws std::runtime_error on I/O failure or an unknown codec name.
 void SaveServerCheckpoint(Model& model, const ServerState& state,
                           const std::string& path,
-                          const std::string& block_codec = "store");
+                          const std::string& block_codec = "store",
+                          util::Fs* fs = nullptr);
 
 // Restores a server checkpoint into `model` and `*state`. Throws
 // std::runtime_error on I/O failure, bad magic/version, truncation, CRC

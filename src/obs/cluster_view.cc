@@ -152,6 +152,12 @@ void ClusterView::SetRawBytesPerStep(std::uint64_t push_raw,
   raw_pull_bytes_per_step_ = pull_raw;
 }
 
+void ClusterView::SetStorageHealth(const StorageHealth& health) {
+  std::lock_guard<std::mutex> lock(mu_);
+  have_storage_ = true;
+  storage_ = health;
+}
+
 std::size_t ClusterView::worker_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return workers_.size();
@@ -328,7 +334,23 @@ std::string ClusterView::ToJson() const {
     out += "\":";
     AppendJsonNumber(out, n);
   }
-  out += "}}}";
+  out += "}}";
+  if (have_storage_) {
+    out += ",\"storage\":{\"checkpoints\":";
+    AppendJsonNumber(out, storage_.checkpoints);
+    out += ",\"write_failures\":";
+    AppendJsonNumber(out, storage_.write_failures);
+    out += ",\"fallbacks\":";
+    AppendJsonNumber(out, storage_.fallbacks);
+    out += ",\"generations\":";
+    AppendJsonNumber(out, storage_.generations);
+    out += ",\"last_write_ms\":";
+    AppendJsonNumber(out, storage_.last_write_ms);
+    out += ",\"degraded\":";
+    out += storage_.degraded ? "true" : "false";
+    out += "}";
+  }
+  out += "}";
   return out;
 }
 

@@ -104,6 +104,20 @@ class ClusterView {
   // (model size x 4 bytes); enables per-direction compression ratios.
   void SetRawBytesPerStep(std::uint64_t push_raw, std::uint64_t pull_raw);
 
+  // Server checkpoint storage health, refreshed after every write attempt
+  // and resume (see rpc::RpcServer). Surfaces on /clusterz as a
+  // "storage" section; run_report.py renders it alongside the
+  // checkpoint-stage latency from the step log.
+  struct StorageHealth {
+    std::uint64_t checkpoints = 0;      // successful generation writes
+    std::uint64_t write_failures = 0;   // failed write attempts
+    std::uint64_t fallbacks = 0;        // bad generations skipped on resume
+    std::uint64_t generations = 0;      // generations currently on disk
+    double last_write_ms = 0.0;         // latency of the last good write
+    bool degraded = false;              // writes currently failing
+  };
+  void SetStorageHealth(const StorageHealth& health);
+
   // The /clusterz payload: per-worker phase quantiles, traffic, straggler
   // attribution, fleet-wide merged view.
   std::string ToJson() const;
@@ -164,6 +178,10 @@ class ClusterView {
   std::uint64_t straggler_flips_ = 0;
   std::uint64_t raw_push_bytes_per_step_ = 0;
   std::uint64_t raw_pull_bytes_per_step_ = 0;
+  // Present in /clusterz only once the server reported it (old snapshots
+  // and worker-side views carry no "storage" section).
+  bool have_storage_ = false;
+  StorageHealth storage_;
 };
 
 }  // namespace threelc::obs

@@ -4,9 +4,11 @@
 #include <cmath>
 #include <exception>
 #include <sstream>
+#include <thread>
 
 #include "blockcodec/block_codec.h"
 #include "nn/checkpoint.h"
+#include "nn/checkpoint_manager.h"
 #include "nn/lr_schedule.h"
 #include "rpc/fault.h"
 #include "obs/cluster_view.h"
@@ -140,6 +142,8 @@ RpcServer::RpcServer(RpcServerConfig config, ps::ParameterServer& ps,
     OnDisconnect(conn, reason);
   };
 }
+
+RpcServer::~RpcServer() = default;
 
 bool RpcServer::Listen(std::string* error) {
   return tcp_.Listen(config_.host, config_.port, error);
@@ -676,7 +680,10 @@ void RpcServer::MaybeReassembled() {
   RecordMembershipEvent("all workers rejoined after server restart (epoch " +
                             std::to_string(epoch_) + "); run re-assembled",
                         /*error=*/false);
-  if (config_.telemetry != nullptr && config_.telemetry->health() != nullptr) {
+  // A storage degradation (checkpoint writes failing) outlives the
+  // re-assembly: only a successful write clears it.
+  if (config_.telemetry != nullptr && config_.telemetry->health() != nullptr &&
+      !ckpt_degraded_) {
     config_.telemetry->health()->SetRuntimeState(
         obs::RuntimeState::kHealthy,
         "all workers rejoined after server restart");
@@ -1055,6 +1062,15 @@ bool RpcServer::RunStep(std::int64_t step, float lr) {
   }
   const double checkpoint_ms = checkpoint_timer.ElapsedMillis();
 
+  // Chaos drill: die between the checkpoint write and the fan-out — the
+  // window where a generation fallback on resume is provably bitwise-safe
+  // (no worker has seen this step's result yet).
+  if (step == config_.exit_at_checkpoint) {
+    SimulatedCrash("simulated server crash at step " + std::to_string(step) +
+                   "'s checkpoint (before fan-out)");
+    return false;
+  }
+
   util::WallTimer fanout_timer;
   {
     obs::ScopedSpan span(tracer, "rpc/fan_out", 0, step);
@@ -1214,6 +1230,85 @@ bool RpcServer::ApplyWorkerBuffers() {
   return true;
 }
 
+nn::CheckpointManager& RpcServer::Checkpointer() {
+  if (ckpt_ == nullptr) {
+    nn::CheckpointManager::Options options;
+    options.path = config_.checkpoint_path;
+    options.retain = config_.checkpoint_retain;
+    options.block_codec = config_.block_codec;
+    options.fs = config_.fs;
+    ckpt_ = std::make_unique<nn::CheckpointManager>(std::move(options));
+    const int swept = ckpt_->ScanAndSweep();
+    if (swept > 0) {
+      THREELC_LOG(Warn) << "rpc server: swept " << swept
+                        << " stale checkpoint temp file(s) beside "
+                        << config_.checkpoint_path;
+    }
+  }
+  return *ckpt_;
+}
+
+void RpcServer::PublishStorageHealth() {
+  if (config_.telemetry == nullptr) return;
+  if (ckpt_ != nullptr) {
+    config_.telemetry->metrics().gauge("ckpt/generations")
+        ->Set(static_cast<double>(ckpt_->generation_count()));
+  }
+  if (obs::ClusterView* view = config_.telemetry->cluster_view()) {
+    obs::ClusterView::StorageHealth health;
+    health.checkpoints = ckpt_writes_;
+    health.write_failures = ckpt_write_failures_;
+    health.fallbacks = ckpt_fallbacks_;
+    health.generations = ckpt_ != nullptr
+                             ? static_cast<std::uint64_t>(
+                                   ckpt_->generation_count())
+                             : 0;
+    health.last_write_ms = last_ckpt_write_ms_;
+    health.degraded = ckpt_degraded_;
+    view->SetStorageHealth(health);
+  }
+}
+
+void RpcServer::NoteCheckpointFailure(const std::string& why) {
+  ++ckpt_write_failures_;
+  AddCounter(config_.telemetry, "ckpt/write_failures", 1.0);
+  THREELC_LOG(Warn) << "rpc server: checkpoint write failed: " << why;
+  if (config_.telemetry != nullptr) {
+    if (obs::FlightRecorder* flight = config_.telemetry->flight_recorder()) {
+      obs::HealthEvent event;
+      event.severity = obs::HealthSeverity::kWarn;
+      event.detector = "ckpt_storage";
+      event.step = static_cast<std::uint64_t>(
+          std::max<std::int64_t>(current_step_, 0));
+      event.message = "checkpoint write failed: " + why;
+      flight->RecordEvent(event);
+    }
+  }
+  PublishStorageHealth();
+}
+
+void RpcServer::NoteCheckpointSuccess(double write_ms) {
+  ++ckpt_writes_;
+  last_ckpt_write_ms_ = write_ms;
+  if (ckpt_degraded_) {
+    ckpt_degraded_ = false;
+    RecordMembershipEvent("checkpoint writes recovered (generation " +
+                              std::to_string(ckpt_->next_generation() - 1) +
+                              " durable)",
+                          /*error=*/false);
+    bool otherwise_degraded = WaitingWorkers() != 0;
+    for (Member m : member_state_) {
+      if (m == Member::kEvicted) otherwise_degraded = true;
+    }
+    if (!otherwise_degraded && config_.telemetry != nullptr &&
+        config_.telemetry->health() != nullptr) {
+      config_.telemetry->health()->SetRuntimeState(
+          obs::RuntimeState::kHealthy, "checkpoint writes recovered");
+    }
+  }
+  PublishStorageHealth();
+}
+
 bool RpcServer::WriteCheckpoint(std::int64_t next_step, bool force) {
   if (config_.checkpoint_path.empty()) return true;
   const auto every =
@@ -1243,25 +1338,106 @@ bool RpcServer::WriteCheckpoint(std::int64_t next_step, bool force) {
     }
     state.replay.push_back(std::move(rs));
   }
-  try {
-    nn::SaveServerCheckpoint(ps_->global_model(), state,
-                             config_.checkpoint_path, config_.block_codec);
-  } catch (const std::exception& e) {
-    // A server that promised durability but cannot deliver it must not keep
-    // training: workers could advance past a state that can never be
-    // restored.
-    Fail(std::string("writing server checkpoint: ") + e.what());
+  // Degraded-but-alive storage posture: a failed write is retried with a
+  // linear backoff, and exhaustion degrades the run (recovery is at risk
+  // — a crash now replays from the last intact generation) instead of
+  // aborting it. The write-ahead invariant holds either way: nothing has
+  // been fanned out yet, so the last intact generation still covers
+  // everything any worker has seen.
+  nn::CheckpointManager& ckpt = Checkpointer();
+  const int attempts = 1 + std::max(config_.checkpoint_write_retries, 0);
+  bool written = false;
+  std::string last_error;
+  util::WallTimer write_timer;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0 && config_.checkpoint_retry_backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          config_.checkpoint_retry_backoff_ms * attempt));
+    }
+    try {
+      ckpt.Save(ps_->global_model(), state);
+      written = true;
+      break;
+    } catch (const std::exception& e) {
+      last_error = e.what();
+      NoteCheckpointFailure("generation " +
+                            std::to_string(ckpt.next_generation()) +
+                            " attempt " + std::to_string(attempt + 1) + "/" +
+                            std::to_string(attempts) + ": " + e.what());
+    }
+  }
+  if (written) {
+    AddCounter(config_.telemetry, "rpc/server_checkpoints", 1.0);
+    NoteCheckpointSuccess(write_timer.ElapsedMillis());
+  } else if (!ckpt_degraded_) {
+    ckpt_degraded_ = true;
+    RecordMembershipEvent(
+        "checkpoint write failing; recovery at risk (training continues on " +
+            std::string(ckpt.generation_count() > 0
+                            ? "the last intact generation"
+                            : "no durable checkpoint") +
+            "): " + last_error,
+        /*error=*/true);
+    if (config_.telemetry != nullptr &&
+        config_.telemetry->health() != nullptr) {
+      config_.telemetry->health()->SetRuntimeState(
+          obs::RuntimeState::kDegraded,
+          "checkpoint write failing; recovery at risk: " + last_error);
+    }
+    PublishStorageHealth();
+  } else {
+    PublishStorageHealth();
+  }
+  // A torn-rename fault latches a crash request: die here, at the exact
+  // point a power loss would have torn the write — before any fan-out, so
+  // generation fallback on resume is bitwise-safe.
+  if (config_.fs != nullptr && config_.fs->TakeCrashRequest()) {
+    SimulatedCrash("injected torn checkpoint write for step " +
+                   std::to_string(next_step));
     return false;
   }
-  AddCounter(config_.telemetry, "rpc/server_checkpoints", 1.0);
   return true;
 }
 
 bool RpcServer::ResumeFromCheckpoint(const std::string& path,
                                      std::string* error) {
+  // Generation-aware load: newest usable generation under `path`, with
+  // last-good fallback past torn/corrupt ones (nn::CheckpointManager).
+  nn::CheckpointManager* manager;
+  std::unique_ptr<nn::CheckpointManager> scratch;
+  if (!config_.checkpoint_path.empty() && path == config_.checkpoint_path) {
+    manager = &Checkpointer();
+  } else {
+    nn::CheckpointManager::Options options;
+    options.path = path;
+    options.retain = config_.checkpoint_retain;
+    options.block_codec = config_.block_codec;
+    options.fs = config_.fs;
+    scratch = std::make_unique<nn::CheckpointManager>(std::move(options));
+    manager = scratch.get();
+  }
+
   nn::ServerState state;
+  std::string load_error;
+  if (!manager->Load(ps_->global_model(), &state, &load_error)) {
+    if (error != nullptr) {
+      *error = "loading server checkpoint '" + path + "': " + load_error;
+    }
+    return false;
+  }
+  for (const std::string& line : manager->fallback_log()) {
+    THREELC_LOG(Warn) << "rpc server: " << line;
+  }
+  if (manager->fallbacks() > 0) {
+    ckpt_fallbacks_ += static_cast<std::size_t>(manager->fallbacks());
+    AddCounter(config_.telemetry, "ckpt/fallbacks",
+               static_cast<double>(manager->fallbacks()));
+    THREELC_LOG(Warn) << "rpc server: newest checkpoint generation unusable; "
+                      << "fell back " << manager->fallbacks()
+                      << " generation(s) to '" << manager->loaded_path()
+                      << "'";
+  }
   try {
-    nn::LoadServerCheckpoint(ps_->global_model(), &state, path);
     util::ByteReader reader(
         util::ByteSpan(state.ps_state.data(), state.ps_state.size()));
     ps_->LoadState(reader);
@@ -1270,7 +1446,8 @@ bool RpcServer::ResumeFromCheckpoint(const std::string& path,
     }
   } catch (const std::exception& e) {
     if (error != nullptr) {
-      *error = "loading server checkpoint '" + path + "': " + e.what();
+      *error = "loading server checkpoint '" + manager->loaded_path() +
+               "': " + e.what();
     }
     return false;
   }
@@ -1303,8 +1480,10 @@ bool RpcServer::ResumeFromCheckpoint(const std::string& path,
                          std::move(tensors));
   }
   resumed_ = true;
-  THREELC_LOG(Info) << "rpc server: resumed from checkpoint '" << path
-                    << "' at step " << resume_step_ << " as epoch " << epoch_;
+  PublishStorageHealth();
+  THREELC_LOG(Info) << "rpc server: resumed from checkpoint '"
+                    << manager->loaded_path() << "' at step " << resume_step_
+                    << " as epoch " << epoch_;
   return true;
 }
 
@@ -1323,8 +1502,9 @@ void RpcServer::SimulatedCrash(const std::string& why) {
 }
 
 void RpcServer::GracefulStop(const std::string& reason) {
-  // Durability first: if the checkpoint cannot be written this becomes a
-  // hard Fail (with health kFailed), not a clean interruption.
+  // Durability first. A write failure degrades rather than fails (the
+  // last intact generation still covers every step a worker saw); false
+  // here means an injected crash latch fired, which wins over the stop.
   if (!WriteCheckpoint(std::max<std::int64_t>(current_step_, 0),
                        /*force=*/true)) {
     return;

@@ -73,10 +73,15 @@
 #include "ps/server.h"
 #include "ps/worker.h"
 #include "rpc/transport.h"
+#include "util/fs.h"
 #include "util/timer.h"
 
 namespace threelc::obs {
 class Telemetry;
+}
+
+namespace threelc::nn {
+class CheckpointManager;
 }
 
 namespace threelc::blockcodec {
@@ -136,10 +141,31 @@ struct RpcServerConfig {
   // rejected (documented clean failure, never silent divergence).
   std::string checkpoint_path;
   int checkpoint_every = 1;
+  // Generations of the server checkpoint kept on disk
+  // ("<checkpoint_path>.g<N>", see nn/checkpoint_manager.h). 2 gives
+  // last-good fallback when the newest generation is torn or corrupt.
+  int checkpoint_retain = 2;
+  // Storage-fault posture: a failed checkpoint write is retried this many
+  // times (after the first attempt) with a linear backoff between tries,
+  // then training continues DEGRADED on the last intact generation —
+  // /healthz flips to degraded with a "recovery at risk" reason and
+  // ckpt/write_failures counts every failed attempt — instead of
+  // aborting the run. A later successful write restores healthy.
+  int checkpoint_write_retries = 2;
+  int checkpoint_retry_backoff_ms = 10;
+  // Syscall seam for checkpoint writes (util/fs.h); nullptr = the real
+  // filesystem. Chaos drills install a FaultFs here. Not owned.
+  util::Fs* fs = nullptr;
   // Chaos testing: after completing this step (its checkpoint already on
   // disk), drop every socket abruptly — no ERROR broadcast, no flush —
   // and return from Run with simulated_exit() true. -1 disables.
   std::int64_t exit_after_step = -1;
+  // Chaos testing: crash BETWEEN step K's checkpoint write and its pull
+  // fan-out — the exact window where the write-ahead invariant makes a
+  // generation fallback bitwise-safe (no worker has seen step K's
+  // result). -1 disables. Distinct from exit_after_step, which crashes
+  // after the fan-out completed.
+  std::int64_t exit_at_checkpoint = -1;
   // Graceful stop (e.g. set by a SIGTERM handler): polled by the event
   // loop; when it flips true the server writes a forced checkpoint,
   // notifies workers, closes cleanly, and returns with interrupted()
@@ -164,6 +190,7 @@ class RpcServer {
   // (Compressor::name()).
   RpcServer(RpcServerConfig config, ps::ParameterServer& ps,
             std::string codec_name);
+  ~RpcServer();  // out of line: ckpt_ is incomplete here
 
   // Bind the configured host:port. Alternatively adopt a listener created
   // before fork (so children learn an ephemeral port from the parent).
@@ -197,6 +224,11 @@ class RpcServer {
   // ResumeFromCheckpoint. Carried in every handshake (protocol v3).
   std::uint64_t epoch() const { return epoch_; }
   bool resumed() const { return resumed_; }
+  // Storage health: failed checkpoint write attempts this incarnation,
+  // and bad generations skipped by ResumeFromCheckpoint's last-good
+  // fallback (0 = the newest generation was usable).
+  std::size_t checkpoint_write_failures() const { return ckpt_write_failures_; }
+  std::size_t checkpoint_fallbacks() const { return ckpt_fallbacks_; }
   // True when Run returned false because exit_after_step (or an injected
   // killserver fault) fired — an intentional simulated crash, not a fault.
   bool simulated_exit() const { return simulated_exit_; }
@@ -261,12 +293,25 @@ class RpcServer {
   void StampBarrierArrival(std::size_t w);
 
   // Server-recovery plumbing. WriteCheckpoint persists the current state
-  // under `next_step` when the cadence (or `force`) says so; Fails the run
-  // on I/O error (a server that promised durability but cannot deliver it
-  // must not keep training). SimulatedCrash drops every socket with no
-  // goodbye. GracefulStop is the stop_flag path: forced checkpoint, ERROR
-  // notice to workers, interrupted() true.
+  // under `next_step` when the cadence (or `force`) says so, writing the
+  // next checkpoint generation through the CheckpointManager. An I/O
+  // error is retried (checkpoint_write_retries, linear backoff), then
+  // training continues DEGRADED on the last intact generation — recovery
+  // is at risk but the run is not aborted — so the return value is only
+  // false when a crash latch fired, never on write failure.
+  // SimulatedCrash drops every socket with no goodbye. GracefulStop is
+  // the stop_flag path: forced checkpoint, ERROR notice to workers,
+  // interrupted() true.
   bool WriteCheckpoint(std::int64_t next_step, bool force);
+  // Lazily build ckpt_ for config_.checkpoint_path (first call scans the
+  // checkpoint directory and sweeps dead writers' temp files).
+  nn::CheckpointManager& Checkpointer();
+  // Degrade/restore the checkpoint-health latch (ckpt_degraded_) and its
+  // /healthz + cluster-view reflection.
+  void NoteCheckpointFailure(const std::string& why);
+  void NoteCheckpointSuccess(double write_ms);
+  // Refresh the ckpt/generations gauge and the /clusterz storage section.
+  void PublishStorageHealth();
   void SimulatedCrash(const std::string& why);
   void GracefulStop(const std::string& reason);
   // After a successful rejoin: clear the degraded re-assembly state once
@@ -332,6 +377,17 @@ class RpcServer {
   std::int64_t resume_step_ = 0;  // first step this incarnation collects
   bool simulated_exit_ = false;
   bool interrupted_ = false;
+
+  // Storage-health state. ckpt_ owns the generation files under
+  // config_.checkpoint_path; ckpt_degraded_ latches "writes are failing,
+  // recovery at risk" so /healthz degradation from storage is not
+  // cleared by unrelated recoveries (e.g. a rejoin completing).
+  std::unique_ptr<nn::CheckpointManager> ckpt_;
+  bool ckpt_degraded_ = false;
+  std::size_t ckpt_writes_ = 0;
+  std::size_t ckpt_write_failures_ = 0;
+  std::size_t ckpt_fallbacks_ = 0;
+  double last_ckpt_write_ms_ = 0.0;
 
   std::atomic<bool> stop_requested_{false};
   std::mutex stop_mutex_;

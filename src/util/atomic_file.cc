@@ -16,15 +16,25 @@ std::string ErrnoString(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
 }
 
+// The directory whose entry table holds `path` — what must be fsynced
+// for a rename into `path` to survive power loss.
+std::string ParentDir(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
 }  // namespace
 
-AtomicFileWriter::AtomicFileWriter(std::string path)
-    : path_(std::move(path)),
+AtomicFileWriter::AtomicFileWriter(std::string path, Fs* fs)
+    : fs_(ResolveFs(fs)),
+      path_(std::move(path)),
       // The pid suffix keeps concurrent writers (e.g. a supervisor and a
       // child both checkpointing into one state dir) from clobbering each
       // other's in-flight temp file; the rename still serializes them.
       temp_path_(path_ + ".tmp." + std::to_string(::getpid())) {
-  fd_ = ::open(temp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  fd_ = fs_.Open(temp_path_, O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd_ < 0) {
     throw std::runtime_error("atomic write: cannot create " + temp_path_ +
                              " (" + ErrnoString("open") + ")");
@@ -37,10 +47,10 @@ AtomicFileWriter::~AtomicFileWriter() {
 
 void AtomicFileWriter::Abort() {
   if (fd_ >= 0) {
-    ::close(fd_);
+    fs_.Close(fd_);
     fd_ = -1;
   }
-  ::unlink(temp_path_.c_str());
+  fs_.Unlink(temp_path_);
 }
 
 void AtomicFileWriter::Write(const void* data, std::size_t n) {
@@ -50,7 +60,7 @@ void AtomicFileWriter::Write(const void* data, std::size_t n) {
   }
   const auto* p = static_cast<const char*>(data);
   while (n > 0) {
-    const ssize_t written = ::write(fd_, p, n);
+    const ssize_t written = fs_.Write(fd_, p, n);
     if (written < 0) {
       if (errno == EINTR) continue;
       const std::string err = ErrnoString("write");
@@ -68,26 +78,42 @@ void AtomicFileWriter::Commit() {
     throw std::runtime_error("atomic write: writer for " + path_ +
                              " is closed");
   }
-  if (::fsync(fd_) != 0) {
+  if (fs_.Fsync(fd_) != 0) {
     const std::string err = ErrnoString("fsync");
     Abort();
     throw std::runtime_error("atomic write: syncing " + temp_path_ + " (" +
                              err + ")");
   }
-  if (::close(fd_) != 0) {
+  if (fs_.Close(fd_) != 0) {
     fd_ = -1;
     const std::string err = ErrnoString("close");
-    ::unlink(temp_path_.c_str());
+    fs_.Unlink(temp_path_);
     throw std::runtime_error("atomic write: closing " + temp_path_ + " (" +
                              err + ")");
   }
   fd_ = -1;
-  if (::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+  if (fs_.Rename(temp_path_, path_) != 0) {
     const std::string err = ErrnoString("rename");
-    ::unlink(temp_path_.c_str());
+    fs_.Unlink(temp_path_);
     throw std::runtime_error("atomic write: renaming " + temp_path_ +
                              " -> " + path_ + " (" + err + ")");
   }
+  // Make the rename itself durable: the new directory entry lives in the
+  // parent's data, and only an fsync of the directory pins it. Without
+  // this a power loss after Commit() could resurrect the old file.
+  const std::string dir = ParentDir(path_);
+  const int dir_fd = fs_.Open(dir, O_RDONLY | O_DIRECTORY, 0);
+  if (dir_fd < 0) {
+    throw std::runtime_error("atomic write: opening directory " + dir +
+                             " (" + ErrnoString("open") + ")");
+  }
+  if (fs_.Fsync(dir_fd) != 0) {
+    const std::string err = ErrnoString("fsync");
+    fs_.Close(dir_fd);
+    throw std::runtime_error("atomic write: syncing directory " + dir + " (" +
+                             err + ")");
+  }
+  fs_.Close(dir_fd);
   committed_ = true;
 }
 

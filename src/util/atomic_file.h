@@ -1,33 +1,48 @@
-// Crash-safe file replacement: write to a temp sibling, fsync, rename.
+// Crash-safe file replacement: write to a temp sibling, fsync, rename,
+// fsync the parent directory.
 //
 // rename(2) within one directory is atomic on POSIX filesystems, so a
 // reader never observes a half-written file at `path` — it sees either
 // the previous complete contents or the new complete contents. The fsync
 // before the rename orders the data ahead of the name change, so a power
-// loss cannot leave the new name pointing at unwritten blocks. This is
-// the write path for every checkpoint in the repo (worker v3 and the
-// server-state record): a crash mid-checkpoint must never leave a torn
-// file that exists but fails its CRC on the next boot.
+// loss cannot leave the new name pointing at unwritten blocks; the fsync
+// of the parent directory after the rename makes the name change itself
+// durable (the rename lives in the directory's data — without this sync
+// a power loss can silently revert a "committed" file to its previous
+// contents, which for a write-ahead checkpoint would resurrect a state
+// the workers have already moved past). After Commit() returns, the new
+// contents are on disk under `path` and survive power loss. This is the
+// write path for every checkpoint in the repo (worker v3 and the server
+// generation files): a crash mid-checkpoint must never leave a torn file
+// that exists but fails its CRC on the next boot.
 //
 // Usage:
 //   AtomicFileWriter w(path);          // opens "<path>.tmp.<pid>"
 //   w.Write(data, n); ...              // any number of writes
-//   w.Commit();                        // fsync + rename into place; throws
-//                                      // std::runtime_error on any failure
+//   w.Commit();                        // fsync + rename + dir fsync;
+//                                      // throws std::runtime_error on
+//                                      // any failure
 // A writer destroyed without Commit() (exception unwind, early return)
 // removes its temp file; the previous checkpoint at `path` is untouched.
+//
+// All syscalls go through an injectable util::Fs (nullptr selects the
+// real filesystem), so storage-fault drills can fail exactly one write
+// or tear exactly one rename; see util/fs.h.
 #pragma once
 
 #include <cstddef>
 #include <string>
+
+#include "util/fs.h"
 
 namespace threelc::util {
 
 class AtomicFileWriter {
  public:
   // Opens the temp sibling for writing. Throws std::runtime_error when the
-  // temp file cannot be created.
-  explicit AtomicFileWriter(std::string path);
+  // temp file cannot be created. `fs` is the syscall seam; nullptr means
+  // the real filesystem.
+  explicit AtomicFileWriter(std::string path, Fs* fs = nullptr);
   ~AtomicFileWriter();
 
   AtomicFileWriter(const AtomicFileWriter&) = delete;
@@ -36,9 +51,9 @@ class AtomicFileWriter {
   // Appends `n` bytes. Throws std::runtime_error on I/O failure.
   void Write(const void* data, std::size_t n);
 
-  // fsync(temp) + rename(temp -> path). Throws std::runtime_error on
-  // failure (the temp file is removed either way). No further writes are
-  // allowed after Commit.
+  // fsync(temp) + rename(temp -> path) + fsync(parent dir). Throws
+  // std::runtime_error on failure (the temp file is removed either way).
+  // No further writes are allowed after Commit.
   void Commit();
 
   const std::string& path() const { return path_; }
@@ -47,6 +62,7 @@ class AtomicFileWriter {
  private:
   void Abort();  // close + unlink the temp file, best effort
 
+  Fs& fs_;
   std::string path_;
   std::string temp_path_;
   int fd_ = -1;

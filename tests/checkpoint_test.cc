@@ -6,10 +6,12 @@
 #include <fstream>
 
 #include "nn/checkpoint.h"
+#include "nn/checkpoint_manager.h"
 #include "ps/sharding.h"
 #include "tensor/tensor_ops.h"
 #include "train/model_zoo.h"
 #include "util/atomic_file.h"
+#include "util/fs.h"
 #include "util/rng.h"
 
 namespace threelc {
@@ -704,6 +706,208 @@ TEST(Sharding, MoreShardsThanTensors) {
     largest = std::max(largest, e.shape.num_elements());
   }
   EXPECT_EQ(shards.MaxShardElements(), largest);  // largest tensor alone
+}
+
+// ---------- CheckpointManager: generations + last-good fallback ----------
+
+// A state whose epoch encodes which Save() produced it, so fallback tests
+// can tell generations apart after a load.
+nn::ServerState NumberedState(std::uint64_t n) {
+  nn::ServerState state = MakeServerState();
+  state.epoch = n;
+  state.next_step = static_cast<std::int64_t>(n) + 100;
+  return state;
+}
+
+std::string SlurpFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void SpitFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+}
+
+void RemoveGenerations(const std::string& path) {
+  std::remove(path.c_str());
+  for (int g = 0; g < 32; ++g) {
+    std::remove((path + ".g" + std::to_string(g)).c_str());
+  }
+}
+
+TEST(CheckpointManager, SaveNumbersGenerationsAndPrunesToRetention) {
+  const std::string path = TempPath("mgr_retention.sckpt");
+  RemoveGenerations(path);
+  auto model = train::BuildMlp(Spec(), 7);
+  nn::CheckpointManager mgr({path, /*retain=*/2});
+  for (std::uint64_t n = 0; n < 5; ++n) mgr.Save(model, NumberedState(n));
+  EXPECT_EQ(mgr.generation_count(), 2);
+  EXPECT_EQ(mgr.next_generation(), 5u);
+  // g3 and g4 survive; g0..g2 were pruned.
+  for (int g = 0; g < 3; ++g) {
+    EXPECT_TRUE(SlurpFile(mgr.GenerationPath(g)).empty()) << g;
+  }
+  for (int g = 3; g < 5; ++g) {
+    EXPECT_FALSE(SlurpFile(mgr.GenerationPath(g)).empty()) << g;
+  }
+  // The newest generation is what Load returns.
+  auto restored = train::BuildMlp(Spec(), 8);
+  nn::ServerState state;
+  std::string error;
+  ASSERT_TRUE(mgr.Load(restored, &state, &error)) << error;
+  EXPECT_EQ(state.epoch, 4u);
+  EXPECT_EQ(mgr.fallbacks(), 0);
+  EXPECT_EQ(mgr.loaded_path(), mgr.GenerationPath(4));
+  RemoveGenerations(path);
+}
+
+TEST(CheckpointManager, NumberingResumesAfterRescanNeverReuses) {
+  const std::string path = TempPath("mgr_renumber.sckpt");
+  RemoveGenerations(path);
+  auto model = train::BuildMlp(Spec(), 7);
+  {
+    nn::CheckpointManager mgr({path, /*retain=*/2});
+    for (std::uint64_t n = 0; n < 3; ++n) mgr.Save(model, NumberedState(n));
+  }
+  // A fresh incarnation scans disk (g1, g2 remain) and continues at g3.
+  nn::CheckpointManager mgr({path, /*retain=*/2});
+  mgr.ScanAndSweep();
+  EXPECT_EQ(mgr.next_generation(), 3u);
+  mgr.Save(model, NumberedState(3));
+  EXPECT_FALSE(SlurpFile(mgr.GenerationPath(3)).empty());
+  RemoveGenerations(path);
+}
+
+// The fallback matrix of the issue: corrupt the newest generation in each
+// byte-region class (magic, header, payload, trailer) and truncate it;
+// every variant must fall back to the older intact generation.
+TEST(CheckpointManager, FallbackMatrixCorruptNewestEveryRegion) {
+  const std::string path = TempPath("mgr_matrix.sckpt");
+  RemoveGenerations(path);
+  auto model = train::BuildMlp(Spec(), 7);
+  nn::CheckpointManager mgr({path, /*retain=*/2});
+  mgr.Save(model, NumberedState(0));
+  mgr.Save(model, NumberedState(1));
+  const std::string newest = mgr.GenerationPath(1);
+  const std::string pristine = SlurpFile(newest);
+  ASSERT_GT(pristine.size(), 32u);
+
+  struct Corruption {
+    const char* name;
+    std::size_t flip_at;  // == npos for truncation
+    std::size_t truncate_to;
+  };
+  const std::size_t kFlip = std::string::npos;
+  const std::vector<Corruption> matrix = {
+      {"magic", 0, kFlip},                        // "3LCS" tag
+      {"header", 6, kFlip},                       // version/count region
+      {"payload", pristine.size() / 2, kFlip},    // tensor bytes
+      {"trailer", pristine.size() - 2, kFlip},    // CRC trailer
+      {"truncated-half", kFlip, pristine.size() / 2},
+      {"truncated-trailer", kFlip, pristine.size() - 3},
+      {"empty", kFlip, 0},
+  };
+  for (const auto& c : matrix) {
+    if (c.flip_at != kFlip) {
+      std::string corrupt = pristine;
+      corrupt[c.flip_at] ^= 0x04;
+      SpitFile(newest, corrupt);
+    } else {
+      SpitFile(newest, pristine.substr(0, c.truncate_to));
+    }
+    nn::CheckpointManager victim({path, /*retain=*/2});
+    auto restored = train::BuildMlp(Spec(), 8);
+    nn::ServerState state;
+    std::string error;
+    ASSERT_TRUE(victim.Load(restored, &state, &error))
+        << c.name << ": " << error;
+    EXPECT_EQ(state.epoch, 0u) << c.name;  // the older generation's state
+    EXPECT_EQ(victim.fallbacks(), 1) << c.name;
+    EXPECT_EQ(victim.loaded_path(), victim.GenerationPath(0)) << c.name;
+    ASSERT_EQ(victim.fallback_log().size(), 1u) << c.name;
+    EXPECT_NE(victim.fallback_log()[0].find("unusable"), std::string::npos)
+        << victim.fallback_log()[0];
+  }
+  RemoveGenerations(path);
+}
+
+TEST(CheckpointManager, AllGenerationsBadIsACleanError) {
+  const std::string path = TempPath("mgr_allbad.sckpt");
+  RemoveGenerations(path);
+  auto model = train::BuildMlp(Spec(), 7);
+  nn::CheckpointManager mgr({path, /*retain=*/2});
+  mgr.Save(model, NumberedState(0));
+  mgr.Save(model, NumberedState(1));
+  for (int g = 0; g < 2; ++g) {
+    std::string bytes = SlurpFile(mgr.GenerationPath(g));
+    bytes[bytes.size() / 2] ^= 0x10;
+    SpitFile(mgr.GenerationPath(g), bytes);
+  }
+  nn::CheckpointManager victim({path, /*retain=*/2});
+  auto restored = train::BuildMlp(Spec(), 8);
+  nn::ServerState state;
+  std::string error;
+  EXPECT_FALSE(victim.Load(restored, &state, &error));
+  EXPECT_NE(error.find("no usable checkpoint"), std::string::npos) << error;
+  EXPECT_EQ(victim.fallbacks(), 2);
+  RemoveGenerations(path);
+}
+
+TEST(CheckpointManager, NoFilesAtAllIsACleanError) {
+  const std::string path = TempPath("mgr_nothing.sckpt");
+  RemoveGenerations(path);
+  nn::CheckpointManager mgr({path, /*retain=*/2});
+  auto model = train::BuildMlp(Spec(), 8);
+  nn::ServerState state;
+  std::string error;
+  EXPECT_FALSE(mgr.Load(model, &state, &error));
+  EXPECT_NE(error.find("no usable checkpoint"), std::string::npos) << error;
+}
+
+// Checkpoints written before generations existed live at the bare path;
+// Load must still find them after every generation file is exhausted.
+TEST(CheckpointManager, LegacyBarePathIsTheFinalFallback) {
+  const std::string path = TempPath("mgr_legacy.sckpt");
+  RemoveGenerations(path);
+  auto model = train::BuildMlp(Spec(), 7);
+  nn::SaveServerCheckpoint(model, NumberedState(41), path);
+  nn::CheckpointManager mgr({path, /*retain=*/2});
+  auto restored = train::BuildMlp(Spec(), 8);
+  nn::ServerState state;
+  std::string error;
+  ASSERT_TRUE(mgr.Load(restored, &state, &error)) << error;
+  EXPECT_EQ(state.epoch, 41u);
+  EXPECT_EQ(mgr.loaded_path(), path);
+  RemoveGenerations(path);
+}
+
+TEST(CheckpointManager, SaveThrowsOnInjectedDiskFull) {
+  const std::string path = TempPath("mgr_enospc.sckpt");
+  RemoveGenerations(path);
+  auto model = train::BuildMlp(Spec(), 7);
+  util::FaultFs fault(util::Fs::Real(), /*seed=*/5);
+  std::string spec_error;
+  ASSERT_TRUE(fault.AddRulesFromSpec("enospc:write@any#*", &spec_error))
+      << spec_error;
+  nn::CheckpointManager::Options options;
+  options.path = path;
+  options.fs = &fault;
+  nn::CheckpointManager mgr(options);
+  EXPECT_THROW(mgr.Save(model, NumberedState(0)), std::runtime_error);
+  EXPECT_GT(fault.faults_injected(), 0u);
+  // The failed generation number is not consumed: a retry (now that the
+  // "disk" has space again) lands at the same g0.
+  EXPECT_EQ(mgr.next_generation(), 0u);
+  util::FaultFs clean(util::Fs::Real(), /*seed=*/5);
+  nn::CheckpointManager::Options retry_options;
+  retry_options.path = path;
+  retry_options.fs = &clean;
+  nn::CheckpointManager retry(retry_options);
+  retry.Save(model, NumberedState(0));
+  EXPECT_FALSE(SlurpFile(retry.GenerationPath(0)).empty());
+  RemoveGenerations(path);
 }
 
 }  // namespace

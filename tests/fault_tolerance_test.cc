@@ -739,16 +739,22 @@ TEST(FaultTolerance, ServerRestartWhileWorkerRejoining) {
   std::remove(worker_ckpt.c_str());
 }
 
-// A torn server checkpoint (crash mid-write would be caught by the atomic
-// rename; this simulates post-rename disk corruption) must be rejected by
-// ResumeFromCheckpoint with a diagnostic, never half-loaded.
-TEST(FaultTolerance, TornServerCheckpointRejectedOnResume) {
+// A torn newest checkpoint generation (crash mid-write would be caught
+// by the atomic rename; this simulates post-rename disk corruption) must
+// never be half-loaded. With an older intact generation on disk, resume
+// falls back to it; with every generation corrupted, resume is rejected
+// with a "no usable checkpoint" diagnostic.
+TEST(FaultTolerance, TornServerCheckpointFallsBackOrIsRejected) {
   TestSetup setup =
       MakeTestSetup(1, /*steps=*/2, compress::CodecConfig::Float32());
   const std::string ckpt = ::testing::TempDir() + "/ft_torn_server.sckpt";
   std::remove(ckpt.c_str());
+  for (int g = 0; g < 16; ++g) {
+    std::remove((ckpt + ".g" + std::to_string(g)).c_str());
+  }
 
-  // Produce a valid checkpoint via a clean run.
+  // Produce valid generations via a clean run. checkpoint_every=1 over
+  // two steps with the default retention of 2 leaves exactly g0 and g1.
   ServerChaos chaos;
   chaos.checkpoint_path = ckpt;
   chaos.checkpoint_every = 1;
@@ -764,51 +770,86 @@ TEST(FaultTolerance, TornServerCheckpointRejectedOnResume) {
   ASSERT_TRUE(server_ok) << h.server->error();
   ASSERT_TRUE(result.ok) << result.error;
 
-  // Read the intact bytes once so both corruptions start from them.
-  std::FILE* f = std::fopen(ckpt.c_str(), "rb");
-  ASSERT_NE(f, nullptr);
-  std::fseek(f, 0, SEEK_END);
-  const long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  std::vector<unsigned char> bytes(static_cast<std::size_t>(size));
-  ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
-  std::fclose(f);
-  ASSERT_GT(bytes.size(), 16u);
-
-  const auto write_bytes = [&](const std::vector<unsigned char>& data) {
-    std::FILE* out = std::fopen(ckpt.c_str(), "wb");
+  // Retention keeps the two newest generations; their numbers depend on
+  // how many forced writes the run performed, so discover them.
+  std::vector<std::string> gens;
+  for (int g = 0; g < 32; ++g) {
+    const std::string path = ckpt + ".g" + std::to_string(g);
+    std::FILE* probe = std::fopen(path.c_str(), "rb");
+    if (probe != nullptr) {
+      std::fclose(probe);
+      gens.push_back(path);
+    }
+  }
+  ASSERT_EQ(gens.size(), 2u) << "expected retention to keep 2 generations";
+  const std::string gen0 = gens[0];  // older
+  const std::string gen1 = gens[1];  // newest
+  const auto read_bytes = [](const std::string& path) {
+    std::vector<unsigned char> bytes;
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return bytes;
+    std::fseek(f, 0, SEEK_END);
+    bytes.resize(static_cast<std::size_t>(std::ftell(f)));
+    std::fseek(f, 0, SEEK_SET);
+    if (std::fread(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+      bytes.clear();
+    }
+    std::fclose(f);
+    return bytes;
+  };
+  const auto write_bytes = [&](const std::string& path,
+                               const std::vector<unsigned char>& data) {
+    std::FILE* out = std::fopen(path.c_str(), "wb");
     ASSERT_NE(out, nullptr);
     ASSERT_EQ(std::fwrite(data.data(), 1, data.size(), out), data.size());
     std::fclose(out);
   };
-  const auto expect_rejected = [&](const char* what) {
-    ServerHarness fresh = MakeServer(setup, /*grace_ms=*/0,
-                                     /*replay_steps=*/8);
+  const std::vector<unsigned char> bytes0 = read_bytes(gen0);
+  const std::vector<unsigned char> bytes1 = read_bytes(gen1);
+  ASSERT_GT(bytes0.size(), 16u);
+  ASSERT_GT(bytes1.size(), 16u);
+
+  // Truncate the newest generation to half: resume must skip it and fall
+  // back to the older intact one.
+  write_bytes(gen1, std::vector<unsigned char>(
+                        bytes1.begin(), bytes1.begin() + bytes1.size() / 2));
+  {
+    ServerHarness fresh =
+        MakeServer(setup, /*grace_ms=*/0, /*replay_steps=*/8);
+    std::string resume_error;
+    EXPECT_TRUE(fresh.server->ResumeFromCheckpoint(ckpt, &resume_error))
+        << resume_error;
+    EXPECT_EQ(fresh.server->checkpoint_fallbacks(), 1u);
+    EXPECT_GE(fresh.server->epoch(), 1u);
+  }
+
+  // Flip a byte mid-file in the older generation too: with every
+  // generation bad, resume must be rejected, never half-loaded.
+  std::vector<unsigned char> flipped = bytes0;
+  flipped[flipped.size() / 2] ^= 0x40;
+  write_bytes(gen0, flipped);
+  {
+    ServerHarness fresh =
+        MakeServer(setup, /*grace_ms=*/0, /*replay_steps=*/8);
     std::string resume_error;
     EXPECT_FALSE(fresh.server->ResumeFromCheckpoint(ckpt, &resume_error))
-        << what;
-    EXPECT_FALSE(resume_error.empty()) << what;
-  };
+        << "all-corrupt checkpoint set accepted";
+    EXPECT_NE(resume_error.find("no usable checkpoint"), std::string::npos)
+        << resume_error;
+  }
 
-  // Truncated to half: torn tail.
-  write_bytes(std::vector<unsigned char>(bytes.begin(),
-                                         bytes.begin() + bytes.size() / 2));
-  expect_rejected("truncated checkpoint accepted");
-
-  // Single flipped byte mid-file: CRC must catch it.
-  std::vector<unsigned char> flipped = bytes;
-  flipped[flipped.size() / 2] ^= 0x40;
-  write_bytes(flipped);
-  expect_rejected("bit-flipped checkpoint accepted");
-
-  // The pristine bytes still load, proving the harness itself is sound.
-  write_bytes(bytes);
+  // Pristine bytes restore both generations: the newest loads with no
+  // fallback, proving the harness itself is sound.
+  write_bytes(gen0, bytes0);
+  write_bytes(gen1, bytes1);
   ServerHarness fresh = MakeServer(setup, /*grace_ms=*/0, /*replay_steps=*/8);
   std::string resume_error;
   EXPECT_TRUE(fresh.server->ResumeFromCheckpoint(ckpt, &resume_error))
       << resume_error;
+  EXPECT_EQ(fresh.server->checkpoint_fallbacks(), 0u);
   EXPECT_EQ(fresh.server->epoch(), 2u);
-  std::remove(ckpt.c_str());
+  std::remove(gen0.c_str());
+  std::remove(gen1.c_str());
 }
 
 // ---------- liveness: leases, hangs, one-way partitions ----------

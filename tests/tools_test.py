@@ -446,6 +446,77 @@ class RunReportTest(unittest.TestCase):
         self.assertEqual(r.returncode, 1)
         self.assertIn("not a /clusterz snapshot", r.stderr)
 
+    def test_storage_section_joins_health_and_stage_latency(self):
+        # A snapshot with a "storage" section plus a step log whose
+        # phases_ms carries the checkpoint stage: the report must join
+        # both into one storage section (counters from /clusterz, p50/p95
+        # from the log).
+        snap = clusterz_snapshot()
+        snap["storage"] = {"checkpoints": 9, "write_failures": 2,
+                           "fallbacks": 1, "generations": 2,
+                           "last_write_ms": 3.25, "degraded": False}
+        steps = [{"type": "step", "step": s, "loss": 1.0, "contributors": 3,
+                  "step_wall_ms": 5.0,
+                  "phases_ms": {"step_barrier": 1.0,
+                                "checkpoint": 4.0 if s % 2 == 0 else 0.0}}
+                 for s in range(10)]
+        with tempfile.TemporaryDirectory() as tmp:
+            cpath = os.path.join(tmp, "clusterz.json")
+            lpath = os.path.join(tmp, "metrics.jsonl")
+            with open(cpath, "w") as f:
+                json.dump(snap, f)
+            with open(lpath, "w") as f:
+                for s in steps:
+                    f.write(json.dumps(s) + "\n")
+            r = run_tool("run_report.py",
+                         ["--clusterz", cpath, "--server-log", lpath])
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("-- storage (server checkpoints) --", r.stdout)
+        self.assertIn("state: healthy", r.stdout)
+        self.assertIn("checkpoints written: 9  write failures: 2  "
+                      "fallbacks: 1", r.stdout)
+        self.assertIn("generations on disk: 2", r.stdout)
+        self.assertIn("last write: 3.25 ms", r.stdout)
+        self.assertIn("checkpoint stage ms over 10 steps (5 with a write)",
+                      r.stdout)
+        self.assertIn("p95 4.00", r.stdout)
+
+    def test_degraded_storage_is_flagged(self):
+        # degraded=true (writes currently failing) must be unmissable in
+        # the report, even without a step log.
+        snap = clusterz_snapshot()
+        snap["storage"] = {"checkpoints": 3, "write_failures": 12,
+                           "fallbacks": 0, "generations": 1,
+                           "last_write_ms": 2.0, "degraded": True}
+        with tempfile.TemporaryDirectory() as tmp:
+            cpath = os.path.join(tmp, "clusterz.json")
+            with open(cpath, "w") as f:
+                json.dump(snap, f)
+            r = run_tool("run_report.py", ["--clusterz", cpath])
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("state: DEGRADED (writes failing; recovery at risk)",
+                      r.stdout)
+        self.assertIn("write failures: 12", r.stdout)
+
+    def test_no_storage_section_without_storage_data(self):
+        # Old snapshots (no "storage") and logs without a checkpoint phase
+        # must not grow an empty storage section.
+        steps = [{"type": "step", "step": s, "loss": 1.0, "contributors": 3,
+                  "step_wall_ms": 5.0, "phases_ms": {"step_barrier": 1.0}}
+                 for s in range(5)]
+        with tempfile.TemporaryDirectory() as tmp:
+            cpath = os.path.join(tmp, "clusterz.json")
+            lpath = os.path.join(tmp, "metrics.jsonl")
+            with open(cpath, "w") as f:
+                json.dump(clusterz_snapshot(), f)
+            with open(lpath, "w") as f:
+                for s in steps:
+                    f.write(json.dumps(s) + "\n")
+            r = run_tool("run_report.py",
+                         ["--clusterz", cpath, "--server-log", lpath])
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertNotIn("-- storage", r.stdout)
+
 
 if __name__ == "__main__":
     unittest.main()

@@ -2,6 +2,11 @@
 // CSV emission, and the thread pool.
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -9,8 +14,11 @@
 #include <sstream>
 #include <stdexcept>
 #include <thread>
+#include <vector>
 
+#include "util/atomic_file.h"
 #include "util/byte_buffer.h"
+#include "util/fs.h"
 #include "util/csv_writer.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -540,6 +548,183 @@ TEST(ByteBuffer, ResizeGrowthZeroFills) {
   ASSERT_EQ(buf.size(), 12u);
   for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(buf.data()[i], 0xAB);
   for (std::size_t i = 4; i < 12; ++i) EXPECT_EQ(buf.data()[i], 0x00);
+}
+
+// ---------- Fs / FaultFs / AtomicFileWriter ----------
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(FaultFs, ParsesSpecGrammar) {
+  std::vector<FsFaultRule> rules;
+  std::string error;
+  ASSERT_TRUE(FaultFs::ParseSpec(
+      "enospc:write@any#*;eio:fsync@2;short:write@0;torn:rename@1#3",
+      &rules, &error))
+      << error;
+  ASSERT_EQ(rules.size(), 4u);
+  EXPECT_EQ(rules[0].action, FsFaultAction::kEnospc);
+  EXPECT_FALSE(rules[0].any_op);
+  EXPECT_EQ(rules[0].op, FsOp::kWrite);
+  EXPECT_TRUE(rules[0].any_call);
+  EXPECT_TRUE(rules[0].every_match);
+  EXPECT_EQ(rules[1].action, FsFaultAction::kEio);
+  EXPECT_EQ(rules[1].op, FsOp::kFsync);
+  EXPECT_FALSE(rules[1].any_call);
+  EXPECT_EQ(rules[1].call, 2u);
+  EXPECT_EQ(rules[2].action, FsFaultAction::kShort);
+  EXPECT_EQ(rules[3].action, FsFaultAction::kTorn);
+  EXPECT_EQ(rules[3].occurrence, 3);
+}
+
+TEST(FaultFs, RejectsMalformedAndMismatchedSpecs) {
+  std::vector<FsFaultRule> rules;
+  std::string error;
+  // Unknown action, missing '@', and actions bound to the wrong op.
+  EXPECT_FALSE(FaultFs::ParseSpec("explode:write@0", &rules, &error));
+  EXPECT_FALSE(FaultFs::ParseSpec("enospc:write", &rules, &error));
+  EXPECT_FALSE(FaultFs::ParseSpec("short:fsync@0", &rules, &error));
+  EXPECT_FALSE(FaultFs::ParseSpec("fsyncfail:write@0", &rules, &error));
+  EXPECT_FALSE(FaultFs::ParseSpec("torn:write@0", &rules, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(FaultFs, EnospcFailsTheTargetedWriteOnly) {
+  const std::string path = ::testing::TempDir() + "/faultfs_enospc.txt";
+  FaultFs fs(Fs::Real(), /*seed=*/1);
+  std::string error;
+  ASSERT_TRUE(fs.AddRulesFromSpec("enospc:write@1", &error)) << error;
+  const int fd = fs.Open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(fs.Write(fd, "ok", 2), 2);
+  errno = 0;
+  EXPECT_EQ(fs.Write(fd, "no", 2), -1);
+  EXPECT_EQ(errno, ENOSPC);
+  EXPECT_EQ(fs.Write(fd, "ok", 2), 2);  // only call index 1 is targeted
+  fs.Close(fd);
+  EXPECT_EQ(fs.faults_injected(), 1u);
+  ASSERT_EQ(fs.schedule_log().size(), 1u);
+  EXPECT_NE(fs.schedule_log()[0].find("enospc write call=1"),
+            std::string::npos)
+      << fs.schedule_log()[0];
+  std::remove(path.c_str());
+}
+
+TEST(FaultFs, ShortWriteIsCompletedByTheRetryLoop) {
+  const std::string path = ::testing::TempDir() + "/faultfs_short.txt";
+  std::remove(path.c_str());
+  FaultFs fs(Fs::Real(), /*seed=*/7);
+  std::string error;
+  ASSERT_TRUE(fs.AddRulesFromSpec("short:write@0", &error)) << error;
+  {
+    AtomicFileWriter w(path, &fs);
+    const std::string payload = "the write loop must finish the tail";
+    w.Write(payload.data(), payload.size());
+    w.Commit();
+  }
+  EXPECT_GT(fs.calls(FsOp::kWrite), 1u);  // the short write forced a retry
+  EXPECT_EQ(fs.faults_injected(), 1u);
+  EXPECT_EQ(ReadWholeFile(path), "the write loop must finish the tail");
+  std::remove(path.c_str());
+}
+
+TEST(FaultFs, FsyncFailureAbortsCommitAndRemovesTemp) {
+  const std::string path = ::testing::TempDir() + "/faultfs_fsync.txt";
+  std::remove(path.c_str());
+  FaultFs fs(Fs::Real(), /*seed=*/3);
+  std::string error;
+  ASSERT_TRUE(fs.AddRulesFromSpec("fsyncfail:fsync@0", &error)) << error;
+  std::string temp_path;
+  try {
+    AtomicFileWriter w(path, &fs);
+    temp_path = w.temp_path();
+    w.Write("x", 1);
+    w.Commit();
+    FAIL() << "Commit() with a failing fsync must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("sync"), std::string::npos)
+        << e.what();
+  }
+  // Neither the target nor the temp may exist: no torn state left behind.
+  EXPECT_TRUE(ReadWholeFile(path).empty());
+  EXPECT_TRUE(ReadWholeFile(temp_path).empty());
+}
+
+TEST(FaultFs, TornRenameLeavesTargetUntouchedAndLatchesCrash) {
+  const std::string path = ::testing::TempDir() + "/faultfs_torn.txt";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "previous contents";
+  }
+  FaultFs fs(Fs::Real(), /*seed=*/9);
+  std::string error;
+  ASSERT_TRUE(fs.AddRulesFromSpec("torn:rename@0", &error)) << error;
+  {
+    AtomicFileWriter w(path, &fs);
+    w.Write("new contents", 12);
+    w.Commit();  // "succeeds": the fault swallows the rename
+  }
+  EXPECT_EQ(ReadWholeFile(path), "previous contents");
+  // The crash latch is check-and-clear: a restarted server sharing this
+  // FaultFs must not crash again on its next checkpoint.
+  EXPECT_TRUE(fs.TakeCrashRequest());
+  EXPECT_FALSE(fs.TakeCrashRequest());
+  std::remove(path.c_str());
+  std::remove((path + ".tmp." + std::to_string(::getpid())).c_str());
+}
+
+TEST(AtomicFileWriter, CommitFsyncsFileAndParentDirectory) {
+  const std::string path = ::testing::TempDir() + "/atomic_dirsync.txt";
+  std::remove(path.c_str());
+  FaultFs fs(Fs::Real(), /*seed=*/0);  // no rules: pure pass-through counter
+  {
+    AtomicFileWriter w(path, &fs);
+    w.Write("durable", 7);
+    w.Commit();
+  }
+  // One fsync for the temp file's data, one for the parent directory's
+  // entry table — the documented durability contract.
+  EXPECT_EQ(fs.calls(FsOp::kFsync), 2u);
+  EXPECT_EQ(fs.calls(FsOp::kRename), 1u);
+  EXPECT_EQ(fs.faults_injected(), 0u);
+  EXPECT_EQ(ReadWholeFile(path), "durable");
+  std::remove(path.c_str());
+}
+
+TEST(SweepStaleTemps, RemovesDeadPidTempsOnly) {
+  const std::string dir = ::testing::TempDir() + "/sweep_test_dir";
+  ::mkdir(dir.c_str(), 0755);
+  const auto touch = [&](const std::string& name) {
+    std::ofstream out(dir + "/" + name, std::ios::binary);
+    out << "x";
+  };
+  // A pid that cannot exist (beyond any real pid_max) => stale.
+  touch("ckpt.g3.tmp.999999999");
+  // This process is alive => a live writer's temp, must survive.
+  const std::string live = "ckpt.g4.tmp." + std::to_string(::getpid());
+  touch(live);
+  // Non-matching names must never be touched.
+  touch("ckpt.g3");
+  touch("ckpt.tmp.notapid");
+  touch("unrelated.txt");
+
+  EXPECT_EQ(SweepStaleTemps(*Fs::Real(), dir), 1);
+  EXPECT_TRUE(ReadWholeFile(dir + "/ckpt.g3.tmp.999999999").empty());
+  EXPECT_EQ(ReadWholeFile(dir + "/" + live), "x");
+  EXPECT_EQ(ReadWholeFile(dir + "/ckpt.g3"), "x");
+  EXPECT_EQ(ReadWholeFile(dir + "/ckpt.tmp.notapid"), "x");
+  EXPECT_EQ(ReadWholeFile(dir + "/unrelated.txt"), "x");
+  // Idempotent: nothing stale remains.
+  EXPECT_EQ(SweepStaleTemps(*Fs::Real(), dir), 0);
+  std::remove((dir + "/" + live).c_str());
+  std::remove((dir + "/ckpt.g3").c_str());
+  std::remove((dir + "/ckpt.tmp.notapid").c_str());
+  std::remove((dir + "/unrelated.txt").c_str());
+  ::rmdir(dir.c_str());
 }
 
 }  // namespace

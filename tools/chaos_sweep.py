@@ -20,10 +20,18 @@ not a flake. Run the in-process edition first (fault_tolerance_test's
 ChaosSweepSeededSchedulesTerminateCleanly); this sweep adds real
 processes, real sockets, and real signals on top.
 
+With --disk the sweep targets the storage stack instead of the wire:
+each seed derives one disk-fault drill (full disk, media-error write,
+failing fsync, torn rename at the power-loss point, or a corrupt-newest
+generation forcing a fallback resume) against the server's checkpoint
+path in a per-seed temp directory. Green additionally requires the
+mode's own evidence in the log (a surviving degraded write, a fallback,
+a resume) — a drill that silently never fired is red, not lucky.
+
 Usage:
   chaos_sweep.py --binary build/examples/distributed_training \
       [--seeds 25] [--start-seed 1] [--workers 3] [--steps 20]
-      [--deadline-s 120] [--base-port 15400] [-v]
+      [--deadline-s 120] [--base-port 15400] [--disk] [-v]
 
 Exit codes: 0 when every seed is green, 1 otherwise. stdlib only.
 """
@@ -32,6 +40,7 @@ import argparse
 import random
 import subprocess
 import sys
+import tempfile
 
 # Transport-level faults a worker can take mid-run and still finish with
 # bitwise parity: corruption is retried, close reconnects, delay is just
@@ -78,8 +87,56 @@ def derive_scenario(seed, workers, steps):
                   "0"], f"SIGSTOP w{victim}@{step}, SIGCONT after 3 s"
 
 
-def run_seed(args, seed):
-    mode, extra, desc = derive_scenario(seed, args.workers, args.steps)
+def derive_disk_scenario(seed, steps, ckpt_dir):
+    """Map a seed to one storage-fault drill.
+
+    Returns (mode, extra_argv, expected_log_substrings, description).
+    The fault specs use the util::FaultFs grammar (ACTION:OP@CALL[#OCC]);
+    occurrence indices are kept small so the fault always lands within
+    the run's checkpoint traffic regardless of --steps.
+    """
+    rng = random.Random(seed)
+    mode = ["enospc", "eio", "fsyncfail", "torn",
+            "fallback"][seed % 5]
+    ckpt = f"{ckpt_dir}/dt_server.sckpt"
+    if mode == "fallback":
+        # Die at a checkpoint, corrupt the newest generation while the
+        # server is down, and require the resume to fall back past it.
+        at = rng.randrange(2, max(3, steps // 2))
+        return mode, ["--kill-server-at-checkpoint", str(at),
+                      "--corrupt-newest-on-resume", "--state-dir",
+                      ckpt_dir], ["fell back", "resumed from checkpoint"], \
+            f"corrupt newest generation on resume after kill@ckpt {at}"
+    if mode == "torn":
+        # Swallow one rename: the server dies at the power-loss point and
+        # must resume from the previous intact generation.
+        occ = rng.randrange(1, max(2, steps // 4))
+        spec = f"torn:rename@any#{occ}"
+        expect = ["injected torn checkpoint write", "resumed from checkpoint"]
+    elif mode == "enospc":
+        # The disk stays full: every checkpoint write fails, training
+        # must keep going degraded and still finish bitwise identical.
+        spec = "enospc:write@any#*"
+        expect = ["checkpoint write failed"]
+    elif mode == "eio":
+        occ = rng.randrange(0, 8)
+        spec = f"eio:write@any#{occ}"
+        expect = ["checkpoint write failed"]
+    else:  # fsyncfail
+        occ = rng.randrange(0, 8)
+        spec = f"fsyncfail:fsync@any#{occ}"
+        expect = ["checkpoint write failed"]
+    return mode, ["--server-checkpoint", ckpt, "--fs-fault", spec,
+                  "--inject-seed", str(seed)], expect, spec
+
+
+def run_seed(args, seed, ckpt_dir=None):
+    if args.disk:
+        mode, extra, expect, desc = derive_disk_scenario(
+            seed, args.steps, ckpt_dir)
+    else:
+        mode, extra, desc = derive_scenario(seed, args.workers, args.steps)
+        expect = []
     port = args.base_port + (seed % 1000)
     cmd = [args.binary, "--spawn", str(args.workers), "--steps",
            str(args.steps), "--codec", "3lc", "--port", str(port),
@@ -104,6 +161,9 @@ def run_seed(args, seed):
             problems.append(f"sanitizer: {marker}")
     if mode == "sigstop" and "drill: SIGSTOP" not in log:
         problems.append("drill never fired")
+    for needle in expect:
+        if needle not in log:
+            problems.append(f"missing '{needle}'")
     if problems:
         return False, f"{', '.join(problems)} [{mode}: {desc}]", cmd
     return True, f"ok [{mode}: {desc}]", cmd
@@ -122,6 +182,9 @@ def main():
                     help="per-seed wall deadline; overrun == hang == red")
     ap.add_argument("--base-port", type=int, default=15400,
                     help="each seed listens on base-port + seed %% 1000")
+    ap.add_argument("--disk", action="store_true",
+                    help="sweep storage-fault drills (checkpoint path) "
+                         "instead of wire faults")
     ap.add_argument("-v", "--verbose", action="store_true",
                     help="print the repro command for every seed")
     args = ap.parse_args()
@@ -129,7 +192,11 @@ def main():
     green = 0
     failures = []
     for seed in range(args.start_seed, args.start_seed + args.seeds):
-        ok, verdict, cmd = run_seed(args, seed)
+        if args.disk:
+            with tempfile.TemporaryDirectory(prefix="chaos_disk_") as d:
+                ok, verdict, cmd = run_seed(args, seed, ckpt_dir=d)
+        else:
+            ok, verdict, cmd = run_seed(args, seed)
         line = f"seed {seed:>4}: {'GREEN' if ok else 'RED'}  {verdict}"
         print(line, flush=True)
         if args.verbose or not ok:

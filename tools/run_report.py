@@ -17,6 +17,9 @@ slow and why" — this tool joins them into one human-readable summary:
     is still named ("straggler: worker N (hung; ...)"),
   - liveness: per-worker last-heartbeat age and lease-expiry counts
     (expiries survive eviction so the cause stays visible),
+  - storage: server checkpoint health (writes, failures, fallbacks,
+    generations on disk, degraded state) joined with the checkpoint
+    stage's p50/p95 from the step log,
   - traffic per worker and the per-direction compression ratio.
 
 Usage:
@@ -176,6 +179,34 @@ def build_report(snap, steps):
             note = f"  ({'; '.join(marks)})" if marks else ""
             out.append(f"{wid:>6} {f'{age:.0f}' if age >= 0 else '-':>10} "
                        f"{expiries.get(wid, 0):>15}{note}")
+        out.append("")
+
+    # --- checkpoint storage health -----------------------------------------
+    # The "storage" section appears in /clusterz once the server reported
+    # checkpoint activity; the checkpoint-stage latency comes from the
+    # step log's phases_ms. Either source alone still prints.
+    storage = snap.get("storage")
+    ckpt_ms = sorted(s["phases_ms"]["checkpoint"] for s in steps
+                     if "checkpoint" in s.get("phases_ms", {}))
+    if storage is not None or ckpt_ms:
+        out.append("-- storage (server checkpoints) --")
+        if storage is not None:
+            state = "DEGRADED (writes failing; recovery at risk)" \
+                if storage.get("degraded") else "healthy"
+            out.append(f"state: {state}")
+            out.append(f"checkpoints written: {storage.get('checkpoints', 0)}"
+                       f"  write failures: {storage.get('write_failures', 0)}"
+                       f"  fallbacks: {storage.get('fallbacks', 0)}")
+            out.append(f"generations on disk: "
+                       f"{storage.get('generations', 0)}  "
+                       f"last write: {storage.get('last_write_ms', 0.0):.2f} "
+                       f"ms")
+        if ckpt_ms:
+            written = sum(1 for ms in ckpt_ms if ms > 0.0)
+            out.append(f"checkpoint stage ms over {len(ckpt_ms)} steps "
+                       f"({written} with a write): "
+                       f"p50 {quantile(ckpt_ms, 0.50):.2f}  "
+                       f"p95 {quantile(ckpt_ms, 0.95):.2f}")
         out.append("")
 
     # --- traffic and compression -------------------------------------------
